@@ -1,0 +1,150 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. roofline max(compute, mem) vs additive compute + mem layer time;
+//   2. size-dependent GEMM efficiency vs a flat efficiency;
+//   3. interleaved-pipeline activation inflation (interleave sweep);
+//   4. in-network (SHARP-style) collectives on the data-parallel fabric.
+// Each prints the Table 2 validation predictions (or a DP-heavy scenario)
+// under both settings so the modeling consequences are visible.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+
+namespace {
+
+using namespace calculon;
+
+Execution ValidationExec(std::int64_t procs, std::int64_t p, std::int64_t d,
+                         std::int64_t batch) {
+  Execution e;
+  e.num_procs = procs;
+  e.tensor_par = 8;
+  e.pipeline_par = p;
+  e.data_par = d;
+  e.batch_size = batch;
+  e.microbatch = 1;
+  e.recompute = Recompute::kFull;
+  return e;
+}
+
+System Patch(const System& sys, RooflineMode mode) {
+  Processor proc = sys.proc();
+  proc.roofline = mode;
+  return System(sys.name(), sys.num_procs(), proc, sys.networks());
+}
+
+System FlattenGemm(const System& sys) {
+  Processor proc = sys.proc();
+  // Flat efficiency chosen as the large-GEMM asymptote of the curve.
+  proc.matrix = ComputeUnit(proc.matrix.peak_flops(), EfficiencyCurve(0.78));
+  return System(sys.name(), sys.num_procs(), proc, sys.networks());
+}
+
+System SharpFabric(const System& sys) {
+  std::vector<Network> nets = sys.networks();
+  Network& fabric = nets.back();
+  fabric = Network(fabric.size(), fabric.bandwidth(), fabric.latency(),
+                   fabric.efficiency(), /*in_network_collectives=*/true,
+                   fabric.processor_fraction());
+  return System(sys.name(), sys.num_procs(), sys.proc(), nets);
+}
+
+}  // namespace
+
+int main() {
+  using namespace calculon;
+
+  std::printf("Ablation 1: roofline max vs additive layer time "
+              "(175B/1T validation configs)\n");
+  {
+    Table t({"config", "max (default)", "sum"});
+    struct Row { const char* name; Application app; Execution e; };
+    const Row rows[] = {
+        {"175B", presets::Gpt3_175B(), ValidationExec(512, 8, 8, 512)},
+        {"1T", presets::Megatron1T(), ValidationExec(512, 64, 1, 512)},
+    };
+    for (const Row& row : rows) {
+      presets::SystemOptions o;
+      o.num_procs = row.e.num_procs;
+      const System base = presets::A100(o);
+      const auto rmax = CalculatePerformance(row.app, row.e, base);
+      const auto rsum = CalculatePerformance(
+          row.app, row.e, Patch(base, RooflineMode::kSum));
+      t.AddRow({row.name,
+                rmax.ok() ? FormatTime(rmax.value().batch_time) : "-",
+                rsum.ok() ? FormatTime(rsum.value().batch_time) : "-"});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+
+  std::printf("Ablation 2: size-based vs flat GEMM efficiency "
+              "(small microbatches suffer most)\n");
+  {
+    Table t({"microbatch", "curve (default)", "flat 0.78", "curve/flat"});
+    const Application app = presets::Gpt3_175B();
+    presets::SystemOptions o;
+    o.num_procs = 512;
+    const System curve_sys = presets::A100(o);
+    const System flat_sys = FlattenGemm(curve_sys);
+    for (std::int64_t m : {1, 2, 4, 8}) {
+      Execution e = ValidationExec(512, 8, 8, 512);
+      e.microbatch = m;
+      const auto rc = CalculatePerformance(app, e, curve_sys);
+      const auto rf = CalculatePerformance(app, e, flat_sys);
+      if (!rc.ok() || !rf.ok()) continue;
+      t.AddRow({StrFormat("%lld", static_cast<long long>(m)),
+                FormatTime(rc.value().batch_time),
+                FormatTime(rf.value().batch_time),
+                FormatNumber(rc.value().batch_time / rf.value().batch_time,
+                             2)});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+
+  std::printf("Ablation 3: interleaving trades bubble time for activation "
+              "memory (Megatron-1T, t=8 p=64 d=8)\n");
+  {
+    Table t({"interleave", "batch time", "PP bubble", "activations"});
+    const Application app = presets::Megatron1T();
+    presets::SystemOptions o;
+    o.num_procs = 4096;
+    o.hbm_capacity = 1024.0 * kGiB;
+    const System sys = presets::A100(o);
+    for (std::int64_t i : {1, 2}) {
+      Execution e = ValidationExec(4096, 64, 8, 4096);
+      e.pp_interleaving = i;
+      const auto r = CalculatePerformance(app, e, sys);
+      if (!r.ok()) continue;
+      t.AddRow({StrFormat("%lld", static_cast<long long>(i)),
+                FormatTime(r.value().batch_time),
+                FormatTime(r.value().time.pp_bubble),
+                FormatBytes(r.value().tier1.activations)});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+
+  std::printf("Ablation 4: in-network collectives on the DP fabric "
+              "(DP-heavy Megatron-1T)\n");
+  {
+    Table t({"fabric", "batch time", "exposed DP comm"});
+    const Application app = presets::Megatron1T();
+    presets::SystemOptions o;
+    o.num_procs = 4096;
+    o.hbm_capacity = 1024.0 * kGiB;
+    const System base = presets::A100(o);
+    Execution e = ValidationExec(4096, 2, 256, 4096);
+    e.optimizer_sharding = true;
+    for (bool sharp : {false, true}) {
+      const System sys = sharp ? SharpFabric(base) : base;
+      const auto r = CalculatePerformance(app, e, sys);
+      if (!r.ok()) continue;
+      t.AddRow({sharp ? "in-network allreduce" : "ring allreduce",
+                FormatTime(r.value().batch_time),
+                FormatTime(r.value().time.dp_comm)});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Section 2.4 claim: a full analysis completes "in under a millisecond",
+// enabling searches over millions of configurations in minutes. This
+// google-benchmark binary measures a single calculation, a calculation that
+// fails feasibility, and a small end-to-end search.
+#include <benchmark/benchmark.h>
+
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "search/exec_search.h"
+
+namespace {
+
+using namespace calculon;
+
+Execution Fig3Exec() {
+  Execution e;
+  e.num_procs = 4096;
+  e.tensor_par = 8;
+  e.pipeline_par = 64;
+  e.data_par = 8;
+  e.batch_size = 4096;
+  e.microbatch = 1;
+  e.recompute = Recompute::kFull;
+  return e;
+}
+
+void BM_SingleCalculation(benchmark::State& state) {
+  const Application app = presets::Gpt3_175B();
+  presets::SystemOptions o;
+  o.num_procs = 4096;
+  const System sys = presets::A100(o);
+  const Execution e = Fig3Exec();
+  for (auto _ : state) {
+    auto r = CalculatePerformance(app, e, sys);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SingleCalculation);
+
+void BM_SingleCalculationWithOffload(benchmark::State& state) {
+  const Application app = presets::Megatron1T();
+  presets::SystemOptions o;
+  o.num_procs = 4096;
+  o.offload_capacity = 512.0 * kGiB;
+  o.offload_bandwidth = 100e9;
+  const System sys = presets::H100(o);
+  Execution e = Fig3Exec();
+  e.weight_offload = true;
+  e.activation_offload = true;
+  e.optimizer_offload = true;
+  for (auto _ : state) {
+    auto r = CalculatePerformance(app, e, sys);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SingleCalculationWithOffload);
+
+void BM_InfeasibleCalculation(benchmark::State& state) {
+  // Infeasible configurations dominate big sweeps (~82% in the paper);
+  // rejecting them must be at least as cheap as a full calculation.
+  const Application app = presets::Megatron1T();
+  presets::SystemOptions o;
+  o.num_procs = 64;
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = 64;
+  e.tensor_par = 8;
+  e.pipeline_par = 8;
+  e.data_par = 1;
+  e.batch_size = 64;
+  for (auto _ : state) {
+    auto r = CalculatePerformance(app, e, sys);  // memory-infeasible
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_InfeasibleCalculation);
+
+void BM_SmallExecutionSearch(benchmark::State& state) {
+  const Application app = presets::Megatron22B();
+  presets::SystemOptions o;
+  o.num_procs = 64;
+  const System sys = presets::A100(o);
+  ThreadPool pool(1);
+  SearchConfig config;
+  config.batch_size = 64;
+  std::uint64_t evaluated = 0;
+  for (auto _ : state) {
+    const SearchResult r = FindOptimalExecution(
+        app, sys, SearchSpace::AllOptimizations(), config, pool);
+    evaluated += r.evaluated;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["configs/s"] = benchmark::Counter(
+      static_cast<double>(evaluated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SmallExecutionSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Extension (not a paper figure): inference serving sweep built on the
+// Section 2 inference model — GPT-3 175B latency/throughput against tensor
+// parallelism and batch size, with the KV-cache feasibility frontier.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/inference.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+
+int main() {
+  using namespace calculon;
+  const Application app = presets::Gpt3_175B();
+  InferenceConfig cfg;
+  cfg.prompt_tokens = 2048;
+  cfg.gen_tokens = 128;
+
+  std::printf("Extension: GPT-3 175B serving on A100 (prompt 2048, "
+              "generate 128)\n\n");
+  Table table({"t", "batch", "first token", "per token", "tokens/s",
+               "HBM used"});
+  for (std::int64_t t : {4, 8, 16, 32}) {
+    if (app.attn_heads % t != 0) continue;
+    for (std::int64_t batch : {1, 4, 16, 64}) {
+      Execution e;
+      e.num_procs = t;
+      e.tensor_par = t;
+      e.training = false;
+      presets::SystemOptions o;
+      o.num_procs = t;
+      o.nvlink_domain = t;
+      const System sys = presets::A100(o);
+      cfg.batch = batch;
+      const auto r = CalculateInference(app, e, sys, cfg);
+      if (!r.ok()) {
+        table.AddRow({std::to_string(t), std::to_string(batch), "-", "-",
+                      "-", r.detail()});
+        continue;
+      }
+      const InferenceStats& s = r.value();
+      table.AddRow({std::to_string(t), std::to_string(batch),
+                    FormatTime(s.prefill_time), FormatTime(s.per_token_time),
+                    FormatNumber(s.tokens_per_second, 1),
+                    FormatBytes(s.tier1.Total())});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

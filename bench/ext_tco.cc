@@ -1,0 +1,50 @@
+// Extension (motivated by Sections 6-7): rank the Table 3 system designs
+// by lifetime cost per training sample instead of raw performance per
+// capex dollar. Energy turns small efficiency differences into real money
+// over a multi-year deployment.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "models/presets.h"
+#include "search/system_search.h"
+#include "search/tco.h"
+
+int main() {
+  using namespace calculon;
+  ThreadPool pool(bench::Threads());
+  const Application app = presets::TuringNlg530B();
+  TcoParams tco_params;
+
+  SystemSearchOptions options;
+  options.budget = 125e6;
+  options.size_step = bench::FullFidelity() ? 64 : 1024;
+
+  std::printf("Extension: Table 3 designs ranked by lifetime TCO per\n"
+              "million %s training samples ($125M capex budget, %.0f-year\n"
+              "deployment, PUE %.2f, $%.2f/kWh)\n\n",
+              app.name.c_str(), tco_params.years, tco_params.pue,
+              tco_params.dollars_per_kwh);
+  Table table({"design", "GPUs", "sample rate", "capex $M", "energy GWh",
+               "opex $M", "TCO $M", "$ / M samples"});
+  for (const SystemDesign& design : Table3Designs()) {
+    const SystemSearchEntry entry = EvaluateDesign(
+        app, design, bench::ReducedSpace(design.ddr_gib > 0.0), options,
+        pool);
+    if (!entry.feasible) {
+      table.AddRow({design.Label(), "-", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const TcoResult tco = ComputeTco(design, entry.used_gpus, tco_params);
+    table.AddRow({design.Label(), std::to_string(entry.used_gpus),
+                  FormatNumber(entry.sample_rate, 0),
+                  FormatNumber(tco.capex / 1e6, 1),
+                  FormatNumber(tco.energy_kwh / 1e6, 1),
+                  FormatNumber(tco.opex / 1e6, 1),
+                  FormatNumber(tco.Total() / 1e6, 1),
+                  FormatNumber(DollarsPerMillionSamples(tco, tco_params,
+                                                        entry.sample_rate),
+                               2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

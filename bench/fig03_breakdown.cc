@@ -1,0 +1,51 @@
+// Fig. 3: time and memory consumption for GPT-3 175B training across 4,096
+// A100 GPUs (NVLink domains of 8, InfiniBand HDR) with TP=8, PP=64, DP=8.
+//
+// The paper reports a total batch time of 16.7 s with ~20% spent in
+// activation recomputation, and 17.4 GiB of the 80 GiB HBM used with ~29%
+// of it holding optimizer state.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+
+int main() {
+  using namespace calculon;
+  const Application app = presets::Gpt3_175B();
+  presets::SystemOptions o;
+  o.num_procs = 4096;
+  const System sys = presets::A100(o);
+
+  Execution e;
+  e.num_procs = 4096;
+  e.tensor_par = 8;
+  e.pipeline_par = 64;
+  e.data_par = 8;
+  e.batch_size = 2048;  // reconstructed; the figure does not state the batch
+  e.microbatch = 1;
+  e.recompute = Recompute::kFull;
+  e.pp_interleaving = 1;
+
+  const auto r = CalculatePerformance(app, e, sys);
+  if (!r.ok()) {
+    std::printf("infeasible: %s\n", r.detail().c_str());
+    return 1;
+  }
+  const Stats& s = r.value();
+  std::printf(
+      "Fig. 3: GPT-3 175B on 4096 A100, TP=8 PP=64 DP=8 (batch %lld)\n\n",
+      static_cast<long long>(e.batch_size));
+  std::printf("%s\n", s.Report().c_str());
+  std::printf("paper reference points:\n");
+  std::printf("  batch time      16.7 s   (this repo: %s)\n",
+              FormatTime(s.batch_time).c_str());
+  std::printf("  recompute share ~20%%     (this repo: %s)\n",
+              FormatPercent(s.time.fw_recompute / s.batch_time).c_str());
+  std::printf("  HBM used        17.4 GiB (this repo: %s)\n",
+              FormatBytes(s.tier1.Total()).c_str());
+  std::printf("  optimizer share ~29%%     (this repo: %s)\n",
+              FormatPercent(s.tier1.optimizer / s.tier1.Total()).c_str());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Fig. 4: parallelization-strategy analysis for Megatron-1T single-batch
+// training on 4,096 A100 GPUs with a global batch of 4,096.
+//
+// Three 2-D slices of the (t, p, d) space are reported, each as a batch-time
+// stack and a memory stack:
+//   - TP vs PP at DP=32, - PP vs DP at TP=8, - TP vs DP at PP=32.
+// Following Section 4.1, the software employs optimizer sharding and 1F1B,
+// and the NVLink domain is set to the TP degree (t <= 32) to expose the
+// implicit costs of TP. Memory capacity is uncapped so the memory stacks
+// can exceed 80 GiB, as in the figure.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/perf_model.h"
+#include "util/mathutil.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+
+namespace {
+
+using namespace calculon;
+
+void RunSlice(const char* title, const Application& app,
+              const std::vector<Triple>& cells) {
+  Table time_table({"split", "batch time", "FW", "BW", "Optim", "PP bubble",
+                    "FW recompute", "TP comm", "PP comm", "DP comm"});
+  Table mem_table({"split", "total", "weight", "activation", "w-grads",
+                   "a-grads", "optimizer"});
+  for (const Triple& c : cells) {
+    presets::SystemOptions o;
+    o.num_procs = 4096;
+    o.nvlink_domain = std::max<std::int64_t>(c.t, 8);
+    o.hbm_capacity = 100.0 * kTiB;  // uncapped: report demand, not fit
+    const System sys = presets::A100(o);
+    Execution e;
+    e.num_procs = 4096;
+    e.tensor_par = c.t;
+    e.pipeline_par = c.p;
+    e.data_par = c.d;
+    e.batch_size = 4096;
+    e.microbatch = 1;
+    e.recompute = Recompute::kFull;
+    e.optimizer_sharding = c.d > 1;
+    e.pp_1f1b = true;
+    const std::string label = StrFormat("t=%-3lld p=%-3lld d=%-3lld",
+                                        static_cast<long long>(c.t),
+                                        static_cast<long long>(c.p),
+                                        static_cast<long long>(c.d));
+    const auto r = CalculatePerformance(app, e, sys);
+    if (!r.ok()) {
+      time_table.AddRow({label, r.detail(), "", "", "", "", "", "", "", ""});
+      mem_table.AddRow({label, "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const Stats& s = r.value();
+    time_table.AddRow(
+        {label, FormatTime(s.batch_time), FormatTime(s.time.fw_pass),
+         FormatTime(s.time.bw_pass), FormatTime(s.time.optim_step),
+         FormatTime(s.time.pp_bubble), FormatTime(s.time.fw_recompute),
+         FormatTime(s.time.tp_comm), FormatTime(s.time.pp_comm),
+         FormatTime(s.time.dp_comm)});
+    mem_table.AddRow({label, FormatBytes(s.tier1.Total()),
+                      FormatBytes(s.tier1.weights),
+                      FormatBytes(s.tier1.activations),
+                      FormatBytes(s.tier1.weight_grads),
+                      FormatBytes(s.tier1.act_grads),
+                      FormatBytes(s.tier1.optimizer)});
+  }
+  std::printf("--- %s: batch time ---\n%s\n", title,
+              time_table.ToString().c_str());
+  std::printf("--- %s: memory consumption ---\n%s\n", title,
+              mem_table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const Application app = presets::Megatron1T();
+  std::printf(
+      "Fig. 4: Megatron-1T single-batch training on 4096 A100 GPUs\n\n");
+
+  std::vector<Triple> tp_pp;  // DP = 32
+  for (std::int64_t t = 1; t <= 32; t *= 2) {
+    tp_pp.push_back({t, 128 / t, 32});
+  }
+  RunSlice("TP vs PP (DP=32)", app, tp_pp);
+
+  std::vector<Triple> pp_dp;  // TP = 8
+  for (std::int64_t p = 1; p <= 128; p *= 2) {
+    pp_dp.push_back({8, p, 512 / p});
+  }
+  RunSlice("PP vs DP (TP=8)", app, pp_dp);
+
+  std::vector<Triple> tp_dp;  // PP = 32
+  for (std::int64_t t = 1; t <= 32; t *= 2) {
+    tp_dp.push_back({t, 32, 128 / t});
+  }
+  RunSlice("TP vs DP (PP=32)", app, tp_dp);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 9: tensor-offloading study for Megatron-1T training on 4,096 H100
+// 80 GiB GPUs with a secondary memory for offloading.
+//
+//   (a) sample rate and HBM usage with an ideal offload memory (infinite
+//       capacity and bandwidth) — exposes the greedy resource demand;
+//   (b) offload bandwidth and capacity that configuration consumed;
+//   (c),(d) the same with a realistic 512 GiB @ 100 GB/s tier.
+//
+// Each (t, p) cell searches the remaining knobs (d = 4096/(t*p)).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "search/exec_search.h"
+
+namespace {
+
+using namespace calculon;
+
+void RunPanel(const char* title, const System& sys, ThreadPool& pool,
+              bool resource_view) {
+  const Application app = presets::Megatron1T();
+  const std::vector<std::int64_t> ts = {1, 2, 4, 8, 16, 32};
+  const std::vector<std::int64_t> ps = {1, 2, 4, 8, 16, 32};
+  std::vector<std::string> header = {"t\\p"};
+  for (std::int64_t p : ps) {
+    header.push_back(StrFormat("p=%lld", static_cast<long long>(p)));
+  }
+  Table table(header);
+  for (std::int64_t t : ts) {
+    std::vector<std::string> row = {
+        StrFormat("t=%lld", static_cast<long long>(t))};
+    for (std::int64_t p : ps) {
+      SearchSpace space = bench::ReducedSpace(true);
+      space.min_tensor_par = space.max_tensor_par = t;
+      space.min_pipeline_par = space.max_pipeline_par = p;
+      SearchConfig config;
+      config.batch_size = 4096;
+      config.top_k = 1;
+      const SearchResult r =
+          FindOptimalExecution(app, sys, space, config, pool);
+      if (r.best.empty()) {
+        row.push_back("-");
+      } else {
+        const Stats& s = r.best.front().stats;
+        if (resource_view) {
+          // offload bandwidth demand / tier-2 capacity used
+          row.push_back(StrFormat("%.0fG/%s",
+                                  s.offload_bw_required / 1e9,
+                                  FormatBytes(s.tier2.Total()).c_str()));
+        } else {
+          // sample rate / HBM used
+          row.push_back(StrFormat("%.0f/%.0fG", s.sample_rate,
+                                  s.tier1.Total() / kGiB));
+        }
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("--- %s ---\n%s\n", title, table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace calculon;
+  ThreadPool pool(bench::Threads());
+  std::printf("Fig. 9: Megatron-1T on 4096 H100 80 GiB with offloading\n\n");
+
+  presets::SystemOptions ideal;
+  ideal.num_procs = 4096;
+  ideal.offload_capacity = 1e18;
+  ideal.offload_bandwidth = 1e15;
+  const System sys_ideal = presets::H100(ideal);
+  RunPanel("(a) sample rate / HBM usage, ideal offload memory", sys_ideal,
+           pool, false);
+  RunPanel("(b) offload bandwidth demand / capacity used, ideal memory",
+           sys_ideal, pool, true);
+
+  presets::SystemOptions real;
+  real.num_procs = 4096;
+  real.offload_capacity = 512.0 * kGiB;
+  real.offload_bandwidth = 100e9;
+  const System sys_real = presets::H100(real);
+  RunPanel("(c) sample rate / HBM usage, 512 GiB @ 100 GB/s", sys_real, pool,
+           false);
+  RunPanel("(d) offload bandwidth demand / capacity used, 512 GiB @ 100 GB/s",
+           sys_real, pool, true);
+
+  std::printf(
+      "paper reference: with ideal memory the greedy best consumes up to\n"
+      "~600 GB/s and ~4 TiB; with 512 GiB @ 100 GB/s many configurations\n"
+      "stay within 5%% of the ideal performance while using far fewer\n"
+      "resources, and most top performers need < 20 GB of HBM.\n");
+  return 0;
+}

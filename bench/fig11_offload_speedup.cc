@@ -1,0 +1,65 @@
+// Fig. 11: relative speedup of LLM training from adding a 512 GiB @
+// 100 GB/s offload memory, per system size (the ratio of the Fig. 10 sweep
+// to the Fig. 7 sweep). Sizes that only run with offloading are reported
+// as "inf" — the paper's "infinite speedup" fine-tuning-at-small-scale
+// argument.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "search/scaling.h"
+
+int main() {
+  using namespace calculon;
+  ThreadPool pool(bench::Threads());
+  const std::int64_t step = bench::FullFidelity() ? 128 : 512;
+  // Small sizes expose the "infinite speedup" region where the large
+  // models cannot run at all without offloading.
+  auto sizes = SizeRange(64, 448, 64);
+  for (std::int64_t n : SizeRange(step, 8192, step)) sizes.push_back(n);
+
+  presets::SystemOptions plain_o;
+  const System plain = presets::H100(plain_o);
+  presets::SystemOptions off_o;
+  off_o.offload_capacity = 512.0 * kGiB;
+  off_o.offload_bandwidth = 100e9;
+  const System offload = presets::H100(off_o);
+
+  std::printf("Fig. 11: relative speedup from offloading (512 GiB @ "
+              "100 GB/s), sizes in steps of %lld\n\n",
+              static_cast<long long>(step));
+  for (const char* name : {"gpt3_175b", "turing_530b", "megatron_1t"}) {
+    const Application app = presets::ApplicationByName(name);
+    ScalingOptions options;
+    options.sizes = sizes;
+    const auto base =
+        ScalingSweep(app, plain, bench::ReducedSpace(false), options, pool);
+    const auto with =
+        ScalingSweep(app, offload, bench::ReducedSpace(true), options, pool);
+    Table table({"GPUs", "no offload", "with offload", "speedup"});
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      std::string speedup;
+      if (!with[i].feasible) {
+        speedup = "-";
+      } else if (!base[i].feasible) {
+        speedup = "inf";  // runs only with offloading
+      } else {
+        speedup = StrFormat(
+            "%+.1f%%",
+            100.0 * (with[i].sample_rate / base[i].sample_rate - 1.0));
+      }
+      table.AddRow(
+          {StrFormat("%lld", static_cast<long long>(base[i].num_procs)),
+           base[i].feasible ? FormatNumber(base[i].sample_rate, 1) : "0",
+           with[i].feasible ? FormatNumber(with[i].sample_rate, 1) : "0",
+           speedup});
+    }
+    std::printf("=== %s ===\n%s\n", name, table.ToString().c_str());
+  }
+  std::printf(
+      "paper reference: typical gains of 10-20%% for Turing-NLG 530B and\n"
+      "Megatron-1T, with 'infinite speedup' at small sizes (e.g. Megatron-1T\n"
+      "under 256 GPUs runs only with offloading).\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Table 2: validation of the model against measured Selene (A100) batch
+// times for Megatron 22B / GPT-3 175B / Turing-NLG 530B / Megatron-1T under
+// (a) full activation recomputation and (b) sequence parallelism with
+// attention-only (selective) recomputation.
+//
+// The Selene reference numbers are the paper's measurements. The run
+// configurations (GPU count, parallelism split, batch) are reconstructed
+// from the Megatron publications the paper validates against; see
+// EXPERIMENTS.md.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "util/table.h"
+
+namespace {
+
+struct Case {
+  std::string name;
+  calculon::Application app;
+  std::int64_t procs;
+  std::int64_t t, p, d;
+  std::int64_t batch;
+  std::int64_t microbatch;
+  double selene_full;     // measured, full recompute (s)
+  double calculon_full;   // paper's model prediction (s)
+  double selene_seqsel;   // measured, seq-par + selective recompute (s)
+  double calculon_seqsel; // paper's model prediction (s)
+};
+
+calculon::Execution MakeExec(const Case& c, bool seq_sel) {
+  calculon::Execution e;
+  e.num_procs = c.procs;
+  e.tensor_par = c.t;
+  e.pipeline_par = c.p;
+  e.data_par = c.d;
+  e.batch_size = c.batch;
+  e.microbatch = c.microbatch;
+  e.pp_1f1b = true;
+  if (seq_sel) {
+    e.recompute = calculon::Recompute::kAttnOnly;
+    e.tp_rs_ag = true;
+    e.seq_par = true;
+    e.seq_par_ag_redo = true;
+  } else {
+    e.recompute = calculon::Recompute::kFull;
+  }
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  using namespace calculon;
+  const std::vector<Case> cases = {
+      {"22B", presets::Megatron22B(), 8, 8, 1, 1, 4, 2,
+       1.42, 1.40, 1.10, 1.14},
+      {"175B", presets::Gpt3_175B(), 512, 8, 8, 8, 512, 1,
+       18.13, 18.03, 13.75, 13.64},
+      {"530B", presets::TuringNlg530B(), 280, 8, 35, 1, 280, 1,
+       49.05, 49.89, 37.83, 34.47},
+      {"1T", presets::Megatron1T(), 512, 8, 64, 1, 512, 1,
+       94.42, 90.08, 71.49, 66.04},
+  };
+
+  std::printf("Table 2: model validation vs measured Selene batch times\n\n");
+  Table table({"mode", "model", "Selene (s)", "paper Calculon (s)",
+               "this repo (s)", "delta vs Selene", "delta vs Calculon"});
+  double total_abs_err = 0.0;
+  double max_abs_err = 0.0;
+  int n_ok = 0;
+  for (int seq_sel = 0; seq_sel <= 1; ++seq_sel) {
+    for (const Case& c : cases) {
+      presets::SystemOptions so;
+      so.num_procs = c.procs;
+      const System sys = presets::A100(so);
+      const Execution exec = MakeExec(c, seq_sel != 0);
+      const Result<Stats> r = CalculatePerformance(c.app, exec, sys);
+      const double selene = seq_sel ? c.selene_seqsel : c.selene_full;
+      const double paper = seq_sel ? c.calculon_seqsel : c.calculon_full;
+      if (!r.ok()) {
+        table.AddRow({seq_sel ? "Seq+Sel" : "Full", c.name,
+                      FormatNumber(selene, 2), FormatNumber(paper, 2),
+                      "infeasible: " + r.detail(), "-", "-"});
+        continue;
+      }
+      const double ours = r.value().batch_time;
+      const double err_selene = (ours - selene) / selene;
+      const double err_paper = (ours - paper) / paper;
+      total_abs_err += std::abs(err_selene);
+      max_abs_err = std::max(max_abs_err, std::abs(err_selene));
+      ++n_ok;
+      table.AddRow({seq_sel ? "Seq+Sel" : "Full", c.name,
+                    FormatNumber(selene, 2), FormatNumber(paper, 2),
+                    FormatNumber(ours, 2), FormatPercent(err_selene),
+                    FormatPercent(err_paper)});
+    }
+    if (seq_sel == 0) table.AddRule();
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  if (n_ok > 0) {
+    std::printf("mean |error| vs Selene: %s (paper reports 3.65%%), "
+                "max |error|: %s (paper reports 8.87%%)\n",
+                FormatPercent(total_abs_err / n_ok).c_str(),
+                FormatPercent(max_abs_err).c_str());
+  }
+  return 0;
+}

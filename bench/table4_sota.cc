@@ -1,0 +1,144 @@
+// Table 4 / Fig. 12: comparison of parallelization strategies for
+// Megatron-1T training on 4,096 A100 GPUs (batch 4,096) — the two published
+// state-of-the-art strategies versus the two strategies Calculon's search
+// discovered, with full time and memory breakdowns.
+//
+//   recompute:  (8,64,8)  m=1 i=2, full recompute, p2p RS+AG  (MFU 36.67%)
+//   seq par:    (8,64,8)  m=1 i=2, attn recompute, RS+AG+redo (MFU 49.61%)
+//   Calculon SW:(8,16,32) m=2 i=8, TP+DP overlap, sharding, fused,
+//               seq-par without AG redo                       (MFU 70.96%)
+//   Calculon SW+offload: (8,1,512) m=6 i=1, weight+act+optimizer offload
+//               (512 GiB @ 100 GB/s tier)                     (MFU 76.71%)
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+
+namespace {
+
+using namespace calculon;
+
+struct Strategy {
+  const char* name;
+  Execution exec;
+  bool needs_offload_tier;
+  double paper_mfu;  // Table 4
+};
+
+Execution Base() {
+  Execution e;
+  e.num_procs = 4096;
+  e.batch_size = 4096;
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  using namespace calculon;
+  const Application app = presets::Megatron1T();
+
+  std::vector<Strategy> strategies;
+  {
+    Execution e = Base();  // Megatron full-recompute SOTA
+    e.tensor_par = 8;
+    e.pipeline_par = 64;
+    e.data_par = 8;
+    e.microbatch = 1;
+    e.pp_interleaving = 2;
+    e.recompute = Recompute::kFull;
+    e.tp_rs_ag = true;
+    e.pp_rs_ag = true;
+    e.optimizer_sharding = true;
+    strategies.push_back({"recompute (SOTA'21)", e, false, 0.3667});
+  }
+  {
+    Execution e = Base();  // sequence-parallel SOTA
+    e.tensor_par = 8;
+    e.pipeline_par = 64;
+    e.data_par = 8;
+    e.microbatch = 1;
+    e.pp_interleaving = 2;
+    e.recompute = Recompute::kAttnOnly;
+    e.tp_rs_ag = true;
+    e.seq_par = true;
+    e.seq_par_ag_redo = true;
+    e.optimizer_sharding = true;
+    strategies.push_back({"seq par (SOTA'22)", e, false, 0.4961});
+  }
+  {
+    Execution e = Base();  // Calculon-discovered software strategy
+    e.tensor_par = 8;
+    e.pipeline_par = 16;
+    e.data_par = 32;
+    e.microbatch = 2;
+    e.pp_interleaving = 8;
+    e.recompute = Recompute::kNone;
+    e.tp_rs_ag = true;
+    e.seq_par = true;   // without the AG redo ("-RS redo for SP")
+    e.fused_activation = true;
+    e.tp_overlap = TpOverlap::kRing;
+    e.dp_overlap = true;
+    e.optimizer_sharding = true;
+    strategies.push_back({"Calculon SW", e, false, 0.7096});
+  }
+  {
+    Execution e = Base();  // Calculon software + offload strategy
+    e.tensor_par = 8;
+    e.pipeline_par = 1;
+    e.data_par = 512;
+    e.microbatch = 6;
+    e.batch_size = 3072;  // 512 * 6: the closest batch d*m divides
+    e.recompute = Recompute::kNone;
+    e.tp_rs_ag = true;
+    e.seq_par = true;
+    e.fused_activation = true;
+    e.tp_overlap = TpOverlap::kRing;
+    e.dp_overlap = true;
+    e.optimizer_sharding = true;
+    e.weight_offload = true;
+    e.activation_offload = true;
+    e.optimizer_offload = true;
+    strategies.push_back({"Calculon SW+offload", e, true, 0.7671});
+  }
+
+  std::printf("Table 4 / Fig. 12: Megatron-1T strategies on 4096 A100\n\n");
+  Table table({"strategy", "split", "batch time", "MFU", "paper MFU",
+               "FW+BW", "recompute", "bubble", "TP comm", "DP comm",
+               "offload", "HBM"});
+  for (const Strategy& st : strategies) {
+    presets::SystemOptions o;
+    o.num_procs = 4096;
+    if (st.needs_offload_tier) {
+      o.offload_capacity = 512.0 * kGiB;
+      o.offload_bandwidth = 100e9;
+    }
+    const System sys = presets::A100(o);
+    const auto r = CalculatePerformance(app, st.exec, sys);
+    if (!r.ok()) {
+      table.AddRow({st.name, bench::StrategyLabel(st.exec), r.detail(), "-",
+                    FormatPercent(st.paper_mfu), "-", "-", "-", "-", "-", "-",
+                    "-"});
+      continue;
+    }
+    const Stats& s = r.value();
+    table.AddRow({st.name, bench::StrategyLabel(st.exec),
+                  FormatTime(s.batch_time), FormatPercent(s.mfu),
+                  FormatPercent(st.paper_mfu),
+                  FormatTime(s.time.fw_pass + s.time.bw_pass),
+                  FormatTime(s.time.fw_recompute),
+                  FormatTime(s.time.pp_bubble), FormatTime(s.time.tp_comm),
+                  FormatTime(s.time.dp_comm), FormatTime(s.time.offload),
+                  FormatBytes(s.tier1.Total())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "paper reference: ~30%% faster than SOTA from software alone and ~30%%\n"
+      "more perf/cost with offloading; the discovered strategies shrink PP\n"
+      "and grow DP, hiding the added communication behind larger\n"
+      "per-microbatch compute.\n");
+  return 0;
+}

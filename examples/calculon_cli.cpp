@@ -1,0 +1,200 @@
+// Command-line front end mirroring the original tool's entry points:
+//
+//   calculon_cli llm <app.json> <system.json> <execution.json> [out.json]
+//       Run one performance calculation and print the full report; with
+//       out.json, also dump the statistics as JSON.
+//
+//   calculon_cli llm-optimal-execution <app.json> <system.json> <batch>
+//       Exhaustively search the execution space and print the best
+//       strategy.
+//
+//   calculon_cli layers <app> <system> <exec.json>
+//       Print the per-layer cost breakdown of one transformer block.
+//
+//   calculon_cli study <study.json> [out.csv]
+//       Run a sweep described by a study specification (see
+//       src/runner/study.h and configs/studies/) and emit a CSV.
+//
+//   calculon_cli presets [dir]
+//       List the built-in application/system presets; with a directory,
+//       export them all as JSON specification files.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/layer_report.h"
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "runner/study.h"
+#include "search/exec_search.h"
+
+namespace {
+
+using namespace calculon;
+
+// Spec arguments accept either a path to a JSON file or a preset name.
+Application LoadApp(const std::string& arg) {
+  if (std::filesystem::exists(arg)) {
+    return Application::FromJson(json::ParseFile(arg));
+  }
+  return presets::ApplicationByName(arg);
+}
+
+System LoadSystem(const std::string& arg) {
+  if (std::filesystem::exists(arg)) {
+    return System::FromJson(json::ParseFile(arg));
+  }
+  return presets::SystemByName(arg);
+}
+
+int RunLlm(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: calculon_cli llm <app> <system> <exec.json> "
+                 "[out.json]\n");
+    return 2;
+  }
+  const Application app = LoadApp(argv[2]);
+  const Execution exec = Execution::FromJson(json::ParseFile(argv[4]));
+  // The execution strategy decides how many processors are used; size the
+  // system description to it (as the original tool does).
+  const System sys = LoadSystem(argv[3]).WithNumProcs(exec.num_procs);
+  const Result<Stats> r = CalculatePerformance(app, exec, sys);
+  if (!r.ok()) {
+    std::fprintf(stderr, "infeasible: %s\n", r.detail().c_str());
+    return 1;
+  }
+  std::printf("%s", r.value().Report().c_str());
+  if (argc > 5) {
+    json::WriteFile(argv[5], r.value().ToJson());
+    std::printf("stats written to %s\n", argv[5]);
+  }
+  return 0;
+}
+
+int RunOptimalExecution(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: calculon_cli llm-optimal-execution <app> <system> "
+                 "<batch> [out.json]\n");
+    return 2;
+  }
+  const Application app = LoadApp(argv[2]);
+  const System sys = LoadSystem(argv[3]);
+  ThreadPool pool;
+  SearchConfig config;
+  config.batch_size = std::atoll(argv[4]);
+  config.top_k = 1;
+  const SearchResult r = FindOptimalExecution(
+      app, sys, SearchSpace::AllWithOffload(), config, pool);
+  std::printf("searched %llu strategies, %llu feasible\n",
+              static_cast<unsigned long long>(r.evaluated),
+              static_cast<unsigned long long>(r.feasible));
+  if (r.best.empty()) {
+    std::fprintf(stderr, "no feasible execution\n");
+    return 1;
+  }
+  std::printf("best execution:\n%s\n%s",
+              r.best.front().exec.ToJson().Dump(2).c_str(),
+              r.best.front().stats.Report().c_str());
+  if (argc > 5) {
+    json::Value out;
+    out["execution"] = r.best.front().exec.ToJson();
+    out["stats"] = r.best.front().stats.ToJson();
+    json::WriteFile(argv[5], out);
+    std::printf("result written to %s\n", argv[5]);
+  }
+  return 0;
+}
+
+int RunLayers(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: calculon_cli layers <app> <system> <exec.json>\n");
+    return 2;
+  }
+  const Application app = LoadApp(argv[2]);
+  const Execution exec = Execution::FromJson(json::ParseFile(argv[4]));
+  const System sys = LoadSystem(argv[3]).WithNumProcs(exec.num_procs);
+  if (auto v = exec.Validate(app); !v.ok()) {
+    std::fprintf(stderr, "invalid execution: %s\n", v.detail().c_str());
+    return 1;
+  }
+  std::printf("%s", LayerReport(app, exec, sys).ToString().c_str());
+  return 0;
+}
+
+int RunStudy(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: calculon_cli study <study.json> [out.csv]\n");
+    return 2;
+  }
+  const Study study = Study::FromJson(json::ParseFile(argv[2]));
+  const auto rows = study.Run();
+  const std::string csv = StudyCsv(study, rows);
+  if (argc > 3) {
+    std::ofstream out(argv[3]);
+    out << csv;
+    std::size_t feasible = 0;
+    for (const StudyRow& row : rows) {
+      if (row.result.ok()) ++feasible;
+    }
+    std::printf("%zu configurations (%zu feasible) written to %s\n",
+                rows.size(), feasible, argv[3]);
+  } else {
+    std::printf("%s", csv.c_str());
+  }
+  return 0;
+}
+
+int RunPresets(int argc, char** argv) {
+  std::printf("applications:\n");
+  for (const std::string& name : presets::ApplicationNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("systems:\n");
+  for (const std::string& name : presets::SystemNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  if (argc > 2) {
+    const std::filesystem::path dir(argv[2]);
+    std::filesystem::create_directories(dir);
+    for (const std::string& name : presets::ApplicationNames()) {
+      json::WriteFile((dir / (name + ".json")).string(),
+                      presets::ApplicationByName(name).ToJson());
+    }
+    for (const std::string& name : presets::SystemNames()) {
+      json::WriteFile((dir / (name + ".json")).string(),
+                      presets::SystemByName(name).ToJson());
+    }
+    std::printf("presets exported to %s\n", dir.string().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: calculon_cli {llm | llm-optimal-execution | layers | "
+                 "study | presets} ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "llm") return RunLlm(argc, argv);
+    if (cmd == "llm-optimal-execution") return RunOptimalExecution(argc, argv);
+    if (cmd == "layers") return RunLayers(argc, argv);
+    if (cmd == "study") return RunStudy(argc, argv);
+    if (cmd == "presets") return RunPresets(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}

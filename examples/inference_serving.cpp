@@ -1,0 +1,66 @@
+// Inference serving analysis: latency and throughput of deploying an LLM
+// for generation across tensor/pipeline-parallel configurations, including
+// the KV-cache memory pressure that limits batch size.
+//
+//   inference_serving [app] [prompt] [gen]
+//   e.g.: inference_serving gpt3_175b 1024 128
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/inference.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace calculon;
+  const std::string app_name = argc > 1 ? argv[1] : "gpt3_175b";
+  InferenceConfig cfg;
+  cfg.prompt_tokens = argc > 2 ? std::atoll(argv[2]) : 1024;
+  cfg.gen_tokens = argc > 3 ? std::atoll(argv[3]) : 128;
+  const Application app = presets::ApplicationByName(app_name);
+
+  std::printf("serving %s: prompt %lld tokens, generate %lld tokens\n\n",
+              app.name.c_str(), static_cast<long long>(cfg.prompt_tokens),
+              static_cast<long long>(cfg.gen_tokens));
+  Table table({"GPUs", "t", "p", "batch", "first token", "per token",
+               "tokens/s", "weights", "KV cache"});
+  for (std::int64_t t : {1, 2, 4, 8}) {
+    for (std::int64_t p : {1, 2, 4}) {
+      for (std::int64_t batch : {1, 8, 32}) {
+        Execution e;
+        e.num_procs = t * p;
+        e.tensor_par = t;
+        e.pipeline_par = p;
+        e.training = false;
+        presets::SystemOptions o;
+        o.num_procs = t * p;
+        const System sys = presets::A100(o);
+        cfg.batch = batch;
+        const auto r = CalculateInference(app, e, sys, cfg);
+        if (!r.ok()) continue;  // e.g. KV cache or weights do not fit
+        const InferenceStats& s = r.value();
+        table.AddRow({std::to_string(t * p), std::to_string(t),
+                      std::to_string(p), std::to_string(batch),
+                      FormatTime(s.prefill_time),
+                      FormatTime(s.per_token_time),
+                      FormatNumber(s.tokens_per_second, 1),
+                      FormatBytes(s.tier1.weights),
+                      FormatBytes(s.kv_cache_bytes)});
+      }
+    }
+  }
+  if (table.num_rows() == 0) {
+    std::printf("no configuration up to 32 GPUs can serve this model\n");
+    return 1;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Decode is bandwidth-bound: per-token time tracks local weight + KV\n"
+      "bytes over HBM bandwidth, so tensor parallelism cuts latency while\n"
+      "batching raises throughput until the KV cache exhausts memory.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Optimal-execution search (Section 5.1): exhaustively search the Table 1
+// optimization space for the best way to train an LLM on a given system
+// and print the top strategies.
+//
+//   optimal_execution [app] [num_gpus] [batch]
+//   e.g.: optimal_execution turing_530b 1024 1024
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "search/exec_search.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace calculon;
+  const std::string app_name = argc > 1 ? argv[1] : "gpt3_175b";
+  const std::int64_t gpus = argc > 2 ? std::atoll(argv[2]) : 512;
+  const std::int64_t batch = argc > 3 ? std::atoll(argv[3]) : gpus;
+
+  const Application app = presets::ApplicationByName(app_name);
+  presets::SystemOptions options;
+  options.num_procs = gpus;
+  const System sys = presets::A100(options);
+
+  ThreadPool pool;
+  SearchConfig config;
+  config.batch_size = batch;
+  config.top_k = 5;
+  const SearchResult result = FindOptimalExecution(
+      app, sys, SearchSpace::AllOptimizations(), config, pool);
+
+  std::printf("searched %llu execution strategies for %s on %lld x %s "
+              "(batch %lld); %llu feasible\n\n",
+              static_cast<unsigned long long>(result.evaluated),
+              app.name.c_str(), static_cast<long long>(gpus),
+              sys.name().c_str(), static_cast<long long>(batch),
+              static_cast<unsigned long long>(result.feasible));
+  if (result.best.empty()) {
+    std::printf("no feasible execution strategy\n");
+    return 1;
+  }
+  Table table({"rank", "t", "p", "d", "microbatch", "interleave",
+               "recompute", "options", "batch time", "sample rate", "MFU",
+               "HBM"});
+  int rank = 1;
+  for (const SearchEntry& entry : result.best) {
+    const Execution& e = entry.exec;
+    std::string opts;
+    if (e.seq_par) opts += "seqpar ";
+    if (e.optimizer_sharding) opts += "shard ";
+    if (e.dp_overlap) opts += "dp-ovl ";
+    if (e.tp_overlap != TpOverlap::kNone) opts += "tp-ovl ";
+    if (e.fused_activation) opts += "fused ";
+    table.AddRow({std::to_string(rank++), std::to_string(e.tensor_par),
+                  std::to_string(e.pipeline_par), std::to_string(e.data_par),
+                  std::to_string(e.microbatch),
+                  std::to_string(e.pp_interleaving),
+                  ToString(e.recompute), opts,
+                  FormatTime(entry.stats.batch_time),
+                  FormatNumber(entry.stats.sample_rate, 1),
+                  FormatPercent(entry.stats.mfu),
+                  FormatBytes(entry.stats.tier1.Total())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("best strategy in detail:\n%s\n",
+              result.best.front().stats.Report().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Renders Fig. 2-style pipeline timelines: the interleaved 1F1B schedule
+// of a real model's chunk times, showing the warmup, steady 1F1B phase and
+// drain, and how interleaving shrinks the bubble.
+//
+//   pipeline_timeline [stages] [interleave] [microbatches]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/block.h"
+#include "core/schedule.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+
+int main(int argc, char** argv) {
+  using namespace calculon;
+  const std::int64_t stages = argc > 1 ? std::atoll(argv[1]) : 4;
+  const std::int64_t interleave = argc > 2 ? std::atoll(argv[2]) : 2;
+  const std::int64_t microbatches = argc > 3 ? std::atoll(argv[3]) : 8;
+
+  // Chunk times from the analytical model: GPT-3 175B blocks on an A100.
+  const Application app = presets::Gpt3_175B();
+  Execution exec;
+  exec.num_procs = 8 * stages;
+  exec.tensor_par = 8;
+  exec.pipeline_par = stages;
+  exec.batch_size = microbatches;
+  presets::SystemOptions o;
+  o.num_procs = exec.num_procs;
+  const System sys = presets::A100(o);
+  const BlockModel block = BuildBlock(app, exec);
+  const double blocks_per_chunk =
+      static_cast<double>(app.num_blocks) /
+      static_cast<double>(stages * interleave);
+  double fw_block = 0.0;
+  double bw_block = 0.0;
+  for (const Layer& l : block.layers) {
+    fw_block += sys.proc().OpTime(l.kind, l.fw_flops, l.fw_bytes);
+    bw_block += sys.proc().OpTime(l.kind, l.bw_flops, l.bw_bytes);
+  }
+
+  ScheduleParams params;
+  params.stages = stages;
+  params.interleave = interleave;
+  params.microbatches = microbatches;
+  params.fw_chunk_time = fw_block * blocks_per_chunk;
+  params.bw_chunk_time = bw_block * blocks_per_chunk;
+
+  std::printf("interleaved 1F1B schedule: %lld stages x %lld chunks, %lld "
+              "microbatches\n(uppercase = forward, lowercase = backward, "
+              "letter = chunk, '.' = bubble)\n\n",
+              static_cast<long long>(stages),
+              static_cast<long long>(interleave),
+              static_cast<long long>(microbatches));
+  const ScheduleResult r = BuildPipelineSchedule(params);
+  std::printf("%s\n", r.Render(110).c_str());
+  std::printf("makespan %.3f s, idle %.1f%%, peak in-flight microbatches "
+              "%lld\n\n",
+              r.makespan,
+              100.0 * r.TotalIdle() /
+                  (r.makespan * static_cast<double>(stages)),
+              static_cast<long long>(r.peak_in_flight));
+
+  params.interleave = 1;
+  params.fw_chunk_time = fw_block * blocks_per_chunk *
+                         static_cast<double>(interleave);
+  params.bw_chunk_time = bw_block * blocks_per_chunk *
+                         static_cast<double>(interleave);
+  const ScheduleResult flat = BuildPipelineSchedule(params);
+  std::printf("same work without interleaving:\n%s\n",
+              flat.Render(110).c_str());
+  std::printf("makespan %.3f s (interleaving saved %.1f%%)\n", flat.makespan,
+              100.0 * (1.0 - r.makespan / flat.makespan));
+  return 0;
+}

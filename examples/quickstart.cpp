@@ -1,0 +1,43 @@
+// Quickstart: run a single performance calculation — the Fig. 3 scenario,
+// GPT-3 175B training on 4,096 A100 GPUs with TP=8, PP=64, DP=8 — and print
+// the full time and memory report.
+#include <iostream>
+
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+
+int main() {
+  using namespace calculon;
+
+  // 1. Pick an LLM.
+  const Application app = presets::Gpt3_175B();
+
+  // 2. Pick a system: 4,096 A100 80 GiB GPUs, NVLink domains of 8,
+  //    InfiniBand HDR between them.
+  presets::SystemOptions sys_options;
+  sys_options.num_procs = 4096;
+  const System sys = presets::A100(sys_options);
+
+  // 3. Describe how the LLM runs on the system.
+  Execution exec;
+  exec.num_procs = 4096;
+  exec.tensor_par = 8;
+  exec.pipeline_par = 64;
+  exec.data_par = 8;
+  exec.batch_size = 4096;
+  exec.microbatch = 1;
+  exec.recompute = Recompute::kFull;  // the Megatron baseline
+  exec.pp_1f1b = true;
+
+  // 4. Calculate.
+  const Result<Stats> result = CalculatePerformance(app, exec, sys);
+  if (!result.ok()) {
+    std::cerr << "infeasible: " << result.detail() << '\n';
+    return 1;
+  }
+  std::cout << "=== " << app.name << " on " << sys.num_procs() << "x "
+            << sys.name() << " (t=8, p=64, d=8) ===\n"
+            << result.value().Report();
+  return 0;
+}

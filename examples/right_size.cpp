@@ -1,0 +1,67 @@
+// System right-sizing (Section 5.2): before acquiring N GPUs for a model,
+// check which sizes actually map well — efficiency cliffs can make a
+// smaller system the better purchase.
+//
+//   right_size [app] [max_gpus] [step]
+//   e.g.: right_size turing_530b 4096 128
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "search/rightsize.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace calculon;
+  const std::string app_name = argc > 1 ? argv[1] : "turing_530b";
+  const std::int64_t max_gpus = argc > 2 ? std::atoll(argv[2]) : 2048;
+  const std::int64_t step = argc > 3 ? std::atoll(argv[3]) : 128;
+
+  const Application app = presets::ApplicationByName(app_name);
+  presets::SystemOptions o;
+  const System base = presets::H100(o);
+  ThreadPool pool;
+
+  RightSizeOptions options;
+  options.sizes = SizeRange(step, max_gpus, step);
+  options.target_efficiency = 0.9;
+
+  SearchSpace space;
+  space.tp_comm = {{false, false, false}, {true, true, true}};
+  space.tp_overlap = {TpOverlap::kRing};
+  space.fused_activation = {true};
+  space.dp_overlap = {true};
+  space.optimizer_sharding = {true};
+  space.max_microbatch = 8;
+
+  const RightSizeReport report =
+      RightSize(app, base, space, options, pool);
+
+  std::printf("right-sizing %s on H100 (target efficiency 90%%)\n\n",
+              app.name.c_str());
+  Table table({"GPUs", "sample rate", "efficiency", "verdict"});
+  for (const SizeAssessment& a : report.assessments) {
+    std::string verdict;
+    if (!a.feasible) {
+      verdict = "DEAD (cannot run)";
+    } else if (a.efficiency < options.target_efficiency) {
+      verdict = "cliff";
+    } else if (a.num_procs == report.recommended) {
+      verdict = "<- recommended (smallest efficient size)";
+    } else {
+      verdict = "ok";
+    }
+    table.AddRow({StrFormat("%lld", static_cast<long long>(a.num_procs)),
+                  a.feasible ? FormatNumber(a.sample_rate, 1) : "-",
+                  a.feasible ? FormatPercent(a.efficiency) : "-", verdict});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("dead sizes: %zu, cliff sizes: %zu out of %zu candidates\n",
+              report.dead_sizes.size(), report.cliff_sizes.size(),
+              report.assessments.size());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Time/memory trade-off explorer (Section 4.2): prints the Pareto front of
+// execution strategies — the menu a practitioner actually chooses from
+// when either batch time or memory headroom matters.
+//
+//   tradeoff_explorer [app] [num_gpus] [batch]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "search/exec_search.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace calculon;
+  const std::string app_name = argc > 1 ? argv[1] : "megatron_1t";
+  const std::int64_t gpus = argc > 2 ? std::atoll(argv[2]) : 512;
+  const std::int64_t batch = argc > 3 ? std::atoll(argv[3]) : gpus;
+
+  const Application app = presets::ApplicationByName(app_name);
+  presets::SystemOptions o;
+  o.num_procs = gpus;
+  o.hbm_capacity = 1024.0 * kGiB;  // uncapped: show the whole frontier
+  const System sys = presets::A100(o);
+
+  ThreadPool pool;
+  SearchConfig config;
+  config.batch_size = batch;
+  config.keep_pareto = true;
+  const SearchResult r = FindOptimalExecution(
+      app, sys, SearchSpace::AllOptimizations(), config, pool);
+  std::printf("%s on %lld GPUs (batch %lld): %zu non-dominated strategies "
+              "out of %llu feasible\n\n",
+              app.name.c_str(), static_cast<long long>(gpus),
+              static_cast<long long>(batch), r.pareto.size(),
+              static_cast<unsigned long long>(r.feasible));
+  Table table({"batch time", "HBM", "MFU", "strategy"});
+  for (const SearchEntry& entry : r.pareto) {
+    const Execution& e = entry.exec;
+    table.AddRow({FormatTime(entry.stats.batch_time),
+                  FormatBytes(entry.stats.tier1.Total()),
+                  FormatPercent(entry.stats.mfu),
+                  StrFormat("(%lld,%lld,%lld) m=%lld i=%lld rc=%s%s%s",
+                            static_cast<long long>(e.tensor_par),
+                            static_cast<long long>(e.pipeline_par),
+                            static_cast<long long>(e.data_par),
+                            static_cast<long long>(e.microbatch),
+                            static_cast<long long>(e.pp_interleaving),
+                            ToString(e.recompute),
+                            e.seq_par ? " sp" : "",
+                            e.optimizer_sharding ? " shard" : "")});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Pick the leftmost row that fits your memory budget; every other\n"
+      "strategy is dominated (slower AND fatter than something here).\n");
+  return 0;
+}

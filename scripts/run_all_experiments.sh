@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation.
+# Usage: scripts/run_all_experiments.sh [output-dir]
+#   CALCULON_FULL=1    paper-fidelity grids (slower)
+#   CALCULON_THREADS=N thread-pool size for the search engines
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-experiment-results}"
+mkdir -p "$out"
+cmake -B build -G Ninja
+cmake --build build
+for bench in build/bench/*; do
+  name="$(basename "$bench")"
+  echo "== $name =="
+  "$bench" | tee "$out/$name.txt"
+done
+echo "results in $out/"

@@ -1,0 +1,64 @@
+// Builds the layer sequence of one transformer block (Fig. 1) for a given
+// application and execution strategy, together with the tensor-parallel
+// communication operations attached to the block.
+//
+// Calculon exploits the fact that all blocks are identical: one block model
+// is built and evaluated, and the result is reused for every block, which is
+// what makes a full calculation take microseconds.
+#pragma once
+
+#include <vector>
+
+#include "core/layers.h"
+#include "hw/network.h"
+#include "models/application.h"
+#include "models/execution.h"
+
+namespace calculon {
+
+// One communication operation over the tensor-parallel group.
+struct CommOp {
+  Collective op;
+  double bytes;  // full tensor size
+};
+
+struct BlockModel {
+  std::vector<Layer> layers;
+
+  // Per-microbatch TP communication in forward and backward order.
+  std::vector<CommOp> tp_fw;
+  std::vector<CommOp> tp_bw;
+  // Extra backward-side TP communication from seq-par all-gather redo.
+  std::vector<CommOp> tp_bw_extra;
+
+  // Marks for recomputation: indices into `layers` re-executed in the
+  // backward pass under attention-only recomputation.
+  std::vector<std::size_t> attn_recompute_layers;
+
+  // Stash of the block input, the only activation kept under full
+  // recomputation (per microbatch in flight).
+  double block_input_bytes = 0.0;
+
+  // Activation tensor crossing a pipeline-stage boundary (per microbatch).
+  double pp_output_bytes = 0.0;
+
+  // Transient activation-gradient working set during backward.
+  double act_grad_working_bytes = 0.0;
+
+  // --- Aggregates (per microbatch, one block, one processor) ---
+  [[nodiscard]] double FwFlops() const;
+  [[nodiscard]] double BwFlops() const;
+  // Stored activation bytes per microbatch under the given recompute mode.
+  [[nodiscard]] double ActStoredBytes(Recompute mode) const;
+  [[nodiscard]] double WeightBytes() const;
+  [[nodiscard]] double WeightGradBytes() const;
+  [[nodiscard]] double OptimizerBytes() const;
+  [[nodiscard]] double WeightParams() const;  // learnable parameter count
+};
+
+// Constructs the block model. `exec` must already satisfy
+// `exec.Validate(app)`.
+[[nodiscard]] BlockModel BuildBlock(const Application& app,
+                                    const Execution& exec);
+
+}  // namespace calculon

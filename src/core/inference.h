@@ -1,0 +1,57 @@
+// Inference performance model.
+//
+// The paper's model covers inference as well as training (Section 2
+// includes the inference-side optimizations of its refs [1, 35]). This
+// module models the two phases of transformer serving:
+//
+//   - prefill: one forward pass over the prompt (compute-bound, identical
+//     in structure to a training forward pass), and
+//   - decode: autoregressive generation, one token per step, where every
+//     step must stream all local weights and the growing key/value cache
+//     through tier-1 memory (bandwidth-bound).
+//
+// Tensor parallelism shards both weights and the KV cache; pipeline
+// parallelism turns decode into a token pipeline (throughput improves,
+// per-token latency does not).
+#pragma once
+
+#include <cstdint>
+
+#include "core/stats.h"
+#include "hw/system.h"
+#include "models/application.h"
+#include "models/execution.h"
+#include "util/error.h"
+
+namespace calculon {
+
+struct InferenceConfig {
+  std::int64_t prompt_tokens = 512;  // prompt length per sequence
+  std::int64_t gen_tokens = 64;      // generated tokens per sequence
+  std::int64_t batch = 1;            // concurrent sequences per pipeline
+};
+
+struct InferenceStats {
+  // Latency.
+  double prefill_time = 0.0;     // time to first token (one batch)
+  double per_token_time = 0.0;   // steady-state decode step latency
+  double total_time = 0.0;       // prefill + gen_tokens * per-token
+  // Throughput.
+  double tokens_per_second = 0.0;  // generated tokens/s across the batch
+  // Memory (per processor).
+  MemoryBreakdown tier1;         // weights + KV cache (in `activations`)
+  double kv_cache_bytes = 0.0;   // final-context KV cache share
+  // Communication busy time per decode step.
+  double tp_comm_per_token = 0.0;
+  double pp_comm_per_token = 0.0;
+};
+
+// Runs the inference estimation. `exec.training` must be false and
+// training-only options unset; `exec.batch_size`/`microbatch` are ignored
+// in favour of `config.batch`. Data parallelism replicates the engine
+// (throughput scales by d; latency is unaffected).
+[[nodiscard]] Result<InferenceStats> CalculateInference(
+    const Application& app, const Execution& exec, const System& sys,
+    const InferenceConfig& config);
+
+}  // namespace calculon

@@ -1,0 +1,51 @@
+#include "core/layer_report.h"
+
+#include "core/block.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace calculon {
+
+Table LayerReport(const Application& app, const Execution& exec,
+                  const System& sys) {
+  const BlockModel block = BuildBlock(app, exec);
+  const Processor& proc = sys.proc();
+  Table table({"layer", "kind", "fw flops", "fw bytes", "fw time", "bw time",
+               "stash", "weights"});
+  double fw_total = 0.0;
+  double bw_total = 0.0;
+  for (const Layer& l : block.layers) {
+    const double fw = proc.OpTime(l.kind, l.fw_flops, l.fw_bytes);
+    const double bw = proc.OpTime(l.kind, l.bw_flops, l.bw_bytes);
+    fw_total += fw;
+    bw_total += bw;
+    table.AddRow({l.name, l.kind == ComputeKind::kMatrix ? "matrix" : "vector",
+                  FormatFlopCount(l.fw_flops), FormatBytes(l.fw_bytes),
+                  FormatTime(fw), FormatTime(bw), FormatBytes(l.act_stored),
+                  FormatBytes(l.weight_bytes)});
+  }
+  table.AddRule();
+  const Network* tp_net = sys.NetworkForSpan(exec.tensor_par);
+  double comm_total = 0.0;
+  if (tp_net != nullptr) {
+    int idx = 0;
+    for (const CommOp& op : block.tp_fw) {
+      const double time =
+          tp_net->CollectiveTime(op.op, exec.tensor_par, op.bytes);
+      comm_total += time;
+      table.AddRow({StrFormat("tp_fw_%d (%s)", idx++, ToString(op.op)),
+                    "comm", "-", FormatBytes(op.bytes), FormatTime(time), "-",
+                    "-", "-"});
+    }
+  }
+  table.AddRule();
+  table.AddRow({"total (one block, one microbatch)", "",
+                FormatFlopCount(block.FwFlops()), "", FormatTime(fw_total),
+                FormatTime(bw_total),
+                FormatBytes(block.ActStoredBytes(exec.recompute)),
+                FormatBytes(block.WeightBytes())});
+  (void)comm_total;
+  return table;
+}
+
+}  // namespace calculon

@@ -1,0 +1,18 @@
+// Per-layer cost report: itemizes every layer of the transformer block
+// (time, FLOPs, traffic, stash) plus the attached TP communication — the
+// drill-down view behind the aggregate Stats breakdown.
+#pragma once
+
+#include "hw/system.h"
+#include "models/application.h"
+#include "models/execution.h"
+#include "util/table.h"
+
+namespace calculon {
+
+// One row per layer and per TP communication op, for one microbatch on one
+// processor. `exec` must validate against `app`.
+[[nodiscard]] Table LayerReport(const Application& app, const Execution& exec,
+                                const System& sys);
+
+}  // namespace calculon

@@ -1,0 +1,81 @@
+#include "core/layers.h"
+
+namespace calculon {
+namespace {
+
+// Weight-gradient accumulation is kept in fp32 (4 bytes/param) and the Adam
+// optimizer holds an fp32 master copy plus two fp32 moments (12 bytes/param),
+// matching standard Megatron mixed-precision training.
+constexpr double kGradBytesPerParam = 4.0;
+constexpr double kOptimBytesPerParam = 12.0;
+
+void AttachWeights(Layer& layer, double params, int dt, bool training) {
+  layer.params = params;
+  layer.weight_bytes = dt * params;
+  if (training) {
+    layer.weight_grad_bytes = kGradBytesPerParam * params;
+    layer.optimizer_bytes = kOptimBytesPerParam * params;
+  }
+}
+
+}  // namespace
+
+Layer MakeLinear(std::string name, double m, double k, double n, int dt,
+                 bool bias, bool training, double stored_input_elems) {
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = ComputeKind::kMatrix;
+  const double gemm = 2.0 * m * k * n;
+  layer.fw_flops = gemm + (bias ? m * n : 0.0);
+  layer.fw_bytes = dt * (m * k + k * n + m * n);
+  const double params = k * n + (bias ? n : 0.0);
+  AttachWeights(layer, params, dt, training);
+  if (training) {
+    // dX = dY * Wt and dW = Xt * dY: two GEMMs of the forward shape.
+    layer.bw_flops = 2.0 * gemm + (bias ? m * n : 0.0);
+    layer.bw_bytes = 2.0 * layer.fw_bytes + kGradBytesPerParam * params;
+    layer.act_stored =
+        dt * (stored_input_elems >= 0.0 ? stored_input_elems : m * k);
+  }
+  return layer;
+}
+
+Layer MakeBatchMatmul(std::string name, double batches, double m, double k,
+                      double n, int dt, bool training, double stored_elems,
+                      bool attn_stash) {
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = ComputeKind::kMatrix;
+  const double gemm = 2.0 * batches * m * k * n;
+  layer.fw_flops = gemm;
+  layer.fw_bytes = dt * batches * (m * k + k * n + m * n);
+  if (training) {
+    layer.bw_flops = 2.0 * gemm;
+    layer.bw_bytes = 2.0 * layer.fw_bytes;
+    layer.act_stored = dt * stored_elems;
+    layer.attn_stash = attn_stash;
+  }
+  return layer;
+}
+
+Layer MakeVector(std::string name, double elems, double flops_per_elem,
+                 double tensors_in, double tensors_out, int dt, bool training,
+                 double stored_bytes, bool attn_stash, double weight_elems) {
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = ComputeKind::kVector;
+  layer.fw_flops = elems * flops_per_elem;
+  layer.fw_bytes = dt * elems * (tensors_in + tensors_out);
+  AttachWeights(layer, weight_elems, dt, training);
+  if (training) {
+    layer.bw_flops = 2.0 * layer.fw_flops;
+    // Backward reads the incoming gradient and stash, writes the outgoing
+    // gradient: one extra stream relative to forward.
+    layer.bw_bytes = dt * elems * (tensors_in + tensors_out + 1.0);
+    layer.act_stored = stored_bytes;
+    layer.attn_stash = attn_stash;
+  }
+  return layer;
+}
+
+}  // namespace calculon

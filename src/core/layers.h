@@ -1,0 +1,65 @@
+// Per-layer cost primitives of the transformer block (Fig. 1).
+//
+// A Layer records, for one microbatch on one processor, the forward and
+// backward FLOPs, the tier-1 memory traffic, the bytes of activations that
+// must be stashed for the backward pass, and the weight / gradient /
+// optimizer footprints. Layers are pure data; the processor model turns
+// them into time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/processor.h"
+
+namespace calculon {
+
+struct Layer {
+  std::string name;
+  ComputeKind kind = ComputeKind::kMatrix;
+
+  // Per-microbatch compute and tier-1 traffic.
+  double fw_flops = 0.0;
+  double fw_bytes = 0.0;
+  double bw_flops = 0.0;  // grad wrt inputs + grad wrt weights
+  double bw_bytes = 0.0;
+
+  // Bytes stashed at forward time for this layer's backward.
+  double act_stored = 0.0;
+  // True when the stash is one of the sequence-squared attention tensors
+  // that selective ("attn-only") recomputation drops and re-derives.
+  bool attn_stash = false;
+
+  // Per-processor weight footprints (microbatch-independent).
+  double params = 0.0;  // learnable parameter count
+  double weight_bytes = 0.0;
+  double weight_grad_bytes = 0.0;
+  double optimizer_bytes = 0.0;
+};
+
+// Factory helpers. All sizes are element counts; `dt` is bytes per element.
+
+// GEMM computing (M x K) * (K x N). Stores its input (M*K elements) unless
+// `stored_input_elems` overrides it (sequence-parallel sharded stash).
+[[nodiscard]] Layer MakeLinear(std::string name, double m, double k, double n,
+                               int dt, bool bias, bool training,
+                               double stored_input_elems = -1.0);
+
+// Batched GEMM: `batches` independent (M x K) * (K x N) products. Weights
+// are activations here (no learnable state). `stored_elems` is the stash.
+[[nodiscard]] Layer MakeBatchMatmul(std::string name, double batches,
+                                    double m, double k, double n, int dt,
+                                    bool training, double stored_elems,
+                                    bool attn_stash);
+
+// Element-wise / normalization layer over `elems` elements performing
+// `flops_per_elem` forward FLOPs per element and touching
+// `tensors_in` + `tensors_out` streams of `elems` elements each.
+[[nodiscard]] Layer MakeVector(std::string name, double elems,
+                               double flops_per_elem, double tensors_in,
+                               double tensors_out, int dt, bool training,
+                               double stored_bytes, bool attn_stash = false,
+                               double weight_elems = 0.0);
+
+}  // namespace calculon

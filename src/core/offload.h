@@ -1,0 +1,65 @@
+// Tensor-offloading model (Section 6, Fig. 8, Eq. 1).
+//
+// With offloading enabled, HBM keeps only a sliding window of block tensors
+// (the block being computed plus prefetch and write-back slots) while the
+// bulk lives in the tier-2 memory. Offload traffic overlaps with compute
+// and network phases; when the tier-2 bandwidth is below the seamless
+// threshold `size_tensor / T_compute` the remainder is exposed.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/memory.h"
+
+namespace calculon {
+
+struct OffloadInputs {
+  bool weights = false;
+  bool activations = false;
+  bool optimizer = false;
+
+  // Per-block, per-processor sizes (bytes).
+  double weight_block = 0.0;
+  double weight_grad_block = 0.0;
+  double act_block = 0.0;    // stashed activations per microbatch
+  double optim_block = 0.0;  // optimizer state
+
+  std::int64_t blocks_per_proc = 1;
+  std::int64_t microbatches = 1;   // per batch per pipeline
+  double act_in_flight = 1.0;      // microbatches live at the worst stage
+
+  // Phase durations (compute + exposed network) the traffic can hide under.
+  double fw_block_time = 0.0;      // one block, one microbatch, forward
+  double bw_block_time = 0.0;      // one block, one microbatch, backward
+  double fw_phase_total = 0.0;     // whole forward phase per batch
+  double bw_phase_total = 0.0;     // whole backward phase per batch
+  double optim_phase_total = 0.0;  // optimizer step per batch
+};
+
+struct OffloadResult {
+  double tier2_weights = 0.0;      // capacity demand by component
+  double tier2_acts = 0.0;
+  double tier2_optimizer = 0.0;
+  double traffic_bytes = 0.0;      // tier-2 traffic per batch
+  double required_bw = 0.0;        // Eq. 1: min bandwidth for full overlap
+  double busy_time = 0.0;          // traffic / effective tier-2 bandwidth
+  double exposed_time = 0.0;       // traffic not hidden behind any phase
+
+  // Tier-1 working-set replacements (what stays in HBM).
+  double hbm_weights = 0.0;
+  double hbm_weight_grads = 0.0;
+  double hbm_acts = 0.0;
+  double hbm_optimizer = 0.0;
+
+  [[nodiscard]] double Tier2Total() const {
+    return tier2_weights + tier2_acts + tier2_optimizer;
+  }
+};
+
+// `mem2` is the offload tier; a zero-capacity tier with any offload flag
+// set is reported by the caller as infeasible (this function assumes the
+// tier exists when any flag is on).
+[[nodiscard]] OffloadResult ComputeOffload(const OffloadInputs& in,
+                                           const Memory& mem2);
+
+}  // namespace calculon

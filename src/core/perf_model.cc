@@ -1,0 +1,396 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/block.h"
+#include "core/offload.h"
+#include "core/pipeline.h"
+#include "util/mathutil.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+// Fraction of TP communication hidden behind GEMMs for each overlap scheme
+// (Table 1: none/pipe/ring). Ring-exchange overlap pipelines the collective
+// with the GEMM tiles and hides most of it; the pipe scheme hides about
+// half.
+double TpHideFraction(TpOverlap overlap) {
+  switch (overlap) {
+    case TpOverlap::kNone: return 0.0;
+    case TpOverlap::kPipe: return 0.5;
+    case TpOverlap::kRing: return 0.8;
+  }
+  return 0.0;
+}
+
+struct CommCost {
+  double total = 0.0;    // network busy time
+  double exposed = 0.0;  // time blocking computation (incl. throttling)
+};
+
+// Cost of a list of TP collectives with a given hidden fraction. Hidden
+// communication still consumes `processor_fraction` of the compute it
+// overlaps with, which we account as exposed throttle time.
+CommCost TpCommCost(const std::vector<CommOp>& ops, const Network& net,
+                    std::int64_t members, double hide_fraction) {
+  CommCost cost;
+  for (const CommOp& op : ops) {
+    cost.total += net.CollectiveTime(op.op, members, op.bytes);
+  }
+  const double hidden = cost.total * hide_fraction;
+  cost.exposed = (cost.total - hidden) + hidden * net.processor_fraction();
+  return cost;
+}
+
+}  // namespace
+
+double ModelFlopsPerSample(const Application& app, bool training) {
+  // Closed form of the per-block GEMM work (kept on the hot path; the
+  // equivalence with the layer-by-layer accounting is unit-tested).
+  const double s = static_cast<double>(app.seq_size);
+  const double h = static_cast<double>(app.hidden);
+  const double f = static_cast<double>(app.feedforward);
+  const double aw =
+      static_cast<double>(app.attn_heads * app.attn_size);
+  const double gemm = 2.0 * s * h * 3.0 * aw   // QKV projection
+                      + 2.0 * s * s * aw       // Q * K^T
+                      + 2.0 * s * s * aw       // scores * V
+                      + 2.0 * s * aw * h       // output projection
+                      + 2.0 * s * h * f        // MLP in
+                      + 2.0 * s * f * h;       // MLP out
+  const double bias = s * 3.0 * aw + s * h + s * f + s * h;
+  // Backward doubles each GEMM (dX and dW) and repeats the bias add.
+  const double per_block =
+      training ? 3.0 * gemm + 2.0 * bias : gemm + bias;
+  // Output vocabulary projection on the last stage, when modeled.
+  const double vocab_gemm =
+      2.0 * s * h * static_cast<double>(app.vocab_size);
+  const double vocab = training ? 3.0 * vocab_gemm : vocab_gemm;
+  return per_block * static_cast<double>(app.num_blocks) + vocab;
+}
+
+Result<Stats> CalculatePerformance(const Application& app,
+                                   const Execution& exec, const System& sys) {
+  using R = Result<Stats>;
+  if (exec.num_procs != sys.num_procs()) {
+    return R(Infeasible::kBadPartition,
+             "execution proc count != system proc count");
+  }
+  if (auto v = exec.Validate(app); !v.ok()) {
+    return R(v.reason(), v.detail());
+  }
+
+  const Processor& proc = sys.proc();
+  const std::int64_t t = exec.tensor_par;
+  const std::int64_t p = exec.pipeline_par;
+  const std::int64_t d = exec.data_par;
+  const std::int64_t nm = exec.MicrobatchesPerPipeline();
+  const std::int64_t interleave = exec.pp_interleaving;
+  // Uneven block division: the bottleneck stage owns the ceiling share and
+  // sets the pipeline rhythm (this is the root of the efficiency cliffs of
+  // Section 5.2).
+  const std::int64_t bpp = CeilDiv(app.num_blocks, p);
+
+  // Network placement: communicators are nested TP (innermost), PP, DP.
+  const Network* tp_net = sys.NetworkForSpan(t);
+  const Network* pp_net =
+      sys.NetworkForSpan(std::min<std::int64_t>(t * p, sys.num_procs()));
+  const Network* dp_net = sys.NetworkForSpan(sys.num_procs());
+  if (tp_net == nullptr || pp_net == nullptr || dp_net == nullptr) {
+    return R(Infeasible::kNetworkSize, "no network covers a communicator");
+  }
+
+  const BlockModel block = BuildBlock(app, exec);
+
+  // --- Per-block compute time ---
+  double fw_block = 0.0;
+  double bw_block = 0.0;
+  for (const Layer& l : block.layers) {
+    fw_block += proc.OpTime(l.kind, l.fw_flops, l.fw_bytes);
+    bw_block += proc.OpTime(l.kind, l.bw_flops, l.bw_bytes);
+  }
+
+  // Recomputation work during backward.
+  double recompute_block = 0.0;
+  if (exec.recompute == Recompute::kFull) {
+    recompute_block = fw_block;
+  } else if (exec.recompute == Recompute::kAttnOnly) {
+    for (std::size_t idx : block.attn_recompute_layers) {
+      const Layer& l = block.layers[idx];
+      recompute_block += proc.OpTime(l.kind, l.fw_flops, l.fw_bytes);
+    }
+  }
+
+  // --- Tensor-parallel communication per block ---
+  const double hide = TpHideFraction(exec.tp_overlap);
+  const CommCost tp_fw = TpCommCost(block.tp_fw, *tp_net, t, hide);
+  const CommCost tp_bw = TpCommCost(block.tp_bw, *tp_net, t, hide);
+  const CommCost tp_bw_extra =
+      TpCommCost(block.tp_bw_extra, *tp_net, t, hide);
+  // Full recomputation repeats the forward TP communication.
+  const CommCost tp_recompute =
+      exec.recompute == Recompute::kFull ? tp_fw : CommCost{};
+
+  // --- Pipeline point-to-point per microbatch ---
+  // In the steady 1F1B state a stage receives the next microbatch while
+  // computing the current one, so a boundary transfer hides behind the
+  // chunk's compute; only the excess is exposed (plus the processor share
+  // the NIC steals while overlapped).
+  CommCost pp_ub;
+  if (p > 1) {
+    const std::int64_t bpc = CeilDiv(bpp, interleave);  // blocks per chunk
+    const double xfer = pp_net->CollectiveTime(Collective::kPointToPoint, 2,
+                                               block.pp_output_bytes);
+    const double chunks = static_cast<double>(interleave);
+    const double fw_window = static_cast<double>(bpc) * fw_block;
+    const double bw_window =
+        static_cast<double>(bpc) * (bw_block + recompute_block);
+    auto exposed_xfer = [&](double window) {
+      const double hidden = std::min(xfer, window);
+      return (xfer - hidden) + hidden * pp_net->processor_fraction();
+    };
+    pp_ub.total = 2.0 * chunks * xfer;  // one send per chunk per pass
+    pp_ub.exposed = chunks * (exposed_xfer(fw_window) + exposed_xfer(bw_window));
+    // RS before the send and AG after the receive, on the TP network, when
+    // the residual stream is not already sequence-sharded. These serialize
+    // with the boundary.
+    if (exec.pp_rs_ag && !exec.seq_par) {
+      const double full = block.pp_output_bytes * static_cast<double>(t);
+      const double rs_ag =
+          2.0 * chunks *
+          (tp_net->CollectiveTime(Collective::kReduceScatter, t, full) +
+           tp_net->CollectiveTime(Collective::kAllGather, t, full));
+      pp_ub.total += rs_ag;
+      pp_ub.exposed += rs_ag;
+    }
+  }
+
+  // --- Per-microbatch totals across the bottleneck stage's blocks ---
+  const double nblocks = static_cast<double>(bpp);
+  const double fw_ub = nblocks * fw_block;
+  const double bw_ub = nblocks * bw_block;
+  const double recompute_ub = nblocks * recompute_block;
+  const double tp_exposed_ub =
+      nblocks * (tp_fw.exposed + tp_bw.exposed + tp_bw_extra.exposed +
+                 tp_recompute.exposed);
+  const double tp_total_ub =
+      nblocks *
+      (tp_fw.total + tp_bw.total + tp_bw_extra.total + tp_recompute.total);
+
+  // --- Edge-stage vocabulary work (optional; vocab_size == 0 skips) ---
+  // The first stage gathers embeddings, the last stage projects onto the
+  // vocabulary and computes the loss softmax. The pipeline rhythm is set by
+  // its slowest stage; folding both into the bottleneck stage is the
+  // conservative approximation.
+  double vocab_ub = 0.0;
+  double vocab_params = 0.0;
+  if (app.vocab_size > 0) {
+    const double b = static_cast<double>(exec.microbatch);
+    const double s = static_cast<double>(app.seq_size);
+    const double h = static_cast<double>(app.hidden);
+    const double v_shard = static_cast<double>(app.vocab_size) /
+                           static_cast<double>(t);
+    const double dtb = static_cast<double>(exec.datatype_bytes);
+    // Output projection GEMM (b*s, h) x (h, V/t).
+    const double proj_flops = 2.0 * b * s * h * v_shard;
+    const double proj_bytes =
+        dtb * (b * s * h + h * v_shard + b * s * v_shard);
+    const double proj_fw =
+        proc.OpTime(ComputeKind::kMatrix, proj_flops, proj_bytes);
+    const double proj_bw =
+        exec.training
+            ? proc.OpTime(ComputeKind::kMatrix, 2.0 * proj_flops,
+                          2.0 * proj_bytes)
+            : 0.0;
+    // Loss softmax over the sharded vocabulary.
+    const double soft = proc.OpTime(ComputeKind::kVector,
+                                    5.0 * b * s * v_shard,
+                                    2.0 * dtb * b * s * v_shard);
+    // Embedding gather: memory-bound table lookup of b*s rows.
+    const double gather =
+        proc.OpTime(ComputeKind::kVector, b * s * h, dtb * b * s * h);
+    vocab_ub = proj_fw + proj_bw + soft * (exec.training ? 2.0 : 1.0) +
+               gather * (exec.training ? 2.0 : 1.0);
+    vocab_params =
+        static_cast<double>(app.EmbeddingParameters()) /
+        static_cast<double>(t);
+  }
+
+  const double per_ub = fw_ub + bw_ub + recompute_ub + tp_exposed_ub +
+                        pp_ub.exposed + vocab_ub;
+
+  const PipelineShape shape{p, interleave, nm, exec.pp_1f1b};
+  const double bubble = PipelineBubbleTime(shape, per_ub);
+  const double in_flight = exec.training ? InFlightMicrobatches(shape) : 1.0;
+
+  // --- Optimizer step ---
+  const double params_local = block.WeightParams() * nblocks + vocab_params;
+  const double shard = exec.optimizer_sharding ? static_cast<double>(d) : 1.0;
+  // fp32 gradient accumulation: under the sharded (distributed) optimizer
+  // the reduce-scatter lands each rank's shard directly, so the persistent
+  // buffer divides by d; one block's worth of freshly produced gradients
+  // stays resident as a transient buffer.
+  const double wgrad_block = block.WeightGradBytes();
+  const double wgrad_local =
+      wgrad_block * nblocks / shard + (exec.training ? wgrad_block : 0.0);
+  const double upd_params = params_local / shard;
+  double optim_time = 0.0;
+  if (exec.training && params_local > 0.0) {
+    // Adam: read weight/grad/master/moments, write weight/master/moments.
+    const double dtb = static_cast<double>(exec.datatype_bytes);
+    const double optim_bytes = upd_params * (2.0 * dtb + 28.0);
+    const double optim_flops = 8.0 * upd_params;
+    optim_time = proc.OpTime(ComputeKind::kVector, optim_flops, optim_bytes);
+  }
+
+  // --- Data-parallel communication ---
+  double dp_total = 0.0;
+  double dp_exposed = 0.0;
+  if (exec.training && d > 1) {
+    const double dtb = static_cast<double>(exec.datatype_bytes);
+    const double grad_bytes = params_local * dtb;
+    double overlappable = 0.0;  // can hide behind the last backward pass
+    double post_step = 0.0;     // must wait for the optimizer (sharded AG)
+    if (exec.optimizer_sharding) {
+      overlappable = dp_net->CollectiveTime(Collective::kReduceScatter, d,
+                                            grad_bytes);
+      post_step =
+          dp_net->CollectiveTime(Collective::kAllGather, d, grad_bytes);
+    } else {
+      overlappable =
+          dp_net->CollectiveTime(Collective::kAllReduce, d, grad_bytes);
+    }
+    dp_total = overlappable + post_step;
+    if (exec.dp_overlap) {
+      // Per Fig. 2(b): a layer's gradient reduction starts as soon as the
+      // last microbatch passed it, overlapping the remaining backward
+      // compute; only the final layer's share has nothing to hide behind.
+      // Hidden communication still throttles the compute it overlaps.
+      const double gfrac =
+          nblocks > 1.0 ? (nblocks - 1.0) / nblocks : 0.0;
+      const double bw_window = (bw_ub + recompute_ub) * gfrac;
+      const double hidden_rs = std::min(overlappable * gfrac, bw_window);
+      dp_exposed = (overlappable - hidden_rs) +
+                   hidden_rs * dp_net->processor_fraction();
+      // The sharded optimizer's weight all-gather cannot overlap the
+      // optimizer step itself, but layer k's gathered weights are only
+      // needed when the next batch's forward reaches it.
+      const double fw_window = fw_ub * gfrac;
+      const double hidden_ag = std::min(post_step * gfrac, fw_window);
+      dp_exposed += (post_step - hidden_ag) +
+                    hidden_ag * dp_net->processor_fraction();
+    } else {
+      dp_exposed = dp_total;
+    }
+  }
+
+  // --- Offloading ---
+  OffloadResult off;
+  if (exec.any_offload()) {
+    if (!proc.mem2.present()) {
+      return R(Infeasible::kOffloadCapacity, "no tier-2 memory in system");
+    }
+    OffloadInputs in;
+    in.weights = exec.weight_offload;
+    in.activations = exec.activation_offload;
+    in.optimizer = exec.optimizer_offload;
+    in.weight_block = block.WeightBytes();
+    in.weight_grad_block = wgrad_block / shard;
+    in.act_block = block.ActStoredBytes(exec.recompute);
+    in.optim_block = block.OptimizerBytes() / shard;
+    in.blocks_per_proc = bpp;
+    in.microbatches = nm;
+    in.act_in_flight = in_flight;
+    in.fw_block_time = fw_block + tp_fw.exposed;
+    in.bw_block_time = bw_block + recompute_block + tp_bw.exposed;
+    in.fw_phase_total = static_cast<double>(nm) * (fw_ub + tp_exposed_ub / 2.0);
+    in.bw_phase_total =
+        static_cast<double>(nm) * (bw_ub + recompute_ub + tp_exposed_ub / 2.0);
+    in.optim_phase_total = optim_time;
+    off = ComputeOffload(in, proc.mem2);
+    if (off.Tier2Total() > proc.mem2.capacity()) {
+      return R(Infeasible::kOffloadCapacity,
+               StrFormat("needs %s tier-2, capacity %s",
+                         FormatBytes(off.Tier2Total()).c_str(),
+                         FormatBytes(proc.mem2.capacity()).c_str()));
+    }
+  }
+
+  // --- Tier-1 memory accounting ---
+  Stats stats;
+  MemoryBreakdown& m1 = stats.tier1;
+  const double act_block_stored = block.ActStoredBytes(exec.recompute);
+  const double vocab_weight_bytes =
+      vocab_params * static_cast<double>(exec.datatype_bytes);
+  m1.weights = (exec.weight_offload ? off.hbm_weights
+                                    : block.WeightBytes() * nblocks) +
+               vocab_weight_bytes;
+  m1.weight_grads =
+      exec.weight_offload ? off.hbm_weight_grads + wgrad_block : wgrad_local;
+  if (exec.activation_offload) {
+    m1.activations = off.hbm_acts;
+  } else {
+    m1.activations = act_block_stored * nblocks * in_flight;
+  }
+  // Working set of the block currently being (re)computed: its full
+  // activation footprint exists transiently even under recomputation.
+  m1.activations += block.ActStoredBytes(Recompute::kNone);
+  m1.act_grads = block.act_grad_working_bytes;
+  m1.optimizer = exec.optimizer_offload ? off.hbm_optimizer
+                                        : block.OptimizerBytes() * nblocks /
+                                              shard;
+  if (exec.training && vocab_params > 0.0) {
+    m1.weight_grads += vocab_params * 4.0 / shard;
+    m1.optimizer += vocab_params * 12.0 / shard;
+  }
+
+  if (m1.Total() > proc.mem1.capacity()) {
+    return R(Infeasible::kMemoryCapacity,
+             StrFormat("needs %s, capacity %s",
+                       FormatBytes(m1.Total()).c_str(),
+                       FormatBytes(proc.mem1.capacity()).c_str()));
+  }
+
+  stats.tier2.weights = off.tier2_weights;
+  stats.tier2.activations = off.tier2_acts;
+  stats.tier2.optimizer = off.tier2_optimizer;
+
+  // --- Roll-up ---
+  const double fnm = static_cast<double>(nm);
+  // Edge-stage vocabulary time splits roughly evenly across the passes.
+  stats.time.fw_pass = fnm * (fw_ub + vocab_ub / 2.0);
+  stats.time.bw_pass = fnm * (bw_ub + vocab_ub / 2.0);
+  stats.time.fw_recompute = fnm * recompute_ub;
+  stats.time.tp_comm = fnm * tp_exposed_ub;
+  stats.time.pp_comm = fnm * pp_ub.exposed;
+  stats.time.pp_bubble = bubble;
+  stats.time.optim_step = optim_time;
+  stats.time.dp_comm = dp_exposed;
+  stats.time.offload = off.exposed_time;
+
+  stats.tp_comm_total = fnm * tp_total_ub;
+  stats.pp_comm_total = fnm * pp_ub.total;
+  stats.dp_comm_total = dp_total;
+  stats.offload_total = off.busy_time;
+  stats.offload_bytes = off.traffic_bytes;
+  stats.offload_bw_required = off.required_bw;
+
+  stats.batch_time = stats.time.Total();
+  if (stats.batch_time <= 0.0 || !std::isfinite(stats.batch_time)) {
+    return R(Infeasible::kBadConfig, "non-finite batch time");
+  }
+  stats.sample_rate =
+      static_cast<double>(exec.batch_size) / stats.batch_time;
+  const double useful =
+      ModelFlopsPerSample(app, exec.training) *
+      static_cast<double>(exec.batch_size);
+  stats.mfu = useful / (stats.batch_time *
+                        static_cast<double>(sys.num_procs()) *
+                        proc.matrix.peak_flops());
+  return R(std::move(stats));
+}
+
+}  // namespace calculon

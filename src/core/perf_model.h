@@ -1,0 +1,28 @@
+// The Calculon core: a single analytical calculation of time and resource
+// usage for one (application, execution, system) triple (Section 2.4).
+//
+// The calculation is allocation-light and takes microseconds, which is what
+// lets the search engines sweep millions of configurations (Section 5).
+#pragma once
+
+#include "core/stats.h"
+#include "hw/system.h"
+#include "models/application.h"
+#include "models/execution.h"
+#include "util/error.h"
+
+namespace calculon {
+
+// Runs the full performance estimation. Returns Stats on success or the
+// infeasibility reason (bad partition, memory overflow, ...) otherwise.
+// `exec.num_procs` must equal `sys.num_procs`.
+[[nodiscard]] Result<Stats> CalculatePerformance(const Application& app,
+                                                 const Execution& exec,
+                                                 const System& sys);
+
+// Model FLOPs per sample (forward + backward GEMM work of the full model,
+// excluding recomputation), the numerator of MFU.
+[[nodiscard]] double ModelFlopsPerSample(const Application& app,
+                                         bool training);
+
+}  // namespace calculon

@@ -1,0 +1,31 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+namespace calculon {
+
+double PipelineBubbleTime(const PipelineShape& shape,
+                          double per_microbatch_time) {
+  if (shape.stages <= 1) return 0.0;
+  const double p = static_cast<double>(shape.stages);
+  const double i = static_cast<double>(shape.interleaving);
+  // Fill/drain: (p - 1) chunk slots; a chunk is 1/i of the per-microbatch
+  // work, so interleaving divides the bubble by i.
+  return (p - 1.0) * per_microbatch_time / i;
+}
+
+double InFlightMicrobatches(const PipelineShape& shape) {
+  const double nm = static_cast<double>(shape.microbatches);
+  if (shape.stages <= 1) return 1.0;
+  if (!shape.one_f_one_b) return nm;  // GPipe keeps everything live
+  const double p = static_cast<double>(shape.stages);
+  const double i = static_cast<double>(shape.interleaving);
+  // 1F1B: the first stage holds p microbatches in flight. Interleaving adds
+  // partially-completed chunks of later microbatches; the published
+  // multiplier (Korthikanti et al.) is (1 + (p-1)/(p*i)) on the 1F1B
+  // footprint.
+  const double in_flight = i > 1.0 ? p + (p - 1.0) / i : p;
+  return std::min(nm, in_flight);
+}
+
+}  // namespace calculon

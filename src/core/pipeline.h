@@ -1,0 +1,34 @@
+// Pipeline-parallel schedule arithmetic (Fig. 2).
+//
+// The schedule is the interleaved 1F1B of Narayanan et al.: each processor
+// owns `interleaving` chunks of consecutive blocks; microbatches stream
+// through; the backward pass of each block-microbatch pair runs as soon as
+// its data is available. The fill/drain bubble shrinks with the
+// interleaving factor; the non-1F1B (GPipe-like) schedule has the same
+// bubble but must keep every microbatch's activations live.
+#pragma once
+
+#include <cstdint>
+
+namespace calculon {
+
+struct PipelineShape {
+  std::int64_t stages = 1;         // pipeline depth p
+  std::int64_t interleaving = 1;   // chunks per processor i
+  std::int64_t microbatches = 1;   // microbatches per pipeline nm
+  bool one_f_one_b = true;         // 1F1B (else all-forward-then-backward)
+};
+
+// Idle (bubble) time per batch given the per-microbatch time a processor
+// spends on all of its blocks (forward + backward + recompute).
+[[nodiscard]] double PipelineBubbleTime(const PipelineShape& shape,
+                                        double per_microbatch_time);
+
+// Number of microbatches whose stashed activations are simultaneously live
+// on the worst (first) stage. 1F1B caps this at the pipeline depth;
+// interleaving inflates it toward 2p (the paper: interleaved scheduling
+// needs an even larger activation space than no PP); without 1F1B every
+// microbatch stays live.
+[[nodiscard]] double InFlightMicrobatches(const PipelineShape& shape);
+
+}  // namespace calculon

@@ -1,0 +1,257 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace calculon {
+namespace {
+
+// Identity of one unit of work: a (microbatch, virtual stage) pair in a
+// given direction. Virtual stage v = chunk * stages + stage, following the
+// Megatron interleaved assignment.
+struct UnitKey {
+  TaskKind kind;
+  std::int64_t microbatch;
+  std::int64_t vstage;
+  friend bool operator<(const UnitKey& a, const UnitKey& b) {
+    return std::tie(a.kind, a.microbatch, a.vstage) <
+           std::tie(b.kind, b.microbatch, b.vstage);
+  }
+};
+
+struct Unit {
+  TaskKind kind;
+  std::int64_t microbatch;
+  std::int64_t chunk;
+};
+
+// The k-th forward (or backward) unit issued by every stage, under the
+// interleaved order: microbatches advance in groups of `stages`, cycling
+// through the chunks (forward ascending, backward descending).
+Unit NthUnit(TaskKind kind, std::int64_t k, std::int64_t stages,
+             std::int64_t interleave) {
+  const std::int64_t group = k / stages;
+  std::int64_t chunk = group % interleave;
+  if (kind == TaskKind::kBackward) chunk = interleave - 1 - chunk;
+  const std::int64_t mb = (group / interleave) * stages + k % stages;
+  return {kind, mb, chunk};
+}
+
+// Megatron's warm-up depth: how many forward units a stage runs before its
+// first backward under 1F1B.
+std::int64_t WarmupUnits(std::int64_t stage, std::int64_t stages,
+                         std::int64_t interleave, std::int64_t total_units) {
+  std::int64_t w;
+  if (interleave == 1) {
+    w = stages - stage - 1;
+  } else {
+    w = (stages - stage - 1) * 2 + (interleave - 1) * stages;
+  }
+  return std::min(w, total_units);
+}
+
+}  // namespace
+
+double ScheduleResult::TotalIdle() const {
+  double sum = 0.0;
+  for (double idle : stage_idle) sum += idle;
+  return sum;
+}
+
+std::string ScheduleResult::Render(int width) const {
+  if (tasks.empty() || makespan <= 0.0 || width < 10) return "(empty)\n";
+  const std::int64_t stages =
+      static_cast<std::int64_t>(stage_idle.size());
+  std::string out;
+  for (std::int64_t s = 0; s < stages; ++s) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const ScheduleTask& t : tasks) {
+      if (t.stage != s) continue;
+      auto col = [&](double time) {
+        return std::min<std::int64_t>(
+            width - 1,
+            static_cast<std::int64_t>(time / makespan * width));
+      };
+      const char glyph = static_cast<char>(
+          (t.kind == TaskKind::kForward ? 'A' : 'a') + (t.chunk % 26));
+      for (std::int64_t c = col(t.start); c < std::max(col(t.end), col(t.start) + 1);
+           ++c) {
+        row[static_cast<std::size_t>(c)] = glyph;
+      }
+    }
+    out += StrFormat("stage %2lld |", static_cast<long long>(s));
+    out += row;
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string ScheduleResult::TraceJson(double time_scale) const {
+  std::string out = "[\n";
+  bool first = true;
+  for (const ScheduleTask& t : tasks) {
+    if (!first) out += ",\n";
+    first = false;
+    out += StrFormat(
+        "{\"name\": \"%s mb%lld c%lld\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %lld}",
+        t.kind == TaskKind::kForward ? "fw" : "bw",
+        static_cast<long long>(t.microbatch),
+        static_cast<long long>(t.chunk),
+        t.kind == TaskKind::kForward ? "forward" : "backward",
+        t.start * time_scale, (t.end - t.start) * time_scale,
+        static_cast<long long>(t.stage));
+  }
+  out += "\n]\n";
+  return out;
+}
+
+ScheduleResult BuildPipelineSchedule(const ScheduleParams& p) {
+  if (p.stages < 1 || p.interleave < 1 || p.microbatches < 1) {
+    throw std::invalid_argument("BuildPipelineSchedule: bad shape");
+  }
+  if (p.interleave > 1 && p.microbatches % p.stages != 0) {
+    throw std::invalid_argument(
+        "interleaved schedule needs microbatches % stages == 0");
+  }
+  const std::int64_t stages = p.stages;
+  const std::int64_t interleave = p.interleave;
+  const std::int64_t units = p.microbatches * interleave;  // per direction
+  const std::int64_t vmax = stages * interleave;
+
+  // Static per-stage order: warmup forwards, alternate fw/bw, drain
+  // backwards (or all-fw-then-all-bw for the GPipe-like schedule).
+  std::vector<std::vector<Unit>> order(static_cast<std::size_t>(stages));
+  for (std::int64_t s = 0; s < stages; ++s) {
+    auto& seq = order[static_cast<std::size_t>(s)];
+    seq.reserve(static_cast<std::size_t>(2 * units));
+    const std::int64_t warmup =
+        p.one_f_one_b ? WarmupUnits(s, stages, interleave, units) : units;
+    std::int64_t next_fw = 0;
+    std::int64_t next_bw = 0;
+    while (next_fw < warmup) {
+      seq.push_back(NthUnit(TaskKind::kForward, next_fw++, stages,
+                            interleave));
+    }
+    while (next_fw < units) {
+      seq.push_back(NthUnit(TaskKind::kForward, next_fw++, stages,
+                            interleave));
+      seq.push_back(NthUnit(TaskKind::kBackward, next_bw++, stages,
+                            interleave));
+    }
+    while (next_bw < units) {
+      seq.push_back(NthUnit(TaskKind::kBackward, next_bw++, stages,
+                            interleave));
+    }
+  }
+
+  // Dependency-respecting execution of the static orders.
+  std::map<UnitKey, double> done;  // unit -> completion time
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(stages), 0);
+  std::vector<double> stage_time(static_cast<std::size_t>(stages), 0.0);
+  ScheduleResult result;
+  result.tasks.reserve(static_cast<std::size_t>(2 * units * stages));
+
+  auto dependency_ready = [&](const Unit& u, std::int64_t s,
+                              double* ready_at) {
+    const std::int64_t v = u.chunk * stages + s;
+    UnitKey dep{};
+    if (u.kind == TaskKind::kForward) {
+      if (v == 0) {
+        *ready_at = 0.0;
+        return true;
+      }
+      dep = {TaskKind::kForward, u.microbatch, v - 1};
+    } else {
+      if (v == vmax - 1) {
+        dep = {TaskKind::kForward, u.microbatch, v};
+      } else {
+        dep = {TaskKind::kBackward, u.microbatch, v + 1};
+      }
+    }
+    auto it = done.find(dep);
+    if (it == done.end()) return false;
+    // Same-stage dependencies (chunk hand-off within a processor) pay no
+    // wire time.
+    const std::int64_t dep_stage = dep.vstage % stages;
+    *ready_at = it->second + (dep_stage == s ? 0.0 : p.p2p_time);
+    return true;
+  };
+
+  std::int64_t remaining = 2 * units * stages;
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::int64_t s = 0; s < stages; ++s) {
+      auto& cur = cursor[static_cast<std::size_t>(s)];
+      while (cur < order[static_cast<std::size_t>(s)].size()) {
+        const Unit& u = order[static_cast<std::size_t>(s)][cur];
+        double ready_at = 0.0;
+        if (!dependency_ready(u, s, &ready_at)) break;
+        const double duration = u.kind == TaskKind::kForward
+                                    ? p.fw_chunk_time
+                                    : p.bw_chunk_time;
+        const double start =
+            std::max(stage_time[static_cast<std::size_t>(s)], ready_at);
+        const double end = start + duration;
+        stage_time[static_cast<std::size_t>(s)] = end;
+        done[{u.kind, u.microbatch, u.chunk * stages + s}] = end;
+        result.tasks.push_back(
+            {u.kind, s, u.chunk, u.microbatch, start, end});
+        ++cur;
+        --remaining;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      throw std::logic_error("pipeline schedule deadlocked");
+    }
+  }
+
+  for (double t : stage_time) result.makespan = std::max(result.makespan, t);
+  result.stage_idle.assign(static_cast<std::size_t>(stages), 0.0);
+  std::vector<double> busy(static_cast<std::size_t>(stages), 0.0);
+  for (const ScheduleTask& t : result.tasks) {
+    busy[static_cast<std::size_t>(t.stage)] += t.end - t.start;
+  }
+  for (std::int64_t s = 0; s < stages; ++s) {
+    result.stage_idle[static_cast<std::size_t>(s)] =
+        result.makespan - busy[static_cast<std::size_t>(s)];
+  }
+
+  // Peak live forward stashes per stage: +1 when a forward chunk starts,
+  // -1 when its backward completes.
+  for (std::int64_t s = 0; s < stages; ++s) {
+    std::vector<std::pair<double, int>> deltas;
+    for (const ScheduleTask& t : result.tasks) {
+      if (t.stage != s) continue;
+      if (t.kind == TaskKind::kForward) {
+        deltas.emplace_back(t.start, +1);
+      } else {
+        deltas.emplace_back(t.end, -1);
+      }
+    }
+    std::sort(deltas.begin(), deltas.end());
+    std::int64_t live = 0;
+    std::int64_t peak = 0;
+    for (const auto& [time, delta] : deltas) {
+      live += delta;
+      peak = std::max(peak, live);
+    }
+    // Normalize chunk count to microbatches (interleave chunks per mb).
+    result.peak_in_flight = std::max(
+        result.peak_in_flight,
+        (peak + interleave - 1) / interleave);
+  }
+
+  std::sort(result.tasks.begin(), result.tasks.end(),
+            [](const ScheduleTask& a, const ScheduleTask& b) {
+              return std::tie(a.stage, a.start, a.chunk) <
+                     std::tie(b.stage, b.start, b.chunk);
+            });
+  return result;
+}
+
+}  // namespace calculon

@@ -1,0 +1,67 @@
+// Discrete pipeline-schedule construction (Fig. 2).
+//
+// The analytical model uses closed forms for the pipeline bubble and the
+// in-flight activation count. This module builds the actual event-level
+// schedule — every (microbatch, chunk) forward/backward task on every
+// stage, with point-to-point dependencies — the way the interleaved 1F1B
+// (or GPipe-like) schedule executes it. It serves three purposes:
+//
+//   1. cross-validation: the simulated makespan and peak in-flight count
+//      must track the closed forms (tested in schedule_test.cc);
+//   2. visualization: Fig. 2-style ASCII timelines (pipeline_timeline
+//      example);
+//   3. a substrate for future schedule variants beyond the closed forms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calculon {
+
+enum class TaskKind { kForward, kBackward };
+
+struct ScheduleTask {
+  TaskKind kind = TaskKind::kForward;
+  std::int64_t stage = 0;       // pipeline stage (processor group)
+  std::int64_t chunk = 0;       // local chunk index (0 .. interleave-1)
+  std::int64_t microbatch = 0;  // microbatch id
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct ScheduleParams {
+  std::int64_t stages = 1;
+  std::int64_t interleave = 1;
+  std::int64_t microbatches = 1;
+  bool one_f_one_b = true;     // false: all-forwards-then-backwards (GPipe)
+  double fw_chunk_time = 1.0;  // forward time of one chunk, one microbatch
+  double bw_chunk_time = 2.0;  // backward (incl. recompute) per chunk
+  double p2p_time = 0.0;       // stage-boundary transfer time
+};
+
+struct ScheduleResult {
+  std::vector<ScheduleTask> tasks;  // sorted by (stage, start)
+  double makespan = 0.0;
+  // Per-stage idle (bubble) time within the makespan.
+  std::vector<double> stage_idle;
+  // Peak number of microbatches with live forward stashes on any stage
+  // (a forward stash lives from the chunk's forward until its backward).
+  std::int64_t peak_in_flight = 0;
+
+  [[nodiscard]] double TotalIdle() const;
+  // ASCII timeline, one row per stage (Fig. 2 style). `width` columns.
+  [[nodiscard]] std::string Render(int width = 100) const;
+  // Chrome trace-event JSON (load in chrome://tracing or Perfetto): one
+  // track per stage, one slice per task. `time_scale` converts model
+  // seconds to trace microseconds (default: 1 model second = 1 trace ms so
+  // short schedules stay readable).
+  [[nodiscard]] std::string TraceJson(double time_scale = 1e3) const;
+};
+
+// Builds and "executes" the schedule with a greedy dependency-driven
+// policy: a stage that goes idle starts the highest-priority ready task
+// (1F1B prefers backwards; GPipe runs all forwards first).
+[[nodiscard]] ScheduleResult BuildPipelineSchedule(const ScheduleParams& p);
+
+}  // namespace calculon

@@ -1,0 +1,73 @@
+#include "hw/efficiency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace calculon {
+
+EfficiencyCurve::EfficiencyCurve(double flat) {
+  if (flat <= 0.0 || flat > 1.0) {
+    throw ConfigError(StrFormat("efficiency %g out of (0, 1]", flat));
+  }
+  points_.push_back({0.0, flat});
+}
+
+EfficiencyCurve::EfficiencyCurve(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) throw ConfigError("efficiency curve needs >= 1 point");
+  double prev_size = -1.0;
+  for (const Point& p : points_) {
+    if (p.size < 0.0 || p.size <= prev_size) {
+      throw ConfigError("efficiency curve sizes must be increasing");
+    }
+    if (p.efficiency <= 0.0 || p.efficiency > 1.0) {
+      throw ConfigError(
+          StrFormat("efficiency %g out of (0, 1]", p.efficiency));
+    }
+    prev_size = p.size;
+  }
+}
+
+double EfficiencyCurve::At(double size) const {
+  if (points_.size() == 1 || size <= points_.front().size) {
+    return points_.front().efficiency;
+  }
+  if (size >= points_.back().size) return points_.back().efficiency;
+  // Find the segment containing `size` and interpolate in log-size space
+  // (sizes span many orders of magnitude; linear-in-log is the natural
+  // shape for saturation curves).
+  auto hi = std::upper_bound(
+      points_.begin(), points_.end(), size,
+      [](double s, const Point& p) { return s < p.size; });
+  auto lo = hi - 1;
+  const double lo_size = std::max(lo->size, 1.0);
+  const double hi_size = std::max(hi->size, lo_size * (1.0 + 1e-12));
+  const double f = (std::log(std::max(size, 1.0)) - std::log(lo_size)) /
+                   (std::log(hi_size) - std::log(lo_size));
+  const double clamped = std::clamp(f, 0.0, 1.0);
+  return lo->efficiency + clamped * (hi->efficiency - lo->efficiency);
+}
+
+json::Value EfficiencyCurve::ToJson() const {
+  if (is_flat()) return json::Value(points_.front().efficiency);
+  json::Array arr;
+  for (const Point& p : points_) {
+    arr.push_back(json::Array{p.size, p.efficiency});
+  }
+  return json::Value(std::move(arr));
+}
+
+EfficiencyCurve EfficiencyCurve::FromJson(const json::Value& v) {
+  if (v.is_number()) return EfficiencyCurve(v.AsDouble());
+  std::vector<Point> points;
+  for (const json::Value& pv : v.AsArray()) {
+    const json::Array& pair = pv.AsArray();
+    if (pair.size() != 2) throw ConfigError("efficiency point needs 2 items");
+    points.push_back({pair[0].AsDouble(), pair[1].AsDouble()});
+  }
+  return EfficiencyCurve(std::move(points));
+}
+
+}  // namespace calculon

@@ -1,0 +1,45 @@
+// Size-dependent efficiency curves.
+//
+// The paper's hardware model parameterizes the performance of each resource
+// (matrix unit, vector unit, memories, networks) by input size: small GEMMs
+// run at a lower fraction of peak than large ones, short messages do not
+// saturate link bandwidth, etc. A curve is a piecewise mapping from "size"
+// (FLOPs of an operation, bytes of a transfer) to a fraction of peak in
+// (0, 1], interpolated log-linearly between the given points.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace calculon {
+
+class EfficiencyCurve {
+ public:
+  struct Point {
+    double size;        // operation size (flops or bytes); >= 0
+    double efficiency;  // fraction of peak in (0, 1]
+  };
+
+  // Flat efficiency, independent of size.
+  explicit EfficiencyCurve(double flat = 1.0);
+  // Piecewise curve; points must have strictly increasing sizes and
+  // efficiencies in (0, 1]. Sizes below the first point clamp to the first
+  // efficiency; sizes above the last clamp to the last.
+  explicit EfficiencyCurve(std::vector<Point> points);
+
+  // Efficiency at a given operation size.
+  [[nodiscard]] double At(double size) const;
+
+  [[nodiscard]] bool is_flat() const { return points_.size() == 1; }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+  [[nodiscard]] json::Value ToJson() const;
+  [[nodiscard]] static EfficiencyCurve FromJson(const json::Value& v);
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace calculon

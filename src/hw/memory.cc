@@ -1,0 +1,45 @@
+#include "hw/memory.h"
+
+#include <limits>
+
+#include "util/strings.h"
+
+namespace calculon {
+
+Memory::Memory(double capacity_bytes, double bandwidth_bytes_per_s,
+               EfficiencyCurve efficiency)
+    : capacity_(capacity_bytes),
+      bandwidth_(bandwidth_bytes_per_s),
+      efficiency_(std::move(efficiency)) {
+  if (capacity_ < 0.0 || bandwidth_ < 0.0) {
+    throw ConfigError("memory capacity/bandwidth must be >= 0");
+  }
+}
+
+double Memory::AccessTime(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  const double bw = EffectiveBandwidth(bytes);
+  if (bw <= 0.0) return std::numeric_limits<double>::infinity();
+  return bytes / bw;
+}
+
+double Memory::EffectiveBandwidth(double bytes) const {
+  return bandwidth_ * efficiency_.At(bytes);
+}
+
+json::Value Memory::ToJson() const {
+  json::Object o;
+  o["capacity"] = capacity_;
+  o["bandwidth"] = bandwidth_;
+  o["efficiency"] = efficiency_.ToJson();
+  return json::Value(std::move(o));
+}
+
+Memory Memory::FromJson(const json::Value& v) {
+  return Memory(v.at("capacity").AsDouble(), v.at("bandwidth").AsDouble(),
+                v.contains("efficiency")
+                    ? EfficiencyCurve::FromJson(v.at("efficiency"))
+                    : EfficiencyCurve(1.0));
+}
+
+}  // namespace calculon

@@ -1,0 +1,38 @@
+// Memory tier model: capacity, bandwidth and a size-based efficiency curve.
+//
+// The processor has a two-level hierarchy: tier 1 (HBM) feeds computation,
+// tier 2 (CPU DDR / CXL) stashes bulk data for tensor offloading.
+#pragma once
+
+#include "hw/efficiency.h"
+#include "json/json.h"
+
+namespace calculon {
+
+class Memory {
+ public:
+  Memory() = default;
+  Memory(double capacity_bytes, double bandwidth_bytes_per_s,
+         EfficiencyCurve efficiency = EfficiencyCurve(1.0));
+
+  // Time to move `bytes` through this memory. Zero bytes take zero time; a
+  // zero-bandwidth (absent) tier reports infinity for any positive transfer.
+  [[nodiscard]] double AccessTime(double bytes) const;
+
+  // Achievable bandwidth for transfers of a given size.
+  [[nodiscard]] double EffectiveBandwidth(double bytes) const;
+
+  [[nodiscard]] double capacity() const { return capacity_; }
+  [[nodiscard]] double bandwidth() const { return bandwidth_; }
+  [[nodiscard]] bool present() const { return capacity_ > 0.0; }
+
+  [[nodiscard]] json::Value ToJson() const;
+  [[nodiscard]] static Memory FromJson(const json::Value& v);
+
+ private:
+  double capacity_ = 0.0;
+  double bandwidth_ = 0.0;
+  EfficiencyCurve efficiency_{1.0};
+};
+
+}  // namespace calculon

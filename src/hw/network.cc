@@ -1,0 +1,119 @@
+#include "hw/network.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace calculon {
+
+const char* ToString(Collective op) {
+  switch (op) {
+    case Collective::kAllReduce: return "all-reduce";
+    case Collective::kAllGather: return "all-gather";
+    case Collective::kReduceScatter: return "reduce-scatter";
+    case Collective::kBroadcast: return "broadcast";
+    case Collective::kPointToPoint: return "p2p";
+  }
+  return "?";
+}
+
+Network::Network(std::int64_t size, double bandwidth_bytes_per_s,
+                 double latency_s, EfficiencyCurve efficiency,
+                 bool in_network_collectives, double processor_fraction)
+    : size_(size),
+      bandwidth_(bandwidth_bytes_per_s),
+      latency_(latency_s),
+      efficiency_(std::move(efficiency)),
+      in_network_(in_network_collectives),
+      proc_fraction_(processor_fraction) {
+  if (size_ < 1) throw ConfigError("network size must be >= 1");
+  if (bandwidth_ < 0.0 || latency_ < 0.0) {
+    throw ConfigError("network bandwidth/latency must be >= 0");
+  }
+  if (proc_fraction_ < 0.0 || proc_fraction_ > 1.0) {
+    throw ConfigError("network processor fraction out of [0, 1]");
+  }
+}
+
+double Network::EffectiveBandwidth(double bytes) const {
+  return bandwidth_ * efficiency_.At(bytes);
+}
+
+double Network::LinkBytes(Collective op, std::int64_t members,
+                          double bytes) const {
+  if (members <= 1 || bytes <= 0.0) return 0.0;
+  const double n = static_cast<double>(members);
+  const double share = (n - 1.0) / n;
+  switch (op) {
+    case Collective::kAllReduce:
+      // Ring all-reduce = reduce-scatter + all-gather. In-network reduction
+      // sends the payload once.
+      return in_network_ ? bytes : 2.0 * share * bytes;
+    case Collective::kAllGather:
+    case Collective::kReduceScatter:
+      return share * bytes;
+    case Collective::kBroadcast:
+    case Collective::kPointToPoint:
+      return bytes;
+  }
+  return bytes;
+}
+
+double Network::CollectiveTime(Collective op, std::int64_t members,
+                               double bytes) const {
+  if (members <= 1 || bytes <= 0.0) return 0.0;
+  const double link_bytes = LinkBytes(op, members, bytes);
+  const double bw = EffectiveBandwidth(link_bytes);
+  if (bw <= 0.0) return std::numeric_limits<double>::infinity();
+  // Latency: ring collectives serialize (members - 1) steps per phase;
+  // point-to-point and in-network operations pay a single hop.
+  double steps = 1.0;
+  const double n = static_cast<double>(members);
+  switch (op) {
+    case Collective::kAllReduce:
+      steps = in_network_ ? 2.0 : 2.0 * (n - 1.0);
+      break;
+    case Collective::kAllGather:
+    case Collective::kReduceScatter:
+      steps = n - 1.0;
+      break;
+    case Collective::kBroadcast:
+      steps = std::ceil(std::log2(n));
+      break;
+    case Collective::kPointToPoint:
+      steps = 1.0;
+      break;
+  }
+  return link_bytes / bw + steps * latency_;
+}
+
+Network Network::WithSize(std::int64_t size) const {
+  Network copy = *this;
+  if (size < 1) throw ConfigError("network size must be >= 1");
+  copy.size_ = size;
+  return copy;
+}
+
+json::Value Network::ToJson() const {
+  json::Object o;
+  o["size"] = size_;
+  o["bandwidth"] = bandwidth_;
+  o["latency"] = latency_;
+  o["efficiency"] = efficiency_.ToJson();
+  o["in_network_collectives"] = in_network_;
+  o["processor_fraction"] = proc_fraction_;
+  return json::Value(std::move(o));
+}
+
+Network Network::FromJson(const json::Value& v) {
+  return Network(v.at("size").AsInt(), v.at("bandwidth").AsDouble(),
+                 v.GetDouble("latency", 0.0),
+                 v.contains("efficiency")
+                     ? EfficiencyCurve::FromJson(v.at("efficiency"))
+                     : EfficiencyCurve(1.0),
+                 v.GetBool("in_network_collectives", false),
+                 v.GetDouble("processor_fraction", 0.0));
+}
+
+}  // namespace calculon

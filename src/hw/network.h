@@ -1,0 +1,73 @@
+// Network tier model.
+//
+// Each processor connects to one or more networks. A network is programmed
+// with a size (how many processors its domain spans), per-direction link
+// bandwidth, latency, a size-based efficiency curve, whether it supports
+// in-network collectives (SHARP-style all-reduce at wire speed), and the
+// fraction of processor compute consumed when driving the network at full
+// bandwidth (used to model the slowdown of communication/compute overlap).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/efficiency.h"
+#include "json/json.h"
+
+namespace calculon {
+
+enum class Collective {
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kBroadcast,
+  kPointToPoint,
+};
+
+[[nodiscard]] const char* ToString(Collective op);
+
+class Network {
+ public:
+  Network() = default;
+  Network(std::int64_t size, double bandwidth_bytes_per_s, double latency_s,
+          EfficiencyCurve efficiency = EfficiencyCurve(1.0),
+          bool in_network_collectives = false,
+          double processor_fraction = 0.0);
+
+  // Time for `op` over a communicator of `members` processors moving a
+  // payload of `bytes` (the full tensor size; per-member shares are derived
+  // from the ring algorithms). A communicator of one member costs nothing.
+  [[nodiscard]] double CollectiveTime(Collective op, std::int64_t members,
+                                      double bytes) const;
+
+  // Bytes that actually cross this processor's link for `op` (used for
+  // bandwidth-demand accounting and overlap modeling).
+  [[nodiscard]] double LinkBytes(Collective op, std::int64_t members,
+                                 double bytes) const;
+
+  [[nodiscard]] std::int64_t size() const { return size_; }
+  [[nodiscard]] double bandwidth() const { return bandwidth_; }
+  [[nodiscard]] double latency() const { return latency_; }
+  [[nodiscard]] bool in_network_collectives() const { return in_network_; }
+  [[nodiscard]] double processor_fraction() const { return proc_fraction_; }
+
+  [[nodiscard]] double EffectiveBandwidth(double bytes) const;
+  [[nodiscard]] const EfficiencyCurve& efficiency() const {
+    return efficiency_;
+  }
+
+  // Copy of this network with a different domain size.
+  [[nodiscard]] Network WithSize(std::int64_t size) const;
+
+  [[nodiscard]] json::Value ToJson() const;
+  [[nodiscard]] static Network FromJson(const json::Value& v);
+
+ private:
+  std::int64_t size_ = 1;
+  double bandwidth_ = 0.0;
+  double latency_ = 0.0;
+  EfficiencyCurve efficiency_{1.0};
+  bool in_network_ = false;
+  double proc_fraction_ = 0.0;
+};
+
+}  // namespace calculon

@@ -1,0 +1,44 @@
+// Built-in hardware system presets matching the configurations the paper
+// evaluates: A100-based clusters (Selene-like, NVLink 8 + InfiniBand HDR)
+// and H100-based clusters (NVLink 8 + InfiniBand NDR) with configurable HBM
+// capacity, NVLink domain size, and an optional offload memory tier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/system.h"
+#include "util/units.h"
+
+namespace calculon::presets {
+
+// Options shared by the builders; defaults give the paper's baselines.
+struct SystemOptions {
+  std::int64_t num_procs = 4096;
+  std::int64_t nvlink_domain = 8;      // processors per fast domain
+  double hbm_capacity = 80.0 * kGiB;   // tier-1 capacity per processor
+  double offload_capacity = 0.0;       // tier-2 capacity (0 = absent)
+  double offload_bandwidth = 0.0;      // tier-2 bytes/s per direction
+};
+
+// NVIDIA A100 SXM 80 GiB-class processor: 312 Tflop/s fp16 matrix,
+// 78 Tflop/s vector, ~2 TB/s HBM2e, NVLink3 300 GB/s/direction,
+// InfiniBand HDR 25 GB/s.
+[[nodiscard]] System A100(const SystemOptions& options = {});
+
+// NVIDIA H100 SXM-class processor: 990 Tflop/s fp16 matrix, 134 Tflop/s
+// vector, 3 TB/s HBM3 (the paper's fixed rate for all HBM variants),
+// NVLink4 450 GB/s/direction, InfiniBand NDR 50 GB/s.
+[[nodiscard]] System H100(const SystemOptions& options = {});
+
+// H100 with a three-tier network: 8-GPU board, a 256-GPU switched NVLink
+// domain at half rate, and InfiniBand NDR beyond — lets TP scale past one
+// board (`options.nvlink_domain` is ignored).
+[[nodiscard]] System H100Nvl256(const SystemOptions& options = {});
+
+// Lookup by name ("a100_80g", "h100_80g", ...). Throws ConfigError on
+// unknown names. Recognized names are listed in `SystemNames()`.
+[[nodiscard]] System SystemByName(const std::string& name);
+[[nodiscard]] std::vector<std::string> SystemNames();
+
+}  // namespace calculon::presets

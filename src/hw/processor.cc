@@ -1,0 +1,75 @@
+#include "hw/processor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace calculon {
+
+ComputeUnit::ComputeUnit(double peak_flops, EfficiencyCurve efficiency)
+    : peak_(peak_flops), efficiency_(std::move(efficiency)) {
+  if (peak_ < 0.0) throw ConfigError("peak flops must be >= 0");
+}
+
+double ComputeUnit::FlopTime(double flops) const {
+  if (flops <= 0.0) return 0.0;
+  const double rate = peak_ * efficiency_.At(flops);
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return flops / rate;
+}
+
+json::Value ComputeUnit::ToJson() const {
+  json::Object o;
+  o["flops"] = peak_;
+  o["efficiency"] = efficiency_.ToJson();
+  return json::Value(std::move(o));
+}
+
+ComputeUnit ComputeUnit::FromJson(const json::Value& v) {
+  return ComputeUnit(v.at("flops").AsDouble(),
+                     v.contains("efficiency")
+                         ? EfficiencyCurve::FromJson(v.at("efficiency"))
+                         : EfficiencyCurve(1.0));
+}
+
+double Processor::OpTime(ComputeKind kind, double flops, double bytes,
+                         double compute_slowdown) const {
+  const ComputeUnit& unit = (kind == ComputeKind::kMatrix) ? matrix : vector;
+  double flop_time = unit.FlopTime(flops);
+  if (compute_slowdown > 0.0 && compute_slowdown < 1.0) {
+    flop_time /= (1.0 - compute_slowdown);
+  }
+  const double mem_time = mem1.AccessTime(bytes);
+  return roofline == RooflineMode::kMax ? std::max(flop_time, mem_time)
+                                        : flop_time + mem_time;
+}
+
+json::Value Processor::ToJson() const {
+  json::Object o;
+  o["matrix"] = matrix.ToJson();
+  o["vector"] = vector.ToJson();
+  o["mem1"] = mem1.ToJson();
+  o["mem2"] = mem2.ToJson();
+  o["roofline"] = roofline == RooflineMode::kMax ? "max" : "sum";
+  return json::Value(std::move(o));
+}
+
+Processor Processor::FromJson(const json::Value& v) {
+  Processor p;
+  p.matrix = ComputeUnit::FromJson(v.at("matrix"));
+  p.vector = ComputeUnit::FromJson(v.at("vector"));
+  p.mem1 = Memory::FromJson(v.at("mem1"));
+  if (v.contains("mem2")) p.mem2 = Memory::FromJson(v.at("mem2"));
+  const std::string mode = v.GetString("roofline", "max");
+  if (mode == "max") {
+    p.roofline = RooflineMode::kMax;
+  } else if (mode == "sum") {
+    p.roofline = RooflineMode::kSum;
+  } else {
+    throw ConfigError("roofline must be 'max' or 'sum', got '" + mode + "'");
+  }
+  return p;
+}
+
+}  // namespace calculon

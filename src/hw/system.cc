@@ -1,0 +1,62 @@
+#include "hw/system.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace calculon {
+
+System::System(std::string name, std::int64_t num_procs, Processor proc,
+               std::vector<Network> networks)
+    : name_(std::move(name)),
+      num_procs_(num_procs),
+      proc_(std::move(proc)),
+      networks_(std::move(networks)) {
+  if (num_procs_ < 1) throw ConfigError("system needs >= 1 processor");
+  if (networks_.empty()) throw ConfigError("system needs >= 1 network");
+  std::sort(networks_.begin(), networks_.end(),
+            [](const Network& a, const Network& b) {
+              return a.size() < b.size();
+            });
+}
+
+const Network* System::NetworkForSpan(std::int64_t span) const {
+  for (const Network& net : networks_) {
+    if (net.size() >= span) return &net;
+  }
+  return nullptr;
+}
+
+System System::WithNumProcs(std::int64_t n) const {
+  System copy = *this;
+  if (n < 1) throw ConfigError("system needs >= 1 processor");
+  copy.num_procs_ = n;
+  // The outermost network always spans the machine: grow it if needed so
+  // size sweeps do not silently make large partitions unroutable.
+  if (!copy.networks_.empty() && copy.networks_.back().size() < n) {
+    copy.networks_.back() = copy.networks_.back().WithSize(n);
+  }
+  return copy;
+}
+
+json::Value System::ToJson() const {
+  json::Object o;
+  o["name"] = name_;
+  o["num_procs"] = num_procs_;
+  o["processor"] = proc_.ToJson();
+  json::Array nets;
+  for (const Network& n : networks_) nets.push_back(n.ToJson());
+  o["networks"] = json::Value(std::move(nets));
+  return json::Value(std::move(o));
+}
+
+System System::FromJson(const json::Value& v) {
+  std::vector<Network> nets;
+  for (const json::Value& nv : v.at("networks").AsArray()) {
+    nets.push_back(Network::FromJson(nv));
+  }
+  return System(v.GetString("name", "unnamed"), v.at("num_procs").AsInt(),
+                Processor::FromJson(v.at("processor")), std::move(nets));
+}
+
+}  // namespace calculon

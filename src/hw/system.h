@@ -1,0 +1,48 @@
+// Whole-system description: processor count, the processor model, and the
+// network tiers the processors connect to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/network.h"
+#include "hw/processor.h"
+#include "json/json.h"
+
+namespace calculon {
+
+class System {
+ public:
+  System() = default;
+  System(std::string name, std::int64_t num_procs, Processor proc,
+         std::vector<Network> networks);
+
+  // The network a communicator spanning `span` consecutive processors uses:
+  // the smallest tier whose domain covers the span. Communicators are placed
+  // innermost-first (TP, then PP, then DP), so a communicator's span is the
+  // product of its own size and the sizes of all parallelism modes nested
+  // inside it. Returns nullptr when no tier is large enough.
+  [[nodiscard]] const Network* NetworkForSpan(std::int64_t span) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::int64_t num_procs() const { return num_procs_; }
+  [[nodiscard]] const Processor& proc() const { return proc_; }
+  [[nodiscard]] const std::vector<Network>& networks() const {
+    return networks_;
+  }
+
+  // Copy with a different processor count (used by system-size sweeps).
+  [[nodiscard]] System WithNumProcs(std::int64_t n) const;
+
+  [[nodiscard]] json::Value ToJson() const;
+  [[nodiscard]] static System FromJson(const json::Value& v);
+
+ private:
+  std::string name_;
+  std::int64_t num_procs_ = 1;
+  Processor proc_;
+  std::vector<Network> networks_;  // ascending by size
+};
+
+}  // namespace calculon

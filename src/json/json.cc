@@ -1,0 +1,462 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace calculon::json {
+
+const char* ToString(Type type) {
+  switch (type) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+Value::Value(Array a)
+    : type_(Type::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+Value::Value(Object o)
+    : type_(Type::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+namespace {
+[[noreturn]] void TypeMismatch(Type want, Type got) {
+  throw ConfigError(StrFormat("json: expected %s, got %s", ToString(want),
+                              ToString(got)));
+}
+}  // namespace
+
+bool Value::AsBool() const {
+  if (type_ != Type::kBool) TypeMismatch(Type::kBool, type_);
+  return bool_;
+}
+
+double Value::AsDouble() const {
+  if (type_ != Type::kNumber) TypeMismatch(Type::kNumber, type_);
+  return num_;
+}
+
+std::int64_t Value::AsInt() const {
+  if (type_ != Type::kNumber) TypeMismatch(Type::kNumber, type_);
+  const auto i = static_cast<std::int64_t>(num_);
+  if (static_cast<double>(i) != num_) {
+    throw ConfigError(StrFormat("json: %g is not an integer", num_));
+  }
+  return i;
+}
+
+const std::string& Value::AsString() const {
+  if (type_ != Type::kString) TypeMismatch(Type::kString, type_);
+  return str_;
+}
+
+const Array& Value::AsArray() const {
+  if (type_ != Type::kArray) TypeMismatch(Type::kArray, type_);
+  return *arr_;
+}
+
+const Object& Value::AsObject() const {
+  if (type_ != Type::kObject) TypeMismatch(Type::kObject, type_);
+  return *obj_;
+}
+
+Array& Value::AsArray() {
+  if (type_ != Type::kArray) TypeMismatch(Type::kArray, type_);
+  if (arr_.use_count() > 1) arr_ = std::make_shared<Array>(*arr_);
+  return *arr_;
+}
+
+Object& Value::AsObject() {
+  if (type_ != Type::kObject) TypeMismatch(Type::kObject, type_);
+  if (obj_.use_count() > 1) obj_ = std::make_shared<Object>(*obj_);
+  return *obj_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Object& obj = AsObject();
+  auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw ConfigError(StrFormat("json: missing key '%s'", key.c_str()));
+  }
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return is_object() && obj_->count(key) > 0;
+}
+
+bool Value::GetBool(const std::string& key, bool def) const {
+  return contains(key) ? at(key).AsBool() : def;
+}
+double Value::GetDouble(const std::string& key, double def) const {
+  return contains(key) ? at(key).AsDouble() : def;
+}
+std::int64_t Value::GetInt(const std::string& key, std::int64_t def) const {
+  return contains(key) ? at(key).AsInt() : def;
+}
+std::string Value::GetString(const std::string& key, std::string def) const {
+  return contains(key) ? at(key).AsString() : def;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kObject;
+    obj_ = std::make_shared<Object>();
+  }
+  return AsObject()[key];
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return a.bool_ == b.bool_;
+    case Type::kNumber: return a.num_ == b.num_;
+    case Type::kString: return a.str_ == b.str_;
+    case Type::kArray: return *a.arr_ == *b.arr_;
+    case Type::kObject: return *a.obj_ == *b.obj_;
+  }
+  return false;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(std::string& out, double d) {
+  if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+      std::fabs(d) < 1e15) {
+    out += std::to_string(static_cast<std::int64_t>(d));
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Value::AppendTo(std::string& out, int indent, int depth) const {
+  std::string pad;
+  std::string pad_close;
+  if (indent > 0) {
+    pad.assign(1 + static_cast<std::size_t>(indent) *
+                       (static_cast<std::size_t>(depth) + 1),
+               ' ');
+    pad[0] = '\n';
+    pad_close.assign(
+        1 + static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+        ' ');
+    pad_close[0] = '\n';
+  }
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: AppendNumber(out, num_); break;
+    case Type::kString: AppendEscaped(out, str_); break;
+    case Type::kArray: {
+      if (arr_->empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& v : *arr_) {
+        if (!first) out += ',';
+        if (indent > 0) out += pad; else if (!first) out += ' ';
+        v.AppendTo(out, indent, depth + 1);
+        first = false;
+      }
+      out += pad_close;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_->empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : *obj_) {
+        if (!first) out += ',';
+        if (indent > 0) out += pad; else if (!first) out += ' ';
+        AppendEscaped(out, k);
+        out += ": ";
+        v.AppendTo(out, indent, depth + 1);
+        first = false;
+      }
+      out += pad_close;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  AppendTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser with line/column error reporting.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value ParseDocument() {
+    Value v = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& msg) const {
+    int line = 1;
+    int col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ConfigError(
+        StrFormat("json parse error at %d:%d: %s", line, col, msg.c_str()));
+  }
+
+  [[nodiscard]] bool AtEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char Next() {
+    if (AtEnd()) Fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (!AtEnd() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(StrFormat("expected '%c'", c));
+    ++pos_;
+  }
+
+  Value ParseValue() {
+    SkipWhitespace();
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return Value(ParseString());
+      case 't': ParseLiteral("true"); return Value(true);
+      case 'f': ParseLiteral("false"); return Value(false);
+      case 'n': ParseLiteral("null"); return Value(nullptr);
+      default: return ParseNumber();
+    }
+  }
+
+  void ParseLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      Fail(StrFormat("expected '%.*s'", static_cast<int>(lit.size()),
+                     lit.data()));
+    }
+    pos_ += lit.size();
+  }
+
+  Value ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-' || Peek() == '+') ++pos_;
+    bool has_digits = false;
+    auto eat_digits = [&] {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+        has_digits = true;
+      }
+    };
+    eat_digits();
+    if (Peek() == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '-' || Peek() == '+') ++pos_;
+      eat_digits();
+    }
+    if (!has_digits) Fail("invalid number");
+    const std::string token(text_.substr(start, pos_ - start));
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      const char c = Next();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char e = Next();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = Next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else Fail("invalid \\u escape");
+            }
+            // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+            // passed through as replacement bytes, which spec files never use).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: Fail("invalid escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Value ParseArray() {
+    Expect('[');
+    Array arr;
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(ParseValue());
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWhitespace();
+        if (Peek() == ']') {  // trailing comma
+          ++pos_;
+          break;
+        }
+        continue;
+      }
+      Expect(']');
+      break;
+    }
+    return Value(std::move(arr));
+  }
+
+  Value ParseObject() {
+    Expect('{');
+    Object obj;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      obj[std::move(key)] = ParseValue();
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        SkipWhitespace();
+        if (Peek() == '}') {  // trailing comma
+          ++pos_;
+          break;
+        }
+        continue;
+      }
+      Expect('}');
+      break;
+    }
+    return Value(std::move(obj));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Parse(std::string_view text) { return Parser(text).ParseDocument(); }
+
+Value ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str());
+}
+
+void WriteFile(const std::string& path, const Value& value, int indent) {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("cannot write file: " + path);
+  out << value.Dump(indent) << '\n';
+}
+
+}  // namespace calculon::json

@@ -1,0 +1,43 @@
+// LLM application description, following the Megatron framing of Section 2.1:
+// a stack of identical transformer blocks (Fig. 1) parameterized by the
+// hidden size, number of attention heads, feed-forward size, sequence
+// length, and number of blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "json/json.h"
+
+namespace calculon {
+
+struct Application {
+  std::string name = "unnamed";
+  std::int64_t hidden = 0;       // embedding / residual width
+  std::int64_t feedforward = 0;  // MLP inner width (usually 4 * hidden)
+  std::int64_t attn_heads = 0;   // number of attention heads
+  std::int64_t attn_size = 0;    // per-head width (usually hidden / heads)
+  std::int64_t seq_size = 0;     // input sequence length (tokens)
+  std::int64_t num_blocks = 0;   // transformer block count
+  // Vocabulary size for the (untied) embedding and output projection on
+  // the edge pipeline stages. 0 (the default, and what the paper's tool
+  // uses) models only the block stack.
+  std::int64_t vocab_size = 0;
+
+  // Learnable parameters of one transformer block (QKV + output projection
+  // + two MLP matrices, their biases, and two LayerNorm gain/bias pairs).
+  [[nodiscard]] std::int64_t BlockParameters() const;
+
+  // Total learnable parameters: the block stack plus (when vocab_size is
+  // set) the untied input embedding and output projection tables.
+  [[nodiscard]] std::int64_t TotalParameters() const;
+  [[nodiscard]] std::int64_t EmbeddingParameters() const;
+
+  // Throws ConfigError when any field is missing/nonsensical.
+  void Validate() const;
+
+  [[nodiscard]] json::Value ToJson() const;
+  [[nodiscard]] static Application FromJson(const json::Value& v);
+};
+
+}  // namespace calculon

@@ -1,0 +1,73 @@
+#include "models/presets.h"
+
+#include "util/error.h"
+
+namespace calculon::presets {
+namespace {
+
+Application Make(std::string name, std::int64_t hidden, std::int64_t heads,
+                 std::int64_t seq, std::int64_t blocks) {
+  Application app;
+  app.name = std::move(name);
+  app.hidden = hidden;
+  app.feedforward = 4 * hidden;
+  app.attn_heads = heads;
+  app.attn_size = hidden / heads;
+  app.seq_size = seq;
+  app.num_blocks = blocks;
+  app.Validate();
+  return app;
+}
+
+}  // namespace
+
+// Shapes follow the published Megatron / Turing-NLG / GPT-3 configurations
+// (12·h²·blocks gives the headline parameter counts).
+Application Gpt2_1p5B() { return Make("gpt2_1p5b", 1600, 25, 1024, 48); }
+Application Gpt3_6p7B() { return Make("gpt3_6p7b", 4096, 32, 2048, 32); }
+Application Gpt3_13B() { return Make("gpt3_13b", 5120, 40, 2048, 40); }
+Application Megatron22B() { return Make("megatron_22b", 6144, 64, 2048, 48); }
+Application Anthropic52B() {
+  return Make("anthropic_52b", 8192, 64, 8192, 64);
+}
+Application Chinchilla70B() {
+  return Make("chinchilla_70b", 8192, 64, 2048, 80);
+}
+// Llama-2 70B approximated with multi-head attention and its published
+// non-4h feed-forward width (grouped-query attention is not modeled, so
+// the parameter count lands slightly above the official 70B).
+Application Llama2_70B() {
+  Application app = Make("llama2_70b", 8192, 64, 4096, 80);
+  app.feedforward = 28672;
+  return app;
+}
+Application Bloom176B() { return Make("bloom_176b", 14336, 112, 2048, 70); }
+Application Gpt3_175B() { return Make("gpt3_175b", 12288, 96, 2048, 96); }
+Application TuringNlg530B() {
+  return Make("turing_530b", 20480, 128, 2048, 105);
+}
+Application Megatron1T() { return Make("megatron_1t", 25600, 160, 2048, 128); }
+
+Application ApplicationByName(const std::string& name) {
+  if (name == "gpt2_1p5b") return Gpt2_1p5B();
+  if (name == "gpt3_6p7b") return Gpt3_6p7B();
+  if (name == "gpt3_13b") return Gpt3_13B();
+  if (name == "megatron_22b") return Megatron22B();
+  if (name == "anthropic_52b") return Anthropic52B();
+  if (name == "llama2_70b") return Llama2_70B();
+  if (name == "chinchilla_70b") return Chinchilla70B();
+  if (name == "gpt3_175b") return Gpt3_175B();
+  if (name == "bloom_176b") return Bloom176B();
+  if (name == "turing_530b") return TuringNlg530B();
+  if (name == "megatron_1t") return Megatron1T();
+  throw ConfigError("unknown application preset: " + name);
+}
+
+std::vector<std::string> ApplicationNames() {
+  return {"gpt2_1p5b",  "gpt3_6p7b",     "gpt3_13b",
+          "megatron_22b", "anthropic_52b", "llama2_70b",
+          "chinchilla_70b", "gpt3_175b",   "bloom_176b",
+          "turing_530b",  "megatron_1t"};
+}
+
+}  // namespace calculon::presets

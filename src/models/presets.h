@@ -1,0 +1,29 @@
+// Built-in LLM application presets used throughout the paper's evaluation,
+// plus a few popular models the original tool ships configurations for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/application.h"
+
+namespace calculon::presets {
+
+[[nodiscard]] Application Gpt2_1p5B();
+[[nodiscard]] Application Gpt3_6p7B();
+[[nodiscard]] Application Gpt3_13B();
+[[nodiscard]] Application Megatron22B();    // validation model (Table 2)
+[[nodiscard]] Application Anthropic52B();
+[[nodiscard]] Application Llama2_70B();     // MHA approximation (no GQA)
+[[nodiscard]] Application Chinchilla70B();
+[[nodiscard]] Application Gpt3_175B();      // Fig. 3, 6, 7, 10, 11, Table 3
+[[nodiscard]] Application Bloom176B();
+[[nodiscard]] Application TuringNlg530B();  // Fig. 7, 10, 11, Table 3
+[[nodiscard]] Application Megatron1T();     // Fig. 4, 5, 9, 12, Tables 3, 4
+
+// Lookup by name ("gpt3_175b", "megatron_1t", ...). Throws ConfigError on
+// unknown names; recognized names are listed in `ApplicationNames()`.
+[[nodiscard]] Application ApplicationByName(const std::string& name);
+[[nodiscard]] std::vector<std::string> ApplicationNames();
+
+}  // namespace calculon::presets

@@ -1,0 +1,80 @@
+#include "runner/calibrate.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace calculon {
+
+System ApplyMatrixScale(const System& sys, double scale) {
+  if (scale <= 0.0) throw ConfigError("matrix scale must be > 0");
+  Processor proc = sys.proc();
+  proc.matrix = ComputeUnit(proc.matrix.peak_flops() * scale,
+                            // Re-derive the curve via JSON round trip to
+                            // keep this independent of ComputeUnit's
+                            // internals.
+                            EfficiencyCurve::FromJson(
+                                proc.matrix.ToJson().at("efficiency")));
+  return System(sys.name(), sys.num_procs(), proc, sys.networks());
+}
+
+double CalibrationError(const System& sys,
+                        const std::vector<Measurement>& ms) {
+  if (ms.empty()) throw ConfigError("calibration needs >= 1 measurement");
+  double sum = 0.0;
+  for (const Measurement& m : ms) {
+    if (m.measured_seconds <= 0.0) {
+      throw ConfigError("measured time must be > 0");
+    }
+    const System sized = sys.WithNumProcs(m.exec.num_procs);
+    const auto r = CalculatePerformance(m.app, m.exec, sized);
+    if (!r.ok()) {
+      sum += 100.0;  // infeasible prediction: large penalty
+      continue;
+    }
+    const double rel = r.value().batch_time / m.measured_seconds - 1.0;
+    sum += rel * rel;
+  }
+  return sum / static_cast<double>(ms.size());
+}
+
+CalibrationResult CalibrateMatrixScale(const System& sys,
+                                       const std::vector<Measurement>& ms,
+                                       double lo, double hi,
+                                       double tolerance) {
+  if (!(lo > 0.0) || !(hi > lo)) throw ConfigError("bad calibration range");
+  // Golden-section search: CalibrationError is unimodal in the scale for
+  // compute-dominated workloads (time decreases monotonically with scale,
+  // so the relative-error parabola has a single valley).
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo;
+  double b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  auto eval = [&](double scale) {
+    return CalibrationError(ApplyMatrixScale(sys, scale), ms);
+  };
+  double fc = eval(c);
+  double fd = eval(d);
+  while (b - a > tolerance) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = eval(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = eval(d);
+    }
+  }
+  CalibrationResult result;
+  result.scale = (a + b) / 2.0;
+  result.error = eval(result.scale);
+  return result;
+}
+
+}  // namespace calculon

@@ -1,0 +1,39 @@
+// Calibration utility: fits the model's effective matrix throughput to a
+// set of measured runs — the "semi-empirical" workflow of Section 1.
+// Given (application, execution, measured batch time) triples on one
+// hardware platform, finds the scalar on the matrix unit's throughput that
+// minimizes the mean squared relative error of the predictions.
+#pragma once
+
+#include <vector>
+
+#include "core/perf_model.h"
+
+namespace calculon {
+
+struct Measurement {
+  Application app;
+  Execution exec;
+  double measured_seconds = 0.0;
+};
+
+// Copy of `sys` with the matrix-unit peak multiplied by `scale` (the
+// efficiency curve is kept; scale > 1 means the platform outperforms the
+// current calibration).
+[[nodiscard]] System ApplyMatrixScale(const System& sys, double scale);
+
+// Mean squared relative error of the model on `measurements` (infeasible
+// predictions count as a large penalty).
+[[nodiscard]] double CalibrationError(const System& sys,
+                                      const std::vector<Measurement>& ms);
+
+// Golden-section search for the best matrix scale in [lo, hi].
+struct CalibrationResult {
+  double scale = 1.0;
+  double error = 0.0;  // mean squared relative error at `scale`
+};
+[[nodiscard]] CalibrationResult CalibrateMatrixScale(
+    const System& sys, const std::vector<Measurement>& ms, double lo = 0.25,
+    double hi = 4.0, double tolerance = 1e-4);
+
+}  // namespace calculon

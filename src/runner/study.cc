@@ -1,0 +1,183 @@
+#include "runner/study.h"
+
+#include <functional>
+#include <sstream>
+
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+// Applies one named field value onto an Execution. Throws ConfigError for
+// unknown fields (catches typos in study specs loudly).
+void ApplyField(Execution& e, const std::string& name,
+                const json::Value& value) {
+  if (name == "tensor_par") { e.tensor_par = value.AsInt(); return; }
+  if (name == "pipeline_par") { e.pipeline_par = value.AsInt(); return; }
+  if (name == "data_par") { e.data_par = value.AsInt(); return; }
+  if (name == "microbatch") { e.microbatch = value.AsInt(); return; }
+  if (name == "batch_size") { e.batch_size = value.AsInt(); return; }
+  if (name == "pp_interleaving") {
+    e.pp_interleaving = value.AsInt();
+    return;
+  }
+  if (name == "recompute") {
+    e.recompute = RecomputeFromString(value.AsString());
+    return;
+  }
+  if (name == "tp_overlap") {
+    e.tp_overlap = TpOverlapFromString(value.AsString());
+    return;
+  }
+  if (name == "training") { e.training = value.AsBool(); return; }
+  if (name == "fused_activation") {
+    e.fused_activation = value.AsBool();
+    return;
+  }
+  if (name == "pp_1f1b") { e.pp_1f1b = value.AsBool(); return; }
+  if (name == "pp_rs_ag") { e.pp_rs_ag = value.AsBool(); return; }
+  if (name == "tp_rs_ag") { e.tp_rs_ag = value.AsBool(); return; }
+  if (name == "seq_par") { e.seq_par = value.AsBool(); return; }
+  if (name == "seq_par_ag_redo") {
+    e.seq_par_ag_redo = value.AsBool();
+    return;
+  }
+  if (name == "dp_overlap") { e.dp_overlap = value.AsBool(); return; }
+  if (name == "optimizer_sharding") {
+    e.optimizer_sharding = value.AsBool();
+    return;
+  }
+  if (name == "weight_offload") {
+    e.weight_offload = value.AsBool();
+    return;
+  }
+  if (name == "activation_offload") {
+    e.activation_offload = value.AsBool();
+    return;
+  }
+  if (name == "optimizer_offload") {
+    e.optimizer_offload = value.AsBool();
+    return;
+  }
+  throw ConfigError("study: unknown sweep field '" + name + "'");
+}
+
+}  // namespace
+
+Study Study::FromJson(const json::Value& spec) {
+  Study study;
+  const json::Value& app = spec.at("application");
+  study.application = app.is_string()
+                          ? presets::ApplicationByName(app.AsString())
+                          : Application::FromJson(app);
+  const json::Value& sys = spec.at("system");
+  study.system = sys.is_string() ? presets::SystemByName(sys.AsString())
+                                 : System::FromJson(sys);
+  if (spec.contains("num_procs")) {
+    study.system = study.system.WithNumProcs(spec.at("num_procs").AsInt());
+  }
+  if (spec.contains("base_execution")) {
+    // Merge onto defaults: reuse FromJson by supplying required fields.
+    json::Value base = spec.at("base_execution");
+    base["num_procs"] = study.system.num_procs();
+    if (!base.contains("tensor_par")) base["tensor_par"] = 1;
+    if (!base.contains("pipeline_par")) base["pipeline_par"] = 1;
+    if (!base.contains("data_par")) base["data_par"] = 1;
+    if (!base.contains("batch_size")) {
+      base["batch_size"] = study.system.num_procs();
+    }
+    study.base = Execution::FromJson(base);
+  } else {
+    study.base.num_procs = study.system.num_procs();
+    study.base.batch_size = study.system.num_procs();
+  }
+  study.base.num_procs = study.system.num_procs();
+
+  if (spec.contains("sweep")) {
+    for (const auto& [name, values] : spec.at("sweep").AsObject()) {
+      if (values.is_string() && values.AsString() == "auto") {
+        if (name == "data_par") { study.auto_data_par = true; continue; }
+        if (name == "tensor_par") { study.auto_tensor_par = true; continue; }
+        if (name == "pipeline_par") {
+          study.auto_pipeline_par = true;
+          continue;
+        }
+        throw ConfigError("study: 'auto' only applies to parallelism axes");
+      }
+      study.axes.emplace_back(name, values.AsArray());
+    }
+  }
+  const int autos = static_cast<int>(study.auto_data_par) +
+                    static_cast<int>(study.auto_tensor_par) +
+                    static_cast<int>(study.auto_pipeline_par);
+  if (autos > 1) {
+    throw ConfigError("study: at most one parallelism axis can be 'auto'");
+  }
+  return study;
+}
+
+std::vector<StudyRow> Study::Run() const {
+  std::vector<StudyRow> rows;
+  std::function<void(std::size_t, Execution)> recurse =
+      [&](std::size_t axis, Execution e) {
+        if (axis == axes.size()) {
+          const std::int64_t n = system.num_procs();
+          if (auto_data_par && e.tensor_par * e.pipeline_par > 0 &&
+              n % (e.tensor_par * e.pipeline_par) == 0) {
+            e.data_par = n / (e.tensor_par * e.pipeline_par);
+          }
+          if (auto_tensor_par && e.pipeline_par * e.data_par > 0 &&
+              n % (e.pipeline_par * e.data_par) == 0) {
+            e.tensor_par = n / (e.pipeline_par * e.data_par);
+          }
+          if (auto_pipeline_par && e.tensor_par * e.data_par > 0 &&
+              n % (e.tensor_par * e.data_par) == 0) {
+            e.pipeline_par = n / (e.tensor_par * e.data_par);
+          }
+          rows.emplace_back(e, CalculatePerformance(application, e, system));
+          return;
+        }
+        for (const json::Value& value : axes[axis].second) {
+          Execution next = e;
+          ApplyField(next, axes[axis].first, value);
+          recurse(axis + 1, next);
+        }
+      };
+  recurse(0, base);
+  return rows;
+}
+
+std::string StudyCsv(const Study& study, const std::vector<StudyRow>& rows) {
+  std::ostringstream os;
+  os << "tensor_par,pipeline_par,data_par,microbatch,batch_size,"
+        "pp_interleaving,recompute,feasible,reason,batch_time_s,"
+        "sample_rate,mfu,hbm_bytes,tier2_bytes\n";
+  for (const StudyRow& row : rows) {
+    const Execution& e = row.exec;
+    os << e.tensor_par << ',' << e.pipeline_par << ',' << e.data_par << ','
+       << e.microbatch << ',' << e.batch_size << ',' << e.pp_interleaving
+       << ',' << ToString(e.recompute) << ',';
+    if (row.result.ok()) {
+      const Stats& s = row.result.value();
+      os << "1,," << StrFormat("%.6g", s.batch_time) << ','
+         << StrFormat("%.6g", s.sample_rate) << ','
+         << StrFormat("%.4f", s.mfu) << ','
+         << StrFormat("%.0f", s.tier1.Total()) << ','
+         << StrFormat("%.0f", s.tier2.Total());
+    } else {
+      std::string reason = row.result.detail();
+      for (char& c : reason) {
+        if (c == ',' || c == '\n') c = ';';
+      }
+      os << "0," << reason << ",,,,,";
+    }
+    os << '\n';
+  }
+  (void)study;
+  return os.str();
+}
+
+}  // namespace calculon

@@ -1,0 +1,65 @@
+// JSON-driven study runner: the reusable front end for "sweep these knobs,
+// give me a CSV" experiments, the day-to-day mode of using the tool.
+//
+// A study specification looks like:
+//
+//   {
+//     "application": "gpt3_175b",          // preset name or inline object
+//     "system": "a100_80g",                // preset name or inline object
+//     "num_procs": 512,                    // optional system resize
+//     "base_execution": {                  // defaults for unswept fields
+//       "batch_size": 512, "recompute": "full"
+//     },
+//     "sweep": {                           // cross product of these axes
+//       "tensor_par": [1, 2, 4, 8],
+//       "pipeline_par": [8, 16],
+//       "data_par": "auto",               // derived: procs / (t * p)
+//       "microbatch": [1, 2, 4]
+//     }
+//   }
+//
+// Sweepable fields: tensor_par, pipeline_par, data_par, microbatch,
+// batch_size, pp_interleaving, recompute, tp_overlap, and every boolean
+// option of Execution. "auto" on one of tensor_par/pipeline_par/data_par
+// derives it from the processor count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/perf_model.h"
+#include "json/json.h"
+
+namespace calculon {
+
+struct StudyRow {
+  Execution exec;
+  Result<Stats> result;
+
+  StudyRow(Execution e, Result<Stats> r)
+      : exec(std::move(e)), result(std::move(r)) {}
+};
+
+struct Study {
+  Application application;
+  System system;
+  Execution base;
+  // Field name -> candidate JSON values; "auto" handled at run time.
+  std::vector<std::pair<std::string, std::vector<json::Value>>> axes;
+  bool auto_data_par = false;
+  bool auto_tensor_par = false;
+  bool auto_pipeline_par = false;
+
+  [[nodiscard]] static Study FromJson(const json::Value& spec);
+
+  // Evaluates the full cross product (infeasible rows included, with their
+  // reasons).
+  [[nodiscard]] std::vector<StudyRow> Run() const;
+};
+
+// CSV with one row per configuration: the swept fields, feasibility, and
+// the headline statistics.
+[[nodiscard]] std::string StudyCsv(const Study& study,
+                                   const std::vector<StudyRow>& rows);
+
+}  // namespace calculon

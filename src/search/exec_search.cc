@@ -1,0 +1,221 @@
+#include "search/exec_search.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "search/pareto.h"
+#include "util/mathutil.h"
+
+namespace calculon {
+
+SearchSpace SearchSpace::MegatronBaseline() {
+  SearchSpace s;
+  s.recompute = {Recompute::kNone, Recompute::kFull};
+  s.tp_comm = {{false, false, false}};
+  s.tp_overlap = {TpOverlap::kNone};
+  s.fused_activation = {false};
+  s.dp_overlap = {false};
+  // Optimizer sharding predates Megatron's pipeline work (Table 1, 2019)
+  // and is part of the paper's Section 4 baseline memory-saving set.
+  s.optimizer_sharding = {false, true};
+  s.pp_rs_ag = {false};
+  s.offload = {{false, false, false}};
+  return s;
+}
+
+SearchSpace SearchSpace::SequenceParallel() {
+  SearchSpace s = MegatronBaseline();
+  s.recompute = {Recompute::kNone, Recompute::kAttnOnly, Recompute::kFull};
+  s.tp_comm = {{false, false, false},
+               {true, true, false},
+               {true, true, true}};
+  s.pp_rs_ag = {false, true};
+  return s;
+}
+
+SearchSpace SearchSpace::AllOptimizations() {
+  SearchSpace s;  // defaults are the full space
+  s.offload = {{false, false, false}};
+  return s;
+}
+
+SearchSpace SearchSpace::AllWithOffload() {
+  SearchSpace s;
+  s.offload = {{false, false, false}, {true, false, false},
+               {false, true, false}, {false, false, true},
+               {true, true, true}};
+  return s;
+}
+
+namespace {
+
+struct LocalState {
+  std::vector<SearchEntry> best;
+  std::uint64_t evaluated = 0;
+  std::uint64_t feasible = 0;
+  std::vector<double> rates;
+  ParetoFront pareto;
+};
+
+bool Better(const Stats& a, const Stats& b) {
+  if (a.sample_rate != b.sample_rate) return a.sample_rate > b.sample_rate;
+  return a.tier1.Total() < b.tier1.Total();  // deterministic tie-break
+}
+
+void InsertTopK(std::vector<SearchEntry>& best, int top_k, Execution exec,
+                Stats stats) {
+  if (static_cast<int>(best.size()) == top_k &&
+      !Better(stats, best.back().stats)) {
+    return;
+  }
+  SearchEntry entry{std::move(exec), std::move(stats)};
+  auto pos = std::upper_bound(best.begin(), best.end(), entry,
+                              [](const SearchEntry& a, const SearchEntry& b) {
+                                return Better(a.stats, b.stats);
+                              });
+  best.insert(pos, std::move(entry));
+  if (static_cast<int>(best.size()) > top_k) best.pop_back();
+}
+
+}  // namespace
+
+SearchResult FindOptimalExecution(const Application& app, const System& sys,
+                                  const SearchSpace& space,
+                                  const SearchConfig& config,
+                                  ThreadPool& pool) {
+  const std::int64_t n = sys.num_procs();
+  const std::int64_t batch =
+      config.batch_size > 0 ? config.batch_size : n;
+  const bool has_tier2 = sys.proc().mem2.present();
+
+  // Candidate partitionings under the structural constraints.
+  std::vector<Triple> triples;
+  for (const Triple& tr : FactorTriples(n)) {
+    if (tr.t < space.min_tensor_par || tr.t > space.max_tensor_par) continue;
+    if (tr.p < space.min_pipeline_par || tr.p > space.max_pipeline_par) {
+      continue;
+    }
+    if (tr.d < space.min_data_par || tr.d > space.max_data_par) continue;
+    if (tr.t > app.attn_heads || app.attn_heads % tr.t != 0) continue;
+    if (tr.p > app.num_blocks) continue;
+    if (batch % tr.d != 0) continue;
+    triples.push_back(tr);
+  }
+
+  SearchResult result;
+  ParetoFront pareto;
+  std::mutex merge_mutex;
+
+  pool.ParallelFor(triples.size(), [&](std::uint64_t idx) {
+    const Triple tr = triples[idx];
+    LocalState local;
+
+    Execution e;
+    e.num_procs = n;
+    e.tensor_par = tr.t;
+    e.pipeline_par = tr.p;
+    e.data_par = tr.d;
+    e.batch_size = batch;
+
+    // Contextual knob lists: degenerate degrees collapse their options.
+    const bool has_tp = tr.t > 1;
+    const bool has_pp = tr.p > 1;
+    const bool has_dp = tr.d > 1;
+
+    static const std::vector<SearchSpace::TpCommVariant> kNoTp = {
+        {false, false, false}};
+    static const std::vector<TpOverlap> kNoOverlap = {TpOverlap::kNone};
+    static const std::vector<bool> kFalseOnly = {false};
+    static const std::vector<bool> kTrueOnly = {true};
+    static const std::vector<SearchSpace::OffloadVariant> kNoOffload = {
+        {false, false, false}};
+
+    const auto& tp_comm = has_tp ? space.tp_comm : kNoTp;
+    const auto& tp_overlap = has_tp ? space.tp_overlap : kNoOverlap;
+    const auto& dp_overlap = has_dp ? space.dp_overlap : kFalseOnly;
+    const auto& sharding = has_dp ? space.optimizer_sharding : kFalseOnly;
+    const auto& one_f_one_b = has_pp ? space.pp_1f1b : kTrueOnly;
+    const auto& pp_rs_ag =
+        (has_pp && has_tp) ? space.pp_rs_ag : kFalseOnly;
+    const auto& offload = has_tier2 ? space.offload : kNoOffload;
+
+    const std::int64_t bpp = CeilDiv(app.num_blocks, tr.p);
+    std::vector<std::int64_t> interleavings = {1};
+    if (space.sweep_interleaving && has_pp) {
+      interleavings = Divisors(bpp);
+    }
+
+    std::vector<std::int64_t> microbatches;
+    for (std::int64_t m : Divisors(batch / tr.d)) {
+      if (m <= space.max_microbatch) microbatches.push_back(m);
+    }
+
+    for (std::int64_t m : microbatches) {
+      e.microbatch = m;
+      for (std::int64_t il : interleavings) {
+        e.pp_interleaving = il;
+        for (Recompute rc : space.recompute) {
+          e.recompute = rc;
+          for (const auto& tpc : tp_comm) {
+            e.tp_rs_ag = tpc.tp_rs_ag;
+            e.seq_par = tpc.seq_par;
+            e.seq_par_ag_redo = tpc.ag_redo;
+            for (TpOverlap ov : tp_overlap) {
+              e.tp_overlap = ov;
+              for (bool fused : space.fused_activation) {
+                e.fused_activation = fused;
+                for (bool dpo : dp_overlap) {
+                  e.dp_overlap = dpo;
+                  for (bool sh : sharding) {
+                    e.optimizer_sharding = sh;
+                    for (bool f1b : one_f_one_b) {
+                      e.pp_1f1b = f1b;
+                      for (bool ppr : pp_rs_ag) {
+                        e.pp_rs_ag = ppr;
+                        for (const auto& off : offload) {
+                          e.weight_offload = off.weights;
+                          e.activation_offload = off.activations;
+                          e.optimizer_offload = off.optimizer;
+
+                          ++local.evaluated;
+                          Result<Stats> r =
+                              CalculatePerformance(app, e, sys);
+                          if (!r.ok()) continue;
+                          ++local.feasible;
+                          if (config.keep_all_rates) {
+                            local.rates.push_back(r.value().sample_rate);
+                          }
+                          if (config.keep_pareto) {
+                            local.pareto.Insert({e, r.value()});
+                          }
+                          InsertTopK(local.best, config.top_k, e,
+                                     std::move(r).value());
+                        }
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    result.evaluated += local.evaluated;
+    result.feasible += local.feasible;
+    for (SearchEntry& entry : local.best) {
+      InsertTopK(result.best, config.top_k, std::move(entry.exec),
+                 std::move(entry.stats));
+    }
+    result.all_rates.insert(result.all_rates.end(), local.rates.begin(),
+                            local.rates.end());
+    pareto.Merge(std::move(local.pareto));
+  });
+
+  if (config.keep_pareto) result.pareto = pareto.Sorted();
+  return result;
+}
+
+}  // namespace calculon

@@ -1,0 +1,110 @@
+// Optimal-execution search engine (Section 5.1).
+//
+// Exhaustively enumerates execution strategies — the (t, p, d) split,
+// micro-batch size, and every optimization knob of Table 1 — evaluates each
+// with the analytical model, and returns the top performers. Evaluation is
+// spread over a thread pool; each candidate costs microseconds, so spaces
+// of millions of configurations complete in minutes on a desktop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/perf_model.h"
+#include "search/threadpool.h"
+
+namespace calculon {
+
+// Which knobs the sweep explores. Fixed aspects of the strategy (e.g. "the
+// paper's Fig. 5(a) uses only the original Megatron optimizations") are
+// expressed by narrowing the candidate lists.
+struct SearchSpace {
+  std::vector<Recompute> recompute = {Recompute::kNone, Recompute::kAttnOnly,
+                                      Recompute::kFull};
+  // (tp_rs_ag, seq_par, seq_par_ag_redo) variants to try.
+  struct TpCommVariant {
+    bool tp_rs_ag = false;
+    bool seq_par = false;
+    bool ag_redo = false;
+  };
+  std::vector<TpCommVariant> tp_comm = {{false, false, false},
+                                        {true, false, false},
+                                        {true, true, false},
+                                        {true, true, true}};
+  std::vector<TpOverlap> tp_overlap = {TpOverlap::kNone, TpOverlap::kPipe,
+                                       TpOverlap::kRing};
+  std::vector<bool> fused_activation = {false, true};
+  std::vector<bool> dp_overlap = {false, true};
+  std::vector<bool> optimizer_sharding = {false, true};
+  std::vector<bool> pp_1f1b = {true};
+  std::vector<bool> pp_rs_ag = {false, true};
+  bool sweep_interleaving = true;  // divisors of blocks-per-stage (else 1)
+
+  // Offload combinations (weights, activations, optimizer). The default
+  // tries none and all-three; systems without a tier-2 memory silently
+  // reduce to none.
+  struct OffloadVariant {
+    bool weights = false;
+    bool activations = false;
+    bool optimizer = false;
+  };
+  std::vector<OffloadVariant> offload = {{false, false, false},
+                                         {true, true, true}};
+
+  // Partition constraints (the studies often pin one degree).
+  std::int64_t min_tensor_par = 1;
+  std::int64_t max_tensor_par = 1'000'000'000;
+  std::int64_t min_pipeline_par = 1;
+  std::int64_t max_pipeline_par = 1'000'000'000;
+  std::int64_t min_data_par = 1;
+  std::int64_t max_data_par = 1'000'000'000;
+
+  std::int64_t max_microbatch = 1'000'000'000;
+
+  // The paper's original-optimizations space (Fig. 5(a)): full recompute
+  // on/off, plain all-reduce TP, 1F1B, no overlap, no sharding, no offload.
+  [[nodiscard]] static SearchSpace MegatronBaseline();
+  // Adds sequence parallelism + selective recompute (Fig. 5(b)).
+  [[nodiscard]] static SearchSpace SequenceParallel();
+  // The full Table 1 space without offloading.
+  [[nodiscard]] static SearchSpace AllOptimizations();
+  // The full Table 1 space including offloading.
+  [[nodiscard]] static SearchSpace AllWithOffload();
+};
+
+struct SearchEntry {
+  Execution exec;
+  Stats stats;
+};
+
+struct SearchResult {
+  std::vector<SearchEntry> best;  // sorted by descending sample rate
+  std::uint64_t evaluated = 0;    // total calculations performed
+  std::uint64_t feasible = 0;     // configurations that could run
+  // Sample rate of every feasible configuration (collected when
+  // `keep_all_rates` is set; used for the Fig. 6 histogram/CDF).
+  std::vector<double> all_rates;
+  // Non-dominated strategies in (batch time, tier-1 memory, tier-2 memory),
+  // sorted by ascending batch time (collected when `keep_pareto` is set) —
+  // the Section 4.2 "minimize time or memory, as desired" trade-off.
+  std::vector<SearchEntry> pareto;
+};
+
+struct SearchConfig {
+  std::int64_t batch_size = 0;  // 0: default to num_procs samples
+  int top_k = 10;
+  bool keep_all_rates = false;
+  bool keep_pareto = false;
+};
+
+// Searches all execution strategies for `app` on `sys` (using
+// `sys.num_procs()` processors).
+[[nodiscard]] SearchResult FindOptimalExecution(const Application& app,
+                                                const System& sys,
+                                                const SearchSpace& space,
+                                                const SearchConfig& config,
+                                                ThreadPool& pool);
+
+}  // namespace calculon

@@ -1,0 +1,50 @@
+// Pareto-front extraction over execution strategies.
+//
+// Section 4.2 points out that with all optimizations enabled one can pick
+// a configuration that minimizes time OR memory; more generally the search
+// space trades batch time against tier-1 memory and offload resources.
+// This module maintains the set of non-dominated strategies.
+#pragma once
+
+#include <vector>
+
+#include "search/exec_search.h"
+
+namespace calculon {
+
+// The objectives (all minimized).
+struct ParetoPoint {
+  double batch_time = 0.0;
+  double tier1_bytes = 0.0;
+  double tier2_bytes = 0.0;
+};
+
+[[nodiscard]] ParetoPoint MakeParetoPoint(const Stats& stats);
+
+// a dominates b: no objective worse, at least one strictly better.
+[[nodiscard]] bool Dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+// Incrementally maintained non-dominated set.
+class ParetoFront {
+ public:
+  // Inserts if non-dominated; evicts entries the newcomer dominates.
+  // Returns true when the entry was added.
+  bool Insert(SearchEntry entry);
+
+  // Merges another front (e.g. a worker-local one).
+  void Merge(ParetoFront other);
+
+  // Entries sorted by ascending batch time.
+  [[nodiscard]] std::vector<SearchEntry> Sorted() const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<SearchEntry> entries_;
+};
+
+// Convenience: the front of an arbitrary strategy list.
+[[nodiscard]] std::vector<SearchEntry> ExtractParetoFront(
+    std::vector<SearchEntry> entries);
+
+}  // namespace calculon

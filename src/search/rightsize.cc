@@ -1,0 +1,52 @@
+#include "search/rightsize.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace calculon {
+
+RightSizeReport RightSize(const Application& app, const System& base_sys,
+                          const SearchSpace& space,
+                          const RightSizeOptions& options, ThreadPool& pool) {
+  if (options.sizes.empty()) {
+    throw ConfigError("RightSize: no candidate sizes");
+  }
+  ScalingOptions scaling;
+  scaling.sizes = options.sizes;
+  scaling.batch_size = options.batch_size;
+  const auto points = ScalingSweep(app, base_sys, space, scaling, pool);
+
+  RightSizeReport report;
+  for (const ScalingPoint& pt : points) {
+    if (pt.feasible) {
+      report.best_per_gpu_rate = std::max(
+          report.best_per_gpu_rate,
+          pt.sample_rate / static_cast<double>(pt.num_procs));
+    }
+  }
+  for (const ScalingPoint& pt : points) {
+    SizeAssessment a;
+    a.num_procs = pt.num_procs;
+    a.feasible = pt.feasible;
+    a.sample_rate = pt.sample_rate;
+    a.best_exec = pt.best_exec;
+    if (pt.feasible && report.best_per_gpu_rate > 0.0) {
+      a.efficiency = pt.sample_rate /
+                     (static_cast<double>(pt.num_procs) *
+                      report.best_per_gpu_rate);
+    }
+    if (!pt.feasible) {
+      report.dead_sizes.push_back(pt.num_procs);
+    } else if (a.efficiency < options.target_efficiency) {
+      report.cliff_sizes.push_back(pt.num_procs);
+    } else if (report.recommended == 0 &&
+               a.sample_rate >= options.min_sample_rate) {
+      report.recommended = pt.num_procs;
+    }
+    report.assessments.push_back(std::move(a));
+  }
+  return report;
+}
+
+}  // namespace calculon

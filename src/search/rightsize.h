@@ -1,0 +1,49 @@
+// System right-sizing (Section 5.2): "Right-sizing the system in light of
+// such phenomena could mean the difference between deciding to use or
+// acquire a relatively smaller system."
+//
+// Given a model, a system template and candidate sizes, this classifies
+// each size by its relative efficiency (best sample rate per GPU against
+// the sweep's envelope), flags the cliff and dead sizes, and recommends
+// the smallest size meeting a target efficiency and a minimum absolute
+// throughput.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/scaling.h"
+
+namespace calculon {
+
+struct RightSizeOptions {
+  std::vector<std::int64_t> sizes;   // candidate processor counts
+  std::int64_t batch_size = 0;       // 0: num_procs samples per size
+  double target_efficiency = 0.9;    // of the best per-GPU rate observed
+  double min_sample_rate = 0.0;      // absolute throughput floor
+};
+
+struct SizeAssessment {
+  std::int64_t num_procs = 0;
+  double sample_rate = 0.0;
+  double efficiency = 0.0;  // per-GPU rate / best per-GPU rate
+  bool feasible = false;
+  Execution best_exec;
+};
+
+struct RightSizeReport {
+  std::vector<SizeAssessment> assessments;  // in input-size order
+  double best_per_gpu_rate = 0.0;
+  // Smallest size meeting both thresholds; 0 when none qualifies.
+  std::int64_t recommended = 0;
+  std::vector<std::int64_t> dead_sizes;   // no feasible strategy at all
+  std::vector<std::int64_t> cliff_sizes;  // feasible but below target
+};
+
+[[nodiscard]] RightSizeReport RightSize(const Application& app,
+                                        const System& base_sys,
+                                        const SearchSpace& space,
+                                        const RightSizeOptions& options,
+                                        ThreadPool& pool);
+
+}  // namespace calculon

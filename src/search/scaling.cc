@@ -1,0 +1,39 @@
+#include "search/scaling.h"
+
+namespace calculon {
+
+std::vector<std::int64_t> SizeRange(std::int64_t start, std::int64_t stop,
+                                    std::int64_t step) {
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t n = start; n <= stop; n += step) sizes.push_back(n);
+  return sizes;
+}
+
+std::vector<ScalingPoint> ScalingSweep(const Application& app,
+                                       const System& base_sys,
+                                       const SearchSpace& space,
+                                       const ScalingOptions& options,
+                                       ThreadPool& pool) {
+  std::vector<ScalingPoint> points;
+  points.reserve(options.sizes.size());
+  for (std::int64_t n : options.sizes) {
+    const System sys = base_sys.WithNumProcs(n);
+    SearchConfig config;
+    config.top_k = 1;
+    config.batch_size =
+        options.batch_size > 0 ? options.batch_size : n;
+    const SearchResult result =
+        FindOptimalExecution(app, sys, space, config, pool);
+    ScalingPoint point;
+    point.num_procs = n;
+    if (!result.best.empty()) {
+      point.feasible = true;
+      point.sample_rate = result.best.front().stats.sample_rate;
+      point.best_exec = result.best.front().exec;
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace calculon

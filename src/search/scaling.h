@@ -1,0 +1,38 @@
+// System-size scaling sweeps (Section 5.2, Figs. 7/10/11).
+//
+// For each candidate processor count, runs the optimal-execution search and
+// records the best achievable performance; the resulting envelope exposes
+// the "efficiency cliffs" the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/exec_search.h"
+
+namespace calculon {
+
+struct ScalingPoint {
+  std::int64_t num_procs = 0;
+  bool feasible = false;       // any configuration could run at this size
+  double sample_rate = 0.0;    // best performer (0 when infeasible)
+  Execution best_exec;         // strategy of the best performer
+};
+
+struct ScalingOptions {
+  // Processor counts to evaluate (e.g. multiples of 8 up to 8192).
+  std::vector<std::int64_t> sizes;
+  // Global batch per size; 0 means `num_procs` samples (weak scaling).
+  std::int64_t batch_size = 0;
+};
+
+[[nodiscard]] std::vector<ScalingPoint> ScalingSweep(
+    const Application& app, const System& base_sys, const SearchSpace& space,
+    const ScalingOptions& options, ThreadPool& pool);
+
+// Convenience: {start, start+step, ..., stop} inclusive.
+[[nodiscard]] std::vector<std::int64_t> SizeRange(std::int64_t start,
+                                                  std::int64_t stop,
+                                                  std::int64_t step);
+
+}  // namespace calculon

@@ -1,0 +1,52 @@
+// Hardware sensitivity analysis: the codesign question behind Section 1's
+// trade-off discussion — if you could improve one resource (matrix
+// throughput, vector throughput, HBM bandwidth/capacity, NVLink bandwidth,
+// fabric bandwidth, offload bandwidth), which one buys the most training
+// throughput for a given workload and strategy?
+//
+// For each resource the analysis scales it by a factor and re-evaluates
+// the model, reporting the elasticity d(log rate)/d(log resource) around
+// the baseline: 1.0 means perfectly bound by that resource, 0.0 means
+// insensitive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/perf_model.h"
+
+namespace calculon {
+
+enum class Resource {
+  kMatrixFlops,
+  kVectorFlops,
+  kMem1Bandwidth,
+  kMem1Capacity,
+  kNetworkBandwidth,  // the fastest (innermost) tier
+  kFabricBandwidth,   // the largest (outermost) tier
+  kMem2Bandwidth,
+};
+
+[[nodiscard]] const char* ToString(Resource r);
+
+// Copy of `sys` with one resource scaled by `factor` (> 0).
+[[nodiscard]] System ScaleResource(const System& sys, Resource resource,
+                                   double factor);
+
+struct SensitivityEntry {
+  Resource resource;
+  bool applicable = true;    // e.g. mem2 on a system without a tier 2
+  double rate_up = 0.0;      // sample rate with the resource * (1 + step)
+  double rate_down = 0.0;    // sample rate with the resource / (1 + step)
+  double elasticity = 0.0;   // d(log rate) / d(log resource), centered
+};
+
+// Evaluates all resources around the baseline; `step` is the relative
+// perturbation (default 25%). The (app, exec) pair must be feasible on
+// `sys`; scaling capacity down may make a direction infeasible, in which
+// case the one-sided estimate is used.
+[[nodiscard]] Result<std::vector<SensitivityEntry>> AnalyzeSensitivity(
+    const Application& app, const Execution& exec, const System& sys,
+    double step = 0.25);
+
+}  // namespace calculon

@@ -1,0 +1,58 @@
+#include "search/system_search.h"
+
+namespace calculon {
+
+SystemSearchEntry EvaluateDesign(const Application& app,
+                                 const SystemDesign& design,
+                                 const SearchSpace& space,
+                                 const SystemSearchOptions& options,
+                                 ThreadPool& pool) {
+  SystemSearchEntry entry;
+  entry.design = design;
+  entry.max_gpus = design.MaxGpus(options.budget);
+
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t n = options.size_step; n < entry.max_gpus;
+       n += options.size_step) {
+    sizes.push_back(n);
+  }
+  if (entry.max_gpus > 0) sizes.push_back(entry.max_gpus);
+
+  for (std::int64_t n : sizes) {
+    const System sys = design.Build(n);
+    SearchConfig config;
+    config.top_k = 1;
+    config.batch_size =
+        options.batch_size > 0 ? options.batch_size : n;
+    const SearchResult result =
+        FindOptimalExecution(app, sys, space, config, pool);
+    if (result.best.empty()) continue;
+    const double rate = result.best.front().stats.sample_rate;
+    if (!entry.feasible || rate > entry.sample_rate) {
+      entry.feasible = true;
+      entry.used_gpus = n;
+      entry.sample_rate = rate;
+      entry.best_exec = result.best.front().exec;
+    }
+  }
+  if (entry.feasible) {
+    const double used_cost_millions =
+        static_cast<double>(entry.used_gpus) * design.UnitPrice() / 1e6;
+    entry.perf_per_million = entry.sample_rate / used_cost_millions;
+  }
+  return entry;
+}
+
+std::vector<SystemSearchEntry> OptimalSystemSearch(
+    const Application& app, const std::vector<SystemDesign>& designs,
+    const SearchSpace& space, const SystemSearchOptions& options,
+    ThreadPool& pool) {
+  std::vector<SystemSearchEntry> entries;
+  entries.reserve(designs.size());
+  for (const SystemDesign& design : designs) {
+    entries.push_back(EvaluateDesign(app, design, space, options, pool));
+  }
+  return entries;
+}
+
+}  // namespace calculon

@@ -1,0 +1,44 @@
+// Optimal-system search (Section 7, Table 3): given a budget, evaluate a
+// menu of system designs by sweeping system sizes and execution strategies
+// and report performance and performance per dollar.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/application.h"
+#include "search/exec_search.h"
+#include "search/pricing.h"
+
+namespace calculon {
+
+struct SystemSearchOptions {
+  double budget = 125e6;        // dollars
+  std::int64_t size_step = 8;   // granularity of the system-size sweep
+  std::int64_t batch_size = 0;  // 0: num_procs samples per size
+};
+
+struct SystemSearchEntry {
+  SystemDesign design;
+  std::int64_t max_gpus = 0;    // affordable under the budget
+  std::int64_t used_gpus = 0;   // best-performing size <= max_gpus
+  double sample_rate = 0.0;
+  double perf_per_million = 0.0;  // sample_rate / (used cost in $M)
+  Execution best_exec;
+  bool feasible = false;
+};
+
+// Evaluates one design: sweeps sizes `size_step, 2*size_step, ..., max`
+// (always including max) and keeps the best performer.
+[[nodiscard]] SystemSearchEntry EvaluateDesign(
+    const Application& app, const SystemDesign& design,
+    const SearchSpace& space, const SystemSearchOptions& options,
+    ThreadPool& pool);
+
+// Full Table 3 row set for one application.
+[[nodiscard]] std::vector<SystemSearchEntry> OptimalSystemSearch(
+    const Application& app, const std::vector<SystemDesign>& designs,
+    const SearchSpace& space, const SystemSearchOptions& options,
+    ThreadPool& pool);
+
+}  // namespace calculon

@@ -1,0 +1,32 @@
+#include "search/tco.h"
+
+#include "util/error.h"
+
+namespace calculon {
+
+TcoResult ComputeTco(const SystemDesign& design, std::int64_t gpus,
+                     const TcoParams& params) {
+  if (gpus < 0) throw ConfigError("ComputeTco: negative GPU count");
+  TcoResult result;
+  result.capex = design.UnitPrice() * static_cast<double>(gpus);
+  const double watts_per_gpu =
+      (params.gpu_power_w + params.host_power_w +
+       params.ddr_power_w_per_gib * design.ddr_gib) *
+      params.pue;
+  const double hours = params.years * 365.25 * 24.0 * params.utilization;
+  result.energy_kwh =
+      watts_per_gpu * static_cast<double>(gpus) * hours / 1000.0;
+  result.opex = result.energy_kwh * params.dollars_per_kwh;
+  return result;
+}
+
+double DollarsPerMillionSamples(const TcoResult& tco, const TcoParams& params,
+                                double sample_rate) {
+  if (sample_rate <= 0.0) throw ConfigError("sample rate must be > 0");
+  const double lifetime_seconds =
+      params.years * 365.25 * 24.0 * 3600.0 * params.utilization;
+  const double samples = sample_rate * lifetime_seconds;
+  return tco.Total() / samples * 1e6;
+}
+
+}  // namespace calculon

@@ -1,0 +1,43 @@
+// Total-cost-of-ownership model (Sections 6-7: "the decision to use
+// offloading or not should come after analyzing total cost of ownership,
+// as even small efficiency gains can accumulate during long system use").
+//
+// TCO = capital expenditure (the Section 7 price model) + energy over the
+// deployment lifetime. Combined with a sample rate it yields cost per
+// training sample, the metric that makes small efficiency deltas visible.
+#pragma once
+
+#include <cstdint>
+
+#include "search/pricing.h"
+
+namespace calculon {
+
+struct TcoParams {
+  double gpu_power_w = 700.0;       // accelerator board power
+  double ddr_power_w_per_gib = 0.4; // secondary-memory power per GiB
+  double host_power_w = 150.0;      // per-GPU share of host/NIC power
+  double pue = 1.3;                 // datacenter power usage effectiveness
+  double dollars_per_kwh = 0.08;
+  double years = 4.0;               // deployment lifetime
+  double utilization = 0.8;         // average duty cycle over the lifetime
+};
+
+struct TcoResult {
+  double capex = 0.0;        // dollars: GPUs with their memory options
+  double energy_kwh = 0.0;   // lifetime energy at the wall
+  double opex = 0.0;         // dollars: energy cost
+  [[nodiscard]] double Total() const { return capex + opex; }
+};
+
+// Lifetime cost of `gpus` processors of the given design.
+[[nodiscard]] TcoResult ComputeTco(const SystemDesign& design,
+                                   std::int64_t gpus,
+                                   const TcoParams& params);
+
+// Dollars per million training samples at a sustained sample rate.
+[[nodiscard]] double DollarsPerMillionSamples(const TcoResult& tco,
+                                              const TcoParams& params,
+                                              double sample_rate);
+
+}  // namespace calculon

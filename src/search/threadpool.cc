@@ -1,0 +1,80 @@
+#include "search/threadpool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace calculon {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  // The calling thread participates in ParallelFor, so spawn one fewer.
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::uint64_t count,
+                             const std::function<void(std::uint64_t)>& fn) {
+  if (count == 0) return;
+  auto next = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto pending = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  auto drain = [=] {
+    while (true) {
+      const std::uint64_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*error_mutex);
+        if (!first_error->exchange(true)) *error = std::current_exception();
+      }
+    }
+    pending->fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  const std::uint64_t helpers =
+      std::min<std::uint64_t>(workers_.size(), count);
+  pending->store(helpers + 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint64_t i = 0; i < helpers; ++i) tasks_.push(drain);
+  }
+  cv_.notify_all();
+  drain();  // caller participates
+  while (pending->load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  if (first_error->load() && *error) std::rethrow_exception(*error);
+}
+
+}  // namespace calculon

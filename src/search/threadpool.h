@@ -1,0 +1,48 @@
+// Minimal thread pool with a dynamic parallel-for, used by the search
+// engines to spread configuration evaluation across cores (the paper:
+// "a standard multi-core desktop computer is able to search the entire
+// configuration space in minutes").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace calculon {
+
+class ThreadPool {
+ public:
+  // `threads == 0` uses the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // Runs fn(i) for every i in [0, count). Work items are claimed one at a
+  // time from a shared counter (items are coarse-grained in the search
+  // engines, so contention is negligible). Blocks until all are done; also
+  // executes work on the calling thread. Exceptions from `fn` propagate to
+  // the caller (the first one wins).
+  void ParallelFor(std::uint64_t count,
+                   const std::function<void(std::uint64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace calculon

@@ -1,0 +1,21 @@
+#include "util/error.h"
+
+namespace calculon {
+
+const char* ToString(Infeasible reason) {
+  switch (reason) {
+    case Infeasible::kNone: return "ok";
+    case Infeasible::kBadPartition: return "bad partition";
+    case Infeasible::kIndivisibleHeads: return "tp does not divide heads";
+    case Infeasible::kIndivisibleBlocks: return "pp does not divide blocks";
+    case Infeasible::kIndivisibleBatch: return "dp*microbatch does not divide batch";
+    case Infeasible::kIncompatibleOptions: return "incompatible options";
+    case Infeasible::kMemoryCapacity: return "insufficient memory capacity";
+    case Infeasible::kOffloadCapacity: return "insufficient offload capacity";
+    case Infeasible::kNetworkSize: return "communicator exceeds network size";
+    case Infeasible::kBadConfig: return "bad configuration";
+  }
+  return "unknown";
+}
+
+}  // namespace calculon

@@ -1,0 +1,83 @@
+// Lightweight status/result types.
+//
+// Infeasible configurations are the common case when sweeping the execution
+// space (the paper reports only ~18% of GPT-3 strategies are feasible), so
+// the model reports them through a cheap status value instead of exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace calculon {
+
+// Why a configuration cannot run. Order matters only for reporting.
+enum class Infeasible {
+  kNone = 0,
+  kBadPartition,      // t*p*d != processor count, or degrees out of range
+  kIndivisibleHeads,  // tensor parallelism does not divide attention heads
+  kIndivisibleBlocks, // pipeline parallelism / interleaving does not divide
+                      // the transformer block count
+  kIndivisibleBatch,  // batch not divisible by data parallelism * microbatch
+  kIncompatibleOptions, // mutually exclusive execution options
+  kMemoryCapacity,    // tier-1 memory requirement exceeds capacity
+  kOffloadCapacity,   // tier-2 memory requirement exceeds capacity
+  kNetworkSize,       // a communicator does not fit any network
+  kBadConfig,         // malformed application/system/execution description
+};
+
+[[nodiscard]] const char* ToString(Infeasible reason);
+
+// Minimal expected-like result: either a value or an Infeasible reason with
+// an optional human-readable detail string.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Infeasible reason, std::string detail = {})
+      : data_(Error{reason, std::move(detail)}) {}
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + detail());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + detail());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + detail());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] Infeasible reason() const {
+    return ok() ? Infeasible::kNone : std::get<Error>(data_).reason;
+  }
+  [[nodiscard]] std::string detail() const {
+    if (ok()) return {};
+    const Error& e = std::get<Error>(data_);
+    std::string s = ToString(e.reason);
+    if (!e.detail.empty()) s += ": " + e.detail;
+    return s;
+  }
+
+ private:
+  struct Error {
+    Infeasible reason;
+    std::string detail;
+  };
+  std::variant<T, Error> data_;
+};
+
+// Thrown for programmer/config errors that are not part of the modeled
+// search space (e.g. malformed JSON, unknown preset names).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace calculon

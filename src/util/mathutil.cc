@@ -1,0 +1,40 @@
+#include "util/mathutil.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace calculon {
+
+std::vector<std::int64_t> Divisors(std::int64_t n) {
+  if (n < 1) throw std::invalid_argument("Divisors: n must be >= 1");
+  std::vector<std::int64_t> small;
+  std::vector<std::int64_t> large;
+  for (std::int64_t i = 1; i * i <= n; ++i) {
+    if (n % i == 0) {
+      small.push_back(i);
+      if (i != n / i) large.push_back(n / i);
+    }
+  }
+  small.insert(small.end(), large.rbegin(), large.rend());
+  return small;
+}
+
+std::vector<Triple> FactorTriples(std::int64_t n) {
+  std::vector<Triple> out;
+  for (std::int64_t t : Divisors(n)) {
+    const std::int64_t rest = n / t;
+    for (std::int64_t p : Divisors(rest)) {
+      out.push_back({t, p, rest / p});
+    }
+  }
+  return out;
+}
+
+std::int64_t NextDivisor(std::int64_t n, std::int64_t lo) {
+  for (std::int64_t d : Divisors(n)) {
+    if (d >= lo) return d;
+  }
+  return n;
+}
+
+}  // namespace calculon

@@ -1,0 +1,32 @@
+// Small integer-math helpers used when enumerating partitionings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace calculon {
+
+// Ceiling division for non-negative integers.
+[[nodiscard]] constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+[[nodiscard]] constexpr bool IsPowerOfTwo(std::int64_t v) {
+  return v > 0 && (v & (v - 1)) == 0;
+}
+
+// All positive divisors of n, ascending. n must be >= 1.
+[[nodiscard]] std::vector<std::int64_t> Divisors(std::int64_t n);
+
+// All ordered triples (t, p, d) with t*p*d == n.
+struct Triple {
+  std::int64_t t;
+  std::int64_t p;
+  std::int64_t d;
+};
+[[nodiscard]] std::vector<Triple> FactorTriples(std::int64_t n);
+
+// Smallest divisor of n that is >= lo (n if none smaller fits).
+[[nodiscard]] std::int64_t NextDivisor(std::int64_t n, std::int64_t lo);
+
+}  // namespace calculon

@@ -1,0 +1,56 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace calculon {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  const std::size_t b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const std::size_t e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace calculon

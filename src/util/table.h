@@ -1,0 +1,35 @@
+// ASCII table and CSV emitters for the benchmark harness reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace calculon {
+
+// Simple column-aligned ASCII table.
+//
+//   Table t({"model", "time", "mem"});
+//   t.AddRow({"GPT3-175B", "16.7 s", "17.4 GiB"});
+//   std::cout << t.ToString();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  [[nodiscard]] std::string ToString() const;
+  [[nodiscard]] std::string ToCsv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace calculon

@@ -1,0 +1,88 @@
+#include "util/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace calculon {
+namespace {
+
+std::string FormatScaled(double value, double base,
+                         const std::array<const char*, 6>& suffixes,
+                         const char* unit) {
+  double scaled = value;
+  std::size_t idx = 0;
+  while (std::fabs(scaled) >= base && idx + 1 < suffixes.size()) {
+    scaled /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g %s%s", scaled, suffixes[idx], unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(double bytes) {
+  static constexpr std::array<const char*, 6> kSuffixes = {"",   "Ki", "Mi",
+                                                           "Gi", "Ti", "Pi"};
+  return FormatScaled(bytes, 1024.0, kSuffixes, "B");
+}
+
+std::string FormatBandwidth(double bytes_per_s) {
+  static constexpr std::array<const char*, 6> kSuffixes = {"", "K", "M",
+                                                           "G", "T", "P"};
+  return FormatScaled(bytes_per_s, 1000.0, kSuffixes, "B/s");
+}
+
+std::string FormatFlops(double flops_per_s) {
+  static constexpr std::array<const char*, 6> kSuffixes = {"", "K", "M",
+                                                           "G", "T", "P"};
+  return FormatScaled(flops_per_s, 1000.0, kSuffixes, "flop/s");
+}
+
+std::string FormatFlopCount(double flops) {
+  static constexpr std::array<const char*, 6> kSuffixes = {"", "K", "M",
+                                                           "G", "T", "P"};
+  return FormatScaled(flops, 1000.0, kSuffixes, "flop");
+}
+
+std::string FormatTime(double seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0 || abs == 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.4g s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.4g ms", seconds * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.4g us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string FormatNumber(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits + 3, value);
+  // %.Ng already trims trailing zeros in most cases; re-format via %f when
+  // the value is in a "plain" range for stable table output.
+  if (std::fabs(value) >= 1e-3 && std::fabs(value) < 1e7) {
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    std::string s = buf;
+    if (s.find('.') != std::string::npos) {
+      while (!s.empty() && s.back() == '0') s.pop_back();
+      if (!s.empty() && s.back() == '.') s.pop_back();
+    }
+    return s;
+  }
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace calculon

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "runner/calibrate.h"
+
+namespace calculon {
+namespace {
+
+Measurement MakeMeasurement(double measured) {
+  Measurement m;
+  m.app = presets::Gpt3_175B();
+  m.exec.num_procs = 512;
+  m.exec.tensor_par = 8;
+  m.exec.pipeline_par = 8;
+  m.exec.data_par = 8;
+  m.exec.batch_size = 512;
+  m.exec.recompute = Recompute::kFull;
+  m.measured_seconds = measured;
+  return m;
+}
+
+TEST(Calibrate, ApplyMatrixScaleScalesPeakOnly) {
+  presets::SystemOptions o;
+  o.num_procs = 512;
+  const System base = presets::A100(o);
+  const System scaled = ApplyMatrixScale(base, 2.0);
+  EXPECT_DOUBLE_EQ(scaled.proc().matrix.peak_flops(),
+                   2.0 * base.proc().matrix.peak_flops());
+  EXPECT_DOUBLE_EQ(scaled.proc().vector.peak_flops(),
+                   base.proc().vector.peak_flops());
+  EXPECT_DOUBLE_EQ(scaled.proc().matrix.Efficiency(1e11),
+                   base.proc().matrix.Efficiency(1e11));
+  EXPECT_THROW(ApplyMatrixScale(base, 0.0), ConfigError);
+}
+
+TEST(Calibrate, ZeroErrorOnSelfGeneratedMeasurement) {
+  presets::SystemOptions o;
+  o.num_procs = 512;
+  const System sys = presets::A100(o);
+  Measurement m = MakeMeasurement(1.0);
+  const auto r =
+      CalculatePerformance(m.app, m.exec, sys.WithNumProcs(512));
+  ASSERT_TRUE(r.ok());
+  m.measured_seconds = r.value().batch_time;
+  EXPECT_NEAR(CalibrationError(sys, {m}), 0.0, 1e-12);
+}
+
+TEST(Calibrate, RecoversAKnownScale) {
+  presets::SystemOptions o;
+  o.num_procs = 512;
+  const System base = presets::A100(o);
+  // Generate "measurements" from a platform 1.5x faster on GEMMs.
+  const System truth = ApplyMatrixScale(base, 1.5);
+  std::vector<Measurement> ms;
+  for (double batch : {256.0, 512.0}) {
+    Measurement m = MakeMeasurement(1.0);
+    m.exec.batch_size = static_cast<std::int64_t>(batch);
+    const auto r = CalculatePerformance(m.app, m.exec, truth);
+    ASSERT_TRUE(r.ok()) << r.detail();
+    m.measured_seconds = r.value().batch_time;
+    ms.push_back(m);
+  }
+  const CalibrationResult fit = CalibrateMatrixScale(base, ms, 0.5, 3.0);
+  // Comm/bubble terms are scale-independent, so the fit cannot be exact,
+  // but it must land near the truth with a small residual.
+  EXPECT_NEAR(fit.scale, 1.5, 0.1);
+  EXPECT_LT(fit.error, 1e-3);
+}
+
+TEST(Calibrate, InfeasiblePredictionsArePenalized) {
+  presets::SystemOptions o;
+  o.num_procs = 8;
+  o.hbm_capacity = 8.0 * kGiB;  // nothing fits
+  const System tiny = presets::A100(o);
+  Measurement m;
+  m.app = presets::Megatron1T();
+  m.exec.num_procs = 8;
+  m.exec.tensor_par = 8;
+  m.exec.batch_size = 8;
+  m.measured_seconds = 10.0;
+  EXPECT_GE(CalibrationError(tiny, {m}), 100.0);
+}
+
+TEST(Calibrate, RejectsBadInputs) {
+  presets::SystemOptions o;
+  const System sys = presets::A100(o);
+  EXPECT_THROW(CalibrationError(sys, {}), ConfigError);
+  Measurement m = MakeMeasurement(0.0);
+  EXPECT_THROW(CalibrationError(sys, {m}), ConfigError);
+  EXPECT_THROW(CalibrateMatrixScale(sys, {MakeMeasurement(1.0)}, 2.0, 1.0),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace calculon

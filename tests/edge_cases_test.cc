@@ -1,0 +1,169 @@
+// Failure-injection and boundary tests: degenerate systems, extreme
+// shapes, and inputs that should be rejected loudly rather than produce
+// garbage numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+Application TinyApp() {
+  Application app;
+  app.name = "tiny";
+  app.hidden = 64;
+  app.feedforward = 256;
+  app.attn_heads = 4;
+  app.attn_size = 16;
+  app.seq_size = 32;
+  app.num_blocks = 2;
+  return app;
+}
+
+TEST(EdgeCases, SingleProcessorSingleSample) {
+  Processor proc;
+  proc.matrix = ComputeUnit(1e12, EfficiencyCurve(1.0));
+  proc.vector = ComputeUnit(1e11, EfficiencyCurve(1.0));
+  proc.mem1 = Memory(16 * kGiB, 1e11);
+  const System sys("one", 1, proc, {Network(1, 1e9, 0.0)});
+  Execution e;
+  e.num_procs = 1;
+  e.batch_size = 1;
+  const auto r = CalculatePerformance(TinyApp(), e, sys);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  EXPECT_GT(r.value().batch_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().time.tp_comm, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().time.pp_comm, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().time.dp_comm, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().time.pp_bubble, 0.0);
+}
+
+TEST(EdgeCases, ZeroBandwidthNetworkYieldsNonFiniteRejection) {
+  Processor proc;
+  proc.matrix = ComputeUnit(1e12, EfficiencyCurve(1.0));
+  proc.vector = ComputeUnit(1e11, EfficiencyCurve(1.0));
+  proc.mem1 = Memory(1024 * kGiB, 1e11);
+  // TP over a dead link: the model must reject, not return infinity.
+  const System sys("dead", 4, proc, {Network(4, 0.0, 0.0)});
+  Execution e;
+  e.num_procs = 4;
+  e.tensor_par = 4;
+  e.batch_size = 4;
+  const auto r = CalculatePerformance(TinyApp(), e, sys);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason(), Infeasible::kBadConfig);
+}
+
+TEST(EdgeCases, HugeBatchStaysFinite) {
+  presets::SystemOptions o;
+  o.num_procs = 8;
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = 8;
+  e.tensor_par = 8;
+  e.batch_size = 1 << 20;  // ~1M samples
+  const auto r = CalculatePerformance(presets::Megatron22B(), e, sys);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  EXPECT_TRUE(std::isfinite(r.value().batch_time));
+  EXPECT_GT(r.value().batch_time, 1000.0);
+}
+
+TEST(EdgeCases, MicrobatchLargerThanShareIsRejected) {
+  presets::SystemOptions o;
+  o.num_procs = 8;
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = 8;
+  e.tensor_par = 8;
+  e.batch_size = 8;
+  e.microbatch = 16;  // exceeds batch / data_par
+  const auto r = CalculatePerformance(presets::Megatron22B(), e, sys);
+  EXPECT_EQ(r.reason(), Infeasible::kIndivisibleBatch);
+}
+
+TEST(EdgeCases, MaximumTensorParallelism) {
+  // t == attn_heads is the Table 1 upper bound and must still work.
+  const Application app = TinyApp();  // 4 heads
+  presets::SystemOptions o;
+  o.num_procs = 4;
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = 4;
+  e.tensor_par = 4;
+  e.batch_size = 4;
+  EXPECT_TRUE(CalculatePerformance(app, e, sys).ok());
+}
+
+TEST(EdgeCases, PipelineEqualsBlocks) {
+  const Application app = presets::Gpt3_175B();  // 96 blocks
+  presets::SystemOptions o;
+  o.num_procs = 96;
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = 96;
+  e.pipeline_par = 96;
+  e.batch_size = 96;
+  e.recompute = Recompute::kFull;
+  const auto r = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  EXPECT_GT(r.value().time.pp_bubble, 0.0);
+}
+
+TEST(EdgeCases, SequenceMustSplitUnderSeqPar) {
+  Application app = TinyApp();
+  app.seq_size = 30;  // not divisible by t = 4
+  presets::SystemOptions o;
+  o.num_procs = 4;
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = 4;
+  e.tensor_par = 4;
+  e.batch_size = 4;
+  e.tp_rs_ag = true;
+  e.seq_par = true;
+  EXPECT_EQ(CalculatePerformance(app, e, sys).reason(),
+            Infeasible::kIndivisibleHeads);
+}
+
+TEST(EdgeCases, NonUnitAttentionWidth) {
+  // attn_size * heads != hidden (PaLM-style narrow attention) must flow
+  // through every layer formula.
+  Application app = TinyApp();
+  app.attn_size = 8;  // attention width 32 != hidden 64
+  app.Validate();
+  presets::SystemOptions o;
+  o.num_procs = 2;
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = 2;
+  e.tensor_par = 2;
+  e.batch_size = 2;
+  const auto r = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  EXPECT_GT(r.value().mfu, 0.0);
+}
+
+TEST(EdgeCases, StatsOfEmptyOffloadAreZero) {
+  presets::SystemOptions o;
+  o.num_procs = 8;
+  o.offload_capacity = 512.0 * kGiB;
+  o.offload_bandwidth = 100e9;
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = 8;
+  e.tensor_par = 8;
+  e.batch_size = 8;
+  const auto r = CalculatePerformance(presets::Megatron22B(), e, sys);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().tier2.Total(), 0.0);
+  EXPECT_DOUBLE_EQ(r.value().offload_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().offload_bw_required, 0.0);
+}
+
+}  // namespace
+}  // namespace calculon

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "hw/efficiency.h"
+
+namespace calculon {
+namespace {
+
+TEST(Efficiency, FlatCurveIgnoresSize) {
+  const EfficiencyCurve c(0.8);
+  EXPECT_TRUE(c.is_flat());
+  EXPECT_DOUBLE_EQ(c.At(0.0), 0.8);
+  EXPECT_DOUBLE_EQ(c.At(1e15), 0.8);
+}
+
+TEST(Efficiency, ClampsBelowFirstAndAboveLastPoint) {
+  const EfficiencyCurve c({{1e6, 0.4}, {1e9, 0.9}});
+  EXPECT_DOUBLE_EQ(c.At(0.0), 0.4);
+  EXPECT_DOUBLE_EQ(c.At(1e6), 0.4);
+  EXPECT_DOUBLE_EQ(c.At(1e9), 0.9);
+  EXPECT_DOUBLE_EQ(c.At(1e12), 0.9);
+}
+
+TEST(Efficiency, InterpolatesLogLinearly) {
+  const EfficiencyCurve c({{1e6, 0.4}, {1e8, 0.8}});
+  // 1e7 is the log-midpoint of [1e6, 1e8].
+  EXPECT_NEAR(c.At(1e7), 0.6, 1e-9);
+}
+
+TEST(Efficiency, MonotoneCurveStaysMonotone) {
+  const EfficiencyCurve c(
+      {{0.0, 0.05}, {1e8, 0.2}, {1e10, 0.55}, {1e12, 0.78}});
+  double prev = 0.0;
+  for (double size = 1.0; size < 1e14; size *= 3.0) {
+    const double e = c.At(size);
+    EXPECT_GE(e, prev);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+}
+
+TEST(Efficiency, RejectsBadCurves) {
+  EXPECT_THROW(EfficiencyCurve(0.0), ConfigError);
+  EXPECT_THROW(EfficiencyCurve(1.5), ConfigError);
+  EXPECT_THROW(EfficiencyCurve(std::vector<EfficiencyCurve::Point>{}),
+               ConfigError);
+  EXPECT_THROW(EfficiencyCurve({{1e6, 0.5}, {1e6, 0.6}}), ConfigError);
+  EXPECT_THROW(EfficiencyCurve({{1e9, 0.5}, {1e6, 0.6}}), ConfigError);
+  EXPECT_THROW(EfficiencyCurve({{0.0, -0.1}}), ConfigError);
+}
+
+TEST(Efficiency, JsonRoundTripFlat) {
+  const EfficiencyCurve c(0.75);
+  const EfficiencyCurve back = EfficiencyCurve::FromJson(c.ToJson());
+  EXPECT_TRUE(back.is_flat());
+  EXPECT_DOUBLE_EQ(back.At(123.0), 0.75);
+}
+
+TEST(Efficiency, JsonRoundTripCurve) {
+  const EfficiencyCurve c({{0.0, 0.1}, {1e9, 0.9}});
+  const EfficiencyCurve back = EfficiencyCurve::FromJson(c.ToJson());
+  for (double size : {0.0, 1e3, 1e6, 1e9, 1e12}) {
+    EXPECT_DOUBLE_EQ(back.At(size), c.At(size));
+  }
+}
+
+TEST(Efficiency, JsonRejectsBadPoint) {
+  EXPECT_THROW(EfficiencyCurve::FromJson(json::Parse("[[1, 0.5, 9]]")),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace calculon

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "search/exec_search.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+System MakeSystem(std::int64_t procs) {
+  presets::SystemOptions o;
+  o.num_procs = procs;
+  return presets::A100(o);
+}
+
+TEST(ExecSearch, FindsFeasibleStrategiesAndSortsByRate) {
+  ThreadPool pool(2);
+  SearchConfig config;
+  config.batch_size = 64;
+  config.top_k = 5;
+  const SearchResult r =
+      FindOptimalExecution(presets::Megatron22B(), MakeSystem(64),
+                           SearchSpace::MegatronBaseline(), config, pool);
+  ASSERT_FALSE(r.best.empty());
+  EXPECT_GT(r.evaluated, r.feasible);
+  EXPECT_GT(r.feasible, 0u);
+  for (std::size_t i = 1; i < r.best.size(); ++i) {
+    EXPECT_GE(r.best[i - 1].stats.sample_rate, r.best[i].stats.sample_rate);
+  }
+  // Every reported strategy validates and multiplies out.
+  for (const SearchEntry& e : r.best) {
+    EXPECT_EQ(e.exec.tensor_par * e.exec.pipeline_par * e.exec.data_par, 64);
+    EXPECT_TRUE(e.exec.Validate(presets::Megatron22B()).ok());
+  }
+}
+
+TEST(ExecSearch, TopEntryBeatsAHandPickedStrategy) {
+  ThreadPool pool(2);
+  SearchConfig config;
+  config.batch_size = 64;
+  const Application app = presets::Megatron22B();
+  const System sys = MakeSystem(64);
+  const SearchResult r = FindOptimalExecution(
+      app, sys, SearchSpace::AllOptimizations(), config, pool);
+  ASSERT_FALSE(r.best.empty());
+
+  Execution hand;
+  hand.num_procs = 64;
+  hand.tensor_par = 8;
+  hand.pipeline_par = 8;
+  hand.data_par = 1;
+  hand.batch_size = 64;
+  hand.recompute = Recompute::kFull;
+  const auto hand_r = CalculatePerformance(app, hand, sys);
+  ASSERT_TRUE(hand_r.ok());
+  EXPECT_GE(r.best.front().stats.sample_rate, hand_r.value().sample_rate);
+}
+
+TEST(ExecSearch, DeterministicAcrossThreadCounts) {
+  SearchConfig config;
+  config.batch_size = 32;
+  config.top_k = 3;
+  const Application app = presets::Megatron22B();
+  const System sys = MakeSystem(32);
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const SearchResult a = FindOptimalExecution(
+      app, sys, SearchSpace::SequenceParallel(), config, pool1);
+  const SearchResult b = FindOptimalExecution(
+      app, sys, SearchSpace::SequenceParallel(), config, pool4);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.feasible, b.feasible);
+  ASSERT_EQ(a.best.size(), b.best.size());
+  for (std::size_t i = 0; i < a.best.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.best[i].stats.sample_rate,
+                     b.best[i].stats.sample_rate);
+    EXPECT_EQ(a.best[i].exec.ToJson(), b.best[i].exec.ToJson());
+  }
+}
+
+TEST(ExecSearch, PartitionConstraintsAreHonored) {
+  ThreadPool pool(2);
+  SearchConfig config;
+  config.batch_size = 64;
+  SearchSpace space = SearchSpace::MegatronBaseline();
+  space.min_tensor_par = 8;
+  space.max_tensor_par = 8;
+  space.max_pipeline_par = 4;
+  const SearchResult r = FindOptimalExecution(
+      presets::Megatron22B(), MakeSystem(64), space, config, pool);
+  ASSERT_FALSE(r.best.empty());
+  for (const SearchEntry& e : r.best) {
+    EXPECT_EQ(e.exec.tensor_par, 8);
+    EXPECT_LE(e.exec.pipeline_par, 4);
+  }
+}
+
+TEST(ExecSearch, KeepAllRatesCollectsEveryFeasibleRun) {
+  ThreadPool pool(2);
+  SearchConfig config;
+  config.batch_size = 32;
+  config.keep_all_rates = true;
+  const SearchResult r =
+      FindOptimalExecution(presets::Megatron22B(), MakeSystem(32),
+                           SearchSpace::MegatronBaseline(), config, pool);
+  EXPECT_EQ(r.all_rates.size(), r.feasible);
+  const double best = *std::max_element(r.all_rates.begin(),
+                                        r.all_rates.end());
+  EXPECT_DOUBLE_EQ(best, r.best.front().stats.sample_rate);
+}
+
+TEST(ExecSearch, OffloadVariantsSkippedWithoutTier2) {
+  ThreadPool pool(2);
+  SearchConfig config;
+  config.batch_size = 32;
+  // The system has no tier-2 memory: the offload dimension must collapse
+  // instead of producing a flood of infeasible evaluations.
+  SearchSpace with_off = SearchSpace::AllWithOffload();
+  SearchSpace without = SearchSpace::AllOptimizations();
+  const SearchResult a = FindOptimalExecution(
+      presets::Megatron22B(), MakeSystem(32), with_off, config, pool);
+  const SearchResult b = FindOptimalExecution(
+      presets::Megatron22B(), MakeSystem(32), without, config, pool);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+}
+
+TEST(ExecSearch, OffloadEnablesOtherwiseInfeasibleScales) {
+  ThreadPool pool(2);
+  SearchConfig config;
+  config.batch_size = 64;
+  // Megatron-1T on 64 GPUs only fits with tensor offloading (the paper's
+  // small-system fine-tuning argument, Section 6).
+  presets::SystemOptions o;
+  o.num_procs = 64;
+  const System plain = presets::H100(o);
+  o.offload_capacity = 2048.0 * kGiB;
+  o.offload_bandwidth = 100e9;
+  const System offload = presets::H100(o);
+  const SearchResult without = FindOptimalExecution(
+      presets::Megatron1T(), plain, SearchSpace::AllWithOffload(), config,
+      pool);
+  const SearchResult with = FindOptimalExecution(
+      presets::Megatron1T(), offload, SearchSpace::AllWithOffload(), config,
+      pool);
+  EXPECT_TRUE(without.best.empty());
+  ASSERT_FALSE(with.best.empty());
+  EXPECT_TRUE(with.best.front().exec.any_offload());
+}
+
+TEST(ExecSearch, TopKBoundsResultCount) {
+  ThreadPool pool(2);
+  SearchConfig config;
+  config.batch_size = 32;
+  config.top_k = 2;
+  const SearchResult r =
+      FindOptimalExecution(presets::Megatron22B(), MakeSystem(32),
+                           SearchSpace::AllOptimizations(), config, pool);
+  EXPECT_LE(r.best.size(), 2u);
+}
+
+}  // namespace
+}  // namespace calculon

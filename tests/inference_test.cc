@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+System MakeSystem(std::int64_t procs, double hbm_gib = 80.0) {
+  presets::SystemOptions o;
+  o.num_procs = procs;
+  o.hbm_capacity = hbm_gib * kGiB;
+  return presets::A100(o);
+}
+
+Execution ServingExec(std::int64_t t, std::int64_t p = 1,
+                      std::int64_t d = 1) {
+  Execution e;
+  e.num_procs = t * p * d;
+  e.tensor_par = t;
+  e.pipeline_par = p;
+  e.data_par = d;
+  e.training = false;
+  return e;
+}
+
+TEST(Inference, BasicServingRun) {
+  const Application app = presets::Megatron22B();
+  InferenceConfig cfg;
+  cfg.prompt_tokens = 512;
+  cfg.gen_tokens = 64;
+  cfg.batch = 4;
+  const auto r =
+      CalculateInference(app, ServingExec(8), MakeSystem(8), cfg);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  const InferenceStats& s = r.value();
+  EXPECT_GT(s.prefill_time, 0.0);
+  EXPECT_GT(s.per_token_time, 0.0);
+  EXPECT_NEAR(s.total_time, s.prefill_time + 64 * s.per_token_time, 1e-12);
+  EXPECT_GT(s.tokens_per_second, 0.0);
+  EXPECT_GT(s.kv_cache_bytes, 0.0);
+  EXPECT_GT(s.tier1.weights, 0.0);
+}
+
+TEST(Inference, RequiresInferenceMode) {
+  Execution e = ServingExec(8);
+  e.training = true;
+  const auto r = CalculateInference(presets::Megatron22B(), e, MakeSystem(8),
+                                    InferenceConfig{});
+  EXPECT_EQ(r.reason(), Infeasible::kIncompatibleOptions);
+}
+
+TEST(Inference, RejectsOffloadAndBadConfig) {
+  Execution e = ServingExec(8);
+  e.weight_offload = true;
+  EXPECT_EQ(CalculateInference(presets::Megatron22B(), e, MakeSystem(8),
+                               InferenceConfig{})
+                .reason(),
+            Infeasible::kIncompatibleOptions);
+  e.weight_offload = false;
+  InferenceConfig bad;
+  bad.prompt_tokens = 0;
+  EXPECT_EQ(CalculateInference(presets::Megatron22B(), e, MakeSystem(8), bad)
+                .reason(),
+            Infeasible::kBadConfig);
+}
+
+TEST(Inference, DecodeIsBandwidthBound) {
+  // At batch 1 the decode step must take at least the time needed to
+  // stream every local weight byte through HBM.
+  const Application app = presets::Megatron22B();
+  InferenceConfig cfg;
+  cfg.prompt_tokens = 128;
+  cfg.gen_tokens = 1;
+  cfg.batch = 1;
+  const System sys = MakeSystem(8);
+  const auto r = CalculateInference(app, ServingExec(8), sys, cfg);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  const double weight_stream_floor =
+      r.value().tier1.weights / sys.proc().mem1.bandwidth();
+  EXPECT_GE(r.value().per_token_time, weight_stream_floor);
+}
+
+TEST(Inference, KvCacheGrowsWithContextAndBatch) {
+  const Application app = presets::Megatron22B();
+  const System sys = MakeSystem(8);
+  InferenceConfig small;
+  small.prompt_tokens = 256;
+  small.gen_tokens = 0;
+  small.batch = 1;
+  InferenceConfig big = small;
+  big.prompt_tokens = 512;
+  big.batch = 4;
+  const auto rs = CalculateInference(app, ServingExec(8), sys, small);
+  const auto rb = CalculateInference(app, ServingExec(8), sys, big);
+  ASSERT_TRUE(rs.ok() && rb.ok());
+  EXPECT_NEAR(rb.value().kv_cache_bytes,
+              rs.value().kv_cache_bytes * 2.0 * 4.0, 1.0);
+  // Longer context also slows the decode step (more KV to stream).
+  EXPECT_GT(rb.value().per_token_time, rs.value().per_token_time);
+}
+
+TEST(Inference, TensorParallelismCutsWeightsAndKv) {
+  const Application app = presets::Megatron22B();
+  InferenceConfig cfg;
+  cfg.batch = 2;
+  const auto r1 = CalculateInference(app, ServingExec(1), MakeSystem(1), cfg);
+  const auto r8 = CalculateInference(app, ServingExec(8), MakeSystem(8), cfg);
+  ASSERT_TRUE(r1.ok() && r8.ok()) << r1.detail() << r8.detail();
+  EXPECT_LT(r8.value().tier1.weights, r1.value().tier1.weights / 7.0);
+  EXPECT_NEAR(r8.value().kv_cache_bytes, r1.value().kv_cache_bytes / 8.0,
+              1.0);
+  // TP speeds up the step but adds communication.
+  EXPECT_LT(r8.value().per_token_time, r1.value().per_token_time);
+  EXPECT_GT(r8.value().tp_comm_per_token, 0.0);
+  EXPECT_DOUBLE_EQ(r1.value().tp_comm_per_token, 0.0);
+}
+
+TEST(Inference, PipelineAddsHopsNotThroughput) {
+  const Application app = presets::Megatron22B();
+  InferenceConfig cfg;
+  cfg.batch = 2;
+  const auto flat = CalculateInference(app, ServingExec(8, 1),
+                                       MakeSystem(8), cfg);
+  const auto piped = CalculateInference(app, ServingExec(8, 2),
+                                        MakeSystem(16), cfg);
+  ASSERT_TRUE(flat.ok() && piped.ok());
+  EXPECT_GT(piped.value().pp_comm_per_token, 0.0);
+  EXPECT_DOUBLE_EQ(flat.value().pp_comm_per_token, 0.0);
+  // Per-processor weights halve with p=2.
+  EXPECT_NEAR(piped.value().tier1.weights,
+              flat.value().tier1.weights / 2.0, 1.0);
+}
+
+TEST(Inference, DataParallelismScalesThroughputOnly) {
+  const Application app = presets::Megatron22B();
+  InferenceConfig cfg;
+  cfg.batch = 2;
+  const auto one = CalculateInference(app, ServingExec(8, 1, 1),
+                                      MakeSystem(8), cfg);
+  const auto four = CalculateInference(app, ServingExec(8, 1, 4),
+                                       MakeSystem(32), cfg);
+  ASSERT_TRUE(one.ok() && four.ok());
+  EXPECT_NEAR(four.value().tokens_per_second,
+              4.0 * one.value().tokens_per_second, 1e-6);
+  EXPECT_DOUBLE_EQ(four.value().per_token_time,
+                   one.value().per_token_time);
+}
+
+TEST(Inference, BigModelOnOneGpuIsInfeasible) {
+  const auto r = CalculateInference(presets::Megatron1T(), ServingExec(1),
+                                    MakeSystem(1), InferenceConfig{});
+  EXPECT_EQ(r.reason(), Infeasible::kMemoryCapacity);
+}
+
+// Property: per-token latency is monotone in context length.
+class InferenceContextTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(InferenceContextTest, LatencyMonotoneInContext) {
+  const Application app = presets::Megatron22B();
+  const System sys = MakeSystem(8);
+  InferenceConfig cfg;
+  cfg.batch = 2;
+  cfg.gen_tokens = 0;
+  cfg.prompt_tokens = GetParam();
+  const auto a = CalculateInference(app, ServingExec(8), sys, cfg);
+  cfg.prompt_tokens *= 2;
+  const auto b = CalculateInference(app, ServingExec(8), sys, cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(a.value().per_token_time, b.value().per_token_time);
+  EXPECT_LT(a.value().prefill_time, b.value().prefill_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(Contexts, InferenceContextTest,
+                         ::testing::Values(128, 512, 2048, 8192));
+
+}  // namespace
+}  // namespace calculon

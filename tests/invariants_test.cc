@@ -1,0 +1,139 @@
+// Broad invariant sweep: every preset model crossed with a family of
+// execution strategies must either fail with a typed reason or produce
+// internally consistent statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+struct StrategyVariant {
+  const char* name;
+  Recompute recompute;
+  bool seq_par;
+  bool sharding;
+  bool dp_overlap;
+  bool fused;
+  TpOverlap tp_overlap;
+  bool offload;
+  std::int64_t interleave;
+};
+
+const StrategyVariant kVariants[] = {
+    {"plain", Recompute::kNone, false, false, false, false,
+     TpOverlap::kNone, false, 1},
+    {"megatron21", Recompute::kFull, false, true, false, false,
+     TpOverlap::kNone, false, 2},
+    {"seqpar22", Recompute::kAttnOnly, true, true, false, false,
+     TpOverlap::kNone, false, 2},
+    {"allsw", Recompute::kNone, true, true, true, true, TpOverlap::kRing,
+     false, 2},
+    {"offload", Recompute::kFull, false, true, true, true,
+     TpOverlap::kPipe, true, 1},
+    {"gpipe", Recompute::kFull, false, false, false, false,
+     TpOverlap::kNone, false, 1},
+};
+
+class InvariantTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::size_t>> {};
+
+TEST_P(InvariantTest, StatsAreInternallyConsistent) {
+  const auto& [app_name, variant_idx] = GetParam();
+  const Application app = presets::ApplicationByName(app_name);
+  const StrategyVariant& v = kVariants[variant_idx];
+
+  presets::SystemOptions o;
+  o.num_procs = 64;
+  o.hbm_capacity = 2048.0 * kGiB;  // exercise the model, not feasibility
+  o.offload_capacity = 8192.0 * kGiB;
+  o.offload_bandwidth = 100e9;
+  const System sys = presets::A100(o);
+
+  Execution e;
+  e.num_procs = 64;
+  e.tensor_par = app.attn_heads % 8 == 0 ? 8 : 1;
+  e.pipeline_par = std::min<std::int64_t>(app.num_blocks, 4);
+  e.data_par = 64 / (e.tensor_par * e.pipeline_par);
+  if (e.tensor_par * e.pipeline_par * e.data_par != 64) GTEST_SKIP();
+  e.batch_size = 128;
+  e.microbatch = 1;
+  e.recompute = v.recompute;
+  e.tp_rs_ag = v.seq_par && e.tensor_par > 1;
+  e.seq_par = v.seq_par && e.tensor_par > 1 &&
+              app.seq_size % e.tensor_par == 0;
+  e.tp_rs_ag = e.seq_par;
+  e.optimizer_sharding = v.sharding && e.data_par > 1;
+  e.dp_overlap = v.dp_overlap && e.data_par > 1;
+  e.fused_activation = v.fused;
+  e.tp_overlap = e.tensor_par > 1 ? v.tp_overlap : TpOverlap::kNone;
+  e.pp_1f1b = v.name != std::string("gpipe");
+  e.weight_offload = v.offload;
+  e.activation_offload = v.offload;
+  e.optimizer_offload = v.offload;
+  const std::int64_t nm = e.MicrobatchesPerPipeline();
+  e.pp_interleaving =
+      (v.interleave > 1 && e.pipeline_par > 1 && nm % e.pipeline_par == 0 &&
+       app.num_blocks / e.pipeline_par >= v.interleave)
+          ? v.interleave
+          : 1;
+
+  const auto r = CalculatePerformance(app, e, sys);
+  if (!r.ok()) {
+    EXPECT_NE(r.reason(), Infeasible::kNone) << v.name;
+    return;
+  }
+  const Stats& s = r.value();
+  // Time: positive, finite, breakdown sums exactly.
+  EXPECT_TRUE(std::isfinite(s.batch_time)) << v.name;
+  EXPECT_GT(s.batch_time, 0.0) << v.name;
+  EXPECT_NEAR(s.time.Total(), s.batch_time, 1e-9 * s.batch_time) << v.name;
+  // Rates.
+  EXPECT_NEAR(s.sample_rate * s.batch_time, 128.0, 1e-6) << v.name;
+  EXPECT_GT(s.mfu, 0.0) << v.name;
+  EXPECT_LE(s.mfu, 1.0) << v.name;
+  // Memory: non-negative components; totals consistent.
+  for (double m : {s.tier1.weights, s.tier1.activations,
+                   s.tier1.weight_grads, s.tier1.act_grads,
+                   s.tier1.optimizer, s.tier2.Total()}) {
+    EXPECT_GE(m, 0.0) << v.name;
+  }
+  EXPECT_GT(s.tier1.Total(), 0.0) << v.name;
+  // Communication: busy >= exposed (throttle tax can only apply to the
+  // hidden part, which is itself bounded by busy time).
+  EXPECT_GE(s.tp_comm_total, s.time.tp_comm - 1e-9) << v.name;
+  EXPECT_GE(s.dp_comm_total, 0.0) << v.name;
+  // Recompute only when requested.
+  if (v.recompute == Recompute::kNone) {
+    EXPECT_DOUBLE_EQ(s.time.fw_recompute, 0.0) << v.name;
+  }
+  // Offload stats only when offloading.
+  if (!v.offload) {
+    EXPECT_DOUBLE_EQ(s.offload_bytes, 0.0) << v.name;
+    EXPECT_DOUBLE_EQ(s.tier2.Total(), 0.0) << v.name;
+  } else {
+    EXPECT_GT(s.tier2.Total(), 0.0) << v.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresetsAllStrategies, InvariantTest,
+    ::testing::Combine(
+        ::testing::Values("gpt2_1p5b", "gpt3_6p7b", "gpt3_13b",
+                          "megatron_22b", "anthropic_52b", "llama2_70b",
+                          "chinchilla_70b", "gpt3_175b", "bloom_176b",
+                          "turing_530b", "megatron_1t"),
+        ::testing::Range<std::size_t>(0, 6)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             std::string(kVariants[std::get<1>(info.param)].name);
+    });
+
+}  // namespace
+}  // namespace calculon

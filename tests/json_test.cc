@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "json/json.h"
+
+namespace calculon::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Parse("null").is_null());
+  EXPECT_EQ(Parse("true").AsBool(), true);
+  EXPECT_EQ(Parse("false").AsBool(), false);
+  EXPECT_DOUBLE_EQ(Parse("3.5").AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(Parse("-2e3").AsDouble(), -2000.0);
+  EXPECT_EQ(Parse("12288").AsInt(), 12288);
+  EXPECT_EQ(Parse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = Parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").AsArray().size(), 3u);
+  EXPECT_EQ(v.at("a").AsArray()[2].at("b").AsBool(), true);
+  EXPECT_EQ(v.at("c").AsString(), "x");
+}
+
+TEST(JsonParse, WhitespaceAndLineComments) {
+  const Value v = Parse(
+      "{\n"
+      "  // hidden size of the model\n"
+      "  \"hidden\": 12288, // trailing comment\n"
+      "  \"blocks\": 96\n"
+      "}\n");
+  EXPECT_EQ(v.at("hidden").AsInt(), 12288);
+  EXPECT_EQ(v.at("blocks").AsInt(), 96);
+}
+
+TEST(JsonParse, TrailingCommas) {
+  EXPECT_EQ(Parse("[1, 2, 3,]").AsArray().size(), 3u);
+  EXPECT_EQ(Parse("{\"a\": 1,}").AsObject().size(), 1u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Parse(R"("a\"b\\c\nd\te")").AsString(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Parse(R"("A")").AsString(), "A");
+  EXPECT_EQ(Parse(R"("é")").AsString(), "\xC3\xA9");   // é
+  EXPECT_EQ(Parse(R"("€")").AsString(), "\xE2\x82\xAC");  // €
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    Parse("{\n  \"a\": }\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(Parse(""), ConfigError);
+  EXPECT_THROW(Parse("{"), ConfigError);
+  EXPECT_THROW(Parse("[1 2]"), ConfigError);
+  EXPECT_THROW(Parse("tru"), ConfigError);
+  EXPECT_THROW(Parse("\"unterminated"), ConfigError);
+  EXPECT_THROW(Parse("{} trailing"), ConfigError);
+  EXPECT_THROW(Parse("nan"), ConfigError);
+}
+
+TEST(JsonValue, TypeMismatchesThrow) {
+  const Value v = Parse("{\"a\": 1}");
+  EXPECT_THROW(v.AsArray(), ConfigError);
+  EXPECT_THROW(v.at("a").AsString(), ConfigError);
+  EXPECT_THROW(v.at("missing"), ConfigError);
+  EXPECT_THROW(Parse("1.5").AsInt(), ConfigError);
+}
+
+TEST(JsonValue, DefaultingAccessors) {
+  const Value v = Parse("{\"x\": 7, \"flag\": true}");
+  EXPECT_EQ(v.GetInt("x", 0), 7);
+  EXPECT_EQ(v.GetInt("y", 3), 3);
+  EXPECT_EQ(v.GetBool("flag", false), true);
+  EXPECT_EQ(v.GetString("name", "default"), "default");
+  // Present key of the wrong type still throws (catches config typos).
+  EXPECT_THROW(v.GetBool("x", false), ConfigError);
+}
+
+TEST(JsonValue, CopyHasValueSemantics) {
+  Value a = Parse("{\"k\": [1]}");
+  Value b = a;
+  b["k"].AsArray().push_back(Value(2));
+  EXPECT_EQ(a.at("k").AsArray().size(), 1u);  // original untouched
+  EXPECT_EQ(b.at("k").AsArray().size(), 2u);
+}
+
+TEST(JsonValue, Equality) {
+  EXPECT_EQ(Parse("{\"a\": [1, true]}"), Parse("{ \"a\" : [ 1 , true ] }"));
+  EXPECT_FALSE(Parse("1") == Parse("2"));
+  EXPECT_FALSE(Parse("1") == Parse("\"1\""));
+}
+
+TEST(JsonDump, RoundTripsThroughParse) {
+  const char* docs[] = {
+      "null",
+      "true",
+      R"({"a": [1, 2.5, "x", null, {"b": false}], "c": {}})",
+      "[[], {}, [[1]]]",
+      R"("quote\" backslash\\ newline\n")",
+  };
+  for (const char* doc : docs) {
+    const Value v = Parse(doc);
+    EXPECT_EQ(Parse(v.Dump(0)), v) << doc;
+    EXPECT_EQ(Parse(v.Dump(2)), v) << doc;
+  }
+}
+
+TEST(JsonDump, IntegersStayIntegral) {
+  EXPECT_EQ(Value(4096).Dump(), "4096");
+  EXPECT_EQ(Value(80.0 * 1024 * 1024 * 1024).Dump(), "85899345920");
+}
+
+TEST(JsonDump, ObjectKeysAreSorted) {
+  Value v;
+  v["zeta"] = 1;
+  v["alpha"] = 2;
+  const std::string s = v.Dump(0);
+  EXPECT_LT(s.find("alpha"), s.find("zeta"));
+}
+
+TEST(JsonFile, WriteAndReadBack) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "calculon_json_test.json")
+          .string();
+  Value v;
+  v["name"] = "gpt3_175b";
+  v["hidden"] = 12288;
+  WriteFile(path, v);
+  const Value back = ParseFile(path);
+  EXPECT_EQ(back, v);
+  std::remove(path.c_str());
+}
+
+TEST(JsonFile, MissingFileThrows) {
+  EXPECT_THROW(ParseFile("/nonexistent/path.json"), ConfigError);
+}
+
+}  // namespace
+}  // namespace calculon::json

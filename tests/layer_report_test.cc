@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "core/layer_report.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+
+namespace calculon {
+namespace {
+
+TEST(LayerReport, ListsEveryLayerAndTotals) {
+  const Application app = presets::Gpt3_175B();
+  Execution e;
+  e.num_procs = 8;
+  e.tensor_par = 8;
+  e.batch_size = 8;
+  presets::SystemOptions o;
+  o.num_procs = 8;
+  const Table table = LayerReport(app, e, presets::A100(o));
+  const std::string s = table.ToString();
+  for (const char* name :
+       {"attn_norm", "attn_qkv", "attn_qkt", "attn_softmax", "attn_av",
+        "attn_proj", "mlp_fc1", "mlp_gelu", "mlp_fc2", "mlp_residual"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(s.find("tp_fw_0"), std::string::npos);
+  EXPECT_NE(s.find("total (one block, one microbatch)"), std::string::npos);
+  // 15 layers + 2 comm ops + total + 2 rules.
+  EXPECT_GE(table.num_rows(), 18u);
+}
+
+TEST(LayerReport, NoCommRowsWithoutTensorParallelism) {
+  const Application app = presets::Megatron22B();
+  Execution e;
+  e.num_procs = 1;
+  e.batch_size = 1;
+  presets::SystemOptions o;
+  o.num_procs = 1;
+  const Table table = LayerReport(app, e, presets::A100(o));
+  EXPECT_EQ(table.ToString().find("tp_fw_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace calculon

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/memory.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+TEST(Memory, AccessTimeAtFullEfficiency) {
+  const Memory m(80 * kGiB, 2e12);
+  EXPECT_DOUBLE_EQ(m.AccessTime(2e12), 1.0);
+  EXPECT_DOUBLE_EQ(m.AccessTime(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.AccessTime(-5.0), 0.0);
+}
+
+TEST(Memory, EfficiencyCurveReducesBandwidth) {
+  const Memory m(80 * kGiB, 2e12, EfficiencyCurve({{0.0, 0.5}, {1e9, 1.0}}));
+  EXPECT_DOUBLE_EQ(m.EffectiveBandwidth(1.0), 1e12);
+  EXPECT_DOUBLE_EQ(m.EffectiveBandwidth(1e9), 2e12);
+  EXPECT_DOUBLE_EQ(m.AccessTime(1e6), 1e6 / m.EffectiveBandwidth(1e6));
+}
+
+TEST(Memory, AbsentTierReportsInfinity) {
+  const Memory none;
+  EXPECT_FALSE(none.present());
+  EXPECT_TRUE(std::isinf(none.AccessTime(1.0)));
+  EXPECT_DOUBLE_EQ(none.AccessTime(0.0), 0.0);
+}
+
+TEST(Memory, PresenceFollowsCapacity) {
+  EXPECT_TRUE(Memory(1.0, 1.0).present());
+  EXPECT_FALSE(Memory(0.0, 1.0).present());
+}
+
+TEST(Memory, RejectsNegativeParameters) {
+  EXPECT_THROW(Memory(-1.0, 1.0), ConfigError);
+  EXPECT_THROW(Memory(1.0, -1.0), ConfigError);
+}
+
+TEST(Memory, JsonRoundTrip) {
+  const Memory m(512 * kGiB, 100e9, EfficiencyCurve({{0.0, 0.6}, {1e8, 0.9}}));
+  const Memory back = Memory::FromJson(m.ToJson());
+  EXPECT_DOUBLE_EQ(back.capacity(), m.capacity());
+  EXPECT_DOUBLE_EQ(back.bandwidth(), m.bandwidth());
+  EXPECT_DOUBLE_EQ(back.AccessTime(12345.0), m.AccessTime(12345.0));
+}
+
+TEST(Memory, JsonDefaultsEfficiencyToOne) {
+  const Memory m =
+      Memory::FromJson(json::Parse(R"({"capacity": 100, "bandwidth": 10})"));
+  EXPECT_DOUBLE_EQ(m.AccessTime(100.0), 10.0);
+}
+
+// Property: access time is monotone non-decreasing in transfer size for a
+// monotone efficiency curve.
+class MemoryMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MemoryMonotoneTest, AccessTimeMonotoneInSize) {
+  const Memory m(80 * kGiB, 2e12,
+                 EfficiencyCurve({{0.0, 0.2}, {1e6, 0.6}, {1e9, 0.9}}));
+  const double bytes = GetParam();
+  EXPECT_LE(m.AccessTime(bytes), m.AccessTime(bytes * 2.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MemoryMonotoneTest,
+                         ::testing::Values(1.0, 1e3, 1e6, 5e7, 1e9, 1e12));
+
+}  // namespace
+}  // namespace calculon

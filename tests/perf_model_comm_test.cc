@@ -1,0 +1,193 @@
+// Focused tests of the communication, overlap and offload behaviour of the
+// performance model against closed-form expectations.
+#include <gtest/gtest.h>
+
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+System MakeSystem(std::int64_t procs, double hbm_gib = 1024.0) {
+  presets::SystemOptions o;
+  o.num_procs = procs;
+  o.hbm_capacity = hbm_gib * kGiB;
+  return presets::A100(o);
+}
+
+Execution BaseExec(std::int64_t procs, std::int64_t t, std::int64_t p,
+                   std::int64_t d) {
+  Execution e;
+  e.num_procs = procs;
+  e.tensor_par = t;
+  e.pipeline_par = p;
+  e.data_par = d;
+  e.batch_size = procs;
+  return e;
+}
+
+TEST(PerfComm, TpBusyTimeMatchesClosedForm) {
+  // Plain TP: 2 all-reduces of dt*b*s*h per block per pass, nm * bpp
+  // blocks per batch, on the NVLink tier.
+  const Application app = presets::Gpt3_175B();
+  const System sys = MakeSystem(512);
+  const Execution e = BaseExec(512, 8, 8, 8);  // nm = 64, bpp = 12
+  const auto r = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(r.ok());
+  const Network& nvlink = sys.networks()[0];
+  const double bytes = 2.0 * 2048.0 * 12288.0;  // dt * b * s * h
+  const double per_op =
+      nvlink.CollectiveTime(Collective::kAllReduce, 8, bytes);
+  const double expected = 64.0 * 12.0 * (2.0 + 2.0) * per_op;  // fw + bw
+  EXPECT_NEAR(r.value().tp_comm_total, expected, 1e-9);
+}
+
+TEST(PerfComm, RsAgSplitCostsTheSameAsAllReduce) {
+  // Ring identity: AR == RS + AG in both bytes and time.
+  const Application app = presets::Gpt3_175B();
+  const System sys = MakeSystem(512);
+  Execution e = BaseExec(512, 8, 8, 8);
+  const auto ar = CalculatePerformance(app, e, sys);
+  e.tp_rs_ag = true;
+  const auto rs = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(ar.ok() && rs.ok());
+  // Same total bytes; the split ops are individually smaller messages, so
+  // the size-based link efficiency makes them slightly slower.
+  EXPECT_NEAR(rs.value().tp_comm_total / ar.value().tp_comm_total, 1.0,
+              0.05);
+  EXPECT_GE(rs.value().tp_comm_total, ar.value().tp_comm_total);
+}
+
+TEST(PerfComm, AgRedoAddsExactlyTwoGathersPerBlock) {
+  const Application app = presets::Gpt3_175B();
+  const System sys = MakeSystem(512);
+  Execution e = BaseExec(512, 8, 8, 8);
+  e.tp_rs_ag = true;
+  e.seq_par = true;
+  const auto base = CalculatePerformance(app, e, sys);
+  e.seq_par_ag_redo = true;
+  const auto redo = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(base.ok() && redo.ok());
+  const Network& nvlink = sys.networks()[0];
+  const double bytes = 2.0 * 2048.0 * 12288.0;
+  const double per_ag =
+      nvlink.CollectiveTime(Collective::kAllGather, 8, bytes);
+  const double expected_extra = 64.0 * 12.0 * 2.0 * per_ag;
+  EXPECT_NEAR(redo.value().tp_comm_total - base.value().tp_comm_total,
+              expected_extra, 1e-9);
+}
+
+TEST(PerfComm, FullRecomputeRepeatsForwardTpComm) {
+  const Application app = presets::Gpt3_175B();
+  const System sys = MakeSystem(512);
+  Execution e = BaseExec(512, 8, 8, 8);
+  const auto none = CalculatePerformance(app, e, sys);
+  e.recompute = Recompute::kFull;
+  const auto full = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(none.ok() && full.ok());
+  // fw (2 ops) + bw (2 ops) -> + recompute fw (2 ops): 1.5x.
+  EXPECT_NEAR(full.value().tp_comm_total / none.value().tp_comm_total, 1.5,
+              1e-9);
+}
+
+TEST(PerfComm, PpRsAgTradesFabricBytesForTpTime) {
+  const Application app = presets::Megatron1T();
+  const System sys = MakeSystem(512);
+  Execution e = BaseExec(512, 8, 64, 1);
+  const auto plain = CalculatePerformance(app, e, sys);
+  e.pp_rs_ag = true;
+  const auto split = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(plain.ok() && split.ok());
+  // The p2p payload shrinks by t, but the boundary RS+AG serializes on the
+  // TP network: total PP-side time goes up on this system while the
+  // fabric bytes shrink (visible as the busy-time composition changing).
+  EXPECT_NE(split.value().pp_comm_total, plain.value().pp_comm_total);
+}
+
+TEST(PerfComm, TpSpillingPastNvlinkDomainIsExpensive) {
+  const Application app = presets::Gpt3_175B();
+  // t = 8 fits the NVLink domain; t = 16 spans two domains and must use
+  // the fabric, with dramatically slower collectives.
+  const auto in_domain =
+      CalculatePerformance(app, BaseExec(512, 8, 8, 8), MakeSystem(512));
+  const auto spilled =
+      CalculatePerformance(app, BaseExec(512, 16, 8, 4), MakeSystem(512));
+  ASSERT_TRUE(in_domain.ok() && spilled.ok());
+  EXPECT_GT(spilled.value().time.tp_comm,
+            3.0 * in_domain.value().time.tp_comm);
+}
+
+TEST(PerfComm, OptimizerTimeShrinksWithSharding) {
+  const Application app = presets::Megatron1T();
+  const System sys = MakeSystem(4096);
+  Execution e = BaseExec(4096, 8, 16, 32);
+  const auto base = CalculatePerformance(app, e, sys);
+  e.optimizer_sharding = true;
+  const auto sharded = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(base.ok() && sharded.ok());
+  EXPECT_NEAR(sharded.value().time.optim_step,
+              base.value().time.optim_step / 32.0,
+              base.value().time.optim_step * 0.05);
+}
+
+TEST(PerfComm, OffloadDemandDropsWithLargerMicrobatch) {
+  // Eq. 1: weight prefetch demand = W_blk / T_compute; compute grows with
+  // the microbatch while the weights do not.
+  presets::SystemOptions o;
+  o.num_procs = 512;
+  o.offload_capacity = 1e18;
+  o.offload_bandwidth = 1e15;
+  const System sys = presets::H100(o);
+  const Application app = presets::Megatron1T();
+  double prev = 1e30;
+  for (std::int64_t m : {1, 2, 4}) {
+    Execution e = BaseExec(512, 8, 8, 8);
+    e.microbatch = m;
+    e.recompute = Recompute::kFull;
+    e.weight_offload = true;
+    e.activation_offload = true;
+    e.optimizer_offload = true;
+    const auto r = CalculatePerformance(app, e, sys);
+    ASSERT_TRUE(r.ok()) << r.detail();
+    EXPECT_LT(r.value().offload_bw_required, prev);
+    prev = r.value().offload_bw_required;
+  }
+}
+
+TEST(PerfComm, BatchTimeIsAffineInBatchSize) {
+  // Doubling the batch doubles the microbatch count; the bubble and
+  // optimizer terms stay fixed, so time is affine and slightly sublinear.
+  const Application app = presets::Gpt3_175B();
+  const System sys = MakeSystem(512);
+  Execution e = BaseExec(512, 8, 8, 8);
+  e.batch_size = 512;
+  const auto one = CalculatePerformance(app, e, sys);
+  e.batch_size = 1024;
+  const auto two = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(one.ok() && two.ok());
+  const double ratio = two.value().batch_time / one.value().batch_time;
+  EXPECT_GT(ratio, 1.80);
+  EXPECT_LT(ratio, 2.0 + 1e-9);
+}
+
+TEST(PerfComm, InNetworkFabricSpeedsUpDataParallelism) {
+  const Application app = presets::Megatron1T();
+  const System base = MakeSystem(4096, 2048.0);
+  std::vector<Network> nets = base.networks();
+  nets.back() = Network(nets.back().size(), nets.back().bandwidth(),
+                        nets.back().latency(), nets.back().efficiency(),
+                        /*in_network_collectives=*/true,
+                        nets.back().processor_fraction());
+  const System sharp("a100_sharp", base.num_procs(), base.proc(), nets);
+  Execution e = BaseExec(4096, 8, 2, 256);
+  e.optimizer_sharding = false;  // plain all-reduce benefits from SHARP
+  const auto ring = CalculatePerformance(app, e, base);
+  const auto innet = CalculatePerformance(app, e, sharp);
+  ASSERT_TRUE(ring.ok() && innet.ok());
+  EXPECT_LT(innet.value().time.dp_comm, ring.value().time.dp_comm * 0.6);
+}
+
+}  // namespace
+}  // namespace calculon

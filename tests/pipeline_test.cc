@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace calculon {
+namespace {
+
+TEST(Pipeline, NoStagesNoBubble) {
+  EXPECT_DOUBLE_EQ(PipelineBubbleTime({1, 1, 64, true}, 10.0), 0.0);
+}
+
+TEST(Pipeline, BubbleIsFillDrainOfChunks) {
+  // p=8, i=1: (p-1) * per-microbatch time.
+  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 1, 64, true}, 2.0), 14.0);
+  // Interleaving divides the bubble by i.
+  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 2, 64, true}, 2.0), 7.0);
+  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 7, 64, true}, 2.0), 2.0);
+}
+
+TEST(Pipeline, BubbleIndependentOfMicrobatchCount) {
+  // Absolute bubble time is fixed; more microbatches only amortize it.
+  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 1, 8, true}, 2.0),
+                   PipelineBubbleTime({8, 1, 512, true}, 2.0));
+}
+
+TEST(Pipeline, InFlightWithoutOneFOneBIsEveryMicrobatch) {
+  EXPECT_DOUBLE_EQ(InFlightMicrobatches({8, 1, 64, false}), 64.0);
+  EXPECT_DOUBLE_EQ(InFlightMicrobatches({8, 1, 512, false}), 512.0);
+}
+
+TEST(Pipeline, OneFOneBCapsInFlightAtDepth) {
+  EXPECT_DOUBLE_EQ(InFlightMicrobatches({8, 1, 64, true}), 8.0);
+  EXPECT_DOUBLE_EQ(InFlightMicrobatches({64, 1, 512, true}), 64.0);
+}
+
+TEST(Pipeline, InterleavingInflatesInFlightAboveDepth) {
+  // Korthikanti et al.: interleaving multiplies the 1F1B footprint by
+  // (1 + (p-1)/(p*i)), i.e. p + (p-1)/i microbatches; the inflation decays
+  // as chunks shrink.
+  const double base = InFlightMicrobatches({8, 1, 512, true});
+  const double i2 = InFlightMicrobatches({8, 2, 512, true});
+  const double i4 = InFlightMicrobatches({8, 4, 512, true});
+  EXPECT_GT(i2, base);
+  EXPECT_GT(i4, base);
+  EXPECT_LT(i4, i2);
+  EXPECT_LT(i2, 2.0 * base);
+  EXPECT_DOUBLE_EQ(i2, 8.0 + 7.0 / 2.0);
+  EXPECT_DOUBLE_EQ(i4, 8.0 + 7.0 / 4.0);
+}
+
+TEST(Pipeline, InFlightNeverExceedsMicrobatchCount) {
+  EXPECT_DOUBLE_EQ(InFlightMicrobatches({64, 4, 8, true}), 8.0);
+  EXPECT_DOUBLE_EQ(InFlightMicrobatches({1, 1, 8, true}), 1.0);
+}
+
+// Property: the bubble fraction of total time is (p-1)/(i*nm), the
+// published formula for the interleaved 1F1B schedule.
+struct BubbleCase {
+  std::int64_t p;
+  std::int64_t i;
+  std::int64_t nm;
+};
+
+class BubbleFractionTest : public ::testing::TestWithParam<BubbleCase> {};
+
+TEST_P(BubbleFractionTest, MatchesPublishedFraction) {
+  const auto& c = GetParam();
+  const double per_ub = 3.7;
+  const double bubble = PipelineBubbleTime({c.p, c.i, c.nm, true}, per_ub);
+  const double ideal = static_cast<double>(c.nm) * per_ub;
+  EXPECT_NEAR(bubble / ideal,
+              static_cast<double>(c.p - 1) /
+                  (static_cast<double>(c.i) * static_cast<double>(c.nm)),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BubbleFractionTest,
+                         ::testing::Values(BubbleCase{2, 1, 4},
+                                           BubbleCase{8, 1, 64},
+                                           BubbleCase{8, 2, 64},
+                                           BubbleCase{64, 2, 512},
+                                           BubbleCase{64, 8, 512},
+                                           BubbleCase{128, 1, 128}));
+
+}  // namespace
+}  // namespace calculon

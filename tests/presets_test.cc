@@ -1,0 +1,109 @@
+// Cross-cutting preset tests: every built-in application and system must
+// survive a JSON round trip and compose into a runnable calculation.
+#include <gtest/gtest.h>
+
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+TEST(Presets, ApplicationsRoundTripThroughJson) {
+  for (const std::string& name : presets::ApplicationNames()) {
+    const Application app = presets::ApplicationByName(name);
+    const Application back = Application::FromJson(app.ToJson());
+    EXPECT_EQ(back.ToJson(), app.ToJson()) << name;
+  }
+}
+
+TEST(Presets, SystemsRoundTripThroughJson) {
+  for (const std::string& name : presets::SystemNames()) {
+    const System sys = presets::SystemByName(name);
+    const System back = System::FromJson(sys.ToJson());
+    EXPECT_EQ(back.ToJson(), sys.ToJson()) << name;
+  }
+}
+
+// Every preset application must run on a big-enough A100 system with the
+// Megatron baseline strategy.
+class PresetRunTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PresetRunTest, RunsWithBaselineStrategy) {
+  const Application app = presets::ApplicationByName(GetParam());
+  presets::SystemOptions o;
+  o.num_procs = 512;
+  o.hbm_capacity = 1024.0 * kGiB;  // roomy: isolate structural feasibility
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = 512;
+  // GPT-2's 25 heads do not split 8 ways; fall back to pure PP+DP there.
+  e.tensor_par = app.attn_heads % 8 == 0 ? 8 : 1;
+  e.pipeline_par = std::min<std::int64_t>(app.num_blocks, 8);
+  e.data_par = 512 / (e.tensor_par * e.pipeline_par);
+  e.batch_size = 512;
+  e.recompute = Recompute::kFull;
+  if (e.tensor_par * e.pipeline_par * e.data_par != 512) GTEST_SKIP();
+  const auto r = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(r.ok()) << GetParam() << ": " << r.detail();
+  EXPECT_GT(r.value().sample_rate, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PresetRunTest,
+                         ::testing::Values("gpt2_1p5b", "gpt3_6p7b",
+                                           "gpt3_13b", "megatron_22b",
+                                           "anthropic_52b", "llama2_70b",
+                                           "chinchilla_70b", "gpt3_175b",
+                                           "bloom_176b", "turing_530b",
+                                           "megatron_1t"));
+
+// Larger models must never be faster than smaller ones on the same system
+// with the same strategy family (sanity ordering).
+TEST(Presets, BiggerModelsAreSlower) {
+  presets::SystemOptions o;
+  o.num_procs = 512;
+  o.hbm_capacity = 1024.0 * kGiB;
+  const System sys = presets::A100(o);
+  double prev_rate = 1e30;
+  for (const char* name : {"gpt3_175b", "turing_530b", "megatron_1t"}) {
+    const Application app = presets::ApplicationByName(name);
+    Execution e;
+    e.num_procs = 512;
+    e.tensor_par = 8;
+    e.pipeline_par = 8;
+    e.data_par = 8;
+    e.batch_size = 512;
+    e.recompute = Recompute::kFull;
+    const auto r = CalculatePerformance(app, e, sys);
+    ASSERT_TRUE(r.ok()) << name;
+    EXPECT_LT(r.value().sample_rate, prev_rate) << name;
+    prev_rate = r.value().sample_rate;
+  }
+}
+
+TEST(Presets, StatsReportAndJsonAreWellFormed) {
+  const Application app = presets::Gpt3_175B();
+  presets::SystemOptions o;
+  o.num_procs = 512;
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = 512;
+  e.tensor_par = 8;
+  e.pipeline_par = 8;
+  e.data_par = 8;
+  e.batch_size = 512;
+  e.recompute = Recompute::kFull;
+  const auto r = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(r.ok());
+  const std::string report = r.value().Report();
+  EXPECT_NE(report.find("Batch time"), std::string::npos);
+  EXPECT_NE(report.find("HBM consumption"), std::string::npos);
+  const json::Value j = r.value().ToJson();
+  EXPECT_DOUBLE_EQ(j.at("batch_time").AsDouble(), r.value().batch_time);
+  EXPECT_DOUBLE_EQ(j.at("time").at("fw_pass").AsDouble(),
+                   r.value().time.fw_pass);
+}
+
+}  // namespace
+}  // namespace calculon

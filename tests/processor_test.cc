@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "hw/processor.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+Processor MakeProc(RooflineMode mode = RooflineMode::kMax) {
+  Processor p;
+  p.matrix = ComputeUnit(312e12, EfficiencyCurve(0.5));
+  p.vector = ComputeUnit(78e12, EfficiencyCurve(1.0));
+  p.mem1 = Memory(80 * kGiB, 2e12);
+  p.roofline = mode;
+  return p;
+}
+
+TEST(ComputeUnit, FlopTimeUsesEfficiency) {
+  const ComputeUnit u(312e12, EfficiencyCurve(0.5));
+  EXPECT_DOUBLE_EQ(u.FlopTime(156e12), 1.0);
+  EXPECT_DOUBLE_EQ(u.FlopTime(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.Efficiency(1.0), 0.5);
+}
+
+TEST(ComputeUnit, JsonRoundTrip) {
+  const ComputeUnit u(990e12, EfficiencyCurve({{0.0, 0.1}, {1e12, 0.8}}));
+  const ComputeUnit back = ComputeUnit::FromJson(u.ToJson());
+  EXPECT_DOUBLE_EQ(back.peak_flops(), u.peak_flops());
+  EXPECT_DOUBLE_EQ(back.FlopTime(5e11), u.FlopTime(5e11));
+}
+
+TEST(Processor, RooflineMaxPicksTheBottleneck) {
+  const Processor p = MakeProc(RooflineMode::kMax);
+  // Compute-bound: 156e12 flops at 156e12 effective = 1s; tiny memory.
+  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, 156e12, 1.0), 1.0);
+  // Memory-bound: 2e12 bytes at 2 TB/s = 1s; tiny flops.
+  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, 1.0, 2e12), 1.0);
+}
+
+TEST(Processor, RooflineSumAddsBothTerms) {
+  const Processor p = MakeProc(RooflineMode::kSum);
+  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, 156e12, 2e12), 2.0);
+}
+
+TEST(Processor, VectorAndMatrixUnitsDiffer) {
+  const Processor p = MakeProc();
+  const double matrix = p.OpTime(ComputeKind::kMatrix, 78e12, 0.0);
+  const double vector = p.OpTime(ComputeKind::kVector, 78e12, 0.0);
+  EXPECT_DOUBLE_EQ(matrix, 0.5);  // 312e12 * 0.5 effective
+  EXPECT_DOUBLE_EQ(vector, 1.0);  // 78e12 * 1.0 effective
+}
+
+TEST(Processor, ComputeSlowdownThrottlesFlops) {
+  const Processor p = MakeProc();
+  const double base = p.OpTime(ComputeKind::kMatrix, 156e12, 0.0);
+  const double throttled = p.OpTime(ComputeKind::kMatrix, 156e12, 0.0, 0.15);
+  EXPECT_NEAR(throttled, base / 0.85, 1e-9);
+  // A slowdown of 0 or >= 1 is ignored.
+  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, 156e12, 0.0, 0.0), base);
+}
+
+TEST(Processor, JsonRoundTrip) {
+  Processor p = MakeProc(RooflineMode::kSum);
+  p.mem2 = Memory(512 * kGiB, 100e9);
+  const Processor back = Processor::FromJson(p.ToJson());
+  EXPECT_EQ(back.roofline, RooflineMode::kSum);
+  EXPECT_DOUBLE_EQ(back.mem2.capacity(), p.mem2.capacity());
+  EXPECT_DOUBLE_EQ(back.OpTime(ComputeKind::kMatrix, 1e12, 1e9),
+                   p.OpTime(ComputeKind::kMatrix, 1e12, 1e9));
+}
+
+TEST(Processor, JsonMem2IsOptional) {
+  Processor p = MakeProc();
+  json::Value v = p.ToJson();
+  v.AsObject().erase("mem2");
+  const Processor back = Processor::FromJson(v);
+  EXPECT_FALSE(back.mem2.present());
+}
+
+TEST(Processor, JsonRejectsUnknownRoofline) {
+  json::Value v = MakeProc().ToJson();
+  v["roofline"] = "avg";
+  EXPECT_THROW(Processor::FromJson(v), ConfigError);
+}
+
+TEST(ComputeUnit, RejectsNegativePeak) {
+  EXPECT_THROW(ComputeUnit(-1.0, EfficiencyCurve(1.0)), ConfigError);
+}
+
+// Property: roofline-max is never larger than roofline-sum and never smaller
+// than either individual term.
+class RooflineTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(RooflineTest, MaxBoundedBySum) {
+  const auto [flops, bytes] = GetParam();
+  const Processor pmax = MakeProc(RooflineMode::kMax);
+  const Processor psum = MakeProc(RooflineMode::kSum);
+  const double tmax = pmax.OpTime(ComputeKind::kMatrix, flops, bytes);
+  const double tsum = psum.OpTime(ComputeKind::kMatrix, flops, bytes);
+  EXPECT_LE(tmax, tsum);
+  EXPECT_GE(tsum, tmax);
+  EXPECT_GE(tmax, pmax.matrix.FlopTime(flops));
+  EXPECT_GE(tmax, pmax.mem1.AccessTime(bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RooflineTest,
+    ::testing::Values(std::pair{1e9, 1e6}, std::pair{1e12, 1e9},
+                      std::pair{1e14, 1e6}, std::pair{1e6, 1e11},
+                      std::pair{0.0, 0.0}));
+
+}  // namespace
+}  // namespace calculon

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "search/rightsize.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+SearchSpace SmallSpace() {
+  SearchSpace s = SearchSpace::MegatronBaseline();
+  s.max_microbatch = 4;
+  return s;
+}
+
+TEST(RightSize, RecommendsSmallestEfficientSize) {
+  ThreadPool pool(2);
+  presets::SystemOptions o;
+  o.num_procs = 64;
+  RightSizeOptions options;
+  options.sizes = {8, 16, 24, 32, 48, 64};
+  options.target_efficiency = 0.8;
+  const RightSizeReport report =
+      RightSize(presets::Megatron22B(), presets::A100(o), SmallSpace(),
+                options, pool);
+  ASSERT_EQ(report.assessments.size(), 6u);
+  EXPECT_GT(report.best_per_gpu_rate, 0.0);
+  EXPECT_GT(report.recommended, 0);
+  // The recommendation meets the target.
+  for (const SizeAssessment& a : report.assessments) {
+    if (a.num_procs == report.recommended) {
+      EXPECT_GE(a.efficiency, 0.8);
+    }
+    if (a.feasible) {
+      EXPECT_LE(a.efficiency, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(RightSize, FlagsDeadSizesForBigModels) {
+  ThreadPool pool(2);
+  presets::SystemOptions o;
+  o.num_procs = 64;
+  RightSizeOptions options;
+  options.sizes = {8, 16, 512};  // 1T cannot run on 8 or 16 A100s
+  const RightSizeReport report =
+      RightSize(presets::Megatron1T(), presets::A100(o), SmallSpace(),
+                options, pool);
+  EXPECT_EQ(report.dead_sizes,
+            (std::vector<std::int64_t>{8, 16}));
+  EXPECT_EQ(report.recommended, 512);
+}
+
+TEST(RightSize, MinimumThroughputFloorApplies) {
+  ThreadPool pool(2);
+  presets::SystemOptions o;
+  o.num_procs = 64;
+  RightSizeOptions options;
+  options.sizes = {8, 64};
+  options.target_efficiency = 0.0;
+  options.min_sample_rate = 1e9;  // unreachable
+  const RightSizeReport report =
+      RightSize(presets::Megatron22B(), presets::A100(o), SmallSpace(),
+                options, pool);
+  EXPECT_EQ(report.recommended, 0);
+}
+
+TEST(RightSize, RejectsEmptySizes) {
+  ThreadPool pool(1);
+  presets::SystemOptions o;
+  EXPECT_THROW(RightSize(presets::Megatron22B(), presets::A100(o),
+                         SmallSpace(), RightSizeOptions{}, pool),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace calculon

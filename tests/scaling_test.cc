@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "models/presets.h"
+#include "hw/presets.h"
+#include "search/scaling.h"
+
+namespace calculon {
+namespace {
+
+TEST(Scaling, SizeRangeInclusive) {
+  EXPECT_EQ(SizeRange(8, 32, 8),
+            (std::vector<std::int64_t>{8, 16, 24, 32}));
+  EXPECT_EQ(SizeRange(256, 256, 256), (std::vector<std::int64_t>{256}));
+  EXPECT_TRUE(SizeRange(16, 8, 8).empty());
+}
+
+TEST(Scaling, SweepReportsEveryRequestedSize) {
+  ThreadPool pool(2);
+  presets::SystemOptions o;
+  o.num_procs = 64;
+  ScalingOptions options;
+  options.sizes = {8, 16, 32, 64};
+  const auto points =
+      ScalingSweep(presets::Megatron22B(), presets::A100(o),
+                   SearchSpace::MegatronBaseline(), options, pool);
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].num_procs, options.sizes[i]);
+    EXPECT_TRUE(points[i].feasible);
+    EXPECT_GT(points[i].sample_rate, 0.0);
+  }
+  // Weak scaling: the envelope grows with system size.
+  EXPECT_GT(points.back().sample_rate, points.front().sample_rate);
+}
+
+TEST(Scaling, InfeasibleSizesReportZero) {
+  ThreadPool pool(2);
+  presets::SystemOptions o;
+  o.num_procs = 8;
+  o.hbm_capacity = 8.0 * kGiB;  // far too small for Megatron-1T
+  ScalingOptions options;
+  options.sizes = {8};
+  const auto points =
+      ScalingSweep(presets::Megatron1T(), presets::A100(o),
+                   SearchSpace::MegatronBaseline(), options, pool);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_FALSE(points[0].feasible);
+  EXPECT_DOUBLE_EQ(points[0].sample_rate, 0.0);
+}
+
+TEST(Scaling, FixedBatchIsHonored) {
+  ThreadPool pool(2);
+  presets::SystemOptions o;
+  o.num_procs = 16;
+  ScalingOptions options;
+  options.sizes = {16};
+  options.batch_size = 128;
+  const auto points =
+      ScalingSweep(presets::Megatron22B(), presets::A100(o),
+                   SearchSpace::MegatronBaseline(), options, pool);
+  ASSERT_TRUE(points[0].feasible);
+  EXPECT_EQ(points[0].best_exec.batch_size, 128);
+}
+
+}  // namespace
+}  // namespace calculon

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/schedule.h"
+#include "json/json.h"
+
+namespace calculon {
+namespace {
+
+ScheduleParams Shape(std::int64_t p, std::int64_t i, std::int64_t nm,
+                     bool f1b = true) {
+  ScheduleParams params;
+  params.stages = p;
+  params.interleave = i;
+  params.microbatches = nm;
+  params.one_f_one_b = f1b;
+  params.fw_chunk_time = 1.0;
+  params.bw_chunk_time = 2.0;
+  params.p2p_time = 0.0;
+  return params;
+}
+
+TEST(Schedule, SingleStageIsBackToBack) {
+  const ScheduleResult r = BuildPipelineSchedule(Shape(1, 1, 4));
+  EXPECT_DOUBLE_EQ(r.makespan, 4 * 3.0);
+  EXPECT_DOUBLE_EQ(r.TotalIdle(), 0.0);
+  EXPECT_EQ(r.tasks.size(), 8u);
+  EXPECT_EQ(r.peak_in_flight, 1);
+}
+
+TEST(Schedule, EveryTaskRunsExactlyOnce) {
+  const ScheduleResult r = BuildPipelineSchedule(Shape(4, 2, 8));
+  // 8 microbatches * 2 chunks * 2 directions per stage.
+  EXPECT_EQ(r.tasks.size(), 4u * 8u * 2u * 2u);
+  for (const ScheduleTask& t : r.tasks) {
+    EXPECT_GE(t.start, 0.0);
+    EXPECT_GT(t.end, t.start);
+    EXPECT_LE(t.end, r.makespan + 1e-9);
+  }
+}
+
+TEST(Schedule, NoStageOverlapsItself) {
+  const ScheduleResult r = BuildPipelineSchedule(Shape(4, 2, 8));
+  // Tasks are sorted by (stage, start): consecutive tasks of one stage
+  // must not overlap.
+  for (std::size_t i = 1; i < r.tasks.size(); ++i) {
+    if (r.tasks[i].stage != r.tasks[i - 1].stage) continue;
+    EXPECT_GE(r.tasks[i].start, r.tasks[i - 1].end - 1e-9);
+  }
+}
+
+// The simulated makespan must match the closed form
+//   nm * (fw + bw) + (p - 1) * (fw + bw) / i
+// exactly for latency-free chunks (the analytic model's bubble formula).
+struct MakespanCase {
+  std::int64_t p, i, nm;
+};
+
+class MakespanTest : public ::testing::TestWithParam<MakespanCase> {};
+
+TEST_P(MakespanTest, MatchesAnalyticBubble) {
+  const auto& c = GetParam();
+  const ScheduleParams params = Shape(c.p, c.i, c.nm);
+  const ScheduleResult r = BuildPipelineSchedule(params);
+  const double per_ub =
+      static_cast<double>(c.i) *
+      (params.fw_chunk_time + params.bw_chunk_time);
+  const double ideal = static_cast<double>(c.nm) * per_ub;
+  const double analytic =
+      ideal + PipelineBubbleTime({c.p, c.i, c.nm, true}, per_ub);
+  // The greedy executor may deviate slightly from the idealized closed
+  // form on interleaved shapes; require agreement within 10%.
+  EXPECT_NEAR(r.makespan / analytic, 1.0, 0.10)
+      << "sim " << r.makespan << " vs analytic " << analytic;
+  EXPECT_GE(r.makespan, ideal - 1e-9);  // cannot beat the ideal
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MakespanTest,
+                         ::testing::Values(MakespanCase{1, 1, 8},
+                                           MakespanCase{2, 1, 8},
+                                           MakespanCase{4, 1, 8},
+                                           MakespanCase{4, 1, 64},
+                                           MakespanCase{8, 1, 32},
+                                           MakespanCase{4, 2, 8},
+                                           MakespanCase{4, 2, 32},
+                                           MakespanCase{8, 2, 16},
+                                           MakespanCase{8, 4, 32}));
+
+TEST(Schedule, NonInterleavedMakespanIsExact) {
+  // For plain 1F1B the closed form is exact.
+  for (std::int64_t p : {2, 4, 8}) {
+    for (std::int64_t nm : {8, 32}) {
+      const ScheduleParams params = Shape(p, 1, nm);
+      const ScheduleResult r = BuildPipelineSchedule(params);
+      const double per_ub = params.fw_chunk_time + params.bw_chunk_time;
+      const double expected =
+          static_cast<double>(nm) * per_ub +
+          static_cast<double>(p - 1) * per_ub;
+      EXPECT_NEAR(r.makespan, expected, 1e-9) << p << "x" << nm;
+    }
+  }
+}
+
+TEST(Schedule, InterleavingShrinksTheBubble) {
+  const double m1 = BuildPipelineSchedule(Shape(8, 1, 32)).makespan;
+  // Same total work split into twice as many half-size chunks.
+  ScheduleParams half = Shape(8, 2, 32);
+  half.fw_chunk_time /= 2.0;
+  half.bw_chunk_time /= 2.0;
+  const double m2 = BuildPipelineSchedule(half).makespan;
+  EXPECT_LT(m2, m1);
+}
+
+TEST(Schedule, GPipeKeepsEveryMicrobatchLive) {
+  const ScheduleResult r =
+      BuildPipelineSchedule(Shape(4, 1, 16, /*f1b=*/false));
+  EXPECT_EQ(r.peak_in_flight, 16);
+}
+
+TEST(Schedule, OneFOneBBoundsInFlightNearDepth) {
+  // The closed form says p for i=1; the executed schedule must be within
+  // one microbatch of it.
+  for (std::int64_t p : {2, 4, 8}) {
+    const ScheduleResult r = BuildPipelineSchedule(Shape(p, 1, 32));
+    EXPECT_LE(r.peak_in_flight, p + 1) << p;
+    EXPECT_GE(r.peak_in_flight, p - 1) << p;
+  }
+}
+
+TEST(Schedule, InterleavedInFlightTracksClosedForm) {
+  for (std::int64_t p : {4, 8}) {
+    for (std::int64_t i : {2, 4}) {
+      const ScheduleResult r = BuildPipelineSchedule(Shape(p, i, 4 * p));
+      const double analytic = InFlightMicrobatches({p, i, 4 * p, true});
+      EXPECT_NEAR(static_cast<double>(r.peak_in_flight) / analytic, 1.0,
+                  0.35)
+          << "p=" << p << " i=" << i << " sim " << r.peak_in_flight
+          << " analytic " << analytic;
+    }
+  }
+}
+
+TEST(Schedule, P2PDelaysDownstreamStages) {
+  ScheduleParams with = Shape(4, 1, 8);
+  with.p2p_time = 0.5;
+  const double slow = BuildPipelineSchedule(with).makespan;
+  const double fast = BuildPipelineSchedule(Shape(4, 1, 8)).makespan;
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Schedule, RejectsBadShapes) {
+  EXPECT_THROW(BuildPipelineSchedule(Shape(0, 1, 1)),
+               std::invalid_argument);
+  // Interleaving needs microbatches divisible by stages.
+  EXPECT_THROW(BuildPipelineSchedule(Shape(4, 2, 6)),
+               std::invalid_argument);
+}
+
+TEST(Schedule, TraceJsonIsValidAndComplete) {
+  const ScheduleResult r = BuildPipelineSchedule(Shape(2, 1, 4));
+  const std::string trace = r.TraceJson();
+  // Parses as JSON and carries one event per task.
+  const json::Value v = json::Parse(trace);
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.AsArray().size(), r.tasks.size());
+  const json::Value& ev = v.AsArray()[0];
+  EXPECT_EQ(ev.at("ph").AsString(), "X");
+  EXPECT_GE(ev.at("dur").AsDouble(), 0.0);
+  EXPECT_TRUE(ev.contains("tid"));
+}
+
+TEST(Schedule, RenderProducesOneRowPerStage) {
+  const ScheduleResult r = BuildPipelineSchedule(Shape(4, 2, 8));
+  const std::string art = r.Render(80);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find("stage  0"), std::string::npos);
+  EXPECT_NE(art.find('A'), std::string::npos);  // forward chunk 0
+  EXPECT_NE(art.find('b'), std::string::npos);  // backward chunk 1
+}
+
+}  // namespace
+}  // namespace calculon

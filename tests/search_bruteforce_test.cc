@@ -1,0 +1,71 @@
+// Cross-checks the search engine against a straightforward brute-force
+// enumeration on a small space: the fast path must find exactly the same
+// optimum and the same feasible count as the naive loop.
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "search/exec_search.h"
+#include "util/mathutil.h"
+
+namespace calculon {
+namespace {
+
+TEST(SearchBruteForce, MatchesNaiveEnumeration) {
+  const Application app = presets::Megatron22B();
+  presets::SystemOptions o;
+  o.num_procs = 16;
+  const System sys = presets::A100(o);
+  const std::int64_t batch = 32;
+
+  // Naive: loop every combination of the MegatronBaseline space by hand.
+  double best_rate = 0.0;
+  std::uint64_t feasible = 0;
+  for (const Triple& tr : FactorTriples(16)) {
+    if (tr.t > app.attn_heads || app.attn_heads % tr.t != 0) continue;
+    if (tr.p > app.num_blocks) continue;
+    if (batch % tr.d != 0) continue;
+    for (std::int64_t m : Divisors(batch / tr.d)) {
+      const std::int64_t bpp =
+          (app.num_blocks + tr.p - 1) / tr.p;
+      std::vector<std::int64_t> interleavings = {1};
+      if (tr.p > 1) interleavings = Divisors(bpp);
+      for (std::int64_t il : interleavings) {
+        for (Recompute rc : {Recompute::kNone, Recompute::kFull}) {
+          const std::vector<bool> shardings =
+              tr.d > 1 ? std::vector<bool>{false, true}
+                       : std::vector<bool>{false};
+          for (bool sh : shardings) {
+            Execution e;
+            e.num_procs = 16;
+            e.tensor_par = tr.t;
+            e.pipeline_par = tr.p;
+            e.data_par = tr.d;
+            e.batch_size = batch;
+            e.microbatch = m;
+            e.pp_interleaving = il;
+            e.recompute = rc;
+            e.optimizer_sharding = sh;
+            const auto r = CalculatePerformance(app, e, sys);
+            if (!r.ok()) continue;
+            ++feasible;
+            best_rate = std::max(best_rate, r.value().sample_rate);
+          }
+        }
+      }
+    }
+  }
+  ASSERT_GT(feasible, 0u);
+
+  ThreadPool pool(3);
+  SearchConfig config;
+  config.batch_size = batch;
+  const SearchResult result = FindOptimalExecution(
+      app, sys, SearchSpace::MegatronBaseline(), config, pool);
+  EXPECT_EQ(result.feasible, feasible);
+  ASSERT_FALSE(result.best.empty());
+  EXPECT_DOUBLE_EQ(result.best.front().stats.sample_rate, best_rate);
+}
+
+}  // namespace
+}  // namespace calculon

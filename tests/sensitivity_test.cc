@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "search/sensitivity.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+System MakeSystem(std::int64_t procs, bool offload = false) {
+  presets::SystemOptions o;
+  o.num_procs = procs;
+  if (offload) {
+    o.offload_capacity = 512.0 * kGiB;
+    o.offload_bandwidth = 100e9;
+  }
+  return presets::A100(o);
+}
+
+Execution BaseExec(std::int64_t procs) {
+  Execution e;
+  e.num_procs = procs;
+  e.tensor_par = 8;
+  e.pipeline_par = 8;
+  e.data_par = procs / 64;
+  e.batch_size = procs;
+  e.recompute = Recompute::kFull;
+  return e;
+}
+
+TEST(Sensitivity, ScaleResourceTouchesOnlyItsTarget) {
+  const System sys = MakeSystem(512);
+  const System faster = ScaleResource(sys, Resource::kMatrixFlops, 2.0);
+  EXPECT_DOUBLE_EQ(faster.proc().matrix.peak_flops(),
+                   2.0 * sys.proc().matrix.peak_flops());
+  EXPECT_DOUBLE_EQ(faster.proc().vector.peak_flops(),
+                   sys.proc().vector.peak_flops());
+  EXPECT_DOUBLE_EQ(faster.proc().mem1.bandwidth(),
+                   sys.proc().mem1.bandwidth());
+
+  const System bigger = ScaleResource(sys, Resource::kMem1Capacity, 2.0);
+  EXPECT_DOUBLE_EQ(bigger.proc().mem1.capacity(),
+                   2.0 * sys.proc().mem1.capacity());
+  EXPECT_DOUBLE_EQ(bigger.proc().mem1.bandwidth(),
+                   sys.proc().mem1.bandwidth());
+
+  const System fat_net =
+      ScaleResource(sys, Resource::kFabricBandwidth, 3.0);
+  EXPECT_DOUBLE_EQ(fat_net.networks().back().bandwidth(),
+                   3.0 * sys.networks().back().bandwidth());
+  EXPECT_DOUBLE_EQ(fat_net.networks().front().bandwidth(),
+                   sys.networks().front().bandwidth());
+
+  EXPECT_THROW(ScaleResource(sys, Resource::kMatrixFlops, 0.0), ConfigError);
+  EXPECT_THROW(ScaleResource(sys, Resource::kMem2Bandwidth, 2.0),
+               ConfigError);  // no tier 2
+}
+
+TEST(Sensitivity, ComputeBoundWorkloadIsMatrixSensitive) {
+  const System sys = MakeSystem(512);
+  const auto r =
+      AnalyzeSensitivity(presets::Gpt3_175B(), BaseExec(512), sys);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  double matrix_el = 0.0;
+  double vector_el = 0.0;
+  for (const SensitivityEntry& e : r.value()) {
+    if (e.resource == Resource::kMatrixFlops) matrix_el = e.elasticity;
+    if (e.resource == Resource::kVectorFlops) vector_el = e.elasticity;
+    if (e.resource == Resource::kMem2Bandwidth) {
+      EXPECT_FALSE(e.applicable);  // no offload tier on this system
+    }
+  }
+  // A full-recompute GEMM-heavy run: matrix throughput dominates.
+  EXPECT_GT(matrix_el, 0.3);
+  EXPECT_GT(matrix_el, vector_el);
+}
+
+TEST(Sensitivity, ElasticitiesAreBounded) {
+  const System sys = MakeSystem(512, /*offload=*/true);
+  Execution e = BaseExec(512);
+  e.weight_offload = true;
+  e.activation_offload = true;
+  e.optimizer_offload = true;
+  const auto r = AnalyzeSensitivity(presets::Megatron1T(), e, sys);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  for (const SensitivityEntry& entry : r.value()) {
+    if (!entry.applicable) continue;
+    EXPECT_GE(entry.elasticity, -0.05) << ToString(entry.resource);
+    EXPECT_LE(entry.elasticity, 1.05) << ToString(entry.resource);
+    EXPECT_GE(entry.rate_up, entry.rate_down) << ToString(entry.resource);
+  }
+}
+
+TEST(Sensitivity, CapacityMattersOnlyNearTheLimit) {
+  // Far from the memory limit, extra HBM capacity buys nothing.
+  const System sys = MakeSystem(512);
+  const auto r =
+      AnalyzeSensitivity(presets::Gpt3_175B(), BaseExec(512), sys);
+  ASSERT_TRUE(r.ok());
+  for (const SensitivityEntry& e : r.value()) {
+    if (e.resource == Resource::kMem1Capacity) {
+      EXPECT_NEAR(e.elasticity, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Sensitivity, InfeasibleBaselineIsReported) {
+  presets::SystemOptions o;
+  o.num_procs = 8;
+  o.hbm_capacity = 8.0 * kGiB;
+  const System tiny = presets::A100(o);
+  Execution e;
+  e.num_procs = 8;
+  e.tensor_par = 8;
+  e.batch_size = 8;
+  const auto r = AnalyzeSensitivity(presets::Megatron1T(), e, tiny);
+  EXPECT_EQ(r.reason(), Infeasible::kMemoryCapacity);
+}
+
+TEST(Sensitivity, AllResourcesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(Resource::kMem2Bandwidth); ++i) {
+    EXPECT_STRNE(ToString(static_cast<Resource>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace calculon

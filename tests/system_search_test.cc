@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "models/presets.h"
+#include "search/system_search.h"
+
+namespace calculon {
+namespace {
+
+TEST(SystemSearch, EvaluatesADesignUnderBudget) {
+  ThreadPool pool(2);
+  SystemSearchOptions options;
+  options.budget = 2e6;       // small budget keeps the sweep fast
+  options.size_step = 16;
+  const SystemDesign design{80.0, 0.0};
+  const SystemSearchEntry entry =
+      EvaluateDesign(presets::Megatron22B(), design,
+                     SearchSpace::MegatronBaseline(), options, pool);
+  EXPECT_EQ(entry.max_gpus, 64);  // 2e6 / 30k = 66 -> 64
+  ASSERT_TRUE(entry.feasible);
+  EXPECT_GT(entry.used_gpus, 0);
+  EXPECT_LE(entry.used_gpus, entry.max_gpus);
+  EXPECT_GT(entry.sample_rate, 0.0);
+  EXPECT_GT(entry.perf_per_million, 0.0);
+  // perf/$M is rate over the money actually spent.
+  EXPECT_NEAR(entry.perf_per_million,
+              entry.sample_rate /
+                  (entry.used_gpus * design.UnitPrice() / 1e6),
+              1e-9);
+}
+
+TEST(SystemSearch, InfeasibleDesignReportsNoPerformance) {
+  ThreadPool pool(2);
+  SystemSearchOptions options;
+  options.budget = 1e6;  // ~33 GPUs of 80G: too few for Megatron-1T
+  options.size_step = 8;
+  const SystemSearchEntry entry =
+      EvaluateDesign(presets::Megatron1T(), SystemDesign{80.0, 0.0},
+                     SearchSpace::MegatronBaseline(), options, pool);
+  EXPECT_FALSE(entry.feasible);
+  EXPECT_DOUBLE_EQ(entry.sample_rate, 0.0);
+}
+
+TEST(SystemSearch, SweepsAllProvidedDesigns) {
+  ThreadPool pool(2);
+  SystemSearchOptions options;
+  options.budget = 2e6;
+  options.size_step = 32;
+  const std::vector<SystemDesign> designs = {{40.0, 0.0}, {80.0, 0.0}};
+  const auto entries =
+      OptimalSystemSearch(presets::Megatron22B(), designs,
+                          SearchSpace::MegatronBaseline(), options, pool);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(entries[0].design.hbm_gib, 40.0);
+  EXPECT_DOUBLE_EQ(entries[1].design.hbm_gib, 80.0);
+  // Cheaper HBM buys more GPUs under the same budget.
+  EXPECT_GT(entries[0].max_gpus, entries[1].max_gpus);
+}
+
+TEST(SystemSearch, MaxSizeIsAlwaysTried) {
+  ThreadPool pool(2);
+  SystemSearchOptions options;
+  options.budget = 2e6;
+  options.size_step = 1000;  // step larger than max: only max is swept
+  const SystemSearchEntry entry =
+      EvaluateDesign(presets::Megatron22B(), SystemDesign{80.0, 0.0},
+                     SearchSpace::MegatronBaseline(), options, pool);
+  ASSERT_TRUE(entry.feasible);
+  EXPECT_EQ(entry.used_gpus, entry.max_gpus);
+}
+
+}  // namespace
+}  // namespace calculon

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "hw/system.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+System MakeSystem(std::int64_t procs = 4096) {
+  presets::SystemOptions o;
+  o.num_procs = procs;
+  return presets::A100(o);
+}
+
+TEST(System, NetworkForSpanPicksSmallestCoveringTier) {
+  const System sys = MakeSystem();
+  // Spans within the NVLink domain (8) use the fast tier.
+  EXPECT_EQ(sys.NetworkForSpan(1)->size(), 8);
+  EXPECT_EQ(sys.NetworkForSpan(8)->size(), 8);
+  // Larger spans fall to the fabric.
+  EXPECT_EQ(sys.NetworkForSpan(9)->size(), 4096);
+  EXPECT_EQ(sys.NetworkForSpan(4096)->size(), 4096);
+  // Nothing covers a span beyond the machine.
+  EXPECT_EQ(sys.NetworkForSpan(8192), nullptr);
+}
+
+TEST(System, NetworksSortedBySize) {
+  const System sys = MakeSystem();
+  ASSERT_EQ(sys.networks().size(), 2u);
+  EXPECT_LT(sys.networks()[0].size(), sys.networks()[1].size());
+  // NVLink is faster than the fabric.
+  EXPECT_GT(sys.networks()[0].bandwidth(), sys.networks()[1].bandwidth());
+}
+
+TEST(System, WithNumProcsGrowsTopNetwork) {
+  const System sys = MakeSystem(4096);
+  const System big = sys.WithNumProcs(8192);
+  EXPECT_EQ(big.num_procs(), 8192);
+  EXPECT_NE(big.NetworkForSpan(8192), nullptr);
+  // The fast tier is untouched.
+  EXPECT_EQ(big.networks()[0].size(), 8);
+  // Shrinking keeps the original top tier.
+  const System small = sys.WithNumProcs(64);
+  EXPECT_EQ(small.num_procs(), 64);
+  EXPECT_THROW(sys.WithNumProcs(0), ConfigError);
+}
+
+TEST(System, JsonRoundTrip) {
+  const System sys = MakeSystem(512);
+  const System back = System::FromJson(sys.ToJson());
+  EXPECT_EQ(back.name(), sys.name());
+  EXPECT_EQ(back.num_procs(), sys.num_procs());
+  ASSERT_EQ(back.networks().size(), sys.networks().size());
+  for (std::size_t i = 0; i < back.networks().size(); ++i) {
+    EXPECT_EQ(back.networks()[i].size(), sys.networks()[i].size());
+    EXPECT_DOUBLE_EQ(back.networks()[i].bandwidth(),
+                     sys.networks()[i].bandwidth());
+  }
+  EXPECT_DOUBLE_EQ(back.proc().matrix.peak_flops(),
+                   sys.proc().matrix.peak_flops());
+  EXPECT_DOUBLE_EQ(back.proc().mem1.capacity(), sys.proc().mem1.capacity());
+}
+
+TEST(System, ConstructorValidation) {
+  Processor p;
+  p.matrix = ComputeUnit(1.0, EfficiencyCurve(1.0));
+  p.vector = ComputeUnit(1.0, EfficiencyCurve(1.0));
+  p.mem1 = Memory(1.0, 1.0);
+  EXPECT_THROW(System("x", 0, p, {Network(1, 1.0, 0.0)}), ConfigError);
+  EXPECT_THROW(System("x", 1, p, {}), ConfigError);
+}
+
+TEST(SystemPresets, A100MatchesDatasheet) {
+  const System sys = presets::SystemByName("a100_80g");
+  EXPECT_DOUBLE_EQ(sys.proc().matrix.peak_flops(), 312e12);
+  EXPECT_DOUBLE_EQ(sys.proc().vector.peak_flops(), 78e12);
+  EXPECT_DOUBLE_EQ(sys.proc().mem1.capacity(), 80 * kGiB);
+  EXPECT_DOUBLE_EQ(sys.proc().mem1.bandwidth(), 2.0e12);
+  EXPECT_FALSE(sys.proc().mem2.present());
+  EXPECT_DOUBLE_EQ(sys.networks()[0].bandwidth(), 300e9);
+  EXPECT_DOUBLE_EQ(sys.networks()[1].bandwidth(), 25e9);
+  // NCCL on NVLink costs more processor than NIC-driven fabric traffic.
+  EXPECT_GT(sys.networks()[0].processor_fraction(),
+            sys.networks()[1].processor_fraction());
+}
+
+TEST(SystemPresets, H100OffloadVariants) {
+  const System plain = presets::SystemByName("h100_80g");
+  EXPECT_FALSE(plain.proc().mem2.present());
+  const System off = presets::SystemByName("h100_80g_offload");
+  EXPECT_TRUE(off.proc().mem2.present());
+  EXPECT_DOUBLE_EQ(off.proc().mem2.capacity(), 512 * kGiB);
+  EXPECT_DOUBLE_EQ(off.proc().mem2.bandwidth(), 100e9);
+  EXPECT_DOUBLE_EQ(off.proc().mem1.bandwidth(), 3.0e12);  // paper: 3 TB/s
+}
+
+TEST(SystemPresets, EveryListedNameResolves) {
+  for (const std::string& name : presets::SystemNames()) {
+    EXPECT_NO_THROW(presets::SystemByName(name)) << name;
+  }
+  EXPECT_THROW(presets::SystemByName("tpu_v5"), ConfigError);
+}
+
+TEST(SystemPresets, NvlinkDomainIsConfigurable) {
+  presets::SystemOptions o;
+  o.num_procs = 32;
+  o.nvlink_domain = 32;  // Fig. 5: 32 A100s in one NVLink domain
+  const System sys = presets::A100(o);
+  EXPECT_EQ(sys.NetworkForSpan(32)->size(), 32);
+  EXPECT_DOUBLE_EQ(sys.NetworkForSpan(32)->bandwidth(), 300e9);
+}
+
+}  // namespace
+}  // namespace calculon

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "search/tco.h"
+
+namespace calculon {
+namespace {
+
+TEST(Tco, CapexMatchesPriceModel) {
+  const SystemDesign design{80.0, 0.0};
+  const TcoResult r = ComputeTco(design, 1000, TcoParams{});
+  EXPECT_DOUBLE_EQ(r.capex, 30'000.0 * 1000);
+}
+
+TEST(Tco, EnergyScalesWithEverything) {
+  TcoParams p;
+  p.gpu_power_w = 700.0;
+  p.host_power_w = 100.0;
+  p.ddr_power_w_per_gib = 0.0;
+  p.pue = 1.5;
+  p.years = 1.0;
+  p.utilization = 1.0;
+  const TcoResult r = ComputeTco(SystemDesign{80.0, 0.0}, 10, p);
+  const double expected_kwh = 800.0 * 1.5 * 10 * 365.25 * 24.0 / 1000.0;
+  EXPECT_NEAR(r.energy_kwh, expected_kwh, 1e-6);
+  EXPECT_NEAR(r.opex, expected_kwh * p.dollars_per_kwh, 1e-6);
+}
+
+TEST(Tco, SecondaryMemoryDrawsPower) {
+  TcoParams p;
+  const TcoResult plain = ComputeTco(SystemDesign{20.0, 0.0}, 100, p);
+  const TcoResult offload = ComputeTco(SystemDesign{20.0, 512.0}, 100, p);
+  EXPECT_GT(offload.energy_kwh, plain.energy_kwh);
+  EXPECT_GT(offload.capex, plain.capex);
+}
+
+TEST(Tco, DollarsPerMillionSamples) {
+  TcoParams p;
+  p.years = 1.0;
+  p.utilization = 1.0;
+  TcoResult tco;
+  tco.capex = 1e6;
+  tco.opex = 0.0;
+  // 1 sample/s for a year -> 31.56M samples for $1M.
+  const double seconds = 365.25 * 24.0 * 3600.0;
+  EXPECT_NEAR(DollarsPerMillionSamples(tco, p, 1.0), 1e6 / seconds * 1e6,
+              1e-6);
+}
+
+TEST(Tco, RejectsBadInputs) {
+  EXPECT_THROW(ComputeTco(SystemDesign{80.0, 0.0}, -1, TcoParams{}),
+               ConfigError);
+  EXPECT_THROW(DollarsPerMillionSamples(TcoResult{}, TcoParams{}, 0.0),
+               ConfigError);
+}
+
+// The paper's argument: a design with slightly lower throughput but much
+// lower power can win on TCO even when it loses on raw perf/$ capex.
+TEST(Tco, EfficiencyGainsAccumulate) {
+  TcoParams p;
+  const SystemDesign cheap{20.0, 256.0};
+  const SystemDesign big{120.0, 0.0};
+  const TcoResult tco_cheap = ComputeTco(cheap, 5048, p);
+  const TcoResult tco_big = ComputeTco(big, 3120, p);
+  // Equal sample rates: the cheaper-capex design wins cost/sample even
+  // though it runs more GPUs (energy included).
+  const double rate = 1000.0;
+  EXPECT_LT(DollarsPerMillionSamples(tco_cheap, p, rate * 1.2),
+            DollarsPerMillionSamples(tco_big, p, rate));
+}
+
+}  // namespace
+}  // namespace calculon

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "search/threadpool.h"
+
+namespace calculon {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(),
+                   [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0u);  // caller-only
+  std::atomic<std::uint64_t> sum{0};
+  pool.ParallelFor(100, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(std::thread::hardware_concurrency(), pool.size() + 1);
+}
+
+TEST(ThreadPool, SequentialCallsReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(50, [&](std::uint64_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(10,
+                                [](std::uint64_t i) {
+                                  if (i == 5) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool survives and remains usable afterwards.
+  std::atomic<int> ok{0};
+  pool.ParallelFor(10, [&](std::uint64_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, MoreItemsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  const std::uint64_t n = 100000;
+  pool.ParallelFor(n, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace calculon

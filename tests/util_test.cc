@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/mathutil.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+// --- units ---
+
+TEST(Units, FormatBytesPicksBinarySuffix) {
+  EXPECT_EQ(FormatBytes(512.0), "512 B");
+  EXPECT_EQ(FormatBytes(80.0 * kGiB), "80 GiB");
+  EXPECT_EQ(FormatBytes(4.0 * kTiB), "4 TiB");
+}
+
+TEST(Units, FormatBandwidthPicksDecimalSuffix) {
+  EXPECT_EQ(FormatBandwidth(100e9), "100 GB/s");
+  EXPECT_EQ(FormatBandwidth(3e12), "3 TB/s");
+}
+
+TEST(Units, FormatFlops) {
+  EXPECT_EQ(FormatFlops(312e12), "312 Tflop/s");
+  EXPECT_EQ(FormatFlopCount(231.9e9), "231.9 Gflop");
+}
+
+TEST(Units, FormatTimeAdaptsUnit) {
+  EXPECT_EQ(FormatTime(16.7), "16.7 s");
+  EXPECT_EQ(FormatTime(0.231), "231 ms");
+  EXPECT_EQ(FormatTime(4.2e-6), "4.2 us");
+  EXPECT_EQ(FormatTime(3.0e-10), "0.3 ns");
+}
+
+TEST(Units, FormatNumberTrimsTrailingZeros) {
+  EXPECT_EQ(FormatNumber(16.70, 2), "16.7");
+  EXPECT_EQ(FormatNumber(5.0, 2), "5");
+  EXPECT_EQ(FormatNumber(0.125, 3), "0.125");
+}
+
+TEST(Units, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.2934), "29.3%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+// --- mathutil ---
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(CeilDiv(96, 64), 2);
+  EXPECT_EQ(CeilDiv(96, 32), 3);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+  EXPECT_EQ(CeilDiv(5, 5), 1);
+}
+
+TEST(MathUtil, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(96));
+  EXPECT_FALSE(IsPowerOfTwo(-8));
+}
+
+TEST(MathUtil, DivisorsAreSortedAndComplete) {
+  EXPECT_EQ(Divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(Divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(Divisors(16), (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+  const auto d = Divisors(4096);
+  EXPECT_EQ(d.size(), 13u);  // 2^0 .. 2^12
+  EXPECT_EQ(d.front(), 1);
+  EXPECT_EQ(d.back(), 4096);
+}
+
+TEST(MathUtil, DivisorsRejectsNonPositive) {
+  EXPECT_THROW(Divisors(0), std::invalid_argument);
+}
+
+TEST(MathUtil, FactorTriplesCoverProduct) {
+  const auto triples = FactorTriples(12);
+  for (const Triple& tr : triples) {
+    EXPECT_EQ(tr.t * tr.p * tr.d, 12);
+  }
+  // d(n) summed over divisors: 12 -> 1,2,3,4,6,12 with d() 6,4,3,... = 18.
+  EXPECT_EQ(triples.size(), 18u);
+}
+
+TEST(MathUtil, FactorTriplesPowerOfTwoCount) {
+  // For 2^k the count is (k+1)(k+2)/2; the paper's 4096-GPU studies use 91.
+  EXPECT_EQ(FactorTriples(4096).size(), 91u);
+}
+
+TEST(MathUtil, NextDivisor) {
+  EXPECT_EQ(NextDivisor(96, 5), 6);
+  EXPECT_EQ(NextDivisor(96, 97), 96);
+  EXPECT_EQ(NextDivisor(96, 1), 1);
+}
+
+// --- strings ---
+
+TEST(Strings, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("no-op"), "no-op");
+}
+
+TEST(Strings, ToLowerAndStartsWith) {
+  EXPECT_EQ(ToLower("GPT3-175B"), "gpt3-175b");
+  EXPECT_TRUE(StartsWith("megatron_1t", "mega"));
+  EXPECT_FALSE(StartsWith("a", "ab"));
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+// --- table ---
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"a", "long-header"});
+  t.AddRow({"xxxx", "1"});
+  t.AddRule();
+  t.AddRow({"y", "2"});
+  EXPECT_EQ(t.num_rows(), 3u);  // two rows + one rule
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| xxxx | 1           |"), std::string::npos);
+  EXPECT_NE(s.find("+------+-------------+"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.AddRow({"with,comma", "with\"quote"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+// --- error ---
+
+TEST(Error, ResultHoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.reason(), Infeasible::kNone);
+  EXPECT_EQ(r.detail(), "");
+}
+
+TEST(Error, ResultHoldsReason) {
+  Result<int> r(Infeasible::kMemoryCapacity, "needs 90 GiB");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.reason(), Infeasible::kMemoryCapacity);
+  EXPECT_EQ(r.detail(), "insufficient memory capacity: needs 90 GiB");
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Error, AllReasonsHaveNames) {
+  for (int i = 0; i <= static_cast<int>(Infeasible::kBadConfig); ++i) {
+    EXPECT_STRNE(ToString(static_cast<Infeasible>(i)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace calculon

@@ -1,0 +1,172 @@
+// Integration tests anchored to the paper's published numbers: the Table 2
+// Selene validation points and the qualitative claims of Sections 4-6.
+#include <gtest/gtest.h>
+
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+struct ValidationCase {
+  const char* name;
+  const char* app;
+  std::int64_t procs, t, p, d, batch, microbatch;
+  bool seq_sel;      // seq-par + selective recompute (else full recompute)
+  double selene;     // measured batch time (s), paper Table 2
+  double tolerance;  // relative tolerance for this reproduction
+};
+
+class Table2Test : public ::testing::TestWithParam<ValidationCase> {};
+
+TEST_P(Table2Test, PredictionLandsNearSelene) {
+  const auto& c = GetParam();
+  const Application app = presets::ApplicationByName(c.app);
+  presets::SystemOptions o;
+  o.num_procs = c.procs;
+  const System sys = presets::A100(o);
+  Execution e;
+  e.num_procs = c.procs;
+  e.tensor_par = c.t;
+  e.pipeline_par = c.p;
+  e.data_par = c.d;
+  e.batch_size = c.batch;
+  e.microbatch = c.microbatch;
+  if (c.seq_sel) {
+    e.recompute = Recompute::kAttnOnly;
+    e.tp_rs_ag = true;
+    e.seq_par = true;
+    e.seq_par_ag_redo = true;
+  } else {
+    e.recompute = Recompute::kFull;
+  }
+  const auto r = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  EXPECT_NEAR(r.value().batch_time / c.selene, 1.0, c.tolerance)
+      << "predicted " << r.value().batch_time << " s vs Selene " << c.selene;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Selene, Table2Test,
+    ::testing::Values(
+        ValidationCase{"22B_full", "megatron_22b", 8, 8, 1, 1, 4, 2,
+                       false, 1.42, 0.15},
+        ValidationCase{"175B_full", "gpt3_175b", 512, 8, 8, 8, 512, 1,
+                       false, 18.13, 0.15},
+        ValidationCase{"530B_full", "turing_530b", 280, 8, 35, 1, 280, 1,
+                       false, 49.05, 0.15},
+        ValidationCase{"1T_full", "megatron_1t", 512, 8, 64, 1, 512, 1,
+                       false, 94.42, 0.15},
+        ValidationCase{"22B_seqsel", "megatron_22b", 8, 8, 1, 1, 4, 2,
+                       true, 1.10, 0.15},
+        ValidationCase{"175B_seqsel", "gpt3_175b", 512, 8, 8, 8, 512, 1,
+                       true, 13.75, 0.15},
+        ValidationCase{"530B_seqsel", "turing_530b", 280, 8, 35, 1, 280, 1,
+                       true, 37.83, 0.15},
+        ValidationCase{"1T_seqsel", "megatron_1t", 512, 8, 64, 1, 512, 1,
+                       true, 71.49, 0.15}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// Section 4.1: over-emphasizing any one parallelism mode degrades
+// Megatron-1T performance relative to a balanced split.
+TEST(PaperClaims, BalancedSplitBeatsExtremes) {
+  const Application app = presets::Megatron1T();
+  presets::SystemOptions o;
+  o.num_procs = 4096;
+  o.nvlink_domain = 32;
+  o.hbm_capacity = 1024.0 * kGiB;  // compare times, not feasibility
+  const System sys = presets::A100(o);
+
+  auto run = [&](std::int64_t t, std::int64_t p, std::int64_t d) {
+    Execution e;
+    e.num_procs = 4096;
+    e.tensor_par = t;
+    e.pipeline_par = p;
+    e.data_par = d;
+    e.batch_size = 4096;
+    e.recompute = Recompute::kFull;
+    e.optimizer_sharding = d > 1;
+    const auto r = CalculatePerformance(app, e, sys);
+    EXPECT_TRUE(r.ok()) << r.detail();
+    return r.ok() ? r.value().batch_time : 1e30;
+  };
+
+  const double balanced = run(8, 16, 32);
+  EXPECT_LT(balanced, run(32, 4, 32));   // extreme TP: comm dominates
+  EXPECT_LT(balanced, run(1, 128, 32));  // extreme PP: bubble dominates
+  EXPECT_LT(balanced, run(8, 1, 512));   // extreme DP: DP comm dominates
+}
+
+// Section 4.1 memory claims: TP cuts weights and activations; PP cuts
+// weights (interleaving keeps activations high); DP alone cuts neither.
+TEST(PaperClaims, ParallelismModesCutMemoryDifferently) {
+  const Application app = presets::Megatron1T();
+  presets::SystemOptions o;
+  o.num_procs = 4096;
+  o.nvlink_domain = 32;
+  o.hbm_capacity = 100.0 * kTiB;
+  const System sys = presets::A100(o);
+  auto mem = [&](std::int64_t t, std::int64_t p, std::int64_t d) {
+    Execution e;
+    e.num_procs = 4096;
+    e.tensor_par = t;
+    e.pipeline_par = p;
+    e.data_par = d;
+    e.batch_size = 4096;
+    const auto r = CalculatePerformance(app, e, sys);
+    EXPECT_TRUE(r.ok()) << r.detail();
+    return r.value().tier1;
+  };
+  const MemoryBreakdown t1 = mem(1, 4, 1024);
+  const MemoryBreakdown t8 = mem(8, 4, 128);
+  EXPECT_LT(t8.weights, t1.weights / 4.0);
+  EXPECT_LT(t8.activations, t1.activations);
+
+  const MemoryBreakdown p4 = mem(8, 4, 128);
+  const MemoryBreakdown p32 = mem(8, 32, 16);
+  EXPECT_LT(p32.weights, p4.weights / 4.0);
+
+  const MemoryBreakdown d8 = mem(8, 4, 128);
+  const MemoryBreakdown d128 = mem(8, 4, 128);
+  EXPECT_DOUBLE_EQ(d128.weights, d8.weights);
+  EXPECT_DOUBLE_EQ(d128.activations, d8.activations);
+}
+
+// Section 6: the seamless-offload bandwidth demand is within current
+// technology (the paper: utilized bandwidth approaches ~600 GB/s for the
+// greedy best, while 100 GB/s suffices for near-best configurations).
+TEST(PaperClaims, OffloadBandwidthDemandIsPlausible) {
+  presets::SystemOptions o;
+  o.num_procs = 4096;
+  o.offload_capacity = 1e18;
+  o.offload_bandwidth = 1e15;
+  const System sys = presets::H100(o);
+  Execution e;
+  e.num_procs = 4096;
+  e.tensor_par = 8;
+  e.pipeline_par = 2;
+  e.data_par = 256;
+  e.batch_size = 4096;
+  e.microbatch = 2;
+  e.recompute = Recompute::kFull;
+  e.optimizer_sharding = true;
+  e.weight_offload = true;
+  e.activation_offload = true;
+  const auto r = CalculatePerformance(presets::Megatron1T(), e, sys);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  EXPECT_GT(r.value().offload_bw_required, 10e9);
+  EXPECT_LT(r.value().offload_bw_required, 1000e9);
+  // Offloading the optimizer adds traffic and busy time but not Eq. 1
+  // demand (the step itself becomes tier-2-bound instead).
+  e.optimizer_offload = true;
+  const auto r2 = CalculatePerformance(presets::Megatron1T(), e, sys);
+  ASSERT_TRUE(r2.ok()) << r2.detail();
+  EXPECT_GT(r2.value().offload_bytes, r.value().offload_bytes);
+  EXPECT_DOUBLE_EQ(r2.value().offload_bw_required,
+                   r.value().offload_bw_required);
+}
+
+}  // namespace
+}  // namespace calculon

@@ -1,0 +1,107 @@
+// Tests of the optional vocabulary / embedding modeling (edge pipeline
+// stages): parameters, time and memory all grow once vocab_size is set.
+#include <gtest/gtest.h>
+
+#include "core/perf_model.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "util/units.h"
+
+namespace calculon {
+namespace {
+
+Application WithVocab(Application app, std::int64_t vocab) {
+  app.vocab_size = vocab;
+  return app;
+}
+
+System MakeSystem(std::int64_t procs) {
+  presets::SystemOptions o;
+  o.num_procs = procs;
+  o.hbm_capacity = 1024.0 * kGiB;
+  return presets::A100(o);
+}
+
+Execution BaseExec() {
+  Execution e;
+  e.num_procs = 512;
+  e.tensor_par = 8;
+  e.pipeline_par = 8;
+  e.data_par = 8;
+  e.batch_size = 512;
+  return e;
+}
+
+TEST(Vocab, ParameterAccounting) {
+  const Application plain = presets::Gpt3_175B();
+  const Application vocab = WithVocab(plain, 50304);
+  EXPECT_EQ(vocab.EmbeddingParameters(), 2 * 50304 * 12288);
+  EXPECT_EQ(vocab.TotalParameters(),
+            plain.TotalParameters() + vocab.EmbeddingParameters());
+  EXPECT_EQ(plain.EmbeddingParameters(), 0);
+}
+
+TEST(Vocab, JsonRoundTripAndDefault) {
+  const Application vocab = WithVocab(presets::Gpt3_175B(), 50304);
+  const Application back = Application::FromJson(vocab.ToJson());
+  EXPECT_EQ(back.vocab_size, 50304);
+  const Application defaulted = Application::FromJson(json::Parse(
+      R"({"hidden": 1024, "attn_heads": 16, "seq_size": 512,
+          "num_blocks": 4})"));
+  EXPECT_EQ(defaulted.vocab_size, 0);
+}
+
+TEST(Vocab, AddsTimeAndMemory) {
+  const System sys = MakeSystem(512);
+  const Execution e = BaseExec();
+  const auto plain =
+      CalculatePerformance(presets::Gpt3_175B(), e, sys);
+  const auto vocab = CalculatePerformance(
+      WithVocab(presets::Gpt3_175B(), 50304), e, sys);
+  ASSERT_TRUE(plain.ok() && vocab.ok());
+  EXPECT_GT(vocab.value().batch_time, plain.value().batch_time);
+  EXPECT_GT(vocab.value().tier1.weights, plain.value().tier1.weights);
+  EXPECT_GT(vocab.value().tier1.optimizer, plain.value().tier1.optimizer);
+  // The embedding weights shard by t: 2*V*h*dt/t extra bytes.
+  EXPECT_NEAR(vocab.value().tier1.weights - plain.value().tier1.weights,
+              2.0 * 50304 * 12288 * 2.0 / 8.0, 1.0);
+}
+
+TEST(Vocab, CountsTowardModelFlops) {
+  const Application plain = presets::Gpt3_175B();
+  const Application vocab = WithVocab(plain, 50304);
+  const double delta = ModelFlopsPerSample(vocab, true) -
+                       ModelFlopsPerSample(plain, true);
+  EXPECT_DOUBLE_EQ(delta, 3.0 * 2.0 * 2048.0 * 12288.0 * 50304.0);
+}
+
+TEST(Vocab, ShardingShrinksItsOptimizerState) {
+  const System sys = MakeSystem(512);
+  Execution e = BaseExec();
+  const Application app = WithVocab(presets::Gpt3_175B(), 50304);
+  const auto base = CalculatePerformance(app, e, sys);
+  e.optimizer_sharding = true;
+  const auto sharded = CalculatePerformance(app, e, sys);
+  ASSERT_TRUE(base.ok() && sharded.ok());
+  EXPECT_LT(sharded.value().tier1.optimizer,
+            base.value().tier1.optimizer / 7.0);
+}
+
+TEST(Vocab, InferenceSkipsTrainingState) {
+  const System sys = MakeSystem(64);
+  Execution e;
+  e.num_procs = 64;
+  e.tensor_par = 8;
+  e.pipeline_par = 8;
+  e.data_par = 1;
+  e.batch_size = 64;
+  e.training = false;
+  const auto r = CalculatePerformance(
+      WithVocab(presets::Gpt3_175B(), 50304), e, sys);
+  ASSERT_TRUE(r.ok()) << r.detail();
+  EXPECT_DOUBLE_EQ(r.value().tier1.optimizer, 0.0);
+  EXPECT_GT(r.value().tier1.weights, 0.0);
+}
+
+}  // namespace
+}  // namespace calculon
