@@ -53,8 +53,9 @@ int main() {
   }
   Table hist({"sample-rate bin", "count", "share"});
   for (std::size_t i = 0; i < bins.size(); ++i) {
-    hist.AddRow({StrFormat("[%4.0f, %4.0f)", best * 0.1 * i,
-                           best * 0.1 * (i + 1)),
+    hist.AddRow({StrFormat("[%4.0f, %4.0f)",
+                           best * 0.1 * static_cast<double>(i),
+                           best * 0.1 * static_cast<double>(i + 1)),
                  StrFormat("%llu", static_cast<unsigned long long>(bins[i])),
                  FormatPercent(static_cast<double>(bins[i]) /
                                static_cast<double>(r.all_rates.size()))});

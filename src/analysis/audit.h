@@ -1,0 +1,72 @@
+// Model self-audit: sweeps the execution space of an (application, system)
+// pair and asserts analytic invariants that must hold for every feasible
+// configuration — time breakdowns sum to the reported batch time, memory
+// tiers stay within capacity and match an independent recomputation from the
+// block model, FLOPs are conserved across recomputation modes, offloading
+// never makes a run faster than its no-offload twin, and the integer-math
+// helpers round-trip. A violation means a model bug, not a property of the
+// swept configuration.
+//
+// The audit recomputes expectations from the layer/block primitives rather
+// than trusting the perf model's own aggregation, so the two code paths
+// cross-check each other (the same idea as the paper's validation against
+// measured Megatron runs, but applied internally and exhaustively).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/system.h"
+#include "models/application.h"
+
+namespace calculon::analysis {
+
+// One failed invariant, with enough context to reproduce it.
+struct AuditViolation {
+  std::string invariant;  // e.g. "time-breakdown-sum"
+  std::string context;    // app/system/execution coordinates
+  std::string detail;     // the numbers that disagree
+};
+
+struct AuditReport {
+  std::uint64_t evaluations = 0;  // CalculatePerformance calls made
+  std::uint64_t feasible = 0;     // ... that produced Stats
+  std::uint64_t checks = 0;       // individual invariant assertions
+  std::uint64_t dropped = 0;      // violations beyond the recording cap
+  std::vector<AuditViolation> violations;
+
+  [[nodiscard]] bool ok() const {
+    return violations.empty() && dropped == 0;
+  }
+  void Merge(AuditReport other);
+};
+
+struct AuditOptions {
+  // System sizes to audit at (each becomes sys.WithNumProcs(n)). Empty
+  // selects a default ladder up to the system's native size.
+  std::vector<std::int64_t> proc_counts;
+  // Cap on the (t, p, d) factorizations sampled per processor count; the
+  // full list is strided evenly so small, large, and skewed splits all
+  // appear.
+  int max_splits = 24;
+  // Relative tolerance for floating-point equality of independently
+  // computed quantities.
+  double rel_tol = 1e-9;
+  // Cap on recorded violations per AuditPair call; the rest only count.
+  int max_violations = 16;
+  // Label used for the system in violation contexts. Empty uses
+  // System::name(), which is the hardware family and may be shared by
+  // several presets (e.g. "h100" for both h100_80g and h100_80g_offload).
+  std::string context_label;
+};
+
+// Audits the integer-math helpers (ceil-div bounds, divisor enumeration and
+// factor-triple round-trips) that the execution sweeps depend on.
+[[nodiscard]] AuditReport AuditMath();
+
+// Audits one (application, system) pair over a sampled execution grid.
+[[nodiscard]] AuditReport AuditPair(const Application& app, const System& sys,
+                                    const AuditOptions& options = {});
+
+}  // namespace calculon::analysis

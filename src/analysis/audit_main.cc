@@ -1,0 +1,267 @@
+// calculon-audit: model self-audit driver.
+//
+// Sweeps every application preset against every system preset (plus any
+// JSON configurations under --config-dir) and asserts the analytic
+// invariants of analysis/audit.h over a sampled execution grid. Exits
+// non-zero when any invariant is violated; runs under ctest in the plain
+// and sanitizer-instrumented builds.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/audit.h"
+#include "hw/presets.h"
+#include "json/json.h"
+#include "models/presets.h"
+#include "search/threadpool.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using calculon::Application;
+using calculon::System;
+using calculon::analysis::AuditOptions;
+using calculon::analysis::AuditReport;
+using calculon::analysis::AuditViolation;
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: calculon-audit [options]\n"
+      "  --apps a,b,...      audit only these applications\n"
+      "  --systems x,y,...   audit only these systems\n"
+      "  --config-dir DIR    also audit DIR/applications/*.json and\n"
+      "                      DIR/systems/*.json\n"
+      "  --procs n1,n2,...   system sizes to audit at (default ladder)\n"
+      "  --max-splits N      (t,p,d) factorizations sampled per size\n"
+      "  --threads N         worker threads (default: hardware)\n"
+      "  --verbose           print a result row per (app, system) pair\n");
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+// A sweep target with the label it is known by on the command line — the
+// preset key or the config file's stem (System::name() is the hardware
+// family, e.g. "h100", and is shared by several presets).
+template <typename T>
+struct Named {
+  std::string label;
+  T value;
+};
+
+template <typename T>
+bool ContainsLabel(const std::vector<Named<T>>& items,
+                   const std::string& label) {
+  for (const Named<T>& item : items) {
+    if (item.label == label) return true;
+  }
+  return false;
+}
+
+// Loads every *.json under dir (if it exists) through `parse`, skipping
+// file stems that are already present (preset and config names overlap).
+template <typename T, typename Parse>
+void LoadConfigs(const std::string& dir, std::vector<Named<T>>* items,
+                 Parse parse) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) return;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& path : paths) {
+    if (ContainsLabel(*items, path.stem().string())) continue;
+    items->push_back(Named<T>{path.stem().string(),
+                              parse(calculon::json::ParseFile(path.string()))});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::vector<std::string> want_apps;
+  std::vector<std::string> want_systems;
+  std::string config_dir;
+  AuditOptions options;
+  unsigned threads = 0;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "calculon-audit: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto parse_int = [&](const std::string& value) -> long long {
+      try {
+        std::size_t used = 0;
+        const long long n = std::stoll(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return n;
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "calculon-audit: %s expects an integer, got %s\n",
+                     arg.c_str(), value.c_str());
+        std::exit(2);
+      }
+    };
+    if (arg == "--apps") {
+      want_apps = SplitCsv(next());
+    } else if (arg == "--systems") {
+      want_systems = SplitCsv(next());
+    } else if (arg == "--config-dir") {
+      config_dir = next();
+    } else if (arg == "--procs") {
+      for (const std::string& n : SplitCsv(next())) {
+        options.proc_counts.push_back(parse_int(n));
+      }
+    } else if (arg == "--max-splits") {
+      options.max_splits = static_cast<int>(parse_int(next()));
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(parse_int(next()));
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "calculon-audit: unknown option %s\n",
+                   arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  // Assemble the sweep targets: all presets, plus JSON configurations.
+  std::vector<Named<Application>> apps;
+  for (const std::string& name : calculon::presets::ApplicationNames()) {
+    apps.push_back({name, calculon::presets::ApplicationByName(name)});
+  }
+  std::vector<Named<System>> systems;
+  for (const std::string& name : calculon::presets::SystemNames()) {
+    systems.push_back({name, calculon::presets::SystemByName(name)});
+  }
+  if (!config_dir.empty()) {
+    if (!std::filesystem::is_directory(config_dir)) {
+      std::fprintf(stderr, "calculon-audit: --config-dir %s is not a directory\n",
+                   config_dir.c_str());
+      return 2;
+    }
+    LoadConfigs<Application>(config_dir + "/applications", &apps,
+                             [](const calculon::json::Value& v) {
+                               return Application::FromJson(v);
+                             });
+    LoadConfigs<System>(config_dir + "/systems", &systems,
+                        [](const calculon::json::Value& v) {
+                          return System::FromJson(v);
+                        });
+  }
+  auto filter = [](auto* items, const std::vector<std::string>& want) {
+    if (want.empty()) return;
+    for (const std::string& name : want) {
+      if (!ContainsLabel(*items, name)) {
+        std::fprintf(stderr, "calculon-audit: unknown name %s\n",
+                     name.c_str());
+        std::exit(2);
+      }
+    }
+    std::erase_if(*items, [&](const auto& item) {
+      return std::find(want.begin(), want.end(), item.label) == want.end();
+    });
+  };
+  filter(&apps, want_apps);
+  filter(&systems, want_systems);
+
+  // The math helpers first: everything else samples the grid through them.
+  AuditReport total = calculon::analysis::AuditMath();
+  const std::uint64_t math_checks = total.checks;
+
+  // One work item per (application, system) pair, spread across the pool.
+  struct Pair {
+    const Named<Application>* app;
+    const Named<System>* sys;
+    AuditReport report;
+  };
+  std::vector<Pair> pairs;
+  for (const Named<Application>& app : apps) {
+    for (const Named<System>& sys : systems) {
+      pairs.push_back(Pair{&app, &sys, {}});
+    }
+  }
+  calculon::ThreadPool pool(threads);
+  pool.ParallelFor(pairs.size(), [&](std::uint64_t i) {
+    Pair& pair = pairs[i];
+    AuditOptions pair_options = options;
+    pair_options.context_label = pair.sys->label;
+    pair.report = calculon::analysis::AuditPair(pair.app->value,
+                                                pair.sys->value, pair_options);
+  });
+
+  calculon::Table table(
+      {"application", "system", "evals", "feasible", "checks", "violations"});
+  for (Pair& pair : pairs) {
+    if (verbose || !pair.report.ok()) {
+      table.AddRow({pair.app->label, pair.sys->label,
+                    std::to_string(pair.report.evaluations),
+                    std::to_string(pair.report.feasible),
+                    std::to_string(pair.report.checks),
+                    std::to_string(pair.report.violations.size() +
+                                   pair.report.dropped)});
+    }
+    total.Merge(std::move(pair.report));
+  }
+  if (table.num_rows() > 0) std::printf("%s", table.ToString().c_str());
+
+  constexpr std::size_t kMaxPrinted = 50;
+  for (std::size_t i = 0;
+       i < total.violations.size() && i < kMaxPrinted; ++i) {
+    const AuditViolation& v = total.violations[i];
+    std::printf("VIOLATION [%s] %s: %s\n", v.invariant.c_str(),
+                v.context.c_str(), v.detail.c_str());
+  }
+  if (total.violations.size() + total.dropped > kMaxPrinted) {
+    std::printf("... and %llu more violations\n",
+                static_cast<unsigned long long>(
+                    total.violations.size() + total.dropped - kMaxPrinted));
+  }
+
+  std::printf(
+      "audited %zu applications x %zu systems: %llu evaluations "
+      "(%llu feasible), %llu invariant checks (%llu math), "
+      "%llu violations\n",
+      apps.size(), systems.size(),
+      static_cast<unsigned long long>(total.evaluations),
+      static_cast<unsigned long long>(total.feasible),
+      static_cast<unsigned long long>(total.checks),
+      static_cast<unsigned long long>(math_checks),
+      static_cast<unsigned long long>(total.violations.size() +
+                                      total.dropped));
+  return total.ok() ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "calculon-audit: %s\n", e.what());
+  return 2;
+}

@@ -1,5 +1,7 @@
 #include "core/block.h"
 
+#include "util/check.h"
+
 namespace calculon {
 namespace {
 
@@ -70,6 +72,19 @@ double BlockModel::WeightParams() const {
 }
 
 BlockModel BuildBlock(const Application& app, const Execution& exec) {
+  // The caller contract: exec already validated against app (divisibility,
+  // option compatibility). These are the shards BuildBlock divides by.
+  CALC_DCHECK(exec.tensor_par >= 1 && exec.microbatch >= 1 &&
+                  exec.datatype_bytes > 0,
+              "t=%lld microbatch=%lld dtb=%d",
+              static_cast<long long>(exec.tensor_par),
+              static_cast<long long>(exec.microbatch), exec.datatype_bytes);
+  CALC_DCHECK(app.attn_heads % exec.tensor_par == 0 &&
+                  app.feedforward % exec.tensor_par == 0,
+              "t=%lld does not shard heads=%lld / ff=%lld",
+              static_cast<long long>(exec.tensor_par),
+              static_cast<long long>(app.attn_heads),
+              static_cast<long long>(app.feedforward));
   const double b = static_cast<double>(exec.microbatch);
   const double s = static_cast<double>(app.seq_size);
   const double h = static_cast<double>(app.hidden);

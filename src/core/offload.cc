@@ -1,10 +1,28 @@
 #include "core/offload.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
 
 namespace calculon {
 
 OffloadResult ComputeOffload(const OffloadInputs& in, const Memory& mem2) {
+  CALC_DCHECK(in.blocks_per_proc >= 1 && in.microbatches >= 1,
+              "blocks_per_proc=%lld microbatches=%lld",
+              static_cast<long long>(in.blocks_per_proc),
+              static_cast<long long>(in.microbatches));
+  CALC_DCHECK(in.weight_block >= 0.0 && in.weight_grad_block >= 0.0 &&
+                  in.act_block >= 0.0 && in.optim_block >= 0.0,
+              "negative block size");
+  // NaN-tolerant (!(x < 0)): degenerate systems (zero-bandwidth tiers)
+  // produce non-finite phase durations that must flow through to the perf
+  // model's final non-finite screen, not trap here.
+  CALC_DCHECK(!(in.fw_block_time < 0.0) && !(in.bw_block_time < 0.0) &&
+                  !(in.fw_phase_total < 0.0) && !(in.bw_phase_total < 0.0) &&
+                  !(in.optim_phase_total < 0.0),
+              "negative phase duration");
+  CALC_DCHECK(in.act_in_flight >= 0.0, "act_in_flight = %g", in.act_in_flight);
   OffloadResult out;
   const double bpp = static_cast<double>(in.blocks_per_proc);
   const double nm = static_cast<double>(in.microbatches);
@@ -65,6 +83,12 @@ OffloadResult ComputeOffload(const OffloadInputs& in, const Memory& mem2) {
   out.exposed_time = exposed(fw_traffic, in.fw_phase_total) +
                      exposed(bw_traffic, in.bw_phase_total) +
                      exposed(optim_bytes, in.optim_phase_total);
+  // Postconditions the audit relies on: offloading can only add time, and
+  // the Eq. 1 bandwidth demand is never negative. Written NaN-tolerantly —
+  // non-finite values from degenerate inputs flow to the model's screen.
+  CALC_DCHECK(!(out.exposed_time < 0.0) && !(out.busy_time < 0.0),
+              "exposed=%g busy=%g", out.exposed_time, out.busy_time);
+  CALC_DCHECK(!(out.required_bw < 0.0), "required_bw = %g", out.required_bw);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "core/block.h"
 #include "core/offload.h"
 #include "core/pipeline.h"
+#include "util/check.h"
 #include "util/mathutil.h"
 #include "util/strings.h"
 #include "util/units.h"
@@ -43,6 +44,38 @@ CommCost TpCommCost(const std::vector<CommOp>& ops, const Network& net,
   const double hidden = cost.total * hide_fraction;
   cost.exposed = (cost.total - hidden) + hidden * net.processor_fraction();
   return cost;
+}
+
+// The model's output contract: every reported time and byte count is a
+// finite, non-negative number. A violation here is a model bug (or an
+// efficiency curve driving a rate to zero), not a property of the swept
+// configuration, but it is recoverable for the caller — search engines
+// should skip the configuration, not crash — so it is routed through
+// Result<T> as kBadConfig rather than thrown.
+const char* FindNonFinite(const Stats& stats) {
+  auto bad = [](double v) { return !std::isfinite(v) || v < 0.0; };
+  const TimeBreakdown& t = stats.time;
+  if (bad(t.fw_pass) || bad(t.bw_pass) || bad(t.fw_recompute) ||
+      bad(t.optim_step) || bad(t.pp_bubble) || bad(t.tp_comm) ||
+      bad(t.pp_comm) || bad(t.dp_comm) || bad(t.offload)) {
+    return "time breakdown";
+  }
+  const MemoryBreakdown* tiers[] = {&stats.tier1, &stats.tier2};
+  for (const MemoryBreakdown* m : tiers) {
+    if (bad(m->weights) || bad(m->activations) || bad(m->weight_grads) ||
+        bad(m->act_grads) || bad(m->optimizer)) {
+      return "memory breakdown";
+    }
+  }
+  if (bad(stats.tp_comm_total) || bad(stats.pp_comm_total) ||
+      bad(stats.dp_comm_total)) {
+    return "communication totals";
+  }
+  if (bad(stats.offload_total) || bad(stats.offload_bw_required) ||
+      bad(stats.offload_bytes)) {
+    return "offload accounting";
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -381,6 +414,10 @@ Result<Stats> CalculatePerformance(const Application& app,
   stats.batch_time = stats.time.Total();
   if (stats.batch_time <= 0.0 || !std::isfinite(stats.batch_time)) {
     return R(Infeasible::kBadConfig, "non-finite batch time");
+  }
+  if (const char* which = FindNonFinite(stats)) {
+    return R(Infeasible::kBadConfig,
+             StrFormat("non-finite or negative %s", which));
   }
   stats.sample_rate =
       static_cast<double>(exec.batch_size) / stats.batch_time;

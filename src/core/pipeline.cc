@@ -1,11 +1,31 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
 
 namespace calculon {
 
+namespace {
+void CheckShape(const PipelineShape& shape) {
+  CALC_DCHECK(shape.stages >= 1 && shape.interleaving >= 1 &&
+                  shape.microbatches >= 1,
+              "stages=%lld interleaving=%lld microbatches=%lld",
+              static_cast<long long>(shape.stages),
+              static_cast<long long>(shape.interleaving),
+              static_cast<long long>(shape.microbatches));
+}
+}  // namespace
+
 double PipelineBubbleTime(const PipelineShape& shape,
                           double per_microbatch_time) {
+  CheckShape(shape);
+  // NaN/inf-tolerant (!(x < 0)): zero-bandwidth tiers legitimately drive
+  // per-microbatch time non-finite; the perf model's final screen rejects
+  // those configurations as kBadConfig. Only definite negatives are bugs.
+  CALC_DCHECK(!(per_microbatch_time < 0.0), "per_microbatch_time = %g",
+              per_microbatch_time);
   if (shape.stages <= 1) return 0.0;
   const double p = static_cast<double>(shape.stages);
   const double i = static_cast<double>(shape.interleaving);
@@ -15,6 +35,7 @@ double PipelineBubbleTime(const PipelineShape& shape,
 }
 
 double InFlightMicrobatches(const PipelineShape& shape) {
+  CheckShape(shape);
   const double nm = static_cast<double>(shape.microbatches);
   if (shape.stages <= 1) return 1.0;
   if (!shape.one_f_one_b) return nm;  // GPipe keeps everything live

@@ -1,7 +1,9 @@
 #include "hw/memory.h"
 
+#include <cmath>
 #include <limits>
 
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace calculon {
@@ -17,6 +19,9 @@ Memory::Memory(double capacity_bytes, double bandwidth_bytes_per_s,
 }
 
 double Memory::AccessTime(double bytes) const {
+  // Negative byte counts are clamped to zero time by the documented
+  // contract below; only NaN is a caller bug.
+  CALC_DCHECK(!std::isnan(bytes), "bytes = %g", bytes);
   if (bytes <= 0.0) return 0.0;
   const double bw = EffectiveBandwidth(bytes);
   if (bw <= 0.0) return std::numeric_limits<double>::infinity();

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace calculon {
@@ -42,6 +43,9 @@ double Network::EffectiveBandwidth(double bytes) const {
 
 double Network::LinkBytes(Collective op, std::int64_t members,
                           double bytes) const {
+  CALC_DCHECK(members >= 1, "members = %lld",
+              static_cast<long long>(members));
+  CALC_DCHECK(std::isfinite(bytes) && bytes >= 0.0, "bytes = %g", bytes);
   if (members <= 1 || bytes <= 0.0) return 0.0;
   const double n = static_cast<double>(members);
   const double share = (n - 1.0) / n;
@@ -62,6 +66,8 @@ double Network::LinkBytes(Collective op, std::int64_t members,
 
 double Network::CollectiveTime(Collective op, std::int64_t members,
                                double bytes) const {
+  CALC_DCHECK(members >= 1, "members = %lld",
+              static_cast<long long>(members));
   if (members <= 1 || bytes <= 0.0) return 0.0;
   const double link_bytes = LinkBytes(op, members, bytes);
   const double bw = EffectiveBandwidth(link_bytes);

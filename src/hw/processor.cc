@@ -1,8 +1,10 @@
 #include "hw/processor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace calculon {
@@ -13,6 +15,7 @@ ComputeUnit::ComputeUnit(double peak_flops, EfficiencyCurve efficiency)
 }
 
 double ComputeUnit::FlopTime(double flops) const {
+  CALC_DCHECK(std::isfinite(flops) && flops >= 0.0, "flops = %g", flops);
   if (flops <= 0.0) return 0.0;
   const double rate = peak_ * efficiency_.At(flops);
   if (rate <= 0.0) return std::numeric_limits<double>::infinity();
@@ -35,6 +38,9 @@ ComputeUnit ComputeUnit::FromJson(const json::Value& v) {
 
 double Processor::OpTime(ComputeKind kind, double flops, double bytes,
                          double compute_slowdown) const {
+  CALC_DCHECK(std::isfinite(bytes) && bytes >= 0.0, "bytes = %g", bytes);
+  CALC_DCHECK(compute_slowdown >= 0.0 && compute_slowdown < 1.0,
+              "compute_slowdown = %g", compute_slowdown);
   const ComputeUnit& unit = (kind == ComputeKind::kMatrix) ? matrix : vector;
   double flop_time = unit.FlopTime(flops);
   if (compute_slowdown > 0.0 && compute_slowdown < 1.0) {

@@ -231,6 +231,11 @@ std::string Value::Dump(int indent) const {
 
 namespace {
 
+// Containers deeper than this are rejected. The parser recurses per nesting
+// level, so unbounded depth would let a hostile spec file overflow the
+// stack; real Calculon configs nest three or four levels.
+constexpr int kMaxDepth = 128;
+
 // Recursive-descent parser with line/column error reporting.
 class Parser {
  public:
@@ -290,6 +295,9 @@ class Parser {
     switch (Peek()) {
       case '{': return ParseObject();
       case '[': return ParseArray();
+      case '\0':
+        if (AtEnd()) Fail("unexpected end of input");
+        [[fallthrough]];
       case '"': return Value(ParseString());
       case 't': ParseLiteral("true"); return Value(true);
       case 'f': ParseLiteral("false"); return Value(false);
@@ -324,6 +332,7 @@ class Parser {
     if (Peek() == 'e' || Peek() == 'E') {
       ++pos_;
       if (Peek() == '-' || Peek() == '+') ++pos_;
+      has_digits = false;  // the exponent needs its own digits
       eat_digits();
     }
     if (!has_digits) Fail("invalid number");
@@ -383,10 +392,12 @@ class Parser {
 
   Value ParseArray() {
     Expect('[');
+    if (++depth_ > kMaxDepth) Fail("nesting too deep");
     Array arr;
     SkipWhitespace();
     if (Peek() == ']') {
       ++pos_;
+      --depth_;
       return Value(std::move(arr));
     }
     while (true) {
@@ -404,15 +415,18 @@ class Parser {
       Expect(']');
       break;
     }
+    --depth_;
     return Value(std::move(arr));
   }
 
   Value ParseObject() {
     Expect('{');
+    if (++depth_ > kMaxDepth) Fail("nesting too deep");
     Object obj;
     SkipWhitespace();
     if (Peek() == '}') {
       ++pos_;
+      --depth_;
       return Value(std::move(obj));
     }
     while (true) {
@@ -420,6 +434,9 @@ class Parser {
       std::string key = ParseString();
       SkipWhitespace();
       Expect(':');
+      // Duplicate keys are almost always a config-file editing mistake;
+      // last-one-wins would silently drop the earlier value.
+      if (obj.count(key) > 0) Fail("duplicate key '" + key + "'");
       obj[std::move(key)] = ParseValue();
       SkipWhitespace();
       if (Peek() == ',') {
@@ -434,11 +451,13 @@ class Parser {
       Expect('}');
       break;
     }
+    --depth_;
     return Value(std::move(obj));
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

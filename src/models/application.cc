@@ -1,11 +1,15 @@
 #include "models/application.h"
 
+#include "util/check.h"
 #include "util/error.h"
 #include "util/strings.h"
 
 namespace calculon {
 
 std::int64_t Application::BlockParameters() const {
+  CALC_DCHECK(hidden > 0 && feedforward > 0 && attn_heads > 0 &&
+                  attn_size > 0,
+              "application '%s' not validated", name.c_str());
   const std::int64_t h = hidden;
   const std::int64_t f = feedforward;
   const std::int64_t attn_width = attn_heads * attn_size;

@@ -2,8 +2,46 @@
 
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace calculon {
+namespace {
+
+// Shared state of one ParallelFor call. Owned jointly by the caller and the
+// queued helper tasks (helpers can outlive the call's scope on the queue if
+// the caller finishes draining first, so the state is reference-counted).
+struct ParallelForJob {
+  explicit ParallelForJob(std::uint64_t count_) : count(count_) {}
+
+  const std::uint64_t count;
+  std::atomic<std::uint64_t> next{0};  // next unclaimed index
+
+  std::mutex mutex;                 // guards pending, error
+  std::condition_variable done_cv;  // signaled when pending reaches zero
+  std::uint64_t pending = 0;        // participants still draining
+  std::exception_ptr error;         // first exception thrown by fn
+
+  // Claims indices until the range is exhausted. On exception the whole
+  // remaining range is claimed away so every participant stops quickly and
+  // the first-stored exception wins deterministically per participant.
+  void Drain(const std::function<void(std::uint64_t)>& fn) {
+    while (true) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        next.store(count, std::memory_order_relaxed);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--pending == 0) done_cv.notify_all();
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -42,39 +80,31 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::uint64_t count,
                              const std::function<void(std::uint64_t)>& fn) {
   if (count == 0) return;
-  auto next = std::make_shared<std::atomic<std::uint64_t>>(0);
-  auto pending = std::make_shared<std::atomic<std::uint64_t>>(0);
-  auto first_error = std::make_shared<std::atomic<bool>>(false);
-  auto error = std::make_shared<std::exception_ptr>();
-  auto error_mutex = std::make_shared<std::mutex>();
+  auto job = std::make_shared<ParallelForJob>(count);
 
-  auto drain = [=] {
-    while (true) {
-      const std::uint64_t i = next->fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(*error_mutex);
-        if (!first_error->exchange(true)) *error = std::current_exception();
-      }
-    }
-    pending->fetch_sub(1, std::memory_order_acq_rel);
-  };
-
+  // Helper tasks capture `fn` and the job state by value so a task sitting
+  // on the queue stays self-contained: even if it is picked up after the
+  // caller has already drained the whole range, it finds count exhausted and
+  // only decrements pending. Spawn at most one helper per claimable item.
   const std::uint64_t helpers =
       std::min<std::uint64_t>(workers_.size(), count);
-  pending->store(helpers + 1);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::uint64_t i = 0; i < helpers; ++i) tasks_.push(drain);
+  job->pending = helpers + 1;
+  if (helpers > 0) {
+    std::function<void(std::uint64_t)> fn_copy = fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::uint64_t i = 0; i < helpers; ++i) {
+        tasks_.push([job, fn_copy] { job->Drain(fn_copy); });
+      }
+    }
+    cv_.notify_all();
   }
-  cv_.notify_all();
-  drain();  // caller participates
-  while (pending->load(std::memory_order_acquire) != 0) {
-    std::this_thread::yield();
-  }
-  if (first_error->load() && *error) std::rethrow_exception(*error);
+
+  job->Drain(fn);  // the caller participates
+
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->done_cv.wait(lock, [&] { return job->pending == 0; });
+  if (job->error) std::rethrow_exception(job->error);
 }
 
 }  // namespace calculon

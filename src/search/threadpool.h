@@ -31,7 +31,9 @@ class ThreadPool {
   // time from a shared counter (items are coarse-grained in the search
   // engines, so contention is negligible). Blocks until all are done; also
   // executes work on the calling thread. Exceptions from `fn` propagate to
-  // the caller (the first one wins).
+  // the caller: the first exception stored wins, the remaining unclaimed
+  // range is abandoned, and in-flight items finish before the call returns.
+  // `fn` must be safe to call concurrently from multiple threads.
   void ParallelFor(std::uint64_t count,
                    const std::function<void(std::uint64_t)>& fn);
 

@@ -1,0 +1,17 @@
+#include "util/check.h"
+
+namespace calculon::internal {
+
+void ContractFail(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::string what =
+      StrFormat("contract violation at %s:%d: %s", file, line, expr);
+  if (!message.empty()) {
+    what += " (";
+    what += message;
+    what += ")";
+  }
+  throw ContractViolation(what);
+}
+
+}  // namespace calculon::internal

@@ -1,0 +1,88 @@
+// Contract-checking macros for the analytical model.
+//
+// The model is trusted arithmetic: a silent NaN or negative time anywhere in
+// the hot path poisons every search result built on top of it. These macros
+// make violations loud at the point of origin instead:
+//
+//   CALC_CHECK(cond, ...)        always on, including release builds; use for
+//                                cheap preconditions on public entry points
+//                                and for invariants whose violation means the
+//                                caller has a bug (not a bad configuration).
+//   CALC_DCHECK(cond, ...)       compiled out under NDEBUG; use freely on hot
+//                                inner paths (per-layer, per-collective).
+//   CALC_CHECK_FINITE(val)      CALC_CHECK(std::isfinite(val)) with the
+//                                expression and value in the message.
+//   CALC_DCHECK_FINITE(val)     debug-only variant.
+//
+// A failed check throws ContractViolation (a std::logic_error), carrying
+// file:line, the expression, and an optional printf-style message. Bad *user
+// input* — infeasible configurations, malformed specs — is not a contract
+// violation: report those through Result<T> or ConfigError (util/error.h).
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/strings.h"
+
+namespace calculon {
+
+// Thrown when a CALC_CHECK-family contract fails. Deriving from logic_error
+// (not ConfigError) keeps programmer bugs distinguishable from bad configs.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace internal {
+// Out of line so the macro expansion stays small in hot functions.
+[[noreturn]] void ContractFail(const char* file, int line, const char* expr,
+                               const std::string& message);
+}  // namespace internal
+
+}  // namespace calculon
+
+// __VA_OPT__ lets the message be omitted: CALC_CHECK(x > 0) and
+// CALC_CHECK(x > 0, "x=%ld", x) both work, and the format string stays a
+// literal for the compiler's printf-format checking.
+#define CALC_CHECK(cond, ...)                                       \
+  do {                                                              \
+    if (!(cond)) [[unlikely]] {                                     \
+      ::calculon::internal::ContractFail(                           \
+          __FILE__, __LINE__, #cond,                                \
+          ::std::string()                                           \
+              __VA_OPT__(+ ::calculon::StrFormat(__VA_ARGS__)));    \
+    }                                                               \
+  } while (false)
+
+#define CALC_CHECK_FINITE(val)                                      \
+  do {                                                              \
+    const double calc_check_finite_v_ = static_cast<double>(val);   \
+    if (!std::isfinite(calc_check_finite_v_)) [[unlikely]] {        \
+      ::calculon::internal::ContractFail(                           \
+          __FILE__, __LINE__, "isfinite(" #val ")",                 \
+          ::calculon::StrFormat(#val " = %g", calc_check_finite_v_)); \
+    }                                                               \
+  } while (false)
+
+#ifdef NDEBUG
+// Compiles to nothing but still type-checks its arguments, so debug-only
+// checks cannot rot (and their operands do not become "unused" variables).
+#define CALC_DCHECK(cond, ...)                                      \
+  do {                                                              \
+    if (false) {                                                    \
+      static_cast<void>(cond);                                      \
+    }                                                               \
+  } while (false)
+#define CALC_DCHECK_FINITE(val)                                     \
+  do {                                                              \
+    if (false) {                                                    \
+      static_cast<void>(val);                                       \
+    }                                                               \
+  } while (false)
+#else
+#define CALC_DCHECK(cond, ...) CALC_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define CALC_DCHECK_FINITE(val) CALC_CHECK_FINITE(val)
+#endif

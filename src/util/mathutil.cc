@@ -7,6 +7,10 @@ namespace calculon {
 
 std::vector<std::int64_t> Divisors(std::int64_t n) {
   if (n < 1) throw std::invalid_argument("Divisors: n must be >= 1");
+  // i*i would overflow before i reaches sqrt(INT64_MAX); the model never
+  // enumerates divisors of counts anywhere near that.
+  CALC_CHECK(n < (std::int64_t{1} << 62), "Divisors(%lld)",
+             static_cast<long long>(n));
   std::vector<std::int64_t> small;
   std::vector<std::int64_t> large;
   for (std::int64_t i = 1; i * i <= n; ++i) {
@@ -35,6 +39,10 @@ std::int64_t NextDivisor(std::int64_t n, std::int64_t lo) {
     if (d >= lo) return d;
   }
   return n;
+}
+
+bool CheckedMul(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return !__builtin_mul_overflow(a, b, out);
 }
 
 }  // namespace calculon

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "analysis/audit.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+
+namespace calculon::analysis {
+namespace {
+
+AuditOptions SmallOptions() {
+  AuditOptions options;
+  options.proc_counts = {8, 16};
+  options.max_splits = 8;
+  return options;
+}
+
+TEST(AuditMath, HelpersHoldTheirInvariants) {
+  const AuditReport report = AuditMath();
+  EXPECT_TRUE(report.ok())
+      << (report.violations.empty() ? std::string()
+                                    : report.violations.front().detail);
+  EXPECT_GT(report.checks, 1000u);
+  EXPECT_EQ(report.evaluations, 0u);  // math audit runs no model
+}
+
+TEST(AuditPair, CleanOnPresetConfigurations) {
+  const Application app = presets::Gpt2_1p5B();
+  const System sys = presets::SystemByName("a100_80g");
+  const AuditReport report = AuditPair(app, sys, SmallOptions());
+  EXPECT_GT(report.evaluations, 0u);
+  EXPECT_GT(report.feasible, 0u);
+  EXPECT_GT(report.checks, report.feasible);  // many checks per feasible run
+  ASSERT_TRUE(report.ok())
+      << report.violations.front().invariant << " at "
+      << report.violations.front().context << ": "
+      << report.violations.front().detail;
+}
+
+TEST(AuditPair, OffloadSystemExercisesOffloadInvariants) {
+  const Application app = presets::Megatron22B();
+  const System sys = presets::SystemByName("h100_80g_offload");
+  const AuditReport report = AuditPair(app, sys, SmallOptions());
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.feasible, 0u);
+}
+
+TEST(AuditPair, ContextLabelAppearsInViolations) {
+  // A negative tolerance makes every closeness check fail, which exercises
+  // the violation recording, the per-pair cap, and the context labeling.
+  const Application app = presets::Gpt2_1p5B();
+  const System sys = presets::SystemByName("a100_80g");
+  AuditOptions options = SmallOptions();
+  options.rel_tol = -1.0;
+  options.max_violations = 5;
+  options.context_label = "my_label";
+  const AuditReport report = AuditPair(app, sys, options);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.violations.size(), 5u);
+  EXPECT_GT(report.dropped, 0u);
+  EXPECT_NE(report.violations.front().context.find("my_label"),
+            std::string::npos)
+      << report.violations.front().context;
+  EXPECT_FALSE(report.violations.front().invariant.empty());
+  EXPECT_FALSE(report.violations.front().detail.empty());
+}
+
+TEST(AuditReportTest, MergeAccumulates) {
+  AuditReport a;
+  a.evaluations = 3;
+  a.feasible = 2;
+  a.checks = 10;
+  a.violations.push_back({"inv", "ctx", "detail"});
+  AuditReport b;
+  b.evaluations = 5;
+  b.checks = 7;
+  b.dropped = 1;
+  a.Merge(std::move(b));
+  EXPECT_EQ(a.evaluations, 8u);
+  EXPECT_EQ(a.feasible, 2u);
+  EXPECT_EQ(a.checks, 17u);
+  EXPECT_EQ(a.dropped, 1u);
+  EXPECT_EQ(a.violations.size(), 1u);
+  EXPECT_FALSE(a.ok());
+}
+
+}  // namespace
+}  // namespace calculon::analysis

@@ -85,10 +85,10 @@ TEST(Calibrate, InfeasiblePredictionsArePenalized) {
 TEST(Calibrate, RejectsBadInputs) {
   presets::SystemOptions o;
   const System sys = presets::A100(o);
-  EXPECT_THROW(CalibrationError(sys, {}), ConfigError);
+  EXPECT_THROW((void)CalibrationError(sys, {}), ConfigError);
   Measurement m = MakeMeasurement(0.0);
-  EXPECT_THROW(CalibrationError(sys, {m}), ConfigError);
-  EXPECT_THROW(CalibrateMatrixScale(sys, {MakeMeasurement(1.0)}, 2.0, 1.0),
+  EXPECT_THROW((void)CalibrationError(sys, {m}), ConfigError);
+  EXPECT_THROW((void)CalibrateMatrixScale(sys, {MakeMeasurement(1.0)}, 2.0, 1.0),
                ConfigError);
 }
 

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/check.h"
+
+namespace calculon {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(CALC_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(CALC_CHECK(true, "never shown %d", 7));
+}
+
+TEST(Check, FailureThrowsContractViolation) {
+  EXPECT_THROW(CALC_CHECK(false), ContractViolation);
+  // ContractViolation is a logic_error: a programmer bug, not a config or
+  // feasibility problem.
+  EXPECT_THROW(CALC_CHECK(false), std::logic_error);
+}
+
+TEST(Check, MessageCarriesLocationExpressionAndDetail) {
+  try {
+    const int procs = -3;
+    CALC_CHECK(procs >= 0, "procs = %d", procs);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+    EXPECT_NE(what.find("procs >= 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("procs = -3"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, MessageIsOptional) {
+  try {
+    CALC_CHECK(2 < 1);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+  }
+}
+
+TEST(Check, FiniteAcceptsNormalValues) {
+  EXPECT_NO_THROW(CALC_CHECK_FINITE(0.0));
+  EXPECT_NO_THROW(CALC_CHECK_FINITE(-1.5));
+  EXPECT_NO_THROW(CALC_CHECK_FINITE(1e300));
+}
+
+TEST(Check, FiniteRejectsInfAndNan) {
+  EXPECT_THROW(CALC_CHECK_FINITE(std::numeric_limits<double>::infinity()),
+               ContractViolation);
+  EXPECT_THROW(CALC_CHECK_FINITE(-std::numeric_limits<double>::infinity()),
+               ContractViolation);
+  EXPECT_THROW(CALC_CHECK_FINITE(std::nan("")), ContractViolation);
+}
+
+TEST(Check, DcheckActiveOnlyInDebugBuilds) {
+#ifdef NDEBUG
+  // Release: compiled out entirely — the condition must not even be
+  // evaluated.
+  int evaluations = 0;
+  CALC_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_THROW(CALC_DCHECK(false), ContractViolation);
+  EXPECT_THROW(CALC_DCHECK(false, "with message %d", 1), ContractViolation);
+  EXPECT_NO_THROW(CALC_DCHECK(true));
+#endif
+}
+
+TEST(Check, SideEffectsInConditionRunExactlyOnce) {
+  int calls = 0;
+  auto count = [&] {
+    ++calls;
+    return true;
+  };
+  CALC_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace calculon

@@ -170,8 +170,8 @@ TEST(Execution, EnumStringRoundTrip) {
   for (TpOverlap o : {TpOverlap::kNone, TpOverlap::kPipe, TpOverlap::kRing}) {
     EXPECT_EQ(TpOverlapFromString(ToString(o)), o);
   }
-  EXPECT_THROW(RecomputeFromString("selective"), ConfigError);
-  EXPECT_THROW(TpOverlapFromString("bulk"), ConfigError);
+  EXPECT_THROW((void)RecomputeFromString("selective"), ConfigError);
+  EXPECT_THROW((void)TpOverlapFromString("bulk"), ConfigError);
 }
 
 TEST(Execution, JsonRoundTrip) {

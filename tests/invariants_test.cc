@@ -130,9 +130,9 @@ INSTANTIATE_TEST_SUITE_P(
                           "chinchilla_70b", "gpt3_175b", "bloom_176b",
                           "turing_530b", "megatron_1t"),
         ::testing::Range<std::size_t>(0, 6)),
-    [](const auto& info) {
-      return std::get<0>(info.param) + "_" +
-             std::string(kVariants[std::get<1>(info.param)].name);
+    [](const auto& param_info) {
+      return std::get<0>(param_info.param) + "_" +
+             std::string(kVariants[std::get<1>(param_info.param)].name);
     });
 
 }  // namespace

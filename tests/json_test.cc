@@ -51,7 +51,7 @@ TEST(JsonParse, StringEscapes) {
 
 TEST(JsonParse, ErrorsCarryLineAndColumn) {
   try {
-    Parse("{\n  \"a\": }\n");
+    (void)Parse("{\n  \"a\": }\n");
     FAIL() << "expected ConfigError";
   } catch (const ConfigError& e) {
     EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos);
@@ -68,12 +68,76 @@ TEST(JsonParse, RejectsMalformedInput) {
   EXPECT_THROW(Parse("nan"), ConfigError);
 }
 
+TEST(JsonParse, TruncatedInputAtEveryPrefixErrors) {
+  // Every proper prefix of a valid document must produce a parse error (or,
+  // for prefixes that happen to be complete values, parse fine) — never
+  // crash or read out of bounds. Exercised under ASan/UBSan in CI.
+  const std::string doc =
+      R"({"name": "a100", "nums": [1, 2.5, -3e1], "flag": true, "n": null})";
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    try {
+      (void)Parse(std::string_view(doc).substr(0, len));
+    } catch (const ConfigError&) {
+      // expected for almost all prefixes
+    }
+  }
+  EXPECT_THROW((void)Parse(doc.substr(0, doc.size() - 1)), ConfigError);
+}
+
+TEST(JsonParse, TruncatedEscapesAndLiteralsError) {
+  EXPECT_THROW((void)Parse("\"\\"), ConfigError);
+  EXPECT_THROW((void)Parse("\"\\u12"), ConfigError);
+  EXPECT_THROW((void)Parse("{\"a\": tr"), ConfigError);
+  EXPECT_THROW((void)Parse("[1,"), ConfigError);
+  EXPECT_THROW((void)Parse("{\"a\":"), ConfigError);
+  EXPECT_THROW((void)Parse("{\"a\""), ConfigError);
+  EXPECT_THROW((void)Parse("-"), ConfigError);
+  EXPECT_THROW((void)Parse("1e"), ConfigError);
+}
+
+TEST(JsonParse, InvalidEscapesError) {
+  EXPECT_THROW((void)Parse(R"("\q")"), ConfigError);
+  EXPECT_THROW((void)Parse(R"("\x41")"), ConfigError);
+  EXPECT_THROW((void)Parse(R"("\u12g4")"), ConfigError);
+  EXPECT_THROW((void)Parse(R"("\U0041")"), ConfigError);
+  // Valid escapes still work.
+  EXPECT_EQ(Parse(R"("A\n")").AsString(), "A\n");
+}
+
+TEST(JsonParse, DuplicateKeysError) {
+  EXPECT_THROW((void)Parse(R"({"a": 1, "a": 2})"), ConfigError);
+  EXPECT_THROW((void)Parse(R"({"a": {"b": 1, "b": 1}})"), ConfigError);
+  try {
+    (void)Parse(R"({"hidden": 1, "hidden": 2})");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate key 'hidden'"),
+              std::string::npos);
+  }
+  // Same key in sibling objects is fine.
+  EXPECT_NO_THROW((void)Parse(R"({"a": {"x": 1}, "b": {"x": 2}})"));
+}
+
+TEST(JsonParse, DeepNestingErrorsInsteadOfOverflowing) {
+  // A pathological input must be rejected by the depth limit, not crash by
+  // exhausting the stack.
+  const std::string deep_arrays(100000, '[');
+  EXPECT_THROW((void)Parse(deep_arrays), ConfigError);
+  std::string deep_objects;
+  for (int i = 0; i < 50000; ++i) deep_objects += "{\"k\":";
+  EXPECT_THROW((void)Parse(deep_objects), ConfigError);
+  // Moderate nesting (the realistic regime) still parses.
+  std::string ok = "1";
+  for (int i = 0; i < 64; ++i) ok = "[" + ok + "]";
+  EXPECT_NO_THROW((void)Parse(ok));
+}
+
 TEST(JsonValue, TypeMismatchesThrow) {
   const Value v = Parse("{\"a\": 1}");
-  EXPECT_THROW(v.AsArray(), ConfigError);
-  EXPECT_THROW(v.at("a").AsString(), ConfigError);
-  EXPECT_THROW(v.at("missing"), ConfigError);
-  EXPECT_THROW(Parse("1.5").AsInt(), ConfigError);
+  EXPECT_THROW((void)v.AsArray(), ConfigError);
+  EXPECT_THROW((void)v.at("a").AsString(), ConfigError);
+  EXPECT_THROW((void)v.at("missing"), ConfigError);
+  EXPECT_THROW((void)Parse("1.5").AsInt(), ConfigError);
 }
 
 TEST(JsonValue, DefaultingAccessors) {
@@ -83,7 +147,7 @@ TEST(JsonValue, DefaultingAccessors) {
   EXPECT_EQ(v.GetBool("flag", false), true);
   EXPECT_EQ(v.GetString("name", "default"), "default");
   // Present key of the wrong type still throws (catches config typos).
-  EXPECT_THROW(v.GetBool("x", false), ConfigError);
+  EXPECT_THROW((void)v.GetBool("x", false), ConfigError);
 }
 
 TEST(JsonValue, CopyHasValueSemantics) {

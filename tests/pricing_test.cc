@@ -59,8 +59,8 @@ TEST(Pricing, NoDdrMeansNoTier2) {
 }
 
 TEST(Pricing, UnknownCapacityThrows) {
-  EXPECT_THROW((SystemDesign{64.0, 0.0}.UnitPrice()), ConfigError);
-  EXPECT_THROW((SystemDesign{80.0, 100.0}.UnitPrice()), ConfigError);
+  EXPECT_THROW(((void)SystemDesign{64.0, 0.0}.UnitPrice()), ConfigError);
+  EXPECT_THROW(((void)SystemDesign{80.0, 100.0}.UnitPrice()), ConfigError);
 }
 
 TEST(Pricing, LabelsAreReadable) {

@@ -24,7 +24,7 @@ TEST(SystemSearch, EvaluatesADesignUnderBudget) {
   // perf/$M is rate over the money actually spent.
   EXPECT_NEAR(entry.perf_per_million,
               entry.sample_rate /
-                  (entry.used_gpus * design.UnitPrice() / 1e6),
+                  (static_cast<double>(entry.used_gpus) * design.UnitPrice() / 1e6),
               1e-9);
 }
 

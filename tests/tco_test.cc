@@ -47,9 +47,9 @@ TEST(Tco, DollarsPerMillionSamples) {
 }
 
 TEST(Tco, RejectsBadInputs) {
-  EXPECT_THROW(ComputeTco(SystemDesign{80.0, 0.0}, -1, TcoParams{}),
+  EXPECT_THROW((void)ComputeTco(SystemDesign{80.0, 0.0}, -1, TcoParams{}),
                ConfigError);
-  EXPECT_THROW(DollarsPerMillionSamples(TcoResult{}, TcoParams{}, 0.0),
+  EXPECT_THROW((void)DollarsPerMillionSamples(TcoResult{}, TcoParams{}, 0.0),
                ConfigError);
 }
 

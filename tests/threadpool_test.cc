@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -68,6 +69,90 @@ TEST(ThreadPool, MoreItemsThanThreads) {
   const std::uint64_t n = 100000;
   pool.ParallelFor(n, [&](std::uint64_t i) { sum += i; });
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(hits.size(),
+                   [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, FirstStoredExceptionWinsAndRangeIsAbandoned) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> executed{0};
+  const std::uint64_t n = 100000;
+  try {
+    pool.ParallelFor(n, [&](std::uint64_t i) {
+      executed.fetch_add(1);
+      if (i == 3) throw std::runtime_error("item 3");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // Exactly one of the thrown exceptions propagates.
+    EXPECT_STREQ(e.what(), "item 3");
+  }
+  // The unclaimed remainder was abandoned: nowhere near all items ran.
+  EXPECT_LT(executed.load(), n);
+}
+
+TEST(ThreadPool, ConcurrentThrowersPropagateExactlyOne) {
+  ThreadPool pool(4);
+  std::atomic<int> throws{0};
+  try {
+    pool.ParallelFor(64, [&](std::uint64_t) {
+      throws.fetch_add(1);
+      throw std::runtime_error("any");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_GE(throws.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionDuringNestedUseKeepsPoolAlive) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_THROW(
+        pool.ParallelFor(32,
+                         [&](std::uint64_t i) {
+                           if (i % 3 == 0) throw std::logic_error("x");
+                         }),
+        std::logic_error);
+  }
+  std::atomic<int> ok{0};
+  pool.ParallelFor(100, [&](std::uint64_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 100);
+}
+
+// Stress test aimed at TSan: many small ParallelFor rounds with shared
+// mutable state touched through the proper synchronization primitives, plus
+// result aggregation mimicking the search engines (mutex-guarded vector).
+TEST(ThreadPool, StressManyRoundsWithAggregation) {
+  ThreadPool pool(4);
+  std::mutex agg_mutex;
+  std::vector<std::uint64_t> results;
+  for (int round = 0; round < 50; ++round) {
+    results.clear();
+    pool.ParallelFor(256, [&](std::uint64_t i) {
+      const std::uint64_t value = i * i;
+      std::lock_guard<std::mutex> lock(agg_mutex);
+      results.push_back(value);
+    });
+    ASSERT_EQ(results.size(), 256u);
+  }
+}
+
+// Pools constructed and destroyed in a tight loop: exercises the worker
+// startup/shutdown handshake under TSan.
+TEST(ThreadPool, RapidConstructDestroy) {
+  for (int i = 0; i < 25; ++i) {
+    ThreadPool pool(3);
+    std::atomic<int> n{0};
+    pool.ParallelFor(8, [&](std::uint64_t) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 8);
+  }
 }
 
 }  // namespace

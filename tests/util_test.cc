@@ -163,7 +163,7 @@ TEST(Error, ResultHoldsReason) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.reason(), Infeasible::kMemoryCapacity);
   EXPECT_EQ(r.detail(), "insufficient memory capacity: needs 90 GiB");
-  EXPECT_THROW(r.value(), std::logic_error);
+  EXPECT_THROW((void)r.value(), std::logic_error);
 }
 
 TEST(Error, AllReasonsHaveNames) {
