@@ -11,18 +11,35 @@
 //   calculon_cli layers <app> <system> <exec.json>
 //       Print the per-layer cost breakdown of one transformer block.
 //
-//   calculon_cli study <study.json> [out.csv]
+//   calculon_cli study <study.json> [out.csv] [resilience options]
 //       Run a sweep described by a study specification (see
-//       src/runner/study.h and configs/studies/) and emit a CSV.
+//       src/runner/study.h and configs/studies/) and emit a CSV. With
+//       --checkpoint the completed rows are journaled and a killed run can
+//       continue with --resume; Ctrl-C stops gracefully with the journal
+//       and partial CSV intact.
+//
+// The sweeping subcommands (study, llm-optimal-execution) share the
+// resilience options:
+//   --deadline S         stop after S wall-clock seconds (partial results)
+//   --failure-budget N   stop after N isolated evaluation failures
+//   --faults SPEC        deterministic fault injection (testing), e.g.
+//                        seed=42,throw=0.05; also read from CALCULON_FAULTS
+//   --checkpoint PATH    (study) journal completed rows to PATH
+//   --checkpoint-every N (study) journal every N rows (default 64)
+//   --resume             (study) continue from the --checkpoint journal
+// Exit codes: 0 complete, 1 infeasible/error, 2 usage,
+//             3 degraded (stopped early or isolated failures).
 //
 //   calculon_cli presets [dir]
 //       List the built-in application/system presets; with a directory,
 //       export them all as JSON specification files.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/layer_report.h"
 #include "core/perf_model.h"
@@ -30,10 +47,85 @@
 #include "models/presets.h"
 #include "runner/study.h"
 #include "search/exec_search.h"
+#include "testing/fault_injection.h"
+#include "util/run_context.h"
 
 namespace {
 
 using namespace calculon;
+
+// Shared resilience options of the sweeping subcommands. Flags may appear
+// anywhere after the subcommand; positional arguments keep their order.
+struct ResilienceArgs {
+  double deadline_s = 0.0;
+  long long failure_budget = 0;
+  std::string faults_spec;
+  std::string checkpoint_path;
+  long long checkpoint_every = 64;
+  bool resume = false;
+  std::vector<std::string> positional;
+};
+
+ResilienceArgs ParseResilienceArgs(int argc, char** argv) {
+  ResilienceArgs args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--deadline") {
+      args.deadline_s = std::stod(next());
+      if (args.deadline_s <= 0.0) throw ConfigError("--deadline must be > 0");
+    } else if (arg == "--failure-budget") {
+      args.failure_budget = std::stoll(next());
+    } else if (arg == "--faults") {
+      args.faults_spec = next();
+    } else if (arg == "--checkpoint") {
+      args.checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      args.checkpoint_every = std::stoll(next());
+      if (args.checkpoint_every <= 0) {
+        throw ConfigError("--checkpoint-every must be > 0");
+      }
+    } else if (arg == "--resume") {
+      args.resume = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw ConfigError("unknown option " + arg);
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+// Applies the parsed flags onto a context (and the global fault injector);
+// SIGINT/SIGTERM request a graceful stop through the same context.
+void ConfigureContext(const ResilienceArgs& args, RunContext* ctx) {
+  ctx->WatchSignals(true);
+  RunContext::InstallSigintHandler();
+  if (args.deadline_s > 0.0) ctx->SetDeadline(args.deadline_s);
+  if (args.failure_budget > 0) {
+    ctx->set_failure_budget(static_cast<std::uint64_t>(args.failure_budget));
+  }
+  auto& faults = testing::FaultInjector::Global();
+  if (!args.faults_spec.empty()) {
+    faults.Configure(testing::FaultPlan::FromSpec(args.faults_spec));
+  } else {
+    const auto env_plan = testing::FaultPlan::FromEnv();
+    if (env_plan.enabled()) faults.Configure(env_plan);
+  }
+}
+
+void PrintRunStatus(const RunStatus& status) {
+  if (!status.degraded()) return;
+  std::fprintf(stderr, "run status: %s\n", status.Summary().c_str());
+  for (const FailureRecord& record : status.failure_samples) {
+    std::fprintf(stderr, "FAILURE item=%llu worker=%u %s: %s\n",
+                 static_cast<unsigned long long>(record.item), record.worker,
+                 record.fingerprint.c_str(), record.reason.c_str());
+  }
+}
 
 // Spec arguments accept either a path to a JSON file or a preset name.
 Application LoadApp(const std::string& arg) {
@@ -76,23 +168,29 @@ int RunLlm(int argc, char** argv) {
 }
 
 int RunOptimalExecution(int argc, char** argv) {
-  if (argc < 5) {
+  const ResilienceArgs args = ParseResilienceArgs(argc, argv);
+  if (args.positional.size() < 3) {
     std::fprintf(stderr,
                  "usage: calculon_cli llm-optimal-execution <app> <system> "
-                 "<batch> [out.json]\n");
+                 "<batch> [out.json] [--deadline S] [--failure-budget N] "
+                 "[--faults SPEC]\n");
     return 2;
   }
-  const Application app = LoadApp(argv[2]);
-  const System sys = LoadSystem(argv[3]);
+  const Application app = LoadApp(args.positional[0]);
+  const System sys = LoadSystem(args.positional[1]);
+  RunContext ctx;
+  ConfigureContext(args, &ctx);
   ThreadPool pool;
   SearchConfig config;
-  config.batch_size = std::atoll(argv[4]);
+  config.batch_size = std::atoll(args.positional[2].c_str());
   config.top_k = 1;
+  config.ctx = &ctx;
   const SearchResult r = FindOptimalExecution(
       app, sys, SearchSpace::AllWithOffload(), config, pool);
   std::printf("searched %llu strategies, %llu feasible\n",
               static_cast<unsigned long long>(r.evaluated),
               static_cast<unsigned long long>(r.feasible));
+  PrintRunStatus(r.status);
   if (r.best.empty()) {
     std::fprintf(stderr, "no feasible execution\n");
     return 1;
@@ -100,14 +198,15 @@ int RunOptimalExecution(int argc, char** argv) {
   std::printf("best execution:\n%s\n%s",
               r.best.front().exec.ToJson().Dump(2).c_str(),
               r.best.front().stats.Report().c_str());
-  if (argc > 5) {
+  if (args.positional.size() > 3) {
     json::Value out;
     out["execution"] = r.best.front().exec.ToJson();
     out["stats"] = r.best.front().stats.ToJson();
-    json::WriteFile(argv[5], out);
-    std::printf("result written to %s\n", argv[5]);
+    out["status"] = r.status.ToJson();
+    json::WriteFile(args.positional[3], out);
+    std::printf("result written to %s\n", args.positional[3].c_str());
   }
-  return 0;
+  return r.status.degraded() ? 3 : 0;
 }
 
 int RunLayers(int argc, char** argv) {
@@ -128,26 +227,43 @@ int RunLayers(int argc, char** argv) {
 }
 
 int RunStudy(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: calculon_cli study <study.json> [out.csv]\n");
+  const ResilienceArgs args = ParseResilienceArgs(argc, argv);
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: calculon_cli study <study.json> [out.csv] "
+                 "[--checkpoint PATH] [--checkpoint-every N] [--resume] "
+                 "[--deadline S] [--failure-budget N] [--faults SPEC]\n");
     return 2;
   }
-  const Study study = Study::FromJson(json::ParseFile(argv[2]));
-  const auto rows = study.Run();
-  const std::string csv = StudyCsv(study, rows);
-  if (argc > 3) {
-    std::ofstream out(argv[3]);
+  const Study study = Study::FromJson(json::ParseFile(args.positional[0]));
+  RunContext ctx;
+  ConfigureContext(args, &ctx);
+  StudyRunOptions options;
+  options.ctx = &ctx;
+  options.checkpoint_path = args.checkpoint_path;
+  options.checkpoint_every = static_cast<std::uint64_t>(args.checkpoint_every);
+  options.resume = args.resume;
+  const StudyRun run = study.RunResilient(options);
+  const std::string csv = run.Csv();
+  if (args.positional.size() > 1) {
+    std::ofstream out(args.positional[1]);
     out << csv;
-    std::size_t feasible = 0;
-    for (const StudyRow& row : rows) {
-      if (row.result.ok()) ++feasible;
-    }
-    std::printf("%zu configurations (%zu feasible) written to %s\n",
-                rows.size(), feasible, argv[3]);
+    std::printf("%zu/%llu configurations (%llu resumed) written to %s\n",
+                run.csv_rows.size(),
+                static_cast<unsigned long long>(run.total_rows),
+                static_cast<unsigned long long>(run.resumed_rows),
+                args.positional[1].c_str());
   } else {
     std::printf("%s", csv.c_str());
   }
-  return 0;
+  if (run.best.found) {
+    std::printf("best configuration (row %llu, %.6g samples/s):\n%s\n",
+                static_cast<unsigned long long>(run.best.row),
+                run.best.sample_rate,
+                run.best.exec.ToJson().Dump(2).c_str());
+  }
+  PrintRunStatus(run.status);
+  return run.status.degraded() ? 3 : 0;
 }
 
 int RunPresets(int argc, char** argv) {

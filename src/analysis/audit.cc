@@ -13,6 +13,8 @@
 #include "core/perf_model.h"
 #include "core/pipeline.h"
 #include "core/stats.h"
+#include "search/threadpool.h"
+#include "testing/fault_injection.h"
 #include "util/mathutil.h"
 #include "util/strings.h"
 
@@ -45,6 +47,8 @@ class Auditor {
       : report_(report), options_(options) {}
 
   void set_context(std::string context) { context_ = std::move(context); }
+
+  [[nodiscard]] const AuditOptions& options() const { return options_; }
 
   bool Check(bool condition, const char* invariant, std::string detail) {
     ++report_->checks;
@@ -100,15 +104,38 @@ std::string ExecContext(const Application& app, const std::string& sys_label,
 }
 
 // Evaluates one configuration, bumping the evaluation counters and checking
-// the infeasibility-reporting contract (a rejection always says why).
+// the infeasibility-reporting contract (a rejection always says why). With a
+// RunContext, exceptions and model-bug Results are isolated into
+// FailureRecords: an injected fault only degrades the run, while a genuine
+// throw out of the model additionally counts as a violation.
 Result<Stats> Evaluate(const Application& app, const System& sys,
                        const std::string& sys_label, const Execution& exec,
                        AuditReport* report, Auditor* audit) {
+  const AuditOptions& options = audit->options();
+  const std::uint64_t key = options.fault_key_base + report->evaluations;
   ++report->evaluations;
-  Result<Stats> res = CalculatePerformance(app, exec, sys);
+  auto& faults = testing::FaultInjector::Global();
+  Result<Stats> res = [&]() -> Result<Stats> {
+    try {
+      if (faults.enabled() && faults.MaybeInject(key)) {
+        return {Infeasible::kBadConfig, "injected fault"};
+      }
+      return CalculatePerformance(app, exec, sys);
+    } catch (const testing::InjectedFault& ex) {
+      return {Infeasible::kBadConfig, ex.what()};
+    } catch (const std::exception& ex) {
+      audit->set_context(ExecContext(app, sys_label, exec));
+      audit->Check(false, "evaluation-throws", ex.what());
+      return {Infeasible::kBadConfig, ex.what()};
+    }
+  }();
   if (res.ok()) {
     ++report->feasible;
   } else {
+    if (options.ctx != nullptr && res.reason() == Infeasible::kBadConfig) {
+      options.ctx->RecordFailure(key, ExecContext(app, sys_label, exec),
+                                 res.detail(), ThreadPool::CurrentWorkerId());
+    }
     audit->set_context(ExecContext(app, sys_label, exec));
     audit->Check(res.reason() != Infeasible::kNone && !res.detail().empty(),
                  "infeasible-has-reason", res.detail());
@@ -531,6 +558,7 @@ AuditReport AuditPair(const Application& app, const System& base_sys,
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 
   for (std::int64_t n : counts) {
+    if (options.ctx != nullptr && options.ctx->ShouldStop()) break;
     const System sys = base_sys.WithNumProcs(n);
     std::vector<Triple> splits = FactorTriples(n);
     const std::size_t cap = static_cast<std::size_t>(
@@ -546,6 +574,7 @@ AuditReport AuditPair(const Application& app, const System& base_sys,
       splits = std::move(sampled);
     }
     for (const Triple& split : splits) {
+      if (options.ctx != nullptr && options.ctx->ShouldStop()) break;
       for (std::int64_t mb : {std::int64_t{1}, std::int64_t{2}}) {
         AuditSplit(app, sys, sys_label, split, mb, &report, audit);
       }

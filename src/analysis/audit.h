@@ -19,6 +19,7 @@
 
 #include "hw/system.h"
 #include "models/application.h"
+#include "util/run_context.h"
 
 namespace calculon::analysis {
 
@@ -59,6 +60,17 @@ struct AuditOptions {
   // System::name(), which is the hardware family and may be shared by
   // several presets (e.g. "h100" for both h100_80g and h100_80g_offload).
   std::string context_label;
+  // Optional resilience context: cancellation / deadline / failure budget
+  // observed between system sizes and splits; evaluation exceptions and
+  // model-bug Results (Infeasible::kBadConfig) become FailureRecords
+  // instead of killing the audit. Injected faults (see
+  // testing/fault_injection.h) are isolated the same way without being
+  // counted as invariant violations.
+  RunContext* ctx = nullptr;
+  // Offset for the deterministic per-evaluation fault-injection key, so
+  // concurrent (application, system) pairs occupy disjoint key ranges
+  // (e.g. pair_index << 32).
+  std::uint64_t fault_key_base = 0;
 };
 
 // Audits the integer-math helpers (ceil-div bounds, divisor enumeration and

@@ -22,6 +22,8 @@
 #include "json/json.h"
 #include "models/presets.h"
 #include "search/threadpool.h"
+#include "testing/fault_injection.h"
+#include "util/run_context.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -44,7 +46,16 @@ void PrintUsage() {
       "  --procs n1,n2,...   system sizes to audit at (default ladder)\n"
       "  --max-splits N      (t,p,d) factorizations sampled per size\n"
       "  --threads N         worker threads (default: hardware)\n"
-      "  --verbose           print a result row per (app, system) pair\n");
+      "  --verbose           print a result row per (app, system) pair\n"
+      "  --deadline S        stop after S wall-clock seconds (partial audit)\n"
+      "  --failure-budget N  stop after N isolated evaluation failures\n"
+      "  --faults SPEC       deterministic fault injection, e.g.\n"
+      "                      seed=42,throw=0.02,error=0.02 (also read from\n"
+      "                      the CALCULON_FAULTS environment variable)\n"
+      "  --checkpoint PATH   journal completed pairs to PATH\n"
+      "  --resume            skip pairs already journaled in --checkpoint\n"
+      "exit codes: 0 clean, 1 invariant violations, 2 usage error,\n"
+      "            3 degraded (stopped early or isolated failures)\n");
 }
 
 std::vector<std::string> SplitCsv(const std::string& s) {
@@ -78,6 +89,48 @@ bool ContainsLabel(const std::vector<Named<T>>& items,
   return false;
 }
 
+std::uint64_t Fnv1a(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr const char* kCheckpointFormat = "calculon-audit-checkpoint-v1";
+
+calculon::json::Value ReportToJson(const AuditReport& report) {
+  calculon::json::Value v;
+  v["evaluations"] = static_cast<std::int64_t>(report.evaluations);
+  v["feasible"] = static_cast<std::int64_t>(report.feasible);
+  v["checks"] = static_cast<std::int64_t>(report.checks);
+  v["dropped"] = static_cast<std::int64_t>(report.dropped);
+  calculon::json::Array violations;
+  for (const AuditViolation& violation : report.violations) {
+    calculon::json::Value vj;
+    vj["invariant"] = violation.invariant;
+    vj["context"] = violation.context;
+    vj["detail"] = violation.detail;
+    violations.push_back(std::move(vj));
+  }
+  v["violations"] = calculon::json::Value(std::move(violations));
+  return v;
+}
+
+AuditReport ReportFromJson(const calculon::json::Value& v) {
+  AuditReport report;
+  report.evaluations = static_cast<std::uint64_t>(v.at("evaluations").AsInt());
+  report.feasible = static_cast<std::uint64_t>(v.at("feasible").AsInt());
+  report.checks = static_cast<std::uint64_t>(v.at("checks").AsInt());
+  report.dropped = static_cast<std::uint64_t>(v.at("dropped").AsInt());
+  for (const calculon::json::Value& vj : v.at("violations").AsArray()) {
+    report.violations.push_back(AuditViolation{vj.at("invariant").AsString(),
+                                               vj.at("context").AsString(),
+                                               vj.at("detail").AsString()});
+  }
+  return report;
+}
+
 // Loads every *.json under dir (if it exists) through `parse`, skipping
 // file stems that are already present (preset and config names overlap).
 template <typename T, typename Parse>
@@ -106,6 +159,11 @@ int main(int argc, char** argv) try {
   AuditOptions options;
   unsigned threads = 0;
   bool verbose = false;
+  double deadline_s = 0.0;
+  long long failure_budget = 0;
+  std::string faults_spec;
+  std::string checkpoint_path;
+  bool resume = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -145,6 +203,27 @@ int main(int argc, char** argv) try {
       threads = static_cast<unsigned>(parse_int(next()));
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--deadline") {
+      try {
+        std::size_t used = 0;
+        const std::string value = next();
+        deadline_s = std::stod(value, &used);
+        if (used != value.size() || deadline_s <= 0.0) {
+          throw std::invalid_argument(value);
+        }
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "calculon-audit: --deadline expects seconds > 0\n");
+        return 2;
+      }
+    } else if (arg == "--failure-budget") {
+      failure_budget = parse_int(next());
+    } else if (arg == "--faults") {
+      faults_spec = next();
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next();
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -196,6 +275,29 @@ int main(int argc, char** argv) try {
   filter(&apps, want_apps);
   filter(&systems, want_systems);
 
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "calculon-audit: --resume requires --checkpoint\n");
+    return 2;
+  }
+
+  // Resilience context: SIGINT/SIGTERM request a graceful stop (finish the
+  // in-flight pair, journal, report partial results); deadline and failure
+  // budget stop the same way.
+  calculon::RunContext ctx;
+  ctx.WatchSignals(true);
+  calculon::RunContext::InstallSigintHandler();
+  if (deadline_s > 0.0) ctx.SetDeadline(deadline_s);
+  if (failure_budget > 0) {
+    ctx.set_failure_budget(static_cast<std::uint64_t>(failure_budget));
+  }
+  auto& faults = calculon::testing::FaultInjector::Global();
+  if (!faults_spec.empty()) {
+    faults.Configure(calculon::testing::FaultPlan::FromSpec(faults_spec));
+  } else {
+    const auto env_plan = calculon::testing::FaultPlan::FromEnv();
+    if (env_plan.enabled()) faults.Configure(env_plan);
+  }
+
   // The math helpers first: everything else samples the grid through them.
   AuditReport total = calculon::analysis::AuditMath();
   const std::uint64_t math_checks = total.checks;
@@ -212,13 +314,80 @@ int main(int argc, char** argv) try {
       pairs.push_back(Pair{&app, &sys, {}});
     }
   }
+
+  // Fingerprint of the audit configuration; guards checkpoints against
+  // replay into a different sweep.
+  std::uint64_t fp = 0xcbf29ce484222325ULL;
+  for (const Pair& pair : pairs) {
+    fp = Fnv1a(fp, pair.app->label + "/" + pair.sys->label);
+  }
+  std::string procs_desc;
+  for (std::int64_t n : options.proc_counts) {
+    procs_desc += std::to_string(n) + ",";
+  }
+  fp = Fnv1a(fp, calculon::StrFormat("procs=%s max_splits=%d",
+                                     procs_desc.c_str(), options.max_splits));
+  const std::string fingerprint =
+      calculon::StrFormat("%016llx", static_cast<unsigned long long>(fp));
+
+  // done[i] != 0 means pairs[i].report is final (journaled or restored).
+  std::vector<char> done(pairs.size(), 0);
+  if (resume && std::filesystem::exists(checkpoint_path)) {
+    const calculon::json::Value cp = calculon::json::ParseFile(checkpoint_path);
+    if (cp.GetString("format", "") != kCheckpointFormat ||
+        cp.at("fingerprint").AsString() != fingerprint) {
+      std::fprintf(stderr,
+                   "calculon-audit: %s is not a checkpoint of this sweep\n",
+                   checkpoint_path.c_str());
+      return 2;
+    }
+    const calculon::json::Value& cp_pairs = cp.at("pairs");
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const std::string key = pairs[i].app->label + "/" + pairs[i].sys->label;
+      if (cp_pairs.contains(key)) {
+        pairs[i].report = ReportFromJson(cp_pairs.at(key));
+        done[i] = 1;
+      }
+    }
+  }
+
+  std::mutex checkpoint_mutex;
+  auto write_checkpoint = [&]() {
+    // Caller holds checkpoint_mutex. Tmp-file + rename keeps the previous
+    // journal intact if this write is interrupted.
+    calculon::json::Value cp;
+    cp["format"] = kCheckpointFormat;
+    cp["fingerprint"] = fingerprint;
+    calculon::json::Object journal;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (done[i] != 0) {
+        journal[pairs[i].app->label + "/" + pairs[i].sys->label] =
+            ReportToJson(pairs[i].report);
+      }
+    }
+    cp["pairs"] = calculon::json::Value(std::move(journal));
+    const std::string tmp = checkpoint_path + ".tmp";
+    calculon::json::WriteFile(tmp, cp);
+    std::filesystem::rename(tmp, checkpoint_path);
+  };
+
   calculon::ThreadPool pool(threads);
-  pool.ParallelFor(pairs.size(), [&](std::uint64_t i) {
+  pool.ParallelFor(pairs.size(), &ctx, [&](std::uint64_t i) {
+    if (done[i] != 0) return;
     Pair& pair = pairs[i];
     AuditOptions pair_options = options;
     pair_options.context_label = pair.sys->label;
+    pair_options.ctx = &ctx;
+    pair_options.fault_key_base = i << 32;
     pair.report = calculon::analysis::AuditPair(pair.app->value,
                                                 pair.sys->value, pair_options);
+    // A pair that observed a stop mid-sweep is partial: keep its report for
+    // this process's summary but leave it out of the journal so a resumed
+    // run re-audits it in full.
+    if (ctx.cancelled()) return;
+    std::lock_guard<std::mutex> lock(checkpoint_mutex);
+    done[i] = 1;
+    if (!checkpoint_path.empty()) write_checkpoint();
   });
 
   calculon::Table table(
@@ -260,7 +429,27 @@ int main(int argc, char** argv) try {
       static_cast<unsigned long long>(math_checks),
       static_cast<unsigned long long>(total.violations.size() +
                                       total.dropped));
-  return total.ok() ? 0 : 1;
+
+  const calculon::RunStatus status = ctx.Snapshot();
+  const bool all_pairs_done =
+      std::all_of(done.begin(), done.end(), [](char d) { return d != 0; });
+  if (status.degraded() || !all_pairs_done) {
+    std::printf("run status: %s\n", status.Summary().c_str());
+    for (const calculon::FailureRecord& record : status.failure_samples) {
+      std::printf("FAILURE item=%llu worker=%u %s: %s\n",
+                  static_cast<unsigned long long>(record.item), record.worker,
+                  record.fingerprint.c_str(), record.reason.c_str());
+    }
+  }
+  if (faults.enabled()) {
+    std::printf("injected faults: %llu throws, %llu errors, %llu delays\n",
+                static_cast<unsigned long long>(faults.injected_throws()),
+                static_cast<unsigned long long>(faults.injected_errors()),
+                static_cast<unsigned long long>(faults.injected_delays()));
+  }
+  if (!total.ok()) return 1;
+  if (status.degraded() || !all_pairs_done) return 3;
+  return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "calculon-audit: %s\n", e.what());
   return 2;

@@ -1,10 +1,13 @@
 #include "runner/study.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <sstream>
 
 #include "hw/presets.h"
 #include "models/presets.h"
+#include "testing/fault_injection.h"
 #include "util/strings.h"
 #include "util/units.h"
 
@@ -65,6 +68,93 @@ void ApplyField(Execution& e, const std::string& name,
   throw ConfigError("study: unknown sweep field '" + name + "'");
 }
 
+// FNV-1a over a canonical description of the study; hex-encoded. Any edit
+// to the spec (model, system, base execution, axes) changes the value.
+std::uint64_t Fnv1a(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr const char* kCheckpointFormat = "calculon-study-checkpoint-v1";
+
+// Atomic-enough checkpoint write: a torn write leaves the previous
+// checkpoint intact because the rename is the commit point.
+void WriteCheckpointFile(const std::string& path, const json::Value& value) {
+  const std::string tmp = path + ".tmp";
+  json::WriteFile(tmp, value);
+  std::filesystem::rename(tmp, path);
+}
+
+json::Value CheckpointToJson(const std::string& fingerprint,
+                             const StudyRun& run) {
+  json::Object obj;
+  obj["format"] = kCheckpointFormat;
+  obj["fingerprint"] = fingerprint;
+  obj["completed"] = static_cast<std::int64_t>(run.csv_rows.size());
+  obj["total_rows"] = static_cast<std::int64_t>(run.total_rows);
+  json::Array rows;
+  rows.reserve(run.csv_rows.size());
+  for (const std::string& row : run.csv_rows) rows.emplace_back(row);
+  obj["csv_rows"] = json::Value(std::move(rows));
+  json::Object best;
+  best["found"] = run.best.found;
+  if (run.best.found) {
+    best["row"] = static_cast<std::int64_t>(run.best.row);
+    best["sample_rate"] = run.best.sample_rate;  // dumped as %.17g: lossless
+    best["execution"] = run.best.exec.ToJson();
+  }
+  obj["best"] = json::Value(std::move(best));
+  obj["status"] = run.status.ToJson();
+  return json::Value(std::move(obj));
+}
+
+// Restores csv_rows and best from a checkpoint; throws ConfigError on a
+// format or fingerprint mismatch.
+void LoadCheckpoint(const std::string& path, const std::string& fingerprint,
+                    StudyRun* run) {
+  const json::Value cp = json::ParseFile(path);
+  if (cp.GetString("format", "") != kCheckpointFormat) {
+    throw ConfigError("study: " + path + " is not a study checkpoint");
+  }
+  if (cp.at("fingerprint").AsString() != fingerprint) {
+    throw ConfigError("study: checkpoint " + path +
+                      " was written by a different study spec");
+  }
+  const auto completed = static_cast<std::uint64_t>(cp.at("completed").AsInt());
+  const json::Array& rows = cp.at("csv_rows").AsArray();
+  if (rows.size() != completed) {
+    throw ConfigError("study: checkpoint " + path + " is corrupt: " +
+                      std::to_string(rows.size()) + " rows but watermark " +
+                      std::to_string(completed));
+  }
+  run->csv_rows.clear();
+  run->csv_rows.reserve(rows.size());
+  for (const json::Value& row : rows) run->csv_rows.push_back(row.AsString());
+  const json::Value& best = cp.at("best");
+  run->best = StudyBest{};
+  if (best.GetBool("found", false)) {
+    run->best.found = true;
+    run->best.row = static_cast<std::uint64_t>(best.at("row").AsInt());
+    run->best.sample_rate = best.at("sample_rate").AsDouble();
+    run->best.exec = Execution::FromJson(best.at("execution"));
+  }
+}
+
+// Compact configuration coordinates for failure records.
+std::string RowFingerprint(const Execution& e) {
+  return StrFormat("t=%lld p=%lld d=%lld mb=%lld batch=%lld il=%lld rc=%s",
+                   static_cast<long long>(e.tensor_par),
+                   static_cast<long long>(e.pipeline_par),
+                   static_cast<long long>(e.data_par),
+                   static_cast<long long>(e.microbatch),
+                   static_cast<long long>(e.batch_size),
+                   static_cast<long long>(e.pp_interleaving),
+                   ToString(e.recompute));
+}
+
 }  // namespace
 
 Study Study::FromJson(const json::Value& spec) {
@@ -119,8 +209,8 @@ Study Study::FromJson(const json::Value& spec) {
   return study;
 }
 
-std::vector<StudyRow> Study::Run() const {
-  std::vector<StudyRow> rows;
+std::vector<Execution> Study::Enumerate() const {
+  std::vector<Execution> execs;
   std::function<void(std::size_t, Execution)> recurse =
       [&](std::size_t axis, Execution e) {
         if (axis == axes.size()) {
@@ -137,7 +227,7 @@ std::vector<StudyRow> Study::Run() const {
               n % (e.tensor_par * e.data_par) == 0) {
             e.pipeline_par = n / (e.tensor_par * e.data_par);
           }
-          rows.emplace_back(e, CalculatePerformance(application, e, system));
+          execs.push_back(e);
           return;
         }
         for (const json::Value& value : axes[axis].second) {
@@ -147,37 +237,140 @@ std::vector<StudyRow> Study::Run() const {
         }
       };
   recurse(0, base);
+  return execs;
+}
+
+std::vector<StudyRow> Study::Run() const {
+  std::vector<StudyRow> rows;
+  for (const Execution& e : Enumerate()) {
+    rows.emplace_back(e, CalculatePerformance(application, e, system));
+  }
   return rows;
 }
 
-std::string StudyCsv(const Study& study, const std::vector<StudyRow>& rows) {
-  std::ostringstream os;
-  os << "tensor_par,pipeline_par,data_par,microbatch,batch_size,"
-        "pp_interleaving,recompute,feasible,reason,batch_time_s,"
-        "sample_rate,mfu,hbm_bytes,tier2_bytes\n";
-  for (const StudyRow& row : rows) {
-    const Execution& e = row.exec;
-    os << e.tensor_par << ',' << e.pipeline_par << ',' << e.data_par << ','
-       << e.microbatch << ',' << e.batch_size << ',' << e.pp_interleaving
-       << ',' << ToString(e.recompute) << ',';
-    if (row.result.ok()) {
-      const Stats& s = row.result.value();
-      os << "1,," << StrFormat("%.6g", s.batch_time) << ','
-         << StrFormat("%.6g", s.sample_rate) << ','
-         << StrFormat("%.4f", s.mfu) << ','
-         << StrFormat("%.0f", s.tier1.Total()) << ','
-         << StrFormat("%.0f", s.tier2.Total());
-    } else {
-      std::string reason = row.result.detail();
-      for (char& c : reason) {
-        if (c == ',' || c == '\n') c = ';';
-      }
-      os << "0," << reason << ",,,,,";
-    }
-    os << '\n';
+std::string Study::Fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  h = Fnv1a(h, application.ToJson().Dump());
+  h = Fnv1a(h, system.ToJson().Dump());
+  h = Fnv1a(h, base.ToJson().Dump());
+  for (const auto& [name, values] : axes) {
+    h = Fnv1a(h, name);
+    for (const json::Value& v : values) h = Fnv1a(h, v.Dump());
   }
-  (void)study;
+  h = Fnv1a(h, StrFormat("autos=%d%d%d", auto_tensor_par ? 1 : 0,
+                         auto_pipeline_par ? 1 : 0, auto_data_par ? 1 : 0));
+  return StrFormat("%016llx", static_cast<unsigned long long>(h));
+}
+
+StudyRun Study::RunResilient(const StudyRunOptions& options) const {
+  const std::vector<Execution> execs = Enumerate();
+  StudyRun run;
+  run.total_rows = execs.size();
+  const std::string fingerprint = Fingerprint();
+
+  if (options.resume) {
+    if (options.checkpoint_path.empty()) {
+      throw ConfigError("study: resume requires a checkpoint path");
+    }
+    if (std::filesystem::exists(options.checkpoint_path)) {
+      LoadCheckpoint(options.checkpoint_path, fingerprint, &run);
+      if (run.csv_rows.size() > execs.size()) {
+        throw ConfigError("study: checkpoint has more rows than the sweep");
+      }
+    }
+  }
+  run.resumed_rows = run.csv_rows.size();
+
+  RunContext* const ctx = options.ctx;
+  auto& faults = testing::FaultInjector::Global();
+  std::uint64_t since_checkpoint = 0;
+  const std::uint64_t every = std::max<std::uint64_t>(1,
+                                                      options.checkpoint_every);
+  for (std::uint64_t i = run.resumed_rows; i < execs.size(); ++i) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;
+    const Execution& e = execs[i];
+    Result<Stats> result = [&]() -> Result<Stats> {
+      try {
+        if (faults.enabled() &&
+            faults.MaybeInject(options.fault_key_base + i)) {
+          return {Infeasible::kBadConfig, "injected fault"};
+        }
+        return CalculatePerformance(application, e, system);
+      } catch (const std::exception& ex) {
+        return {Infeasible::kBadConfig, ex.what()};
+      }
+    }();
+    // kBadConfig out of a well-formed row is a model bug (or an injected
+    // fault), not a property of the configuration: count it against the
+    // failure budget. Ordinary infeasibility reasons are expected rows.
+    if (ctx != nullptr && !result.ok() &&
+        result.reason() == Infeasible::kBadConfig) {
+      ctx->RecordFailure(i, RowFingerprint(e), result.detail());
+    }
+    if (result.ok() && result.value().sample_rate > run.best.sample_rate) {
+      run.best.found = true;
+      run.best.row = i;
+      run.best.exec = e;
+      run.best.sample_rate = result.value().sample_rate;
+    }
+    run.csv_rows.push_back(StudyCsvRow(e, result));
+    if (ctx != nullptr) ctx->RecordCompleted();
+    if (!options.checkpoint_path.empty() && ++since_checkpoint >= every) {
+      since_checkpoint = 0;
+      WriteCheckpointFile(options.checkpoint_path,
+                          CheckpointToJson(fingerprint, run));
+    }
+  }
+
+  if (ctx != nullptr) run.status = ctx->Snapshot();
+  run.status.complete = run.csv_rows.size() == execs.size();
+  if (!options.checkpoint_path.empty()) {
+    WriteCheckpointFile(options.checkpoint_path,
+                        CheckpointToJson(fingerprint, run));
+  }
+  return run;
+}
+
+std::string StudyCsvHeader() {
+  return "tensor_par,pipeline_par,data_par,microbatch,batch_size,"
+         "pp_interleaving,recompute,feasible,reason,batch_time_s,"
+         "sample_rate,mfu,hbm_bytes,tier2_bytes\n";
+}
+
+std::string StudyCsvRow(const Execution& e, const Result<Stats>& result) {
+  std::ostringstream os;
+  os << e.tensor_par << ',' << e.pipeline_par << ',' << e.data_par << ','
+     << e.microbatch << ',' << e.batch_size << ',' << e.pp_interleaving
+     << ',' << ToString(e.recompute) << ',';
+  if (result.ok()) {
+    const Stats& s = result.value();
+    os << "1,," << StrFormat("%.6g", s.batch_time) << ','
+       << StrFormat("%.6g", s.sample_rate) << ','
+       << StrFormat("%.4f", s.mfu) << ','
+       << StrFormat("%.0f", s.tier1.Total()) << ','
+       << StrFormat("%.0f", s.tier2.Total());
+  } else {
+    std::string reason = result.detail();
+    for (char& c : reason) {
+      if (c == ',' || c == '\n') c = ';';
+    }
+    os << "0," << reason << ",,,,,";
+  }
+  os << '\n';
   return os.str();
+}
+
+std::string StudyCsv(const Study& study, const std::vector<StudyRow>& rows) {
+  std::string csv = StudyCsvHeader();
+  for (const StudyRow& row : rows) csv += StudyCsvRow(row.exec, row.result);
+  (void)study;
+  return csv;
+}
+
+std::string StudyRun::Csv() const {
+  std::string csv = StudyCsvHeader();
+  for (const std::string& row : csv_rows) csv += row;
+  return csv;
 }
 
 }  // namespace calculon

@@ -24,11 +24,13 @@
 // derives it from the processor count.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/perf_model.h"
 #include "json/json.h"
+#include "util/run_context.h"
 
 namespace calculon {
 
@@ -38,6 +40,48 @@ struct StudyRow {
 
   StudyRow(Execution e, Result<Stats> r)
       : exec(std::move(e)), result(std::move(r)) {}
+};
+
+// Options for Study::RunResilient.
+struct StudyRunOptions {
+  // Optional resilience context: cancellation / deadline / failure budget
+  // observed between rows, failures recorded as FailureRecords.
+  RunContext* ctx = nullptr;
+  // When non-empty, a JSON journal of completed rows and the best-so-far
+  // configuration is written here every `checkpoint_every` rows and at the
+  // end (or at early stop), atomically (tmp file + rename).
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 64;
+  // Load `checkpoint_path` first and continue from its watermark. The
+  // checkpoint's study fingerprint must match; a stale checkpoint for a
+  // different spec is a ConfigError, not silent corruption.
+  bool resume = false;
+  // Offset added to the per-row fault-injection key so study rows occupy a
+  // distinct key range from other sweeps in the same process.
+  std::uint64_t fault_key_base = 0;
+};
+
+// Best feasible configuration seen so far (ties keep the earliest row, so
+// the winner is independent of where a run was interrupted and resumed).
+struct StudyBest {
+  bool found = false;
+  std::uint64_t row = 0;  // enumeration index
+  Execution exec;
+  double sample_rate = 0.0;
+};
+
+// Outcome of a resilient study run: completed rows as pre-formatted CSV
+// data lines (stable across checkpoint/resume), the running best, and the
+// run status (complete vs. stopped early, failure summary).
+struct StudyRun {
+  std::vector<std::string> csv_rows;  // one CSV data line per completed row
+  StudyBest best;
+  RunStatus status;
+  std::uint64_t total_rows = 0;    // full cross-product size
+  std::uint64_t resumed_rows = 0;  // rows restored from the checkpoint
+
+  // Header plus every completed row.
+  [[nodiscard]] std::string Csv() const;
 };
 
 struct Study {
@@ -55,11 +99,34 @@ struct Study {
   // Evaluates the full cross product (infeasible rows included, with their
   // reasons).
   [[nodiscard]] std::vector<StudyRow> Run() const;
+
+  // The cross product in deterministic enumeration order (the order Run()
+  // evaluates); the unit of checkpoint/resume accounting.
+  [[nodiscard]] std::vector<Execution> Enumerate() const;
+
+  // Stable hash of the study definition (application, system, base
+  // execution, axes). Guards checkpoints against being replayed into a
+  // different study.
+  [[nodiscard]] std::string Fingerprint() const;
+
+  // Run() with fault isolation and checkpoint/resume: per-row exceptions
+  // and model-bug Results (Infeasible::kBadConfig) become FailureRecords
+  // instead of aborting the sweep; cancellation, deadlines and failure
+  // budgets stop early with the completed prefix intact. A run resumed
+  // from a checkpoint produces byte-identical CSV and best-configuration
+  // output to an uninterrupted run.
+  [[nodiscard]] StudyRun RunResilient(const StudyRunOptions& options = {}) const;
 };
 
 // CSV with one row per configuration: the swept fields, feasibility, and
 // the headline statistics.
 [[nodiscard]] std::string StudyCsv(const Study& study,
                                    const std::vector<StudyRow>& rows);
+
+// The header line and one data line (both newline-terminated) of the study
+// CSV; StudyCsv and StudyRun::Csv are compositions of these.
+[[nodiscard]] std::string StudyCsvHeader();
+[[nodiscard]] std::string StudyCsvRow(const Execution& exec,
+                                      const Result<Stats>& result);
 
 }  // namespace calculon

@@ -4,7 +4,9 @@
 #include <mutex>
 
 #include "search/pareto.h"
+#include "testing/fault_injection.h"
 #include "util/mathutil.h"
+#include "util/strings.h"
 
 namespace calculon {
 
@@ -62,6 +64,23 @@ bool Better(const Stats& a, const Stats& b) {
   return a.tier1.Total() < b.tier1.Total();  // deterministic tie-break
 }
 
+// Compact configuration coordinates for FailureRecords: enough to replay
+// the exact evaluation that faulted.
+std::string ExecFingerprint(const Execution& e) {
+  return StrFormat(
+      "t=%lld p=%lld d=%lld mb=%lld batch=%lld il=%lld rc=%s%s%s%s%s%s%s%s",
+      static_cast<long long>(e.tensor_par),
+      static_cast<long long>(e.pipeline_par),
+      static_cast<long long>(e.data_par),
+      static_cast<long long>(e.microbatch),
+      static_cast<long long>(e.batch_size),
+      static_cast<long long>(e.pp_interleaving), ToString(e.recompute),
+      e.tp_rs_ag ? " tp_rs_ag" : "", e.seq_par ? " seq_par" : "",
+      e.fused_activation ? " fused" : "", e.dp_overlap ? " dp_ovl" : "",
+      e.optimizer_sharding ? " shard" : "", e.pp_rs_ag ? " pp_rs_ag" : "",
+      e.any_offload() ? " offload" : "");
+}
+
 void InsertTopK(std::vector<SearchEntry>& best, int top_k, Execution exec,
                 Stats stats) {
   if (static_cast<int>(best.size()) == top_k &&
@@ -75,6 +94,37 @@ void InsertTopK(std::vector<SearchEntry>& best, int top_k, Execution exec,
                               });
   best.insert(pos, std::move(entry));
   if (static_cast<int>(best.size()) > top_k) best.pop_back();
+}
+
+// Evaluates one candidate with fault isolation: injected faults, exceptions
+// escaping the model, and kBadConfig hard-error Results become
+// FailureRecords on `ctx` instead of aborting the sweep. Only called when a
+// RunContext is present.
+Result<Stats> GuardedEvaluate(const Application& app, const Execution& e,
+                              const System& sys, RunContext* ctx,
+                              std::uint64_t key) {
+  auto& faults = testing::FaultInjector::Global();
+  try {
+    if (faults.enabled() && faults.MaybeInject(key)) {
+      Result<Stats> injected(Infeasible::kBadConfig, "injected fault");
+      ctx->RecordFailure(key, ExecFingerprint(e), injected.detail(),
+                         ThreadPool::CurrentWorkerId());
+      return injected;
+    }
+    Result<Stats> r = CalculatePerformance(app, e, sys);
+    if (!r.ok() && r.reason() == Infeasible::kBadConfig) {
+      // A structurally valid configuration produced a hard error (the
+      // model's non-finite screen): a model bug, not a property of the
+      // swept configuration — record it, don't hide it among infeasibles.
+      ctx->RecordFailure(key, ExecFingerprint(e), r.detail(),
+                         ThreadPool::CurrentWorkerId());
+    }
+    return r;
+  } catch (const std::exception& ex) {
+    ctx->RecordFailure(key, ExecFingerprint(e), ex.what(),
+                       ThreadPool::CurrentWorkerId());
+    return Result<Stats>(Infeasible::kBadConfig, ex.what());
+  }
 }
 
 }  // namespace
@@ -105,8 +155,9 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
   SearchResult result;
   ParetoFront pareto;
   std::mutex merge_mutex;
+  RunContext* const ctx = config.ctx;
 
-  pool.ParallelFor(triples.size(), [&](std::uint64_t idx) {
+  pool.ParallelFor(triples.size(), ctx, [&](std::uint64_t idx) {
     const Triple tr = triples[idx];
     LocalState local;
 
@@ -150,12 +201,17 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
       if (m <= space.max_microbatch) microbatches.push_back(m);
     }
 
+    // The nest runs inside a lambda so a cooperative stop can abandon the
+    // triple's remaining candidates while keeping (and merging) everything
+    // already evaluated — partial results survive a cancelled sweep.
+    auto sweep_triple = [&] {
     for (std::int64_t m : microbatches) {
       e.microbatch = m;
       for (std::int64_t il : interleavings) {
         e.pp_interleaving = il;
         for (Recompute rc : space.recompute) {
           e.recompute = rc;
+          if (ctx != nullptr && ctx->ShouldStop()) return;
           for (const auto& tpc : tp_comm) {
             e.tp_rs_ag = tpc.tp_rs_ag;
             e.seq_par = tpc.seq_par;
@@ -178,8 +234,15 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
                           e.optimizer_offload = off.optimizer;
 
                           ++local.evaluated;
+                          // Evaluation key: deterministic per configuration
+                          // regardless of thread interleaving (triple index
+                          // in the high bits, per-triple counter below).
                           Result<Stats> r =
-                              CalculatePerformance(app, e, sys);
+                              ctx != nullptr
+                                  ? GuardedEvaluate(app, e, sys, ctx,
+                                                    (idx << 32) +
+                                                        local.evaluated)
+                                  : CalculatePerformance(app, e, sys);
                           if (!r.ok()) continue;
                           ++local.feasible;
                           if (config.keep_all_rates) {
@@ -201,6 +264,8 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
         }
       }
     }
+    };
+    sweep_triple();
 
     std::lock_guard<std::mutex> lock(merge_mutex);
     result.evaluated += local.evaluated;
@@ -215,6 +280,7 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
   });
 
   if (config.keep_pareto) result.pareto = pareto.Sorted();
+  if (ctx != nullptr) result.status = ctx->Snapshot();
   return result;
 }
 

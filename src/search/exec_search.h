@@ -14,6 +14,7 @@
 
 #include "core/perf_model.h"
 #include "search/threadpool.h"
+#include "util/run_context.h"
 
 namespace calculon {
 
@@ -90,6 +91,10 @@ struct SearchResult {
   // sorted by ascending batch time (collected when `keep_pareto` is set) —
   // the Section 4.2 "minimize time or memory, as desired" trade-off.
   std::vector<SearchEntry> pareto;
+  // Failure summary of the sweep: whether the whole space was enumerated,
+  // why it stopped early, and the isolated per-evaluation hard failures.
+  // Default-complete when the search ran without a RunContext.
+  RunStatus status;
 };
 
 struct SearchConfig {
@@ -97,6 +102,12 @@ struct SearchConfig {
   int top_k = 10;
   bool keep_all_rates = false;
   bool keep_pareto = false;
+  // Optional resilience context. When set, the sweep observes cancellation/
+  // deadline/failure-budget between evaluations, and hard failures
+  // (exceptions out of the model, kBadConfig hard-error Results, injected
+  // faults) are isolated into `SearchResult::status` instead of aborting
+  // the whole search. When null, exceptions propagate (fail-fast).
+  RunContext* ctx = nullptr;
 };
 
 // Searches all execution strategies for `app` on `sys` (using

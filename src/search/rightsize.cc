@@ -15,6 +15,7 @@ RightSizeReport RightSize(const Application& app, const System& base_sys,
   ScalingOptions scaling;
   scaling.sizes = options.sizes;
   scaling.batch_size = options.batch_size;
+  scaling.ctx = options.ctx;
   const auto points = ScalingSweep(app, base_sys, space, scaling, pool);
 
   RightSizeReport report;

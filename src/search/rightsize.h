@@ -21,6 +21,8 @@ struct RightSizeOptions {
   std::int64_t batch_size = 0;       // 0: num_procs samples per size
   double target_efficiency = 0.9;    // of the best per-GPU rate observed
   double min_sample_rate = 0.0;      // absolute throughput floor
+  // Optional resilience context, forwarded to the underlying scaling sweep.
+  RunContext* ctx = nullptr;
 };
 
 struct SizeAssessment {

@@ -17,11 +17,13 @@ std::vector<ScalingPoint> ScalingSweep(const Application& app,
   std::vector<ScalingPoint> points;
   points.reserve(options.sizes.size());
   for (std::int64_t n : options.sizes) {
+    if (options.ctx != nullptr && options.ctx->ShouldStop()) break;
     const System sys = base_sys.WithNumProcs(n);
     SearchConfig config;
     config.top_k = 1;
     config.batch_size =
         options.batch_size > 0 ? options.batch_size : n;
+    config.ctx = options.ctx;
     const SearchResult result =
         FindOptimalExecution(app, sys, space, config, pool);
     ScalingPoint point;

@@ -24,6 +24,10 @@ struct ScalingOptions {
   std::vector<std::int64_t> sizes;
   // Global batch per size; 0 means `num_procs` samples (weak scaling).
   std::int64_t batch_size = 0;
+  // Optional resilience context: observed between sizes and threaded into
+  // every inner execution search. A stopped sweep returns the points
+  // evaluated so far.
+  RunContext* ctx = nullptr;
 };
 
 [[nodiscard]] std::vector<ScalingPoint> ScalingSweep(

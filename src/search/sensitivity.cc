@@ -75,7 +75,7 @@ System ScaleResource(const System& sys, Resource resource, double factor) {
 
 Result<std::vector<SensitivityEntry>> AnalyzeSensitivity(
     const Application& app, const Execution& exec, const System& sys,
-    double step) {
+    double step, RunContext* ctx) {
   using R = Result<std::vector<SensitivityEntry>>;
   if (step <= 0.0) return R(Infeasible::kBadConfig, "step must be > 0");
   const auto baseline = CalculatePerformance(app, exec, sys);
@@ -89,6 +89,7 @@ Result<std::vector<SensitivityEntry>> AnalyzeSensitivity(
       Resource::kMem2Bandwidth};
   std::vector<SensitivityEntry> entries;
   for (Resource resource : all) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;
     SensitivityEntry entry;
     entry.resource = resource;
     if (resource == Resource::kMem2Bandwidth && !sys.proc().mem2.present()) {
@@ -101,8 +102,11 @@ Result<std::vector<SensitivityEntry>> AnalyzeSensitivity(
         app, exec, ScaleResource(sys, resource, up_factor));
     const auto down = CalculatePerformance(
         app, exec, ScaleResource(sys, resource, 1.0 / up_factor));
+    // Explicit error handling: an infeasible perturbation reports rate 0
+    // instead of risking a value()-on-error throw inside the sweep.
     entry.rate_up = up.ok() ? up.value().sample_rate : 0.0;
-    entry.rate_down = down.ok() ? down.value().sample_rate : 0.0;
+    entry.rate_down =
+        down.value_or(Stats{}).sample_rate;  // Stats{} rates are 0.0
     const double dlog = std::log(up_factor);
     if (up.ok() && down.ok()) {
       entry.elasticity =

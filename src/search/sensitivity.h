@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/perf_model.h"
+#include "util/run_context.h"
 
 namespace calculon {
 
@@ -44,9 +45,11 @@ struct SensitivityEntry {
 // Evaluates all resources around the baseline; `step` is the relative
 // perturbation (default 25%). The (app, exec) pair must be feasible on
 // `sys`; scaling capacity down may make a direction infeasible, in which
-// case the one-sided estimate is used.
+// case the one-sided estimate is used. With a RunContext, cancellation is
+// observed between resources and a stopped run returns the entries
+// evaluated so far.
 [[nodiscard]] Result<std::vector<SensitivityEntry>> AnalyzeSensitivity(
     const Application& app, const Execution& exec, const System& sys,
-    double step = 0.25);
+    double step = 0.25, RunContext* ctx = nullptr);
 
 }  // namespace calculon

@@ -19,11 +19,13 @@ SystemSearchEntry EvaluateDesign(const Application& app,
   if (entry.max_gpus > 0) sizes.push_back(entry.max_gpus);
 
   for (std::int64_t n : sizes) {
+    if (options.ctx != nullptr && options.ctx->ShouldStop()) break;
     const System sys = design.Build(n);
     SearchConfig config;
     config.top_k = 1;
     config.batch_size =
         options.batch_size > 0 ? options.batch_size : n;
+    config.ctx = options.ctx;
     const SearchResult result =
         FindOptimalExecution(app, sys, space, config, pool);
     if (result.best.empty()) continue;
@@ -47,12 +49,23 @@ std::vector<SystemSearchEntry> OptimalSystemSearch(
     const Application& app, const std::vector<SystemDesign>& designs,
     const SearchSpace& space, const SystemSearchOptions& options,
     ThreadPool& pool) {
-  std::vector<SystemSearchEntry> entries;
-  entries.reserve(designs.size());
+  return RunSystemSearch(app, designs, space, options, pool).entries;
+}
+
+SystemSearchResult RunSystemSearch(const Application& app,
+                                   const std::vector<SystemDesign>& designs,
+                                   const SearchSpace& space,
+                                   const SystemSearchOptions& options,
+                                   ThreadPool& pool) {
+  SystemSearchResult result;
+  result.entries.reserve(designs.size());
   for (const SystemDesign& design : designs) {
-    entries.push_back(EvaluateDesign(app, design, space, options, pool));
+    if (options.ctx != nullptr && options.ctx->ShouldStop()) break;
+    result.entries.push_back(
+        EvaluateDesign(app, design, space, options, pool));
   }
-  return entries;
+  if (options.ctx != nullptr) result.status = options.ctx->Snapshot();
+  return result;
 }
 
 }  // namespace calculon

@@ -16,6 +16,9 @@ struct SystemSearchOptions {
   double budget = 125e6;        // dollars
   std::int64_t size_step = 8;   // granularity of the system-size sweep
   std::int64_t batch_size = 0;  // 0: num_procs samples per size
+  // Optional resilience context, observed between sizes/designs and threaded
+  // into every inner execution search (see SearchConfig::ctx).
+  RunContext* ctx = nullptr;
 };
 
 struct SystemSearchEntry {
@@ -37,6 +40,19 @@ struct SystemSearchEntry {
 
 // Full Table 3 row set for one application.
 [[nodiscard]] std::vector<SystemSearchEntry> OptimalSystemSearch(
+    const Application& app, const std::vector<SystemDesign>& designs,
+    const SearchSpace& space, const SystemSearchOptions& options,
+    ThreadPool& pool);
+
+// Resilient variant: the entries plus the sweep's failure summary. With a
+// RunContext in `options`, a cancelled/deadline-stopped run returns the
+// designs evaluated so far, explicitly marked incomplete.
+struct SystemSearchResult {
+  std::vector<SystemSearchEntry> entries;
+  RunStatus status;
+};
+
+[[nodiscard]] SystemSearchResult RunSystemSearch(
     const Application& app, const std::vector<SystemDesign>& designs,
     const SearchSpace& space, const SystemSearchOptions& options,
     ThreadPool& pool);

@@ -7,13 +7,19 @@
 namespace calculon {
 namespace {
 
+// Participant index of the ParallelFor the current thread is draining
+// (0 = caller, 1..N = pool workers); 0 outside any drain.
+thread_local unsigned tls_worker_id = 0;
+
 // Shared state of one ParallelFor call. Owned jointly by the caller and the
 // queued helper tasks (helpers can outlive the call's scope on the queue if
 // the caller finishes draining first, so the state is reference-counted).
 struct ParallelForJob {
-  explicit ParallelForJob(std::uint64_t count_) : count(count_) {}
+  ParallelForJob(std::uint64_t count_, RunContext* ctx_)
+      : count(count_), ctx(ctx_) {}
 
   const std::uint64_t count;
+  RunContext* const ctx;  // may be null: plain (fail-fast) mode
   std::atomic<std::uint64_t> next{0};  // next unclaimed index
 
   std::mutex mutex;                 // guards pending, error
@@ -21,23 +27,47 @@ struct ParallelForJob {
   std::uint64_t pending = 0;        // participants still draining
   std::exception_ptr error;         // first exception thrown by fn
 
-  // Claims indices until the range is exhausted. On exception the whole
-  // remaining range is claimed away so every participant stops quickly and
-  // the first-stored exception wins deterministically per participant.
-  void Drain(const std::function<void(std::uint64_t)>& fn) {
+  // Claims indices until the range is exhausted or the context asks for a
+  // stop. Without a context, an exception claims away the whole remaining
+  // range so every participant stops quickly and the first-stored exception
+  // wins deterministically per participant. With a context, exceptions are
+  // isolated into FailureRecords and draining continues (unless the failure
+  // budget trips the context's cancel token).
+  void Drain(const std::function<void(std::uint64_t)>& fn, unsigned worker) {
+    const unsigned prev_worker = tls_worker_id;
+    tls_worker_id = worker;
     while (true) {
+      if (ctx != nullptr && ctx->ShouldStop()) break;
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
       try {
         fn(i);
+        if (ctx != nullptr) ctx->RecordCompleted();
+      } catch (const std::exception& e) {
+        if (ctx != nullptr) {
+          ctx->RecordFailure(i, /*fingerprint=*/{}, e.what(), worker);
+        } else {
+          StoreError();
+        }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (!error) error = std::current_exception();
-        next.store(count, std::memory_order_relaxed);
+        if (ctx != nullptr) {
+          ctx->RecordFailure(i, /*fingerprint=*/{}, "unknown exception",
+                             worker);
+        } else {
+          StoreError();
+        }
       }
     }
+    tls_worker_id = prev_worker;
     std::lock_guard<std::mutex> lock(mutex);
     if (--pending == 0) done_cv.notify_all();
+  }
+
+ private:
+  void StoreError() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!error) error = std::current_exception();
+    next.store(count, std::memory_order_relaxed);
   }
 };
 
@@ -63,6 +93,8 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+unsigned ThreadPool::CurrentWorkerId() { return tls_worker_id; }
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -79,8 +111,13 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(std::uint64_t count,
                              const std::function<void(std::uint64_t)>& fn) {
+  ParallelFor(count, nullptr, fn);
+}
+
+void ThreadPool::ParallelFor(std::uint64_t count, RunContext* ctx,
+                             const std::function<void(std::uint64_t)>& fn) {
   if (count == 0) return;
-  auto job = std::make_shared<ParallelForJob>(count);
+  auto job = std::make_shared<ParallelForJob>(count, ctx);
 
   // Helper tasks capture `fn` and the job state by value so a task sitting
   // on the queue stays self-contained: even if it is picked up after the
@@ -94,13 +131,14 @@ void ThreadPool::ParallelFor(std::uint64_t count,
     {
       std::lock_guard<std::mutex> lock(mutex_);
       for (std::uint64_t i = 0; i < helpers; ++i) {
-        tasks_.push([job, fn_copy] { job->Drain(fn_copy); });
+        const unsigned worker = static_cast<unsigned>(i) + 1;
+        tasks_.push([job, fn_copy, worker] { job->Drain(fn_copy, worker); });
       }
     }
     cv_.notify_all();
   }
 
-  job->Drain(fn);  // the caller participates
+  job->Drain(fn, /*worker=*/0);  // the caller participates
 
   std::unique_lock<std::mutex> lock(job->mutex);
   job->done_cv.wait(lock, [&] { return job->pending == 0; });

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/run_context.h"
+
 namespace calculon {
 
 class ThreadPool {
@@ -36,6 +38,21 @@ class ThreadPool {
   // `fn` must be safe to call concurrently from multiple threads.
   void ParallelFor(std::uint64_t count,
                    const std::function<void(std::uint64_t)>& fn);
+
+  // Cancellation-aware variant (ctx == nullptr behaves exactly like the
+  // plain overload). Participants poll `ctx->ShouldStop()` between items:
+  // after a cancel / expired deadline / exhausted failure budget, in-flight
+  // items finish but no new items start. Exceptions escaping `fn` are
+  // recorded on `ctx` as FailureRecords (fault isolation) instead of
+  // propagating, so a faulted run leaves the pool fully reusable; each item
+  // that returns normally bumps `ctx`'s completed-item count.
+  void ParallelFor(std::uint64_t count, RunContext* ctx,
+                   const std::function<void(std::uint64_t)>& fn);
+
+  // Participant index of the calling thread inside the ParallelFor it is
+  // currently draining: 0 for the caller thread, 1..N for pool workers.
+  // Used to attribute FailureRecords to workers.
+  [[nodiscard]] static unsigned CurrentWorkerId();
 
  private:
   void WorkerLoop();

@@ -1,0 +1,121 @@
+#include "testing/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace calculon::testing {
+
+namespace {
+
+// SplitMix64: a well-mixed 64-bit finalizer. Used as a stateless hash so
+// the fault decision for a key is independent of evaluation order.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform [0, 1) from the top 53 bits of the hash.
+double UnitUniform(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double ParseRate(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double rate = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || rate < 0.0 || rate > 1.0) {
+    throw ConfigError("fault spec: " + key + " must be a rate in [0, 1], got " +
+                      value);
+  }
+  return rate;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::FromSpec(const std::string& spec) {
+  FaultPlan plan;
+  if (Trim(spec).empty()) return plan;
+  for (const std::string& part : Split(spec, ',')) {
+    const std::string item(Trim(part));
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("fault spec: expected key=value, got '" + item + "'");
+    }
+    const std::string key(Trim(item.substr(0, eq)));
+    const std::string value(Trim(item.substr(eq + 1)));
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(std::strtoull(value.c_str(),
+                                                           nullptr, 10));
+    } else if (key == "throw") {
+      plan.throw_rate = ParseRate(key, value);
+    } else if (key == "error") {
+      plan.error_rate = ParseRate(key, value);
+    } else if (key == "delay") {
+      plan.delay_rate = ParseRate(key, value);
+    } else if (key == "delay_us") {
+      plan.delay_us = std::atoi(value.c_str());
+    } else {
+      throw ConfigError("fault spec: unknown key '" + key + "'");
+    }
+  }
+  if (plan.throw_rate + plan.error_rate + plan.delay_rate > 1.0) {
+    throw ConfigError("fault spec: rates sum to more than 1");
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::FromEnv(const char* var) {
+  const char* value = std::getenv(var);
+  return value == nullptr ? FaultPlan{} : FromSpec(value);
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Configure(const FaultPlan& plan) {
+  plan_ = plan;
+  throws_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  delays_.store(0, std::memory_order_relaxed);
+  enabled_.store(plan.enabled(), std::memory_order_release);
+}
+
+FaultAction FaultInjector::Decide(std::uint64_t key) const {
+  if (!enabled()) return FaultAction::kNone;
+  const double u = UnitUniform(Mix(plan_.seed ^ Mix(key)));
+  if (u < plan_.throw_rate) return FaultAction::kThrow;
+  if (u < plan_.throw_rate + plan_.error_rate) return FaultAction::kError;
+  if (u < plan_.throw_rate + plan_.error_rate + plan_.delay_rate) {
+    return FaultAction::kDelay;
+  }
+  return FaultAction::kNone;
+}
+
+bool FaultInjector::MaybeInject(std::uint64_t key) {
+  switch (Decide(key)) {
+    case FaultAction::kNone:
+      return false;
+    case FaultAction::kThrow:
+      throws_.fetch_add(1, std::memory_order_relaxed);
+      throw InjectedFault(StrFormat(
+          "injected fault at key %llu", static_cast<unsigned long long>(key)));
+    case FaultAction::kError:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    case FaultAction::kDelay:
+      delays_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_us));
+      return false;
+  }
+  return false;
+}
+
+}  // namespace calculon::testing

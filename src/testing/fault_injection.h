@@ -1,0 +1,109 @@
+// Deterministic, seeded fault-injection harness.
+//
+// The resilience layer (util/run_context.h, the cancellable ParallelFor,
+// checkpoint/resume) is only trustworthy if its failure paths are
+// exercised on demand. This harness injects three fault kinds at
+// evaluation granularity inside the sweep drivers:
+//
+//   * throw — an InjectedFault exception (an uncaught model bug),
+//   * error — an injected hard-error Result (kBadConfig),
+//   * delay — a busy worker (exercises cancellation latency),
+//
+// The decision for a logical evaluation key is a pure hash of
+// (seed, key): it does not depend on thread count or interleaving, so a
+// seeded run injects the exact same faults every time — which is what
+// makes "the failure summary counts exactly the injected faults" a
+// testable property under all sanitizer presets.
+//
+// The harness compiles into the library unconditionally but is inert (one
+// relaxed atomic load per evaluation) until Configure() is called — the
+// CLIs expose it behind --faults / the CALCULON_FAULTS environment
+// variable, and tests drive it directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace calculon::testing {
+
+// Thrown by throw-faults; distinct from every model/config error type.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// What to inject, as rates over the evaluation-key space.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double throw_rate = 0.0;
+  double error_rate = 0.0;
+  double delay_rate = 0.0;
+  int delay_us = 100;  // sleep length of one delay fault
+
+  [[nodiscard]] bool enabled() const {
+    return throw_rate > 0.0 || error_rate > 0.0 || delay_rate > 0.0;
+  }
+
+  // Parses "seed=42,throw=0.05,error=0.01,delay=0.001,delay_us=50".
+  // Unknown keys raise ConfigError; an empty spec is a disabled plan.
+  [[nodiscard]] static FaultPlan FromSpec(const std::string& spec);
+  // Reads the spec from an environment variable (disabled plan when unset).
+  [[nodiscard]] static FaultPlan FromEnv(const char* var = "CALCULON_FAULTS");
+};
+
+enum class FaultAction { kNone, kThrow, kError, kDelay };
+
+class FaultInjector {
+ public:
+  // The process-wide injector used by the sweep drivers.
+  [[nodiscard]] static FaultInjector& Global();
+
+  FaultInjector() = default;
+
+  // Installs a plan and zeroes the counters. Not thread-safe against a
+  // running sweep — configure before the sweep starts.
+  void Configure(const FaultPlan& plan);
+  // Disables injection and zeroes the counters.
+  void Reset() { Configure(FaultPlan{}); }
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // The deterministic decision for evaluation `key`: a pure function of
+  // (plan.seed, key), independent of threads and call order.
+  [[nodiscard]] FaultAction Decide(std::uint64_t key) const;
+
+  // Applies the decision for `key`: throws InjectedFault on a throw-fault,
+  // sleeps on a delay-fault (returns false), and returns true on an
+  // error-fault (the caller substitutes an injected hard-error Result).
+  // Every throw/error injection increments the exact counters below.
+  bool MaybeInject(std::uint64_t key);
+
+  [[nodiscard]] std::uint64_t injected_throws() const {
+    return throws_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t injected_errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t injected_delays() const {
+    return delays_.load(std::memory_order_relaxed);
+  }
+  // Throws + errors: the number of FailureRecords a resilient sweep that
+  // evaluated every key must report.
+  [[nodiscard]] std::uint64_t injected_failures() const {
+    return injected_throws() + injected_errors();
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> throws_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> delays_{0};
+};
+
+}  // namespace calculon::testing

@@ -18,4 +18,23 @@ const char* ToString(Infeasible reason) {
   return "unknown";
 }
 
+Infeasible InfeasibleFromString(const std::string& s) {
+  static constexpr Infeasible kAll[] = {
+      Infeasible::kNone,
+      Infeasible::kBadPartition,
+      Infeasible::kIndivisibleHeads,
+      Infeasible::kIndivisibleBlocks,
+      Infeasible::kIndivisibleBatch,
+      Infeasible::kIncompatibleOptions,
+      Infeasible::kMemoryCapacity,
+      Infeasible::kOffloadCapacity,
+      Infeasible::kNetworkSize,
+      Infeasible::kBadConfig,
+  };
+  for (Infeasible reason : kAll) {
+    if (s == ToString(reason)) return reason;
+  }
+  throw ConfigError("unknown Infeasible string: '" + s + "'");
+}
+
 }  // namespace calculon

@@ -29,6 +29,11 @@ enum class Infeasible {
 
 [[nodiscard]] const char* ToString(Infeasible reason);
 
+// Inverse of ToString: parses the exact strings ToString produces.
+// Throws ConfigError on anything else, so serialized reasons (checkpoints,
+// failure records) round-trip losslessly.
+[[nodiscard]] Infeasible InfeasibleFromString(const std::string& s);
+
 // Minimal expected-like result: either a value or an Infeasible reason with
 // an optional human-readable detail string.
 template <typename T>
@@ -52,6 +57,16 @@ class Result {
   [[nodiscard]] T&& value() && {
     if (!ok()) throw std::logic_error("Result::value() on error: " + detail());
     return std::get<T>(std::move(data_));
+  }
+
+  // Value if ok, otherwise `fallback` — the safe accessor for sweep code
+  // that treats an infeasible point as a neutral default instead of risking
+  // a value()-on-error throw.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+  [[nodiscard]] T value_or(T fallback) && {
+    return ok() ? std::get<T>(std::move(data_)) : std::move(fallback);
   }
 
   [[nodiscard]] Infeasible reason() const {

@@ -1,0 +1,142 @@
+#include "util/run_context.h"
+
+#include <csignal>
+
+#include "util/strings.h"
+
+namespace calculon {
+
+namespace {
+
+// Written from the signal handler; lock-free stores only.
+std::atomic<bool> g_sigint_seen{false};
+
+extern "C" void SigintFlagHandler(int sig) {
+  g_sigint_seen.store(true, std::memory_order_relaxed);
+  // A second SIGINT falls through to the default disposition so a stuck
+  // run can still be killed from the terminal.
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+const char* ToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kFailureBudget: return "failure-budget";
+  }
+  return "?";
+}
+
+json::Value FailureRecord::ToJson() const {
+  json::Value v;
+  v["item"] = static_cast<std::int64_t>(item);
+  v["fingerprint"] = fingerprint;
+  v["reason"] = reason;
+  v["worker"] = static_cast<std::int64_t>(worker);
+  return v;
+}
+
+json::Value RunStatus::ToJson() const {
+  json::Value v;
+  v["complete"] = complete;
+  v["stop_reason"] = std::string(ToString(stop_reason));
+  v["items_completed"] = static_cast<std::int64_t>(items_completed);
+  v["failures"] = static_cast<std::int64_t>(failures);
+  json::Array samples;
+  samples.reserve(failure_samples.size());
+  for (const FailureRecord& record : failure_samples) {
+    samples.push_back(record.ToJson());
+  }
+  v["failure_samples"] = json::Value(std::move(samples));
+  return v;
+}
+
+std::string RunStatus::Summary() const {
+  if (!degraded()) {
+    return StrFormat("complete: %llu items, no failures",
+                     static_cast<unsigned long long>(items_completed));
+  }
+  std::string s = StrFormat("degraded: %llu failures",
+                            static_cast<unsigned long long>(failures));
+  if (!complete) {
+    s += StrFormat(", stopped early (%s) after %llu items",
+                   ToString(stop_reason),
+                   static_cast<unsigned long long>(items_completed));
+  }
+  return s;
+}
+
+void RunContext::SetDeadline(double seconds) {
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  has_deadline_.store(true, std::memory_order_release);
+}
+
+void RunContext::Cancel(StopReason reason) {
+  int expected = static_cast<int>(StopReason::kNone);
+  reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                  std::memory_order_acq_rel);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+bool RunContext::ShouldStop() {
+  if (cancelled_.load(std::memory_order_acquire)) return true;
+  if (watch_signals_ && SigintSeen()) {
+    Cancel(StopReason::kCancelled);
+    return true;
+  }
+  if (has_deadline_.load(std::memory_order_acquire) &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    Cancel(StopReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+void RunContext::RecordFailure(std::uint64_t item, std::string fingerprint,
+                               std::string reason, unsigned worker) {
+  const std::uint64_t count =
+      failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.size() < max_samples_) {
+      samples_.push_back(FailureRecord{item, std::move(fingerprint),
+                                       std::move(reason), worker});
+    }
+  }
+  if (failure_budget_ > 0 && count >= failure_budget_) {
+    Cancel(StopReason::kFailureBudget);
+  }
+}
+
+RunStatus RunContext::Snapshot() const {
+  RunStatus status;
+  status.stop_reason = stop_reason();
+  status.complete = status.stop_reason == StopReason::kNone && !cancelled();
+  status.items_completed = items_completed();
+  status.failures = failures();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    status.failure_samples = samples_;
+  }
+  return status;
+}
+
+void RunContext::InstallSigintHandler() {
+  std::signal(SIGINT, SigintFlagHandler);
+  std::signal(SIGTERM, SigintFlagHandler);
+}
+
+bool RunContext::SigintSeen() {
+  return g_sigint_seen.load(std::memory_order_relaxed);
+}
+
+void RunContext::ClearSigintFlag() {
+  g_sigint_seen.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace calculon

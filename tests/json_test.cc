@@ -132,6 +132,31 @@ TEST(JsonParse, DeepNestingErrorsInsteadOfOverflowing) {
   EXPECT_NO_THROW((void)Parse(ok));
 }
 
+TEST(JsonParse, DeepTerminatedNestingIsRejectedNotOverflowed) {
+  // Unlike the unterminated case above, this is a syntactically complete
+  // 100k-deep document: the parser must hit the depth limit while the
+  // input is still valid, not recurse to the closing brackets.
+  constexpr int kDepth = 100000;
+  std::string deep;
+  deep.reserve(2 * kDepth + 1);
+  deep.append(kDepth, '[');
+  deep += '1';
+  deep.append(kDepth, ']');
+  try {
+    (void)Parse(deep);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("nest"), std::string::npos)
+        << e.what();
+  }
+  // Mixed object/array nesting hits the same limit.
+  std::string mixed;
+  for (int i = 0; i < kDepth; ++i) mixed += "{\"k\":[";
+  mixed += "0";
+  for (int i = 0; i < kDepth; ++i) mixed += "]}";
+  EXPECT_THROW((void)Parse(mixed), ConfigError);
+}
+
 TEST(JsonValue, TypeMismatchesThrow) {
   const Value v = Parse("{\"a\": 1}");
   EXPECT_THROW((void)v.AsArray(), ConfigError);

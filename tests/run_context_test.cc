@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <thread>
+#include <vector>
+
+#include "util/run_context.h"
+
+namespace calculon {
+namespace {
+
+TEST(RunContext, StartsCleanAndComplete) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kNone);
+  EXPECT_EQ(ctx.items_completed(), 0u);
+  EXPECT_EQ(ctx.failures(), 0u);
+  const RunStatus status = ctx.Snapshot();
+  EXPECT_TRUE(status.complete);
+  EXPECT_FALSE(status.degraded());
+}
+
+TEST(RunContext, CancelIsStickyAndFirstReasonWins) {
+  RunContext ctx;
+  ctx.Cancel(StopReason::kDeadline);
+  ctx.Cancel(StopReason::kCancelled);  // too late: deadline already won
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.cancelled());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadline);
+}
+
+TEST(RunContext, ExpiredDeadlinePromotesToCancellation) {
+  RunContext ctx;
+  ctx.SetDeadline(0.0);
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadline);
+}
+
+TEST(RunContext, FutureDeadlineDoesNotStop) {
+  RunContext ctx;
+  ctx.SetDeadline(3600.0);
+  EXPECT_FALSE(ctx.ShouldStop());
+}
+
+TEST(RunContext, FailureBudgetTripsCancellation) {
+  RunContext ctx;
+  ctx.set_failure_budget(3);
+  ctx.RecordFailure(0, "a", "x");
+  ctx.RecordFailure(1, "b", "y");
+  EXPECT_FALSE(ctx.ShouldStop());
+  ctx.RecordFailure(2, "c", "z");
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kFailureBudget);
+  EXPECT_EQ(ctx.failures(), 3u);
+}
+
+TEST(RunContext, FailureCountIsExactWhileSamplesAreCapped) {
+  RunContext ctx;
+  ctx.set_max_failure_samples(2);
+  for (int i = 0; i < 5; ++i) {
+    ctx.RecordFailure(static_cast<std::uint64_t>(i), "cfg", "boom", 1);
+  }
+  EXPECT_EQ(ctx.failures(), 5u);
+  const RunStatus status = ctx.Snapshot();
+  EXPECT_EQ(status.failures, 5u);
+  ASSERT_EQ(status.failure_samples.size(), 2u);
+  EXPECT_EQ(status.failure_samples[0].item, 0u);
+  EXPECT_EQ(status.failure_samples[0].fingerprint, "cfg");
+  EXPECT_EQ(status.failure_samples[0].reason, "boom");
+  EXPECT_EQ(status.failure_samples[0].worker, 1u);
+  EXPECT_TRUE(status.degraded());
+  EXPECT_TRUE(status.complete);  // degraded but not stopped early
+}
+
+TEST(RunContext, SnapshotSerializesToJson) {
+  RunContext ctx;
+  ctx.RecordCompleted(7);
+  ctx.RecordFailure(3, "t=1 p=2 d=4", "injected fault", 2);
+  ctx.Cancel(StopReason::kFailureBudget);
+  const json::Value v = ctx.Snapshot().ToJson();
+  EXPECT_FALSE(v.at("complete").AsBool());
+  EXPECT_EQ(v.at("stop_reason").AsString(), "failure-budget");
+  EXPECT_EQ(v.at("items_completed").AsInt(), 7);
+  EXPECT_EQ(v.at("failures").AsInt(), 1);
+  const json::Array& samples = v.at("failure_samples").AsArray();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].at("item").AsInt(), 3);
+  EXPECT_EQ(samples[0].at("fingerprint").AsString(), "t=1 p=2 d=4");
+  EXPECT_EQ(samples[0].at("reason").AsString(), "injected fault");
+  EXPECT_EQ(samples[0].at("worker").AsInt(), 2);
+}
+
+TEST(RunContext, SummaryIsHumanReadable) {
+  RunContext clean;
+  clean.RecordCompleted(10);
+  EXPECT_EQ(clean.Snapshot().Summary(), "complete: 10 items, no failures");
+
+  RunContext degraded;
+  degraded.RecordCompleted(5);
+  degraded.RecordFailure(1, "", "x");
+  degraded.Cancel(StopReason::kDeadline);
+  EXPECT_EQ(degraded.Snapshot().Summary(),
+            "degraded: 1 failures, stopped early (deadline) after 5 items");
+}
+
+TEST(RunContext, StopReasonNames) {
+  EXPECT_STREQ(ToString(StopReason::kNone), "none");
+  EXPECT_STREQ(ToString(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(ToString(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(ToString(StopReason::kFailureBudget), "failure-budget");
+}
+
+TEST(RunContext, ConcurrentRecordingIsExact) {
+  RunContext ctx;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ctx, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ctx.RecordCompleted();
+        if (i % 10 == 0) {
+          ctx.RecordFailure(static_cast<std::uint64_t>(i), "f", "r",
+                            static_cast<unsigned>(t));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ctx.items_completed(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(ctx.failures(), static_cast<std::uint64_t>(kThreads) * 100);
+  EXPECT_EQ(ctx.Snapshot().failure_samples.size(), 32u);  // default cap
+}
+
+TEST(RunContext, SigintFlagPromotesToCancellationOnlyWhenWatching) {
+  RunContext::ClearSigintFlag();
+  RunContext::InstallSigintHandler();
+  ASSERT_FALSE(RunContext::SigintSeen());
+  std::raise(SIGINT);  // handler sets the flag and re-arms SIG_DFL
+  EXPECT_TRUE(RunContext::SigintSeen());
+
+  RunContext ignoring;
+  EXPECT_FALSE(ignoring.ShouldStop());
+
+  RunContext watching;
+  watching.WatchSignals(true);
+  EXPECT_TRUE(watching.ShouldStop());
+  EXPECT_EQ(watching.stop_reason(), StopReason::kCancelled);
+
+  RunContext::ClearSigintFlag();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}
+
+}  // namespace
+}  // namespace calculon

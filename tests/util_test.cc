@@ -172,5 +172,30 @@ TEST(Error, AllReasonsHaveNames) {
   }
 }
 
+TEST(Error, ValueOrReturnsValueWhenOk) {
+  const Result<int> r(42);
+  EXPECT_EQ(r.value_or(-1), 42);
+  EXPECT_EQ(Result<std::string>("hit").value_or("miss"), "hit");
+}
+
+TEST(Error, ValueOrReturnsFallbackOnError) {
+  const Result<int> r(Infeasible::kNetworkSize, "too big");
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_EQ(Result<std::string>(Infeasible::kBadConfig).value_or("miss"),
+            "miss");
+}
+
+TEST(Error, InfeasibleStringsRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(Infeasible::kBadConfig); ++i) {
+    const auto reason = static_cast<Infeasible>(i);
+    EXPECT_EQ(InfeasibleFromString(ToString(reason)), reason);
+  }
+}
+
+TEST(Error, InfeasibleFromStringRejectsUnknown) {
+  EXPECT_THROW((void)InfeasibleFromString("not a reason"), ConfigError);
+  EXPECT_THROW((void)InfeasibleFromString(""), ConfigError);
+}
+
 }  // namespace
 }  // namespace calculon
