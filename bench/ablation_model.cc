@@ -110,7 +110,7 @@ int main() {
     const Application app = presets::Megatron1T();
     presets::SystemOptions o;
     o.num_procs = 4096;
-    o.hbm_capacity = 1024.0 * kGiB;
+    o.hbm_capacity = GiB(1024);
     const System sys = presets::A100(o);
     for (std::int64_t i : {1, 2}) {
       Execution e = ValidationExec(4096, 64, 8, 4096);
@@ -132,7 +132,7 @@ int main() {
     const Application app = presets::Megatron1T();
     presets::SystemOptions o;
     o.num_procs = 4096;
-    o.hbm_capacity = 1024.0 * kGiB;
+    o.hbm_capacity = GiB(1024);
     const System base = presets::A100(o);
     Execution e = ValidationExec(4096, 2, 256, 4096);
     e.optimizer_sharding = true;

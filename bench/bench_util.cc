@@ -25,7 +25,7 @@ std::vector<ScalingPoint> SweepAndPrint(const Application& app,
   ScalingOptions options;
   options.sizes = sizes;
   const auto points = ScalingSweep(app, base, space, options, pool);
-  double best_per_gpu = 0.0;
+  PerSecond best_per_gpu(0.0);
   for (const ScalingPoint& pt : points) {
     best_per_gpu = std::max(
         best_per_gpu, pt.sample_rate / static_cast<double>(pt.num_procs));
@@ -40,7 +40,7 @@ std::vector<ScalingPoint> SweepAndPrint(const Application& app,
     const double rel =
         pt.sample_rate / (best_per_gpu * static_cast<double>(pt.num_procs));
     table.AddRow({StrFormat("%lld", static_cast<long long>(pt.num_procs)),
-                  FormatNumber(pt.sample_rate, 1), FormatNumber(rel, 3),
+                  FormatNumber(pt.sample_rate.raw(), 1), FormatNumber(rel, 3),
                   StrategyLabel(pt.best_exec)});
   }
   std::printf("%s\n", table.ToString().c_str());

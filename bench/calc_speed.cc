@@ -42,8 +42,8 @@ void BM_SingleCalculationWithOffload(benchmark::State& state) {
   const Application app = presets::Megatron1T();
   presets::SystemOptions o;
   o.num_procs = 4096;
-  o.offload_capacity = 512.0 * kGiB;
-  o.offload_bandwidth = 100e9;
+  o.offload_capacity = GiB(512);
+  o.offload_bandwidth = GBps(100);
   const System sys = presets::H100(o);
   Execution e = Fig3Exec();
   e.weight_offload = true;

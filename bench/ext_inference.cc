@@ -40,7 +40,7 @@ int main() {
       const InferenceStats& s = r.value();
       table.AddRow({std::to_string(t), std::to_string(batch),
                     FormatTime(s.prefill_time), FormatTime(s.per_token_time),
-                    FormatNumber(s.tokens_per_second, 1),
+                    FormatNumber(s.tokens_per_second.raw(), 1),
                     FormatBytes(s.tier1.Total())});
     }
   }

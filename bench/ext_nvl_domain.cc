@@ -39,7 +39,7 @@ int main() {
       row.push_back(r.best.empty()
                         ? "-"
                         : StrFormat("%.0f/s (%.0f%% MFU)",
-                                    r.best.front().stats.sample_rate,
+                                    r.best.front().stats.sample_rate.raw(),
                                     100.0 * r.best.front().stats.mfu));
     }
     table.AddRow(std::move(row));

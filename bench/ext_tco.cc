@@ -36,7 +36,7 @@ int main() {
     }
     const TcoResult tco = ComputeTco(design, entry.used_gpus, tco_params);
     table.AddRow({design.Label(), std::to_string(entry.used_gpus),
-                  FormatNumber(entry.sample_rate, 0),
+                  FormatNumber(entry.sample_rate.raw(), 0),
                   FormatNumber(tco.capex / 1e6, 1),
                   FormatNumber(tco.energy_kwh / 1e6, 1),
                   FormatNumber(tco.opex / 1e6, 1),

@@ -31,7 +31,7 @@ void RunSlice(const char* title, const Application& app,
     presets::SystemOptions o;
     o.num_procs = 4096;
     o.nvlink_domain = std::max<std::int64_t>(c.t, 8);
-    o.hbm_capacity = 100.0 * kTiB;  // uncapped: report demand, not fit
+    o.hbm_capacity = TiB(100);  // uncapped: report demand, not fit
     const System sys = presets::A100(o);
     Execution e;
     e.num_procs = 4096;

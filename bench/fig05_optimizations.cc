@@ -37,7 +37,7 @@ void RunPanel(const char* title, const Application& app,
       presets::SystemOptions o;
       o.num_procs = 4096;
       o.nvlink_domain = 32;
-      o.hbm_capacity = hbm_gib * kGiB;
+      o.hbm_capacity = Bytes(hbm_gib * kGiB);
       const System sys = presets::A100(o);
       SearchSpace space = base_space;
       space.min_tensor_par = space.max_tensor_par = t;
@@ -52,8 +52,8 @@ void RunPanel(const char* title, const Application& app,
         row.push_back("-");
       } else {
         const Stats& s = r.best.front().stats;
-        row.push_back(StrFormat("%.1fs/%.0fG", s.batch_time,
-                                s.tier1.Total() / kGiB));
+        row.push_back(StrFormat("%.1fs/%.0fG", s.batch_time.raw(),
+                                s.tier1.Total().raw() / kGiB));
       }
     }
     table.AddRow(std::move(row));

@@ -45,33 +45,34 @@ int main() {
   if (r.all_rates.empty()) return 1;
 
   // (a) histogram of the sample rate, 10 bins.
-  const double best = r.best.front().stats.sample_rate;
+  const PerSecond best = r.best.front().stats.sample_rate;
   std::vector<std::uint64_t> bins(10, 0);
-  for (double rate : r.all_rates) {
+  for (PerSecond rate : r.all_rates) {
     auto b = static_cast<std::size_t>(rate / best * 10.0);
     bins[std::min<std::size_t>(b, 9)]++;
   }
   Table hist({"sample-rate bin", "count", "share"});
   for (std::size_t i = 0; i < bins.size(); ++i) {
     hist.AddRow({StrFormat("[%4.0f, %4.0f)",
-                           best * 0.1 * static_cast<double>(i),
-                           best * 0.1 * static_cast<double>(i + 1)),
+                           best.raw() * 0.1 * static_cast<double>(i),
+                           best.raw() * 0.1 * static_cast<double>(i + 1)),
                  StrFormat("%llu", static_cast<unsigned long long>(bins[i])),
                  FormatPercent(static_cast<double>(bins[i]) /
                                static_cast<double>(r.all_rates.size()))});
   }
   std::printf("(a) sample-rate distribution (best = %.1f samples/s)\n%s\n",
-              best, hist.ToString().c_str());
+              best.raw(), hist.ToString().c_str());
 
   // (b) CDF of the top-100 performers.
-  std::vector<double> sorted = r.all_rates;
+  std::vector<PerSecond> sorted = r.all_rates;
   std::sort(sorted.rbegin(), sorted.rend());
   const std::size_t top_n = std::min<std::size_t>(100, sorted.size());
   Table cdf({"rank", "sample rate", "fraction of best"});
   for (std::size_t rank : {std::size_t{1}, std::size_t{10}, std::size_t{25},
                            std::size_t{50}, std::size_t{75}, top_n}) {
     if (rank > top_n) continue;
-    cdf.AddRow({StrFormat("%zu", rank), FormatNumber(sorted[rank - 1], 1),
+    cdf.AddRow({StrFormat("%zu", rank),
+                FormatNumber(sorted[rank - 1].raw(), 1),
                 FormatPercent(sorted[rank - 1] / best)});
   }
   std::printf("(b) top-100 sample-rate CDF\n%s\n", cdf.ToString().c_str());
@@ -79,7 +80,7 @@ int main() {
   // Needles in a haystack: how many strategies are near-optimal.
   std::uint64_t within5 = 0;
   std::uint64_t within10 = 0;
-  for (double rate : r.all_rates) {
+  for (PerSecond rate : r.all_rates) {
     if (rate >= 0.95 * best) ++within5;
     if (rate >= 0.90 * best) ++within10;
   }

@@ -48,12 +48,12 @@ void RunPanel(const char* title, const System& sys, ThreadPool& pool,
         if (resource_view) {
           // offload bandwidth demand / tier-2 capacity used
           row.push_back(StrFormat("%.0fG/%s",
-                                  s.offload_bw_required / 1e9,
+                                  s.offload_bw_required.raw() / 1e9,
                                   FormatBytes(s.tier2.Total()).c_str()));
         } else {
           // sample rate / HBM used
-          row.push_back(StrFormat("%.0f/%.0fG", s.sample_rate,
-                                  s.tier1.Total() / kGiB));
+          row.push_back(StrFormat("%.0f/%.0fG", s.sample_rate.raw(),
+                                  s.tier1.Total().raw() / kGiB));
         }
       }
     }
@@ -71,8 +71,8 @@ int main() {
 
   presets::SystemOptions ideal;
   ideal.num_procs = 4096;
-  ideal.offload_capacity = 1e18;
-  ideal.offload_bandwidth = 1e15;
+  ideal.offload_capacity = Bytes(1e18);
+  ideal.offload_bandwidth = BytesPerSecond(1e15);
   const System sys_ideal = presets::H100(ideal);
   RunPanel("(a) sample rate / HBM usage, ideal offload memory", sys_ideal,
            pool, false);
@@ -81,8 +81,8 @@ int main() {
 
   presets::SystemOptions real;
   real.num_procs = 4096;
-  real.offload_capacity = 512.0 * kGiB;
-  real.offload_bandwidth = 100e9;
+  real.offload_capacity = GiB(512);
+  real.offload_bandwidth = GBps(100);
   const System sys_real = presets::H100(real);
   RunPanel("(c) sample rate / HBM usage, 512 GiB @ 100 GB/s", sys_real, pool,
            false);

@@ -13,8 +13,8 @@ int main() {
   ThreadPool pool(bench::Threads());
   const auto sizes = bench::ScalingSizes();
   presets::SystemOptions o;
-  o.offload_capacity = 512.0 * kGiB;
-  o.offload_bandwidth = 100e9;
+  o.offload_capacity = GiB(512);
+  o.offload_bandwidth = GBps(100);
   const System base = presets::H100(o);
 
   std::printf("Fig. 10: LLM training scalability with 100 GB/s offloading "

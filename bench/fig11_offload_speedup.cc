@@ -22,8 +22,8 @@ int main() {
   presets::SystemOptions plain_o;
   const System plain = presets::H100(plain_o);
   presets::SystemOptions off_o;
-  off_o.offload_capacity = 512.0 * kGiB;
-  off_o.offload_bandwidth = 100e9;
+  off_o.offload_capacity = GiB(512);
+  off_o.offload_bandwidth = GBps(100);
   const System offload = presets::H100(off_o);
 
   std::printf("Fig. 11: relative speedup from offloading (512 GiB @ "
@@ -51,8 +51,10 @@ int main() {
       }
       table.AddRow(
           {StrFormat("%lld", static_cast<long long>(base[i].num_procs)),
-           base[i].feasible ? FormatNumber(base[i].sample_rate, 1) : "0",
-           with[i].feasible ? FormatNumber(with[i].sample_rate, 1) : "0",
+           base[i].feasible ? FormatNumber(base[i].sample_rate.raw(), 1)
+                            : "0",
+           with[i].feasible ? FormatNumber(with[i].sample_rate.raw(), 1)
+                            : "0",
            speedup});
     }
     std::printf("=== %s ===\n%s\n", name, table.ToString().c_str());

@@ -87,7 +87,7 @@ int main() {
                       "infeasible: " + r.detail(), "-", "-"});
         continue;
       }
-      const double ours = r.value().batch_time;
+      const double ours = r.value().batch_time.raw();
       const double err_selene = (ours - selene) / selene;
       const double err_paper = (ours - paper) / paper;
       total_abs_err += std::abs(err_selene);

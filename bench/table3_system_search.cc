@@ -47,7 +47,7 @@ int main() {
            entry.feasible
                ? StrFormat("%lld", static_cast<long long>(entry.used_gpus))
                : "-",
-           entry.feasible ? FormatNumber(entry.sample_rate, 0) : "-",
+           entry.feasible ? FormatNumber(entry.sample_rate.raw(), 0) : "-",
            entry.feasible ? FormatNumber(entry.perf_per_million, 1) : "-",
            entry.feasible ? bench::StrategyLabel(entry.best_exec) : ""});
       first = false;

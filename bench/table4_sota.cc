@@ -113,8 +113,8 @@ int main() {
     presets::SystemOptions o;
     o.num_procs = 4096;
     if (st.needs_offload_tier) {
-      o.offload_capacity = 512.0 * kGiB;
-      o.offload_bandwidth = 100e9;
+      o.offload_capacity = GiB(512);
+      o.offload_bandwidth = GBps(100);
     }
     const System sys = presets::A100(o);
     const auto r = CalculatePerformance(app, st.exec, sys);

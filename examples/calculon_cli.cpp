@@ -259,7 +259,7 @@ int RunStudy(int argc, char** argv) {
   if (run.best.found) {
     std::printf("best configuration (row %llu, %.6g samples/s):\n%s\n",
                 static_cast<unsigned long long>(run.best.row),
-                run.best.sample_rate,
+                run.best.sample_rate.raw(),
                 run.best.exec.ToJson().Dump(2).c_str());
   }
   PrintRunStatus(run.status);

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
                       std::to_string(p), std::to_string(batch),
                       FormatTime(s.prefill_time),
                       FormatTime(s.per_token_time),
-                      FormatNumber(s.tokens_per_second, 1),
+                      FormatNumber(s.tokens_per_second.raw(), 1),
                       FormatBytes(s.tier1.weights),
                       FormatBytes(s.kv_cache_bytes)});
       }

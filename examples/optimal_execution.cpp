@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
                   std::to_string(e.pp_interleaving),
                   ToString(e.recompute), opts,
                   FormatTime(entry.stats.batch_time),
-                  FormatNumber(entry.stats.sample_rate, 1),
+                  FormatNumber(entry.stats.sample_rate.raw(), 1),
                   FormatPercent(entry.stats.mfu),
                   FormatBytes(entry.stats.tier1.Total())});
   }

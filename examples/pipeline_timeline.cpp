@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
   const double blocks_per_chunk =
       static_cast<double>(app.num_blocks) /
       static_cast<double>(stages * interleave);
-  double fw_block = 0.0;
-  double bw_block = 0.0;
+  Seconds fw_block;
+  Seconds bw_block;
   for (const Layer& l : block.layers) {
     fw_block += sys.proc().OpTime(l.kind, l.fw_flops, l.fw_bytes);
     bw_block += sys.proc().OpTime(l.kind, l.bw_flops, l.bw_bytes);
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", r.Render(110).c_str());
   std::printf("makespan %.3f s, idle %.1f%%, peak in-flight microbatches "
               "%lld\n\n",
-              r.makespan,
+              r.makespan.raw(),
               100.0 * r.TotalIdle() /
                   (r.makespan * static_cast<double>(stages)),
               static_cast<long long>(r.peak_in_flight));
@@ -68,7 +68,8 @@ int main(int argc, char** argv) {
   const ScheduleResult flat = BuildPipelineSchedule(params);
   std::printf("same work without interleaving:\n%s\n",
               flat.Render(110).c_str());
-  std::printf("makespan %.3f s (interleaving saved %.1f%%)\n", flat.makespan,
+  std::printf("makespan %.3f s (interleaving saved %.1f%%)\n",
+              flat.makespan.raw(),
               100.0 * (1.0 - r.makespan / flat.makespan));
   return 0;
 }

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       verdict = "ok";
     }
     table.AddRow({StrFormat("%lld", static_cast<long long>(a.num_procs)),
-                  a.feasible ? FormatNumber(a.sample_rate, 1) : "-",
+                  a.feasible ? FormatNumber(a.sample_rate.raw(), 1) : "-",
                   a.feasible ? FormatPercent(a.efficiency) : "-", verdict});
   }
   std::printf("%s\n", table.ToString().c_str());

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
          StrFormat("$%.3gk", entry.design.UnitPrice() / 1e3),
          std::to_string(entry.max_gpus),
          entry.feasible ? std::to_string(entry.used_gpus) : "-",
-         entry.feasible ? FormatNumber(entry.sample_rate, 0) : "-",
+         entry.feasible ? FormatNumber(entry.sample_rate.raw(), 0) : "-",
          entry.feasible ? FormatNumber(entry.perf_per_million, 1) : "-"});
     if (entry.feasible &&
         (best == nullptr || entry.sample_rate > best->sample_rate)) {
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     std::printf("best design: %s at %lld GPUs (%s samples/s)\n",
                 best->design.Label().c_str(),
                 static_cast<long long>(best->used_gpus),
-                FormatNumber(best->sample_rate, 0).c_str());
+                FormatNumber(best->sample_rate.raw(), 0).c_str());
   }
   return 0;
 }

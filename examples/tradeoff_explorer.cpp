@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const Application app = presets::ApplicationByName(app_name);
   presets::SystemOptions o;
   o.num_procs = gpus;
-  o.hbm_capacity = 1024.0 * kGiB;  // uncapped: show the whole frontier
+  o.hbm_capacity = GiB(1024);  // uncapped: show the whole frontier
   const System sys = presets::A100(o);
 
   ThreadPool pool;

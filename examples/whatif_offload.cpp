@@ -33,15 +33,15 @@ int main(int argc, char** argv) {
                "sample rate", "HBM used", "tier-2 used", "Eq.1 bandwidth"});
   struct Tier {
     const char* label;
-    double capacity;
-    double bandwidth;
+    Bytes capacity;
+    BytesPerSecond bandwidth;
   };
   const Tier tiers[] = {
-      {"none", 0.0, 0.0},
-      {"256 GiB @ 100 GB/s", 256.0 * kGiB, 100e9},
-      {"512 GiB @ 100 GB/s", 512.0 * kGiB, 100e9},
-      {"1 TiB @ 100 GB/s", 1024.0 * kGiB, 100e9},
-      {"1 TiB @ 400 GB/s", 1024.0 * kGiB, 400e9},
+      {"none", Bytes(0.0), BytesPerSecond(0.0)},
+      {"256 GiB @ 100 GB/s", GiB(256), GBps(100)},
+      {"512 GiB @ 100 GB/s", GiB(512), GBps(100)},
+      {"1 TiB @ 100 GB/s", GiB(1024), GBps(100)},
+      {"1 TiB @ 400 GB/s", GiB(1024), GBps(400)},
   };
   for (const Tier& tier : tiers) {
     presets::SystemOptions o;
@@ -61,10 +61,10 @@ int main(int argc, char** argv) {
     table.AddRow(
         {tier.label,
          StrFormat("%llu", static_cast<unsigned long long>(r.feasible)),
-         FormatTime(s.batch_time), FormatNumber(s.sample_rate, 1),
+         FormatTime(s.batch_time), FormatNumber(s.sample_rate.raw(), 1),
          FormatBytes(s.tier1.Total()),
-         s.tier2.Total() > 0 ? FormatBytes(s.tier2.Total()) : "-",
-         s.offload_bw_required > 0
+         s.tier2.Total() > Bytes(0.0) ? FormatBytes(s.tier2.Total()) : "-",
+         s.offload_bw_required > BytesPerSecond(0.0)
              ? FormatBandwidth(s.offload_bw_required)
              : "-"});
   }

@@ -65,6 +65,22 @@ else
   echo "lint: clang-tidy not found, skipping static analysis"
 fi
 
+# --- dimensional safety -------------------------------------------------
+# The public headers of src/hw and src/core carry quantities as strong
+# types (src/util/quantity.h). Reject new raw-double parameters or fields
+# whose names look like physical quantities; annotate intentional raw
+# doubles (format boundaries, dimension-generic helpers) with a same-line
+# `// unit-ok` marker.
+echo "lint: dimensional-safety scan of src/hw and src/core headers"
+QUANTITY_NAME='(bytes|byte_s|seconds|_time|time_|latency|bandwidth|capacity|flops|_rate|rate_)'
+if grep -nE "double +[A-Za-z_]*${QUANTITY_NAME}[A-Za-z_]*"     src/hw/*.h src/core/*.h |
+    grep -v 'unit-ok' |
+    grep -v '^\s*//'; then
+  echo "lint: raw double used for a quantity-like name in a public header;"
+  echo "      use a type from src/util/quantity.h or add '// unit-ok: why'"
+  STATUS=1
+fi
+
 # --- clang-format -------------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
   echo "lint: clang-format over ${#PATHS[@]} files"

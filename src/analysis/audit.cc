@@ -82,6 +82,19 @@ class Auditor {
                  StrFormat("got %.17g", v));
   }
 
+  // Typed forms: both sides must carry the same dimension; the comparison
+  // itself happens on the raw values (a report-format boundary).
+  template <int B, int S, int F>
+  bool CheckClose(Quantity<B, S, F> actual, Quantity<B, S, F> expected,
+                  const char* invariant) {
+    return CheckClose(actual.raw(), expected.raw(), invariant);
+  }
+  template <int B, int S, int F>
+  bool CheckLe(Quantity<B, S, F> a, Quantity<B, S, F> b,
+               const char* invariant) {
+    return CheckLe(a.raw(), b.raw(), invariant);
+  }
+
  private:
   AuditReport* report_;
   const AuditOptions& options_;
@@ -157,27 +170,27 @@ void CheckStats(const Application& app, const System& sys,
     const char* name;
     double value;
   } fields[] = {
-      {"time.fw_pass", t.fw_pass},
-      {"time.bw_pass", t.bw_pass},
-      {"time.fw_recompute", t.fw_recompute},
-      {"time.optim_step", t.optim_step},
-      {"time.pp_bubble", t.pp_bubble},
-      {"time.tp_comm", t.tp_comm},
-      {"time.pp_comm", t.pp_comm},
-      {"time.dp_comm", t.dp_comm},
-      {"time.offload", t.offload},
-      {"tier1.weights", stats.tier1.weights},
-      {"tier1.activations", stats.tier1.activations},
-      {"tier1.weight_grads", stats.tier1.weight_grads},
-      {"tier1.act_grads", stats.tier1.act_grads},
-      {"tier1.optimizer", stats.tier1.optimizer},
-      {"tier2.total", stats.tier2.Total()},
-      {"tp_comm_total", stats.tp_comm_total},
-      {"pp_comm_total", stats.pp_comm_total},
-      {"dp_comm_total", stats.dp_comm_total},
-      {"offload_total", stats.offload_total},
-      {"offload_bw_required", stats.offload_bw_required},
-      {"offload_bytes", stats.offload_bytes},
+      {"time.fw_pass", t.fw_pass.raw()},
+      {"time.bw_pass", t.bw_pass.raw()},
+      {"time.fw_recompute", t.fw_recompute.raw()},
+      {"time.optim_step", t.optim_step.raw()},
+      {"time.pp_bubble", t.pp_bubble.raw()},
+      {"time.tp_comm", t.tp_comm.raw()},
+      {"time.pp_comm", t.pp_comm.raw()},
+      {"time.dp_comm", t.dp_comm.raw()},
+      {"time.offload", t.offload.raw()},
+      {"tier1.weights", stats.tier1.weights.raw()},
+      {"tier1.activations", stats.tier1.activations.raw()},
+      {"tier1.weight_grads", stats.tier1.weight_grads.raw()},
+      {"tier1.act_grads", stats.tier1.act_grads.raw()},
+      {"tier1.optimizer", stats.tier1.optimizer.raw()},
+      {"tier2.total", stats.tier2.Total().raw()},
+      {"tp_comm_total", stats.tp_comm_total.raw()},
+      {"pp_comm_total", stats.pp_comm_total.raw()},
+      {"dp_comm_total", stats.dp_comm_total.raw()},
+      {"offload_total", stats.offload_total.raw()},
+      {"offload_bw_required", stats.offload_bw_required.raw()},
+      {"offload_bytes", stats.offload_bytes.raw()},
   };
   for (const auto& f : fields) {
     audit.Check(std::isfinite(f.value) && f.value >= 0.0, "finite-non-negative",
@@ -191,8 +204,8 @@ void CheckStats(const Application& app, const System& sys,
                    "sample-rate-roundtrip");
 
   // --- MFU matches its definition and stays physical ---
-  const double useful = ModelFlopsPerSample(app, exec.training) *
-                        static_cast<double>(exec.batch_size);
+  const Flops useful = ModelFlopsPerSample(app, exec.training) *
+                       static_cast<double>(exec.batch_size);
   audit.CheckClose(stats.mfu,
                    useful / (stats.batch_time *
                              static_cast<double>(sys.num_procs()) *
@@ -203,13 +216,13 @@ void CheckStats(const Application& app, const System& sys,
 
   // --- Compute times re-derived layer by layer ---
   const BlockModel block = BuildBlock(app, exec);
-  double fw_block = 0.0;
-  double bw_block = 0.0;
+  Seconds fw_block;
+  Seconds bw_block;
   for (const Layer& l : block.layers) {
     fw_block += proc.OpTime(l.kind, l.fw_flops, l.fw_bytes);
     bw_block += proc.OpTime(l.kind, l.bw_flops, l.bw_bytes);
   }
-  double recompute_block = 0.0;
+  Seconds recompute_block;
   if (exec.recompute == Recompute::kFull) {
     recompute_block = fw_block;
   } else if (exec.recompute == Recompute::kAttnOnly) {
@@ -234,22 +247,22 @@ void CheckStats(const Application& app, const System& sys,
 
   // --- Disabled parallelism modes report no time ---
   if (exec.tensor_par == 1) {
-    audit.CheckClose(t.tp_comm + stats.tp_comm_total, 0.0,
+    audit.CheckClose(t.tp_comm + stats.tp_comm_total, Seconds(0.0),
                      "tp-comm-zero-without-tp");
   }
   if (exec.pipeline_par == 1) {
-    audit.CheckClose(t.pp_comm + t.pp_bubble + stats.pp_comm_total, 0.0,
-                     "pp-zero-without-pp");
+    audit.CheckClose(t.pp_comm + t.pp_bubble + stats.pp_comm_total,
+                     Seconds(0.0), "pp-zero-without-pp");
   }
   if (exec.data_par == 1 || !exec.training) {
-    audit.CheckClose(t.dp_comm + stats.dp_comm_total, 0.0,
+    audit.CheckClose(t.dp_comm + stats.dp_comm_total, Seconds(0.0),
                      "dp-comm-zero-without-dp");
   }
   if (!exec.training) {
-    audit.CheckClose(t.fw_recompute + t.optim_step, 0.0,
+    audit.CheckClose(t.fw_recompute + t.optim_step, Seconds(0.0),
                      "inference-skips-training-phases");
     if (app.vocab_size == 0) {
-      audit.CheckClose(t.bw_pass, 0.0, "inference-has-no-backward");
+      audit.CheckClose(t.bw_pass, Seconds(0.0), "inference-has-no-backward");
     }
   }
 
@@ -265,8 +278,12 @@ void CheckStats(const Application& app, const System& sys,
                   "tier2-capacity");
   }
   if (!exec.any_offload()) {
-    audit.CheckClose(stats.tier2.Total() + t.offload + stats.offload_total +
-                         stats.offload_bytes + stats.offload_bw_required,
+    // Mixed-dimension sum on purpose: each term must individually be zero,
+    // so the check collapses them through raw().
+    audit.CheckClose(stats.tier2.Total().raw() + t.offload.raw() +
+                         stats.offload_total.raw() +
+                         stats.offload_bytes.raw() +
+                         stats.offload_bw_required.raw(),
                      0.0, "offload-zero-when-disabled");
   }
 
@@ -278,11 +295,12 @@ void CheckStats(const Application& app, const System& sys,
                               exec.MicrobatchesPerPipeline(), exec.pp_1f1b};
     const double in_flight =
         exec.training ? InFlightMicrobatches(shape) : 1.0;
-    const double wgrad = block.WeightGradBytes();
+    const Bytes wgrad = block.WeightGradBytes();
     audit.CheckClose(stats.tier1.weights, block.WeightBytes() * nb,
                      "mem-weights-rederived");
     audit.CheckClose(stats.tier1.weight_grads,
-                     wgrad * nb / shard + (exec.training ? wgrad : 0.0),
+                     wgrad * nb / shard +
+                         (exec.training ? wgrad : Bytes(0.0)),
                      "mem-weight-grads-rederived");
     audit.CheckClose(stats.tier1.activations,
                      block.ActStoredBytes(exec.recompute) * nb * in_flight +
@@ -340,7 +358,7 @@ void AuditBundle(const Application& app, const System& sys,
   }
   if (by_mode[0]) {
     audit.set_context(ExecContext(app, sys_label, exec_of[0]));
-    audit.CheckClose(by_mode[0]->time.fw_recompute, 0.0,
+    audit.CheckClose(by_mode[0]->time.fw_recompute, Seconds(0.0),
                      "no-recompute-means-no-recompute-time");
   }
   for (int i = 1; i < 3; ++i) {

@@ -18,28 +18,28 @@ void Fuse(Layer& layer, bool drop_stash) {
   layer.fw_bytes *= 0.5;
   layer.bw_bytes *= 0.5;
   if (drop_stash) {
-    layer.act_stored = 0.0;
+    layer.act_stored = Bytes(0.0);
     layer.attn_stash = false;
   }
 }
 
 }  // namespace
 
-double BlockModel::FwFlops() const {
-  double sum = 0.0;
+Flops BlockModel::FwFlops() const {
+  Flops sum;
   for (const Layer& l : layers) sum += l.fw_flops;
   return sum;
 }
 
-double BlockModel::BwFlops() const {
-  double sum = 0.0;
+Flops BlockModel::BwFlops() const {
+  Flops sum;
   for (const Layer& l : layers) sum += l.bw_flops;
   return sum;
 }
 
-double BlockModel::ActStoredBytes(Recompute mode) const {
+Bytes BlockModel::ActStoredBytes(Recompute mode) const {
   if (mode == Recompute::kFull) return block_input_bytes;
-  double sum = 0.0;
+  Bytes sum;
   for (const Layer& l : layers) {
     if (mode == Recompute::kAttnOnly && l.attn_stash) continue;
     sum += l.act_stored;
@@ -47,20 +47,20 @@ double BlockModel::ActStoredBytes(Recompute mode) const {
   return sum;
 }
 
-double BlockModel::WeightBytes() const {
-  double sum = 0.0;
+Bytes BlockModel::WeightBytes() const {
+  Bytes sum;
   for (const Layer& l : layers) sum += l.weight_bytes;
   return sum;
 }
 
-double BlockModel::WeightGradBytes() const {
-  double sum = 0.0;
+Bytes BlockModel::WeightGradBytes() const {
+  Bytes sum;
   for (const Layer& l : layers) sum += l.weight_grad_bytes;
   return sum;
 }
 
-double BlockModel::OptimizerBytes() const {
-  double sum = 0.0;
+Bytes BlockModel::OptimizerBytes() const {
+  Bytes sum;
   for (const Layer& l : layers) sum += l.optimizer_bytes;
   return sum;
 }
@@ -105,51 +105,58 @@ BlockModel BuildBlock(const Application& app, const Execution& exec) {
   const double resid_elems = b * (s / sp) * h;  // sharded residual stream
 
   // --- Attention half ---
-  L.push_back(MakeVector("attn_norm", resid_elems, kLayerNormFlops, 1.0, 1.0,
-                         dt, train, dt * resid_elems, false, 2.0 * h));
+  L.push_back(MakeVector("attn_norm",
+                         {resid_elems, kLayerNormFlops, 1.0, 1.0}, dt, train,
+                         Bytes(dt * resid_elems), false, 2.0 * h));
   // QKV projection consumes the (gathered) full-sequence tensor. Under
   // sequence parallelism only the sequence shard is stashed (the gathered
   // copy is transient workspace); the optional AG-redo repeats the gather
   // in the backward pass (time for memory is already paid).
   const double qkv_stash = exec.seq_par ? b * s * h / t : b * s * h;
-  L.push_back(MakeLinear("attn_qkv", b * s, h, 3.0 * attn_width / t, dt,
+  L.push_back(MakeLinear("attn_qkv", {b * s, h, 3.0 * attn_width / t}, dt,
                          /*bias=*/true, train, qkv_stash));
   // Q*K^T; the stash is Q, K and V (the inputs selective recomputation
   // re-derives the attention internals from).
-  L.push_back(MakeBatchMatmul("attn_qkt", b * a / t, s, e, s, dt, train,
+  L.push_back(MakeBatchMatmul("attn_qkt", b * a / t, {s, e, s}, dt, train,
                               3.0 * b * s * attn_width / t,
                               /*attn_stash=*/false));
   const double score_elems = b * (a / t) * s * s;
-  L.push_back(MakeVector("attn_softmax", score_elems, kSoftmaxFlops, 1.0, 1.0,
-                         dt, train, dt * score_elems, /*attn_stash=*/true));
+  L.push_back(MakeVector("attn_softmax",
+                         {score_elems, kSoftmaxFlops, 1.0, 1.0}, dt, train,
+                         Bytes(dt * score_elems), /*attn_stash=*/true));
   // Dropout keeps a 1-byte mask per element.
-  L.push_back(MakeVector("attn_dropout", score_elems, kDropoutFlops, 1.0, 1.0,
-                         dt, train, 1.0 * score_elems, /*attn_stash=*/true));
+  L.push_back(MakeVector("attn_dropout",
+                         {score_elems, kDropoutFlops, 1.0, 1.0}, dt, train,
+                         Bytes(1.0 * score_elems), /*attn_stash=*/true));
   // Scores * V; stashes its score input (softmax-dropout output).
-  L.push_back(MakeBatchMatmul("attn_av", b * a / t, s, s, e, dt, train,
+  L.push_back(MakeBatchMatmul("attn_av", b * a / t, {s, s, e}, dt, train,
                               score_elems, /*attn_stash=*/true));
-  L.push_back(MakeLinear("attn_proj", b * s, attn_width / t, h, dt,
+  L.push_back(MakeLinear("attn_proj", {b * s, attn_width / t, h}, dt,
                          /*bias=*/true, train, b * s * attn_width / t));
-  L.push_back(MakeVector("attn_out_drop", resid_elems, kDropoutFlops, 1.0,
-                         1.0, dt, train, 1.0 * resid_elems));
-  L.push_back(MakeVector("attn_residual", resid_elems, kResidualFlops, 2.0,
-                         1.0, dt, train, 0.0));
+  L.push_back(MakeVector("attn_out_drop",
+                         {resid_elems, kDropoutFlops, 1.0, 1.0}, dt, train,
+                         Bytes(1.0 * resid_elems)));
+  L.push_back(MakeVector("attn_residual",
+                         {resid_elems, kResidualFlops, 2.0, 1.0}, dt, train,
+                         Bytes(0.0)));
 
   // --- MLP half ---
-  L.push_back(MakeVector("mlp_norm", resid_elems, kLayerNormFlops, 1.0, 1.0,
-                         dt, train, dt * resid_elems, false, 2.0 * h));
+  L.push_back(MakeVector("mlp_norm", {resid_elems, kLayerNormFlops, 1.0, 1.0},
+                         dt, train, Bytes(dt * resid_elems), false, 2.0 * h));
   const double mlp_stash = exec.seq_par ? b * s * h / t : b * s * h;
-  L.push_back(MakeLinear("mlp_fc1", b * s, h, f / t, dt, /*bias=*/true, train,
-                         mlp_stash));
+  L.push_back(MakeLinear("mlp_fc1", {b * s, h, f / t}, dt, /*bias=*/true,
+                         train, mlp_stash));
   const double gelu_elems = b * s * f / t;
-  L.push_back(MakeVector("mlp_gelu", gelu_elems, kGeluFlops, 1.0, 1.0, dt,
-                         train, dt * gelu_elems));
-  L.push_back(MakeLinear("mlp_fc2", b * s, f / t, h, dt, /*bias=*/true, train,
-                         b * s * f / t));
-  L.push_back(MakeVector("mlp_dropout", resid_elems, kDropoutFlops, 1.0, 1.0,
-                         dt, train, 1.0 * resid_elems));
-  L.push_back(MakeVector("mlp_residual", resid_elems, kResidualFlops, 2.0,
-                         1.0, dt, train, 0.0));
+  L.push_back(MakeVector("mlp_gelu", {gelu_elems, kGeluFlops, 1.0, 1.0}, dt,
+                         train, Bytes(dt * gelu_elems)));
+  L.push_back(MakeLinear("mlp_fc2", {b * s, f / t, h}, dt, /*bias=*/true,
+                         train, b * s * f / t));
+  L.push_back(MakeVector("mlp_dropout",
+                         {resid_elems, kDropoutFlops, 1.0, 1.0}, dt, train,
+                         Bytes(1.0 * resid_elems)));
+  L.push_back(MakeVector("mlp_residual",
+                         {resid_elems, kResidualFlops, 2.0, 1.0}, dt, train,
+                         Bytes(0.0)));
 
   if (exec.fused_activation) {
     for (Layer& layer : L) {
@@ -177,7 +184,7 @@ BlockModel BuildBlock(const Application& app, const Execution& exec) {
   }
 
   // --- Tensor-parallel communication ---
-  const double tp_bytes = dt * b * s * h;
+  const Bytes tp_bytes = Bytes(dt * b * s * h);
   if (exec.tensor_par > 1) {
     if (exec.seq_par) {
       // Megatron sequence parallelism: all-gather before each GEMM pair,
@@ -204,16 +211,16 @@ BlockModel BuildBlock(const Application& app, const Execution& exec) {
     }
   }
 
-  block.block_input_bytes = dt * b * s * h / sp;
+  block.block_input_bytes = Bytes(dt * b * s * h / sp);
   // The tensor crossing a pipeline boundary: sharded when the residual
   // stream is sequence-parallel or when PP applies RS before the p2p send.
   const double pp_shard = (exec.seq_par || exec.pp_rs_ag) ? t : 1.0;
-  block.pp_output_bytes = dt * b * s * h / pp_shard;
+  block.pp_output_bytes = Bytes(dt * b * s * h / pp_shard);
 
   // Transient gradient working set: the largest simultaneous gradient
   // tensors (MLP inner, residual stream, attention scores).
   block.act_grad_working_bytes =
-      train ? dt * (gelu_elems + b * s * h + score_elems) : 0.0;
+      train ? Bytes(dt * (gelu_elems + b * s * h + score_elems)) : Bytes(0.0);
 
   return block;
 }

@@ -19,7 +19,7 @@ namespace calculon {
 // One communication operation over the tensor-parallel group.
 struct CommOp {
   Collective op;
-  double bytes;  // full tensor size
+  Bytes bytes;  // full tensor size
 };
 
 struct BlockModel {
@@ -37,22 +37,22 @@ struct BlockModel {
 
   // Stash of the block input, the only activation kept under full
   // recomputation (per microbatch in flight).
-  double block_input_bytes = 0.0;
+  Bytes block_input_bytes;
 
   // Activation tensor crossing a pipeline-stage boundary (per microbatch).
-  double pp_output_bytes = 0.0;
+  Bytes pp_output_bytes;
 
   // Transient activation-gradient working set during backward.
-  double act_grad_working_bytes = 0.0;
+  Bytes act_grad_working_bytes;
 
   // --- Aggregates (per microbatch, one block, one processor) ---
-  [[nodiscard]] double FwFlops() const;
-  [[nodiscard]] double BwFlops() const;
+  [[nodiscard]] Flops FwFlops() const;
+  [[nodiscard]] Flops BwFlops() const;
   // Stored activation bytes per microbatch under the given recompute mode.
-  [[nodiscard]] double ActStoredBytes(Recompute mode) const;
-  [[nodiscard]] double WeightBytes() const;
-  [[nodiscard]] double WeightGradBytes() const;
-  [[nodiscard]] double OptimizerBytes() const;
+  [[nodiscard]] Bytes ActStoredBytes(Recompute mode) const;
+  [[nodiscard]] Bytes WeightBytes() const;
+  [[nodiscard]] Bytes WeightGradBytes() const;
+  [[nodiscard]] Bytes OptimizerBytes() const;
   [[nodiscard]] double WeightParams() const;  // learnable parameter count
 };
 

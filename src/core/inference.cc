@@ -13,8 +13,8 @@ namespace {
 // Aggregate decode-step cost of one transformer block for `b` concurrent
 // sequences at context length `ctx`, per processor.
 struct DecodeBlockCost {
-  double flops = 0.0;
-  double bytes = 0.0;  // tier-1 traffic: weights + KV cache + activations
+  Flops flops;
+  Bytes bytes;  // tier-1 traffic: weights + KV cache + activations
 };
 
 DecodeBlockCost DecodeCost(const Application& app, const Execution& exec,
@@ -33,13 +33,13 @@ DecodeBlockCost DecodeCost(const Application& app, const Execution& exec,
       2.0 * b * (h * 3.0 * aw + aw * h + h * f + f * h) / t;
   // Attention against the KV cache: Q*K^T and scores*V over ctx entries.
   const double attn_flops = 2.0 * b * ctx * aw / t * 2.0;
-  cost.flops = proj_flops + attn_flops;
+  cost.flops = Flops(proj_flops + attn_flops);
 
   const double weight_bytes =
       dt * (h * 3.0 * aw + aw * h + h * f + f * h) / t;
   const double kv_bytes = 2.0 * dt * b * ctx * aw / t;  // K and V read
   const double act_bytes = dt * b * (6.0 * h + 2.0 * f / t);  // streams
-  cost.bytes = weight_bytes + kv_bytes + act_bytes;
+  cost.bytes = Bytes(weight_bytes + kv_bytes + act_bytes);
   return cost;
 }
 
@@ -86,15 +86,15 @@ Result<InferenceStats> CalculateInference(const Application& app,
   Application prompt_app = app;
   prompt_app.seq_size = config.prompt_tokens;
   const BlockModel block = BuildBlock(prompt_app, e);
-  double fw_block = 0.0;
+  Seconds fw_block;
   for (const Layer& l : block.layers) {
     fw_block += proc.OpTime(l.kind, l.fw_flops, l.fw_bytes);
   }
-  double tp_fw_block = 0.0;
+  Seconds tp_fw_block;
   for (const CommOp& op : block.tp_fw) {
     tp_fw_block += tp_net->CollectiveTime(op.op, t, op.bytes);
   }
-  const double pp_hop = pp_net->CollectiveTime(
+  const Seconds pp_hop = pp_net->CollectiveTime(
       Collective::kPointToPoint, 2, block.pp_output_bytes);
   // Time to first token: the prompt flows through all blocks and stage
   // boundaries once.
@@ -108,19 +108,20 @@ Result<InferenceStats> CalculateInference(const Application& app,
                      static_cast<double>(config.gen_tokens);
   const double b = static_cast<double>(config.batch);
   const DecodeBlockCost cost = DecodeCost(app, e, ctx, b);
-  const double decode_block =
+  const Seconds decode_block =
       proc.OpTime(ComputeKind::kMatrix, cost.flops, cost.bytes);
   const double dt = e.datatype_bytes;
-  double tp_token_block = 0.0;
+  Seconds tp_token_block;
   if (t > 1) {
     // Two all-reduces of the (b, 1, h) hidden state per block.
     tp_token_block =
-        2.0 * tp_net->CollectiveTime(Collective::kAllReduce, t, dt * b *
-                                     static_cast<double>(app.hidden));
+        2.0 * tp_net->CollectiveTime(Collective::kAllReduce, t,
+                                     Bytes(dt * b *
+                                           static_cast<double>(app.hidden)));
   }
-  const double pp_token_hop = pp_net->CollectiveTime(
+  const Seconds pp_token_hop = pp_net->CollectiveTime(
       Collective::kPointToPoint, 2,
-      dt * b * static_cast<double>(app.hidden));
+      Bytes(dt * b * static_cast<double>(app.hidden)));
   stats.per_token_time = nblocks * (decode_block + tp_token_block) +
                          static_cast<double>(p - 1) * pp_token_hop;
   stats.tp_comm_per_token = nblocks * tp_token_block;
@@ -132,19 +133,19 @@ Result<InferenceStats> CalculateInference(const Application& app,
   stats.total_time = stats.prefill_time +
                      static_cast<double>(config.gen_tokens) *
                          stats.per_token_time;
-  if (stats.per_token_time > 0.0) {
+  if (stats.per_token_time > Seconds(0.0)) {
     stats.tokens_per_second =
         b * static_cast<double>(e.data_par) / stats.per_token_time;
   }
 
   // --- Memory (per processor) ---
   const double aw = static_cast<double>(app.attn_heads * app.attn_size);
-  stats.kv_cache_bytes = 2.0 * dt * b * ctx * aw /
-                         static_cast<double>(t) *
-                         static_cast<double>(bpp);
-  const double weight_bytes = block.WeightBytes() * static_cast<double>(bpp);
+  stats.kv_cache_bytes = Bytes(2.0 * dt * b * ctx * aw /
+                               static_cast<double>(t) *
+                               static_cast<double>(bpp));
+  const Bytes weight_bytes = block.WeightBytes() * static_cast<double>(bpp);
   // Transient working set: the prefill pass's largest tensors.
-  const double working =
+  const double working_raw =
       dt * b *
       (static_cast<double>(config.prompt_tokens) *
            (static_cast<double>(app.hidden) +
@@ -153,7 +154,7 @@ Result<InferenceStats> CalculateInference(const Application& app,
            static_cast<double>(config.prompt_tokens) *
            static_cast<double>(config.prompt_tokens));
   stats.tier1.weights = weight_bytes;
-  stats.tier1.activations = stats.kv_cache_bytes + working;
+  stats.tier1.activations = stats.kv_cache_bytes + Bytes(working_raw);
   if (stats.tier1.Total() > proc.mem1.capacity()) {
     return R(Infeasible::kMemoryCapacity,
              StrFormat("needs %s, capacity %s",

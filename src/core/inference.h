@@ -33,17 +33,17 @@ struct InferenceConfig {
 
 struct InferenceStats {
   // Latency.
-  double prefill_time = 0.0;     // time to first token (one batch)
-  double per_token_time = 0.0;   // steady-state decode step latency
-  double total_time = 0.0;       // prefill + gen_tokens * per-token
+  Seconds prefill_time;    // time to first token (one batch)
+  Seconds per_token_time;  // steady-state decode step latency
+  Seconds total_time;      // prefill + gen_tokens * per-token
   // Throughput.
-  double tokens_per_second = 0.0;  // generated tokens/s across the batch
+  PerSecond tokens_per_second;  // generated tokens/s across the batch
   // Memory (per processor).
-  MemoryBreakdown tier1;         // weights + KV cache (in `activations`)
-  double kv_cache_bytes = 0.0;   // final-context KV cache share
+  MemoryBreakdown tier1;  // weights + KV cache (in `activations`)
+  Bytes kv_cache_bytes;   // final-context KV cache share
   // Communication busy time per decode step.
-  double tp_comm_per_token = 0.0;
-  double pp_comm_per_token = 0.0;
+  Seconds tp_comm_per_token;
+  Seconds pp_comm_per_token;
 };
 
 // Runs the inference estimation. `exec.training` must be false and

@@ -12,11 +12,11 @@ Table LayerReport(const Application& app, const Execution& exec,
   const Processor& proc = sys.proc();
   Table table({"layer", "kind", "fw flops", "fw bytes", "fw time", "bw time",
                "stash", "weights"});
-  double fw_total = 0.0;
-  double bw_total = 0.0;
+  Seconds fw_total;
+  Seconds bw_total;
   for (const Layer& l : block.layers) {
-    const double fw = proc.OpTime(l.kind, l.fw_flops, l.fw_bytes);
-    const double bw = proc.OpTime(l.kind, l.bw_flops, l.bw_bytes);
+    const Seconds fw = proc.OpTime(l.kind, l.fw_flops, l.fw_bytes);
+    const Seconds bw = proc.OpTime(l.kind, l.bw_flops, l.bw_bytes);
     fw_total += fw;
     bw_total += bw;
     table.AddRow({l.name, l.kind == ComputeKind::kMatrix ? "matrix" : "vector",
@@ -26,11 +26,11 @@ Table LayerReport(const Application& app, const Execution& exec,
   }
   table.AddRule();
   const Network* tp_net = sys.NetworkForSpan(exec.tensor_par);
-  double comm_total = 0.0;
+  Seconds comm_total;
   if (tp_net != nullptr) {
     int idx = 0;
     for (const CommOp& op : block.tp_fw) {
-      const double time =
+      const Seconds time =
           tp_net->CollectiveTime(op.op, exec.tensor_par, op.bytes);
       comm_total += time;
       table.AddRow({StrFormat("tp_fw_%d (%s)", idx++, ToString(op.op)),

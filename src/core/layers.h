@@ -20,46 +20,60 @@ struct Layer {
   ComputeKind kind = ComputeKind::kMatrix;
 
   // Per-microbatch compute and tier-1 traffic.
-  double fw_flops = 0.0;
-  double fw_bytes = 0.0;
-  double bw_flops = 0.0;  // grad wrt inputs + grad wrt weights
-  double bw_bytes = 0.0;
+  Flops fw_flops;
+  Bytes fw_bytes;
+  Flops bw_flops;  // grad wrt inputs + grad wrt weights
+  Bytes bw_bytes;
 
   // Bytes stashed at forward time for this layer's backward.
-  double act_stored = 0.0;
+  Bytes act_stored;
   // True when the stash is one of the sequence-squared attention tensors
   // that selective ("attn-only") recomputation drops and re-derives.
   bool attn_stash = false;
 
   // Per-processor weight footprints (microbatch-independent).
   double params = 0.0;  // learnable parameter count
-  double weight_bytes = 0.0;
-  double weight_grad_bytes = 0.0;
-  double optimizer_bytes = 0.0;
+  Bytes weight_bytes;
+  Bytes weight_grad_bytes;
+  Bytes optimizer_bytes;
 };
 
 // Factory helpers. All sizes are element counts; `dt` is bytes per element.
 
+// The (M x K) * (K x N) shape of a GEMM, in elements.
+struct GemmShape {
+  double m = 0.0;
+  double k = 0.0;
+  double n = 0.0;
+};
+
+// Shape of an element-wise / normalization layer: `elems` elements with
+// `flops_per_elem` forward FLOPs each, streaming `tensors_in` + `tensors_out`
+// tensors of `elems` elements through memory.
+struct VectorShape {
+  double elems = 0.0;
+  double flops_per_elem = 0.0;  // unit-ok: per-element density, not a total
+  double tensors_in = 0.0;
+  double tensors_out = 0.0;
+};
+
 // GEMM computing (M x K) * (K x N). Stores its input (M*K elements) unless
 // `stored_input_elems` overrides it (sequence-parallel sharded stash).
-[[nodiscard]] Layer MakeLinear(std::string name, double m, double k, double n,
+[[nodiscard]] Layer MakeLinear(std::string name, const GemmShape& shape,
                                int dt, bool bias, bool training,
                                double stored_input_elems = -1.0);
 
 // Batched GEMM: `batches` independent (M x K) * (K x N) products. Weights
 // are activations here (no learnable state). `stored_elems` is the stash.
 [[nodiscard]] Layer MakeBatchMatmul(std::string name, double batches,
-                                    double m, double k, double n, int dt,
+                                    const GemmShape& shape, int dt,
                                     bool training, double stored_elems,
                                     bool attn_stash);
 
-// Element-wise / normalization layer over `elems` elements performing
-// `flops_per_elem` forward FLOPs per element and touching
-// `tensors_in` + `tensors_out` streams of `elems` elements each.
-[[nodiscard]] Layer MakeVector(std::string name, double elems,
-                               double flops_per_elem, double tensors_in,
-                               double tensors_out, int dt, bool training,
-                               double stored_bytes, bool attn_stash = false,
+// Element-wise / normalization layer over `shape.elems` elements.
+[[nodiscard]] Layer MakeVector(std::string name, const VectorShape& shape,
+                               int dt, bool training, Bytes stored_bytes,
+                               bool attn_stash = false,
                                double weight_elems = 0.0);
 
 }  // namespace calculon

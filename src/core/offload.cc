@@ -12,15 +12,18 @@ OffloadResult ComputeOffload(const OffloadInputs& in, const Memory& mem2) {
               "blocks_per_proc=%lld microbatches=%lld",
               static_cast<long long>(in.blocks_per_proc),
               static_cast<long long>(in.microbatches));
-  CALC_DCHECK(in.weight_block >= 0.0 && in.weight_grad_block >= 0.0 &&
-                  in.act_block >= 0.0 && in.optim_block >= 0.0,
+  CALC_DCHECK(in.weight_block >= Bytes(0.0) &&
+                  in.weight_grad_block >= Bytes(0.0) &&
+                  in.act_block >= Bytes(0.0) && in.optim_block >= Bytes(0.0),
               "negative block size");
   // NaN-tolerant (!(x < 0)): degenerate systems (zero-bandwidth tiers)
   // produce non-finite phase durations that must flow through to the perf
   // model's final non-finite screen, not trap here.
-  CALC_DCHECK(!(in.fw_block_time < 0.0) && !(in.bw_block_time < 0.0) &&
-                  !(in.fw_phase_total < 0.0) && !(in.bw_phase_total < 0.0) &&
-                  !(in.optim_phase_total < 0.0),
+  CALC_DCHECK(!(in.fw_block_time < Seconds(0.0)) &&
+                  !(in.bw_block_time < Seconds(0.0)) &&
+                  !(in.fw_phase_total < Seconds(0.0)) &&
+                  !(in.bw_phase_total < Seconds(0.0)) &&
+                  !(in.optim_phase_total < Seconds(0.0)),
               "negative phase duration");
   CALC_DCHECK(in.act_in_flight >= 0.0, "act_in_flight = %g", in.act_in_flight);
   OffloadResult out;
@@ -28,9 +31,9 @@ OffloadResult ComputeOffload(const OffloadInputs& in, const Memory& mem2) {
   const double nm = static_cast<double>(in.microbatches);
 
   // Per-block traffic while computing one block for one microbatch.
-  double fw_block_bytes = 0.0;  // moved during a block's forward compute
-  double bw_block_bytes = 0.0;  // moved during a block's backward compute
-  double optim_bytes = 0.0;     // moved during the optimizer step
+  Bytes fw_block_bytes;  // moved during a block's forward compute
+  Bytes bw_block_bytes;  // moved during a block's backward compute
+  Bytes optim_bytes;     // moved during the optimizer step
 
   if (in.weights) {
     // Fig. 8: weights are prefetched per block as compute walks the chunk,
@@ -55,30 +58,32 @@ OffloadResult ComputeOffload(const OffloadInputs& in, const Memory& mem2) {
     out.hbm_optimizer = 2.0 * in.optim_block;
   }
 
-  const double fw_traffic = fw_block_bytes * bpp * nm;
-  const double bw_traffic = bw_block_bytes * bpp * nm;
+  const Bytes fw_traffic = fw_block_bytes * bpp * nm;
+  const Bytes bw_traffic = bw_block_bytes * bpp * nm;
   out.traffic_bytes = fw_traffic + bw_traffic + optim_bytes;
-  if (out.traffic_bytes <= 0.0) return out;
+  if (out.traffic_bytes <= Bytes(0.0)) return out;
 
   // Eq. 1: the bandwidth that hides a block's prefetch/write-back under
   // that block's compute. The optimizer stream is excluded — an offloaded
   // optimizer step is inherently tier-2-bound and simply runs longer
   // (captured as exposed time below), rather than demanding HBM-class
   // bandwidth.
-  auto demand = [](double bytes, double seconds) {
-    return seconds > 0.0 ? bytes / seconds : 0.0;
+  auto demand = [](Bytes bytes, Seconds seconds) {
+    return seconds > Seconds(0.0) ? bytes / seconds : BytesPerSecond(0.0);
   };
   out.required_bw = std::max(demand(fw_block_bytes, in.fw_block_time),
                              demand(bw_block_bytes, in.bw_block_time));
 
-  const double bw2 = mem2.EffectiveBandwidth(out.traffic_bytes);
+  const BytesPerSecond bw2 = mem2.EffectiveBandwidth(out.traffic_bytes);
   out.busy_time = mem2.AccessTime(out.traffic_bytes);
 
   // Exposure per phase: traffic beyond what the phase duration can hide.
-  auto exposed = [&](double bytes, double window) {
-    if (bytes <= 0.0) return 0.0;
-    if (bw2 <= 0.0) return bytes / 1e-30;  // absent tier: effectively inf
-    return std::max(0.0, bytes / bw2 - window);
+  auto exposed = [&](Bytes bytes, Seconds window) {
+    if (bytes <= Bytes(0.0)) return Seconds(0.0);
+    if (bw2 <= BytesPerSecond(0.0)) {
+      return bytes / BytesPerSecond(1e-30);  // absent tier: effectively inf
+    }
+    return std::max(Seconds(0.0), bytes / bw2 - window);
   };
   out.exposed_time = exposed(fw_traffic, in.fw_phase_total) +
                      exposed(bw_traffic, in.bw_phase_total) +
@@ -86,9 +91,12 @@ OffloadResult ComputeOffload(const OffloadInputs& in, const Memory& mem2) {
   // Postconditions the audit relies on: offloading can only add time, and
   // the Eq. 1 bandwidth demand is never negative. Written NaN-tolerantly —
   // non-finite values from degenerate inputs flow to the model's screen.
-  CALC_DCHECK(!(out.exposed_time < 0.0) && !(out.busy_time < 0.0),
-              "exposed=%g busy=%g", out.exposed_time, out.busy_time);
-  CALC_DCHECK(!(out.required_bw < 0.0), "required_bw = %g", out.required_bw);
+  CALC_DCHECK(!(out.exposed_time < Seconds(0.0)) &&
+                  !(out.busy_time < Seconds(0.0)),
+              "exposed=%g busy=%g", out.exposed_time.raw(),
+              out.busy_time.raw());
+  CALC_DCHECK(!(out.required_bw < BytesPerSecond(0.0)), "required_bw = %g",
+              out.required_bw.raw());
   return out;
 }
 

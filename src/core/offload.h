@@ -18,40 +18,40 @@ struct OffloadInputs {
   bool activations = false;
   bool optimizer = false;
 
-  // Per-block, per-processor sizes (bytes).
-  double weight_block = 0.0;
-  double weight_grad_block = 0.0;
-  double act_block = 0.0;    // stashed activations per microbatch
-  double optim_block = 0.0;  // optimizer state
+  // Per-block, per-processor sizes.
+  Bytes weight_block;
+  Bytes weight_grad_block;
+  Bytes act_block;    // stashed activations per microbatch
+  Bytes optim_block;  // optimizer state
 
   std::int64_t blocks_per_proc = 1;
-  std::int64_t microbatches = 1;   // per batch per pipeline
-  double act_in_flight = 1.0;      // microbatches live at the worst stage
+  std::int64_t microbatches = 1;  // per batch per pipeline
+  double act_in_flight = 1.0;     // microbatches live at the worst stage
 
   // Phase durations (compute + exposed network) the traffic can hide under.
-  double fw_block_time = 0.0;      // one block, one microbatch, forward
-  double bw_block_time = 0.0;      // one block, one microbatch, backward
-  double fw_phase_total = 0.0;     // whole forward phase per batch
-  double bw_phase_total = 0.0;     // whole backward phase per batch
-  double optim_phase_total = 0.0;  // optimizer step per batch
+  Seconds fw_block_time;      // one block, one microbatch, forward
+  Seconds bw_block_time;      // one block, one microbatch, backward
+  Seconds fw_phase_total;     // whole forward phase per batch
+  Seconds bw_phase_total;     // whole backward phase per batch
+  Seconds optim_phase_total;  // optimizer step per batch
 };
 
 struct OffloadResult {
-  double tier2_weights = 0.0;      // capacity demand by component
-  double tier2_acts = 0.0;
-  double tier2_optimizer = 0.0;
-  double traffic_bytes = 0.0;      // tier-2 traffic per batch
-  double required_bw = 0.0;        // Eq. 1: min bandwidth for full overlap
-  double busy_time = 0.0;          // traffic / effective tier-2 bandwidth
-  double exposed_time = 0.0;       // traffic not hidden behind any phase
+  Bytes tier2_weights;  // capacity demand by component
+  Bytes tier2_acts;
+  Bytes tier2_optimizer;
+  Bytes traffic_bytes;          // tier-2 traffic per batch
+  BytesPerSecond required_bw;   // Eq. 1: min bandwidth for full overlap
+  Seconds busy_time;            // traffic / effective tier-2 bandwidth
+  Seconds exposed_time;         // traffic not hidden behind any phase
 
   // Tier-1 working-set replacements (what stays in HBM).
-  double hbm_weights = 0.0;
-  double hbm_weight_grads = 0.0;
-  double hbm_acts = 0.0;
-  double hbm_optimizer = 0.0;
+  Bytes hbm_weights;
+  Bytes hbm_weight_grads;
+  Bytes hbm_acts;
+  Bytes hbm_optimizer;
 
-  [[nodiscard]] double Tier2Total() const {
+  [[nodiscard]] Bytes Tier2Total() const {
     return tier2_weights + tier2_acts + tier2_optimizer;
   }
 };

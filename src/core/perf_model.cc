@@ -28,8 +28,8 @@ double TpHideFraction(TpOverlap overlap) {
 }
 
 struct CommCost {
-  double total = 0.0;    // network busy time
-  double exposed = 0.0;  // time blocking computation (incl. throttling)
+  Seconds total;    // network busy time
+  Seconds exposed;  // time blocking computation (incl. throttling)
 };
 
 // Cost of a list of TP collectives with a given hidden fraction. Hidden
@@ -41,7 +41,7 @@ CommCost TpCommCost(const std::vector<CommOp>& ops, const Network& net,
   for (const CommOp& op : ops) {
     cost.total += net.CollectiveTime(op.op, members, op.bytes);
   }
-  const double hidden = cost.total * hide_fraction;
+  const Seconds hidden = cost.total * hide_fraction;
   cost.exposed = (cost.total - hidden) + hidden * net.processor_fraction();
   return cost;
 }
@@ -53,7 +53,7 @@ CommCost TpCommCost(const std::vector<CommOp>& ops, const Network& net,
 // should skip the configuration, not crash — so it is routed through
 // Result<T> as kBadConfig rather than thrown.
 const char* FindNonFinite(const Stats& stats) {
-  auto bad = [](double v) { return !std::isfinite(v) || v < 0.0; };
+  auto bad = [](auto q) { return !IsFinite(q) || q < decltype(q)(0.0); };
   const TimeBreakdown& t = stats.time;
   if (bad(t.fw_pass) || bad(t.bw_pass) || bad(t.fw_recompute) ||
       bad(t.optim_step) || bad(t.pp_bubble) || bad(t.tp_comm) ||
@@ -80,7 +80,7 @@ const char* FindNonFinite(const Stats& stats) {
 
 }  // namespace
 
-double ModelFlopsPerSample(const Application& app, bool training) {
+Flops ModelFlopsPerSample(const Application& app, bool training) {
   // Closed form of the per-block GEMM work (kept on the hot path; the
   // equivalence with the layer-by-layer accounting is unit-tested).
   const double s = static_cast<double>(app.seq_size);
@@ -102,7 +102,7 @@ double ModelFlopsPerSample(const Application& app, bool training) {
   const double vocab_gemm =
       2.0 * s * h * static_cast<double>(app.vocab_size);
   const double vocab = training ? 3.0 * vocab_gemm : vocab_gemm;
-  return per_block * static_cast<double>(app.num_blocks) + vocab;
+  return Flops(per_block * static_cast<double>(app.num_blocks) + vocab);
 }
 
 Result<Stats> CalculatePerformance(const Application& app,
@@ -139,15 +139,15 @@ Result<Stats> CalculatePerformance(const Application& app,
   const BlockModel block = BuildBlock(app, exec);
 
   // --- Per-block compute time ---
-  double fw_block = 0.0;
-  double bw_block = 0.0;
+  Seconds fw_block;
+  Seconds bw_block;
   for (const Layer& l : block.layers) {
     fw_block += proc.OpTime(l.kind, l.fw_flops, l.fw_bytes);
     bw_block += proc.OpTime(l.kind, l.bw_flops, l.bw_bytes);
   }
 
   // Recomputation work during backward.
-  double recompute_block = 0.0;
+  Seconds recompute_block;
   if (exec.recompute == Recompute::kFull) {
     recompute_block = fw_block;
   } else if (exec.recompute == Recompute::kAttnOnly) {
@@ -175,14 +175,14 @@ Result<Stats> CalculatePerformance(const Application& app,
   CommCost pp_ub;
   if (p > 1) {
     const std::int64_t bpc = CeilDiv(bpp, interleave);  // blocks per chunk
-    const double xfer = pp_net->CollectiveTime(Collective::kPointToPoint, 2,
-                                               block.pp_output_bytes);
+    const Seconds xfer = pp_net->CollectiveTime(Collective::kPointToPoint, 2,
+                                                block.pp_output_bytes);
     const double chunks = static_cast<double>(interleave);
-    const double fw_window = static_cast<double>(bpc) * fw_block;
-    const double bw_window =
+    const Seconds fw_window = static_cast<double>(bpc) * fw_block;
+    const Seconds bw_window =
         static_cast<double>(bpc) * (bw_block + recompute_block);
-    auto exposed_xfer = [&](double window) {
-      const double hidden = std::min(xfer, window);
+    auto exposed_xfer = [&](Seconds window) {
+      const Seconds hidden = std::min(xfer, window);
       return (xfer - hidden) + hidden * pp_net->processor_fraction();
     };
     pp_ub.total = 2.0 * chunks * xfer;  // one send per chunk per pass
@@ -191,8 +191,8 @@ Result<Stats> CalculatePerformance(const Application& app,
     // the residual stream is not already sequence-sharded. These serialize
     // with the boundary.
     if (exec.pp_rs_ag && !exec.seq_par) {
-      const double full = block.pp_output_bytes * static_cast<double>(t);
-      const double rs_ag =
+      const Bytes full = block.pp_output_bytes * static_cast<double>(t);
+      const Seconds rs_ag =
           2.0 * chunks *
           (tp_net->CollectiveTime(Collective::kReduceScatter, t, full) +
            tp_net->CollectiveTime(Collective::kAllGather, t, full));
@@ -203,13 +203,13 @@ Result<Stats> CalculatePerformance(const Application& app,
 
   // --- Per-microbatch totals across the bottleneck stage's blocks ---
   const double nblocks = static_cast<double>(bpp);
-  const double fw_ub = nblocks * fw_block;
-  const double bw_ub = nblocks * bw_block;
-  const double recompute_ub = nblocks * recompute_block;
-  const double tp_exposed_ub =
+  const Seconds fw_ub = nblocks * fw_block;
+  const Seconds bw_ub = nblocks * bw_block;
+  const Seconds recompute_ub = nblocks * recompute_block;
+  const Seconds tp_exposed_ub =
       nblocks * (tp_fw.exposed + tp_bw.exposed + tp_bw_extra.exposed +
                  tp_recompute.exposed);
-  const double tp_total_ub =
+  const Seconds tp_total_ub =
       nblocks *
       (tp_fw.total + tp_bw.total + tp_bw_extra.total + tp_recompute.total);
 
@@ -218,7 +218,7 @@ Result<Stats> CalculatePerformance(const Application& app,
   // vocabulary and computes the loss softmax. The pipeline rhythm is set by
   // its slowest stage; folding both into the bottleneck stage is the
   // conservative approximation.
-  double vocab_ub = 0.0;
+  Seconds vocab_ub;
   double vocab_params = 0.0;
   if (app.vocab_size > 0) {
     const double b = static_cast<double>(exec.microbatch);
@@ -231,20 +231,22 @@ Result<Stats> CalculatePerformance(const Application& app,
     const double proj_flops = 2.0 * b * s * h * v_shard;
     const double proj_bytes =
         dtb * (b * s * h + h * v_shard + b * s * v_shard);
-    const double proj_fw =
-        proc.OpTime(ComputeKind::kMatrix, proj_flops, proj_bytes);
-    const double proj_bw =
+    const Seconds proj_fw =
+        proc.OpTime(ComputeKind::kMatrix, Flops(proj_flops),
+                    Bytes(proj_bytes));
+    const Seconds proj_bw =
         exec.training
-            ? proc.OpTime(ComputeKind::kMatrix, 2.0 * proj_flops,
-                          2.0 * proj_bytes)
-            : 0.0;
+            ? proc.OpTime(ComputeKind::kMatrix, Flops(2.0 * proj_flops),
+                          Bytes(2.0 * proj_bytes))
+            : Seconds(0.0);
     // Loss softmax over the sharded vocabulary.
-    const double soft = proc.OpTime(ComputeKind::kVector,
-                                    5.0 * b * s * v_shard,
-                                    2.0 * dtb * b * s * v_shard);
+    const Seconds soft = proc.OpTime(ComputeKind::kVector,
+                                     Flops(5.0 * b * s * v_shard),
+                                     Bytes(2.0 * dtb * b * s * v_shard));
     // Embedding gather: memory-bound table lookup of b*s rows.
-    const double gather =
-        proc.OpTime(ComputeKind::kVector, b * s * h, dtb * b * s * h);
+    const Seconds gather =
+        proc.OpTime(ComputeKind::kVector, Flops(b * s * h),
+                    Bytes(dtb * b * s * h));
     vocab_ub = proj_fw + proj_bw + soft * (exec.training ? 2.0 : 1.0) +
                gather * (exec.training ? 2.0 : 1.0);
     vocab_params =
@@ -252,11 +254,11 @@ Result<Stats> CalculatePerformance(const Application& app,
         static_cast<double>(t);
   }
 
-  const double per_ub = fw_ub + bw_ub + recompute_ub + tp_exposed_ub +
-                        pp_ub.exposed + vocab_ub;
+  const Seconds per_ub = fw_ub + bw_ub + recompute_ub + tp_exposed_ub +
+                         pp_ub.exposed + vocab_ub;
 
   const PipelineShape shape{p, interleave, nm, exec.pp_1f1b};
-  const double bubble = PipelineBubbleTime(shape, per_ub);
+  const Seconds bubble = PipelineBubbleTime(shape, per_ub);
   const double in_flight = exec.training ? InFlightMicrobatches(shape) : 1.0;
 
   // --- Optimizer step ---
@@ -266,27 +268,29 @@ Result<Stats> CalculatePerformance(const Application& app,
   // the reduce-scatter lands each rank's shard directly, so the persistent
   // buffer divides by d; one block's worth of freshly produced gradients
   // stays resident as a transient buffer.
-  const double wgrad_block = block.WeightGradBytes();
-  const double wgrad_local =
-      wgrad_block * nblocks / shard + (exec.training ? wgrad_block : 0.0);
+  const Bytes wgrad_block = block.WeightGradBytes();
+  const Bytes wgrad_local =
+      wgrad_block * nblocks / shard +
+      (exec.training ? wgrad_block : Bytes(0.0));
   const double upd_params = params_local / shard;
-  double optim_time = 0.0;
+  Seconds optim_time;
   if (exec.training && params_local > 0.0) {
     // Adam: read weight/grad/master/moments, write weight/master/moments.
     const double dtb = static_cast<double>(exec.datatype_bytes);
     const double optim_bytes = upd_params * (2.0 * dtb + 28.0);
     const double optim_flops = 8.0 * upd_params;
-    optim_time = proc.OpTime(ComputeKind::kVector, optim_flops, optim_bytes);
+    optim_time = proc.OpTime(ComputeKind::kVector, Flops(optim_flops),
+                             Bytes(optim_bytes));
   }
 
   // --- Data-parallel communication ---
-  double dp_total = 0.0;
-  double dp_exposed = 0.0;
+  Seconds dp_total;
+  Seconds dp_exposed;
   if (exec.training && d > 1) {
     const double dtb = static_cast<double>(exec.datatype_bytes);
-    const double grad_bytes = params_local * dtb;
-    double overlappable = 0.0;  // can hide behind the last backward pass
-    double post_step = 0.0;     // must wait for the optimizer (sharded AG)
+    const Bytes grad_bytes = Bytes(params_local * dtb);
+    Seconds overlappable;  // can hide behind the last backward pass
+    Seconds post_step;     // must wait for the optimizer (sharded AG)
     if (exec.optimizer_sharding) {
       overlappable = dp_net->CollectiveTime(Collective::kReduceScatter, d,
                                             grad_bytes);
@@ -304,15 +308,15 @@ Result<Stats> CalculatePerformance(const Application& app,
       // Hidden communication still throttles the compute it overlaps.
       const double gfrac =
           nblocks > 1.0 ? (nblocks - 1.0) / nblocks : 0.0;
-      const double bw_window = (bw_ub + recompute_ub) * gfrac;
-      const double hidden_rs = std::min(overlappable * gfrac, bw_window);
+      const Seconds bw_window = (bw_ub + recompute_ub) * gfrac;
+      const Seconds hidden_rs = std::min(overlappable * gfrac, bw_window);
       dp_exposed = (overlappable - hidden_rs) +
                    hidden_rs * dp_net->processor_fraction();
       // The sharded optimizer's weight all-gather cannot overlap the
       // optimizer step itself, but layer k's gathered weights are only
       // needed when the next batch's forward reaches it.
-      const double fw_window = fw_ub * gfrac;
-      const double hidden_ag = std::min(post_step * gfrac, fw_window);
+      const Seconds fw_window = fw_ub * gfrac;
+      const Seconds hidden_ag = std::min(post_step * gfrac, fw_window);
       dp_exposed += (post_step - hidden_ag) +
                     hidden_ag * dp_net->processor_fraction();
     } else {
@@ -339,7 +343,8 @@ Result<Stats> CalculatePerformance(const Application& app,
     in.act_in_flight = in_flight;
     in.fw_block_time = fw_block + tp_fw.exposed;
     in.bw_block_time = bw_block + recompute_block + tp_bw.exposed;
-    in.fw_phase_total = static_cast<double>(nm) * (fw_ub + tp_exposed_ub / 2.0);
+    in.fw_phase_total =
+        static_cast<double>(nm) * (fw_ub + tp_exposed_ub / 2.0);
     in.bw_phase_total =
         static_cast<double>(nm) * (bw_ub + recompute_ub + tp_exposed_ub / 2.0);
     in.optim_phase_total = optim_time;
@@ -355,9 +360,9 @@ Result<Stats> CalculatePerformance(const Application& app,
   // --- Tier-1 memory accounting ---
   Stats stats;
   MemoryBreakdown& m1 = stats.tier1;
-  const double act_block_stored = block.ActStoredBytes(exec.recompute);
-  const double vocab_weight_bytes =
-      vocab_params * static_cast<double>(exec.datatype_bytes);
+  const Bytes act_block_stored = block.ActStoredBytes(exec.recompute);
+  const Bytes vocab_weight_bytes =
+      Bytes(vocab_params * static_cast<double>(exec.datatype_bytes));
   m1.weights = (exec.weight_offload ? off.hbm_weights
                                     : block.WeightBytes() * nblocks) +
                vocab_weight_bytes;
@@ -376,8 +381,8 @@ Result<Stats> CalculatePerformance(const Application& app,
                                         : block.OptimizerBytes() * nblocks /
                                               shard;
   if (exec.training && vocab_params > 0.0) {
-    m1.weight_grads += vocab_params * 4.0 / shard;
-    m1.optimizer += vocab_params * 12.0 / shard;
+    m1.weight_grads += Bytes(vocab_params * 4.0 / shard);
+    m1.optimizer += Bytes(vocab_params * 12.0 / shard);
   }
 
   if (m1.Total() > proc.mem1.capacity()) {
@@ -412,7 +417,7 @@ Result<Stats> CalculatePerformance(const Application& app,
   stats.offload_bw_required = off.required_bw;
 
   stats.batch_time = stats.time.Total();
-  if (stats.batch_time <= 0.0 || !std::isfinite(stats.batch_time)) {
+  if (stats.batch_time <= Seconds(0.0) || !IsFinite(stats.batch_time)) {
     return R(Infeasible::kBadConfig, "non-finite batch time");
   }
   if (const char* which = FindNonFinite(stats)) {
@@ -421,7 +426,7 @@ Result<Stats> CalculatePerformance(const Application& app,
   }
   stats.sample_rate =
       static_cast<double>(exec.batch_size) / stats.batch_time;
-  const double useful =
+  const Flops useful =
       ModelFlopsPerSample(app, exec.training) *
       static_cast<double>(exec.batch_size);
   stats.mfu = useful / (stats.batch_time *

@@ -22,7 +22,7 @@ namespace calculon {
 
 // Model FLOPs per sample (forward + backward GEMM work of the full model,
 // excluding recomputation), the numerator of MFU.
-[[nodiscard]] double ModelFlopsPerSample(const Application& app,
-                                         bool training);
+[[nodiscard]] Flops ModelFlopsPerSample(const Application& app,
+                                        bool training);
 
 }  // namespace calculon

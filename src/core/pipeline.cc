@@ -18,15 +18,15 @@ void CheckShape(const PipelineShape& shape) {
 }
 }  // namespace
 
-double PipelineBubbleTime(const PipelineShape& shape,
-                          double per_microbatch_time) {
+Seconds PipelineBubbleTime(const PipelineShape& shape,
+                           Seconds per_microbatch_time) {
   CheckShape(shape);
   // NaN/inf-tolerant (!(x < 0)): zero-bandwidth tiers legitimately drive
   // per-microbatch time non-finite; the perf model's final screen rejects
   // those configurations as kBadConfig. Only definite negatives are bugs.
-  CALC_DCHECK(!(per_microbatch_time < 0.0), "per_microbatch_time = %g",
-              per_microbatch_time);
-  if (shape.stages <= 1) return 0.0;
+  CALC_DCHECK(!(per_microbatch_time < Seconds(0.0)),
+              "per_microbatch_time = %g", per_microbatch_time.raw());
+  if (shape.stages <= 1) return Seconds(0.0);
   const double p = static_cast<double>(shape.stages);
   const double i = static_cast<double>(shape.interleaving);
   // Fill/drain: (p - 1) chunk slots; a chunk is 1/i of the per-microbatch

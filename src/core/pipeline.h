@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "util/quantity.h"
+
 namespace calculon {
 
 struct PipelineShape {
@@ -21,8 +23,8 @@ struct PipelineShape {
 
 // Idle (bubble) time per batch given the per-microbatch time a processor
 // spends on all of its blocks (forward + backward + recompute).
-[[nodiscard]] double PipelineBubbleTime(const PipelineShape& shape,
-                                        double per_microbatch_time);
+[[nodiscard]] Seconds PipelineBubbleTime(const PipelineShape& shape,
+                                         Seconds per_microbatch_time);
 
 // Number of microbatches whose stashed activations are simultaneously live
 // on the worst (first) stage. 1F1B caps this at the pipeline depth;

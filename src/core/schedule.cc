@@ -55,14 +55,16 @@ std::int64_t WarmupUnits(std::int64_t stage, std::int64_t stages,
 
 }  // namespace
 
-double ScheduleResult::TotalIdle() const {
-  double sum = 0.0;
-  for (double idle : stage_idle) sum += idle;
+Seconds ScheduleResult::TotalIdle() const {
+  Seconds sum;
+  for (Seconds idle : stage_idle) sum += idle;
   return sum;
 }
 
 std::string ScheduleResult::Render(int width) const {
-  if (tasks.empty() || makespan <= 0.0 || width < 10) return "(empty)\n";
+  if (tasks.empty() || makespan <= Seconds(0.0) || width < 10) {
+    return "(empty)\n";
+  }
   const std::int64_t stages =
       static_cast<std::int64_t>(stage_idle.size());
   std::string out;
@@ -70,7 +72,7 @@ std::string ScheduleResult::Render(int width) const {
     std::string row(static_cast<std::size_t>(width), '.');
     for (const ScheduleTask& t : tasks) {
       if (t.stage != s) continue;
-      auto col = [&](double time) {
+      auto col = [&](Seconds time) {
         return std::min<std::int64_t>(
             width - 1,
             static_cast<std::int64_t>(time / makespan * width));
@@ -102,7 +104,7 @@ std::string ScheduleResult::TraceJson(double time_scale) const {
         static_cast<long long>(t.microbatch),
         static_cast<long long>(t.chunk),
         t.kind == TaskKind::kForward ? "forward" : "backward",
-        t.start * time_scale, (t.end - t.start) * time_scale,
+        t.start.raw() * time_scale, (t.end - t.start).raw() * time_scale,
         static_cast<long long>(t.stage));
   }
   out += "\n]\n";
@@ -149,19 +151,19 @@ ScheduleResult BuildPipelineSchedule(const ScheduleParams& p) {
   }
 
   // Dependency-respecting execution of the static orders.
-  std::map<UnitKey, double> done;  // unit -> completion time
+  std::map<UnitKey, Seconds> done;  // unit -> completion time
   std::vector<std::size_t> cursor(static_cast<std::size_t>(stages), 0);
-  std::vector<double> stage_time(static_cast<std::size_t>(stages), 0.0);
+  std::vector<Seconds> stage_time(static_cast<std::size_t>(stages));
   ScheduleResult result;
   result.tasks.reserve(static_cast<std::size_t>(2 * units * stages));
 
   auto dependency_ready = [&](const Unit& u, std::int64_t s,
-                              double* ready_at) {
+                              Seconds* ready_at) {
     const std::int64_t v = u.chunk * stages + s;
     UnitKey dep{};
     if (u.kind == TaskKind::kForward) {
       if (v == 0) {
-        *ready_at = 0.0;
+        *ready_at = Seconds(0.0);
         return true;
       }
       dep = {TaskKind::kForward, u.microbatch, v - 1};
@@ -177,7 +179,7 @@ ScheduleResult BuildPipelineSchedule(const ScheduleParams& p) {
     // Same-stage dependencies (chunk hand-off within a processor) pay no
     // wire time.
     const std::int64_t dep_stage = dep.vstage % stages;
-    *ready_at = it->second + (dep_stage == s ? 0.0 : p.p2p_time);
+    *ready_at = it->second + (dep_stage == s ? Seconds(0.0) : p.p2p_time);
     return true;
   };
 
@@ -188,14 +190,14 @@ ScheduleResult BuildPipelineSchedule(const ScheduleParams& p) {
       auto& cur = cursor[static_cast<std::size_t>(s)];
       while (cur < order[static_cast<std::size_t>(s)].size()) {
         const Unit& u = order[static_cast<std::size_t>(s)][cur];
-        double ready_at = 0.0;
+        Seconds ready_at;
         if (!dependency_ready(u, s, &ready_at)) break;
-        const double duration = u.kind == TaskKind::kForward
-                                    ? p.fw_chunk_time
-                                    : p.bw_chunk_time;
-        const double start =
+        const Seconds duration = u.kind == TaskKind::kForward
+                                     ? p.fw_chunk_time
+                                     : p.bw_chunk_time;
+        const Seconds start =
             std::max(stage_time[static_cast<std::size_t>(s)], ready_at);
-        const double end = start + duration;
+        const Seconds end = start + duration;
         stage_time[static_cast<std::size_t>(s)] = end;
         done[{u.kind, u.microbatch, u.chunk * stages + s}] = end;
         result.tasks.push_back(
@@ -210,9 +212,9 @@ ScheduleResult BuildPipelineSchedule(const ScheduleParams& p) {
     }
   }
 
-  for (double t : stage_time) result.makespan = std::max(result.makespan, t);
-  result.stage_idle.assign(static_cast<std::size_t>(stages), 0.0);
-  std::vector<double> busy(static_cast<std::size_t>(stages), 0.0);
+  for (Seconds t : stage_time) result.makespan = std::max(result.makespan, t);
+  result.stage_idle.assign(static_cast<std::size_t>(stages), Seconds(0.0));
+  std::vector<Seconds> busy(static_cast<std::size_t>(stages));
   for (const ScheduleTask& t : result.tasks) {
     busy[static_cast<std::size_t>(t.stage)] += t.end - t.start;
   }
@@ -224,7 +226,7 @@ ScheduleResult BuildPipelineSchedule(const ScheduleParams& p) {
   // Peak live forward stashes per stage: +1 when a forward chunk starts,
   // -1 when its backward completes.
   for (std::int64_t s = 0; s < stages; ++s) {
-    std::vector<std::pair<double, int>> deltas;
+    std::vector<std::pair<Seconds, int>> deltas;
     for (const ScheduleTask& t : result.tasks) {
       if (t.stage != s) continue;
       if (t.kind == TaskKind::kForward) {

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "util/quantity.h"
+
 namespace calculon {
 
 enum class TaskKind { kForward, kBackward };
@@ -26,37 +28,38 @@ struct ScheduleTask {
   std::int64_t stage = 0;       // pipeline stage (processor group)
   std::int64_t chunk = 0;       // local chunk index (0 .. interleave-1)
   std::int64_t microbatch = 0;  // microbatch id
-  double start = 0.0;
-  double end = 0.0;
+  Seconds start;
+  Seconds end;
 };
 
 struct ScheduleParams {
   std::int64_t stages = 1;
   std::int64_t interleave = 1;
   std::int64_t microbatches = 1;
-  bool one_f_one_b = true;     // false: all-forwards-then-backwards (GPipe)
-  double fw_chunk_time = 1.0;  // forward time of one chunk, one microbatch
-  double bw_chunk_time = 2.0;  // backward (incl. recompute) per chunk
-  double p2p_time = 0.0;       // stage-boundary transfer time
+  bool one_f_one_b = true;  // false: all-forwards-then-backwards (GPipe)
+  Seconds fw_chunk_time{1.0};  // forward time of one chunk, one microbatch
+  Seconds bw_chunk_time{2.0};  // backward (incl. recompute) per chunk
+  Seconds p2p_time{0.0};       // stage-boundary transfer time
 };
 
 struct ScheduleResult {
   std::vector<ScheduleTask> tasks;  // sorted by (stage, start)
-  double makespan = 0.0;
+  Seconds makespan;
   // Per-stage idle (bubble) time within the makespan.
-  std::vector<double> stage_idle;
+  std::vector<Seconds> stage_idle;
   // Peak number of microbatches with live forward stashes on any stage
   // (a forward stash lives from the chunk's forward until its backward).
   std::int64_t peak_in_flight = 0;
 
-  [[nodiscard]] double TotalIdle() const;
+  [[nodiscard]] Seconds TotalIdle() const;
   // ASCII timeline, one row per stage (Fig. 2 style). `width` columns.
   [[nodiscard]] std::string Render(int width = 100) const;
   // Chrome trace-event JSON (load in chrome://tracing or Perfetto): one
   // track per stage, one slice per task. `time_scale` converts model
   // seconds to trace microseconds (default: 1 model second = 1 trace ms so
   // short schedules stay readable).
-  [[nodiscard]] std::string TraceJson(double time_scale = 1e3) const;
+  [[nodiscard]] std::string TraceJson(
+      double time_scale = 1e3) const;  // unit-ok: conversion factor
 };
 
 // Builds and "executes" the schedule with a greedy dependency-driven

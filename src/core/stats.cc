@@ -9,14 +9,14 @@ namespace calculon {
 
 std::string Stats::Report() const {
   std::ostringstream os;
-  auto line = [&](const char* label, double seconds) {
-    os << StrFormat("  %-14s %12s  (%s)\n", label,
-                    FormatTime(seconds).c_str(),
-                    FormatPercent(batch_time > 0.0 ? seconds / batch_time : 0.0)
-                        .c_str());
+  auto line = [&](const char* label, Seconds seconds) {
+    os << StrFormat(
+        "  %-14s %12s  (%s)\n", label, FormatTime(seconds).c_str(),
+        FormatPercent(batch_time > Seconds(0.0) ? seconds / batch_time : 0.0)
+            .c_str());
   };
   os << "Batch time: " << FormatTime(batch_time)
-     << "  sample rate: " << FormatNumber(sample_rate, 1) << "/s"
+     << "  sample rate: " << FormatNumber(sample_rate.raw(), 1) << "/s"
      << "  MFU: " << FormatPercent(mfu) << '\n';
   line("FW pass", time.fw_pass);
   line("BW pass", time.bw_pass);
@@ -28,18 +28,18 @@ std::string Stats::Report() const {
   line("DP comm", time.dp_comm);
   line("Offload", time.offload);
   os << "HBM consumption: " << FormatBytes(tier1.Total()) << '\n';
-  auto mem = [&](const char* label, double bytes) {
-    os << StrFormat("  %-20s %12s  (%s)\n", label, FormatBytes(bytes).c_str(),
-                    FormatPercent(tier1.Total() > 0.0 ? bytes / tier1.Total()
-                                                      : 0.0)
-                        .c_str());
+  auto mem = [&](const char* label, Bytes bytes) {
+    os << StrFormat(
+        "  %-20s %12s  (%s)\n", label, FormatBytes(bytes).c_str(),
+        FormatPercent(tier1.Total() > Bytes(0.0) ? bytes / tier1.Total() : 0.0)
+            .c_str());
   };
   mem("Weight", tier1.weights);
   mem("Activation", tier1.activations);
   mem("Weight gradients", tier1.weight_grads);
   mem("Activation gradients", tier1.act_grads);
   mem("Optimizer space", tier1.optimizer);
-  if (tier2.Total() > 0.0) {
+  if (tier2.Total() > Bytes(0.0)) {
     os << "Offload memory: " << FormatBytes(tier2.Total())
        << "  required bandwidth: " << FormatBandwidth(offload_bw_required)
        << '\n';
@@ -49,23 +49,23 @@ std::string Stats::Report() const {
 
 json::Value Stats::ToJson() const {
   json::Object t;
-  t["fw_pass"] = time.fw_pass;
-  t["bw_pass"] = time.bw_pass;
-  t["fw_recompute"] = time.fw_recompute;
-  t["optim_step"] = time.optim_step;
-  t["pp_bubble"] = time.pp_bubble;
-  t["tp_comm"] = time.tp_comm;
-  t["pp_comm"] = time.pp_comm;
-  t["dp_comm"] = time.dp_comm;
-  t["offload"] = time.offload;
+  t["fw_pass"] = time.fw_pass.raw();
+  t["bw_pass"] = time.bw_pass.raw();
+  t["fw_recompute"] = time.fw_recompute.raw();
+  t["optim_step"] = time.optim_step.raw();
+  t["pp_bubble"] = time.pp_bubble.raw();
+  t["tp_comm"] = time.tp_comm.raw();
+  t["pp_comm"] = time.pp_comm.raw();
+  t["dp_comm"] = time.dp_comm.raw();
+  t["offload"] = time.offload.raw();
 
   auto mem_json = [](const MemoryBreakdown& m) {
     json::Object o;
-    o["weights"] = m.weights;
-    o["activations"] = m.activations;
-    o["weight_grads"] = m.weight_grads;
-    o["act_grads"] = m.act_grads;
-    o["optimizer"] = m.optimizer;
+    o["weights"] = m.weights.raw();
+    o["activations"] = m.activations.raw();
+    o["weight_grads"] = m.weight_grads.raw();
+    o["act_grads"] = m.act_grads.raw();
+    o["optimizer"] = m.optimizer.raw();
     return json::Value(std::move(o));
   };
 
@@ -73,15 +73,15 @@ json::Value Stats::ToJson() const {
   o["time"] = json::Value(std::move(t));
   o["tier1"] = mem_json(tier1);
   o["tier2"] = mem_json(tier2);
-  o["batch_time"] = batch_time;
-  o["sample_rate"] = sample_rate;
+  o["batch_time"] = batch_time.raw();
+  o["sample_rate"] = sample_rate.raw();
   o["mfu"] = mfu;
-  o["tp_comm_total"] = tp_comm_total;
-  o["pp_comm_total"] = pp_comm_total;
-  o["dp_comm_total"] = dp_comm_total;
-  o["offload_total"] = offload_total;
-  o["offload_bw_required"] = offload_bw_required;
-  o["offload_bytes"] = offload_bytes;
+  o["tp_comm_total"] = tp_comm_total.raw();
+  o["pp_comm_total"] = pp_comm_total.raw();
+  o["dp_comm_total"] = dp_comm_total.raw();
+  o["offload_total"] = offload_total.raw();
+  o["offload_bw_required"] = offload_bw_required.raw();
+  o["offload_bytes"] = offload_bytes.raw();
   return json::Value(std::move(o));
 }
 

@@ -6,56 +6,57 @@
 #include <string>
 
 #include "json/json.h"
+#include "util/quantity.h"
 
 namespace calculon {
 
 struct TimeBreakdown {
-  double fw_pass = 0.0;        // forward compute (all microbatches)
-  double bw_pass = 0.0;        // backward compute
-  double fw_recompute = 0.0;   // recomputation during backward
-  double optim_step = 0.0;     // optimizer update
-  double pp_bubble = 0.0;      // pipeline fill/drain idle time
-  double tp_comm = 0.0;        // exposed tensor-parallel communication
-  double pp_comm = 0.0;        // exposed pipeline point-to-point
-  double dp_comm = 0.0;        // exposed data-parallel communication
-  double offload = 0.0;        // exposed tier-2 offloading time
+  Seconds fw_pass;       // forward compute (all microbatches)
+  Seconds bw_pass;       // backward compute
+  Seconds fw_recompute;  // recomputation during backward
+  Seconds optim_step;    // optimizer update
+  Seconds pp_bubble;     // pipeline fill/drain idle time
+  Seconds tp_comm;       // exposed tensor-parallel communication
+  Seconds pp_comm;       // exposed pipeline point-to-point
+  Seconds dp_comm;       // exposed data-parallel communication
+  Seconds offload;       // exposed tier-2 offloading time
 
-  [[nodiscard]] double Total() const {
+  [[nodiscard]] Seconds Total() const {
     return fw_pass + bw_pass + fw_recompute + optim_step + pp_bubble +
            tp_comm + pp_comm + dp_comm + offload;
   }
 };
 
 struct MemoryBreakdown {
-  double weights = 0.0;
-  double activations = 0.0;
-  double weight_grads = 0.0;
-  double act_grads = 0.0;
-  double optimizer = 0.0;
+  Bytes weights;
+  Bytes activations;
+  Bytes weight_grads;
+  Bytes act_grads;
+  Bytes optimizer;
 
-  [[nodiscard]] double Total() const {
+  [[nodiscard]] Bytes Total() const {
     return weights + activations + weight_grads + act_grads + optimizer;
   }
 };
 
 struct Stats {
-  TimeBreakdown time;          // exposed-time breakdown; sums to batch_time
-  MemoryBreakdown tier1;       // HBM usage
-  MemoryBreakdown tier2;       // offload-memory usage (zeros if unused)
+  TimeBreakdown time;     // exposed-time breakdown; sums to batch_time
+  MemoryBreakdown tier1;  // HBM usage
+  MemoryBreakdown tier2;  // offload-memory usage (zeros if unused)
 
-  double batch_time = 0.0;     // seconds per training batch
-  double sample_rate = 0.0;    // samples processed per second
-  double mfu = 0.0;            // model FLOP utilization vs matrix peak
+  Seconds batch_time;      // time per training batch
+  PerSecond sample_rate;   // samples processed per second
+  double mfu = 0.0;        // model FLOP utilization vs matrix peak
 
   // Total (not exposed) communication busy time per parallelism mode.
-  double tp_comm_total = 0.0;
-  double pp_comm_total = 0.0;
-  double dp_comm_total = 0.0;
+  Seconds tp_comm_total;
+  Seconds pp_comm_total;
+  Seconds dp_comm_total;
 
   // Offloading accounting.
-  double offload_total = 0.0;          // tier-2 busy time
-  double offload_bw_required = 0.0;    // Eq. 1 bandwidth for seamless overlap
-  double offload_bytes = 0.0;          // traffic per batch
+  Seconds offload_total;               // tier-2 busy time
+  BytesPerSecond offload_bw_required;  // Eq. 1 bandwidth for seamless overlap
+  Bytes offload_bytes;                 // traffic per batch
 
   [[nodiscard]] std::string Report() const;
   [[nodiscard]] json::Value ToJson() const;

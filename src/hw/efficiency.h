@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "json/json.h"
+#include "util/quantity.h"
 
 namespace calculon {
 
@@ -29,8 +30,12 @@ class EfficiencyCurve {
   // efficiency; sizes above the last clamp to the last.
   explicit EfficiencyCurve(std::vector<Point> points);
 
-  // Efficiency at a given operation size.
-  [[nodiscard]] double At(double size) const;
+  // Efficiency at a given operation size. A curve is generic over what
+  // "size" measures, so the raw overload stays; the typed overloads are the
+  // entry points for dimensioned callers.
+  [[nodiscard]] double At(double size) const;  // unit-ok: dimension-generic
+  [[nodiscard]] double At(Bytes size) const { return At(size.raw()); }
+  [[nodiscard]] double At(Flops size) const { return At(size.raw()); }
 
   [[nodiscard]] bool is_flat() const { return points_.size() == 1; }
   [[nodiscard]] const std::vector<Point>& points() const { return points_; }

@@ -8,40 +8,43 @@
 
 namespace calculon {
 
-Memory::Memory(double capacity_bytes, double bandwidth_bytes_per_s,
+Memory::Memory(Bytes capacity, BytesPerSecond bandwidth,
                EfficiencyCurve efficiency)
-    : capacity_(capacity_bytes),
-      bandwidth_(bandwidth_bytes_per_s),
+    : capacity_(capacity),
+      bandwidth_(bandwidth),
       efficiency_(std::move(efficiency)) {
-  if (capacity_ < 0.0 || bandwidth_ < 0.0) {
+  if (capacity_ < Bytes(0.0) || bandwidth_ < BytesPerSecond(0.0)) {
     throw ConfigError("memory capacity/bandwidth must be >= 0");
   }
 }
 
-double Memory::AccessTime(double bytes) const {
+Seconds Memory::AccessTime(Bytes bytes) const {
   // Negative byte counts are clamped to zero time by the documented
   // contract below; only NaN is a caller bug.
-  CALC_DCHECK(!std::isnan(bytes), "bytes = %g", bytes);
-  if (bytes <= 0.0) return 0.0;
-  const double bw = EffectiveBandwidth(bytes);
-  if (bw <= 0.0) return std::numeric_limits<double>::infinity();
+  CALC_DCHECK(!IsNan(bytes), "bytes = %g", bytes.raw());
+  if (bytes <= Bytes(0.0)) return Seconds(0.0);
+  const BytesPerSecond bw = EffectiveBandwidth(bytes);
+  if (bw <= BytesPerSecond(0.0)) {
+    return Seconds(std::numeric_limits<double>::infinity());
+  }
   return bytes / bw;
 }
 
-double Memory::EffectiveBandwidth(double bytes) const {
+BytesPerSecond Memory::EffectiveBandwidth(Bytes bytes) const {
   return bandwidth_ * efficiency_.At(bytes);
 }
 
 json::Value Memory::ToJson() const {
   json::Object o;
-  o["capacity"] = capacity_;
-  o["bandwidth"] = bandwidth_;
+  o["capacity"] = capacity_.raw();
+  o["bandwidth"] = bandwidth_.raw();
   o["efficiency"] = efficiency_.ToJson();
   return json::Value(std::move(o));
 }
 
 Memory Memory::FromJson(const json::Value& v) {
-  return Memory(v.at("capacity").AsDouble(), v.at("bandwidth").AsDouble(),
+  return Memory(Bytes(v.at("capacity").AsDouble()),
+                BytesPerSecond(v.at("bandwidth").AsDouble()),
                 v.contains("efficiency")
                     ? EfficiencyCurve::FromJson(v.at("efficiency"))
                     : EfficiencyCurve(1.0));

@@ -6,32 +6,33 @@
 
 #include "hw/efficiency.h"
 #include "json/json.h"
+#include "util/quantity.h"
 
 namespace calculon {
 
 class Memory {
  public:
   Memory() = default;
-  Memory(double capacity_bytes, double bandwidth_bytes_per_s,
+  Memory(Bytes capacity, BytesPerSecond bandwidth,
          EfficiencyCurve efficiency = EfficiencyCurve(1.0));
 
   // Time to move `bytes` through this memory. Zero bytes take zero time; a
   // zero-bandwidth (absent) tier reports infinity for any positive transfer.
-  [[nodiscard]] double AccessTime(double bytes) const;
+  [[nodiscard]] Seconds AccessTime(Bytes bytes) const;
 
   // Achievable bandwidth for transfers of a given size.
-  [[nodiscard]] double EffectiveBandwidth(double bytes) const;
+  [[nodiscard]] BytesPerSecond EffectiveBandwidth(Bytes bytes) const;
 
-  [[nodiscard]] double capacity() const { return capacity_; }
-  [[nodiscard]] double bandwidth() const { return bandwidth_; }
-  [[nodiscard]] bool present() const { return capacity_ > 0.0; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] BytesPerSecond bandwidth() const { return bandwidth_; }
+  [[nodiscard]] bool present() const { return capacity_ > Bytes(0.0); }
 
   [[nodiscard]] json::Value ToJson() const;
   [[nodiscard]] static Memory FromJson(const json::Value& v);
 
  private:
-  double capacity_ = 0.0;
-  double bandwidth_ = 0.0;
+  Bytes capacity_;
+  BytesPerSecond bandwidth_;
   EfficiencyCurve efficiency_{1.0};
 };
 

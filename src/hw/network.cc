@@ -19,17 +19,17 @@ const char* ToString(Collective op) {
   return "?";
 }
 
-Network::Network(std::int64_t size, double bandwidth_bytes_per_s,
-                 double latency_s, EfficiencyCurve efficiency,
-                 bool in_network_collectives, double processor_fraction)
+Network::Network(std::int64_t size, BytesPerSecond bandwidth, Seconds latency,
+                 EfficiencyCurve efficiency, bool in_network_collectives,
+                 double processor_fraction)
     : size_(size),
-      bandwidth_(bandwidth_bytes_per_s),
-      latency_(latency_s),
+      bandwidth_(bandwidth),
+      latency_(latency),
       efficiency_(std::move(efficiency)),
       in_network_(in_network_collectives),
       proc_fraction_(processor_fraction) {
   if (size_ < 1) throw ConfigError("network size must be >= 1");
-  if (bandwidth_ < 0.0 || latency_ < 0.0) {
+  if (bandwidth_ < BytesPerSecond(0.0) || latency_ < Seconds(0.0)) {
     throw ConfigError("network bandwidth/latency must be >= 0");
   }
   if (proc_fraction_ < 0.0 || proc_fraction_ > 1.0) {
@@ -37,16 +37,17 @@ Network::Network(std::int64_t size, double bandwidth_bytes_per_s,
   }
 }
 
-double Network::EffectiveBandwidth(double bytes) const {
+BytesPerSecond Network::EffectiveBandwidth(Bytes bytes) const {
   return bandwidth_ * efficiency_.At(bytes);
 }
 
-double Network::LinkBytes(Collective op, std::int64_t members,
-                          double bytes) const {
+Bytes Network::LinkBytes(Collective op, std::int64_t members,
+                         Bytes bytes) const {
   CALC_DCHECK(members >= 1, "members = %lld",
               static_cast<long long>(members));
-  CALC_DCHECK(std::isfinite(bytes) && bytes >= 0.0, "bytes = %g", bytes);
-  if (members <= 1 || bytes <= 0.0) return 0.0;
+  CALC_DCHECK(IsFinite(bytes) && bytes >= Bytes(0.0), "bytes = %g",
+              bytes.raw());
+  if (members <= 1 || bytes <= Bytes(0.0)) return Bytes(0.0);
   const double n = static_cast<double>(members);
   const double share = (n - 1.0) / n;
   switch (op) {
@@ -64,14 +65,16 @@ double Network::LinkBytes(Collective op, std::int64_t members,
   return bytes;
 }
 
-double Network::CollectiveTime(Collective op, std::int64_t members,
-                               double bytes) const {
+Seconds Network::CollectiveTime(Collective op, std::int64_t members,
+                                Bytes bytes) const {
   CALC_DCHECK(members >= 1, "members = %lld",
               static_cast<long long>(members));
-  if (members <= 1 || bytes <= 0.0) return 0.0;
-  const double link_bytes = LinkBytes(op, members, bytes);
-  const double bw = EffectiveBandwidth(link_bytes);
-  if (bw <= 0.0) return std::numeric_limits<double>::infinity();
+  if (members <= 1 || bytes <= Bytes(0.0)) return Seconds(0.0);
+  const Bytes link_bytes = LinkBytes(op, members, bytes);
+  const BytesPerSecond bw = EffectiveBandwidth(link_bytes);
+  if (bw <= BytesPerSecond(0.0)) {
+    return Seconds(std::numeric_limits<double>::infinity());
+  }
   // Latency: ring collectives serialize (members - 1) steps per phase;
   // point-to-point and in-network operations pay a single hop.
   double steps = 1.0;
@@ -104,8 +107,8 @@ Network Network::WithSize(std::int64_t size) const {
 json::Value Network::ToJson() const {
   json::Object o;
   o["size"] = size_;
-  o["bandwidth"] = bandwidth_;
-  o["latency"] = latency_;
+  o["bandwidth"] = bandwidth_.raw();
+  o["latency"] = latency_.raw();
   o["efficiency"] = efficiency_.ToJson();
   o["in_network_collectives"] = in_network_;
   o["processor_fraction"] = proc_fraction_;
@@ -113,8 +116,9 @@ json::Value Network::ToJson() const {
 }
 
 Network Network::FromJson(const json::Value& v) {
-  return Network(v.at("size").AsInt(), v.at("bandwidth").AsDouble(),
-                 v.GetDouble("latency", 0.0),
+  return Network(v.at("size").AsInt(),
+                 BytesPerSecond(v.at("bandwidth").AsDouble()),
+                 Seconds(v.GetDouble("latency", 0.0)),
                  v.contains("efficiency")
                      ? EfficiencyCurve::FromJson(v.at("efficiency"))
                      : EfficiencyCurve(1.0),

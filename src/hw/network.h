@@ -12,6 +12,7 @@
 
 #include "hw/efficiency.h"
 #include "json/json.h"
+#include "util/quantity.h"
 
 namespace calculon {
 
@@ -28,7 +29,7 @@ enum class Collective {
 class Network {
  public:
   Network() = default;
-  Network(std::int64_t size, double bandwidth_bytes_per_s, double latency_s,
+  Network(std::int64_t size, BytesPerSecond bandwidth, Seconds latency,
           EfficiencyCurve efficiency = EfficiencyCurve(1.0),
           bool in_network_collectives = false,
           double processor_fraction = 0.0);
@@ -36,21 +37,21 @@ class Network {
   // Time for `op` over a communicator of `members` processors moving a
   // payload of `bytes` (the full tensor size; per-member shares are derived
   // from the ring algorithms). A communicator of one member costs nothing.
-  [[nodiscard]] double CollectiveTime(Collective op, std::int64_t members,
-                                      double bytes) const;
+  [[nodiscard]] Seconds CollectiveTime(Collective op, std::int64_t members,
+                                       Bytes bytes) const;
 
   // Bytes that actually cross this processor's link for `op` (used for
   // bandwidth-demand accounting and overlap modeling).
-  [[nodiscard]] double LinkBytes(Collective op, std::int64_t members,
-                                 double bytes) const;
+  [[nodiscard]] Bytes LinkBytes(Collective op, std::int64_t members,
+                                Bytes bytes) const;
 
   [[nodiscard]] std::int64_t size() const { return size_; }
-  [[nodiscard]] double bandwidth() const { return bandwidth_; }
-  [[nodiscard]] double latency() const { return latency_; }
+  [[nodiscard]] BytesPerSecond bandwidth() const { return bandwidth_; }
+  [[nodiscard]] Seconds latency() const { return latency_; }
   [[nodiscard]] bool in_network_collectives() const { return in_network_; }
   [[nodiscard]] double processor_fraction() const { return proc_fraction_; }
 
-  [[nodiscard]] double EffectiveBandwidth(double bytes) const;
+  [[nodiscard]] BytesPerSecond EffectiveBandwidth(Bytes bytes) const;
   [[nodiscard]] const EfficiencyCurve& efficiency() const {
     return efficiency_;
   }
@@ -63,8 +64,8 @@ class Network {
 
  private:
   std::int64_t size_ = 1;
-  double bandwidth_ = 0.0;
-  double latency_ = 0.0;
+  BytesPerSecond bandwidth_;
+  Seconds latency_;
   EfficiencyCurve efficiency_{1.0};
   bool in_network_ = false;
   double proc_fraction_ = 0.0;

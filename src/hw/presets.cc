@@ -33,24 +33,27 @@ EfficiencyCurve LinkEfficiency() {
 }
 
 System BuildGpuSystem(const std::string& name, const SystemOptions& o,
-                      double matrix_flops, double vector_flops,
-                      double hbm_bandwidth, double nvlink_bandwidth,
-                      double fabric_bandwidth) {
+                      FlopsPerSecond matrix_flops, FlopsPerSecond vector_flops,
+                      BytesPerSecond hbm_bandwidth,
+                      BytesPerSecond nvlink_bandwidth,
+                      BytesPerSecond fabric_bandwidth) {
   Processor proc;
   proc.matrix = ComputeUnit(matrix_flops, GemmEfficiency());
   proc.vector = ComputeUnit(vector_flops, VectorEfficiency());
   proc.mem1 = Memory(o.hbm_capacity, hbm_bandwidth, HbmEfficiency());
-  if (o.offload_capacity > 0.0) {
+  if (o.offload_capacity > Bytes(0.0)) {
     proc.mem2 = Memory(o.offload_capacity, o.offload_bandwidth,
                        EfficiencyCurve(1.0));
   }
   std::vector<Network> nets;
   // Fast domain (NVLink): ~15% of processor cores drive NCCL at full rate.
-  nets.emplace_back(o.nvlink_domain, nvlink_bandwidth, 2e-6, LinkEfficiency(),
+  nets.emplace_back(o.nvlink_domain, nvlink_bandwidth, Seconds(2e-6),
+                    LinkEfficiency(),
                     /*in_network_collectives=*/false,
                     /*processor_fraction=*/0.15);
   // Scale-out fabric (InfiniBand): NIC-driven, ~2% of cores.
-  nets.emplace_back(o.num_procs, fabric_bandwidth, 5e-6, LinkEfficiency(),
+  nets.emplace_back(o.num_procs, fabric_bandwidth, Seconds(5e-6),
+                    LinkEfficiency(),
                     /*in_network_collectives=*/false,
                     /*processor_fraction=*/0.02);
   return System(name, o.num_procs, std::move(proc), std::move(nets));
@@ -60,36 +63,36 @@ System BuildGpuSystem(const std::string& name, const SystemOptions& o,
 
 System A100(const SystemOptions& options) {
   return BuildGpuSystem("a100", options,
-                        /*matrix_flops=*/312e12, /*vector_flops=*/78e12,
-                        /*hbm_bandwidth=*/2.0e12,
-                        /*nvlink_bandwidth=*/300e9,
-                        /*fabric_bandwidth=*/25e9);
+                        /*matrix_flops=*/TFLOPS(312), /*vector_flops=*/TFLOPS(78),
+                        /*hbm_bandwidth=*/TBps(2.0),
+                        /*nvlink_bandwidth=*/GBps(300),
+                        /*fabric_bandwidth=*/GBps(25));
 }
 
 System H100(const SystemOptions& options) {
   return BuildGpuSystem("h100", options,
-                        /*matrix_flops=*/990e12, /*vector_flops=*/134e12,
-                        /*hbm_bandwidth=*/3.0e12,
-                        /*nvlink_bandwidth=*/450e9,
-                        /*fabric_bandwidth=*/50e9);
+                        /*matrix_flops=*/TFLOPS(990), /*vector_flops=*/TFLOPS(134),
+                        /*hbm_bandwidth=*/TBps(3.0),
+                        /*nvlink_bandwidth=*/GBps(450),
+                        /*fabric_bandwidth=*/GBps(50));
 }
 
 System SystemByName(const std::string& name) {
   SystemOptions o;
   if (name == "a100_80g") return A100(o);
   if (name == "a100_40g") {
-    o.hbm_capacity = 40.0 * kGiB;
+    o.hbm_capacity = GiB(40);
     return A100(o);
   }
   if (name == "h100_80g") return H100(o);
   if (name == "h100_80g_offload") {
-    o.offload_capacity = 512.0 * kGiB;
-    o.offload_bandwidth = 100e9;
+    o.offload_capacity = GiB(512);
+    o.offload_bandwidth = GBps(100);
     return H100(o);
   }
   if (name == "h100_80g_offload_inf") {
-    o.offload_capacity = 1e18;  // effectively infinite
-    o.offload_bandwidth = 1e15;
+    o.offload_capacity = Bytes(1e18);  // effectively infinite
+    o.offload_bandwidth = BytesPerSecond(1e15);
     return H100(o);
   }
   if (name == "h100_nvl256") return H100Nvl256(o);
@@ -108,18 +111,20 @@ System H100Nvl256(const SystemOptions& options) {
   // beyond. Lets tensor parallelism scale past one board, the scenario
   // the paper's Section 6 discussion ("TP up to 16") implies.
   Processor proc;
-  proc.matrix = ComputeUnit(990e12, GemmEfficiency());
-  proc.vector = ComputeUnit(134e12, VectorEfficiency());
-  proc.mem1 = Memory(options.hbm_capacity, 3.0e12, HbmEfficiency());
-  if (options.offload_capacity > 0.0) {
+  proc.matrix = ComputeUnit(TFLOPS(990), GemmEfficiency());
+  proc.vector = ComputeUnit(TFLOPS(134), VectorEfficiency());
+  proc.mem1 = Memory(options.hbm_capacity, TBps(3.0), HbmEfficiency());
+  if (options.offload_capacity > Bytes(0.0)) {
     proc.mem2 = Memory(options.offload_capacity, options.offload_bandwidth,
                        EfficiencyCurve(1.0));
   }
   std::vector<Network> nets;
-  nets.emplace_back(8, 450e9, 2e-6, LinkEfficiency(), false, 0.15);
-  nets.emplace_back(256, 225e9, 3e-6, LinkEfficiency(), false, 0.15);
-  nets.emplace_back(options.num_procs, 50e9, 5e-6, LinkEfficiency(), false,
-                    0.02);
+  nets.emplace_back(8, GBps(450), Seconds(2e-6), LinkEfficiency(), false,
+                    0.15);
+  nets.emplace_back(256, GBps(225), Seconds(3e-6), LinkEfficiency(), false,
+                    0.15);
+  nets.emplace_back(options.num_procs, GBps(50), Seconds(5e-6),
+                    LinkEfficiency(), false, 0.02);
   return System("h100_nvl256", options.num_procs, std::move(proc),
                 std::move(nets));
 }

@@ -15,10 +15,11 @@ namespace calculon::presets {
 // Options shared by the builders; defaults give the paper's baselines.
 struct SystemOptions {
   std::int64_t num_procs = 4096;
-  std::int64_t nvlink_domain = 8;      // processors per fast domain
-  double hbm_capacity = 80.0 * kGiB;   // tier-1 capacity per processor
-  double offload_capacity = 0.0;       // tier-2 capacity (0 = absent)
-  double offload_bandwidth = 0.0;      // tier-2 bytes/s per direction
+  std::int64_t nvlink_domain = 8;       // processors per fast domain
+  Bytes hbm_capacity = GiB(80);         // tier-1 capacity per processor
+  Bytes offload_capacity = Bytes(0.0);  // tier-2 capacity (0 = absent)
+  BytesPerSecond offload_bandwidth =
+      BytesPerSecond(0.0);              // tier-2 rate per direction
 };
 
 // NVIDIA A100 SXM 80 GiB-class processor: 312 Tflop/s fp16 matrix,

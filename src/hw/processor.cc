@@ -9,44 +9,48 @@
 
 namespace calculon {
 
-ComputeUnit::ComputeUnit(double peak_flops, EfficiencyCurve efficiency)
-    : peak_(peak_flops), efficiency_(std::move(efficiency)) {
-  if (peak_ < 0.0) throw ConfigError("peak flops must be >= 0");
+ComputeUnit::ComputeUnit(FlopsPerSecond peak, EfficiencyCurve efficiency)
+    : peak_(peak), efficiency_(std::move(efficiency)) {
+  if (peak_ < FlopsPerSecond(0.0)) throw ConfigError("peak flops must be >= 0");
 }
 
-double ComputeUnit::FlopTime(double flops) const {
-  CALC_DCHECK(std::isfinite(flops) && flops >= 0.0, "flops = %g", flops);
-  if (flops <= 0.0) return 0.0;
-  const double rate = peak_ * efficiency_.At(flops);
-  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+Seconds ComputeUnit::FlopTime(Flops flops) const {
+  CALC_DCHECK(IsFinite(flops) && flops >= Flops(0.0), "flops = %g",
+              flops.raw());
+  if (flops <= Flops(0.0)) return Seconds(0.0);
+  const FlopsPerSecond rate = peak_ * efficiency_.At(flops);
+  if (rate <= FlopsPerSecond(0.0)) {
+    return Seconds(std::numeric_limits<double>::infinity());
+  }
   return flops / rate;
 }
 
 json::Value ComputeUnit::ToJson() const {
   json::Object o;
-  o["flops"] = peak_;
+  o["flops"] = peak_.raw();
   o["efficiency"] = efficiency_.ToJson();
   return json::Value(std::move(o));
 }
 
 ComputeUnit ComputeUnit::FromJson(const json::Value& v) {
-  return ComputeUnit(v.at("flops").AsDouble(),
+  return ComputeUnit(FlopsPerSecond(v.at("flops").AsDouble()),
                      v.contains("efficiency")
                          ? EfficiencyCurve::FromJson(v.at("efficiency"))
                          : EfficiencyCurve(1.0));
 }
 
-double Processor::OpTime(ComputeKind kind, double flops, double bytes,
-                         double compute_slowdown) const {
-  CALC_DCHECK(std::isfinite(bytes) && bytes >= 0.0, "bytes = %g", bytes);
+Seconds Processor::OpTime(ComputeKind kind, Flops flops, Bytes bytes,
+                          double compute_slowdown) const {
+  CALC_DCHECK(IsFinite(bytes) && bytes >= Bytes(0.0), "bytes = %g",
+              bytes.raw());
   CALC_DCHECK(compute_slowdown >= 0.0 && compute_slowdown < 1.0,
               "compute_slowdown = %g", compute_slowdown);
   const ComputeUnit& unit = (kind == ComputeKind::kMatrix) ? matrix : vector;
-  double flop_time = unit.FlopTime(flops);
+  Seconds flop_time = unit.FlopTime(flops);
   if (compute_slowdown > 0.0 && compute_slowdown < 1.0) {
     flop_time /= (1.0 - compute_slowdown);
   }
-  const double mem_time = mem1.AccessTime(bytes);
+  const Seconds mem_time = mem1.AccessTime(bytes);
   return roofline == RooflineMode::kMax ? std::max(flop_time, mem_time)
                                         : flop_time + mem_time;
 }

@@ -24,12 +24,12 @@ enum class RooflineMode {
 class ComputeUnit {
  public:
   ComputeUnit() = default;
-  ComputeUnit(double peak_flops, EfficiencyCurve efficiency);
+  ComputeUnit(FlopsPerSecond peak, EfficiencyCurve efficiency);
 
   // Time to execute `flops` at the efficiency this operation size achieves.
-  [[nodiscard]] double FlopTime(double flops) const;
-  [[nodiscard]] double peak_flops() const { return peak_; }
-  [[nodiscard]] double Efficiency(double flops) const {
+  [[nodiscard]] Seconds FlopTime(Flops flops) const;
+  [[nodiscard]] FlopsPerSecond peak_flops() const { return peak_; }
+  [[nodiscard]] double Efficiency(Flops flops) const {
     return efficiency_.At(flops);
   }
 
@@ -37,7 +37,7 @@ class ComputeUnit {
   [[nodiscard]] static ComputeUnit FromJson(const json::Value& v);
 
  private:
-  double peak_ = 0.0;
+  FlopsPerSecond peak_;
   EfficiencyCurve efficiency_{1.0};
 };
 
@@ -52,8 +52,8 @@ struct Processor {
   // Time of one operation of `kind` performing `flops` while moving `bytes`
   // through tier-1 memory. A slowdown factor > 0 models compute stolen by a
   // concurrently-driven network (overlap throttling).
-  [[nodiscard]] double OpTime(ComputeKind kind, double flops, double bytes,
-                              double compute_slowdown = 0.0) const;
+  [[nodiscard]] Seconds OpTime(ComputeKind kind, Flops flops, Bytes bytes,
+                               double compute_slowdown = 0.0) const;
 
   [[nodiscard]] json::Value ToJson() const;
   [[nodiscard]] static Processor FromJson(const json::Value& v);

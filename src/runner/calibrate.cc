@@ -23,7 +23,7 @@ double CalibrationError(const System& sys,
   if (ms.empty()) throw ConfigError("calibration needs >= 1 measurement");
   double sum = 0.0;
   for (const Measurement& m : ms) {
-    if (m.measured_seconds <= 0.0) {
+    if (m.measured_time <= Seconds(0.0)) {
       throw ConfigError("measured time must be > 0");
     }
     const System sized = sys.WithNumProcs(m.exec.num_procs);
@@ -32,7 +32,7 @@ double CalibrationError(const System& sys,
       sum += 100.0;  // infeasible prediction: large penalty
       continue;
     }
-    const double rel = r.value().batch_time / m.measured_seconds - 1.0;
+    const double rel = r.value().batch_time / m.measured_time - 1.0;
     sum += rel * rel;
   }
   return sum / static_cast<double>(ms.size());

@@ -14,7 +14,7 @@ namespace calculon {
 struct Measurement {
   Application app;
   Execution exec;
-  double measured_seconds = 0.0;
+  Seconds measured_time;
 };
 
 // Copy of `sys` with the matrix-unit peak multiplied by `scale` (the

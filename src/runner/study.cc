@@ -103,7 +103,8 @@ json::Value CheckpointToJson(const std::string& fingerprint,
   best["found"] = run.best.found;
   if (run.best.found) {
     best["row"] = static_cast<std::int64_t>(run.best.row);
-    best["sample_rate"] = run.best.sample_rate;  // dumped as %.17g: lossless
+    // Dumped as %.17g: lossless.
+    best["sample_rate"] = run.best.sample_rate.raw();
     best["execution"] = run.best.exec.ToJson();
   }
   obj["best"] = json::Value(std::move(best));
@@ -138,7 +139,7 @@ void LoadCheckpoint(const std::string& path, const std::string& fingerprint,
   if (best.GetBool("found", false)) {
     run->best.found = true;
     run->best.row = static_cast<std::uint64_t>(best.at("row").AsInt());
-    run->best.sample_rate = best.at("sample_rate").AsDouble();
+    run->best.sample_rate = PerSecond(best.at("sample_rate").AsDouble());
     run->best.exec = Execution::FromJson(best.at("execution"));
   }
 }
@@ -344,11 +345,11 @@ std::string StudyCsvRow(const Execution& e, const Result<Stats>& result) {
      << ',' << ToString(e.recompute) << ',';
   if (result.ok()) {
     const Stats& s = result.value();
-    os << "1,," << StrFormat("%.6g", s.batch_time) << ','
-       << StrFormat("%.6g", s.sample_rate) << ','
+    os << "1,," << StrFormat("%.6g", s.batch_time.raw()) << ','
+       << StrFormat("%.6g", s.sample_rate.raw()) << ','
        << StrFormat("%.4f", s.mfu) << ','
-       << StrFormat("%.0f", s.tier1.Total()) << ','
-       << StrFormat("%.0f", s.tier2.Total());
+       << StrFormat("%.0f", s.tier1.Total().raw()) << ','
+       << StrFormat("%.0f", s.tier2.Total().raw());
   } else {
     std::string reason = result.detail();
     for (char& c : reason) {

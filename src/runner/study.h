@@ -67,7 +67,7 @@ struct StudyBest {
   bool found = false;
   std::uint64_t row = 0;  // enumeration index
   Execution exec;
-  double sample_rate = 0.0;
+  PerSecond sample_rate;
 };
 
 // Outcome of a resilient study run: completed rows as pre-formatted CSV

@@ -55,7 +55,7 @@ struct LocalState {
   std::vector<SearchEntry> best;
   std::uint64_t evaluated = 0;
   std::uint64_t feasible = 0;
-  std::vector<double> rates;
+  std::vector<PerSecond> rates;
   ParetoFront pareto;
 };
 

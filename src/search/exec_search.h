@@ -86,7 +86,7 @@ struct SearchResult {
   std::uint64_t feasible = 0;     // configurations that could run
   // Sample rate of every feasible configuration (collected when
   // `keep_all_rates` is set; used for the Fig. 6 histogram/CDF).
-  std::vector<double> all_rates;
+  std::vector<PerSecond> all_rates;
   // Non-dominated strategies in (batch time, tier-1 memory, tier-2 memory),
   // sorted by ascending batch time (collected when `keep_pareto` is set) —
   // the Section 4.2 "minimize time or memory, as desired" trade-off.

@@ -14,9 +14,9 @@ namespace calculon {
 
 // The objectives (all minimized).
 struct ParetoPoint {
-  double batch_time = 0.0;
-  double tier1_bytes = 0.0;
-  double tier2_bytes = 0.0;
+  Seconds batch_time;
+  Bytes tier1_bytes;
+  Bytes tier2_bytes;
 };
 
 [[nodiscard]] ParetoPoint MakeParetoPoint(const Stats& stats);

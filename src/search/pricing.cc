@@ -42,10 +42,10 @@ std::int64_t SystemDesign::MaxGpus(double budget) const {
 System SystemDesign::Build(std::int64_t num_procs) const {
   presets::SystemOptions o;
   o.num_procs = num_procs;
-  o.hbm_capacity = hbm_gib * kGiB;
+  o.hbm_capacity = GiB(hbm_gib);
   if (ddr_gib > 0.0) {
-    o.offload_capacity = ddr_gib * kGiB;
-    o.offload_bandwidth = 100e9;
+    o.offload_capacity = GiB(ddr_gib);
+    o.offload_bandwidth = GBps(100);
   }
   return presets::H100(o);
 }

@@ -32,7 +32,7 @@ RightSizeReport RightSize(const Application& app, const System& base_sys,
     a.feasible = pt.feasible;
     a.sample_rate = pt.sample_rate;
     a.best_exec = pt.best_exec;
-    if (pt.feasible && report.best_per_gpu_rate > 0.0) {
+    if (pt.feasible && report.best_per_gpu_rate > PerSecond(0.0)) {
       a.efficiency = pt.sample_rate /
                      (static_cast<double>(pt.num_procs) *
                       report.best_per_gpu_rate);

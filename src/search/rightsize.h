@@ -19,15 +19,15 @@ namespace calculon {
 struct RightSizeOptions {
   std::vector<std::int64_t> sizes;   // candidate processor counts
   std::int64_t batch_size = 0;       // 0: num_procs samples per size
-  double target_efficiency = 0.9;    // of the best per-GPU rate observed
-  double min_sample_rate = 0.0;      // absolute throughput floor
+  double target_efficiency = 0.9;  // of the best per-GPU rate observed
+  PerSecond min_sample_rate;       // absolute throughput floor
   // Optional resilience context, forwarded to the underlying scaling sweep.
   RunContext* ctx = nullptr;
 };
 
 struct SizeAssessment {
   std::int64_t num_procs = 0;
-  double sample_rate = 0.0;
+  PerSecond sample_rate;
   double efficiency = 0.0;  // per-GPU rate / best per-GPU rate
   bool feasible = false;
   Execution best_exec;
@@ -35,7 +35,7 @@ struct SizeAssessment {
 
 struct RightSizeReport {
   std::vector<SizeAssessment> assessments;  // in input-size order
-  double best_per_gpu_rate = 0.0;
+  PerSecond best_per_gpu_rate;
   // Smallest size meeting both thresholds; 0 when none qualifies.
   std::int64_t recommended = 0;
   std::vector<std::int64_t> dead_sizes;   // no feasible strategy at all

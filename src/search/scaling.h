@@ -14,8 +14,8 @@ namespace calculon {
 
 struct ScalingPoint {
   std::int64_t num_procs = 0;
-  bool feasible = false;       // any configuration could run at this size
-  double sample_rate = 0.0;    // best performer (0 when infeasible)
+  bool feasible = false;    // any configuration could run at this size
+  PerSecond sample_rate;    // best performer (0 when infeasible)
   Execution best_exec;         // strategy of the best performer
 };
 

@@ -80,7 +80,7 @@ Result<std::vector<SensitivityEntry>> AnalyzeSensitivity(
   if (step <= 0.0) return R(Infeasible::kBadConfig, "step must be > 0");
   const auto baseline = CalculatePerformance(app, exec, sys);
   if (!baseline.ok()) return R(baseline.reason(), baseline.detail());
-  const double base_rate = baseline.value().sample_rate;
+  const PerSecond base_rate = baseline.value().sample_rate;
 
   const Resource all[] = {
       Resource::kMatrixFlops,   Resource::kVectorFlops,
@@ -104,18 +104,18 @@ Result<std::vector<SensitivityEntry>> AnalyzeSensitivity(
         app, exec, ScaleResource(sys, resource, 1.0 / up_factor));
     // Explicit error handling: an infeasible perturbation reports rate 0
     // instead of risking a value()-on-error throw inside the sweep.
-    entry.rate_up = up.ok() ? up.value().sample_rate : 0.0;
+    entry.rate_up = up.ok() ? up.value().sample_rate : PerSecond(0.0);
     entry.rate_down =
         down.value_or(Stats{}).sample_rate;  // Stats{} rates are 0.0
     const double dlog = std::log(up_factor);
     if (up.ok() && down.ok()) {
       entry.elasticity =
-          (std::log(entry.rate_up) - std::log(entry.rate_down)) /
+          (std::log(entry.rate_up.raw()) - std::log(entry.rate_down.raw())) /
           (2.0 * dlog);
     } else if (up.ok()) {
       // Shrinking the resource broke feasibility (capacity): one-sided.
-      entry.elasticity = (std::log(entry.rate_up) - std::log(base_rate)) /
-                         dlog;
+      entry.elasticity =
+          (std::log(entry.rate_up.raw()) - std::log(base_rate.raw())) / dlog;
     } else {
       entry.applicable = false;
     }

@@ -36,10 +36,10 @@ enum class Resource {
 
 struct SensitivityEntry {
   Resource resource;
-  bool applicable = true;    // e.g. mem2 on a system without a tier 2
-  double rate_up = 0.0;      // sample rate with the resource * (1 + step)
-  double rate_down = 0.0;    // sample rate with the resource / (1 + step)
-  double elasticity = 0.0;   // d(log rate) / d(log resource), centered
+  bool applicable = true;   // e.g. mem2 on a system without a tier 2
+  PerSecond rate_up;        // sample rate with the resource * (1 + step)
+  PerSecond rate_down;      // sample rate with the resource / (1 + step)
+  double elasticity = 0.0;  // d(log rate) / d(log resource), centered
 };
 
 // Evaluates all resources around the baseline; `step` is the relative

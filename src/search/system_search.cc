@@ -29,7 +29,7 @@ SystemSearchEntry EvaluateDesign(const Application& app,
     const SearchResult result =
         FindOptimalExecution(app, sys, space, config, pool);
     if (result.best.empty()) continue;
-    const double rate = result.best.front().stats.sample_rate;
+    const PerSecond rate = result.best.front().stats.sample_rate;
     if (!entry.feasible || rate > entry.sample_rate) {
       entry.feasible = true;
       entry.used_gpus = n;
@@ -40,7 +40,7 @@ SystemSearchEntry EvaluateDesign(const Application& app,
   if (entry.feasible) {
     const double used_cost_millions =
         static_cast<double>(entry.used_gpus) * design.UnitPrice() / 1e6;
-    entry.perf_per_million = entry.sample_rate / used_cost_millions;
+    entry.perf_per_million = entry.sample_rate.raw() / used_cost_millions;
   }
   return entry;
 }

@@ -24,8 +24,8 @@ struct SystemSearchOptions {
 struct SystemSearchEntry {
   SystemDesign design;
   std::int64_t max_gpus = 0;    // affordable under the budget
-  std::int64_t used_gpus = 0;   // best-performing size <= max_gpus
-  double sample_rate = 0.0;
+  std::int64_t used_gpus = 0;  // best-performing size <= max_gpus
+  PerSecond sample_rate;
   double perf_per_million = 0.0;  // sample_rate / (used cost in $M)
   Execution best_exec;
   bool feasible = false;

@@ -21,11 +21,13 @@ TcoResult ComputeTco(const SystemDesign& design, std::int64_t gpus,
 }
 
 double DollarsPerMillionSamples(const TcoResult& tco, const TcoParams& params,
-                                double sample_rate) {
-  if (sample_rate <= 0.0) throw ConfigError("sample rate must be > 0");
-  const double lifetime_seconds =
-      params.years * 365.25 * 24.0 * 3600.0 * params.utilization;
-  const double samples = sample_rate * lifetime_seconds;
+                                PerSecond sample_rate) {
+  if (sample_rate <= PerSecond(0.0)) {
+    throw ConfigError("sample rate must be > 0");
+  }
+  const Seconds lifetime = Seconds(
+      params.years * 365.25 * 24.0 * 3600.0 * params.utilization);
+  const double samples = sample_rate * lifetime;
   return tco.Total() / samples * 1e6;
 }
 

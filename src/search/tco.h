@@ -38,6 +38,6 @@ struct TcoResult {
 // Dollars per million training samples at a sustained sample rate.
 [[nodiscard]] double DollarsPerMillionSamples(const TcoResult& tco,
                                               const TcoParams& params,
-                                              double sample_rate);
+                                              PerSecond sample_rate);
 
 }  // namespace calculon

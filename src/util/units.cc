@@ -62,6 +62,18 @@ std::string FormatTime(double seconds) {
   return buf;
 }
 
+std::string FormatBytes(Bytes bytes) { return FormatBytes(bytes.raw()); }
+
+std::string FormatBandwidth(BytesPerSecond rate) {
+  return FormatBandwidth(rate.raw());
+}
+
+std::string FormatFlops(FlopsPerSecond rate) { return FormatFlops(rate.raw()); }
+
+std::string FormatFlopCount(Flops flops) { return FormatFlopCount(flops.raw()); }
+
+std::string FormatTime(Seconds seconds) { return FormatTime(seconds.raw()); }
+
 std::string FormatNumber(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*g", digits + 3, value);

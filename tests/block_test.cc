@@ -34,7 +34,7 @@ TEST(Block, ActivationBytesMatchPublishedFormula) {
                       static_cast<double>(app.seq_size) *
                       static_cast<double>(app.seq_size) *
                       static_cast<double>(m);
-  EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kNone),
+  EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kNone).raw(),
                    34.0 * sbh + 5.0 * as2b);
 }
 
@@ -48,7 +48,7 @@ TEST(Block, ActivationBytesUnderTensorParallelism) {
                       static_cast<double>(app.seq_size);
   // Without sequence parallelism the vector-layer tensors (10*sbh) stay
   // replicated; the rest shards by t.
-  EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kNone),
+  EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kNone).raw(),
                    10.0 * sbh + (24.0 * sbh + 5.0 * as2b) / t);
 }
 
@@ -64,7 +64,7 @@ TEST(Block, SequenceParallelismShardsEverything) {
   const double as2b = static_cast<double>(app.attn_heads) *
                       static_cast<double>(app.seq_size) *
                       static_cast<double>(app.seq_size);
-  EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kNone),
+  EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kNone).raw(),
                    (34.0 * sbh + 5.0 * as2b) / t);
 }
 
@@ -75,8 +75,9 @@ TEST(Block, SelectiveRecomputeDropsExactlyTheSquaredTensors) {
     const double as2b = static_cast<double>(app.attn_heads) *
                         static_cast<double>(app.seq_size) *
                         static_cast<double>(app.seq_size);
-    EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kNone) -
-                         block.ActStoredBytes(Recompute::kAttnOnly),
+    EXPECT_DOUBLE_EQ((block.ActStoredBytes(Recompute::kNone) -
+                      block.ActStoredBytes(Recompute::kAttnOnly))
+                         .raw(),
                      5.0 * as2b / static_cast<double>(t))
         << "t=" << t;
   }
@@ -85,9 +86,9 @@ TEST(Block, SelectiveRecomputeDropsExactlyTheSquaredTensors) {
 TEST(Block, FullRecomputeKeepsOnlyTheBlockInput) {
   const Application app = presets::Gpt3_175B();
   const BlockModel block = BuildBlock(app, MakeExec(1));
-  EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kFull),
+  EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kFull).raw(),
                    2.0 * Sbh(app, 1));
-  EXPECT_DOUBLE_EQ(block.block_input_bytes, 2.0 * Sbh(app, 1));
+  EXPECT_DOUBLE_EQ(block.block_input_bytes.raw(), 2.0 * Sbh(app, 1));
 }
 
 TEST(Block, WeightParamsMatchApplicationAtTensorParOne) {
@@ -116,8 +117,8 @@ TEST(Block, FlopsShardByTensorParallelism) {
   const BlockModel b1 = BuildBlock(app, MakeExec(1));
   const BlockModel b8 = BuildBlock(app, MakeExec(8));
   // GEMM flops divide exactly by t; vector flops have replicated parts.
-  double b1_matrix = 0.0;
-  double b8_matrix = 0.0;
+  Flops b1_matrix;
+  Flops b8_matrix;
   for (const Layer& l : b1.layers) {
     if (l.kind == ComputeKind::kMatrix) b1_matrix += l.fw_flops;
   }
@@ -132,11 +133,11 @@ TEST(Block, MicrobatchScalesActivationsAndFlopsLinearly) {
   const Application app = presets::Megatron1T();
   const BlockModel b1 = BuildBlock(app, MakeExec(1, 1));
   const BlockModel b4 = BuildBlock(app, MakeExec(1, 4));
-  EXPECT_DOUBLE_EQ(b4.FwFlops(), 4.0 * b1.FwFlops());
-  EXPECT_DOUBLE_EQ(b4.ActStoredBytes(Recompute::kNone),
-                   4.0 * b1.ActStoredBytes(Recompute::kNone));
+  EXPECT_DOUBLE_EQ(b4.FwFlops().raw(), 4.0 * b1.FwFlops().raw());
+  EXPECT_DOUBLE_EQ(b4.ActStoredBytes(Recompute::kNone).raw(),
+                   4.0 * b1.ActStoredBytes(Recompute::kNone).raw());
   // Weights do not scale with the microbatch.
-  EXPECT_DOUBLE_EQ(b4.WeightBytes(), b1.WeightBytes());
+  EXPECT_DOUBLE_EQ(b4.WeightBytes().raw(), b1.WeightBytes().raw());
 }
 
 TEST(Block, FusedActivationShrinksStashAndTraffic) {
@@ -148,13 +149,13 @@ TEST(Block, FusedActivationShrinksStashAndTraffic) {
   const BlockModel f = BuildBlock(app, fused);
   EXPECT_LT(f.ActStoredBytes(Recompute::kNone),
             plain.ActStoredBytes(Recompute::kNone));
-  double plain_bytes = 0.0;
-  double fused_bytes = 0.0;
+  Bytes plain_bytes;
+  Bytes fused_bytes;
   for (const Layer& l : plain.layers) plain_bytes += l.fw_bytes;
   for (const Layer& l : f.layers) fused_bytes += l.fw_bytes;
   EXPECT_LT(fused_bytes, plain_bytes);
   // FLOPs are untouched by fusion.
-  EXPECT_DOUBLE_EQ(f.FwFlops(), plain.FwFlops());
+  EXPECT_DOUBLE_EQ(f.FwFlops().raw(), plain.FwFlops().raw());
 }
 
 TEST(Block, TpCommVariants) {
@@ -168,7 +169,7 @@ TEST(Block, TpCommVariants) {
   const BlockModel ar = BuildBlock(app, MakeExec(8));
   ASSERT_EQ(ar.tp_fw.size(), 2u);
   EXPECT_EQ(ar.tp_fw[0].op, Collective::kAllReduce);
-  EXPECT_DOUBLE_EQ(ar.tp_fw[0].bytes, tp_bytes);
+  EXPECT_DOUBLE_EQ(ar.tp_fw[0].bytes.raw(), tp_bytes);
   EXPECT_EQ(ar.tp_bw.size(), 2u);
   EXPECT_TRUE(ar.tp_bw_extra.empty());
 
@@ -193,17 +194,19 @@ TEST(Block, PpBoundaryTensorShards) {
   const Application app = presets::Gpt3_175B();
   const double full = 2.0 * Sbh(app, 1);
 
-  EXPECT_DOUBLE_EQ(BuildBlock(app, MakeExec(8)).pp_output_bytes, full);
+  EXPECT_DOUBLE_EQ(BuildBlock(app, MakeExec(8)).pp_output_bytes.raw(),
+                   full);
 
   Execution sp = MakeExec(8);
   sp.tp_rs_ag = true;
   sp.seq_par = true;
-  EXPECT_DOUBLE_EQ(BuildBlock(app, sp).pp_output_bytes, full / 8.0);
+  EXPECT_DOUBLE_EQ(BuildBlock(app, sp).pp_output_bytes.raw(), full / 8.0);
 
   Execution ppr = MakeExec(8);
   ppr.pipeline_par = 1;  // structural only; pp_rs_ag shards the tensor
   ppr.pp_rs_ag = true;
-  EXPECT_DOUBLE_EQ(BuildBlock(app, ppr).pp_output_bytes, full / 8.0);
+  EXPECT_DOUBLE_EQ(BuildBlock(app, ppr).pp_output_bytes.raw(),
+                   full / 8.0);
 }
 
 TEST(Block, AttnRecomputeLayersAreTheAttentionInternals) {
@@ -222,12 +225,12 @@ TEST(Block, InferenceCarriesNoTrainingState) {
   Execution e = MakeExec(8);
   e.training = false;
   const BlockModel block = BuildBlock(app, e);
-  EXPECT_DOUBLE_EQ(block.BwFlops(), 0.0);
-  EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kNone), 0.0);
-  EXPECT_DOUBLE_EQ(block.WeightGradBytes(), 0.0);
-  EXPECT_DOUBLE_EQ(block.OptimizerBytes(), 0.0);
-  EXPECT_GT(block.WeightBytes(), 0.0);
-  EXPECT_DOUBLE_EQ(block.act_grad_working_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(block.BwFlops().raw(), 0.0);
+  EXPECT_DOUBLE_EQ(block.ActStoredBytes(Recompute::kNone).raw(), 0.0);
+  EXPECT_DOUBLE_EQ(block.WeightGradBytes().raw(), 0.0);
+  EXPECT_DOUBLE_EQ(block.OptimizerBytes().raw(), 0.0);
+  EXPECT_GT(block.WeightBytes(), Bytes(0.0));
+  EXPECT_DOUBLE_EQ(block.act_grad_working_bytes.raw(), 0.0);
 }
 
 // Property: for every preset and TP degree, gradient and optimizer bytes
@@ -241,9 +244,11 @@ TEST_P(BlockStateTest, StateRatiosHold) {
   const Application app = presets::ApplicationByName(name);
   if (app.attn_heads % t != 0) GTEST_SKIP();
   const BlockModel block = BuildBlock(app, MakeExec(t));
-  EXPECT_DOUBLE_EQ(block.WeightBytes(), 2.0 * block.WeightParams());
-  EXPECT_DOUBLE_EQ(block.WeightGradBytes(), 4.0 * block.WeightParams());
-  EXPECT_DOUBLE_EQ(block.OptimizerBytes(), 12.0 * block.WeightParams());
+  EXPECT_DOUBLE_EQ(block.WeightBytes().raw(), 2.0 * block.WeightParams());
+  EXPECT_DOUBLE_EQ(block.WeightGradBytes().raw(),
+                   4.0 * block.WeightParams());
+  EXPECT_DOUBLE_EQ(block.OptimizerBytes().raw(),
+                   12.0 * block.WeightParams());
 }
 
 INSTANTIATE_TEST_SUITE_P(

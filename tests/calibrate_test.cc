@@ -7,7 +7,7 @@
 namespace calculon {
 namespace {
 
-Measurement MakeMeasurement(double measured) {
+Measurement MakeMeasurement(Seconds measured) {
   Measurement m;
   m.app = presets::Gpt3_175B();
   m.exec.num_procs = 512;
@@ -16,7 +16,7 @@ Measurement MakeMeasurement(double measured) {
   m.exec.data_par = 8;
   m.exec.batch_size = 512;
   m.exec.recompute = Recompute::kFull;
-  m.measured_seconds = measured;
+  m.measured_time = measured;
   return m;
 }
 
@@ -25,12 +25,12 @@ TEST(Calibrate, ApplyMatrixScaleScalesPeakOnly) {
   o.num_procs = 512;
   const System base = presets::A100(o);
   const System scaled = ApplyMatrixScale(base, 2.0);
-  EXPECT_DOUBLE_EQ(scaled.proc().matrix.peak_flops(),
-                   2.0 * base.proc().matrix.peak_flops());
-  EXPECT_DOUBLE_EQ(scaled.proc().vector.peak_flops(),
-                   base.proc().vector.peak_flops());
-  EXPECT_DOUBLE_EQ(scaled.proc().matrix.Efficiency(1e11),
-                   base.proc().matrix.Efficiency(1e11));
+  EXPECT_DOUBLE_EQ(scaled.proc().matrix.peak_flops().raw(),
+                   2.0 * base.proc().matrix.peak_flops().raw());
+  EXPECT_DOUBLE_EQ(scaled.proc().vector.peak_flops().raw(),
+                   base.proc().vector.peak_flops().raw());
+  EXPECT_DOUBLE_EQ(scaled.proc().matrix.Efficiency(Flops(1e11)),
+                   base.proc().matrix.Efficiency(Flops(1e11)));
   EXPECT_THROW(ApplyMatrixScale(base, 0.0), ConfigError);
 }
 
@@ -38,11 +38,11 @@ TEST(Calibrate, ZeroErrorOnSelfGeneratedMeasurement) {
   presets::SystemOptions o;
   o.num_procs = 512;
   const System sys = presets::A100(o);
-  Measurement m = MakeMeasurement(1.0);
+  Measurement m = MakeMeasurement(Seconds(1.0));
   const auto r =
       CalculatePerformance(m.app, m.exec, sys.WithNumProcs(512));
   ASSERT_TRUE(r.ok());
-  m.measured_seconds = r.value().batch_time;
+  m.measured_time = r.value().batch_time;
   EXPECT_NEAR(CalibrationError(sys, {m}), 0.0, 1e-12);
 }
 
@@ -54,11 +54,11 @@ TEST(Calibrate, RecoversAKnownScale) {
   const System truth = ApplyMatrixScale(base, 1.5);
   std::vector<Measurement> ms;
   for (double batch : {256.0, 512.0}) {
-    Measurement m = MakeMeasurement(1.0);
+    Measurement m = MakeMeasurement(Seconds(1.0));
     m.exec.batch_size = static_cast<std::int64_t>(batch);
     const auto r = CalculatePerformance(m.app, m.exec, truth);
     ASSERT_TRUE(r.ok()) << r.detail();
-    m.measured_seconds = r.value().batch_time;
+    m.measured_time = r.value().batch_time;
     ms.push_back(m);
   }
   const CalibrationResult fit = CalibrateMatrixScale(base, ms, 0.5, 3.0);
@@ -71,14 +71,14 @@ TEST(Calibrate, RecoversAKnownScale) {
 TEST(Calibrate, InfeasiblePredictionsArePenalized) {
   presets::SystemOptions o;
   o.num_procs = 8;
-  o.hbm_capacity = 8.0 * kGiB;  // nothing fits
+  o.hbm_capacity = GiB(8);  // nothing fits
   const System tiny = presets::A100(o);
   Measurement m;
   m.app = presets::Megatron1T();
   m.exec.num_procs = 8;
   m.exec.tensor_par = 8;
   m.exec.batch_size = 8;
-  m.measured_seconds = 10.0;
+  m.measured_time = Seconds(10.0);
   EXPECT_GE(CalibrationError(tiny, {m}), 100.0);
 }
 
@@ -86,9 +86,10 @@ TEST(Calibrate, RejectsBadInputs) {
   presets::SystemOptions o;
   const System sys = presets::A100(o);
   EXPECT_THROW((void)CalibrationError(sys, {}), ConfigError);
-  Measurement m = MakeMeasurement(0.0);
+  Measurement m = MakeMeasurement(Seconds(0.0));
   EXPECT_THROW((void)CalibrationError(sys, {m}), ConfigError);
-  EXPECT_THROW((void)CalibrateMatrixScale(sys, {MakeMeasurement(1.0)}, 2.0, 1.0),
+  EXPECT_THROW((void)CalibrateMatrixScale(sys, {MakeMeasurement(Seconds(1.0))},
+                                          2.0, 1.0),
                ConfigError);
 }
 

@@ -1,0 +1,15 @@
+// Compile-fail case: adding bytes to seconds has no physical meaning
+// The line inside the #ifdef must NOT compile; see README.md.
+#include "util/quantity.h"
+
+namespace calculon {
+
+double Use() {
+#ifdef CALCULON_EXPECT_COMPILE_FAIL
+  return (Bytes(1.0) + Seconds(2.0)).raw();
+#else
+  return Bytes(1.0).raw();
+#endif
+}
+
+}  // namespace calculon

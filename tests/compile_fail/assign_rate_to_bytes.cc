@@ -1,0 +1,17 @@
+// Compile-fail case: assigning a bandwidth to a byte count crosses dimensions
+// The line inside the #ifdef must NOT compile; see README.md.
+#include "util/quantity.h"
+
+namespace calculon {
+
+double Use() {
+#ifdef CALCULON_EXPECT_COMPILE_FAIL
+  Bytes b(0.0);
+  b = BytesPerSecond(100e9);  // rate is not a size
+  return b.raw();
+#else
+  return Bytes(1.0).raw();
+#endif
+}
+
+}  // namespace calculon

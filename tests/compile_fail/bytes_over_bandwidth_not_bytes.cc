@@ -1,0 +1,16 @@
+// Compile-fail case: bytes / bandwidth is a time, not a byte count
+// The line inside the #ifdef must NOT compile; see README.md.
+#include "util/quantity.h"
+
+namespace calculon {
+
+double Use() {
+#ifdef CALCULON_EXPECT_COMPILE_FAIL
+  const Bytes wrong = Bytes(1e9) / BytesPerSecond(100e9);  // yields Seconds
+  return wrong.raw();
+#else
+  return Bytes(1.0).raw();
+#endif
+}
+
+}  // namespace calculon

@@ -1,0 +1,16 @@
+// Compile-fail case: bytes * bytes is an area-like Quantity<2,0,0>, not Bytes
+// The line inside the #ifdef must NOT compile; see README.md.
+#include "util/quantity.h"
+
+namespace calculon {
+
+double Use() {
+#ifdef CALCULON_EXPECT_COMPILE_FAIL
+  const Bytes wrong = Bytes(2.0) * Bytes(3.0);  // yields Quantity<2,0,0>
+  return wrong.raw();
+#else
+  return Bytes(1.0).raw();
+#endif
+}
+
+}  // namespace calculon

@@ -1,0 +1,15 @@
+// Compile-fail case: ordering bytes against flops is dimensionally ill-formed
+// The line inside the #ifdef must NOT compile; see README.md.
+#include "util/quantity.h"
+
+namespace calculon {
+
+double Use() {
+#ifdef CALCULON_EXPECT_COMPILE_FAIL
+  return Bytes(1.0) < Flops(2.0) ? 1.0 : 0.0;
+#else
+  return Bytes(1.0).raw();
+#endif
+}
+
+}  // namespace calculon

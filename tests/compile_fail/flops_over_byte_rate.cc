@@ -1,0 +1,16 @@
+// Compile-fail case: flops / byte-bandwidth is not a time
+// The line inside the #ifdef must NOT compile; see README.md.
+#include "util/quantity.h"
+
+namespace calculon {
+
+double Use() {
+#ifdef CALCULON_EXPECT_COMPILE_FAIL
+  const Seconds wrong = Flops(1e12) / BytesPerSecond(1e12);
+  return wrong.raw();  // Quantity<-1,1,1>, not Seconds
+#else
+  return Bytes(1.0).raw();
+#endif
+}
+
+}  // namespace calculon

@@ -1,0 +1,16 @@
+// Compile-fail case: a quantity must not decay to double without .raw()
+// The line inside the #ifdef must NOT compile; see README.md.
+#include "util/quantity.h"
+
+namespace calculon {
+
+double Use() {
+#ifdef CALCULON_EXPECT_COMPILE_FAIL
+  const double leaked = Seconds(1.0);  // no implicit conversion out
+  return leaked;
+#else
+  return Bytes(1.0).raw();
+#endif
+}
+
+}  // namespace calculon

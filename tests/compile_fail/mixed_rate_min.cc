@@ -1,0 +1,19 @@
+// Compile-fail case: comparing a flop rate to a byte rate is ill-formed
+// The line inside the #ifdef must NOT compile; see README.md.
+#include "util/quantity.h"
+
+namespace calculon {
+
+double Use() {
+#ifdef CALCULON_EXPECT_COMPILE_FAIL
+  const FlopsPerSecond wrong =
+      FlopsPerSecond(1e12) < BytesPerSecond(1e12)
+          ? FlopsPerSecond(1e12)
+          : FlopsPerSecond(0.0);  // comparison across dimensions
+  return wrong.raw();
+#else
+  return Bytes(1.0).raw();
+#endif
+}
+
+}  // namespace calculon

@@ -1,0 +1,16 @@
+// Compile-fail case: a bare double must not silently become a typed quantity
+// The line inside the #ifdef must NOT compile; see README.md.
+#include "util/quantity.h"
+
+namespace calculon {
+
+double Use() {
+#ifdef CALCULON_EXPECT_COMPILE_FAIL
+  const Bytes b = 5.0;  // Quantity constructor is explicit
+  return b.raw();
+#else
+  return Bytes(1.0).raw();
+#endif
+}
+
+}  // namespace calculon

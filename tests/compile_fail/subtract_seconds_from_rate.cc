@@ -1,0 +1,15 @@
+// Compile-fail case: subtracting a time from a rate crosses dimensions
+// The line inside the #ifdef must NOT compile; see README.md.
+#include "util/quantity.h"
+
+namespace calculon {
+
+double Use() {
+#ifdef CALCULON_EXPECT_COMPILE_FAIL
+  return (PerSecond(2.0) - Seconds(1.0)).raw();
+#else
+  return Bytes(1.0).raw();
+#endif
+}
+
+}  // namespace calculon

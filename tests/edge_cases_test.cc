@@ -27,29 +27,31 @@ Application TinyApp() {
 
 TEST(EdgeCases, SingleProcessorSingleSample) {
   Processor proc;
-  proc.matrix = ComputeUnit(1e12, EfficiencyCurve(1.0));
-  proc.vector = ComputeUnit(1e11, EfficiencyCurve(1.0));
-  proc.mem1 = Memory(16 * kGiB, 1e11);
-  const System sys("one", 1, proc, {Network(1, 1e9, 0.0)});
+  proc.matrix = ComputeUnit(TFLOPS(1), EfficiencyCurve(1.0));
+  proc.vector = ComputeUnit(FlopsPerSecond(1e11), EfficiencyCurve(1.0));
+  proc.mem1 = Memory(GiB(16), BytesPerSecond(1e11));
+  const System sys("one", 1, proc,
+                   {Network(1, GBps(1), Seconds(0.0))});
   Execution e;
   e.num_procs = 1;
   e.batch_size = 1;
   const auto r = CalculatePerformance(TinyApp(), e, sys);
   ASSERT_TRUE(r.ok()) << r.detail();
-  EXPECT_GT(r.value().batch_time, 0.0);
-  EXPECT_DOUBLE_EQ(r.value().time.tp_comm, 0.0);
-  EXPECT_DOUBLE_EQ(r.value().time.pp_comm, 0.0);
-  EXPECT_DOUBLE_EQ(r.value().time.dp_comm, 0.0);
-  EXPECT_DOUBLE_EQ(r.value().time.pp_bubble, 0.0);
+  EXPECT_GT(r.value().batch_time, Seconds(0.0));
+  EXPECT_DOUBLE_EQ(r.value().time.tp_comm.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(r.value().time.pp_comm.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(r.value().time.dp_comm.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(r.value().time.pp_bubble.raw(), 0.0);
 }
 
 TEST(EdgeCases, ZeroBandwidthNetworkYieldsNonFiniteRejection) {
   Processor proc;
-  proc.matrix = ComputeUnit(1e12, EfficiencyCurve(1.0));
-  proc.vector = ComputeUnit(1e11, EfficiencyCurve(1.0));
-  proc.mem1 = Memory(1024 * kGiB, 1e11);
+  proc.matrix = ComputeUnit(TFLOPS(1), EfficiencyCurve(1.0));
+  proc.vector = ComputeUnit(FlopsPerSecond(1e11), EfficiencyCurve(1.0));
+  proc.mem1 = Memory(GiB(1024), BytesPerSecond(1e11));
   // TP over a dead link: the model must reject, not return infinity.
-  const System sys("dead", 4, proc, {Network(4, 0.0, 0.0)});
+  const System sys("dead", 4, proc,
+                   {Network(4, BytesPerSecond(0.0), Seconds(0.0))});
   Execution e;
   e.num_procs = 4;
   e.tensor_par = 4;
@@ -69,8 +71,8 @@ TEST(EdgeCases, HugeBatchStaysFinite) {
   e.batch_size = 1 << 20;  // ~1M samples
   const auto r = CalculatePerformance(presets::Megatron22B(), e, sys);
   ASSERT_TRUE(r.ok()) << r.detail();
-  EXPECT_TRUE(std::isfinite(r.value().batch_time));
-  EXPECT_GT(r.value().batch_time, 1000.0);
+  EXPECT_TRUE(std::isfinite(r.value().batch_time.raw()));
+  EXPECT_GT(r.value().batch_time, Seconds(1000.0));
 }
 
 TEST(EdgeCases, MicrobatchLargerThanShareIsRejected) {
@@ -111,7 +113,7 @@ TEST(EdgeCases, PipelineEqualsBlocks) {
   e.recompute = Recompute::kFull;
   const auto r = CalculatePerformance(app, e, sys);
   ASSERT_TRUE(r.ok()) << r.detail();
-  EXPECT_GT(r.value().time.pp_bubble, 0.0);
+  EXPECT_GT(r.value().time.pp_bubble, Seconds(0.0));
 }
 
 TEST(EdgeCases, SequenceMustSplitUnderSeqPar) {
@@ -151,8 +153,8 @@ TEST(EdgeCases, NonUnitAttentionWidth) {
 TEST(EdgeCases, StatsOfEmptyOffloadAreZero) {
   presets::SystemOptions o;
   o.num_procs = 8;
-  o.offload_capacity = 512.0 * kGiB;
-  o.offload_bandwidth = 100e9;
+  o.offload_capacity = GiB(512);
+  o.offload_bandwidth = GBps(100);
   const System sys = presets::A100(o);
   Execution e;
   e.num_procs = 8;
@@ -160,9 +162,9 @@ TEST(EdgeCases, StatsOfEmptyOffloadAreZero) {
   e.batch_size = 8;
   const auto r = CalculatePerformance(presets::Megatron22B(), e, sys);
   ASSERT_TRUE(r.ok());
-  EXPECT_DOUBLE_EQ(r.value().tier2.Total(), 0.0);
-  EXPECT_DOUBLE_EQ(r.value().offload_bytes, 0.0);
-  EXPECT_DOUBLE_EQ(r.value().offload_bw_required, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().tier2.Total().raw(), 0.0);
+  EXPECT_DOUBLE_EQ(r.value().offload_bytes.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(r.value().offload_bw_required.raw(), 0.0);
 }
 
 }  // namespace

@@ -73,8 +73,8 @@ TEST(ExecSearch, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(a.feasible, b.feasible);
   ASSERT_EQ(a.best.size(), b.best.size());
   for (std::size_t i = 0; i < a.best.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a.best[i].stats.sample_rate,
-                     b.best[i].stats.sample_rate);
+    EXPECT_DOUBLE_EQ(a.best[i].stats.sample_rate.raw(),
+                     b.best[i].stats.sample_rate.raw());
     EXPECT_EQ(a.best[i].exec.ToJson(), b.best[i].exec.ToJson());
   }
 }
@@ -105,9 +105,9 @@ TEST(ExecSearch, KeepAllRatesCollectsEveryFeasibleRun) {
       FindOptimalExecution(presets::Megatron22B(), MakeSystem(32),
                            SearchSpace::MegatronBaseline(), config, pool);
   EXPECT_EQ(r.all_rates.size(), r.feasible);
-  const double best = *std::max_element(r.all_rates.begin(),
-                                        r.all_rates.end());
-  EXPECT_DOUBLE_EQ(best, r.best.front().stats.sample_rate);
+  const PerSecond best = *std::max_element(r.all_rates.begin(),
+                                           r.all_rates.end());
+  EXPECT_DOUBLE_EQ(best.raw(), r.best.front().stats.sample_rate.raw());
 }
 
 TEST(ExecSearch, OffloadVariantsSkippedWithoutTier2) {
@@ -134,8 +134,8 @@ TEST(ExecSearch, OffloadEnablesOtherwiseInfeasibleScales) {
   presets::SystemOptions o;
   o.num_procs = 64;
   const System plain = presets::H100(o);
-  o.offload_capacity = 2048.0 * kGiB;
-  o.offload_bandwidth = 100e9;
+  o.offload_capacity = GiB(2048);
+  o.offload_bandwidth = GBps(100);
   const System offload = presets::H100(o);
   const SearchResult without = FindOptimalExecution(
       presets::Megatron1T(), plain, SearchSpace::AllWithOffload(), config,

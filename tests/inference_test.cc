@@ -11,7 +11,7 @@ namespace {
 System MakeSystem(std::int64_t procs, double hbm_gib = 80.0) {
   presets::SystemOptions o;
   o.num_procs = procs;
-  o.hbm_capacity = hbm_gib * kGiB;
+  o.hbm_capacity = Bytes(hbm_gib * kGiB);
   return presets::A100(o);
 }
 
@@ -36,12 +36,13 @@ TEST(Inference, BasicServingRun) {
       CalculateInference(app, ServingExec(8), MakeSystem(8), cfg);
   ASSERT_TRUE(r.ok()) << r.detail();
   const InferenceStats& s = r.value();
-  EXPECT_GT(s.prefill_time, 0.0);
-  EXPECT_GT(s.per_token_time, 0.0);
-  EXPECT_NEAR(s.total_time, s.prefill_time + 64 * s.per_token_time, 1e-12);
-  EXPECT_GT(s.tokens_per_second, 0.0);
-  EXPECT_GT(s.kv_cache_bytes, 0.0);
-  EXPECT_GT(s.tier1.weights, 0.0);
+  EXPECT_GT(s.prefill_time, Seconds(0.0));
+  EXPECT_GT(s.per_token_time, Seconds(0.0));
+  EXPECT_NEAR(s.total_time.raw(),
+              (s.prefill_time + 64.0 * s.per_token_time).raw(), 1e-12);
+  EXPECT_GT(s.tokens_per_second, PerSecond(0.0));
+  EXPECT_GT(s.kv_cache_bytes, Bytes(0.0));
+  EXPECT_GT(s.tier1.weights, Bytes(0.0));
 }
 
 TEST(Inference, RequiresInferenceMode) {
@@ -78,7 +79,7 @@ TEST(Inference, DecodeIsBandwidthBound) {
   const System sys = MakeSystem(8);
   const auto r = CalculateInference(app, ServingExec(8), sys, cfg);
   ASSERT_TRUE(r.ok()) << r.detail();
-  const double weight_stream_floor =
+  const Seconds weight_stream_floor =
       r.value().tier1.weights / sys.proc().mem1.bandwidth();
   EXPECT_GE(r.value().per_token_time, weight_stream_floor);
 }
@@ -96,8 +97,8 @@ TEST(Inference, KvCacheGrowsWithContextAndBatch) {
   const auto rs = CalculateInference(app, ServingExec(8), sys, small);
   const auto rb = CalculateInference(app, ServingExec(8), sys, big);
   ASSERT_TRUE(rs.ok() && rb.ok());
-  EXPECT_NEAR(rb.value().kv_cache_bytes,
-              rs.value().kv_cache_bytes * 2.0 * 4.0, 1.0);
+  EXPECT_NEAR(rb.value().kv_cache_bytes.raw(),
+              (rs.value().kv_cache_bytes * 2.0 * 4.0).raw(), 1.0);
   // Longer context also slows the decode step (more KV to stream).
   EXPECT_GT(rb.value().per_token_time, rs.value().per_token_time);
 }
@@ -110,12 +111,12 @@ TEST(Inference, TensorParallelismCutsWeightsAndKv) {
   const auto r8 = CalculateInference(app, ServingExec(8), MakeSystem(8), cfg);
   ASSERT_TRUE(r1.ok() && r8.ok()) << r1.detail() << r8.detail();
   EXPECT_LT(r8.value().tier1.weights, r1.value().tier1.weights / 7.0);
-  EXPECT_NEAR(r8.value().kv_cache_bytes, r1.value().kv_cache_bytes / 8.0,
-              1.0);
+  EXPECT_NEAR(r8.value().kv_cache_bytes.raw(),
+              (r1.value().kv_cache_bytes / 8.0).raw(), 1.0);
   // TP speeds up the step but adds communication.
   EXPECT_LT(r8.value().per_token_time, r1.value().per_token_time);
-  EXPECT_GT(r8.value().tp_comm_per_token, 0.0);
-  EXPECT_DOUBLE_EQ(r1.value().tp_comm_per_token, 0.0);
+  EXPECT_GT(r8.value().tp_comm_per_token, Seconds(0.0));
+  EXPECT_DOUBLE_EQ(r1.value().tp_comm_per_token.raw(), 0.0);
 }
 
 TEST(Inference, PipelineAddsHopsNotThroughput) {
@@ -127,11 +128,11 @@ TEST(Inference, PipelineAddsHopsNotThroughput) {
   const auto piped = CalculateInference(app, ServingExec(8, 2),
                                         MakeSystem(16), cfg);
   ASSERT_TRUE(flat.ok() && piped.ok());
-  EXPECT_GT(piped.value().pp_comm_per_token, 0.0);
-  EXPECT_DOUBLE_EQ(flat.value().pp_comm_per_token, 0.0);
+  EXPECT_GT(piped.value().pp_comm_per_token, Seconds(0.0));
+  EXPECT_DOUBLE_EQ(flat.value().pp_comm_per_token.raw(), 0.0);
   // Per-processor weights halve with p=2.
-  EXPECT_NEAR(piped.value().tier1.weights,
-              flat.value().tier1.weights / 2.0, 1.0);
+  EXPECT_NEAR(piped.value().tier1.weights.raw(),
+              (flat.value().tier1.weights / 2.0).raw(), 1.0);
 }
 
 TEST(Inference, DataParallelismScalesThroughputOnly) {
@@ -143,10 +144,10 @@ TEST(Inference, DataParallelismScalesThroughputOnly) {
   const auto four = CalculateInference(app, ServingExec(8, 1, 4),
                                        MakeSystem(32), cfg);
   ASSERT_TRUE(one.ok() && four.ok());
-  EXPECT_NEAR(four.value().tokens_per_second,
-              4.0 * one.value().tokens_per_second, 1e-6);
-  EXPECT_DOUBLE_EQ(four.value().per_token_time,
-                   one.value().per_token_time);
+  EXPECT_NEAR(four.value().tokens_per_second.raw(),
+              4.0 * one.value().tokens_per_second.raw(), 1e-6);
+  EXPECT_DOUBLE_EQ(four.value().per_token_time.raw(),
+                   one.value().per_token_time.raw());
 }
 
 TEST(Inference, BigModelOnOneGpuIsInfeasible) {

@@ -51,9 +51,9 @@ TEST_P(InvariantTest, StatsAreInternallyConsistent) {
 
   presets::SystemOptions o;
   o.num_procs = 64;
-  o.hbm_capacity = 2048.0 * kGiB;  // exercise the model, not feasibility
-  o.offload_capacity = 8192.0 * kGiB;
-  o.offload_bandwidth = 100e9;
+  o.hbm_capacity = GiB(2048);  // exercise the model, not feasibility
+  o.offload_capacity = GiB(8192);
+  o.offload_bandwidth = GBps(100);
   const System sys = presets::A100(o);
 
   Execution e;
@@ -91,34 +91,36 @@ TEST_P(InvariantTest, StatsAreInternallyConsistent) {
   }
   const Stats& s = r.value();
   // Time: positive, finite, breakdown sums exactly.
-  EXPECT_TRUE(std::isfinite(s.batch_time)) << v.name;
-  EXPECT_GT(s.batch_time, 0.0) << v.name;
-  EXPECT_NEAR(s.time.Total(), s.batch_time, 1e-9 * s.batch_time) << v.name;
-  // Rates.
+  EXPECT_TRUE(std::isfinite(s.batch_time.raw())) << v.name;
+  EXPECT_GT(s.batch_time, Seconds(0.0)) << v.name;
+  EXPECT_NEAR(s.time.Total().raw(), s.batch_time.raw(),
+              1e-9 * s.batch_time.raw())
+      << v.name;
+  // Rates (PerSecond * Seconds collapses to a dimensionless double).
   EXPECT_NEAR(s.sample_rate * s.batch_time, 128.0, 1e-6) << v.name;
   EXPECT_GT(s.mfu, 0.0) << v.name;
   EXPECT_LE(s.mfu, 1.0) << v.name;
   // Memory: non-negative components; totals consistent.
-  for (double m : {s.tier1.weights, s.tier1.activations,
-                   s.tier1.weight_grads, s.tier1.act_grads,
-                   s.tier1.optimizer, s.tier2.Total()}) {
-    EXPECT_GE(m, 0.0) << v.name;
+  for (Bytes m : {s.tier1.weights, s.tier1.activations,
+                  s.tier1.weight_grads, s.tier1.act_grads,
+                  s.tier1.optimizer, s.tier2.Total()}) {
+    EXPECT_GE(m, Bytes(0.0)) << v.name;
   }
-  EXPECT_GT(s.tier1.Total(), 0.0) << v.name;
+  EXPECT_GT(s.tier1.Total(), Bytes(0.0)) << v.name;
   // Communication: busy >= exposed (throttle tax can only apply to the
   // hidden part, which is itself bounded by busy time).
-  EXPECT_GE(s.tp_comm_total, s.time.tp_comm - 1e-9) << v.name;
-  EXPECT_GE(s.dp_comm_total, 0.0) << v.name;
+  EXPECT_GE(s.tp_comm_total, s.time.tp_comm - Seconds(1e-9)) << v.name;
+  EXPECT_GE(s.dp_comm_total, Seconds(0.0)) << v.name;
   // Recompute only when requested.
   if (v.recompute == Recompute::kNone) {
-    EXPECT_DOUBLE_EQ(s.time.fw_recompute, 0.0) << v.name;
+    EXPECT_DOUBLE_EQ(s.time.fw_recompute.raw(), 0.0) << v.name;
   }
   // Offload stats only when offloading.
   if (!v.offload) {
-    EXPECT_DOUBLE_EQ(s.offload_bytes, 0.0) << v.name;
-    EXPECT_DOUBLE_EQ(s.tier2.Total(), 0.0) << v.name;
+    EXPECT_DOUBLE_EQ(s.offload_bytes.raw(), 0.0) << v.name;
+    EXPECT_DOUBLE_EQ(s.tier2.Total().raw(), 0.0) << v.name;
   } else {
-    EXPECT_GT(s.tier2.Total(), 0.0) << v.name;
+    EXPECT_GT(s.tier2.Total(), Bytes(0.0)) << v.name;
   }
 }
 

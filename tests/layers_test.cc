@@ -7,69 +7,75 @@ namespace {
 
 TEST(Layers, LinearClosedFormCounts) {
   // (M=6, K=4) x (K=4, N=10), fp16, bias, training.
-  const Layer l = MakeLinear("fc", 6, 4, 10, 2, true, true);
+  const Layer l = MakeLinear("fc", {6.0, 4.0, 10.0}, 2, true, true);
   EXPECT_EQ(l.kind, ComputeKind::kMatrix);
-  EXPECT_DOUBLE_EQ(l.fw_flops, 2.0 * 6 * 4 * 10 + 6 * 10);
-  EXPECT_DOUBLE_EQ(l.fw_bytes, 2.0 * (6 * 4 + 4 * 10 + 6 * 10));
-  EXPECT_DOUBLE_EQ(l.bw_flops, 2.0 * 2.0 * 6 * 4 * 10 + 6 * 10);
+  EXPECT_DOUBLE_EQ(l.fw_flops.raw(), 2.0 * 6 * 4 * 10 + 6 * 10);
+  EXPECT_DOUBLE_EQ(l.fw_bytes.raw(), 2.0 * (6 * 4 + 4 * 10 + 6 * 10));
+  EXPECT_DOUBLE_EQ(l.bw_flops.raw(), 2.0 * 2.0 * 6 * 4 * 10 + 6 * 10);
   EXPECT_DOUBLE_EQ(l.params, 4 * 10 + 10);
-  EXPECT_DOUBLE_EQ(l.weight_bytes, 2.0 * (4 * 10 + 10));
-  EXPECT_DOUBLE_EQ(l.weight_grad_bytes, 4.0 * (4 * 10 + 10));
-  EXPECT_DOUBLE_EQ(l.optimizer_bytes, 12.0 * (4 * 10 + 10));
-  EXPECT_DOUBLE_EQ(l.act_stored, 2.0 * 6 * 4);  // input stash
+  EXPECT_DOUBLE_EQ(l.weight_bytes.raw(), 2.0 * (4 * 10 + 10));
+  EXPECT_DOUBLE_EQ(l.weight_grad_bytes.raw(), 4.0 * (4 * 10 + 10));
+  EXPECT_DOUBLE_EQ(l.optimizer_bytes.raw(), 12.0 * (4 * 10 + 10));
+  EXPECT_DOUBLE_EQ(l.act_stored.raw(), 2.0 * 6 * 4);  // input stash
   EXPECT_FALSE(l.attn_stash);
 }
 
 TEST(Layers, LinearWithoutBias) {
-  const Layer l = MakeLinear("fc", 6, 4, 10, 2, false, true);
-  EXPECT_DOUBLE_EQ(l.fw_flops, 2.0 * 6 * 4 * 10);
+  const Layer l = MakeLinear("fc", {6.0, 4.0, 10.0}, 2, false, true);
+  EXPECT_DOUBLE_EQ(l.fw_flops.raw(), 2.0 * 6 * 4 * 10);
   EXPECT_DOUBLE_EQ(l.params, 40.0);
 }
 
 TEST(Layers, LinearStashOverride) {
   // Sequence-parallel AG-redo stashes only the shard.
-  const Layer l = MakeLinear("fc", 8, 4, 4, 2, true, true, /*stored=*/4.0);
-  EXPECT_DOUBLE_EQ(l.act_stored, 2.0 * 4.0);
+  const Layer l =
+      MakeLinear("fc", {8.0, 4.0, 4.0}, 2, true, true, /*stored=*/4.0);
+  EXPECT_DOUBLE_EQ(l.act_stored.raw(), 2.0 * 4.0);
 }
 
 TEST(Layers, LinearInferenceHasNoTrainingState) {
-  const Layer l = MakeLinear("fc", 6, 4, 10, 2, true, false);
-  EXPECT_DOUBLE_EQ(l.bw_flops, 0.0);
-  EXPECT_DOUBLE_EQ(l.bw_bytes, 0.0);
-  EXPECT_DOUBLE_EQ(l.act_stored, 0.0);
-  EXPECT_DOUBLE_EQ(l.weight_grad_bytes, 0.0);
-  EXPECT_DOUBLE_EQ(l.optimizer_bytes, 0.0);
-  EXPECT_DOUBLE_EQ(l.params, 50.0);           // params still reported
-  EXPECT_DOUBLE_EQ(l.weight_bytes, 100.0);    // weights still resident
+  const Layer l = MakeLinear("fc", {6.0, 4.0, 10.0}, 2, true, false);
+  EXPECT_DOUBLE_EQ(l.bw_flops.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(l.bw_bytes.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(l.act_stored.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(l.weight_grad_bytes.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(l.optimizer_bytes.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(l.params, 50.0);                // params still reported
+  EXPECT_DOUBLE_EQ(l.weight_bytes.raw(), 100.0);   // weights still resident
 }
 
 TEST(Layers, BatchMatmulCounts) {
   // 3 batches of (2x4)*(4x5).
-  const Layer l = MakeBatchMatmul("bmm", 3, 2, 4, 5, 2, true, 7.0, true);
-  EXPECT_DOUBLE_EQ(l.fw_flops, 2.0 * 3 * 2 * 4 * 5);
-  EXPECT_DOUBLE_EQ(l.fw_bytes, 2.0 * 3 * (2 * 4 + 4 * 5 + 2 * 5));
-  EXPECT_DOUBLE_EQ(l.bw_flops, 2.0 * l.fw_flops);
-  EXPECT_DOUBLE_EQ(l.act_stored, 2.0 * 7.0);
+  const Layer l =
+      MakeBatchMatmul("bmm", 3.0, {2.0, 4.0, 5.0}, 2, true, 7.0, true);
+  EXPECT_DOUBLE_EQ(l.fw_flops.raw(), 2.0 * 3 * 2 * 4 * 5);
+  EXPECT_DOUBLE_EQ(l.fw_bytes.raw(), 2.0 * 3 * (2 * 4 + 4 * 5 + 2 * 5));
+  EXPECT_DOUBLE_EQ(l.bw_flops.raw(), 2.0 * l.fw_flops.raw());
+  EXPECT_DOUBLE_EQ(l.act_stored.raw(), 2.0 * 7.0);
   EXPECT_TRUE(l.attn_stash);
   EXPECT_DOUBLE_EQ(l.params, 0.0);  // no learnable state
 }
 
 TEST(Layers, VectorCounts) {
   // 100 elements, 5 flops each, 1 in + 1 out stream, 64 bytes stashed.
-  const Layer l = MakeVector("ln", 100, 5, 1, 1, 2, true, 64.0, false, 8.0);
+  const Layer l =
+      MakeVector("ln", {100.0, 5.0, 1.0, 1.0}, 2, true, Bytes(64.0), false,
+                 8.0);
   EXPECT_EQ(l.kind, ComputeKind::kVector);
-  EXPECT_DOUBLE_EQ(l.fw_flops, 500.0);
-  EXPECT_DOUBLE_EQ(l.fw_bytes, 2.0 * 100 * 2);
-  EXPECT_DOUBLE_EQ(l.bw_flops, 1000.0);
-  EXPECT_DOUBLE_EQ(l.bw_bytes, 2.0 * 100 * 3);  // one extra gradient stream
-  EXPECT_DOUBLE_EQ(l.act_stored, 64.0);
+  EXPECT_DOUBLE_EQ(l.fw_flops.raw(), 500.0);
+  EXPECT_DOUBLE_EQ(l.fw_bytes.raw(), 2.0 * 100 * 2);
+  EXPECT_DOUBLE_EQ(l.bw_flops.raw(), 1000.0);
+  // One extra gradient stream.
+  EXPECT_DOUBLE_EQ(l.bw_bytes.raw(), 2.0 * 100 * 3);
+  EXPECT_DOUBLE_EQ(l.act_stored.raw(), 64.0);
   EXPECT_DOUBLE_EQ(l.params, 8.0);
-  EXPECT_DOUBLE_EQ(l.weight_grad_bytes, 32.0);
+  EXPECT_DOUBLE_EQ(l.weight_grad_bytes.raw(), 32.0);
 }
 
 TEST(Layers, ResidualReadsTwoStreams) {
-  const Layer l = MakeVector("residual", 10, 1, 2, 1, 2, true, 0.0);
-  EXPECT_DOUBLE_EQ(l.fw_bytes, 2.0 * 10 * 3);
+  const Layer l =
+      MakeVector("residual", {10.0, 1.0, 2.0, 1.0}, 2, true, Bytes(0.0));
+  EXPECT_DOUBLE_EQ(l.fw_bytes.raw(), 2.0 * 10 * 3);
 }
 
 // Property: backward GEMM work is exactly twice forward GEMM work.
@@ -78,9 +84,9 @@ class LinearShapeTest
 
 TEST_P(LinearShapeTest, BackwardIsTwiceForwardGemm) {
   const auto [m, k, n] = GetParam();
-  const Layer l = MakeLinear("fc", m, k, n, 2, false, true);
-  EXPECT_DOUBLE_EQ(l.bw_flops, 2.0 * l.fw_flops);
-  EXPECT_GT(l.fw_flops, 0.0);
+  const Layer l = MakeLinear("fc", {m, k, n}, 2, false, true);
+  EXPECT_DOUBLE_EQ(l.bw_flops.raw(), 2.0 * l.fw_flops.raw());
+  EXPECT_GT(l.fw_flops, Flops(0.0));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -9,48 +9,51 @@ namespace calculon {
 namespace {
 
 TEST(Memory, AccessTimeAtFullEfficiency) {
-  const Memory m(80 * kGiB, 2e12);
-  EXPECT_DOUBLE_EQ(m.AccessTime(2e12), 1.0);
-  EXPECT_DOUBLE_EQ(m.AccessTime(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(m.AccessTime(-5.0), 0.0);
+  const Memory m(GiB(80), TBps(2));
+  EXPECT_DOUBLE_EQ(m.AccessTime(TB(2)).raw(), 1.0);
+  EXPECT_DOUBLE_EQ(m.AccessTime(Bytes(0.0)).raw(), 0.0);
+  EXPECT_DOUBLE_EQ(m.AccessTime(Bytes(-5.0)).raw(), 0.0);
 }
 
 TEST(Memory, EfficiencyCurveReducesBandwidth) {
-  const Memory m(80 * kGiB, 2e12, EfficiencyCurve({{0.0, 0.5}, {1e9, 1.0}}));
-  EXPECT_DOUBLE_EQ(m.EffectiveBandwidth(1.0), 1e12);
-  EXPECT_DOUBLE_EQ(m.EffectiveBandwidth(1e9), 2e12);
-  EXPECT_DOUBLE_EQ(m.AccessTime(1e6), 1e6 / m.EffectiveBandwidth(1e6));
+  const Memory m(GiB(80), TBps(2), EfficiencyCurve({{0.0, 0.5}, {1e9, 1.0}}));
+  EXPECT_DOUBLE_EQ(m.EffectiveBandwidth(Bytes(1.0)).raw(), 1e12);
+  EXPECT_DOUBLE_EQ(m.EffectiveBandwidth(GB(1)).raw(), 2e12);
+  EXPECT_DOUBLE_EQ(m.AccessTime(Bytes(1e6)).raw(),
+                   1e6 / m.EffectiveBandwidth(Bytes(1e6)).raw());
 }
 
 TEST(Memory, AbsentTierReportsInfinity) {
   const Memory none;
   EXPECT_FALSE(none.present());
-  EXPECT_TRUE(std::isinf(none.AccessTime(1.0)));
-  EXPECT_DOUBLE_EQ(none.AccessTime(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(none.AccessTime(Bytes(1.0)).raw()));
+  EXPECT_DOUBLE_EQ(none.AccessTime(Bytes(0.0)).raw(), 0.0);
 }
 
 TEST(Memory, PresenceFollowsCapacity) {
-  EXPECT_TRUE(Memory(1.0, 1.0).present());
-  EXPECT_FALSE(Memory(0.0, 1.0).present());
+  EXPECT_TRUE(Memory(Bytes(1.0), BytesPerSecond(1.0)).present());
+  EXPECT_FALSE(Memory(Bytes(0.0), BytesPerSecond(1.0)).present());
 }
 
 TEST(Memory, RejectsNegativeParameters) {
-  EXPECT_THROW(Memory(-1.0, 1.0), ConfigError);
-  EXPECT_THROW(Memory(1.0, -1.0), ConfigError);
+  EXPECT_THROW(Memory(Bytes(-1.0), BytesPerSecond(1.0)), ConfigError);
+  EXPECT_THROW(Memory(Bytes(1.0), BytesPerSecond(-1.0)), ConfigError);
 }
 
 TEST(Memory, JsonRoundTrip) {
-  const Memory m(512 * kGiB, 100e9, EfficiencyCurve({{0.0, 0.6}, {1e8, 0.9}}));
+  const Memory m(GiB(512), GBps(100),
+                 EfficiencyCurve({{0.0, 0.6}, {1e8, 0.9}}));
   const Memory back = Memory::FromJson(m.ToJson());
-  EXPECT_DOUBLE_EQ(back.capacity(), m.capacity());
-  EXPECT_DOUBLE_EQ(back.bandwidth(), m.bandwidth());
-  EXPECT_DOUBLE_EQ(back.AccessTime(12345.0), m.AccessTime(12345.0));
+  EXPECT_DOUBLE_EQ(back.capacity().raw(), m.capacity().raw());
+  EXPECT_DOUBLE_EQ(back.bandwidth().raw(), m.bandwidth().raw());
+  EXPECT_DOUBLE_EQ(back.AccessTime(Bytes(12345.0)).raw(),
+                   m.AccessTime(Bytes(12345.0)).raw());
 }
 
 TEST(Memory, JsonDefaultsEfficiencyToOne) {
   const Memory m =
       Memory::FromJson(json::Parse(R"({"capacity": 100, "bandwidth": 10})"));
-  EXPECT_DOUBLE_EQ(m.AccessTime(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.AccessTime(Bytes(100.0)).raw(), 10.0);
 }
 
 // Property: access time is monotone non-decreasing in transfer size for a
@@ -58,9 +61,9 @@ TEST(Memory, JsonDefaultsEfficiencyToOne) {
 class MemoryMonotoneTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(MemoryMonotoneTest, AccessTimeMonotoneInSize) {
-  const Memory m(80 * kGiB, 2e12,
+  const Memory m(GiB(80), TBps(2),
                  EfficiencyCurve({{0.0, 0.2}, {1e6, 0.6}, {1e9, 0.9}}));
-  const double bytes = GetParam();
+  const Bytes bytes(GetParam());
   EXPECT_LE(m.AccessTime(bytes), m.AccessTime(bytes * 2.0));
 }
 

@@ -7,8 +7,8 @@
 namespace calculon {
 namespace {
 
-Network MakeNet(bool in_network = false, double latency = 0.0) {
-  return Network(8, 100e9, latency, EfficiencyCurve(1.0), in_network,
+Network MakeNet(bool in_network = false, Seconds latency = Seconds(0.0)) {
+  return Network(8, GBps(100), latency, EfficiencyCurve(1.0), in_network,
                  /*processor_fraction=*/0.15);
 }
 
@@ -17,8 +17,8 @@ TEST(Network, SingleMemberCommunicatesForFree) {
   for (auto op : {Collective::kAllReduce, Collective::kAllGather,
                   Collective::kReduceScatter, Collective::kBroadcast,
                   Collective::kPointToPoint}) {
-    EXPECT_DOUBLE_EQ(n.CollectiveTime(op, 1, 1e9), 0.0);
-    EXPECT_DOUBLE_EQ(n.LinkBytes(op, 1, 1e9), 0.0);
+    EXPECT_DOUBLE_EQ(n.CollectiveTime(op, 1, GB(1)).raw(), 0.0);
+    EXPECT_DOUBLE_EQ(n.LinkBytes(op, 1, GB(1)).raw(), 0.0);
   }
 }
 
@@ -26,97 +26,107 @@ TEST(Network, RingAllReduceMovesTwiceTheShare) {
   const Network n = MakeNet();
   const double bytes = 8e9;
   // 2 * (n-1)/n * S at 100 GB/s.
-  EXPECT_DOUBLE_EQ(n.LinkBytes(Collective::kAllReduce, 8, bytes),
+  EXPECT_DOUBLE_EQ(n.LinkBytes(Collective::kAllReduce, 8, Bytes(bytes)).raw(),
                    2.0 * 7.0 / 8.0 * bytes);
-  EXPECT_DOUBLE_EQ(n.CollectiveTime(Collective::kAllReduce, 8, bytes),
-                   2.0 * 7.0 / 8.0 * bytes / 100e9);
+  EXPECT_DOUBLE_EQ(
+      n.CollectiveTime(Collective::kAllReduce, 8, Bytes(bytes)).raw(),
+      2.0 * 7.0 / 8.0 * bytes / 100e9);
 }
 
 TEST(Network, AllReduceEqualsReduceScatterPlusAllGather) {
   const Network n = MakeNet();
-  const double bytes = 3e8;
+  const Bytes bytes(3e8);
   for (std::int64_t members : {2, 4, 8}) {
-    EXPECT_NEAR(n.CollectiveTime(Collective::kAllReduce, members, bytes),
-                n.CollectiveTime(Collective::kReduceScatter, members, bytes) +
-                    n.CollectiveTime(Collective::kAllGather, members, bytes),
-                1e-12);
+    EXPECT_NEAR(
+        n.CollectiveTime(Collective::kAllReduce, members, bytes).raw(),
+        (n.CollectiveTime(Collective::kReduceScatter, members, bytes) +
+         n.CollectiveTime(Collective::kAllGather, members, bytes))
+            .raw(),
+        1e-12);
   }
 }
 
 TEST(Network, InNetworkCollectivesSendPayloadOnce) {
   const Network plain = MakeNet(false);
   const Network sharp = MakeNet(true);
-  const double bytes = 1e9;
-  EXPECT_DOUBLE_EQ(sharp.LinkBytes(Collective::kAllReduce, 8, bytes), bytes);
+  const Bytes bytes(1e9);
+  EXPECT_DOUBLE_EQ(sharp.LinkBytes(Collective::kAllReduce, 8, bytes).raw(),
+                   bytes.raw());
   EXPECT_LT(sharp.CollectiveTime(Collective::kAllReduce, 8, bytes),
             plain.CollectiveTime(Collective::kAllReduce, 8, bytes));
   // Other collectives are unaffected.
-  EXPECT_DOUBLE_EQ(sharp.CollectiveTime(Collective::kAllGather, 8, bytes),
-                   plain.CollectiveTime(Collective::kAllGather, 8, bytes));
+  EXPECT_DOUBLE_EQ(
+      sharp.CollectiveTime(Collective::kAllGather, 8, bytes).raw(),
+      plain.CollectiveTime(Collective::kAllGather, 8, bytes).raw());
 }
 
 TEST(Network, LatencyScalesWithRingSteps) {
-  const Network n = MakeNet(false, /*latency=*/1e-6);
+  const Network n = MakeNet(false, /*latency=*/Seconds(1e-6));
   // Ring all-reduce pays 2(n-1) latency hops on a zero-size-ish payload.
-  const double t8 = n.CollectiveTime(Collective::kAllReduce, 8, 1.0);
-  const double t2 = n.CollectiveTime(Collective::kAllReduce, 2, 1.0);
-  EXPECT_NEAR(t8 - t2, (14 - 2) * 1e-6, 1e-10);
-  EXPECT_NEAR(n.CollectiveTime(Collective::kPointToPoint, 2, 1.0), 1e-6,
-              1e-10);
+  const Seconds t8 = n.CollectiveTime(Collective::kAllReduce, 8, Bytes(1.0));
+  const Seconds t2 = n.CollectiveTime(Collective::kAllReduce, 2, Bytes(1.0));
+  EXPECT_NEAR((t8 - t2).raw(), (14 - 2) * 1e-6, 1e-10);
+  EXPECT_NEAR(n.CollectiveTime(Collective::kPointToPoint, 2, Bytes(1.0)).raw(),
+              1e-6, 1e-10);
 }
 
 TEST(Network, P2PMovesFullPayload) {
   const Network n = MakeNet();
-  EXPECT_DOUBLE_EQ(n.CollectiveTime(Collective::kPointToPoint, 2, 100e9),
-                   1.0);
+  EXPECT_DOUBLE_EQ(
+      n.CollectiveTime(Collective::kPointToPoint, 2, Bytes(100e9)).raw(),
+      1.0);
 }
 
 TEST(Network, BroadcastUsesLogSteps) {
-  const Network n = MakeNet(false, 1e-6);
-  EXPECT_NEAR(n.CollectiveTime(Collective::kBroadcast, 8, 1.0), 3e-6, 1e-9);
+  const Network n = MakeNet(false, Seconds(1e-6));
+  EXPECT_NEAR(n.CollectiveTime(Collective::kBroadcast, 8, Bytes(1.0)).raw(),
+              3e-6, 1e-9);
 }
 
 TEST(Network, EfficiencyCurveAppliesToLinkBytes) {
-  const Network n(8, 100e9, 0.0, EfficiencyCurve({{1e6, 0.5}, {1e9, 1.0}}),
-                  false, 0.0);
+  const Network n(8, GBps(100), Seconds(0.0),
+                  EfficiencyCurve({{1e6, 0.5}, {1e9, 1.0}}), false, 0.0);
   // At or below the first curve point: half bandwidth.
-  EXPECT_NEAR(n.CollectiveTime(Collective::kPointToPoint, 2, 1e6),
+  EXPECT_NEAR(n.CollectiveTime(Collective::kPointToPoint, 2, Bytes(1e6)).raw(),
               1e6 / 50e9, 1e-12);
   // Large messages reach full bandwidth.
-  EXPECT_NEAR(n.CollectiveTime(Collective::kPointToPoint, 2, 1e10),
-              1e10 / 100e9, 1e-9);
+  EXPECT_NEAR(
+      n.CollectiveTime(Collective::kPointToPoint, 2, Bytes(1e10)).raw(),
+      1e10 / 100e9, 1e-9);
 }
 
 TEST(Network, WithSizePreservesEverythingElse) {
-  const Network n = MakeNet(true, 2e-6);
+  const Network n = MakeNet(true, Seconds(2e-6));
   const Network big = n.WithSize(4096);
   EXPECT_EQ(big.size(), 4096);
-  EXPECT_DOUBLE_EQ(big.bandwidth(), n.bandwidth());
-  EXPECT_DOUBLE_EQ(big.latency(), n.latency());
+  EXPECT_DOUBLE_EQ(big.bandwidth().raw(), n.bandwidth().raw());
+  EXPECT_DOUBLE_EQ(big.latency().raw(), n.latency().raw());
   EXPECT_EQ(big.in_network_collectives(), n.in_network_collectives());
   EXPECT_DOUBLE_EQ(big.processor_fraction(), n.processor_fraction());
 }
 
 TEST(Network, RejectsBadParameters) {
-  EXPECT_THROW(Network(0, 1.0, 0.0), ConfigError);
-  EXPECT_THROW(Network(1, -1.0, 0.0), ConfigError);
-  EXPECT_THROW(Network(1, 1.0, -1.0), ConfigError);
-  EXPECT_THROW(Network(1, 1.0, 0.0, EfficiencyCurve(1.0), false, 1.5),
+  EXPECT_THROW(Network(0, BytesPerSecond(1.0), Seconds(0.0)), ConfigError);
+  EXPECT_THROW(Network(1, BytesPerSecond(-1.0), Seconds(0.0)), ConfigError);
+  EXPECT_THROW(Network(1, BytesPerSecond(1.0), Seconds(-1.0)), ConfigError);
+  EXPECT_THROW(Network(1, BytesPerSecond(1.0), Seconds(0.0),
+                       EfficiencyCurve(1.0), false, 1.5),
                ConfigError);
   EXPECT_THROW(MakeNet().WithSize(0), ConfigError);
 }
 
 TEST(Network, JsonRoundTrip) {
-  const Network n(512, 25e9, 5e-6, EfficiencyCurve({{0.0, 0.3}, {1e8, 0.9}}),
-                  true, 0.02);
+  const Network n(512, GBps(25), Seconds(5e-6),
+                  EfficiencyCurve({{0.0, 0.3}, {1e8, 0.9}}), true, 0.02);
   const Network back = Network::FromJson(n.ToJson());
   EXPECT_EQ(back.size(), n.size());
-  EXPECT_DOUBLE_EQ(back.bandwidth(), n.bandwidth());
-  EXPECT_DOUBLE_EQ(back.latency(), n.latency());
+  EXPECT_DOUBLE_EQ(back.bandwidth().raw(), n.bandwidth().raw());
+  EXPECT_DOUBLE_EQ(back.latency().raw(), n.latency().raw());
   EXPECT_EQ(back.in_network_collectives(), n.in_network_collectives());
   EXPECT_DOUBLE_EQ(back.processor_fraction(), n.processor_fraction());
-  EXPECT_DOUBLE_EQ(back.CollectiveTime(Collective::kAllReduce, 16, 1e7),
-                   n.CollectiveTime(Collective::kAllReduce, 16, 1e7));
+  EXPECT_DOUBLE_EQ(
+      back.CollectiveTime(Collective::kAllReduce, 16, Bytes(1e7)).raw(),
+      n.CollectiveTime(Collective::kAllReduce, 16, Bytes(1e7)).raw());
 }
 
 // Property: collective time grows with both payload and member count (fixed
@@ -131,9 +141,9 @@ class NetworkGrowthTest : public ::testing::TestWithParam<CollectiveCase> {};
 TEST_P(NetworkGrowthTest, TimeMonotoneInPayload) {
   const Network n = MakeNet();
   const auto [op, members] = GetParam();
-  double prev = 0.0;
+  Seconds prev;
   for (double bytes = 1e3; bytes <= 1e12; bytes *= 10.0) {
-    const double t = n.CollectiveTime(op, members, bytes);
+    const Seconds t = n.CollectiveTime(op, members, Bytes(bytes));
     EXPECT_GT(t, prev);
     prev = t;
   }

@@ -8,59 +8,61 @@ namespace {
 
 OffloadInputs BaseInputs() {
   OffloadInputs in;
-  in.weight_block = 1e9;
-  in.weight_grad_block = 2e9;
-  in.act_block = 5e8;
-  in.optim_block = 6e9;
+  in.weight_block = GB(1);
+  in.weight_grad_block = GB(2);
+  in.act_block = Bytes(5e8);
+  in.optim_block = GB(6);
   in.blocks_per_proc = 4;
   in.microbatches = 16;
   in.act_in_flight = 8.0;
-  in.fw_block_time = 5e-3;
-  in.bw_block_time = 1e-2;
-  in.fw_phase_total = 4 * 16 * 5e-3;
-  in.bw_phase_total = 4 * 16 * 1e-2;
-  in.optim_phase_total = 0.05;
+  in.fw_block_time = Seconds(5e-3);
+  in.bw_block_time = Seconds(1e-2);
+  in.fw_phase_total = Seconds(4 * 16 * 5e-3);
+  in.bw_phase_total = Seconds(4 * 16 * 1e-2);
+  in.optim_phase_total = Seconds(0.05);
   return in;
 }
 
 TEST(Offload, NothingEnabledCostsNothing) {
-  const OffloadResult r = ComputeOffload(BaseInputs(), Memory(1e12, 100e9));
-  EXPECT_DOUBLE_EQ(r.Tier2Total(), 0.0);
-  EXPECT_DOUBLE_EQ(r.traffic_bytes, 0.0);
-  EXPECT_DOUBLE_EQ(r.exposed_time, 0.0);
-  EXPECT_DOUBLE_EQ(r.required_bw, 0.0);
+  const OffloadResult r =
+      ComputeOffload(BaseInputs(), Memory(TB(1), GBps(100)));
+  EXPECT_DOUBLE_EQ(r.Tier2Total().raw(), 0.0);
+  EXPECT_DOUBLE_EQ(r.traffic_bytes.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(r.exposed_time.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(r.required_bw.raw(), 0.0);
 }
 
 TEST(Offload, WeightOffloadAccounting) {
   OffloadInputs in = BaseInputs();
   in.weights = true;
-  const OffloadResult r = ComputeOffload(in, Memory(1e12, 1e15));
+  const OffloadResult r = ComputeOffload(in, Memory(TB(1), BytesPerSecond(1e15)));
   // Tier 2 holds all blocks' weights + gradients.
-  EXPECT_DOUBLE_EQ(r.tier2_weights, (1e9 + 2e9) * 4);
+  EXPECT_DOUBLE_EQ(r.tier2_weights.raw(), (1e9 + 2e9) * 4);
   // HBM keeps a 3-slot sliding window.
-  EXPECT_DOUBLE_EQ(r.hbm_weights, 3e9);
-  EXPECT_DOUBLE_EQ(r.hbm_weight_grads, 6e9);
+  EXPECT_DOUBLE_EQ(r.hbm_weights.raw(), 3e9);
+  EXPECT_DOUBLE_EQ(r.hbm_weight_grads.raw(), 6e9);
   // Traffic: per microbatch pass, every block's weights stream in (fw) and
   // weights + gradients stream in/out (bw).
-  EXPECT_DOUBLE_EQ(r.traffic_bytes, (1e9 + 3e9) * 4 * 16);
+  EXPECT_DOUBLE_EQ(r.traffic_bytes.raw(), (1e9 + 3e9) * 4 * 16);
 }
 
 TEST(Offload, ActivationOffloadAccounting) {
   OffloadInputs in = BaseInputs();
   in.activations = true;
-  const OffloadResult r = ComputeOffload(in, Memory(1e12, 1e15));
-  EXPECT_DOUBLE_EQ(r.tier2_acts, 5e8 * 4 * 8.0);  // in-flight stashes
-  EXPECT_DOUBLE_EQ(r.hbm_acts, 3.0 * 5e8);
-  EXPECT_DOUBLE_EQ(r.traffic_bytes, 2.0 * 5e8 * 4 * 16);  // out + back in
+  const OffloadResult r = ComputeOffload(in, Memory(TB(1), BytesPerSecond(1e15)));
+  EXPECT_DOUBLE_EQ(r.tier2_acts.raw(), 5e8 * 4 * 8.0);  // in-flight stashes
+  EXPECT_DOUBLE_EQ(r.hbm_acts.raw(), 3.0 * 5e8);
+  // Out + back in.
+  EXPECT_DOUBLE_EQ(r.traffic_bytes.raw(), 2.0 * 5e8 * 4 * 16);
 }
 
 TEST(Offload, OptimizerOffloadAccounting) {
   OffloadInputs in = BaseInputs();
   in.optimizer = true;
-  const OffloadResult r = ComputeOffload(in, Memory(1e12, 1e15));
-  EXPECT_DOUBLE_EQ(r.tier2_optimizer, 6e9 * 4);
-  EXPECT_DOUBLE_EQ(r.traffic_bytes, 2.0 * 6e9 * 4);
-  EXPECT_DOUBLE_EQ(r.hbm_optimizer, 2.0 * 6e9);
+  const OffloadResult r = ComputeOffload(in, Memory(TB(1), BytesPerSecond(1e15)));
+  EXPECT_DOUBLE_EQ(r.tier2_optimizer.raw(), 6e9 * 4);
+  EXPECT_DOUBLE_EQ(r.traffic_bytes.raw(), 2.0 * 6e9 * 4);
+  EXPECT_DOUBLE_EQ(r.hbm_optimizer.raw(), 2.0 * 6e9);
 }
 
 // Eq. 1: Bandwidth_offload >= Size_tensor / T_compute.
@@ -68,12 +70,14 @@ TEST(Offload, RequiredBandwidthIsEquationOne) {
   OffloadInputs in = BaseInputs();
   in.weights = true;
   in.activations = true;
-  const OffloadResult r = ComputeOffload(in, Memory(1e12, 1e15));
-  const double fw_demand = (in.weight_block + in.act_block) / in.fw_block_time;
-  const double bw_demand =
+  const OffloadResult r = ComputeOffload(in, Memory(TB(1), BytesPerSecond(1e15)));
+  const BytesPerSecond fw_demand =
+      (in.weight_block + in.act_block) / in.fw_block_time;
+  const BytesPerSecond bw_demand =
       (in.weight_block + in.weight_grad_block + in.act_block) /
       in.bw_block_time;
-  EXPECT_DOUBLE_EQ(r.required_bw, std::max(fw_demand, bw_demand));
+  EXPECT_DOUBLE_EQ(r.required_bw.raw(),
+                   std::max(fw_demand, bw_demand).raw());
 }
 
 TEST(Offload, AmpleBandwidthHidesEverything) {
@@ -81,9 +85,10 @@ TEST(Offload, AmpleBandwidthHidesEverything) {
   in.weights = true;
   in.activations = true;
   in.optimizer = true;
-  const OffloadResult r = ComputeOffload(in, Memory(1e15, 1e15));
-  EXPECT_DOUBLE_EQ(r.exposed_time, 0.0);
-  EXPECT_GT(r.busy_time, 0.0);
+  const OffloadResult r =
+      ComputeOffload(in, Memory(Bytes(1e15), BytesPerSecond(1e15)));
+  EXPECT_DOUBLE_EQ(r.exposed_time.raw(), 0.0);
+  EXPECT_GT(r.busy_time, Seconds(0.0));
 }
 
 TEST(Offload, InsufficientBandwidthExposesTheRemainder) {
@@ -92,14 +97,14 @@ TEST(Offload, InsufficientBandwidthExposesTheRemainder) {
   // Traffic = 2 * 5e8 * 64 = 6.4e10 bytes; at 100 GB/s that is 0.64 s
   // against fw+bw phases of 0.32 + 0.64 = 0.96 s -> exposure only if a
   // single phase cannot hide its half.
-  const Memory slow(1e12, 100e9);
+  const Memory slow(TB(1), GBps(100));
   const OffloadResult r = ComputeOffload(in, slow);
   const double fw_traffic = 5e8 * 4 * 16;
   const double bw_traffic = 5e8 * 4 * 16;
   const double expected =
-      std::max(0.0, fw_traffic / 100e9 - in.fw_phase_total) +
-      std::max(0.0, bw_traffic / 100e9 - in.bw_phase_total);
-  EXPECT_NEAR(r.exposed_time, expected, 1e-9);
+      std::max(0.0, fw_traffic / 100e9 - in.fw_phase_total.raw()) +
+      std::max(0.0, bw_traffic / 100e9 - in.bw_phase_total.raw());
+  EXPECT_NEAR(r.exposed_time.raw(), expected, 1e-9);
 }
 
 TEST(Offload, ExposureShrinksWithBandwidth) {
@@ -107,12 +112,14 @@ TEST(Offload, ExposureShrinksWithBandwidth) {
   in.weights = true;
   in.activations = true;
   in.optimizer = true;
-  in.fw_phase_total = 0.01;  // tight windows force exposure
-  in.bw_phase_total = 0.01;
-  in.optim_phase_total = 0.01;
-  double prev = 1e18;
+  in.fw_phase_total = Seconds(0.01);  // tight windows force exposure
+  in.bw_phase_total = Seconds(0.01);
+  in.optim_phase_total = Seconds(0.01);
+  Seconds prev(1e18);
   for (double bw : {10e9, 50e9, 100e9, 500e9}) {
-    const double exposed = ComputeOffload(in, Memory(1e15, bw)).exposed_time;
+    const Seconds exposed =
+        ComputeOffload(in, Memory(Bytes(1e15), BytesPerSecond(bw)))
+            .exposed_time;
     EXPECT_LT(exposed, prev);
     prev = exposed;
   }
@@ -121,8 +128,8 @@ TEST(Offload, ExposureShrinksWithBandwidth) {
 TEST(Offload, BusyTimeIsTrafficOverBandwidth) {
   OffloadInputs in = BaseInputs();
   in.optimizer = true;
-  const OffloadResult r = ComputeOffload(in, Memory(1e15, 100e9));
-  EXPECT_DOUBLE_EQ(r.busy_time, r.traffic_bytes / 100e9);
+  const OffloadResult r = ComputeOffload(in, Memory(Bytes(1e15), GBps(100)));
+  EXPECT_DOUBLE_EQ(r.busy_time.raw(), r.traffic_bytes.raw() / 100e9);
 }
 
 }  // namespace

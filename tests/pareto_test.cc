@@ -10,16 +10,16 @@ namespace {
 
 SearchEntry MakeEntry(double time, double mem1, double mem2 = 0.0) {
   SearchEntry e;
-  e.stats.batch_time = time;
-  e.stats.tier1.weights = mem1;
-  e.stats.tier2.weights = mem2;
+  e.stats.batch_time = Seconds(time);
+  e.stats.tier1.weights = Bytes(mem1);
+  e.stats.tier2.weights = Bytes(mem2);
   return e;
 }
 
 TEST(Pareto, DominanceDefinition) {
-  const ParetoPoint a{1.0, 10.0, 0.0};
-  const ParetoPoint b{2.0, 20.0, 0.0};
-  const ParetoPoint c{2.0, 5.0, 0.0};
+  const ParetoPoint a{Seconds(1.0), Bytes(10.0), Bytes(0.0)};
+  const ParetoPoint b{Seconds(2.0), Bytes(20.0), Bytes(0.0)};
+  const ParetoPoint c{Seconds(2.0), Bytes(5.0), Bytes(0.0)};
   EXPECT_TRUE(Dominates(a, b));
   EXPECT_FALSE(Dominates(b, a));
   EXPECT_FALSE(Dominates(a, c));  // c is better on memory
@@ -40,8 +40,8 @@ TEST(Pareto, InsertKeepsOnlyNonDominated) {
   EXPECT_TRUE(front.Insert(MakeEntry(4.0, 90.0)));
   EXPECT_EQ(front.size(), 2u);
   const auto sorted = front.Sorted();
-  EXPECT_DOUBLE_EQ(sorted.front().stats.batch_time, 4.0);
-  EXPECT_DOUBLE_EQ(sorted.back().stats.batch_time, 20.0);
+  EXPECT_DOUBLE_EQ(sorted.front().stats.batch_time.raw(), 4.0);
+  EXPECT_DOUBLE_EQ(sorted.back().stats.batch_time.raw(), 20.0);
 }
 
 TEST(Pareto, DuplicatesAreRejected) {
@@ -70,8 +70,8 @@ TEST(Pareto, ExtractFromVector) {
   entries.push_back(MakeEntry(8.0, 150.0));
   const auto front = ExtractParetoFront(std::move(entries));
   ASSERT_EQ(front.size(), 2u);
-  EXPECT_DOUBLE_EQ(front[0].stats.batch_time, 8.0);
-  EXPECT_DOUBLE_EQ(front[1].stats.batch_time, 10.0);
+  EXPECT_DOUBLE_EQ(front[0].stats.batch_time.raw(), 8.0);
+  EXPECT_DOUBLE_EQ(front[1].stats.batch_time.raw(), 10.0);
 }
 
 TEST(Pareto, TierTwoIsAnObjective) {
@@ -109,8 +109,8 @@ TEST(Pareto, SearchProducesAFront) {
     }
   }
   // The fastest Pareto entry is the search's best performer.
-  EXPECT_DOUBLE_EQ(r.pareto.front().stats.batch_time,
-                   r.best.front().stats.batch_time);
+  EXPECT_DOUBLE_EQ(r.pareto.front().stats.batch_time.raw(),
+                   r.best.front().stats.batch_time.raw());
 }
 
 }  // namespace

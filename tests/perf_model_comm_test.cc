@@ -13,7 +13,7 @@ namespace {
 System MakeSystem(std::int64_t procs, double hbm_gib = 1024.0) {
   presets::SystemOptions o;
   o.num_procs = procs;
-  o.hbm_capacity = hbm_gib * kGiB;
+  o.hbm_capacity = Bytes(hbm_gib * kGiB);
   return presets::A100(o);
 }
 
@@ -37,11 +37,11 @@ TEST(PerfComm, TpBusyTimeMatchesClosedForm) {
   const auto r = CalculatePerformance(app, e, sys);
   ASSERT_TRUE(r.ok());
   const Network& nvlink = sys.networks()[0];
-  const double bytes = 2.0 * 2048.0 * 12288.0;  // dt * b * s * h
-  const double per_op =
+  const Bytes bytes(2.0 * 2048.0 * 12288.0);  // dt * b * s * h
+  const Seconds per_op =
       nvlink.CollectiveTime(Collective::kAllReduce, 8, bytes);
-  const double expected = 64.0 * 12.0 * (2.0 + 2.0) * per_op;  // fw + bw
-  EXPECT_NEAR(r.value().tp_comm_total, expected, 1e-9);
+  const Seconds expected = 64.0 * 12.0 * (2.0 + 2.0) * per_op;  // fw + bw
+  EXPECT_NEAR(r.value().tp_comm_total.raw(), expected.raw(), 1e-9);
 }
 
 TEST(PerfComm, RsAgSplitCostsTheSameAsAllReduce) {
@@ -56,7 +56,7 @@ TEST(PerfComm, RsAgSplitCostsTheSameAsAllReduce) {
   // Same total bytes; the split ops are individually smaller messages, so
   // the size-based link efficiency makes them slightly slower.
   EXPECT_NEAR(rs.value().tp_comm_total / ar.value().tp_comm_total, 1.0,
-              0.05);
+              0.05);  // Quantity ratio -> double
   EXPECT_GE(rs.value().tp_comm_total, ar.value().tp_comm_total);
 }
 
@@ -71,12 +71,12 @@ TEST(PerfComm, AgRedoAddsExactlyTwoGathersPerBlock) {
   const auto redo = CalculatePerformance(app, e, sys);
   ASSERT_TRUE(base.ok() && redo.ok());
   const Network& nvlink = sys.networks()[0];
-  const double bytes = 2.0 * 2048.0 * 12288.0;
-  const double per_ag =
+  const Bytes bytes(2.0 * 2048.0 * 12288.0);
+  const Seconds per_ag =
       nvlink.CollectiveTime(Collective::kAllGather, 8, bytes);
-  const double expected_extra = 64.0 * 12.0 * 2.0 * per_ag;
-  EXPECT_NEAR(redo.value().tp_comm_total - base.value().tp_comm_total,
-              expected_extra, 1e-9);
+  const Seconds expected_extra = 64.0 * 12.0 * 2.0 * per_ag;
+  EXPECT_NEAR((redo.value().tp_comm_total - base.value().tp_comm_total).raw(),
+              expected_extra.raw(), 1e-9);
 }
 
 TEST(PerfComm, FullRecomputeRepeatsForwardTpComm) {
@@ -127,9 +127,9 @@ TEST(PerfComm, OptimizerTimeShrinksWithSharding) {
   e.optimizer_sharding = true;
   const auto sharded = CalculatePerformance(app, e, sys);
   ASSERT_TRUE(base.ok() && sharded.ok());
-  EXPECT_NEAR(sharded.value().time.optim_step,
-              base.value().time.optim_step / 32.0,
-              base.value().time.optim_step * 0.05);
+  EXPECT_NEAR(sharded.value().time.optim_step.raw(),
+              (base.value().time.optim_step / 32.0).raw(),
+              (base.value().time.optim_step * 0.05).raw());
 }
 
 TEST(PerfComm, OffloadDemandDropsWithLargerMicrobatch) {
@@ -137,11 +137,11 @@ TEST(PerfComm, OffloadDemandDropsWithLargerMicrobatch) {
   // the microbatch while the weights do not.
   presets::SystemOptions o;
   o.num_procs = 512;
-  o.offload_capacity = 1e18;
-  o.offload_bandwidth = 1e15;
+  o.offload_capacity = Bytes(1e18);
+  o.offload_bandwidth = BytesPerSecond(1e15);
   const System sys = presets::H100(o);
   const Application app = presets::Megatron1T();
-  double prev = 1e30;
+  BytesPerSecond prev(1e30);
   for (std::int64_t m : {1, 2, 4}) {
     Execution e = BaseExec(512, 8, 8, 8);
     e.microbatch = m;

@@ -12,7 +12,7 @@ namespace {
 System MakeSystem(std::int64_t procs, double hbm_gib = 80.0) {
   presets::SystemOptions o;
   o.num_procs = procs;
-  o.hbm_capacity = hbm_gib * kGiB;
+  o.hbm_capacity = GiB(hbm_gib);
   return presets::A100(o);
 }
 
@@ -33,29 +33,32 @@ TEST(PerfModel, BreakdownSumsToBatchTime) {
       CalculatePerformance(presets::Gpt3_175B(), Fig3Exec(), MakeSystem(4096));
   ASSERT_TRUE(r.ok()) << r.detail();
   const Stats& s = r.value();
-  EXPECT_NEAR(s.time.Total(), s.batch_time, 1e-9);
-  EXPECT_GT(s.time.fw_pass, 0.0);
+  EXPECT_NEAR(s.time.Total().raw(), s.batch_time.raw(), 1e-9);
+  EXPECT_GT(s.time.fw_pass, Seconds(0.0));
   EXPECT_GT(s.time.bw_pass, s.time.fw_pass);  // backward ~2x forward
-  EXPECT_DOUBLE_EQ(s.time.fw_recompute, s.time.fw_pass);  // full recompute
-  EXPECT_GT(s.time.pp_bubble, 0.0);
-  EXPECT_GT(s.time.tp_comm, 0.0);
-  EXPECT_DOUBLE_EQ(s.time.offload, 0.0);
+  // Full recompute.
+  EXPECT_DOUBLE_EQ(s.time.fw_recompute.raw(), s.time.fw_pass.raw());
+  EXPECT_GT(s.time.pp_bubble, Seconds(0.0));
+  EXPECT_GT(s.time.tp_comm, Seconds(0.0));
+  EXPECT_DOUBLE_EQ(s.time.offload.raw(), 0.0);
 }
 
 TEST(PerfModel, SampleRateIsBatchOverTime) {
   const auto r =
       CalculatePerformance(presets::Gpt3_175B(), Fig3Exec(), MakeSystem(4096));
   ASSERT_TRUE(r.ok());
-  EXPECT_NEAR(r.value().sample_rate, 4096.0 / r.value().batch_time, 1e-6);
+  EXPECT_NEAR(r.value().sample_rate.raw(),
+              4096.0 / r.value().batch_time.raw(), 1e-6);
 }
 
 TEST(PerfModel, MfuIsConsistentWithModelFlops) {
   const auto r =
       CalculatePerformance(presets::Gpt3_175B(), Fig3Exec(), MakeSystem(4096));
   ASSERT_TRUE(r.ok());
-  const double useful = ModelFlopsPerSample(presets::Gpt3_175B(), true) * 4096;
+  const double useful =
+      ModelFlopsPerSample(presets::Gpt3_175B(), true).raw() * 4096;
   EXPECT_NEAR(r.value().mfu,
-              useful / (r.value().batch_time * 4096 * 312e12), 1e-9);
+              useful / (r.value().batch_time.raw() * 4096 * 312e12), 1e-9);
   EXPECT_GT(r.value().mfu, 0.1);
   EXPECT_LT(r.value().mfu, 1.0);
 }
@@ -71,12 +74,12 @@ TEST(PerfModel, ModelFlopsMatchBlockAccounting) {
       ref.batch_size = 1;
       ref.training = training;
       const BlockModel block = BuildBlock(app, ref);
-      double matrix = 0.0;
+      Flops matrix;
       for (const Layer& l : block.layers) {
         if (l.kind == ComputeKind::kMatrix) matrix += l.fw_flops + l.bw_flops;
       }
-      EXPECT_DOUBLE_EQ(ModelFlopsPerSample(app, training),
-                       matrix * static_cast<double>(app.num_blocks))
+      EXPECT_DOUBLE_EQ(ModelFlopsPerSample(app, training).raw(),
+                       matrix.raw() * static_cast<double>(app.num_blocks))
           << name << " training=" << training;
     }
   }
@@ -113,8 +116,8 @@ TEST(PerfModel, RecomputeTradesTimeForMemory) {
   const Application app = presets::Gpt3_175B();
   const System sys = MakeSystem(4096, 1024.0);  // roomy, all modes feasible
   Execution e = Fig3Exec();
-  double prev_time = 0.0;
-  double prev_mem = 1e30;
+  Seconds prev_time;
+  Bytes prev_mem(1e30);
   for (Recompute mode :
        {Recompute::kNone, Recompute::kAttnOnly, Recompute::kFull}) {
     e.recompute = mode;
@@ -122,6 +125,7 @@ TEST(PerfModel, RecomputeTradesTimeForMemory) {
     ASSERT_TRUE(r.ok()) << r.detail();
     EXPECT_GT(r.value().batch_time, prev_time);
     EXPECT_LT(r.value().tier1.activations, prev_mem);
+
     prev_time = r.value().batch_time;
     prev_mem = r.value().tier1.activations;
   }
@@ -135,10 +139,11 @@ TEST(PerfModel, OptimizerShardingCutsOptimizerMemory) {
   e.optimizer_sharding = true;
   const auto sharded = CalculatePerformance(app, e, sys);
   ASSERT_TRUE(base.ok() && sharded.ok());
-  EXPECT_NEAR(sharded.value().tier1.optimizer,
-              base.value().tier1.optimizer / 8.0, 1.0);
+  EXPECT_NEAR(sharded.value().tier1.optimizer.raw(),
+              base.value().tier1.optimizer.raw() / 8.0, 1.0);
   // Weights and gradients are untouched by ZeRO-1.
-  EXPECT_DOUBLE_EQ(sharded.value().tier1.weights, base.value().tier1.weights);
+  EXPECT_DOUBLE_EQ(sharded.value().tier1.weights.raw(),
+                   base.value().tier1.weights.raw());
 }
 
 TEST(PerfModel, InterleavingShrinksBubbleButGrowsActivations) {
@@ -176,8 +181,8 @@ TEST(PerfModel, DpOverlapHidesDpCommunication) {
   ASSERT_TRUE(base.ok() && overlap.ok());
   EXPECT_LT(overlap.value().time.dp_comm, base.value().time.dp_comm);
   // Busy time on the wire is unchanged.
-  EXPECT_NEAR(overlap.value().dp_comm_total, base.value().dp_comm_total,
-              1e-9);
+  EXPECT_NEAR(overlap.value().dp_comm_total.raw(),
+              base.value().dp_comm_total.raw(), 1e-9);
 }
 
 TEST(PerfModel, TpOverlapHidesTpCommunication) {
@@ -192,7 +197,8 @@ TEST(PerfModel, TpOverlapHidesTpCommunication) {
   ASSERT_TRUE(none.ok() && pipe.ok() && ring.ok());
   EXPECT_LT(pipe.value().time.tp_comm, none.value().time.tp_comm);
   EXPECT_LT(ring.value().time.tp_comm, pipe.value().time.tp_comm);
-  EXPECT_GT(ring.value().time.tp_comm, 0.0);  // throttle tax remains
+  // Throttle tax remains.
+  EXPECT_GT(ring.value().time.tp_comm, Seconds(0.0));
 }
 
 TEST(PerfModel, SequenceParallelismSavesMemoryAndVectorTime) {
@@ -218,8 +224,8 @@ TEST(PerfModel, SequenceParallelismSavesMemoryAndVectorTime) {
 TEST(PerfModel, OffloadMovesStateToTier2) {
   presets::SystemOptions o;
   o.num_procs = 512;
-  o.offload_capacity = 4096.0 * kGiB;
-  o.offload_bandwidth = 1e15;  // effectively infinite
+  o.offload_capacity = GiB(4096);
+  o.offload_bandwidth = BytesPerSecond(1e15);  // effectively infinite
   const System sys = presets::A100(o);
   const Application app = presets::Megatron1T();
   Execution e;
@@ -236,17 +242,18 @@ TEST(PerfModel, OffloadMovesStateToTier2) {
   e.optimizer_offload = true;
   const auto off = CalculatePerformance(app, e, sys);
   ASSERT_TRUE(off.ok()) << off.detail();
-  EXPECT_GT(off.value().tier2.Total(), 0.0);
-  EXPECT_LT(off.value().tier1.Total(), 80.0 * kGiB);
-  EXPECT_GT(off.value().offload_bw_required, 0.0);
-  EXPECT_DOUBLE_EQ(off.value().time.offload, 0.0);  // infinite bandwidth
+  EXPECT_GT(off.value().tier2.Total(), Bytes(0.0));
+  EXPECT_LT(off.value().tier1.Total(), GiB(80));
+  EXPECT_GT(off.value().offload_bw_required, BytesPerSecond(0.0));
+  // Infinite bandwidth.
+  EXPECT_DOUBLE_EQ(off.value().time.offload.raw(), 0.0);
 }
 
 TEST(PerfModel, SlowOffloadTierExposesTime) {
   presets::SystemOptions o;
   o.num_procs = 512;
-  o.offload_capacity = 4096.0 * kGiB;
-  o.offload_bandwidth = 1e9;  // 1 GB/s: far below Eq. 1 demand
+  o.offload_capacity = GiB(4096);
+  o.offload_bandwidth = GBps(1);  // 1 GB/s: far below Eq. 1 demand
   const System sys = presets::A100(o);
   Execution e;
   e.num_procs = 512;
@@ -260,8 +267,8 @@ TEST(PerfModel, SlowOffloadTierExposesTime) {
   e.optimizer_offload = true;
   const auto r = CalculatePerformance(presets::Megatron1T(), e, sys);
   ASSERT_TRUE(r.ok()) << r.detail();
-  EXPECT_GT(r.value().time.offload, 0.0);
-  EXPECT_GT(r.value().offload_bw_required, 1e9);
+  EXPECT_GT(r.value().time.offload, Seconds(0.0));
+  EXPECT_GT(r.value().offload_bw_required, GBps(1));
 }
 
 TEST(PerfModel, InferenceIsForwardOnly) {
@@ -277,12 +284,12 @@ TEST(PerfModel, InferenceIsForwardOnly) {
   const auto r = CalculatePerformance(app, e, sys);
   ASSERT_TRUE(r.ok()) << r.detail();
   const Stats& s = r.value();
-  EXPECT_GT(s.time.fw_pass, 0.0);
-  EXPECT_DOUBLE_EQ(s.time.bw_pass, 0.0);
-  EXPECT_DOUBLE_EQ(s.time.optim_step, 0.0);
-  EXPECT_DOUBLE_EQ(s.time.dp_comm, 0.0);
-  EXPECT_DOUBLE_EQ(s.tier1.optimizer, 0.0);
-  EXPECT_DOUBLE_EQ(s.tier1.weight_grads, 0.0);
+  EXPECT_GT(s.time.fw_pass, Seconds(0.0));
+  EXPECT_DOUBLE_EQ(s.time.bw_pass.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(s.time.optim_step.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(s.time.dp_comm.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(s.tier1.optimizer.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(s.tier1.weight_grads.raw(), 0.0);
 }
 
 TEST(PerfModel, UnevenBlocksCostMoreThanEvenSplit) {
@@ -295,8 +302,8 @@ TEST(PerfModel, UnevenBlocksCostMoreThanEvenSplit) {
   // With p=64 the bottleneck stage holds ceil(96/64)=2 blocks while 64
   // stages * 2 = 128 > 96 block slots exist: utilization loss shows up as a
   // longer batch time than the count-proportional ideal.
-  const double per_block_share = r64.value().time.fw_pass / (512.0 * 2.0);
-  EXPECT_GT(per_block_share, 0.0);
+  const Seconds per_block_share = r64.value().time.fw_pass / (512.0 * 2.0);
+  EXPECT_GT(per_block_share, Seconds(0.0));
 }
 
 // Property sweep: every (t, p, d) split of 512 GPUs that passes validation
@@ -324,11 +331,12 @@ TEST_P(SplitConsistencyTest, StatsAreConsistent) {
     return;
   }
   const Stats& s = r.value();
-  EXPECT_GT(s.batch_time, 0.0);
-  EXPECT_NEAR(s.time.Total(), s.batch_time, 1e-9 * s.batch_time);
-  EXPECT_GE(s.tier1.weights, 0.0);
-  EXPECT_GE(s.tier1.activations, 0.0);
-  EXPECT_GE(s.tier1.optimizer, 0.0);
+  EXPECT_GT(s.batch_time, Seconds(0.0));
+  EXPECT_NEAR(s.time.Total().raw(), s.batch_time.raw(),
+              1e-9 * s.batch_time.raw());
+  EXPECT_GE(s.tier1.weights, Bytes(0.0));
+  EXPECT_GE(s.tier1.activations, Bytes(0.0));
+  EXPECT_GE(s.tier1.optimizer, Bytes(0.0));
   EXPECT_GT(s.mfu, 0.0);
   EXPECT_LE(s.mfu, 1.0);
   EXPECT_GE(s.tp_comm_total, s.time.tp_comm * 0.99);

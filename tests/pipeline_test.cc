@@ -6,21 +6,25 @@ namespace calculon {
 namespace {
 
 TEST(Pipeline, NoStagesNoBubble) {
-  EXPECT_DOUBLE_EQ(PipelineBubbleTime({1, 1, 64, true}, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(PipelineBubbleTime({1, 1, 64, true}, Seconds(10.0)).raw(),
+                   0.0);
 }
 
 TEST(Pipeline, BubbleIsFillDrainOfChunks) {
   // p=8, i=1: (p-1) * per-microbatch time.
-  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 1, 64, true}, 2.0), 14.0);
+  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 1, 64, true}, Seconds(2.0)).raw(),
+                   14.0);
   // Interleaving divides the bubble by i.
-  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 2, 64, true}, 2.0), 7.0);
-  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 7, 64, true}, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 2, 64, true}, Seconds(2.0)).raw(),
+                   7.0);
+  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 7, 64, true}, Seconds(2.0)).raw(),
+                   2.0);
 }
 
 TEST(Pipeline, BubbleIndependentOfMicrobatchCount) {
   // Absolute bubble time is fixed; more microbatches only amortize it.
-  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 1, 8, true}, 2.0),
-                   PipelineBubbleTime({8, 1, 512, true}, 2.0));
+  EXPECT_DOUBLE_EQ(PipelineBubbleTime({8, 1, 8, true}, Seconds(2.0)).raw(),
+                   PipelineBubbleTime({8, 1, 512, true}, Seconds(2.0)).raw());
 }
 
 TEST(Pipeline, InFlightWithoutOneFOneBIsEveryMicrobatch) {
@@ -65,9 +69,9 @@ class BubbleFractionTest : public ::testing::TestWithParam<BubbleCase> {};
 
 TEST_P(BubbleFractionTest, MatchesPublishedFraction) {
   const auto& c = GetParam();
-  const double per_ub = 3.7;
-  const double bubble = PipelineBubbleTime({c.p, c.i, c.nm, true}, per_ub);
-  const double ideal = static_cast<double>(c.nm) * per_ub;
+  const Seconds per_ub = Seconds(3.7);
+  const Seconds bubble = PipelineBubbleTime({c.p, c.i, c.nm, true}, per_ub);
+  const Seconds ideal = static_cast<double>(c.nm) * per_ub;
   EXPECT_NEAR(bubble / ideal,
               static_cast<double>(c.p - 1) /
                   (static_cast<double>(c.i) * static_cast<double>(c.nm)),

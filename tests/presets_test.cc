@@ -26,6 +26,47 @@ TEST(Presets, SystemsRoundTripThroughJson) {
   }
 }
 
+// Unit-convention pinning (IEC vs SI). Byte *capacities* are IEC (binary,
+// x1024^n) while *rates* are SI (decimal, x10^n) -- the convention stated
+// in util/quantity.h and util/units.h. These tests pin both the factory
+// constants and the presets that feed src/hw/network.cc and
+// src/core/offload.cc, so an accidental GiB<->GB swap shows up as an exact
+// equality failure rather than a silent ~7% shift in every result.
+
+TEST(Presets, QuantityFactoriesPinIecAndSiScales) {
+  // IEC capacities: exact powers of two.
+  EXPECT_EQ(KiB(1).raw(), 1024.0);
+  EXPECT_EQ(MiB(1).raw(), 1048576.0);
+  EXPECT_EQ(GiB(1).raw(), 1073741824.0);
+  EXPECT_EQ(TiB(1).raw(), 1099511627776.0);
+  // SI capacities and rates: exact powers of ten.
+  EXPECT_EQ(GB(1).raw(), 1e9);
+  EXPECT_EQ(GBps(1).raw(), 1e9);
+  EXPECT_EQ(TBps(1).raw(), 1e12);
+  EXPECT_EQ(TFLOPS(1).raw(), 1e12);
+  EXPECT_EQ(Microseconds(1).raw(), 1e-6);
+  // The two conventions must not collide: 80 "GB" is ~7% less than 80 GiB.
+  EXPECT_NE(GiB(80).raw(), GB(80).raw());
+}
+
+TEST(Presets, SystemPresetsUseIecCapacitiesAndSiRates) {
+  const System a100 = presets::SystemByName("a100_80g");
+  EXPECT_EQ(a100.proc().mem1.capacity().raw(), 80.0 * 1073741824.0);
+  EXPECT_EQ(a100.proc().mem1.bandwidth().raw(), 2e12);
+  ASSERT_EQ(a100.networks().size(), 2u);
+  EXPECT_EQ(a100.networks()[0].bandwidth().raw(), 300e9);
+  EXPECT_EQ(a100.networks()[1].bandwidth().raw(), 25e9);
+
+  const System a100_40 = presets::SystemByName("a100_40g");
+  EXPECT_EQ(a100_40.proc().mem1.capacity().raw(), 40.0 * 1073741824.0);
+
+  // The offload preset feeds src/core/offload.cc: DDR capacity is IEC,
+  // its bandwidth SI.
+  const System off = presets::SystemByName("h100_80g_offload");
+  EXPECT_EQ(off.proc().mem2.capacity().raw(), 512.0 * 1073741824.0);
+  EXPECT_EQ(off.proc().mem2.bandwidth().raw(), 100e9);
+}
+
 // Every preset application must run on a big-enough A100 system with the
 // Megatron baseline strategy.
 class PresetRunTest : public ::testing::TestWithParam<std::string> {};
@@ -34,7 +75,7 @@ TEST_P(PresetRunTest, RunsWithBaselineStrategy) {
   const Application app = presets::ApplicationByName(GetParam());
   presets::SystemOptions o;
   o.num_procs = 512;
-  o.hbm_capacity = 1024.0 * kGiB;  // roomy: isolate structural feasibility
+  o.hbm_capacity = GiB(1024);  // roomy: isolate structural feasibility
   const System sys = presets::A100(o);
   Execution e;
   e.num_procs = 512;
@@ -47,7 +88,7 @@ TEST_P(PresetRunTest, RunsWithBaselineStrategy) {
   if (e.tensor_par * e.pipeline_par * e.data_par != 512) GTEST_SKIP();
   const auto r = CalculatePerformance(app, e, sys);
   ASSERT_TRUE(r.ok()) << GetParam() << ": " << r.detail();
-  EXPECT_GT(r.value().sample_rate, 0.0);
+  EXPECT_GT(r.value().sample_rate, PerSecond(0.0));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, PresetRunTest,
@@ -63,9 +104,9 @@ INSTANTIATE_TEST_SUITE_P(AllApps, PresetRunTest,
 TEST(Presets, BiggerModelsAreSlower) {
   presets::SystemOptions o;
   o.num_procs = 512;
-  o.hbm_capacity = 1024.0 * kGiB;
+  o.hbm_capacity = GiB(1024);
   const System sys = presets::A100(o);
-  double prev_rate = 1e30;
+  PerSecond prev_rate(1e30);
   for (const char* name : {"gpt3_175b", "turing_530b", "megatron_1t"}) {
     const Application app = presets::ApplicationByName(name);
     Execution e;
@@ -100,9 +141,9 @@ TEST(Presets, StatsReportAndJsonAreWellFormed) {
   EXPECT_NE(report.find("Batch time"), std::string::npos);
   EXPECT_NE(report.find("HBM consumption"), std::string::npos);
   const json::Value j = r.value().ToJson();
-  EXPECT_DOUBLE_EQ(j.at("batch_time").AsDouble(), r.value().batch_time);
+  EXPECT_DOUBLE_EQ(j.at("batch_time").AsDouble(), r.value().batch_time.raw());
   EXPECT_DOUBLE_EQ(j.at("time").at("fw_pass").AsDouble(),
-                   r.value().time.fw_pass);
+                   r.value().time.fw_pass.raw());
 }
 
 }  // namespace

@@ -46,11 +46,11 @@ TEST(Pricing, BuildProducesMatchingSystem) {
   const SystemDesign d{20.0, 256.0};
   const System sys = d.Build(5048);
   EXPECT_EQ(sys.num_procs(), 5048);
-  EXPECT_DOUBLE_EQ(sys.proc().mem1.capacity(), 20.0 * kGiB);
-  EXPECT_DOUBLE_EQ(sys.proc().mem1.bandwidth(), 3e12);  // HBM3 at 3 TB/s
+  EXPECT_DOUBLE_EQ(sys.proc().mem1.capacity().raw(), 20.0 * kGiB);
+  EXPECT_DOUBLE_EQ(sys.proc().mem1.bandwidth().raw(), 3e12);  // HBM3, 3 TB/s
   EXPECT_TRUE(sys.proc().mem2.present());
-  EXPECT_DOUBLE_EQ(sys.proc().mem2.capacity(), 256.0 * kGiB);
-  EXPECT_DOUBLE_EQ(sys.proc().mem2.bandwidth(), 100e9);
+  EXPECT_DOUBLE_EQ(sys.proc().mem2.capacity().raw(), 256.0 * kGiB);
+  EXPECT_DOUBLE_EQ(sys.proc().mem2.bandwidth().raw(), 100e9);
 }
 
 TEST(Pricing, NoDdrMeansNoTier2) {

@@ -8,65 +8,72 @@ namespace {
 
 Processor MakeProc(RooflineMode mode = RooflineMode::kMax) {
   Processor p;
-  p.matrix = ComputeUnit(312e12, EfficiencyCurve(0.5));
-  p.vector = ComputeUnit(78e12, EfficiencyCurve(1.0));
-  p.mem1 = Memory(80 * kGiB, 2e12);
+  p.matrix = ComputeUnit(TFLOPS(312), EfficiencyCurve(0.5));
+  p.vector = ComputeUnit(TFLOPS(78), EfficiencyCurve(1.0));
+  p.mem1 = Memory(GiB(80), TBps(2));
   p.roofline = mode;
   return p;
 }
 
 TEST(ComputeUnit, FlopTimeUsesEfficiency) {
-  const ComputeUnit u(312e12, EfficiencyCurve(0.5));
-  EXPECT_DOUBLE_EQ(u.FlopTime(156e12), 1.0);
-  EXPECT_DOUBLE_EQ(u.FlopTime(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(u.Efficiency(1.0), 0.5);
+  const ComputeUnit u(TFLOPS(312), EfficiencyCurve(0.5));
+  EXPECT_DOUBLE_EQ(u.FlopTime(TFlop(156)).raw(), 1.0);
+  EXPECT_DOUBLE_EQ(u.FlopTime(Flops(0.0)).raw(), 0.0);
+  EXPECT_DOUBLE_EQ(u.Efficiency(Flops(1.0)), 0.5);
 }
 
 TEST(ComputeUnit, JsonRoundTrip) {
-  const ComputeUnit u(990e12, EfficiencyCurve({{0.0, 0.1}, {1e12, 0.8}}));
+  const ComputeUnit u(TFLOPS(990), EfficiencyCurve({{0.0, 0.1}, {1e12, 0.8}}));
   const ComputeUnit back = ComputeUnit::FromJson(u.ToJson());
-  EXPECT_DOUBLE_EQ(back.peak_flops(), u.peak_flops());
-  EXPECT_DOUBLE_EQ(back.FlopTime(5e11), u.FlopTime(5e11));
+  EXPECT_DOUBLE_EQ(back.peak_flops().raw(), u.peak_flops().raw());
+  EXPECT_DOUBLE_EQ(back.FlopTime(Flops(5e11)).raw(),
+                   u.FlopTime(Flops(5e11)).raw());
 }
 
 TEST(Processor, RooflineMaxPicksTheBottleneck) {
   const Processor p = MakeProc(RooflineMode::kMax);
   // Compute-bound: 156e12 flops at 156e12 effective = 1s; tiny memory.
-  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, 156e12, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, TFlop(156), Bytes(1.0)).raw(),
+                   1.0);
   // Memory-bound: 2e12 bytes at 2 TB/s = 1s; tiny flops.
-  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, 1.0, 2e12), 1.0);
+  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, Flops(1.0), TB(2)).raw(),
+                   1.0);
 }
 
 TEST(Processor, RooflineSumAddsBothTerms) {
   const Processor p = MakeProc(RooflineMode::kSum);
-  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, 156e12, 2e12), 2.0);
+  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, TFlop(156), TB(2)).raw(),
+                   2.0);
 }
 
 TEST(Processor, VectorAndMatrixUnitsDiffer) {
   const Processor p = MakeProc();
-  const double matrix = p.OpTime(ComputeKind::kMatrix, 78e12, 0.0);
-  const double vector = p.OpTime(ComputeKind::kVector, 78e12, 0.0);
-  EXPECT_DOUBLE_EQ(matrix, 0.5);  // 312e12 * 0.5 effective
-  EXPECT_DOUBLE_EQ(vector, 1.0);  // 78e12 * 1.0 effective
+  const Seconds matrix = p.OpTime(ComputeKind::kMatrix, TFlop(78), Bytes(0.0));
+  const Seconds vector = p.OpTime(ComputeKind::kVector, TFlop(78), Bytes(0.0));
+  EXPECT_DOUBLE_EQ(matrix.raw(), 0.5);  // 312e12 * 0.5 effective
+  EXPECT_DOUBLE_EQ(vector.raw(), 1.0);  // 78e12 * 1.0 effective
 }
 
 TEST(Processor, ComputeSlowdownThrottlesFlops) {
   const Processor p = MakeProc();
-  const double base = p.OpTime(ComputeKind::kMatrix, 156e12, 0.0);
-  const double throttled = p.OpTime(ComputeKind::kMatrix, 156e12, 0.0, 0.15);
-  EXPECT_NEAR(throttled, base / 0.85, 1e-9);
+  const Seconds base = p.OpTime(ComputeKind::kMatrix, TFlop(156), Bytes(0.0));
+  const Seconds throttled =
+      p.OpTime(ComputeKind::kMatrix, TFlop(156), Bytes(0.0), 0.15);
+  EXPECT_NEAR(throttled.raw(), base.raw() / 0.85, 1e-9);
   // A slowdown of 0 or >= 1 is ignored.
-  EXPECT_DOUBLE_EQ(p.OpTime(ComputeKind::kMatrix, 156e12, 0.0, 0.0), base);
+  EXPECT_DOUBLE_EQ(
+      p.OpTime(ComputeKind::kMatrix, TFlop(156), Bytes(0.0), 0.0).raw(),
+      base.raw());
 }
 
 TEST(Processor, JsonRoundTrip) {
   Processor p = MakeProc(RooflineMode::kSum);
-  p.mem2 = Memory(512 * kGiB, 100e9);
+  p.mem2 = Memory(GiB(512), GBps(100));
   const Processor back = Processor::FromJson(p.ToJson());
   EXPECT_EQ(back.roofline, RooflineMode::kSum);
-  EXPECT_DOUBLE_EQ(back.mem2.capacity(), p.mem2.capacity());
-  EXPECT_DOUBLE_EQ(back.OpTime(ComputeKind::kMatrix, 1e12, 1e9),
-                   p.OpTime(ComputeKind::kMatrix, 1e12, 1e9));
+  EXPECT_DOUBLE_EQ(back.mem2.capacity().raw(), p.mem2.capacity().raw());
+  EXPECT_DOUBLE_EQ(back.OpTime(ComputeKind::kMatrix, TFlop(1), GB(1)).raw(),
+                   p.OpTime(ComputeKind::kMatrix, TFlop(1), GB(1)).raw());
 }
 
 TEST(Processor, JsonMem2IsOptional) {
@@ -84,7 +91,8 @@ TEST(Processor, JsonRejectsUnknownRoofline) {
 }
 
 TEST(ComputeUnit, RejectsNegativePeak) {
-  EXPECT_THROW(ComputeUnit(-1.0, EfficiencyCurve(1.0)), ConfigError);
+  EXPECT_THROW(ComputeUnit(FlopsPerSecond(-1.0), EfficiencyCurve(1.0)),
+               ConfigError);
 }
 
 // Property: roofline-max is never larger than roofline-sum and never smaller
@@ -96,12 +104,14 @@ TEST_P(RooflineTest, MaxBoundedBySum) {
   const auto [flops, bytes] = GetParam();
   const Processor pmax = MakeProc(RooflineMode::kMax);
   const Processor psum = MakeProc(RooflineMode::kSum);
-  const double tmax = pmax.OpTime(ComputeKind::kMatrix, flops, bytes);
-  const double tsum = psum.OpTime(ComputeKind::kMatrix, flops, bytes);
-  EXPECT_LE(tmax, tsum);
-  EXPECT_GE(tsum, tmax);
-  EXPECT_GE(tmax, pmax.matrix.FlopTime(flops));
-  EXPECT_GE(tmax, pmax.mem1.AccessTime(bytes));
+  const Seconds tmax = pmax.OpTime(ComputeKind::kMatrix, Flops(flops),
+                                   Bytes(bytes));
+  const Seconds tsum = psum.OpTime(ComputeKind::kMatrix, Flops(flops),
+                                   Bytes(bytes));
+  EXPECT_LE(tmax.raw(), tsum.raw());
+  EXPECT_GE(tsum.raw(), tmax.raw());
+  EXPECT_GE(tmax.raw(), pmax.matrix.FlopTime(Flops(flops)).raw());
+  EXPECT_GE(tmax.raw(), pmax.mem1.AccessTime(Bytes(bytes)).raw());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -25,7 +25,7 @@ TEST(RightSize, RecommendsSmallestEfficientSize) {
       RightSize(presets::Megatron22B(), presets::A100(o), SmallSpace(),
                 options, pool);
   ASSERT_EQ(report.assessments.size(), 6u);
-  EXPECT_GT(report.best_per_gpu_rate, 0.0);
+  EXPECT_GT(report.best_per_gpu_rate, PerSecond(0.0));
   EXPECT_GT(report.recommended, 0);
   // The recommendation meets the target.
   for (const SizeAssessment& a : report.assessments) {
@@ -59,7 +59,7 @@ TEST(RightSize, MinimumThroughputFloorApplies) {
   RightSizeOptions options;
   options.sizes = {8, 64};
   options.target_efficiency = 0.0;
-  options.min_sample_rate = 1e9;  // unreachable
+  options.min_sample_rate = PerSecond(1e9);  // unreachable
   const RightSizeReport report =
       RightSize(presets::Megatron22B(), presets::A100(o), SmallSpace(),
                 options, pool);

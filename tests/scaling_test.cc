@@ -27,7 +27,7 @@ TEST(Scaling, SweepReportsEveryRequestedSize) {
   for (std::size_t i = 0; i < points.size(); ++i) {
     EXPECT_EQ(points[i].num_procs, options.sizes[i]);
     EXPECT_TRUE(points[i].feasible);
-    EXPECT_GT(points[i].sample_rate, 0.0);
+    EXPECT_GT(points[i].sample_rate, PerSecond(0.0));
   }
   // Weak scaling: the envelope grows with system size.
   EXPECT_GT(points.back().sample_rate, points.front().sample_rate);
@@ -37,7 +37,7 @@ TEST(Scaling, InfeasibleSizesReportZero) {
   ThreadPool pool(2);
   presets::SystemOptions o;
   o.num_procs = 8;
-  o.hbm_capacity = 8.0 * kGiB;  // far too small for Megatron-1T
+  o.hbm_capacity = GiB(8);  // far too small for Megatron-1T
   ScalingOptions options;
   options.sizes = {8};
   const auto points =
@@ -45,7 +45,7 @@ TEST(Scaling, InfeasibleSizesReportZero) {
                    SearchSpace::MegatronBaseline(), options, pool);
   ASSERT_EQ(points.size(), 1u);
   EXPECT_FALSE(points[0].feasible);
-  EXPECT_DOUBLE_EQ(points[0].sample_rate, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].sample_rate.raw(), 0.0);
 }
 
 TEST(Scaling, FixedBatchIsHonored) {

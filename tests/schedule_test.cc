@@ -14,16 +14,16 @@ ScheduleParams Shape(std::int64_t p, std::int64_t i, std::int64_t nm,
   params.interleave = i;
   params.microbatches = nm;
   params.one_f_one_b = f1b;
-  params.fw_chunk_time = 1.0;
-  params.bw_chunk_time = 2.0;
-  params.p2p_time = 0.0;
+  params.fw_chunk_time = Seconds(1.0);
+  params.bw_chunk_time = Seconds(2.0);
+  params.p2p_time = Seconds(0.0);
   return params;
 }
 
 TEST(Schedule, SingleStageIsBackToBack) {
   const ScheduleResult r = BuildPipelineSchedule(Shape(1, 1, 4));
-  EXPECT_DOUBLE_EQ(r.makespan, 4 * 3.0);
-  EXPECT_DOUBLE_EQ(r.TotalIdle(), 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan.raw(), 4 * 3.0);
+  EXPECT_DOUBLE_EQ(r.TotalIdle().raw(), 0.0);
   EXPECT_EQ(r.tasks.size(), 8u);
   EXPECT_EQ(r.peak_in_flight, 1);
 }
@@ -33,9 +33,9 @@ TEST(Schedule, EveryTaskRunsExactlyOnce) {
   // 8 microbatches * 2 chunks * 2 directions per stage.
   EXPECT_EQ(r.tasks.size(), 4u * 8u * 2u * 2u);
   for (const ScheduleTask& t : r.tasks) {
-    EXPECT_GE(t.start, 0.0);
+    EXPECT_GE(t.start, Seconds(0.0));
     EXPECT_GT(t.end, t.start);
-    EXPECT_LE(t.end, r.makespan + 1e-9);
+    EXPECT_LE(t.end, r.makespan + Seconds(1e-9));
   }
 }
 
@@ -45,7 +45,7 @@ TEST(Schedule, NoStageOverlapsItself) {
   // must not overlap.
   for (std::size_t i = 1; i < r.tasks.size(); ++i) {
     if (r.tasks[i].stage != r.tasks[i - 1].stage) continue;
-    EXPECT_GE(r.tasks[i].start, r.tasks[i - 1].end - 1e-9);
+    EXPECT_GE(r.tasks[i].start, r.tasks[i - 1].end - Seconds(1e-9));
   }
 }
 
@@ -62,17 +62,18 @@ TEST_P(MakespanTest, MatchesAnalyticBubble) {
   const auto& c = GetParam();
   const ScheduleParams params = Shape(c.p, c.i, c.nm);
   const ScheduleResult r = BuildPipelineSchedule(params);
-  const double per_ub =
+  const Seconds per_ub =
       static_cast<double>(c.i) *
       (params.fw_chunk_time + params.bw_chunk_time);
-  const double ideal = static_cast<double>(c.nm) * per_ub;
-  const double analytic =
+  const Seconds ideal = static_cast<double>(c.nm) * per_ub;
+  const Seconds analytic =
       ideal + PipelineBubbleTime({c.p, c.i, c.nm, true}, per_ub);
   // The greedy executor may deviate slightly from the idealized closed
   // form on interleaved shapes; require agreement within 10%.
   EXPECT_NEAR(r.makespan / analytic, 1.0, 0.10)
-      << "sim " << r.makespan << " vs analytic " << analytic;
-  EXPECT_GE(r.makespan, ideal - 1e-9);  // cannot beat the ideal
+      << "sim " << r.makespan.raw() << " vs analytic " << analytic.raw();
+  // Cannot beat the ideal.
+  EXPECT_GE(r.makespan, ideal - Seconds(1e-9));
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, MakespanTest,
@@ -92,22 +93,22 @@ TEST(Schedule, NonInterleavedMakespanIsExact) {
     for (std::int64_t nm : {8, 32}) {
       const ScheduleParams params = Shape(p, 1, nm);
       const ScheduleResult r = BuildPipelineSchedule(params);
-      const double per_ub = params.fw_chunk_time + params.bw_chunk_time;
-      const double expected =
+      const Seconds per_ub = params.fw_chunk_time + params.bw_chunk_time;
+      const Seconds expected =
           static_cast<double>(nm) * per_ub +
           static_cast<double>(p - 1) * per_ub;
-      EXPECT_NEAR(r.makespan, expected, 1e-9) << p << "x" << nm;
+      EXPECT_NEAR(r.makespan.raw(), expected.raw(), 1e-9) << p << "x" << nm;
     }
   }
 }
 
 TEST(Schedule, InterleavingShrinksTheBubble) {
-  const double m1 = BuildPipelineSchedule(Shape(8, 1, 32)).makespan;
+  const Seconds m1 = BuildPipelineSchedule(Shape(8, 1, 32)).makespan;
   // Same total work split into twice as many half-size chunks.
   ScheduleParams half = Shape(8, 2, 32);
   half.fw_chunk_time /= 2.0;
   half.bw_chunk_time /= 2.0;
-  const double m2 = BuildPipelineSchedule(half).makespan;
+  const Seconds m2 = BuildPipelineSchedule(half).makespan;
   EXPECT_LT(m2, m1);
 }
 
@@ -142,9 +143,9 @@ TEST(Schedule, InterleavedInFlightTracksClosedForm) {
 
 TEST(Schedule, P2PDelaysDownstreamStages) {
   ScheduleParams with = Shape(4, 1, 8);
-  with.p2p_time = 0.5;
-  const double slow = BuildPipelineSchedule(with).makespan;
-  const double fast = BuildPipelineSchedule(Shape(4, 1, 8)).makespan;
+  with.p2p_time = Seconds(0.5);
+  const Seconds slow = BuildPipelineSchedule(with).makespan;
+  const Seconds fast = BuildPipelineSchedule(Shape(4, 1, 8)).makespan;
   EXPECT_GT(slow, fast);
 }
 

@@ -19,7 +19,7 @@ TEST(SearchBruteForce, MatchesNaiveEnumeration) {
   const std::int64_t batch = 32;
 
   // Naive: loop every combination of the MegatronBaseline space by hand.
-  double best_rate = 0.0;
+  PerSecond best_rate(0.0);
   std::uint64_t feasible = 0;
   for (const Triple& tr : FactorTriples(16)) {
     if (tr.t > app.attn_heads || app.attn_heads % tr.t != 0) continue;
@@ -64,7 +64,8 @@ TEST(SearchBruteForce, MatchesNaiveEnumeration) {
       app, sys, SearchSpace::MegatronBaseline(), config, pool);
   EXPECT_EQ(result.feasible, feasible);
   ASSERT_FALSE(result.best.empty());
-  EXPECT_DOUBLE_EQ(result.best.front().stats.sample_rate, best_rate);
+  EXPECT_DOUBLE_EQ(result.best.front().stats.sample_rate.raw(),
+                   best_rate.raw());
 }
 
 }  // namespace

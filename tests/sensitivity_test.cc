@@ -12,8 +12,8 @@ System MakeSystem(std::int64_t procs, bool offload = false) {
   presets::SystemOptions o;
   o.num_procs = procs;
   if (offload) {
-    o.offload_capacity = 512.0 * kGiB;
-    o.offload_bandwidth = 100e9;
+    o.offload_capacity = GiB(512);
+    o.offload_bandwidth = GBps(100);
   }
   return presets::A100(o);
 }
@@ -32,25 +32,25 @@ Execution BaseExec(std::int64_t procs) {
 TEST(Sensitivity, ScaleResourceTouchesOnlyItsTarget) {
   const System sys = MakeSystem(512);
   const System faster = ScaleResource(sys, Resource::kMatrixFlops, 2.0);
-  EXPECT_DOUBLE_EQ(faster.proc().matrix.peak_flops(),
-                   2.0 * sys.proc().matrix.peak_flops());
-  EXPECT_DOUBLE_EQ(faster.proc().vector.peak_flops(),
-                   sys.proc().vector.peak_flops());
-  EXPECT_DOUBLE_EQ(faster.proc().mem1.bandwidth(),
-                   sys.proc().mem1.bandwidth());
+  EXPECT_DOUBLE_EQ(faster.proc().matrix.peak_flops().raw(),
+                   2.0 * sys.proc().matrix.peak_flops().raw());
+  EXPECT_DOUBLE_EQ(faster.proc().vector.peak_flops().raw(),
+                   sys.proc().vector.peak_flops().raw());
+  EXPECT_DOUBLE_EQ(faster.proc().mem1.bandwidth().raw(),
+                   sys.proc().mem1.bandwidth().raw());
 
   const System bigger = ScaleResource(sys, Resource::kMem1Capacity, 2.0);
-  EXPECT_DOUBLE_EQ(bigger.proc().mem1.capacity(),
-                   2.0 * sys.proc().mem1.capacity());
-  EXPECT_DOUBLE_EQ(bigger.proc().mem1.bandwidth(),
-                   sys.proc().mem1.bandwidth());
+  EXPECT_DOUBLE_EQ(bigger.proc().mem1.capacity().raw(),
+                   2.0 * sys.proc().mem1.capacity().raw());
+  EXPECT_DOUBLE_EQ(bigger.proc().mem1.bandwidth().raw(),
+                   sys.proc().mem1.bandwidth().raw());
 
   const System fat_net =
       ScaleResource(sys, Resource::kFabricBandwidth, 3.0);
-  EXPECT_DOUBLE_EQ(fat_net.networks().back().bandwidth(),
-                   3.0 * sys.networks().back().bandwidth());
-  EXPECT_DOUBLE_EQ(fat_net.networks().front().bandwidth(),
-                   sys.networks().front().bandwidth());
+  EXPECT_DOUBLE_EQ(fat_net.networks().back().bandwidth().raw(),
+                   3.0 * sys.networks().back().bandwidth().raw());
+  EXPECT_DOUBLE_EQ(fat_net.networks().front().bandwidth().raw(),
+                   sys.networks().front().bandwidth().raw());
 
   EXPECT_THROW(ScaleResource(sys, Resource::kMatrixFlops, 0.0), ConfigError);
   EXPECT_THROW(ScaleResource(sys, Resource::kMem2Bandwidth, 2.0),
@@ -108,7 +108,7 @@ TEST(Sensitivity, CapacityMattersOnlyNearTheLimit) {
 TEST(Sensitivity, InfeasibleBaselineIsReported) {
   presets::SystemOptions o;
   o.num_procs = 8;
-  o.hbm_capacity = 8.0 * kGiB;
+  o.hbm_capacity = GiB(8);
   const System tiny = presets::A100(o);
   Execution e;
   e.num_procs = 8;

@@ -19,11 +19,11 @@ TEST(SystemSearch, EvaluatesADesignUnderBudget) {
   ASSERT_TRUE(entry.feasible);
   EXPECT_GT(entry.used_gpus, 0);
   EXPECT_LE(entry.used_gpus, entry.max_gpus);
-  EXPECT_GT(entry.sample_rate, 0.0);
+  EXPECT_GT(entry.sample_rate, PerSecond(0.0));
   EXPECT_GT(entry.perf_per_million, 0.0);
   // perf/$M is rate over the money actually spent.
   EXPECT_NEAR(entry.perf_per_million,
-              entry.sample_rate /
+              entry.sample_rate.raw() /
                   (static_cast<double>(entry.used_gpus) * design.UnitPrice() / 1e6),
               1e-9);
 }
@@ -37,7 +37,7 @@ TEST(SystemSearch, InfeasibleDesignReportsNoPerformance) {
       EvaluateDesign(presets::Megatron1T(), SystemDesign{80.0, 0.0},
                      SearchSpace::MegatronBaseline(), options, pool);
   EXPECT_FALSE(entry.feasible);
-  EXPECT_DOUBLE_EQ(entry.sample_rate, 0.0);
+  EXPECT_DOUBLE_EQ(entry.sample_rate.raw(), 0.0);
 }
 
 TEST(SystemSearch, SweepsAllProvidedDesigns) {

@@ -30,7 +30,8 @@ TEST(System, NetworksSortedBySize) {
   ASSERT_EQ(sys.networks().size(), 2u);
   EXPECT_LT(sys.networks()[0].size(), sys.networks()[1].size());
   // NVLink is faster than the fabric.
-  EXPECT_GT(sys.networks()[0].bandwidth(), sys.networks()[1].bandwidth());
+  EXPECT_GT(sys.networks()[0].bandwidth().raw(),
+            sys.networks()[1].bandwidth().raw());
 }
 
 TEST(System, WithNumProcsGrowsTopNetwork) {
@@ -54,32 +55,35 @@ TEST(System, JsonRoundTrip) {
   ASSERT_EQ(back.networks().size(), sys.networks().size());
   for (std::size_t i = 0; i < back.networks().size(); ++i) {
     EXPECT_EQ(back.networks()[i].size(), sys.networks()[i].size());
-    EXPECT_DOUBLE_EQ(back.networks()[i].bandwidth(),
-                     sys.networks()[i].bandwidth());
+    EXPECT_DOUBLE_EQ(back.networks()[i].bandwidth().raw(),
+                     sys.networks()[i].bandwidth().raw());
   }
-  EXPECT_DOUBLE_EQ(back.proc().matrix.peak_flops(),
-                   sys.proc().matrix.peak_flops());
-  EXPECT_DOUBLE_EQ(back.proc().mem1.capacity(), sys.proc().mem1.capacity());
+  EXPECT_DOUBLE_EQ(back.proc().matrix.peak_flops().raw(),
+                   sys.proc().matrix.peak_flops().raw());
+  EXPECT_DOUBLE_EQ(back.proc().mem1.capacity().raw(),
+                   sys.proc().mem1.capacity().raw());
 }
 
 TEST(System, ConstructorValidation) {
   Processor p;
-  p.matrix = ComputeUnit(1.0, EfficiencyCurve(1.0));
-  p.vector = ComputeUnit(1.0, EfficiencyCurve(1.0));
-  p.mem1 = Memory(1.0, 1.0);
-  EXPECT_THROW(System("x", 0, p, {Network(1, 1.0, 0.0)}), ConfigError);
+  p.matrix = ComputeUnit(FlopsPerSecond(1.0), EfficiencyCurve(1.0));
+  p.vector = ComputeUnit(FlopsPerSecond(1.0), EfficiencyCurve(1.0));
+  p.mem1 = Memory(Bytes(1.0), BytesPerSecond(1.0));
+  EXPECT_THROW(
+      System("x", 0, p, {Network(1, BytesPerSecond(1.0), Seconds(0.0))}),
+      ConfigError);
   EXPECT_THROW(System("x", 1, p, {}), ConfigError);
 }
 
 TEST(SystemPresets, A100MatchesDatasheet) {
   const System sys = presets::SystemByName("a100_80g");
-  EXPECT_DOUBLE_EQ(sys.proc().matrix.peak_flops(), 312e12);
-  EXPECT_DOUBLE_EQ(sys.proc().vector.peak_flops(), 78e12);
-  EXPECT_DOUBLE_EQ(sys.proc().mem1.capacity(), 80 * kGiB);
-  EXPECT_DOUBLE_EQ(sys.proc().mem1.bandwidth(), 2.0e12);
+  EXPECT_DOUBLE_EQ(sys.proc().matrix.peak_flops().raw(), 312e12);
+  EXPECT_DOUBLE_EQ(sys.proc().vector.peak_flops().raw(), 78e12);
+  EXPECT_DOUBLE_EQ(sys.proc().mem1.capacity().raw(), 80 * kGiB);
+  EXPECT_DOUBLE_EQ(sys.proc().mem1.bandwidth().raw(), 2.0e12);
   EXPECT_FALSE(sys.proc().mem2.present());
-  EXPECT_DOUBLE_EQ(sys.networks()[0].bandwidth(), 300e9);
-  EXPECT_DOUBLE_EQ(sys.networks()[1].bandwidth(), 25e9);
+  EXPECT_DOUBLE_EQ(sys.networks()[0].bandwidth().raw(), 300e9);
+  EXPECT_DOUBLE_EQ(sys.networks()[1].bandwidth().raw(), 25e9);
   // NCCL on NVLink costs more processor than NIC-driven fabric traffic.
   EXPECT_GT(sys.networks()[0].processor_fraction(),
             sys.networks()[1].processor_fraction());
@@ -90,9 +94,10 @@ TEST(SystemPresets, H100OffloadVariants) {
   EXPECT_FALSE(plain.proc().mem2.present());
   const System off = presets::SystemByName("h100_80g_offload");
   EXPECT_TRUE(off.proc().mem2.present());
-  EXPECT_DOUBLE_EQ(off.proc().mem2.capacity(), 512 * kGiB);
-  EXPECT_DOUBLE_EQ(off.proc().mem2.bandwidth(), 100e9);
-  EXPECT_DOUBLE_EQ(off.proc().mem1.bandwidth(), 3.0e12);  // paper: 3 TB/s
+  EXPECT_DOUBLE_EQ(off.proc().mem2.capacity().raw(), 512 * kGiB);
+  EXPECT_DOUBLE_EQ(off.proc().mem2.bandwidth().raw(), 100e9);
+  // Paper: 3 TB/s.
+  EXPECT_DOUBLE_EQ(off.proc().mem1.bandwidth().raw(), 3.0e12);
 }
 
 TEST(SystemPresets, EveryListedNameResolves) {
@@ -108,7 +113,7 @@ TEST(SystemPresets, NvlinkDomainIsConfigurable) {
   o.nvlink_domain = 32;  // Fig. 5: 32 A100s in one NVLink domain
   const System sys = presets::A100(o);
   EXPECT_EQ(sys.NetworkForSpan(32)->size(), 32);
-  EXPECT_DOUBLE_EQ(sys.NetworkForSpan(32)->bandwidth(), 300e9);
+  EXPECT_DOUBLE_EQ(sys.NetworkForSpan(32)->bandwidth().raw(), 300e9);
 }
 
 }  // namespace

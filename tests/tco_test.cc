@@ -42,15 +42,16 @@ TEST(Tco, DollarsPerMillionSamples) {
   tco.opex = 0.0;
   // 1 sample/s for a year -> 31.56M samples for $1M.
   const double seconds = 365.25 * 24.0 * 3600.0;
-  EXPECT_NEAR(DollarsPerMillionSamples(tco, p, 1.0), 1e6 / seconds * 1e6,
-              1e-6);
+  EXPECT_NEAR(DollarsPerMillionSamples(tco, p, PerSecond(1.0)),
+              1e6 / seconds * 1e6, 1e-6);
 }
 
 TEST(Tco, RejectsBadInputs) {
   EXPECT_THROW((void)ComputeTco(SystemDesign{80.0, 0.0}, -1, TcoParams{}),
                ConfigError);
-  EXPECT_THROW((void)DollarsPerMillionSamples(TcoResult{}, TcoParams{}, 0.0),
-               ConfigError);
+  EXPECT_THROW(
+      (void)DollarsPerMillionSamples(TcoResult{}, TcoParams{}, PerSecond(0.0)),
+      ConfigError);
 }
 
 // The paper's argument: a design with slightly lower throughput but much
@@ -63,7 +64,7 @@ TEST(Tco, EfficiencyGainsAccumulate) {
   const TcoResult tco_big = ComputeTco(big, 3120, p);
   // Equal sample rates: the cheaper-capex design wins cost/sample even
   // though it runs more GPUs (energy included).
-  const double rate = 1000.0;
+  const PerSecond rate(1000.0);
   EXPECT_LT(DollarsPerMillionSamples(tco_cheap, p, rate * 1.2),
             DollarsPerMillionSamples(tco_big, p, rate));
 }

@@ -258,7 +258,9 @@ TEST(ThreadPoolCtx, ConcurrentExternalCancellationIsClean) {
       // Enough per-item work that the canceller thread gets scheduled long
       // before the range could drain.
       volatile std::uint64_t sink = 0;
-      for (int k = 0; k < 200; ++k) sink += i + static_cast<std::uint64_t>(k);
+      for (int k = 0; k < 200; ++k) {
+        sink = sink + i + static_cast<std::uint64_t>(k);
+      }
       executed.fetch_add(1);
     });
     canceller.join();

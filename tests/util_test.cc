@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/error.h"
 #include "util/mathutil.h"
 #include "util/strings.h"
@@ -43,6 +45,81 @@ TEST(Units, FormatNumberTrimsTrailingZeros) {
 TEST(Units, FormatPercent) {
   EXPECT_EQ(FormatPercent(0.2934), "29.3%");
   EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+// Edge-case pinning for the report formatters: zero, sub-unit values,
+// exact unit thresholds, suffix saturation, sign, and non-finite inputs.
+// These pin current behavior so report output stays stable across refactors.
+
+TEST(Units, FormatBytesEdgeCases) {
+  EXPECT_EQ(FormatBytes(0.0), "0 B");
+  EXPECT_EQ(FormatBytes(1023.0), "1023 B");     // just below the threshold
+  EXPECT_EQ(FormatBytes(1024.0), "1 KiB");      // exact IEC threshold
+  EXPECT_EQ(FormatBytes(1536.0), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(-2048.0), "-2 KiB");    // sign survives scaling
+  EXPECT_EQ(FormatBytes(2.0 * kTiB * kKiB), "2 PiB");
+  // Beyond the largest suffix the value saturates at Pi and keeps growing.
+  EXPECT_EQ(FormatBytes(kTiB * kTiB / kMiB), "1024 PiB");
+}
+
+TEST(Units, FormatBytesNonFinite) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(FormatBytes(inf), "inf PiB");
+  EXPECT_EQ(FormatBytes(std::numeric_limits<double>::quiet_NaN()), "nan B");
+}
+
+TEST(Units, FormatBandwidthEdgeCases) {
+  EXPECT_EQ(FormatBandwidth(0.0), "0 B/s");
+  EXPECT_EQ(FormatBandwidth(999.0), "999 B/s");   // just below the threshold
+  EXPECT_EQ(FormatBandwidth(1000.0), "1 KB/s");   // exact SI threshold
+  EXPECT_EQ(FormatBandwidth(7.5e18), "7500 PB/s");
+}
+
+TEST(Units, FormatFlopsEdgeCases) {
+  EXPECT_EQ(FormatFlops(1e15), "1 Pflop/s");
+  EXPECT_EQ(FormatFlopCount(0.0), "0 flop");
+}
+
+TEST(Units, FormatTimeEdgeCases) {
+  EXPECT_EQ(FormatTime(0.0), "0 s");
+  EXPECT_EQ(FormatTime(1.0), "1 s");        // exact seconds threshold
+  EXPECT_EQ(FormatTime(1e-3), "1 ms");      // exact milliseconds threshold
+  EXPECT_EQ(FormatTime(1e-6), "1 us");      // exact microseconds threshold
+  EXPECT_EQ(FormatTime(-0.002), "-2 ms");   // sign picks the same unit
+  EXPECT_EQ(FormatTime(123456.0), "1.235e+05 s");
+}
+
+TEST(Units, FormatTimeNonFinite) {
+  EXPECT_EQ(FormatTime(std::numeric_limits<double>::infinity()), "inf s");
+  // NaN fails every >= comparison, so it falls through to the ns branch.
+  EXPECT_EQ(FormatTime(std::numeric_limits<double>::quiet_NaN()), "nan ns");
+}
+
+TEST(Units, FormatNumberEdgeCases) {
+  EXPECT_EQ(FormatNumber(0.0, 2), "0");
+  EXPECT_EQ(FormatNumber(0.001, 3), "0.001");   // smallest "plain range" value
+  EXPECT_EQ(FormatNumber(1.23e-5, 3), "1.23e-05");
+  EXPECT_EQ(FormatNumber(12345678.0, 1), "1.235e+07");
+  EXPECT_EQ(FormatNumber(-2.5, 2), "-2.5");
+  EXPECT_EQ(FormatNumber(std::numeric_limits<double>::quiet_NaN(), 2), "nan");
+}
+
+TEST(Units, FormatPercentEdgeCases) {
+  EXPECT_EQ(FormatPercent(0.0), "0.0%");
+  EXPECT_EQ(FormatPercent(-0.05, 2), "-5.00%");
+}
+
+// The typed overloads are thin adapters over the raw formatters; pin that
+// a value routed through a Quantity renders identically to its .raw() form.
+TEST(Units, TypedOverloadsMatchRawFormatters) {
+  EXPECT_EQ(FormatBytes(GiB(80)), FormatBytes(80.0 * kGiB));
+  EXPECT_EQ(FormatBytes(Bytes(0.0)), "0 B");
+  EXPECT_EQ(FormatBandwidth(GBps(100)), "100 GB/s");
+  EXPECT_EQ(FormatBandwidth(BytesPerSecond(3e12)), FormatBandwidth(3e12));
+  EXPECT_EQ(FormatFlops(TFLOPS(312)), "312 Tflop/s");
+  EXPECT_EQ(FormatFlopCount(GFlop(231.9)), "231.9 Gflop");
+  EXPECT_EQ(FormatTime(Seconds(0.231)), "231 ms");
+  EXPECT_EQ(FormatTime(Milliseconds(4.2e-3)), FormatTime(4.2e-6));
 }
 
 // --- mathutil ---

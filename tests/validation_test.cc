@@ -44,8 +44,9 @@ TEST_P(Table2Test, PredictionLandsNearSelene) {
   }
   const auto r = CalculatePerformance(app, e, sys);
   ASSERT_TRUE(r.ok()) << r.detail();
-  EXPECT_NEAR(r.value().batch_time / c.selene, 1.0, c.tolerance)
-      << "predicted " << r.value().batch_time << " s vs Selene " << c.selene;
+  EXPECT_NEAR(r.value().batch_time.raw() / c.selene, 1.0, c.tolerance)
+      << "predicted " << r.value().batch_time.raw() << " s vs Selene "
+      << c.selene;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -67,7 +68,9 @@ INSTANTIATE_TEST_SUITE_P(
                        true, 37.83, 0.15},
         ValidationCase{"1T_seqsel", "megatron_1t", 512, 8, 64, 1, 512, 1,
                        true, 71.49, 0.15}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& param_info) {
+      return std::string(param_info.param.name);
+    });
 
 // Section 4.1: over-emphasizing any one parallelism mode degrades
 // Megatron-1T performance relative to a balanced split.
@@ -76,7 +79,7 @@ TEST(PaperClaims, BalancedSplitBeatsExtremes) {
   presets::SystemOptions o;
   o.num_procs = 4096;
   o.nvlink_domain = 32;
-  o.hbm_capacity = 1024.0 * kGiB;  // compare times, not feasibility
+  o.hbm_capacity = GiB(1024);  // compare times, not feasibility
   const System sys = presets::A100(o);
 
   auto run = [&](std::int64_t t, std::int64_t p, std::int64_t d) {
@@ -90,10 +93,10 @@ TEST(PaperClaims, BalancedSplitBeatsExtremes) {
     e.optimizer_sharding = d > 1;
     const auto r = CalculatePerformance(app, e, sys);
     EXPECT_TRUE(r.ok()) << r.detail();
-    return r.ok() ? r.value().batch_time : 1e30;
+    return r.ok() ? r.value().batch_time : Seconds(1e30);
   };
 
-  const double balanced = run(8, 16, 32);
+  const Seconds balanced = run(8, 16, 32);
   EXPECT_LT(balanced, run(32, 4, 32));   // extreme TP: comm dominates
   EXPECT_LT(balanced, run(1, 128, 32));  // extreme PP: bubble dominates
   EXPECT_LT(balanced, run(8, 1, 512));   // extreme DP: DP comm dominates
@@ -106,7 +109,7 @@ TEST(PaperClaims, ParallelismModesCutMemoryDifferently) {
   presets::SystemOptions o;
   o.num_procs = 4096;
   o.nvlink_domain = 32;
-  o.hbm_capacity = 100.0 * kTiB;
+  o.hbm_capacity = TiB(100);
   const System sys = presets::A100(o);
   auto mem = [&](std::int64_t t, std::int64_t p, std::int64_t d) {
     Execution e;
@@ -130,8 +133,8 @@ TEST(PaperClaims, ParallelismModesCutMemoryDifferently) {
 
   const MemoryBreakdown d8 = mem(8, 4, 128);
   const MemoryBreakdown d128 = mem(8, 4, 128);
-  EXPECT_DOUBLE_EQ(d128.weights, d8.weights);
-  EXPECT_DOUBLE_EQ(d128.activations, d8.activations);
+  EXPECT_DOUBLE_EQ(d128.weights.raw(), d8.weights.raw());
+  EXPECT_DOUBLE_EQ(d128.activations.raw(), d8.activations.raw());
 }
 
 // Section 6: the seamless-offload bandwidth demand is within current
@@ -140,8 +143,8 @@ TEST(PaperClaims, ParallelismModesCutMemoryDifferently) {
 TEST(PaperClaims, OffloadBandwidthDemandIsPlausible) {
   presets::SystemOptions o;
   o.num_procs = 4096;
-  o.offload_capacity = 1e18;
-  o.offload_bandwidth = 1e15;
+  o.offload_capacity = Bytes(1e18);
+  o.offload_bandwidth = BytesPerSecond(1e15);
   const System sys = presets::H100(o);
   Execution e;
   e.num_procs = 4096;
@@ -156,16 +159,16 @@ TEST(PaperClaims, OffloadBandwidthDemandIsPlausible) {
   e.activation_offload = true;
   const auto r = CalculatePerformance(presets::Megatron1T(), e, sys);
   ASSERT_TRUE(r.ok()) << r.detail();
-  EXPECT_GT(r.value().offload_bw_required, 10e9);
-  EXPECT_LT(r.value().offload_bw_required, 1000e9);
+  EXPECT_GT(r.value().offload_bw_required, BytesPerSecond(10e9));
+  EXPECT_LT(r.value().offload_bw_required, BytesPerSecond(1000e9));
   // Offloading the optimizer adds traffic and busy time but not Eq. 1
   // demand (the step itself becomes tier-2-bound instead).
   e.optimizer_offload = true;
   const auto r2 = CalculatePerformance(presets::Megatron1T(), e, sys);
   ASSERT_TRUE(r2.ok()) << r2.detail();
   EXPECT_GT(r2.value().offload_bytes, r.value().offload_bytes);
-  EXPECT_DOUBLE_EQ(r2.value().offload_bw_required,
-                   r.value().offload_bw_required);
+  EXPECT_DOUBLE_EQ(r2.value().offload_bw_required.raw(),
+                   r.value().offload_bw_required.raw());
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ Application WithVocab(Application app, std::int64_t vocab) {
 System MakeSystem(std::int64_t procs) {
   presets::SystemOptions o;
   o.num_procs = procs;
-  o.hbm_capacity = 1024.0 * kGiB;
+  o.hbm_capacity = GiB(1024);
   return presets::A100(o);
 }
 
@@ -63,16 +63,16 @@ TEST(Vocab, AddsTimeAndMemory) {
   EXPECT_GT(vocab.value().tier1.weights, plain.value().tier1.weights);
   EXPECT_GT(vocab.value().tier1.optimizer, plain.value().tier1.optimizer);
   // The embedding weights shard by t: 2*V*h*dt/t extra bytes.
-  EXPECT_NEAR(vocab.value().tier1.weights - plain.value().tier1.weights,
+  EXPECT_NEAR((vocab.value().tier1.weights - plain.value().tier1.weights).raw(),
               2.0 * 50304 * 12288 * 2.0 / 8.0, 1.0);
 }
 
 TEST(Vocab, CountsTowardModelFlops) {
   const Application plain = presets::Gpt3_175B();
   const Application vocab = WithVocab(plain, 50304);
-  const double delta = ModelFlopsPerSample(vocab, true) -
-                       ModelFlopsPerSample(plain, true);
-  EXPECT_DOUBLE_EQ(delta, 3.0 * 2.0 * 2048.0 * 12288.0 * 50304.0);
+  const Flops delta = ModelFlopsPerSample(vocab, true) -
+                      ModelFlopsPerSample(plain, true);
+  EXPECT_DOUBLE_EQ(delta.raw(), 3.0 * 2.0 * 2048.0 * 12288.0 * 50304.0);
 }
 
 TEST(Vocab, ShardingShrinksItsOptimizerState) {
@@ -99,8 +99,8 @@ TEST(Vocab, InferenceSkipsTrainingState) {
   const auto r = CalculatePerformance(
       WithVocab(presets::Gpt3_175B(), 50304), e, sys);
   ASSERT_TRUE(r.ok()) << r.detail();
-  EXPECT_DOUBLE_EQ(r.value().tier1.optimizer, 0.0);
-  EXPECT_GT(r.value().tier1.weights, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().tier1.optimizer.raw(), 0.0);
+  EXPECT_GT(r.value().tier1.weights, Bytes(0.0));
 }
 
 }  // namespace
