@@ -45,6 +45,7 @@
 #include "core/perf_model.h"
 #include "hw/presets.h"
 #include "models/presets.h"
+#include "runner/run_status_json.h"
 #include "runner/study.h"
 #include "search/exec_search.h"
 #include "testing/fault_injection.h"
@@ -202,7 +203,7 @@ int RunOptimalExecution(int argc, char** argv) {
     json::Value out;
     out["execution"] = r.best.front().exec.ToJson();
     out["stats"] = r.best.front().stats.ToJson();
-    out["status"] = r.status.ToJson();
+    out["status"] = ToJson(r.status);
     json::WriteFile(args.positional[3], out);
     std::printf("result written to %s\n", args.positional[3].c_str());
   }

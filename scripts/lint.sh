@@ -65,21 +65,21 @@ else
   echo "lint: clang-tidy not found, skipping static analysis"
 fi
 
-# --- dimensional safety -------------------------------------------------
-# The public headers of src/hw and src/core carry quantities as strong
-# types (src/util/quantity.h). Reject new raw-double parameters or fields
-# whose names look like physical quantities; annotate intentional raw
-# doubles (format boundaries, dimension-generic helpers) with a same-line
-# `// unit-ok` marker.
-echo "lint: dimensional-safety scan of src/hw and src/core headers"
-QUANTITY_NAME='(bytes|byte_s|seconds|_time|time_|latency|bandwidth|capacity|flops|_rate|rate_)'
-if grep -nE "double +[A-Za-z_]*${QUANTITY_NAME}[A-Za-z_]*"     src/hw/*.h src/core/*.h |
-    grep -v 'unit-ok' |
-    grep -v '^\s*//'; then
-  echo "lint: raw double used for a quantity-like name in a public header;"
-  echo "      use a type from src/util/quantity.h or add '// unit-ok: why'"
-  STATUS=1
+# --- calculon-lint ------------------------------------------------------
+# The project lint engine (src/staticlint/, docs/correctness.md §6) owns
+# the project-aware checks that used to live here as greps: the layering
+# DAG, discarded Result<T>, the Quantity::raw() boundary, the raw-double
+# dimensional scan of src/hw and src/core headers, banned patterns, and
+# header hygiene. It exits non-zero on any finding not in the checked-in
+# baseline (.calculon-lint-baseline, which is kept empty).
+LINT_BIN="$BUILD_DIR/src/calculon-lint"
+if [[ ! -x "$LINT_BIN" ]]; then
+  echo "lint: building calculon-lint"
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target calculon-lint >/dev/null
 fi
+echo "lint: calculon-lint over src, examples and bench"
+"$LINT_BIN" --root . || STATUS=1
 
 # --- clang-format -------------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then

@@ -121,9 +121,11 @@ std::string ExecContext(const Application& app, const std::string& sys_label,
 // RunContext, exceptions and model-bug Results are isolated into
 // FailureRecords: an injected fault only degrades the run, while a genuine
 // throw out of the model additionally counts as a violation.
-Result<Stats> Evaluate(const Application& app, const System& sys,
-                       const std::string& sys_label, const Execution& exec,
-                       AuditReport* report, Auditor* audit) {
+[[nodiscard]] Result<Stats> Evaluate(const Application& app,
+                                     const System& sys,
+                                     const std::string& sys_label,
+                                     const Execution& exec,
+                                     AuditReport* report, Auditor* audit) {
   const AuditOptions& options = audit->options();
   const std::uint64_t key = options.fault_key_base + report->evaluations;
   ++report->evaluations;

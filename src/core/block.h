@@ -7,6 +7,7 @@
 // what makes a full calculation take microseconds.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/layers.h"

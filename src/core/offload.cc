@@ -93,10 +93,11 @@ OffloadResult ComputeOffload(const OffloadInputs& in, const Memory& mem2) {
   // non-finite values from degenerate inputs flow to the model's screen.
   CALC_DCHECK(!(out.exposed_time < Seconds(0.0)) &&
                   !(out.busy_time < Seconds(0.0)),
-              "exposed=%g busy=%g", out.exposed_time.raw(),
-              out.busy_time.raw());
+              "exposed=%g busy=%g",
+              out.exposed_time.raw(),  // unit-ok: diagnostic message
+              out.busy_time.raw());    // unit-ok: diagnostic message
   CALC_DCHECK(!(out.required_bw < BytesPerSecond(0.0)), "required_bw = %g",
-              out.required_bw.raw());
+              out.required_bw.raw());  // unit-ok: diagnostic message
   return out;
 }
 

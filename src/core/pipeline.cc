@@ -25,7 +25,8 @@ Seconds PipelineBubbleTime(const PipelineShape& shape,
   // per-microbatch time non-finite; the perf model's final screen rejects
   // those configurations as kBadConfig. Only definite negatives are bugs.
   CALC_DCHECK(!(per_microbatch_time < Seconds(0.0)),
-              "per_microbatch_time = %g", per_microbatch_time.raw());
+              "per_microbatch_time = %g",
+              per_microbatch_time.raw());  // unit-ok: diagnostic message
   if (shape.stages <= 1) return Seconds(0.0);
   const double p = static_cast<double>(shape.stages);
   const double i = static_cast<double>(shape.interleaving);

@@ -104,6 +104,7 @@ std::string ScheduleResult::TraceJson(double time_scale) const {
         static_cast<long long>(t.microbatch),
         static_cast<long long>(t.chunk),
         t.kind == TaskKind::kForward ? "forward" : "backward",
+        // unit-ok: Chrome-trace emit boundary (microsecond floats)
         t.start.raw() * time_scale, (t.end - t.start).raw() * time_scale,
         static_cast<long long>(t.stage));
   }

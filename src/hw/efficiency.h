@@ -34,8 +34,12 @@ class EfficiencyCurve {
   // "size" measures, so the raw overload stays; the typed overloads are the
   // entry points for dimensioned callers.
   [[nodiscard]] double At(double size) const;  // unit-ok: dimension-generic
-  [[nodiscard]] double At(Bytes size) const { return At(size.raw()); }
-  [[nodiscard]] double At(Flops size) const { return At(size.raw()); }
+  [[nodiscard]] double At(Bytes size) const {
+    return At(size.raw());  // unit-ok: adapter to the generic curve
+  }
+  [[nodiscard]] double At(Flops size) const {
+    return At(size.raw());  // unit-ok: adapter to the generic curve
+  }
 
   [[nodiscard]] bool is_flat() const { return points_.size() == 1; }
   [[nodiscard]] const std::vector<Point>& points() const { return points_; }

@@ -21,7 +21,8 @@ Memory::Memory(Bytes capacity, BytesPerSecond bandwidth,
 Seconds Memory::AccessTime(Bytes bytes) const {
   // Negative byte counts are clamped to zero time by the documented
   // contract below; only NaN is a caller bug.
-  CALC_DCHECK(!IsNan(bytes), "bytes = %g", bytes.raw());
+  CALC_DCHECK(!IsNan(bytes), "bytes = %g",
+              bytes.raw());  // unit-ok: diagnostic message
   if (bytes <= Bytes(0.0)) return Seconds(0.0);
   const BytesPerSecond bw = EffectiveBandwidth(bytes);
   if (bw <= BytesPerSecond(0.0)) {
@@ -36,8 +37,8 @@ BytesPerSecond Memory::EffectiveBandwidth(Bytes bytes) const {
 
 json::Value Memory::ToJson() const {
   json::Object o;
-  o["capacity"] = capacity_.raw();
-  o["bandwidth"] = bandwidth_.raw();
+  o["capacity"] = capacity_.raw();  // unit-ok: JSON serialize boundary
+  o["bandwidth"] = bandwidth_.raw();  // unit-ok: JSON serialize boundary
   o["efficiency"] = efficiency_.ToJson();
   return json::Value(std::move(o));
 }

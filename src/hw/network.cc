@@ -46,7 +46,7 @@ Bytes Network::LinkBytes(Collective op, std::int64_t members,
   CALC_DCHECK(members >= 1, "members = %lld",
               static_cast<long long>(members));
   CALC_DCHECK(IsFinite(bytes) && bytes >= Bytes(0.0), "bytes = %g",
-              bytes.raw());
+              bytes.raw());  // unit-ok: diagnostic message
   if (members <= 1 || bytes <= Bytes(0.0)) return Bytes(0.0);
   const double n = static_cast<double>(members);
   const double share = (n - 1.0) / n;
@@ -107,8 +107,8 @@ Network Network::WithSize(std::int64_t size) const {
 json::Value Network::ToJson() const {
   json::Object o;
   o["size"] = size_;
-  o["bandwidth"] = bandwidth_.raw();
-  o["latency"] = latency_.raw();
+  o["bandwidth"] = bandwidth_.raw();  // unit-ok: JSON serialize boundary
+  o["latency"] = latency_.raw();  // unit-ok: JSON serialize boundary
   o["efficiency"] = efficiency_.ToJson();
   o["in_network_collectives"] = in_network_;
   o["processor_fraction"] = proc_fraction_;

@@ -16,7 +16,7 @@ ComputeUnit::ComputeUnit(FlopsPerSecond peak, EfficiencyCurve efficiency)
 
 Seconds ComputeUnit::FlopTime(Flops flops) const {
   CALC_DCHECK(IsFinite(flops) && flops >= Flops(0.0), "flops = %g",
-              flops.raw());
+              flops.raw());  // unit-ok: diagnostic message
   if (flops <= Flops(0.0)) return Seconds(0.0);
   const FlopsPerSecond rate = peak_ * efficiency_.At(flops);
   if (rate <= FlopsPerSecond(0.0)) {
@@ -27,7 +27,7 @@ Seconds ComputeUnit::FlopTime(Flops flops) const {
 
 json::Value ComputeUnit::ToJson() const {
   json::Object o;
-  o["flops"] = peak_.raw();
+  o["flops"] = peak_.raw();  // unit-ok: JSON serialize boundary
   o["efficiency"] = efficiency_.ToJson();
   return json::Value(std::move(o));
 }
@@ -42,7 +42,7 @@ ComputeUnit ComputeUnit::FromJson(const json::Value& v) {
 Seconds Processor::OpTime(ComputeKind kind, Flops flops, Bytes bytes,
                           double compute_slowdown) const {
   CALC_DCHECK(IsFinite(bytes) && bytes >= Bytes(0.0), "bytes = %g",
-              bytes.raw());
+              bytes.raw());  // unit-ok: diagnostic message
   CALC_DCHECK(compute_slowdown >= 0.0 && compute_slowdown < 1.0,
               "compute_slowdown = %g", compute_slowdown);
   const ComputeUnit& unit = (kind == ComputeKind::kMatrix) ? matrix : vector;

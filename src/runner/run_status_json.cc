@@ -1,0 +1,33 @@
+#include "runner/run_status_json.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace calculon {
+
+json::Value ToJson(const FailureRecord& record) {
+  json::Value v;
+  v["item"] = static_cast<std::int64_t>(record.item);
+  v["fingerprint"] = record.fingerprint;
+  v["reason"] = record.reason;
+  v["worker"] = static_cast<std::int64_t>(record.worker);
+  return v;
+}
+
+json::Value ToJson(const RunStatus& status) {
+  json::Value v;
+  v["complete"] = status.complete;
+  v["stop_reason"] = std::string(ToString(status.stop_reason));
+  v["items_completed"] = static_cast<std::int64_t>(status.items_completed);
+  v["failures"] = static_cast<std::int64_t>(status.failures);
+  json::Array samples;
+  samples.reserve(status.failure_samples.size());
+  for (const FailureRecord& record : status.failure_samples) {
+    samples.push_back(ToJson(record));
+  }
+  v["failure_samples"] = json::Value(std::move(samples));
+  return v;
+}
+
+}  // namespace calculon

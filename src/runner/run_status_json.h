@@ -1,0 +1,16 @@
+// JSON serialization of the resilience-layer summary types.
+//
+// Lives in the runner layer (not util) so the util layer stays at the
+// bottom of the dependency DAG: RunContext carries the data, the layers
+// that write checkpoints and reports serialize it.
+#pragma once
+
+#include "json/json.h"
+#include "util/run_context.h"
+
+namespace calculon {
+
+[[nodiscard]] json::Value ToJson(const FailureRecord& record);
+[[nodiscard]] json::Value ToJson(const RunStatus& status);
+
+}  // namespace calculon

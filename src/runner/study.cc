@@ -7,6 +7,7 @@
 
 #include "hw/presets.h"
 #include "models/presets.h"
+#include "runner/run_status_json.h"
 #include "testing/fault_injection.h"
 #include "util/strings.h"
 #include "util/units.h"
@@ -108,7 +109,7 @@ json::Value CheckpointToJson(const std::string& fingerprint,
     best["execution"] = run.best.exec.ToJson();
   }
   obj["best"] = json::Value(std::move(best));
-  obj["status"] = run.status.ToJson();
+  obj["status"] = ToJson(run.status);
   return json::Value(std::move(obj));
 }
 

@@ -100,9 +100,11 @@ void InsertTopK(std::vector<SearchEntry>& best, int top_k, Execution exec,
 // escaping the model, and kBadConfig hard-error Results become
 // FailureRecords on `ctx` instead of aborting the sweep. Only called when a
 // RunContext is present.
-Result<Stats> GuardedEvaluate(const Application& app, const Execution& e,
-                              const System& sys, RunContext* ctx,
-                              std::uint64_t key) {
+[[nodiscard]] Result<Stats> GuardedEvaluate(const Application& app,
+                                            const Execution& e,
+                                            const System& sys,
+                                            RunContext* ctx,
+                                            std::uint64_t key) {
   auto& faults = testing::FaultInjector::Global();
   try {
     if (faults.enabled() && faults.MaybeInject(key)) {

@@ -6,6 +6,7 @@
 // This module maintains the set of non-dominated strategies.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "search/exec_search.h"

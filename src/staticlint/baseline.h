@@ -1,0 +1,57 @@
+// Baseline file support: grandfathered findings that calculon-lint reports
+// as suppressed instead of failing the build. The target state is an empty
+// baseline; every entry must carry a justification.
+//
+// Format (one entry per line, '#' comments and blank lines ignored):
+//
+//   <rule> <path> <fingerprint16>  # justification
+//
+// The fingerprint is FingerprintHex(diagnostic): rule + path + offending
+// line *content*, so entries survive unrelated edits that shift line
+// numbers. One entry suppresses every finding with that fingerprint.
+// Entries that no longer match anything are reported as stale so the
+// baseline shrinks monotonically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "staticlint/diagnostics.h"
+
+namespace calculon::staticlint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  std::string fingerprint;   // 16 hex chars
+  std::string justification; // text after '#', trimmed
+  int line = 0;              // line in the baseline file (for stale reports)
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+
+  [[nodiscard]] bool Matches(const Diagnostic& d) const;
+};
+
+// Parses baseline text. Throws ConfigError on a malformed line.
+[[nodiscard]] Baseline ParseBaseline(const std::string& text);
+
+// Loads a baseline file; a missing file yields an empty baseline.
+[[nodiscard]] Baseline LoadBaseline(const std::string& path);
+
+// Splits findings into (new, suppressed) and appends one stale-entry
+// Diagnostic per baseline entry that matched nothing.
+struct BaselineApplication {
+  std::vector<Diagnostic> fresh;       // not in the baseline: must fail CI
+  std::vector<Diagnostic> suppressed;  // grandfathered
+  std::vector<BaselineEntry> stale;    // matched no finding: prune them
+};
+[[nodiscard]] BaselineApplication ApplyBaseline(
+    const Baseline& baseline, const std::vector<Diagnostic>& findings);
+
+// Renders findings in baseline-file syntax (for --update-baseline).
+[[nodiscard]] std::string RenderBaseline(
+    const std::vector<Diagnostic>& findings);
+
+}  // namespace calculon::staticlint

@@ -1,0 +1,27 @@
+// Filesystem frontend: loads and lexes the repository tree that the rules
+// analyze. Kept separate from the rules, which are pure functions over the
+// loaded files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "staticlint/token.h"
+
+namespace calculon::staticlint {
+
+struct TreeOptions {
+  // Directories under the repo root to scan (tests/ is intentionally not a
+  // default: gtest macro bodies are not representative library code).
+  std::vector<std::string> roots = {"src", "examples", "bench"};
+  std::vector<std::string> extensions = {".h", ".cc", ".cpp"};
+};
+
+// Loads every matching file under repo_root, lexed, with repo-relative
+// paths, in deterministic (sorted) order. Missing roots are skipped so the
+// tool also runs on partial checkouts.
+[[nodiscard]] std::vector<SourceFile> LoadTree(const std::string& repo_root,
+                                               const TreeOptions& options =
+                                                   TreeOptions());
+
+}  // namespace calculon::staticlint

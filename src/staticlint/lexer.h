@@ -1,0 +1,29 @@
+// Token-level C++ lexer for calculon-lint.
+//
+// Handles everything that defeats line-oriented greps: block comments
+// spanning lines, string literals containing "//", raw string literals with
+// custom delimiters, character literals, digit separators, and preprocessor
+// lines with backslash continuations. It does not evaluate preprocessor
+// conditionals: all branches of #if/#else blocks are lexed and analyzed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "staticlint/token.h"
+
+namespace calculon::staticlint {
+
+// Lexes `text` into tokens. The returned tokens view into `text`, which must
+// outlive them (SourceFile keeps both together).
+[[nodiscard]] std::vector<Token> Lex(std::string_view text);
+
+// Convenience: builds a SourceFile from an in-memory buffer (tests) or a
+// file on disk. LoadSourceFile throws ConfigError when the file cannot be
+// read.
+[[nodiscard]] SourceFile MakeSourceFile(std::string path, std::string text);
+[[nodiscard]] SourceFile LoadSourceFile(const std::string& fs_path,
+                                        std::string repo_relative_path);
+
+}  // namespace calculon::staticlint

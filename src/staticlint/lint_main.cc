@@ -1,0 +1,172 @@
+// calculon-lint: the project-aware static analysis CLI.
+//
+//   calculon-lint --root <repo> [--baseline FILE] [--sarif FILE]
+//                 [--rules a,b,...] [--list-rules] [--update-baseline]
+//
+// Exit codes: 0 clean, 1 non-baselined findings, 2 usage/config error.
+// See docs/correctness.md §6 for the rule catalog and the baseline format.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "staticlint/baseline.h"
+#include "staticlint/diagnostics.h"
+#include "staticlint/engine.h"
+#include "staticlint/rules.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace calculon::staticlint;  // NOLINT: CLI convenience
+
+struct CliOptions {
+  std::string root = ".";
+  std::string baseline_path;  // empty: <root>/.calculon-lint-baseline
+  std::string sarif_path;
+  std::set<std::string> rules;
+  bool list_rules = false;
+  bool update_baseline = false;
+  bool verbose = false;
+};
+
+void PrintUsage() {
+  std::cout <<
+      "usage: calculon-lint [--root DIR] [--baseline FILE] [--sarif FILE]\n"
+      "                     [--rules a,b,...] [--list-rules]\n"
+      "                     [--update-baseline] [--verbose]\n"
+      "\n"
+      "Project-aware static analysis for the calculon repository: layering\n"
+      "DAG, Result<T> discipline, Quantity::raw() boundaries, banned\n"
+      "patterns, header hygiene. Exit 0 = clean, 1 = findings, 2 = error.\n";
+}
+
+[[nodiscard]] bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "calculon-lint: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = next("--root");
+      if (v == nullptr) return false;
+      out->root = v;
+    } else if (arg == "--baseline") {
+      const char* v = next("--baseline");
+      if (v == nullptr) return false;
+      out->baseline_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = next("--sarif");
+      if (v == nullptr) return false;
+      out->sarif_path = v;
+    } else if (arg == "--rules") {
+      const char* v = next("--rules");
+      if (v == nullptr) return false;
+      std::istringstream list(v);
+      std::string one;
+      while (std::getline(list, one, ',')) {
+        if (!one.empty()) out->rules.insert(one);
+      }
+    } else if (arg == "--list-rules") {
+      out->list_rules = true;
+    } else if (arg == "--update-baseline") {
+      out->update_baseline = true;
+    } else if (arg == "--verbose" || arg == "-v") {
+      out->verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      std::cerr << "calculon-lint: unknown argument '" << arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return 2;
+
+  if (cli.list_rules) {
+    for (const RuleInfo& r : RuleCatalog()) {
+      std::printf("%-22s %s\n", r.id.c_str(), r.summary.c_str());
+    }
+    return 0;
+  }
+
+  try {
+    ProjectConfig config = ProjectConfig::Default();
+    std::vector<SourceFile> files = LoadTree(cli.root);
+    if (files.empty()) {
+      std::cerr << "calculon-lint: no sources under " << cli.root << "\n";
+      return 2;
+    }
+
+    LintOptions options;
+    options.rule_filter = cli.rules;
+    LintResult result = RunLint(files, config, options);
+
+    std::string baseline_path = cli.baseline_path.empty()
+                                    ? cli.root + "/.calculon-lint-baseline"
+                                    : cli.baseline_path;
+    if (cli.update_baseline) {
+      std::ofstream out(baseline_path, std::ios::binary);
+      out << RenderBaseline(result.findings);
+      std::cout << "calculon-lint: wrote " << result.findings.size()
+                << " entries to " << baseline_path << "\n";
+      return 0;
+    }
+
+    Baseline baseline = LoadBaseline(baseline_path);
+    BaselineApplication app = ApplyBaseline(baseline, result.findings);
+
+    if (!cli.sarif_path.empty()) {
+      calculon::json::WriteFile(cli.sarif_path,
+                                ToSarif(RuleCatalog(), app.fresh), 2);
+    }
+
+    for (const Diagnostic& d : app.fresh) {
+      std::cout << FormatHuman(d) << "\n";
+    }
+    if (cli.verbose) {
+      for (const Diagnostic& d : app.suppressed) {
+        std::cout << "suppressed (baseline): " << FormatHuman(d) << "\n";
+      }
+    }
+    for (const BaselineEntry& e : app.stale) {
+      std::cout << "warning: stale baseline entry (line " << e.line << "): "
+                << e.rule << " " << e.path << " — prune it\n";
+    }
+
+    std::cout << "calculon-lint: " << files.size() << " files, "
+              << app.fresh.size() << " finding(s)";
+    if (!app.suppressed.empty()) {
+      std::cout << ", " << app.suppressed.size() << " baselined";
+    }
+    if (!app.stale.empty()) {
+      std::cout << ", " << app.stale.size() << " stale baseline entr"
+                << (app.stale.size() == 1 ? "y" : "ies");
+    }
+    std::cout << "\n";
+    return app.fresh.empty() ? 0 : 1;
+  } catch (const calculon::ConfigError& e) {
+    std::cerr << "calculon-lint: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "calculon-lint: internal error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,91 @@
+#include "staticlint/match.h"
+
+namespace calculon::staticlint {
+
+SigTokens::SigTokens(const SourceFile& file) {
+  toks_.reserve(file.tokens.size());
+  for (const Token& t : file.tokens) {
+    if (t.kind == TokKind::kComment || t.kind == TokKind::kDirective) continue;
+    toks_.push_back(&t);
+  }
+}
+
+std::size_t FindMatching(const SigTokens& toks, std::size_t open_idx) {
+  if (open_idx >= toks.size()) return kNpos;
+  std::string_view open = toks[open_idx].text;
+  std::string_view close;
+  if (open == "(") {
+    close = ")";
+  } else if (open == "[") {
+    close = "]";
+  } else if (open == "{") {
+    close = "}";
+  } else if (open == "<") {
+    close = ">";
+  } else {
+    return kNpos;
+  }
+  bool angle = open == "<";
+  int depth = 0;
+  for (std::size_t i = open_idx; i < toks.size(); ++i) {
+    std::string_view t = toks[i].text;
+    if (t == open) {
+      ++depth;
+    } else if (t == close) {
+      if (--depth == 0) return i;
+    } else if (angle && (t == ";" || t == "{" || t == "}")) {
+      return kNpos;  // not a template argument list after all
+    }
+  }
+  return kNpos;
+}
+
+std::string_view LineText(const SourceFile& file, int line) {
+  if (line < 1) return {};
+  std::string_view text = file.text;
+  int current = 1;
+  std::size_t begin = 0;
+  while (current < line) {
+    std::size_t nl = text.find('\n', begin);
+    if (nl == std::string_view::npos) return {};
+    begin = nl + 1;
+    ++current;
+  }
+  std::size_t end = text.find('\n', begin);
+  if (end == std::string_view::npos) end = text.size();
+  std::string_view out = text.substr(begin, end - begin);
+  if (!out.empty() && out.back() == '\r') out.remove_suffix(1);
+  return out;
+}
+
+std::map<int, std::set<std::string>> SuppressionsByLine(
+    const SourceFile& file) {
+  std::map<int, std::set<std::string>> out;
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokKind::kComment) continue;
+    std::string_view text = t.text;
+    std::size_t unit = text.find("unit-ok");
+    if (unit != std::string_view::npos) out[t.line].insert("unit-ok");
+    std::size_t mark = text.find("lint-ok(");
+    if (mark == std::string_view::npos) continue;
+    std::size_t begin = mark + 8;
+    std::size_t end = text.find(')', begin);
+    if (end == std::string_view::npos) continue;
+    std::string_view rules = text.substr(begin, end - begin);
+    while (!rules.empty()) {
+      std::size_t comma = rules.find(',');
+      std::string_view one =
+          comma == std::string_view::npos ? rules : rules.substr(0, comma);
+      std::size_t b = one.find_first_not_of(" \t");
+      std::size_t e = one.find_last_not_of(" \t");
+      if (b != std::string_view::npos) {
+        out[t.line].insert(std::string(one.substr(b, e - b + 1)));
+      }
+      if (comma == std::string_view::npos) break;
+      rules.remove_prefix(comma + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace calculon::staticlint

@@ -1,0 +1,55 @@
+// Small token-pattern helpers shared by the lint rules.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "staticlint/token.h"
+
+namespace calculon::staticlint {
+
+// A filtered view of a file's significant tokens (comments and preprocessor
+// directives removed) so rules can match adjacent-token patterns without
+// skip logic at every step.
+class SigTokens {
+ public:
+  explicit SigTokens(const SourceFile& file);
+
+  [[nodiscard]] std::size_t size() const { return toks_.size(); }
+  [[nodiscard]] const Token& operator[](std::size_t i) const {
+    return *toks_[i];
+  }
+  [[nodiscard]] bool Is(std::size_t i, std::string_view text) const {
+    return i < toks_.size() && toks_[i]->text == text;
+  }
+  [[nodiscard]] bool IsIdent(std::size_t i) const {
+    return i < toks_.size() && toks_[i]->kind == TokKind::kIdent;
+  }
+
+ private:
+  std::vector<const Token*> toks_;
+};
+
+// Index of the token matching the bracket at `open_idx` ('(' / '[' / '{' /
+// '<'), or npos when unbalanced. Angle-bracket matching additionally gives
+// up at ';' or '{' so a stray less-than cannot swallow the file.
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+[[nodiscard]] std::size_t FindMatching(const SigTokens& toks,
+                                       std::size_t open_idx);
+
+// The text of 1-based line `line` in the file (no trailing newline).
+[[nodiscard]] std::string_view LineText(const SourceFile& file, int line);
+
+// Inline suppression markers, keyed by line:
+//   // unit-ok: reason            -> {"unit-ok"}
+//   // lint-ok(rule-a, rule-b): r -> {"rule-a", "rule-b"}
+// A marker suppresses findings reported on its own line (rules with
+// multi-line statements additionally honor the statement's first line).
+[[nodiscard]] std::map<int, std::set<std::string>> SuppressionsByLine(
+    const SourceFile& file);
+
+}  // namespace calculon::staticlint

@@ -1,0 +1,132 @@
+// Banned-pattern rules: dimensional quantities through varargs sinks
+// (undefined behavior), naked new expressions, and std::cout in library
+// code.
+#include <string>
+
+#include "staticlint/match.h"
+#include "staticlint/rules.h"
+
+namespace calculon::staticlint {
+
+namespace {
+
+[[nodiscard]] Diagnostic At(const SourceFile& file, const Token& tok,
+                            const char* rule, std::string message) {
+  Diagnostic d;
+  d.rule = rule;
+  d.path = file.path;
+  d.line = tok.line;
+  d.col = tok.col;
+  d.message = std::move(message);
+  d.excerpt = std::string(LineText(file, tok.line));
+  return d;
+}
+
+}  // namespace
+
+void CheckQuantityVarargs(const std::vector<SourceFile>& files,
+                          const ProjectConfig& config,
+                          std::vector<Diagnostic>* out) {
+  DeclIndex index = BuildDeclIndex(files, config);
+  if (index.quantity_returning.empty()) return;
+
+  for (const SourceFile& file : files) {
+    if (config.IsExempt(file.path)) continue;
+    SigTokens toks(file);
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!toks.IsIdent(i) ||
+          config.varargs_sinks.count(std::string(toks[i].text)) == 0 ||
+          !toks.Is(i + 1, "(")) {
+        continue;
+      }
+      std::size_t close = FindMatching(toks, i + 1);
+      if (close == kNpos) continue;
+
+      // Split the call into top-level arguments.
+      std::vector<std::pair<std::size_t, std::size_t>> args;  // [begin, end)
+      int depth = 0;
+      std::size_t arg_begin = i + 2;
+      for (std::size_t j = i + 1; j <= close; ++j) {
+        std::string_view t = toks[j].text;
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        if (t == ")" || t == "]" || t == "}") --depth;
+        bool at_split = (t == "," && depth == 1) || (j == close && depth == 0);
+        if (at_split) {
+          if (j > arg_begin) args.emplace_back(arg_begin, j);
+          arg_begin = j + 1;
+        }
+      }
+
+      // Varargs start after the format string: only arguments past the
+      // last top-level string literal can be passed through `...`.
+      std::size_t last_literal = kNpos;
+      for (std::size_t a = 0; a < args.size(); ++a) {
+        if (toks[args[a].first].kind == TokKind::kString) last_literal = a;
+      }
+      if (last_literal == kNpos) continue;  // no format literal: skip call
+
+      for (std::size_t a = last_literal + 1; a < args.size(); ++a) {
+        // The argument's value is a quantity only when the argument is
+        // exactly a (possibly chained) call whose outermost callee returns
+        // a quantity: `s.tier1.Total()` is flagged, while
+        // `FormatBytes(x.Total()).c_str()` and dimensionless arithmetic
+        // like `a.Total() / b.Total()` are not.
+        std::size_t j = args[a].first;
+        if (!toks.IsIdent(j)) continue;
+        while ((toks.Is(j + 1, "::") || toks.Is(j + 1, ".") ||
+                toks.Is(j + 1, "->")) &&
+               toks.IsIdent(j + 2)) {
+          j += 2;
+        }
+        if (!toks.Is(j + 1, "(")) continue;
+        std::string name(toks[j].text);
+        if (index.quantity_returning.count(name) == 0) continue;
+        if (FindMatching(toks, j + 1) != args[a].second - 1) continue;
+        out->push_back(
+            At(file, toks[j], "quantity-varargs",
+               "'" + name +
+                   "' returns a dimensional quantity; passing it through "
+                   "varargs is UB — use .raw()"));
+      }
+    }
+  }
+}
+
+void CheckNakedNew(const std::vector<SourceFile>& files,
+                   const ProjectConfig& config,
+                   std::vector<Diagnostic>* out) {
+  for (const SourceFile& file : files) {
+    if (config.IsExempt(file.path) || !config.InLayerRoot(file.path)) {
+      continue;
+    }
+    SigTokens toks(file);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks.IsIdent(i) || toks[i].text != "new") continue;
+      out->push_back(At(file, toks[i], "naked-new",
+                        "naked new expression; use value semantics or "
+                        "std::make_unique/make_shared"));
+    }
+  }
+}
+
+void CheckStdCout(const std::vector<SourceFile>& files,
+                  const ProjectConfig& config,
+                  std::vector<Diagnostic>* out) {
+  for (const SourceFile& file : files) {
+    if (config.IsExempt(file.path) || !config.InLayerRoot(file.path) ||
+        config.IsCli(file.path)) {
+      continue;
+    }
+    SigTokens toks(file);
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks.Is(i, "std") && toks.Is(i + 1, "::") &&
+          toks.Is(i + 2, "cout")) {
+        out->push_back(At(file, toks[i], "std-cout",
+                          "std::cout in library code; report through "
+                          "return values or an std::ostream& parameter"));
+      }
+    }
+  }
+}
+
+}  // namespace calculon::staticlint

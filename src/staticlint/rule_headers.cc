@@ -1,0 +1,157 @@
+// Header hygiene: #pragma once (or a classic guard) at the top of every
+// header, and a conservative include-what-you-use check for common std::
+// symbols.
+#include <string>
+
+#include "staticlint/match.h"
+#include "staticlint/rules.h"
+
+namespace calculon::staticlint {
+
+namespace {
+
+// std:: symbol -> headers that satisfy it. The table is deliberately small
+// and unambiguous; symbols with many legitimate providers stay out.
+struct StdSymbol {
+  std::string_view symbol;
+  std::vector<std::string_view> providers;
+};
+
+[[nodiscard]] const std::vector<StdSymbol>& StdSymbolTable() {
+  static const std::vector<StdSymbol> kTable = {
+      {"string", {"string"}},
+      {"string_view", {"string_view"}},
+      {"vector", {"vector"}},
+      {"map", {"map"}},
+      {"set", {"set"}},
+      {"unordered_map", {"unordered_map"}},
+      {"unordered_set", {"unordered_set"}},
+      {"deque", {"deque"}},
+      {"array", {"array"}},
+      {"optional", {"optional"}},
+      {"variant", {"variant"}},
+      {"function", {"functional"}},
+      {"unique_ptr", {"memory"}},
+      {"shared_ptr", {"memory"}},
+      {"weak_ptr", {"memory"}},
+      {"make_unique", {"memory"}},
+      {"make_shared", {"memory"}},
+      {"atomic", {"atomic"}},
+      {"mutex", {"mutex"}},
+      {"lock_guard", {"mutex"}},
+      {"unique_lock", {"mutex"}},
+      {"scoped_lock", {"mutex"}},
+      {"condition_variable", {"condition_variable"}},
+      {"thread", {"thread"}},
+      {"chrono", {"chrono"}},
+      {"pair", {"utility"}},
+      {"initializer_list", {"initializer_list"}},
+      {"runtime_error", {"stdexcept"}},
+      {"logic_error", {"stdexcept"}},
+      {"size_t", {"cstddef", "cstdint"}},
+      {"int8_t", {"cstdint"}},
+      {"uint8_t", {"cstdint"}},
+      {"int16_t", {"cstdint"}},
+      {"uint16_t", {"cstdint"}},
+      {"int32_t", {"cstdint"}},
+      {"uint32_t", {"cstdint"}},
+      {"int64_t", {"cstdint"}},
+      {"uint64_t", {"cstdint"}},
+      {"ostream", {"ostream", "iostream", "sstream", "iosfwd", "fstream"}},
+      {"istream", {"istream", "iostream", "sstream", "iosfwd", "fstream"}},
+  };
+  return kTable;
+}
+
+}  // namespace
+
+void CheckPragmaOnce(const std::vector<SourceFile>& files,
+                     const ProjectConfig& config,
+                     std::vector<Diagnostic>* out) {
+  for (const SourceFile& file : files) {
+    if (config.IsExempt(file.path) || !config.InLayerRoot(file.path) ||
+        !file.is_header()) {
+      continue;
+    }
+    bool guarded = false;
+    std::string_view prev_directive;
+    for (const Token& t : file.tokens) {
+      if (t.kind == TokKind::kComment) continue;
+      if (t.kind != TokKind::kDirective) break;  // code before any guard
+      Directive d = ParseDirective(t.text);
+      if (d.name == "pragma" && d.argument == "once") {
+        guarded = true;
+        break;
+      }
+      // Classic guard: #ifndef X immediately followed by #define X.
+      if (prev_directive == "ifndef" && d.name == "define") {
+        guarded = true;
+        break;
+      }
+      if (d.name != "ifndef") break;
+      prev_directive = d.name;
+    }
+    if (guarded) continue;
+    Diagnostic diag;
+    diag.rule = "pragma-once";
+    diag.path = file.path;
+    diag.line = 1;
+    diag.message = "header has no #pragma once (or #ifndef/#define guard)";
+    diag.excerpt = file.path;  // stable fingerprint for whole-file findings
+    out->push_back(std::move(diag));
+  }
+}
+
+void CheckSelfContainedHeader(const std::vector<SourceFile>& files,
+                              const ProjectConfig& config,
+                              std::vector<Diagnostic>* out) {
+  for (const SourceFile& file : files) {
+    if (config.IsExempt(file.path) || !config.InLayerRoot(file.path) ||
+        !file.is_header()) {
+      continue;
+    }
+    // The header's own angled includes.
+    std::set<std::string> included;
+    for (const Token& t : file.tokens) {
+      if (t.kind != TokKind::kDirective) continue;
+      IncludeSpec inc = ParseInclude(t.text);
+      if (inc.valid && inc.angled) included.insert(std::string(inc.path));
+    }
+
+    SigTokens toks(file);
+    std::set<std::string> reported;  // one finding per missing provider
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!toks.Is(i, "std") || !toks.Is(i + 1, "::") || !toks.IsIdent(i + 2)) {
+        continue;
+      }
+      std::string_view symbol = toks[i + 2].text;
+      for (const StdSymbol& entry : StdSymbolTable()) {
+        if (entry.symbol != symbol) continue;
+        bool satisfied = false;
+        for (std::string_view provider : entry.providers) {
+          if (included.count(std::string(provider)) > 0) {
+            satisfied = true;
+            break;
+          }
+        }
+        if (!satisfied) {
+          std::string provider(entry.providers.front());
+          if (reported.insert(provider).second) {
+            Diagnostic d;
+            d.rule = "self-contained-header";
+            d.path = file.path;
+            d.line = toks[i].line;
+            d.col = toks[i].col;
+            d.message = "uses std::" + std::string(symbol) +
+                        " but does not include <" + provider + ">";
+            d.excerpt = std::string(LineText(file, toks[i].line));
+            out->push_back(std::move(d));
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace calculon::staticlint

@@ -1,0 +1,64 @@
+// Layering rules: the include-edge DAG check and the include-cycle check.
+#include "staticlint/include_graph.h"
+#include "staticlint/match.h"
+#include "staticlint/rules.h"
+
+namespace calculon::staticlint {
+
+void CheckLayering(const std::vector<SourceFile>& files,
+                   const ProjectConfig& config,
+                   std::vector<Diagnostic>* out) {
+  IncludeGraph graph = IncludeGraph::Build(files, config.include_root);
+
+  // Index files for excerpt extraction.
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) by_path[f.path] = &f;
+
+  for (const IncludeEdge& e : graph.edges()) {
+    if (config.IsExempt(e.from)) continue;
+    std::string from_layer = graph.LayerOf(e.from);
+    std::string to_layer = graph.LayerOf(e.to);
+    if (from_layer.empty() || to_layer.empty()) continue;
+    if (from_layer == to_layer) continue;
+
+    auto deps = config.layer_deps.find(from_layer);
+    bool allowed = deps != config.layer_deps.end() &&
+                   deps->second.count(to_layer) > 0;
+    if (allowed) continue;
+
+    Diagnostic d;
+    d.rule = "layering";
+    d.path = e.from;
+    d.line = e.line;
+    d.message = "layer '" + from_layer + "' may not include layer '" +
+                to_layer + "' (" + e.to + ")";
+    auto f = by_path.find(e.from);
+    if (f != by_path.end()) {
+      d.excerpt = std::string(LineText(*f->second, e.line));
+    }
+    out->push_back(std::move(d));
+  }
+}
+
+void CheckIncludeCycles(const std::vector<SourceFile>& files,
+                        const ProjectConfig& config,
+                        std::vector<Diagnostic>* out) {
+  IncludeGraph graph = IncludeGraph::Build(files, config.include_root);
+  for (const std::vector<std::string>& cycle : graph.FindCycles()) {
+    Diagnostic d;
+    d.rule = "include-cycle";
+    d.path = cycle.front();
+    d.line = 0;
+    std::string chain;
+    for (const std::string& node : cycle) {
+      if (!chain.empty()) chain += " -> ";
+      chain += node;
+    }
+    d.message = "include cycle: " + chain;
+    // Stable fingerprint content for the baseline: the chain itself.
+    d.excerpt = chain;
+    out->push_back(std::move(d));
+  }
+}
+
+}  // namespace calculon::staticlint

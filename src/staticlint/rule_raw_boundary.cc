@@ -1,0 +1,110 @@
+// Quantity::raw() boundary rule: the typed->untyped escape hatch is legal
+// only in serialization/report files (ProjectConfig::raw_boundary_prefixes)
+// or on statements annotated `// unit-ok: why`.
+#include <cctype>
+#include <string>
+
+#include "staticlint/match.h"
+#include "staticlint/rules.h"
+
+namespace calculon::staticlint {
+
+void CheckRawBoundary(const std::vector<SourceFile>& files,
+                      const ProjectConfig& config,
+                      std::vector<Diagnostic>* out) {
+  for (const SourceFile& file : files) {
+    if (config.IsExempt(file.path) || config.IsRawBoundary(file.path)) {
+      continue;
+    }
+    SigTokens toks(file);
+    std::map<int, std::set<std::string>> markers = SuppressionsByLine(file);
+    auto has_unit_ok = [&markers](int line) {
+      auto it = markers.find(line);
+      return it != markers.end() && it->second.count("unit-ok") > 0;
+    };
+
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      bool member = toks.Is(i, ".") || toks.Is(i, "->");
+      if (!member || !toks.Is(i + 1, "raw") || !toks.Is(i + 2, "(")) continue;
+
+      int line = toks[i + 1].line;
+      // A marker on any line of the statement covers it, so multi-line
+      // statements (CALC_DCHECK continuations and the like) and standalone
+      // `// unit-ok:` comment lines within them all work.
+      std::size_t stmt_start = i;
+      while (stmt_start > 0) {
+        std::string_view t = toks[stmt_start - 1].text;
+        if (t == ";" || t == "{" || t == "}") break;
+        --stmt_start;
+      }
+      bool suppressed = false;
+      for (int l = toks[stmt_start].line; l <= line && !suppressed; ++l) {
+        suppressed = has_unit_ok(l);
+      }
+      if (suppressed) continue;
+
+      Diagnostic d;
+      d.rule = "raw-boundary";
+      d.path = file.path;
+      d.line = line;
+      d.col = toks[i + 1].col;
+      d.message =
+          ".raw() outside a serialization/report boundary; keep the value "
+          "typed or annotate the statement with // unit-ok: why";
+      d.excerpt = std::string(LineText(file, line));
+      out->push_back(std::move(d));
+    }
+  }
+}
+
+void CheckRawDouble(const std::vector<SourceFile>& files,
+                    const ProjectConfig& config,
+                    std::vector<Diagnostic>* out) {
+  auto in_dimensional_header = [&config](const std::string& path) {
+    for (const std::string& prefix : config.dimensional_header_prefixes) {
+      if (path.compare(0, prefix.size(), prefix) == 0) return true;
+    }
+    return false;
+  };
+  auto quantity_like = [&config](std::string_view name) {
+    std::string lower(name);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    for (const std::string& fragment : config.quantity_name_fragments) {
+      if (lower.find(fragment) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  for (const SourceFile& file : files) {
+    if (config.IsExempt(file.path) || !file.is_header() ||
+        !in_dimensional_header(file.path)) {
+      continue;
+    }
+    SigTokens toks(file);
+    std::map<int, std::set<std::string>> markers = SuppressionsByLine(file);
+    auto has_unit_ok = [&markers](int line) {
+      auto it = markers.find(line);
+      return it != markers.end() && it->second.count("unit-ok") > 0;
+    };
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!toks.Is(i, "double") || !toks.IsIdent(i + 1)) continue;
+      if (!quantity_like(toks[i + 1].text)) continue;
+      if (has_unit_ok(toks[i].line) || has_unit_ok(toks[i + 1].line)) {
+        continue;
+      }
+      Diagnostic d;
+      d.rule = "raw-double";
+      d.path = file.path;
+      d.line = toks[i + 1].line;
+      d.col = toks[i + 1].col;
+      d.message = "raw double '" + std::string(toks[i + 1].text) +
+                  "' looks like a physical quantity; use a type from "
+                  "src/util/quantity.h or annotate with // unit-ok: why";
+      d.excerpt = std::string(LineText(file, d.line));
+      out->push_back(std::move(d));
+    }
+  }
+}
+
+}  // namespace calculon::staticlint

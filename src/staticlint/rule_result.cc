@@ -1,0 +1,289 @@
+// Result<T> discipline: every Result- or Quantity-returning declaration
+// carries [[nodiscard]], and no call statement silently drops a Result.
+//
+// The matcher is token-level and deliberately conservative: a pattern only
+// fires when the token shape is unambiguous, so it never needs a type
+// checker and never flags template metaprogramming it cannot understand.
+#include <string>
+
+#include "staticlint/match.h"
+#include "staticlint/rules.h"
+
+namespace calculon::staticlint {
+
+namespace {
+
+// One matched "T name(..." declaration candidate.
+struct FnDecl {
+  const SourceFile* file = nullptr;
+  std::string name;       // last identifier before '('
+  std::string type;       // "Result" or the quantity type name
+  bool qualified = false; // name was A::B (out-of-line definition)
+  bool nodiscard = false;
+  bool is_definition = false;  // token chain after ')' reaches '{'
+  int line = 0;
+  int col = 0;
+};
+
+// Tokens that end the backwards scan for [[nodiscard]]: statement / member
+// boundaries. ':' covers access specifiers and labels ("::" is one token,
+// so it never splits into two ':').
+[[nodiscard]] bool IsDeclBoundary(std::string_view t) {
+  return t == ";" || t == "{" || t == "}" || t == ":";
+}
+
+// Scans backwards from the return-type token for a [[...nodiscard...]]
+// attribute belonging to this declaration.
+[[nodiscard]] bool HasNodiscardBefore(const SigTokens& toks,
+                                      std::size_t type_idx) {
+  constexpr std::size_t kMaxLookback = 16;
+  std::size_t steps = 0;
+  for (std::size_t i = type_idx; i > 0 && steps < kMaxLookback; ++steps) {
+    --i;
+    std::string_view t = toks[i].text;
+    if (IsDeclBoundary(t)) return false;
+    if (t == "nodiscard") return true;
+  }
+  return false;
+}
+
+// When toks[i] is the return type of a function-shaped declaration,
+// completes the match and appends it. Returns the index to continue
+// scanning from.
+void MatchDecl(const SourceFile& file, const SigTokens& toks, std::size_t i,
+               std::size_t after_type, std::string_view type_name,
+               std::vector<FnDecl>* out) {
+  std::size_t j = after_type;
+
+  // Optional qualification + name. `operator` declarations take their
+  // symbol tokens up to '('.
+  if (!toks.IsIdent(j)) return;
+  std::size_t name_idx = j;
+  while (toks.Is(j + 1, "::") && toks.IsIdent(j + 2)) j += 2;
+  bool qualified = j != name_idx;
+  std::string name = std::string(toks[j].text);
+  if (name == "operator") {
+    while (j + 1 < toks.size() && !toks.Is(j + 1, "(")) {
+      name += std::string(toks[j + 1].text);
+      ++j;
+    }
+  }
+  if (!toks.Is(j + 1, "(")) return;
+
+  // Rule out parameter declarations ("void f(Result<T> r)") and template
+  // heads ("template <class Result>"): the token before the type must not
+  // be a list context.
+  if (i > 0) {
+    std::string_view prev = toks[i - 1].text;
+    if (prev == "(" || prev == "," || prev == "<" || prev == "class" ||
+        prev == "struct" || prev == "typename" || prev == "return" ||
+        prev == "new" || prev == "." || prev == "->" || prev == "::") {
+      return;
+    }
+  }
+
+  std::size_t close = FindMatching(toks, j + 1);
+  if (close == kNpos) return;
+
+  // Definition detection: skip const/noexcept/override/trailing tokens
+  // until '{', ';' or something else.
+  bool is_definition = false;
+  std::size_t k = close + 1;
+  while (k < toks.size()) {
+    std::string_view t = toks[k].text;
+    if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+        t == "&" || t == "&&") {
+      ++k;
+      continue;
+    }
+    is_definition = t == "{";
+    break;
+  }
+
+  FnDecl d;
+  d.file = &file;
+  d.name = std::move(name);
+  d.type = std::string(type_name);
+  d.qualified = qualified;
+  d.nodiscard = HasNodiscardBefore(toks, i);
+  d.is_definition = is_definition;
+  d.line = toks[name_idx].line;
+  d.col = toks[name_idx].col;
+  out->push_back(std::move(d));
+}
+
+[[nodiscard]] std::vector<FnDecl> CollectDecls(
+    const std::vector<SourceFile>& files, const ProjectConfig& config) {
+  std::vector<FnDecl> decls;
+  for (const SourceFile& file : files) {
+    if (config.IsExempt(file.path)) continue;
+    SigTokens toks(file);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks.IsIdent(i)) continue;
+      std::string_view t = toks[i].text;
+      if (t == "Result" || t == "Quantity") {
+        // Templated form: Result<...> name( / Quantity<...> name(.
+        if (!toks.Is(i + 1, "<")) {
+          // Bare Quantity (inside the class template itself).
+          if (t == "Quantity") {
+            MatchDecl(file, toks, i, i + 1, "Quantity", &decls);
+          }
+          continue;
+        }
+        std::size_t close = FindMatching(toks, i + 1);
+        if (close == kNpos) continue;
+        MatchDecl(file, toks, i, close + 1,
+                  t == "Result" ? "Result" : "Quantity", &decls);
+      } else if (config.quantity_types.count(std::string(t)) > 0) {
+        MatchDecl(file, toks, i, i + 1, t, &decls);
+      }
+    }
+  }
+  return decls;
+}
+
+[[nodiscard]] Diagnostic MakeDiag(const FnDecl& d, const char* rule,
+                                  std::string message) {
+  Diagnostic diag;
+  diag.rule = rule;
+  diag.path = d.file->path;
+  diag.line = d.line;
+  diag.col = d.col;
+  diag.message = std::move(message);
+  diag.excerpt = std::string(LineText(*d.file, d.line));
+  return diag;
+}
+
+}  // namespace
+
+namespace {
+
+// The call-site rules key off function *names*, so a name declared both as
+// Result-returning and with some other return type (Application::Validate
+// returns void, Execution::Validate returns Result<>) would false-positive.
+// Subtract every name that also appears in a non-Result declaration.
+void SubtractAmbiguousNames(const std::vector<SourceFile>& files,
+                            const ProjectConfig& config,
+                            std::set<std::string>* result_returning) {
+  for (const SourceFile& file : files) {
+    if (config.IsExempt(file.path) || result_returning->empty()) continue;
+    SigTokens toks(file);
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!toks.IsIdent(i) || !toks.IsIdent(i + 1)) continue;
+      std::string_view type = toks[i].text;
+      if (type == "Result" || type == "return" || type == "const" ||
+          type == "else" || type == "new" || type == "delete" ||
+          type == "case" || type == "goto" || type == "throw" ||
+          type == "operator" || type == "auto" ||
+          config.quantity_types.count(std::string(type)) > 0) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (toks.Is(j + 1, "::") && toks.IsIdent(j + 2)) j += 2;
+      if (!toks.Is(j + 1, "(")) continue;
+      if (i > 0) {
+        std::string_view prev = toks[i - 1].text;
+        if (prev == "(" || prev == "," || prev == "<" || prev == "class" ||
+            prev == "struct" || prev == "typename" || prev == "return" ||
+            prev == "." || prev == "->") {
+          continue;
+        }
+      }
+      result_returning->erase(std::string(toks[j].text));
+    }
+  }
+}
+
+}  // namespace
+
+DeclIndex BuildDeclIndex(const std::vector<SourceFile>& files,
+                         const ProjectConfig& config) {
+  DeclIndex index;
+  for (const FnDecl& d : CollectDecls(files, config)) {
+    if (d.type == "Result") {
+      index.result_returning.insert(d.name);
+    } else {
+      index.quantity_returning.insert(d.name);
+    }
+  }
+  SubtractAmbiguousNames(files, config, &index.result_returning);
+  return index;
+}
+
+void CheckMissingNodiscard(const std::vector<SourceFile>& files,
+                           const ProjectConfig& config,
+                           std::vector<Diagnostic>* out) {
+  std::vector<FnDecl> decls = CollectDecls(files, config);
+
+  // Names declared in headers: a .cc definition of one of these carries its
+  // attribute on the header declaration, so only header sites are flagged.
+  std::set<std::string> header_declared;
+  for (const FnDecl& d : decls) {
+    if (d.file->is_header()) header_declared.insert(d.name);
+  }
+
+  for (const FnDecl& d : decls) {
+    if (d.nodiscard || d.qualified) continue;
+    if (!config.InLayerRoot(d.file->path)) continue;
+    bool header = d.file->is_header();
+    if (!header) {
+      // In a .cc only flag definitions of file-local functions; anything
+      // with a header declaration is covered (or flagged) there.
+      if (!d.is_definition || header_declared.count(d.name) > 0) continue;
+    }
+    out->push_back(MakeDiag(
+        d, "missing-nodiscard",
+        d.type == "Result"
+            ? "'" + d.name + "' returns Result<T> but is not [[nodiscard]]"
+            : "'" + d.name + "' returns a dimensional quantity (" + d.type +
+                  ") but is not [[nodiscard]]"));
+  }
+}
+
+void CheckDiscardedResult(const std::vector<SourceFile>& files,
+                          const ProjectConfig& config,
+                          std::vector<Diagnostic>* out) {
+  DeclIndex index = BuildDeclIndex(files, config);
+  if (index.result_returning.empty()) return;
+
+  for (const SourceFile& file : files) {
+    if (config.IsExempt(file.path)) continue;
+    SigTokens toks(file);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      // Statement starts: after ; { } or else, or at the very beginning.
+      bool at_start = i == 0;
+      if (!at_start) {
+        std::string_view prev = toks[i - 1].text;
+        if (prev != ";" && prev != "{" && prev != "}" && prev != "else") {
+          continue;
+        }
+      }
+      if (!toks.IsIdent(i)) continue;
+
+      // Call chain: name, A::B::name, obj.name, ptr->name.
+      std::size_t j = i;
+      while (toks.Is(j + 1, "::") && toks.IsIdent(j + 2)) j += 2;
+      while ((toks.Is(j + 1, ".") || toks.Is(j + 1, "->")) &&
+             toks.IsIdent(j + 2)) {
+        j += 2;
+      }
+      if (!toks.Is(j + 1, "(")) continue;
+      std::string name(toks[j].text);
+      if (index.result_returning.count(name) == 0) continue;
+
+      std::size_t close = FindMatching(toks, j + 1);
+      if (close == kNpos || !toks.Is(close + 1, ";")) continue;
+
+      Diagnostic d;
+      d.rule = "discarded-result";
+      d.path = file.path;
+      d.line = toks[j].line;
+      d.col = toks[j].col;
+      d.message = "result of '" + name + "' (returns Result<T>) is discarded";
+      d.excerpt = std::string(LineText(file, toks[i].line));
+      out->push_back(std::move(d));
+    }
+  }
+}
+
+}  // namespace calculon::staticlint

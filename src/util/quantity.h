@@ -109,7 +109,7 @@ namespace quantity_detail {
 // system without an explicit escape hatch.
 template <int B, int S, int F>
 struct ResultOf {
-  static constexpr Quantity<B, S, F> Make(double v) {
+  [[nodiscard]] static constexpr Quantity<B, S, F> Make(double v) {
     return Quantity<B, S, F>(v);
   }
 };

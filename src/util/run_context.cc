@@ -30,30 +30,6 @@ const char* ToString(StopReason reason) {
   return "?";
 }
 
-json::Value FailureRecord::ToJson() const {
-  json::Value v;
-  v["item"] = static_cast<std::int64_t>(item);
-  v["fingerprint"] = fingerprint;
-  v["reason"] = reason;
-  v["worker"] = static_cast<std::int64_t>(worker);
-  return v;
-}
-
-json::Value RunStatus::ToJson() const {
-  json::Value v;
-  v["complete"] = complete;
-  v["stop_reason"] = std::string(ToString(stop_reason));
-  v["items_completed"] = static_cast<std::int64_t>(items_completed);
-  v["failures"] = static_cast<std::int64_t>(failures);
-  json::Array samples;
-  samples.reserve(failure_samples.size());
-  for (const FailureRecord& record : failure_samples) {
-    samples.push_back(record.ToJson());
-  }
-  v["failure_samples"] = json::Value(std::move(samples));
-  return v;
-}
-
 std::string RunStatus::Summary() const {
   if (!degraded()) {
     return StrFormat("complete: %llu items, no failures",

@@ -16,12 +16,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
-
-#include "json/json.h"
 
 namespace calculon {
 
@@ -38,13 +37,13 @@ enum class StopReason {
 // One isolated per-item hard failure: an exception thrown by an evaluation
 // or a Result hard-error (kBadConfig), captured instead of killing the
 // sweep.
+// JSON serialization lives in the runner layer (runner/run_status_json.h)
+// so util stays at the bottom of the dependency DAG.
 struct FailureRecord {
   std::uint64_t item = 0;    // flat item index within the sweep
   std::string fingerprint;   // configuration coordinates, when known
   std::string reason;        // exception what() / Result detail
   unsigned worker = 0;       // claiming pool participant (0 = caller)
-
-  [[nodiscard]] json::Value ToJson() const;
 };
 
 // The failure-summary section attached to sweep results. `complete` means
@@ -58,7 +57,6 @@ struct RunStatus {
   std::vector<FailureRecord> failure_samples;  // first N, capped
 
   [[nodiscard]] bool degraded() const { return !complete || failures > 0; }
-  [[nodiscard]] json::Value ToJson() const;
   // One-line human summary, e.g. "degraded: 12 failures, stopped (deadline)".
   [[nodiscard]] std::string Summary() const;
 };

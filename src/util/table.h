@@ -1,6 +1,7 @@
 // ASCII table and CSV emitters for the benchmark harness reports.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>

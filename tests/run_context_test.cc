@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "runner/run_status_json.h"
 #include "util/run_context.h"
 
 namespace calculon {
@@ -78,7 +79,7 @@ TEST(RunContext, SnapshotSerializesToJson) {
   ctx.RecordCompleted(7);
   ctx.RecordFailure(3, "t=1 p=2 d=4", "injected fault", 2);
   ctx.Cancel(StopReason::kFailureBudget);
-  const json::Value v = ctx.Snapshot().ToJson();
+  const json::Value v = ToJson(ctx.Snapshot());
   EXPECT_FALSE(v.at("complete").AsBool());
   EXPECT_EQ(v.at("stop_reason").AsString(), "failure-budget");
   EXPECT_EQ(v.at("items_completed").AsInt(), 7);

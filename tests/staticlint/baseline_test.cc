@@ -1,0 +1,94 @@
+// Baseline tests: parsing, fingerprint matching, fresh/suppressed/stale
+// splitting, and the --update-baseline rendering round-trip.
+#include "staticlint/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "staticlint/diagnostics.h"
+#include "util/error.h"
+
+namespace calculon::staticlint {
+namespace {
+
+Diagnostic MakeDiag(const std::string& rule, const std::string& path,
+                    int line, const std::string& excerpt) {
+  Diagnostic d;
+  d.rule = rule;
+  d.path = path;
+  d.line = line;
+  d.message = "message for " + rule;
+  d.excerpt = excerpt;
+  return d;
+}
+
+TEST(BaselineTest, ParsesEntriesAndIgnoresCommentsAndBlanks) {
+  std::string text =
+      "# header comment\n"
+      "\n"
+      "naked-new src/a/x.cc 0123456789abcdef  # arena allocator\n";
+  Baseline b = ParseBaseline(text);
+  ASSERT_EQ(b.entries.size(), 1u);
+  EXPECT_EQ(b.entries[0].rule, "naked-new");
+  EXPECT_EQ(b.entries[0].path, "src/a/x.cc");
+  EXPECT_EQ(b.entries[0].fingerprint, "0123456789abcdef");
+  EXPECT_EQ(b.entries[0].justification, "arena allocator");
+  EXPECT_EQ(b.entries[0].line, 3);
+}
+
+TEST(BaselineTest, RejectsMalformedLines) {
+  EXPECT_THROW((void)ParseBaseline("naked-new src/a/x.cc\n"), ConfigError);
+  EXPECT_THROW((void)ParseBaseline("naked-new src/a/x.cc nothex16zz\n"),
+               ConfigError);
+}
+
+TEST(BaselineTest, FingerprintIgnoresLineNumbers) {
+  Diagnostic a = MakeDiag("raw-boundary", "src/a/x.cc", 10, "b.raw();");
+  Diagnostic b = MakeDiag("raw-boundary", "src/a/x.cc", 99, "b.raw();");
+  EXPECT_EQ(FingerprintHex(a), FingerprintHex(b));
+  // ... but distinguishes rule, path and content.
+  Diagnostic c = MakeDiag("raw-boundary", "src/a/y.cc", 10, "b.raw();");
+  Diagnostic d = MakeDiag("raw-boundary", "src/a/x.cc", 10, "c.raw();");
+  EXPECT_NE(FingerprintHex(a), FingerprintHex(c));
+  EXPECT_NE(FingerprintHex(a), FingerprintHex(d));
+  EXPECT_EQ(FingerprintHex(a).size(), 16u);
+}
+
+TEST(BaselineTest, ApplySplitsFreshSuppressedStale) {
+  Diagnostic grandfathered =
+      MakeDiag("naked-new", "src/a/x.cc", 5, "new int(1);");
+  Diagnostic fresh = MakeDiag("std-cout", "src/a/y.cc", 7, "std::cout");
+
+  std::string text =
+      "naked-new src/a/x.cc " + FingerprintHex(grandfathered) +
+      "  # legacy arena\n"
+      "std-cout src/a/gone.cc 0000000000000000  # file was deleted\n";
+  Baseline baseline = ParseBaseline(text);
+
+  BaselineApplication app =
+      ApplyBaseline(baseline, {grandfathered, fresh});
+  ASSERT_EQ(app.fresh.size(), 1u);
+  EXPECT_EQ(app.fresh[0].rule, "std-cout");
+  ASSERT_EQ(app.suppressed.size(), 1u);
+  EXPECT_EQ(app.suppressed[0].rule, "naked-new");
+  ASSERT_EQ(app.stale.size(), 1u);
+  EXPECT_EQ(app.stale[0].path, "src/a/gone.cc");
+}
+
+TEST(BaselineTest, RenderRoundTrips) {
+  Diagnostic d = MakeDiag("raw-boundary", "src/a/x.cc", 3, "b.raw();");
+  std::string rendered = RenderBaseline({d});
+  Baseline parsed = ParseBaseline(rendered);
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  EXPECT_TRUE(parsed.Matches(d));
+}
+
+TEST(BaselineTest, MissingFileIsEmpty) {
+  Baseline b = LoadBaseline("/nonexistent/path/.calculon-lint-baseline");
+  EXPECT_TRUE(b.entries.empty());
+}
+
+}  // namespace
+}  // namespace calculon::staticlint

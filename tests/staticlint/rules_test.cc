@@ -1,0 +1,400 @@
+// Rule tests: each rule gets positive fixtures (a seeded violation it must
+// flag) and negative fixtures (idiomatic code it must not flag), driven
+// through in-memory SourceFiles and a reduced ProjectConfig.
+#include "staticlint/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "staticlint/lexer.h"
+
+namespace calculon::staticlint {
+namespace {
+
+ProjectConfig TestConfig() {
+  ProjectConfig config;
+  config.include_root = "src";
+  config.layer_deps = {{"a", {}}, {"b", {"a"}}};
+  config.raw_boundary_prefixes = {"src/a/json_io."};
+  return config;
+}
+
+std::vector<Diagnostic> RunRule(RuleFn fn,
+                            const std::vector<SourceFile>& files,
+                            const ProjectConfig& config) {
+  std::vector<Diagnostic> out;
+  fn(files, config, &out);
+  return out;
+}
+
+std::vector<SourceFile> One(const std::string& path,
+                            const std::string& text) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile(path, text));
+  return files;
+}
+
+// ---------------------------------------------------------------- nodiscard
+
+TEST(MissingNodiscardTest, FlagsResultReturningHeaderDecl) {
+  auto files = One("src/a/api.h",
+                   "#pragma once\n"
+                   "Result<int> Load(const std::string& path);\n");
+  auto out = RunRule(CheckMissingNodiscard, files, TestConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "missing-nodiscard");
+  EXPECT_EQ(out[0].line, 2);
+}
+
+TEST(MissingNodiscardTest, AcceptsAnnotatedDecl) {
+  auto files = One("src/a/api.h",
+                   "#pragma once\n"
+                   "[[nodiscard]] Result<int> Load(const std::string& p);\n");
+  EXPECT_TRUE(RunRule(CheckMissingNodiscard, files, TestConfig()).empty());
+}
+
+TEST(MissingNodiscardTest, FlagsQuantityReturningDecl) {
+  auto files = One("src/a/api.h",
+                   "#pragma once\n"
+                   "Seconds TransferTime(Bytes bytes);\n");
+  auto out = RunRule(CheckMissingNodiscard, files, TestConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "missing-nodiscard");
+}
+
+TEST(MissingNodiscardTest, IgnoresParametersAndReturns) {
+  // `Bytes b` as a parameter and `return Bytes(0.0)` are not declarations.
+  auto files = One("src/a/impl.h",
+                   "#pragma once\n"
+                   "[[nodiscard]] Seconds F(Bytes input);\n"
+                   "inline double G() { return 1.0; }\n");
+  EXPECT_TRUE(RunRule(CheckMissingNodiscard, files, TestConfig()).empty());
+}
+
+// ---------------------------------------------------------- discarded result
+
+TEST(DiscardedResultTest, FlagsIgnoredResultCall) {
+  auto files = One("src/a/use.cc",
+                   "#include \"a/api.h\"\n"
+                   "Result<int> Load(const std::string& path);\n"
+                   "void f() {\n"
+                   "  Load(\"x\");\n"
+                   "}\n");
+  auto out = RunRule(CheckDiscardedResult, files, TestConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "discarded-result");
+  EXPECT_EQ(out[0].line, 4);
+}
+
+TEST(DiscardedResultTest, AcceptsConsumedResult) {
+  auto files = One("src/a/use.cc",
+                   "Result<int> Load(const std::string& path);\n"
+                   "void f() {\n"
+                   "  auto r = Load(\"x\");\n"
+                   "  if (!Load(\"y\").ok()) return;\n"
+                   "}\n");
+  EXPECT_TRUE(RunRule(CheckDiscardedResult, files, TestConfig()).empty());
+}
+
+TEST(DiscardedResultTest, MemberCallThroughObjectIsFlagged) {
+  auto files = One("src/a/use.cc",
+                   "Result<int> Validate();\n"
+                   "void f(Thing& t) {\n"
+                   "  t.Validate();\n"
+                   "}\n");
+  auto out = RunRule(CheckDiscardedResult, files, TestConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 3);
+}
+
+TEST(DiscardedResultTest, AmbiguousNameIsNotFlagged) {
+  // A second declaration of the same name with a non-Result return type
+  // makes the name ambiguous; the rule must stay quiet rather than guess.
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/one.h",
+                                 "#pragma once\n"
+                                 "[[nodiscard]] Result<int> Validate();\n"));
+  files.push_back(MakeSourceFile("src/a/two.h",
+                                 "#pragma once\n"
+                                 "void Validate();\n"));
+  files.push_back(MakeSourceFile("src/a/use.cc",
+                                 "void f(App& app) {\n"
+                                 "  app.Validate();\n"
+                                 "}\n"));
+  EXPECT_TRUE(RunRule(CheckDiscardedResult, files, TestConfig()).empty());
+}
+
+// -------------------------------------------------------------- raw boundary
+
+TEST(RawBoundaryTest, FlagsRawOutsideBoundary) {
+  auto files = One("src/a/model.cc",
+                   "double f(Bytes b) {\n"
+                   "  return b.raw();\n"
+                   "}\n");
+  auto out = RunRule(CheckRawBoundary, files, TestConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "raw-boundary");
+  EXPECT_EQ(out[0].line, 2);
+}
+
+TEST(RawBoundaryTest, AllowsBoundaryFile) {
+  auto files = One("src/a/json_io.cc",
+                   "double f(Bytes b) { return b.raw(); }\n");
+  EXPECT_TRUE(RunRule(CheckRawBoundary, files, TestConfig()).empty());
+}
+
+TEST(RawBoundaryTest, HonorsUnitOkOnRawLine) {
+  auto files = One("src/a/model.cc",
+                   "double f(Bytes b) {\n"
+                   "  return b.raw();  // unit-ok: report boundary\n"
+                   "}\n");
+  EXPECT_TRUE(RunRule(CheckRawBoundary, files, TestConfig()).empty());
+}
+
+TEST(RawBoundaryTest, HonorsUnitOkAnywhereInStatement) {
+  // Multi-line statement: the marker sits on the first line, the .raw()
+  // call on a continuation line.
+  auto files = One("src/a/model.cc",
+                   "void f(Bytes b) {\n"
+                   "  CALC_DCHECK(ok,  // unit-ok: diagnostic message\n"
+                   "              \"b = %g\",\n"
+                   "              b.raw());\n"
+                   "}\n");
+  EXPECT_TRUE(RunRule(CheckRawBoundary, files, TestConfig()).empty());
+}
+
+TEST(RawDoubleTest, FlagsQuantityNamedDoubleInModelHeader) {
+  ProjectConfig config = TestConfig();
+  config.dimensional_header_prefixes = {"src/a/"};
+  config.quantity_name_fragments = {"bytes", "latency"};
+  auto files = One("src/a/model.h",
+                   "#pragma once\n"
+                   "struct Link { double latency_s; };\n");
+  auto out = RunRule(CheckRawDouble, files, config);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "raw-double");
+  EXPECT_EQ(out[0].line, 2);
+}
+
+TEST(RawDoubleTest, IgnoresNonQuantityNamesAndNonHeaders) {
+  ProjectConfig config = TestConfig();
+  config.dimensional_header_prefixes = {"src/a/"};
+  config.quantity_name_fragments = {"bytes"};
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/model.h",
+                                 "#pragma once\n"
+                                 "double efficiency;\n"));
+  files.push_back(MakeSourceFile("src/a/model.cc",
+                                 "double bytes_used = 0.0;\n"));
+  files.push_back(MakeSourceFile("src/b/other.h",
+                                 "#pragma once\n"
+                                 "double bytes_used;\n"));
+  EXPECT_TRUE(RunRule(CheckRawDouble, files, config).empty());
+}
+
+TEST(RawDoubleTest, HonorsUnitOkMarker) {
+  ProjectConfig config = TestConfig();
+  config.dimensional_header_prefixes = {"src/a/"};
+  config.quantity_name_fragments = {"bytes"};
+  auto files = One("src/a/model.h",
+                   "#pragma once\n"
+                   "double bytes_log10;  // unit-ok: log-space scalar\n");
+  EXPECT_TRUE(RunRule(CheckRawDouble, files, config).empty());
+}
+
+TEST(RawBoundaryTest, MarkerInStringDoesNotSuppress) {
+  auto files = One("src/a/model.cc",
+                   "double f(Bytes b) {\n"
+                   "  const char* s = \"unit-ok\"; return b.raw();\n"
+                   "}\n");
+  auto out = RunRule(CheckRawBoundary, files, TestConfig());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+// ----------------------------------------------------------- banned patterns
+
+TEST(QuantityVarargsTest, FlagsQuantityThroughPrintf) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/api.h",
+                                 "#pragma once\n"
+                                 "[[nodiscard]] Seconds Elapsed();\n"));
+  files.push_back(MakeSourceFile("src/a/use.cc",
+                                 "void f() {\n"
+                                 "  printf(\"t = %g\", Elapsed());\n"
+                                 "}\n"));
+  auto out = RunRule(CheckQuantityVarargs, files, TestConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "quantity-varargs");
+  EXPECT_EQ(out[0].path, "src/a/use.cc");
+}
+
+TEST(QuantityVarargsTest, RawCallIsFine) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/api.h",
+                                 "#pragma once\n"
+                                 "[[nodiscard]] Seconds Elapsed();\n"));
+  files.push_back(MakeSourceFile("src/a/use.cc",
+                                 "void f() {\n"
+                                 "  printf(\"t = %g\", Elapsed().raw());\n"
+                                 "}\n"));
+  EXPECT_TRUE(RunRule(CheckQuantityVarargs, files, TestConfig()).empty());
+}
+
+TEST(QuantityVarargsTest, FormatArgumentsAreNotVarargs) {
+  // The quantity call inside the *format* argument list position (before
+  // the last string literal) is not passed through varargs.
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/api.h",
+                                 "#pragma once\n"
+                                 "[[nodiscard]] Seconds Elapsed();\n"));
+  files.push_back(MakeSourceFile(
+      "src/a/use.cc",
+      "void f() {\n"
+      "  CALC_DCHECK(Elapsed() > Seconds(0.0), \"must be positive\");\n"
+      "}\n"));
+  EXPECT_TRUE(RunRule(CheckQuantityVarargs, files, TestConfig()).empty());
+}
+
+TEST(NakedNewTest, FlagsNewInLibraryCode) {
+  auto files = One("src/a/alloc.cc",
+                   "void f() { auto* p = new int(3); }\n");
+  auto out = RunRule(CheckNakedNew, files, TestConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "naked-new");
+}
+
+TEST(NakedNewTest, MakeUniqueIsFine) {
+  auto files = One("src/a/alloc.cc",
+                   "void f() { auto p = std::make_unique<int>(3); }\n");
+  EXPECT_TRUE(RunRule(CheckNakedNew, files, TestConfig()).empty());
+}
+
+TEST(StdCoutTest, FlagsCoutInLibraryCode) {
+  auto files = One("src/a/report.cc",
+                   "#include <iostream>\n"
+                   "void f() { std::cout << \"hi\"; }\n");
+  auto out = RunRule(CheckStdCout, files, TestConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "std-cout");
+}
+
+TEST(StdCoutTest, AllowedInCliFiles) {
+  auto files = One("src/a/report_main.cc",
+                   "#include <iostream>\n"
+                   "int main() { std::cout << \"hi\"; }\n");
+  EXPECT_TRUE(RunRule(CheckStdCout, files, TestConfig()).empty());
+}
+
+TEST(StdCoutTest, AllowedOutsideSrc) {
+  auto files = One("examples/demo.cpp",
+                   "#include <iostream>\n"
+                   "int main() { std::cout << \"hi\"; }\n");
+  EXPECT_TRUE(RunRule(CheckStdCout, files, TestConfig()).empty());
+}
+
+// ------------------------------------------------------------ header hygiene
+
+TEST(PragmaOnceTest, FlagsUnguardedHeader) {
+  auto files = One("src/a/open.h", "int x;\n");
+  auto out = RunRule(CheckPragmaOnce, files, TestConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "pragma-once");
+}
+
+TEST(PragmaOnceTest, AcceptsPragmaOnceAndClassicGuard) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/modern.h",
+                                 "// comment first is fine\n"
+                                 "#pragma once\nint x;\n"));
+  files.push_back(MakeSourceFile("src/a/classic.h",
+                                 "#ifndef A_CLASSIC_H\n"
+                                 "#define A_CLASSIC_H\n"
+                                 "int y;\n"
+                                 "#endif\n"));
+  EXPECT_TRUE(RunRule(CheckPragmaOnce, files, TestConfig()).empty());
+}
+
+TEST(PragmaOnceTest, SourceFilesAreIgnored) {
+  auto files = One("src/a/impl.cc", "int x;\n");
+  EXPECT_TRUE(RunRule(CheckPragmaOnce, files, TestConfig()).empty());
+}
+
+TEST(SelfContainedHeaderTest, FlagsMissingProvider) {
+  auto files = One("src/a/uses_vector.h",
+                   "#pragma once\n"
+                   "std::vector<int> Items();\n");
+  auto out = RunRule(CheckSelfContainedHeader, files, TestConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "self-contained-header");
+  EXPECT_NE(out[0].message.find("vector"), std::string::npos);
+}
+
+TEST(SelfContainedHeaderTest, AcceptsAnyListedProvider) {
+  // size_t is satisfied by either <cstddef> or <cstdint>.
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/one.h",
+                                 "#pragma once\n#include <cstddef>\n"
+                                 "std::size_t N();\n"));
+  files.push_back(MakeSourceFile("src/a/two.h",
+                                 "#pragma once\n#include <cstdint>\n"
+                                 "std::size_t M();\n"));
+  EXPECT_TRUE(RunRule(CheckSelfContainedHeader, files, TestConfig()).empty());
+}
+
+// ------------------------------------------------------------ engine / RunLint
+
+TEST(RunLintTest, SortsFindingsAndAppliesRuleFilter) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/zzz.h", "int x;\n"));
+  files.push_back(MakeSourceFile("src/a/aaa.cc",
+                                 "void f() { auto* p = new int(1); }\n"));
+  LintResult all = RunLint(files, TestConfig());
+  ASSERT_EQ(all.findings.size(), 2u);
+  EXPECT_EQ(all.findings[0].path, "src/a/aaa.cc");  // sorted by path
+
+  LintOptions only_new;
+  only_new.rule_filter = {"naked-new"};
+  LintResult filtered = RunLint(files, TestConfig(), only_new);
+  ASSERT_EQ(filtered.findings.size(), 1u);
+  EXPECT_EQ(filtered.findings[0].rule, "naked-new");
+}
+
+TEST(RunLintTest, LintOkSuppressesOnSameLine) {
+  auto files = One("src/a/alloc.cc",
+                   "void f() {\n"
+                   "  auto* p = new int(1);  // lint-ok(naked-new): arena\n"
+                   "}\n");
+  LintResult r = RunLint(files, TestConfig());
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(RunLintTest, RegistryHasElevenRulesWithUniqueIds) {
+  const auto& rules = Registry();
+  EXPECT_EQ(rules.size(), 11u);
+  std::set<std::string> ids;
+  for (const Rule& r : rules) {
+    EXPECT_TRUE(ids.insert(r.info.id).second) << "duplicate " << r.info.id;
+    EXPECT_FALSE(r.info.summary.empty());
+    EXPECT_FALSE(r.info.help.empty());
+  }
+  EXPECT_EQ(RuleCatalog().size(), rules.size());
+}
+
+TEST(DeclIndexTest, CollectsResultAndQuantityReturningNames) {
+  auto files = One("src/a/api.h",
+                   "#pragma once\n"
+                   "[[nodiscard]] Result<int> Load(const std::string& p);\n"
+                   "[[nodiscard]] Seconds Elapsed();\n"
+                   "void Plain();\n");
+  DeclIndex index = BuildDeclIndex(files, TestConfig());
+  EXPECT_EQ(index.result_returning.count("Load"), 1u);
+  EXPECT_EQ(index.quantity_returning.count("Elapsed"), 1u);
+  EXPECT_EQ(index.result_returning.count("Plain"), 0u);
+  EXPECT_EQ(index.quantity_returning.count("Plain"), 0u);
+}
+
+}  // namespace
+}  // namespace calculon::staticlint
