@@ -27,6 +27,13 @@
 //   --checkpoint PATH    (study) journal completed rows to PATH
 //   --checkpoint-every N (study) journal every N rows (default 64)
 //   --resume             (study) continue from the --checkpoint journal
+//   --procs N            (llm-optimal-execution) size the system to N
+//                        processors before searching
+// plus the observability options (see docs/observability.md):
+//   --trace FILE         record a Chrome trace-event / Perfetto timeline
+//   --metrics FILE       export tool metrics (latency histograms,
+//                        rejection counters) as JSON
+//   --progress[=SECS]    periodic progress lines on stderr (default 2s)
 // Exit codes: 0 complete, 1 infeasible/error, 2 usage,
 //             3 degraded (stopped early or isolated failures).
 //
@@ -38,6 +45,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,6 +53,8 @@
 #include "core/perf_model.h"
 #include "hw/presets.h"
 #include "models/presets.h"
+#include "obs/cli_options.h"
+#include "obs/progress.h"
 #include "runner/run_status_json.h"
 #include "runner/study.h"
 #include "search/exec_search.h"
@@ -64,6 +74,8 @@ struct ResilienceArgs {
   std::string checkpoint_path;
   long long checkpoint_every = 64;
   bool resume = false;
+  long long procs = 0;  // llm-optimal-execution: system size override
+  obs::ObsCliOptions obs;
   std::vector<std::string> positional;
 };
 
@@ -91,6 +103,11 @@ ResilienceArgs ParseResilienceArgs(int argc, char** argv) {
       }
     } else if (arg == "--resume") {
       args.resume = true;
+    } else if (arg == "--procs") {
+      args.procs = std::stoll(next());
+      if (args.procs <= 0) throw ConfigError("--procs must be > 0");
+    } else if (args.obs.Consume(arg, next)) {
+      // observability flags: --trace / --metrics / --progress
     } else if (arg.rfind("--", 0) == 0) {
       throw ConfigError("unknown option " + arg);
     } else {
@@ -144,26 +161,33 @@ System LoadSystem(const std::string& arg) {
 }
 
 int RunLlm(int argc, char** argv) {
-  if (argc < 5) {
+  const ResilienceArgs args = ParseResilienceArgs(argc, argv);
+  if (args.positional.size() < 3) {
     std::fprintf(stderr,
                  "usage: calculon_cli llm <app> <system> <exec.json> "
-                 "[out.json]\n");
+                 "[out.json] [--trace FILE] [--metrics FILE]\n");
     return 2;
   }
-  const Application app = LoadApp(argv[2]);
-  const Execution exec = Execution::FromJson(json::ParseFile(argv[4]));
+  const Application app = LoadApp(args.positional[0]);
+  const Execution exec =
+      Execution::FromJson(json::ParseFile(args.positional[2]));
   // The execution strategy decides how many processors are used; size the
   // system description to it (as the original tool does).
-  const System sys = LoadSystem(argv[3]).WithNumProcs(exec.num_procs);
+  const System sys =
+      LoadSystem(args.positional[1]).WithNumProcs(exec.num_procs);
+  // A single evaluation always samples its model-phase breakdown, so
+  // `llm --trace` shows the phases of exactly this configuration.
+  args.obs.Activate();
   const Result<Stats> r = CalculatePerformance(app, exec, sys);
+  args.obs.Finish();
   if (!r.ok()) {
     std::fprintf(stderr, "infeasible: %s\n", r.detail().c_str());
     return 1;
   }
   std::printf("%s", r.value().Report().c_str());
-  if (argc > 5) {
-    json::WriteFile(argv[5], r.value().ToJson());
-    std::printf("stats written to %s\n", argv[5]);
+  if (args.positional.size() > 3) {
+    json::WriteFile(args.positional[3], r.value().ToJson());
+    std::printf("stats written to %s\n", args.positional[3].c_str());
   }
   return 0;
 }
@@ -173,21 +197,33 @@ int RunOptimalExecution(int argc, char** argv) {
   if (args.positional.size() < 3) {
     std::fprintf(stderr,
                  "usage: calculon_cli llm-optimal-execution <app> <system> "
-                 "<batch> [out.json] [--deadline S] [--failure-budget N] "
-                 "[--faults SPEC]\n");
+                 "<batch> [out.json] [--procs N] [--deadline S] "
+                 "[--failure-budget N] [--faults SPEC] [--trace FILE] "
+                 "[--metrics FILE] [--progress[=SECS]]\n");
     return 2;
   }
   const Application app = LoadApp(args.positional[0]);
-  const System sys = LoadSystem(args.positional[1]);
+  System sys = LoadSystem(args.positional[1]);
+  if (args.procs > 0) sys = sys.WithNumProcs(args.procs);
   RunContext ctx;
   ConfigureContext(args, &ctx);
+  args.obs.Activate();
   ThreadPool pool;
   SearchConfig config;
   config.batch_size = std::atoll(args.positional[2].c_str());
   config.top_k = 1;
   config.ctx = &ctx;
+  std::optional<obs::ProgressReporter> reporter;
+  if (args.obs.progress) {
+    obs::ProgressOptions popts;
+    popts.interval_s = args.obs.progress_interval_s;
+    popts.label = "exec_search";  // total (triples) is internal: rate-only
+    reporter.emplace(&ctx, popts);
+  }
   const SearchResult r = FindOptimalExecution(
       app, sys, SearchSpace::AllWithOffload(), config, pool);
+  if (reporter.has_value()) reporter->Stop();
+  args.obs.Finish();
   std::printf("searched %llu strategies, %llu feasible\n",
               static_cast<unsigned long long>(r.evaluated),
               static_cast<unsigned long long>(r.feasible));
@@ -239,12 +275,23 @@ int RunStudy(int argc, char** argv) {
   const Study study = Study::FromJson(json::ParseFile(args.positional[0]));
   RunContext ctx;
   ConfigureContext(args, &ctx);
+  args.obs.Activate();
   StudyRunOptions options;
   options.ctx = &ctx;
   options.checkpoint_path = args.checkpoint_path;
   options.checkpoint_every = static_cast<std::uint64_t>(args.checkpoint_every);
   options.resume = args.resume;
+  std::optional<obs::ProgressReporter> reporter;
+  if (args.obs.progress) {
+    obs::ProgressOptions popts;
+    popts.interval_s = args.obs.progress_interval_s;
+    popts.total = study.Enumerate().size();
+    popts.label = "study";
+    reporter.emplace(&ctx, popts);
+  }
   const StudyRun run = study.RunResilient(options);
+  if (reporter.has_value()) reporter->Stop();
+  args.obs.Finish();
   const std::string csv = run.Csv();
   if (args.positional.size() > 1) {
     std::ofstream out(args.positional[1]);

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Observability smoke test: run a small GPT-3 exec search with --trace /
+# --metrics / --progress, then require both files to parse as JSON and to
+# carry the expected content — trace events in Chrome trace-event format,
+# a populated evaluation-latency histogram, and rejection counters (see
+# docs/observability.md).
+#
+# usage: scripts/traced_smoke.sh [build-dir]    # default: ./build
+set -u -o pipefail
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/calculon_cli"
+if [[ ! -x "$CLI" ]]; then
+  echo "traced_smoke: $CLI not found (build first)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/calculon_traced_smoke.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+TRACE="$WORK/trace.json"
+METRICS="$WORK/metrics.json"
+
+echo "== traced exec search (GPT-3 175B, 64 GPUs)"
+"$CLI" llm-optimal-execution gpt3_175b h100_80g 4096 --procs 64 \
+    --trace "$TRACE" --metrics "$METRICS" --progress=1 \
+    > "$WORK/search.log" 2> "$WORK/progress.log" || {
+  echo "traced_smoke: search failed" >&2
+  cat "$WORK/search.log" "$WORK/progress.log" >&2
+  exit 1
+}
+
+for f in "$TRACE" "$METRICS"; do
+  if [[ ! -s "$f" ]]; then
+    echo "traced_smoke: $f missing or empty" >&2
+    exit 1
+  fi
+done
+
+echo "== validating $TRACE"
+python3 - "$TRACE" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["displayTimeUnit"] == "ms", doc.keys()
+events = doc["traceEvents"]
+assert len(events) > 0, "no trace events"
+cats = {e.get("cat") for e in events if e.get("ph") != "M"}
+assert "search" in cats, f"no search spans, cats={cats}"
+assert "model" in cats, f"no sampled model phases, cats={cats}"
+for e in events:
+    assert e["ph"] in ("X", "i", "C", "M"), e
+print(f"trace OK: {len(events)} events, categories {sorted(c for c in cats if c)}")
+EOF
+[[ $? -eq 0 ]] || { echo "traced_smoke: trace validation failed" >&2; exit 1; }
+
+echo "== validating $METRICS"
+python3 - "$METRICS" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc["counters"]
+assert counters.get("exec_search.evaluated", 0) > 0, counters
+assert counters.get("exec_search.feasible", 0) > 0, counters
+assert any(k.startswith("exec_search.rejected.") for k in counters), counters
+hist = doc["histograms"]["exec_search.eval_latency_us"]
+assert hist["count"] > 0 and hist["p50"] > 0, hist
+print(f"metrics OK: {counters['exec_search.evaluated']} evaluated, "
+      f"p50 latency {hist['p50']:.2f}us")
+EOF
+[[ $? -eq 0 ]] || { echo "traced_smoke: metrics validation failed" >&2; exit 1; }
+
+if ! grep -q "\[exec_search\]" "$WORK/progress.log"; then
+  echo "traced_smoke: no progress lines on stderr" >&2
+  cat "$WORK/progress.log" >&2
+  exit 1
+fi
+
+# Leave the artifacts where CI can pick them up.
+if [[ -n "${TRACED_SMOKE_OUT:-}" ]]; then
+  mkdir -p "$TRACED_SMOKE_OUT"
+  cp "$TRACE" "$METRICS" "$TRACED_SMOKE_OUT/"
+fi
+
+echo "traced_smoke: OK"

@@ -13,6 +13,7 @@
 #include <exception>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -21,6 +22,9 @@
 #include "hw/presets.h"
 #include "json/json.h"
 #include "models/presets.h"
+#include "obs/cli_options.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "search/threadpool.h"
 #include "testing/fault_injection.h"
 #include "util/run_context.h"
@@ -54,8 +58,10 @@ void PrintUsage() {
       "                      the CALCULON_FAULTS environment variable)\n"
       "  --checkpoint PATH   journal completed pairs to PATH\n"
       "  --resume            skip pairs already journaled in --checkpoint\n"
+      "%s"
       "exit codes: 0 clean, 1 invariant violations, 2 usage error,\n"
-      "            3 degraded (stopped early or isolated failures)\n");
+      "            3 degraded (stopped early or isolated failures)\n",
+      calculon::obs::ObsCliOptions::UsageLines());
 }
 
 std::vector<std::string> SplitCsv(const std::string& s) {
@@ -164,6 +170,7 @@ int main(int argc, char** argv) try {
   std::string faults_spec;
   std::string checkpoint_path;
   bool resume = false;
+  calculon::obs::ObsCliOptions obs_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -227,6 +234,8 @@ int main(int argc, char** argv) try {
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
+    } else if (obs_options.Consume(arg, [&] { return next(); })) {
+      // observability flags: --trace / --metrics / --progress
     } else {
       std::fprintf(stderr, "calculon-audit: unknown option %s\n",
                    arg.c_str());
@@ -297,6 +306,7 @@ int main(int argc, char** argv) try {
     const auto env_plan = calculon::testing::FaultPlan::FromEnv();
     if (env_plan.enabled()) faults.Configure(env_plan);
   }
+  obs_options.Activate();
 
   // The math helpers first: everything else samples the grid through them.
   AuditReport total = calculon::analysis::AuditMath();
@@ -372,9 +382,18 @@ int main(int argc, char** argv) try {
   };
 
   calculon::ThreadPool pool(threads);
+  std::optional<calculon::obs::ProgressReporter> reporter;
+  if (obs_options.progress) {
+    calculon::obs::ProgressOptions popts;
+    popts.interval_s = obs_options.progress_interval_s;
+    popts.total = pairs.size();
+    popts.label = "audit";
+    reporter.emplace(&ctx, popts);
+  }
   pool.ParallelFor(pairs.size(), &ctx, [&](std::uint64_t i) {
     if (done[i] != 0) return;
     Pair& pair = pairs[i];
+    CALC_TRACE_SPAN("audit", pair.app->label + "/" + pair.sys->label);
     AuditOptions pair_options = options;
     pair_options.context_label = pair.sys->label;
     pair_options.ctx = &ctx;
@@ -389,6 +408,7 @@ int main(int argc, char** argv) try {
     done[i] = 1;
     if (!checkpoint_path.empty()) write_checkpoint();
   });
+  if (reporter.has_value()) reporter->Stop();
 
   calculon::Table table(
       {"application", "system", "evals", "feasible", "checks", "violations"});
@@ -447,6 +467,7 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(faults.injected_errors()),
                 static_cast<unsigned long long>(faults.injected_delays()));
   }
+  obs_options.Finish();
   if (!total.ok()) return 1;
   if (status.degraded() || !all_pairs_done) return 3;
   return 0;

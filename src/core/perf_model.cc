@@ -6,6 +6,7 @@
 #include "core/block.h"
 #include "core/offload.h"
 #include "core/pipeline.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/mathutil.h"
 #include "util/strings.h"
@@ -116,6 +117,21 @@ Result<Stats> CalculatePerformance(const Application& app,
     return R(v.reason(), v.detail());
   }
 
+  // Sampled model-phase breakdown: 1 of every detail_period evaluations
+  // (TraceRecorder::SampleDetail) records coarse spans for its compute /
+  // communication / memory phases, so sweep traces show where model time
+  // goes without recording millions of sub-microsecond spans. An early
+  // (infeasible) return just ends the sampled evaluation's span sequence.
+  obs::TraceRecorder& trace_rec = obs::TraceRecorder::Global();
+  const bool traced = trace_rec.enabled() && trace_rec.SampleDetail();
+  double phase_t0 = traced ? trace_rec.NowMicros() : 0.0;
+  auto end_phase = [&](const char* name) {
+    if (!traced) return;
+    const double now = trace_rec.NowMicros();
+    trace_rec.RecordComplete("model", name, phase_t0, now - phase_t0);
+    phase_t0 = now;
+  };
+
   const Processor& proc = sys.proc();
   const std::int64_t t = exec.tensor_par;
   const std::int64_t p = exec.pipeline_par;
@@ -156,6 +172,8 @@ Result<Stats> CalculatePerformance(const Application& app,
       recompute_block += proc.OpTime(l.kind, l.fw_flops, l.fw_bytes);
     }
   }
+
+  end_phase("compute");
 
   // --- Tensor-parallel communication per block ---
   const double hide = TpHideFraction(exec.tp_overlap);
@@ -324,6 +342,8 @@ Result<Stats> CalculatePerformance(const Application& app,
     }
   }
 
+  end_phase("communication");
+
   // --- Offloading ---
   OffloadResult off;
   if (exec.any_offload()) {
@@ -356,6 +376,8 @@ Result<Stats> CalculatePerformance(const Application& app,
                          FormatBytes(proc.mem2.capacity()).c_str()));
     }
   }
+
+  end_phase("offload");
 
   // --- Tier-1 memory accounting ---
   Stats stats;
@@ -396,6 +418,8 @@ Result<Stats> CalculatePerformance(const Application& app,
   stats.tier2.activations = off.tier2_acts;
   stats.tier2.optimizer = off.tier2_optimizer;
 
+  end_phase("memory");
+
   // --- Roll-up ---
   const double fnm = static_cast<double>(nm);
   // Edge-stage vocabulary time splits roughly evenly across the passes.
@@ -432,6 +456,7 @@ Result<Stats> CalculatePerformance(const Application& app,
   stats.mfu = useful / (stats.batch_time *
                         static_cast<double>(sys.num_procs()) *
                         proc.matrix.peak_flops());
+  end_phase("rollup");
   return R(std::move(stats));
 }
 

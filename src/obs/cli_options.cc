@@ -1,0 +1,76 @@
+#include "obs/cli_options.h"
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace calculon::obs {
+
+namespace {
+
+double ParseInterval(const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double secs = std::stod(value, &used);
+    if (used != value.size() || secs <= 0.0) {
+      throw std::invalid_argument(value);
+    }
+    return secs;
+  } catch (const std::exception&) {
+    throw ConfigError("--progress expects seconds > 0, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
+bool ObsCliOptions::Consume(const std::string& arg,
+                            const std::function<std::string()>& next) {
+  if (arg == "--trace") {
+    trace_path = next();
+  } else if (StartsWith(arg, "--trace=")) {
+    trace_path = arg.substr(8);
+  } else if (arg == "--metrics") {
+    metrics_path = next();
+  } else if (StartsWith(arg, "--metrics=")) {
+    metrics_path = arg.substr(10);
+  } else if (arg == "--progress") {
+    progress = true;
+  } else if (StartsWith(arg, "--progress=")) {
+    progress = true;
+    progress_interval_s = ParseInterval(arg.substr(11));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void ObsCliOptions::Activate() const {
+  if (!trace_path.empty()) TraceRecorder::Global().Start();
+  if (!metrics_path.empty()) MetricsRegistry::Global().Enable();
+}
+
+void ObsCliOptions::Finish() const {
+  if (!trace_path.empty()) {
+    TraceRecorder::Global().Stop();
+    TraceRecorder::Global().WriteFile(trace_path);
+  }
+  if (!metrics_path.empty()) {
+    json::WriteFile(metrics_path, MetricsRegistry::Global().ToJson());
+  }
+}
+
+const char* ObsCliOptions::UsageLines() {
+  return "  --trace FILE        record a Chrome trace-event timeline "
+         "(Perfetto)\n"
+         "  --metrics FILE      export tool metrics (latency histograms,\n"
+         "                      rejection counters) as JSON\n"
+         "  --progress[=SECS]   periodic progress lines on stderr "
+         "(default 2s)\n";
+}
+
+}  // namespace calculon::obs

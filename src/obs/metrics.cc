@@ -1,0 +1,182 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace calculon::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(
+          std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1)) {
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (bounds_[i] >= bounds_[i + 1]) {
+      throw ConfigError("Histogram bounds must be strictly ascending");
+    }
+  }
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  if (start <= 0.0 || factor <= 1.0 || count <= 0) {
+    throw ConfigError("ExponentialBounds: start > 0, factor > 1, count > 0");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_count(i));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double fraction = (target - cumulative) / in_bucket;
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> DefaultLatencyBoundsUs() {
+  // 0.25us .. ~4.2s in 24 doublings.
+  return Histogram::ExponentialBounds(0.25, 2.0, 24);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry global;
+  return global;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+json::Value MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Value doc;
+  // Sections are explicit empty objects (not null) when unpopulated, so
+  // consumers can iterate unconditionally.
+  json::Value counters{json::Object{}};
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = static_cast<std::int64_t>(counter->value());
+  }
+  doc["counters"] = counters;
+  json::Value gauges{json::Object{}};
+  for (const auto& [name, gauge] : gauges_) {
+    gauges[name] = gauge->value();
+  }
+  doc["gauges"] = gauges;
+  json::Value histograms{json::Object{}};
+  for (const auto& [name, histogram] : histograms_) {
+    json::Value h;
+    h["count"] = static_cast<std::int64_t>(histogram->count());
+    h["sum"] = histogram->sum();
+    json::Array bounds;
+    json::Array bucket_counts;
+    for (std::size_t i = 0; i < histogram->bounds().size(); ++i) {
+      bounds.emplace_back(histogram->bounds()[i]);
+      bucket_counts.emplace_back(
+          static_cast<std::int64_t>(histogram->bucket_count(i)));
+    }
+    bucket_counts.emplace_back(static_cast<std::int64_t>(
+        histogram->bucket_count(histogram->bounds().size())));
+    h["bounds"] = json::Value(std::move(bounds));
+    h["bucket_counts"] = json::Value(std::move(bucket_counts));
+    h["p50"] = histogram->Quantile(0.50);
+    h["p95"] = histogram->Quantile(0.95);
+    h["p99"] = histogram->Quantile(0.99);
+    histograms[name] = std::move(h);
+  }
+  doc["histograms"] = histograms;
+  return doc;
+}
+
+std::string MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Table table({"metric", "kind", "value"});
+  for (const auto& [name, counter] : counters_) {
+    table.AddRow({name, "counter",
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(counter->value()))});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    table.AddRow({name, "gauge", StrFormat("%g", gauge->value())});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    table.AddRow(
+        {name, "histogram",
+         StrFormat("n=%llu p50=%.3g p95=%.3g p99=%.3g",
+                   static_cast<unsigned long long>(histogram->count()),
+                   histogram->Quantile(0.50), histogram->Quantile(0.95),
+                   histogram->Quantile(0.99))});
+  }
+  return table.ToString();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricNameSegment(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+    out.push_back(word ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace calculon::obs

@@ -1,0 +1,147 @@
+// Observability layer, part 2: the metrics registry.
+//
+// A process-wide inventory of named counters, gauges, and fixed-bucket
+// histograms describing the tool's own behavior: evaluation latency,
+// feasible/infeasible/culled candidate counts by rejection reason, thread-
+// pool queue depth, checkpoint writes, injected faults. Exported as JSON
+// (for `--metrics=<file>` and the bench BENCH_*.json snapshots) and as an
+// ASCII table (see docs/observability.md for the metric inventory).
+//
+// Instruments are cheap lock-free atomics; the registry mutex is taken
+// only on instrument lookup and export. Sweep engines fetch instrument
+// pointers once per sweep and keep the per-evaluation path to a handful of
+// relaxed atomic operations — and skip even those when the registry is
+// disabled (the default), so runs without --metrics pay nothing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace calculon::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
+// one implicit overflow bucket catches everything above the last bound.
+// Observe() is wait-free apart from a CAS loop on the running sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  // `count` log-spaced bounds: start, start*factor, start*factor^2, ...
+  [[nodiscard]] static std::vector<double> ExponentialBounds(double start,
+                                                             double factor,
+                                                             int count);
+
+  void Observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  // i in [0, bounds().size()]; the last index is the overflow bucket.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  // Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  // bucket holding the target rank; the first bucket interpolates from 0,
+  // the overflow bucket reports the last bound. 0 when empty.
+  [[nodiscard]] double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  // unique_ptr array rather than vector<atomic> (atomics are not movable).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// The default bucket ladder for evaluation-latency histograms: log-spaced
+// microseconds covering sub-microsecond model calls up to multi-second
+// stalls (0.25us .. ~4.2s, x2 per bucket).
+[[nodiscard]] std::vector<double> DefaultLatencyBoundsUs();
+
+// Named-instrument registry. Instruments live as long as the registry, so
+// callers cache the returned pointers across a sweep.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] static MetricsRegistry& Global();
+
+  // Recording is opt-in (--metrics, bench harness): engines skip clock
+  // reads and instrument updates entirely when disabled.
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Counter* GetCounter(const std::string& name);
+  [[nodiscard]] Gauge* GetGauge(const std::string& name);
+  // The first call fixes the bucket bounds; later calls with the same name
+  // return the existing histogram regardless of `bounds`.
+  [[nodiscard]] Histogram* GetHistogram(const std::string& name,
+                                        std::vector<double> bounds);
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {"count",
+  // "sum", "bounds", "bucket_counts", "p50", "p95", "p99"}}}. Keys are
+  // sorted, so export is deterministic for a given set of values.
+  [[nodiscard]] json::Value ToJson() const;
+  [[nodiscard]] std::string ToTable() const;
+
+  // Drops every instrument (cached pointers become invalid) — for tests
+  // and for zeroing between bench harness phases.
+  void Reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;  // guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// "insufficient memory capacity" -> "insufficient_memory_capacity": metric
+// name segments from human-readable reason strings.
+[[nodiscard]] std::string MetricNameSegment(const std::string& s);
+
+}  // namespace calculon::obs

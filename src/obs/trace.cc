@@ -1,0 +1,226 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <utility>
+
+namespace calculon::obs {
+
+namespace {
+
+// Cached buffer of the calling thread, valid for (owner, epoch). Checking
+// both lets Start() invalidate every thread's cache and lets tests run
+// private recorder instances side by side with the global one.
+struct TlsCache {
+  const TraceRecorder* owner = nullptr;
+  std::uint64_t epoch = 0;
+  void* buffer = nullptr;  // ThreadBuffer*, kept alive by the recorder
+};
+thread_local TlsCache tls_cache;
+
+// Monotonic epochs shared by every recorder instance so Start() can hand
+// out a process-unique epoch.
+std::atomic<std::uint64_t> g_next_epoch{1};
+
+[[nodiscard]] std::int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double MonotonicMicros() {
+  return static_cast<double>(SteadyNowNs()) * 1e-3;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder global;
+  return global;
+}
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  buffers_.clear();
+  next_tid_ = 1;
+  epoch_.store(g_next_epoch.fetch_add(1, std::memory_order_relaxed),
+               std::memory_order_release);
+  detail_counter_.store(0, std::memory_order_relaxed);
+  start_ns_.store(SteadyNowNs(), std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+double TraceRecorder::NowMicros() const {
+  const std::int64_t start = start_ns_.load(std::memory_order_acquire);
+  if (start == 0) return 0.0;
+  return static_cast<double>(SteadyNowNs() - start) * 1e-3;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (tls_cache.owner == this && tls_cache.epoch == epoch) {
+    return static_cast<ThreadBuffer*>(tls_cache.buffer);
+  }
+  auto buffer = std::make_shared<ThreadBuffer>();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+  }
+  tls_cache = TlsCache{this, epoch, buffer.get()};
+  return buffer.get();
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  if (buffer->events.size() >=
+      max_events_per_thread_.load(std::memory_order_relaxed)) {
+    ++buffer->dropped;
+    return;
+  }
+  buffer->events.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordComplete(const char* category, std::string name,
+                                   double ts_us, double dur_us) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kComplete;
+  event.category = category;
+  event.name = std::move(name);
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  Append(std::move(event));
+}
+
+void TraceRecorder::RecordInstant(const char* category, std::string name) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.category = category;
+  event.name = std::move(name);
+  event.ts_us = NowMicros();
+  Append(std::move(event));
+}
+
+void TraceRecorder::RecordCounter(const char* series, double value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kCounter;
+  event.category = "counter";
+  event.name = series;
+  event.ts_us = NowMicros();
+  event.value = value;
+  Append(std::move(event));
+}
+
+bool TraceRecorder::SampleDetail() {
+  if (!enabled()) return false;
+  const std::uint64_t period =
+      detail_period_.load(std::memory_order_relaxed);
+  if (period <= 1) return true;
+  return detail_counter_.fetch_add(1, std::memory_order_relaxed) % period ==
+         0;
+}
+
+void TraceRecorder::set_detail_period(std::uint64_t period) {
+  detail_period_.store(period == 0 ? 1 : period, std::memory_order_relaxed);
+}
+
+void TraceRecorder::set_max_events_per_thread(std::size_t cap) {
+  max_events_per_thread_.store(cap, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+json::Value TraceRecorder::ToJson() const {
+  json::Array events;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::vector<TraceEvent> snapshot;
+    int tid = 0;
+    {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      snapshot = buffer->events;
+      tid = buffer->tid;
+    }
+    // Thread-name metadata so Perfetto labels the track.
+    json::Value meta;
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = tid;
+    json::Value meta_args;
+    meta_args["name"] = "thread-" + std::to_string(tid);
+    meta["args"] = meta_args;
+    events.push_back(std::move(meta));
+    for (const TraceEvent& event : snapshot) {
+      json::Value v;
+      v["name"] = event.name;
+      v["cat"] = std::string(event.category);
+      v["ph"] = std::string(1, static_cast<char>(event.phase));
+      v["pid"] = 1;
+      v["tid"] = tid;
+      v["ts"] = event.ts_us;
+      switch (event.phase) {
+        case TraceEvent::Phase::kComplete:
+          v["dur"] = event.dur_us;
+          break;
+        case TraceEvent::Phase::kInstant:
+          v["s"] = "t";  // thread-scoped marker
+          break;
+        case TraceEvent::Phase::kCounter: {
+          json::Value args;
+          args["value"] = event.value;
+          v["args"] = args;
+          break;
+        }
+      }
+      events.push_back(std::move(v));
+    }
+  }
+  json::Value doc;
+  doc["displayTimeUnit"] = "ms";
+  doc["traceEvents"] = json::Value(std::move(events));
+  return doc;
+}
+
+void TraceRecorder::WriteFile(const std::string& path) const {
+  json::WriteFile(path, ToJson());
+}
+
+TraceSpan::TraceSpan(const char* category, std::string name)
+    : category_(category), name_(std::move(name)) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (recorder.enabled()) {
+    active_ = true;
+    start_us_ = recorder.NowMicros();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  const double end_us = recorder.NowMicros();
+  recorder.RecordComplete(category_, std::move(name_), start_us_,
+                          end_us - start_us_);
+}
+
+}  // namespace calculon::obs

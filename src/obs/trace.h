@@ -1,0 +1,178 @@
+// Observability layer, part 1: the trace recorder.
+//
+// Records Chrome trace-event / Perfetto-compatible timelines of where the
+// tool's own wall-clock goes: spans around search phases and thread-pool
+// items, sampled per-evaluation model-phase breakdowns, instant markers,
+// and counter tracks (queue depth, progress). Open the emitted file in
+// https://ui.perfetto.dev or chrome://tracing (see docs/observability.md).
+//
+// Design constraints (the model is the product; observing it must not
+// perturb it):
+//   * Zero overhead when off: every entry point starts with one relaxed
+//     atomic load, and the CALC_TRACE_* macros compile out entirely under
+//     CALCULON_NO_OBS (the CALC_DCHECK pattern).
+//   * Lock-cheap when on: each thread appends to its own buffer behind an
+//     uncontended per-thread mutex; the global registry lock is taken only
+//     on first use per thread and at export time.
+//   * Deterministic results: the recorder reads the monotonic clock for
+//     its own timestamps only — model outputs never depend on it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+
+namespace calculon::obs {
+
+// Microseconds since an arbitrary process-local epoch, from the monotonic
+// (steady) clock. Used for latency measurements fed into metrics.
+[[nodiscard]] double MonotonicMicros();
+
+// One recorded event. `category` is a static string (trace call sites pass
+// literals); `name` may be dynamic (per-item labels).
+struct TraceEvent {
+  enum class Phase : char {
+    kComplete = 'X',  // span: ts + dur
+    kInstant = 'i',   // point marker
+    kCounter = 'C',   // counter-track sample
+  };
+  Phase phase = Phase::kComplete;
+  const char* category = "";
+  std::string name;
+  double ts_us = 0.0;   // microseconds since recorder start
+  double dur_us = 0.0;  // complete events only
+  double value = 0.0;   // counter events only
+};
+
+// Thread-aware recorder of trace events. One global instance backs the
+// CALC_TRACE_* macros; tests may construct private instances.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  [[nodiscard]] static TraceRecorder& Global();
+
+  // Clears previous events, re-zeroes the time origin, starts recording.
+  // Must not race with threads that are actively recording: call between
+  // sweeps (Stop() is safe to call at any time).
+  void Start();
+  void Stop();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Microseconds since Start() (0 when never started).
+  [[nodiscard]] double NowMicros() const;
+
+  // All Record* calls are safe from any thread and no-ops when disabled.
+  void RecordComplete(const char* category, std::string name, double ts_us,
+                      double dur_us);
+  void RecordInstant(const char* category, std::string name);
+  void RecordCounter(const char* series, double value);
+
+  // Sampling gate for high-frequency detail spans (the per-evaluation
+  // model-phase breakdown): true for 1 out of every `detail_period` calls,
+  // starting with the first. Always false when disabled.
+  [[nodiscard]] bool SampleDetail();
+  void set_detail_period(std::uint64_t period);
+
+  // Cap on buffered events per thread; excess events are counted in
+  // dropped() instead of recorded (bounds memory on huge sweeps).
+  void set_max_events_per_thread(std::size_t cap);
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  // Snapshot as a trace-event-format JSON document:
+  //   {"displayTimeUnit": "ms", "traceEvents": [...]}
+  // Includes thread_name metadata events. Safe while recording (events
+  // appended concurrently may or may not be included).
+  [[nodiscard]] json::Value ToJson() const;
+  void WriteFile(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    int tid = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  [[nodiscard]] ThreadBuffer* BufferForThisThread();
+  void Append(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> detail_counter_{0};
+  std::atomic<std::uint64_t> detail_period_{1000};
+  std::atomic<std::size_t> max_events_per_thread_{1u << 18};
+  std::atomic<std::uint64_t> epoch_{0};  // bumped by Start(): invalidates
+                                         // cached thread buffers
+  std::atomic<std::int64_t> start_ns_{0};
+
+  mutable std::mutex registry_mutex_;  // guards buffers_ (the list itself)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  int next_tid_ = 1;
+};
+
+// RAII span: records one complete event on the global recorder covering the
+// scope's lifetime. Costs one relaxed load when recording is off.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name)
+      : TraceSpan(category, std::string(name)) {}
+  TraceSpan(const char* category, std::string name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* category_;
+  std::string name_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace calculon::obs
+
+// Compile-out-able convenience macros (mirroring CALC_DCHECK): under
+// CALCULON_NO_OBS they expand to nothing, so instrumented hot paths carry
+// no code at all.
+#ifdef CALCULON_NO_OBS
+#define CALC_TRACE_SPAN(category, name) \
+  do {                                  \
+  } while (false)
+#define CALC_TRACE_INSTANT(category, name) \
+  do {                                     \
+  } while (false)
+#define CALC_TRACE_COUNTER(series, value) \
+  do {                                    \
+  } while (false)
+#else
+#define CALC_TRACE_CONCAT_(a, b) a##b
+#define CALC_TRACE_CONCAT(a, b) CALC_TRACE_CONCAT_(a, b)
+#define CALC_TRACE_SPAN(category, name)                    \
+  ::calculon::obs::TraceSpan CALC_TRACE_CONCAT(            \
+      calc_trace_span_, __COUNTER__)((category), (name))
+#define CALC_TRACE_INSTANT(category, name)                              \
+  do {                                                                  \
+    ::calculon::obs::TraceRecorder& calc_trace_rec_ =                   \
+        ::calculon::obs::TraceRecorder::Global();                       \
+    if (calc_trace_rec_.enabled()) {                                    \
+      calc_trace_rec_.RecordInstant((category), (name));                \
+    }                                                                   \
+  } while (false)
+#define CALC_TRACE_COUNTER(series, value)                               \
+  do {                                                                  \
+    ::calculon::obs::TraceRecorder& calc_trace_rec_ =                   \
+        ::calculon::obs::TraceRecorder::Global();                       \
+    if (calc_trace_rec_.enabled()) {                                    \
+      calc_trace_rec_.RecordCounter((series),                           \
+                                    static_cast<double>(value));        \
+    }                                                                   \
+  } while (false)
+#endif

@@ -21,6 +21,9 @@ json::Value ToJson(const RunStatus& status) {
   v["stop_reason"] = std::string(ToString(status.stop_reason));
   v["items_completed"] = static_cast<std::int64_t>(status.items_completed);
   v["failures"] = static_cast<std::int64_t>(status.failures);
+  v["elapsed_seconds"] = status.elapsed_seconds;
+  v["start_unix_seconds"] = status.start_unix_seconds;
+  v["end_unix_seconds"] = status.end_unix_seconds;
   json::Array samples;
   samples.reserve(status.failure_samples.size());
   for (const FailureRecord& record : status.failure_samples) {

@@ -7,6 +7,8 @@
 
 #include "hw/presets.h"
 #include "models/presets.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/run_status_json.h"
 #include "testing/fault_injection.h"
 #include "util/strings.h"
@@ -84,9 +86,14 @@ constexpr const char* kCheckpointFormat = "calculon-study-checkpoint-v1";
 // Atomic-enough checkpoint write: a torn write leaves the previous
 // checkpoint intact because the rename is the commit point.
 void WriteCheckpointFile(const std::string& path, const json::Value& value) {
+  CALC_TRACE_SPAN("io", "checkpoint_write");
   const std::string tmp = path + ".tmp";
   json::WriteFile(tmp, value);
   std::filesystem::rename(tmp, path);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  if (metrics.enabled()) {
+    metrics.GetCounter("study.checkpoint_writes")->Increment();
+  }
 }
 
 json::Value CheckpointToJson(const std::string& fingerprint,
@@ -265,6 +272,7 @@ std::string Study::Fingerprint() const {
 }
 
 StudyRun Study::RunResilient(const StudyRunOptions& options) const {
+  CALC_TRACE_SPAN("runner", "study");
   const std::vector<Execution> execs = Enumerate();
   StudyRun run;
   run.total_rows = execs.size();

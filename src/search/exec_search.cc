@@ -1,8 +1,12 @@
 #include "search/exec_search.h"
 
 #include <algorithm>
+#include <array>
+#include <cstddef>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/pareto.h"
 #include "testing/fault_injection.h"
 #include "util/mathutil.h"
@@ -51,13 +55,35 @@ SearchSpace SearchSpace::AllWithOffload() {
 
 namespace {
 
+// One slot per Infeasible enumerator (kNone..kBadConfig).
+constexpr std::size_t kNumInfeasible =
+    static_cast<std::size_t>(Infeasible::kBadConfig) + 1;
+using RejectionTally = std::array<std::uint64_t, kNumInfeasible>;
+
 struct LocalState {
   std::vector<SearchEntry> best;
   std::uint64_t evaluated = 0;
   std::uint64_t feasible = 0;
+  RejectionTally rejected{};
   std::vector<PerSecond> rates;
   ParetoFront pareto;
 };
+
+// Publishes per-reason rejection tallies as metrics counters, e.g.
+// "exec_search.rejected.insufficient_memory_capacity". Tallies stay in
+// per-triple local arrays during the sweep (no hot atomics); this runs once
+// per search.
+void PublishRejections(const char* prefix, const RejectionTally& rejected) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  if (!metrics.enabled()) return;
+  for (std::size_t i = 1; i < kNumInfeasible; ++i) {  // skip kNone
+    if (rejected[i] == 0) continue;
+    const std::string name =
+        std::string(prefix) + ".rejected." +
+        obs::MetricNameSegment(ToString(static_cast<Infeasible>(i)));
+    metrics.GetCounter(name)->Increment(rejected[i]);
+  }
+}
 
 bool Better(const Stats& a, const Stats& b) {
   if (a.sample_rate != b.sample_rate) return a.sample_rate > b.sample_rate;
@@ -135,14 +161,16 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
                                   const SearchSpace& space,
                                   const SearchConfig& config,
                                   ThreadPool& pool) {
+  CALC_TRACE_SPAN("search", "exec_search");
   const std::int64_t n = sys.num_procs();
   const std::int64_t batch =
       config.batch_size > 0 ? config.batch_size : n;
   const bool has_tier2 = sys.proc().mem2.present();
 
   // Candidate partitionings under the structural constraints.
+  const std::vector<Triple> all_triples = FactorTriples(n);
   std::vector<Triple> triples;
-  for (const Triple& tr : FactorTriples(n)) {
+  for (const Triple& tr : all_triples) {
     if (tr.t < space.min_tensor_par || tr.t > space.max_tensor_par) continue;
     if (tr.p < space.min_pipeline_par || tr.p > space.max_pipeline_par) {
       continue;
@@ -156,11 +184,27 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
 
   SearchResult result;
   ParetoFront pareto;
+  RejectionTally rejected{};
   std::mutex merge_mutex;
   RunContext* const ctx = config.ctx;
 
+  // Instrument pointers are fetched once per search; the per-evaluation
+  // path is a clock read + histogram observe, and skips even those when
+  // metrics are disabled.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Histogram* const latency =
+      metrics.enabled()
+          ? metrics.GetHistogram("exec_search.eval_latency_us",
+                                 obs::DefaultLatencyBoundsUs())
+          : nullptr;
+
   pool.ParallelFor(triples.size(), ctx, [&](std::uint64_t idx) {
     const Triple tr = triples[idx];
+    CALC_TRACE_SPAN("search",
+                    StrFormat("triple t=%lld p=%lld d=%lld",
+                              static_cast<long long>(tr.t),
+                              static_cast<long long>(tr.p),
+                              static_cast<long long>(tr.d)));
     LocalState local;
 
     Execution e;
@@ -236,6 +280,9 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
                           e.optimizer_offload = off.optimizer;
 
                           ++local.evaluated;
+                          const double eval_t0 =
+                              latency != nullptr ? obs::MonotonicMicros()
+                                                 : 0.0;
                           // Evaluation key: deterministic per configuration
                           // regardless of thread interleaving (triple index
                           // in the high bits, per-triple counter below).
@@ -245,7 +292,15 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
                                                     (idx << 32) +
                                                         local.evaluated)
                                   : CalculatePerformance(app, e, sys);
-                          if (!r.ok()) continue;
+                          if (latency != nullptr) {
+                            latency->Observe(obs::MonotonicMicros() -
+                                             eval_t0);
+                          }
+                          if (!r.ok()) {
+                            ++local.rejected[static_cast<std::size_t>(
+                                r.reason())];
+                            continue;
+                          }
                           ++local.feasible;
                           if (config.keep_all_rates) {
                             local.rates.push_back(r.value().sample_rate);
@@ -272,6 +327,9 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
     std::lock_guard<std::mutex> lock(merge_mutex);
     result.evaluated += local.evaluated;
     result.feasible += local.feasible;
+    for (std::size_t i = 0; i < kNumInfeasible; ++i) {
+      rejected[i] += local.rejected[i];
+    }
     for (SearchEntry& entry : local.best) {
       InsertTopK(result.best, config.top_k, std::move(entry.exec),
                  std::move(entry.stats));
@@ -280,6 +338,15 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
                             local.rates.end());
     pareto.Merge(std::move(local.pareto));
   });
+
+  if (metrics.enabled()) {
+    metrics.GetCounter("exec_search.evaluated")->Increment(result.evaluated);
+    metrics.GetCounter("exec_search.feasible")->Increment(result.feasible);
+    metrics.GetCounter("exec_search.culled_triples")
+        ->Increment(all_triples.size() - triples.size());
+    PublishRejections("exec_search", rejected);
+  }
+  CALC_TRACE_COUNTER("exec_search.evaluated", result.evaluated);
 
   if (config.keep_pareto) result.pareto = pareto.Sorted();
   if (ctx != nullptr) result.status = ctx->Snapshot();

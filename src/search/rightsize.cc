@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace calculon {
@@ -9,6 +10,7 @@ namespace calculon {
 RightSizeReport RightSize(const Application& app, const System& base_sys,
                           const SearchSpace& space,
                           const RightSizeOptions& options, ThreadPool& pool) {
+  CALC_TRACE_SPAN("search", "rightsize");
   if (options.sizes.empty()) {
     throw ConfigError("RightSize: no candidate sizes");
   }

@@ -1,5 +1,9 @@
 #include "search/scaling.h"
 
+#include <string>
+
+#include "obs/trace.h"
+
 namespace calculon {
 
 std::vector<std::int64_t> SizeRange(std::int64_t start, std::int64_t stop,
@@ -14,10 +18,12 @@ std::vector<ScalingPoint> ScalingSweep(const Application& app,
                                        const SearchSpace& space,
                                        const ScalingOptions& options,
                                        ThreadPool& pool) {
+  CALC_TRACE_SPAN("search", "scaling_sweep");
   std::vector<ScalingPoint> points;
   points.reserve(options.sizes.size());
   for (std::int64_t n : options.sizes) {
     if (options.ctx != nullptr && options.ctx->ShouldStop()) break;
+    CALC_TRACE_SPAN("search", "scaling.n=" + std::to_string(n));
     const System sys = base_sys.WithNumProcs(n);
     SearchConfig config;
     config.top_k = 1;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace calculon {
@@ -77,6 +78,7 @@ Result<std::vector<SensitivityEntry>> AnalyzeSensitivity(
     const Application& app, const Execution& exec, const System& sys,
     double step, RunContext* ctx) {
   using R = Result<std::vector<SensitivityEntry>>;
+  CALC_TRACE_SPAN("search", "sensitivity");
   if (step <= 0.0) return R(Infeasible::kBadConfig, "step must be > 0");
   const auto baseline = CalculatePerformance(app, exec, sys);
   if (!baseline.ok()) return R(baseline.reason(), baseline.detail());

@@ -1,5 +1,8 @@
 #include "search/system_search.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace calculon {
 
 SystemSearchEntry EvaluateDesign(const Application& app,
@@ -7,6 +10,7 @@ SystemSearchEntry EvaluateDesign(const Application& app,
                                  const SearchSpace& space,
                                  const SystemSearchOptions& options,
                                  ThreadPool& pool) {
+  CALC_TRACE_SPAN("search", "system_search.design " + design.Label());
   SystemSearchEntry entry;
   entry.design = design;
   entry.max_gpus = design.MaxGpus(options.budget);
@@ -58,12 +62,20 @@ SystemSearchResult RunSystemSearch(const Application& app,
                                    const SearchSpace& space,
                                    const SystemSearchOptions& options,
                                    ThreadPool& pool) {
+  CALC_TRACE_SPAN("search", "system_search");
   SystemSearchResult result;
   result.entries.reserve(designs.size());
   for (const SystemDesign& design : designs) {
     if (options.ctx != nullptr && options.ctx->ShouldStop()) break;
     result.entries.push_back(
         EvaluateDesign(app, design, space, options, pool));
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    if (metrics.enabled()) {
+      metrics.GetCounter("system_search.designs_evaluated")->Increment();
+      if (!result.entries.back().feasible) {
+        metrics.GetCounter("system_search.designs_infeasible")->Increment();
+      }
+    }
   }
   if (options.ctx != nullptr) result.status = options.ctx->Snapshot();
   return result;

@@ -3,6 +3,10 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace calculon {
 namespace {
@@ -36,6 +40,7 @@ struct ParallelForJob {
   void Drain(const std::function<void(std::uint64_t)>& fn, unsigned worker) {
     const unsigned prev_worker = tls_worker_id;
     tls_worker_id = worker;
+    CALC_TRACE_SPAN("pool", "drain w" + std::to_string(worker));
     while (true) {
       if (ctx != nullptr && ctx->ShouldStop()) break;
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -98,14 +103,29 @@ unsigned ThreadPool::CurrentWorkerId() { return tls_worker_id; }
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
+    std::size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      depth = tasks_.size();
     }
+    PublishQueueDepth(depth);
     task();
+  }
+}
+
+// Queue-depth telemetry: a counter track in the trace and a gauge in the
+// metrics registry. Called outside the pool mutex; sampled at push/pop so
+// the track shows the burst of helper tasks per ParallelFor.
+void ThreadPool::PublishQueueDepth(std::size_t depth) {
+  CALC_TRACE_COUNTER("pool.queue_depth", depth);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  if (metrics.enabled()) {
+    metrics.GetGauge("threadpool.queue_depth")
+        ->Set(static_cast<double>(depth));
   }
 }
 
@@ -128,13 +148,16 @@ void ThreadPool::ParallelFor(std::uint64_t count, RunContext* ctx,
   job->pending = helpers + 1;
   if (helpers > 0) {
     std::function<void(std::uint64_t)> fn_copy = fn;
+    std::size_t depth = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       for (std::uint64_t i = 0; i < helpers; ++i) {
         const unsigned worker = static_cast<unsigned>(i) + 1;
         tasks_.push([job, fn_copy, worker] { job->Drain(fn_copy, worker); });
       }
+      depth = tasks_.size();
     }
+    PublishQueueDepth(depth);
     cv_.notify_all();
   }
 

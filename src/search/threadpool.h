@@ -5,6 +5,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -56,6 +57,7 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  static void PublishQueueDepth(std::size_t depth);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

@@ -14,16 +14,18 @@ ProjectConfig ProjectConfig::Default() {
   c.layer_deps = {
       {"util", {}},
       {"json", {"util"}},
-      {"testing", {"util"}},
+      {"obs", {"util", "json"}},
+      {"testing", {"util", "obs"}},
       {"staticlint", {"util", "json"}},
       {"hw", {"util", "json"}},
       {"models", {"util", "json", "hw"}},
-      {"core", {"util", "json", "hw", "models"}},
-      {"search", {"util", "json", "hw", "models", "core", "testing"}},
+      {"core", {"util", "json", "obs", "hw", "models"}},
+      {"search",
+       {"util", "json", "obs", "hw", "models", "core", "testing"}},
       {"analysis",
-       {"util", "json", "hw", "models", "core", "search", "testing"}},
+       {"util", "json", "obs", "hw", "models", "core", "search", "testing"}},
       {"runner",
-       {"util", "json", "hw", "models", "core", "search", "testing"}},
+       {"util", "json", "obs", "hw", "models", "core", "search", "testing"}},
   };
   // Quantity::raw() is the typed->untyped escape hatch; these are the
   // blessed serialization/report boundaries (everything else needs a

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -99,19 +100,33 @@ FaultAction FaultInjector::Decide(std::uint64_t key) const {
   return FaultAction::kNone;
 }
 
+namespace {
+
+void CountInjected(const char* kind) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  if (metrics.enabled()) {
+    metrics.GetCounter(std::string("faults.injected.") + kind)->Increment();
+  }
+}
+
+}  // namespace
+
 bool FaultInjector::MaybeInject(std::uint64_t key) {
   switch (Decide(key)) {
     case FaultAction::kNone:
       return false;
     case FaultAction::kThrow:
       throws_.fetch_add(1, std::memory_order_relaxed);
+      CountInjected("throw");
       throw InjectedFault(StrFormat(
           "injected fault at key %llu", static_cast<unsigned long long>(key)));
     case FaultAction::kError:
       errors_.fetch_add(1, std::memory_order_relaxed);
+      CountInjected("error");
       return true;
     case FaultAction::kDelay:
       delays_.fetch_add(1, std::memory_order_relaxed);
+      CountInjected("delay");
       std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_us));
       return false;
   }

@@ -31,19 +31,28 @@ const char* ToString(StopReason reason) {
 }
 
 std::string RunStatus::Summary() const {
+  std::string s;
   if (!degraded()) {
-    return StrFormat("complete: %llu items, no failures",
+    s = StrFormat("complete: %llu items, no failures",
+                  static_cast<unsigned long long>(items_completed));
+  } else {
+    s = StrFormat("degraded: %llu failures",
+                  static_cast<unsigned long long>(failures));
+    if (!complete) {
+      s += StrFormat(", stopped early (%s) after %llu items",
+                     ToString(stop_reason),
                      static_cast<unsigned long long>(items_completed));
+    }
   }
-  std::string s = StrFormat("degraded: %llu failures",
-                            static_cast<unsigned long long>(failures));
-  if (!complete) {
-    s += StrFormat(", stopped early (%s) after %llu items",
-                   ToString(stop_reason),
-                   static_cast<unsigned long long>(items_completed));
-  }
+  // Statuses built without wall-clock data (hand-constructed, legacy
+  // checkpoints) keep the original string.
+  if (elapsed_seconds > 0.0) s += StrFormat(" in %.1fs", elapsed_seconds);
   return s;
 }
+
+RunContext::RunContext()
+    : start_steady_(std::chrono::steady_clock::now()),
+      start_system_(std::chrono::system_clock::now()) {}
 
 void RunContext::SetDeadline(double seconds) {
   deadline_ = std::chrono::steady_clock::now() +
@@ -99,6 +108,21 @@ RunStatus RunContext::Snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
     status.failure_samples = samples_;
   }
+  // Wall-clock accounting: duration from the monotonic clock (immune to
+  // system-clock steps), instants from the system clock (meaningful across
+  // processes in reports).
+  const auto now_steady = std::chrono::steady_clock::now();
+  const auto now_system = std::chrono::system_clock::now();
+  status.elapsed_seconds =
+      std::chrono::duration<double>(now_steady - start_steady_).count();
+  status.start_unix_seconds =
+      std::chrono::duration_cast<std::chrono::seconds>(
+          start_system_.time_since_epoch())
+          .count();
+  status.end_unix_seconds =
+      std::chrono::duration_cast<std::chrono::seconds>(
+          now_system.time_since_epoch())
+          .count();
   return status;
 }
 

@@ -56,14 +56,24 @@ struct RunStatus {
   std::uint64_t failures = 0;
   std::vector<FailureRecord> failure_samples;  // first N, capped
 
+  // Wall-clock accounting, filled by RunContext::Snapshot(): total run
+  // duration (monotonic clock) and the start/end instants (system clock,
+  // Unix seconds). Observational only — model results never depend on
+  // these, so resumed runs stay bit-identical on their data outputs.
+  double elapsed_seconds = 0.0;
+  std::int64_t start_unix_seconds = 0;
+  std::int64_t end_unix_seconds = 0;
+
   [[nodiscard]] bool degraded() const { return !complete || failures > 0; }
   // One-line human summary, e.g. "degraded: 12 failures, stopped (deadline)".
+  // Appends "in Xs" when elapsed_seconds has been recorded.
   [[nodiscard]] std::string Summary() const;
 };
 
 class RunContext {
  public:
-  RunContext() = default;
+  // Construction marks the run's start time (monotonic + system clocks).
+  RunContext();
   RunContext(const RunContext&) = delete;
   RunContext& operator=(const RunContext&) = delete;
 
@@ -134,6 +144,8 @@ class RunContext {
 
   std::atomic<bool> has_deadline_{false};
   std::chrono::steady_clock::time_point deadline_{};
+  std::chrono::steady_clock::time_point start_steady_{};
+  std::chrono::system_clock::time_point start_system_{};
 
   std::uint64_t failure_budget_ = 0;  // 0: unlimited
   std::size_t max_samples_ = 32;

@@ -1,0 +1,191 @@
+// Tests for the metrics registry (src/obs/metrics.h): bucket-boundary
+// placement and quantile interpolation are pinned to exact values, and the
+// registry's JSON export round-trips through src/json.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "json/json.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace calculon::obs {
+namespace {
+
+TEST(Counter, IncrementsAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.Set(1.5);
+  g.Set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(Histogram, BucketBoundsAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // bucket 0: (-inf, 1]
+  h.Observe(1.0);  // bucket 0: boundary value lands below
+  h.Observe(1.5);  // bucket 1: (1, 2]
+  h.Observe(4.0);  // bucket 2: (2, 4]
+  h.Observe(4.1);  // overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 4.1);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 4; ++i) h.Observe(5.0);   // bucket 0
+  for (int i = 0; i < 4; ++i) h.Observe(15.0);  // bucket 1
+  // n=8. q=0.25 -> rank 2 of 4 in [0,10] -> 5; q=0.5 -> rank 4 of 4 -> 10;
+  // q=0.75 -> rank 2 of 4 in (10,20] -> 15; q=1 -> 20.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.00), 20.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  // All mass in the overflow bucket: quantiles report the last bound (the
+  // histogram cannot see above it).
+  Histogram overflow({1.0, 2.0});
+  overflow.Observe(100.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.99), 2.0);
+}
+
+TEST(Histogram, ExponentialBoundsAreLogSpaced) {
+  const std::vector<double> bounds = Histogram::ExponentialBounds(0.25, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.25);
+  EXPECT_DOUBLE_EQ(bounds[1], 0.5);
+  EXPECT_DOUBLE_EQ(bounds[2], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 2.0);
+  EXPECT_THROW(Histogram::ExponentialBounds(0.0, 2.0, 4), ConfigError);
+  EXPECT_THROW(Histogram::ExponentialBounds(1.0, 1.0, 4), ConfigError);
+}
+
+TEST(Histogram, DefaultLatencyLadderCoversMicrosecondsToSeconds) {
+  const std::vector<double> bounds = DefaultLatencyBoundsUs();
+  ASSERT_EQ(bounds.size(), 24u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.25);
+  EXPECT_GT(bounds.back(), 1e6);  // above one second, in microseconds
+}
+
+TEST(Histogram, RejectsNonAscendingBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), ConfigError);
+  EXPECT_THROW(Histogram({1.0, 1.0, 3.0}), ConfigError);
+}
+
+TEST(Histogram, ConcurrentObservationsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  Histogram h({1.0, 2.0});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(1.5);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket_count(1), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5 * kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, InstrumentsAreStableByName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("y"), a);
+  // Bucket bounds are fixed by the first call; later bounds are ignored.
+  Histogram* h1 = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("h", {5.0});
+  EXPECT_EQ(h1, h2);
+  ASSERT_EQ(h1->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, EnableIsOptIn) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.enabled());
+  registry.Enable();
+  EXPECT_TRUE(registry.enabled());
+  registry.Disable();
+  EXPECT_FALSE(registry.enabled());
+}
+
+TEST(MetricsRegistry, JsonExportRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("sweeps.evaluated")->Increment(100);
+  registry.GetGauge("pool.depth")->Set(3.5);
+  Histogram* h = registry.GetHistogram("latency", {10.0, 20.0});
+  for (int i = 0; i < 4; ++i) h->Observe(5.0);
+
+  // Through Dump+Parse so the exported document is what a consumer reads.
+  const json::Value doc = json::Parse(registry.ToJson().Dump());
+  EXPECT_EQ(doc.at("counters").at("sweeps.evaluated").AsInt(), 100);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("pool.depth").AsDouble(), 3.5);
+  const json::Value& lat = doc.at("histograms").at("latency");
+  EXPECT_EQ(lat.at("count").AsInt(), 4);
+  EXPECT_DOUBLE_EQ(lat.at("sum").AsDouble(), 20.0);
+  ASSERT_EQ(lat.at("bounds").AsArray().size(), 2u);
+  ASSERT_EQ(lat.at("bucket_counts").AsArray().size(), 3u);  // + overflow
+  EXPECT_EQ(lat.at("bucket_counts").AsArray()[0].AsInt(), 4);
+  EXPECT_DOUBLE_EQ(lat.at("p50").AsDouble(), 5.0);
+}
+
+TEST(MetricsRegistry, EmptySectionsSerializeAsObjects) {
+  MetricsRegistry registry;
+  const json::Value doc = json::Parse(registry.ToJson().Dump());
+  EXPECT_TRUE(doc.at("counters").is_object());
+  EXPECT_TRUE(doc.at("gauges").is_object());
+  EXPECT_TRUE(doc.at("histograms").is_object());
+}
+
+TEST(MetricsRegistry, TableListsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(7);
+  registry.GetGauge("g")->Set(1.0);
+  (void)registry.GetHistogram("h", {1.0});
+  const std::string table = registry.ToTable();
+  EXPECT_NE(table.find("c"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("gauge"), std::string::npos);
+  EXPECT_NE(table.find("histogram"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetDropsInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(7);
+  registry.Reset();
+  const json::Value doc = registry.ToJson();
+  EXPECT_TRUE(doc.at("counters").AsObject().empty());
+  // A re-created instrument starts from zero.
+  EXPECT_EQ(registry.GetCounter("c")->value(), 0u);
+}
+
+TEST(MetricNameSegmentTest, SlugifiesReasonStrings) {
+  EXPECT_EQ(MetricNameSegment("insufficient memory capacity"),
+            "insufficient_memory_capacity");
+  EXPECT_EQ(MetricNameSegment("dp/microbatch (bad)"), "dp_microbatch__bad_");
+  EXPECT_EQ(MetricNameSegment("Already09Clean"), "Already09Clean");
+}
+
+}  // namespace
+}  // namespace calculon::obs

@@ -84,6 +84,10 @@ TEST(RunContext, SnapshotSerializesToJson) {
   EXPECT_EQ(v.at("stop_reason").AsString(), "failure-budget");
   EXPECT_EQ(v.at("items_completed").AsInt(), 7);
   EXPECT_EQ(v.at("failures").AsInt(), 1);
+  EXPECT_GE(v.at("elapsed_seconds").AsDouble(), 0.0);
+  EXPECT_GT(v.at("start_unix_seconds").AsInt(), 0);
+  EXPECT_GE(v.at("end_unix_seconds").AsInt(),
+            v.at("start_unix_seconds").AsInt());
   const json::Array& samples = v.at("failure_samples").AsArray();
   ASSERT_EQ(samples.size(), 1u);
   EXPECT_EQ(samples[0].at("item").AsInt(), 3);
@@ -93,16 +97,43 @@ TEST(RunContext, SnapshotSerializesToJson) {
 }
 
 TEST(RunContext, SummaryIsHumanReadable) {
-  RunContext clean;
-  clean.RecordCompleted(10);
-  EXPECT_EQ(clean.Snapshot().Summary(), "complete: 10 items, no failures");
+  // Direct construction: statuses without wall-clock data keep the
+  // original strings (Snapshot()-built statuses append "in Xs", pinned in
+  // SummaryIncludesElapsedWhenRecorded).
+  RunStatus clean;
+  clean.items_completed = 10;
+  EXPECT_EQ(clean.Summary(), "complete: 10 items, no failures");
 
-  RunContext degraded;
-  degraded.RecordCompleted(5);
-  degraded.RecordFailure(1, "", "x");
-  degraded.Cancel(StopReason::kDeadline);
-  EXPECT_EQ(degraded.Snapshot().Summary(),
+  RunStatus degraded;
+  degraded.complete = false;
+  degraded.stop_reason = StopReason::kDeadline;
+  degraded.items_completed = 5;
+  degraded.failures = 1;
+  EXPECT_EQ(degraded.Summary(),
             "degraded: 1 failures, stopped early (deadline) after 5 items");
+}
+
+TEST(RunContext, SummaryIncludesElapsedWhenRecorded) {
+  RunStatus status;
+  status.items_completed = 3;
+  status.elapsed_seconds = 12.34;
+  EXPECT_EQ(status.Summary(), "complete: 3 items, no failures in 12.3s");
+
+  RunContext ctx;
+  ctx.RecordCompleted(2);
+  const std::string summary = ctx.Snapshot().Summary();
+  EXPECT_NE(summary.find("complete: 2 items, no failures in "),
+            std::string::npos)
+      << summary;
+}
+
+TEST(RunContext, SnapshotRecordsWallClock) {
+  RunContext ctx;
+  const RunStatus status = ctx.Snapshot();
+  EXPECT_GE(status.elapsed_seconds, 0.0);
+  EXPECT_LT(status.elapsed_seconds, 60.0);  // just constructed
+  EXPECT_GT(status.start_unix_seconds, 0);
+  EXPECT_GE(status.end_unix_seconds, status.start_unix_seconds);
 }
 
 TEST(RunContext, StopReasonNames) {
