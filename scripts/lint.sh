@@ -9,32 +9,66 @@
 # GCC toolchain (CI runs it with the full LLVM toolchain installed).
 #
 # Usage:
-#   scripts/lint.sh [--fix] [--build-dir DIR] [paths...]
+#   scripts/lint.sh [--fix] [--changed] [--build-dir DIR] [--jobs N] [paths...]
 #     --fix          let clang-tidy apply fixes and clang-format rewrite
+#     --changed      lint only files modified vs ${LINT_BASE_REF:-origin/main}
+#                    (fast pre-push loop; CI always runs the full tree)
 #     --build-dir    compile-commands location (default: build)
+#     --jobs N       worker threads for calculon-lint (default: nproc)
 #     paths          restrict to specific files (default: whole tree)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 FIX=0
+CHANGED=0
 BUILD_DIR=build
+JOBS=$(nproc 2>/dev/null || echo 1)
 PATHS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --fix) FIX=1 ;;
+    --changed) CHANGED=1 ;;
     --build-dir)
       BUILD_DIR=$2
       shift
       ;;
+    --jobs)
+      JOBS=$2
+      shift
+      ;;
     -h | --help)
-      sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *) PATHS+=("$1") ;;
   esac
   shift
 done
+
+if [[ $CHANGED -eq 1 ]]; then
+  BASE_REF=${LINT_BASE_REF:-origin/main}
+  if ! git rev-parse --verify -q "$BASE_REF" >/dev/null; then
+    echo "lint: base ref $BASE_REF not found, falling back to HEAD"
+    BASE_REF=HEAD
+  fi
+  # Committed, staged, and unstaged changes vs the base; deleted files drop
+  # out via the existence filter.
+  mapfile -t CHANGED_FILES < <(
+    { git diff --name-only "$BASE_REF" -- \
+        '*.cc' '*.cpp' '*.h'
+      git ls-files --others --exclude-standard -- \
+        '*.cc' '*.cpp' '*.h'
+    } | sort -u)
+  for f in "${CHANGED_FILES[@]}"; do
+    [[ -f $f ]] && PATHS+=("$f")
+  done
+  if [[ ${#PATHS[@]} -eq 0 ]]; then
+    echo "lint: no C++ files changed vs $BASE_REF"
+    exit 0
+  fi
+  echo "lint: --changed mode, ${#PATHS[@]} file(s) vs $BASE_REF"
+fi
 
 if [[ ${#PATHS[@]} -eq 0 ]]; then
   mapfile -t PATHS < <(find src tests bench examples \
@@ -72,14 +106,24 @@ fi
 # dimensional scan of src/hw and src/core headers, banned patterns, and
 # header hygiene. It exits non-zero on any finding not in the checked-in
 # baseline (.calculon-lint-baseline, which is kept empty).
+#
+# In --changed mode the whole tree is still loaded (cross-file rules need
+# it) but only findings in the changed files are reported, via --only.
 LINT_BIN="$BUILD_DIR/src/calculon-lint"
 if [[ ! -x "$LINT_BIN" ]]; then
   echo "lint: building calculon-lint"
   cmake -B "$BUILD_DIR" -S . >/dev/null
   cmake --build "$BUILD_DIR" --target calculon-lint >/dev/null
 fi
-echo "lint: calculon-lint over src, examples and bench"
-"$LINT_BIN" --root . || STATUS=1
+LINT_ARGS=(--root . --jobs "$JOBS")
+if [[ $CHANGED -eq 1 ]]; then
+  ONLY=$(printf '%s,' "${PATHS[@]}")
+  LINT_ARGS+=(--only "${ONLY%,}")
+  echo "lint: calculon-lint over changed files"
+else
+  echo "lint: calculon-lint over src, examples and bench"
+fi
+"$LINT_BIN" "${LINT_ARGS[@]}" || STATUS=1
 
 # --- clang-format -------------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then

@@ -13,7 +13,7 @@
 #include "core/perf_model.h"
 #include "core/pipeline.h"
 #include "core/stats.h"
-#include "search/threadpool.h"
+#include "util/threadpool.h"
 #include "testing/fault_injection.h"
 #include "util/mathutil.h"
 #include "util/strings.h"

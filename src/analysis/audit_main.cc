@@ -12,7 +12,6 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -25,7 +24,7 @@
 #include "obs/cli_options.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
-#include "search/threadpool.h"
+#include "util/threadpool.h"
 #include "testing/fault_injection.h"
 #include "util/run_context.h"
 #include "util/strings.h"
@@ -361,7 +360,7 @@ int main(int argc, char** argv) try {
     }
   }
 
-  std::mutex checkpoint_mutex;
+  calculon::Mutex checkpoint_mutex;
   auto write_checkpoint = [&]() {
     // Caller holds checkpoint_mutex. Tmp-file + rename keeps the previous
     // journal intact if this write is interrupted.
@@ -404,7 +403,7 @@ int main(int argc, char** argv) try {
     // this process's summary but leave it out of the journal so a resumed
     // run re-audits it in full.
     if (ctx.cancelled()) return;
-    std::lock_guard<std::mutex> lock(checkpoint_mutex);
+    calculon::MutexLock lock(checkpoint_mutex);
     done[i] = 1;
     if (!checkpoint_path.empty()) write_checkpoint();
   });

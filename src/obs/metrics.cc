@@ -3,11 +3,32 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/threadpool.h"
 
 namespace calculon::obs {
+namespace {
+
+// The installed ThreadPool hook: a counter track in the trace and a gauge
+// in the metrics registry. Both sinks check their own enabled state, so
+// the hook can stay installed once either subsystem has been turned on.
+void PublishPoolQueueDepth(std::size_t depth) {
+  CALC_TRACE_COUNTER("pool.queue_depth", depth);
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  if (metrics.enabled()) {
+    metrics.GetGauge("threadpool.queue_depth")
+        ->Set(static_cast<double>(depth));
+  }
+}
+
+}  // namespace
+
+void InstallThreadPoolTelemetry() {
+  ThreadPool::SetQueueDepthHook(&PublishPoolQueueDepth);
+}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
@@ -77,15 +98,20 @@ MetricsRegistry& MetricsRegistry::Global() {
   return global;
 }
 
+void MetricsRegistry::Enable() {
+  enabled_.store(true, std::memory_order_relaxed);
+  InstallThreadPoolTelemetry();
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -93,14 +119,14 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
   return slot.get();
 }
 
 json::Value MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   json::Value doc;
   // Sections are explicit empty objects (not null) when unpopulated, so
   // consumers can iterate unconditionally.
@@ -140,7 +166,7 @@ json::Value MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToTable() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Table table({"metric", "kind", "value"});
   for (const auto& [name, counter] : counters_) {
     table.AddRow({name, "counter",
@@ -162,7 +188,7 @@ std::string MetricsRegistry::ToTable() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -19,11 +19,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "json/json.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace calculon::obs {
 
@@ -108,37 +109,51 @@ class MetricsRegistry {
   [[nodiscard]] static MetricsRegistry& Global();
 
   // Recording is opt-in (--metrics, bench harness): engines skip clock
-  // reads and instrument updates entirely when disabled.
-  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  // reads and instrument updates entirely when disabled. Enable() also
+  // installs the ThreadPool queue-depth hook (out-of-line so the header
+  // needs no ThreadPool dependency).
+  void Enable();
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
   [[nodiscard]] bool enabled() const {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  [[nodiscard]] Counter* GetCounter(const std::string& name);
-  [[nodiscard]] Gauge* GetGauge(const std::string& name);
+  [[nodiscard]] Counter* GetCounter(const std::string& name)
+      CALC_EXCLUDES(mutex_);
+  [[nodiscard]] Gauge* GetGauge(const std::string& name) CALC_EXCLUDES(mutex_);
   // The first call fixes the bucket bounds; later calls with the same name
   // return the existing histogram regardless of `bounds`.
   [[nodiscard]] Histogram* GetHistogram(const std::string& name,
-                                        std::vector<double> bounds);
+                                        std::vector<double> bounds)
+      CALC_EXCLUDES(mutex_);
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {"count",
   // "sum", "bounds", "bucket_counts", "p50", "p95", "p99"}}}. Keys are
   // sorted, so export is deterministic for a given set of values.
-  [[nodiscard]] json::Value ToJson() const;
-  [[nodiscard]] std::string ToTable() const;
+  [[nodiscard]] json::Value ToJson() const CALC_EXCLUDES(mutex_);
+  [[nodiscard]] std::string ToTable() const CALC_EXCLUDES(mutex_);
 
   // Drops every instrument (cached pointers become invalid) — for tests
   // and for zeroing between bench harness phases.
-  void Reset();
+  void Reset() CALC_EXCLUDES(mutex_);
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;  // guards the maps, not the instruments
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Guards the maps, not the instruments (those are lock-free atomics).
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CALC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      CALC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CALC_GUARDED_BY(mutex_);
 };
+
+// Points ThreadPool's queue-depth telemetry hook at the trace recorder and
+// this metrics registry. Called by MetricsRegistry::Enable() and
+// TraceRecorder::Start(); idempotent, and the dependency inversion that
+// lets ThreadPool live in the util layer below obs.
+void InstallThreadPoolTelemetry();
 
 // "insufficient memory capacity" -> "insufficient_memory_capacity": metric
 // name segments from human-readable reason strings.

@@ -23,14 +23,14 @@ ProgressReporter::~ProgressReporter() { Stop(); }
 
 void ProgressReporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) return;
     stop_requested_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -41,20 +41,25 @@ void ProgressReporter::Stop() {
 }
 
 void ProgressReporter::Loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.interval_s));
+  auto next = std::chrono::steady_clock::now() + interval;
   for (;;) {
-    const auto interval =
-        std::chrono::duration<double>(options_.interval_s);
-    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
-      return;  // final line comes from Stop()
+    {
+      MutexLock lock(mutex_);
+      // WaitUntil returning true means a notification (or spurious wake):
+      // re-check the predicate; false means the interval elapsed.
+      while (!stop_requested_ && cv_.WaitUntil(lock, next)) {
+      }
+      if (stop_requested_) return;  // final line comes from Stop()
     }
     const double elapsed_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
-    lock.unlock();
     EmitLine(elapsed_s);
-    lock.lock();
+    next += interval;
   }
 }
 

@@ -13,14 +13,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "util/run_context.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace calculon::obs {
 
@@ -43,7 +43,7 @@ class ProgressReporter {
 
   // Emits one final line and joins the thread. Idempotent; the destructor
   // calls it.
-  void Stop();
+  void Stop() CALC_EXCLUDES(mutex_);
 
   // --- ETA math, exposed for pinning tests ---
 
@@ -64,17 +64,20 @@ class ProgressReporter {
                                               double elapsed_s);
 
  private:
-  void Loop();
+  void Loop() CALC_EXCLUDES(mutex_);
   void EmitLine(double elapsed_s);
 
+  // ctx_/options_/start_ are set in the constructor before the reporting
+  // thread launches and read-only afterwards.
   const RunContext* ctx_;
-  ProgressOptions options_;
-  std::chrono::steady_clock::time_point start_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
-  bool stopped_ = false;
-  std::thread thread_;
+  ProgressOptions options_;  // lint-ok(unannotated-shared): set before launch
+  std::chrono::steady_clock::time_point
+      start_;  // lint-ok(unannotated-shared): set before launch
+  Mutex mutex_;
+  CondVar cv_;
+  bool stop_requested_ CALC_GUARDED_BY(mutex_) = false;
+  bool stopped_ CALC_GUARDED_BY(mutex_) = false;
+  std::thread thread_;  // lint-ok(unannotated-shared): ctor/Stop only
 };
 
 }  // namespace calculon::obs

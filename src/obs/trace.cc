@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace calculon::obs {
 
 namespace {
@@ -39,7 +41,10 @@ TraceRecorder& TraceRecorder::Global() {
 }
 
 void TraceRecorder::Start() {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  // The hook publishes to the global recorder/registry, which check their
+  // own enabled state — safe regardless of which instance started.
+  InstallThreadPoolTelemetry();
+  MutexLock lock(registry_mutex_);
   buffers_.clear();
   next_tid_ = 1;
   epoch_.store(g_next_epoch.fetch_add(1, std::memory_order_relaxed),
@@ -66,7 +71,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
   }
   auto buffer = std::make_shared<ThreadBuffer>();
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     buffer->tid = next_tid_++;
     buffers_.push_back(buffer);
   }
@@ -76,7 +81,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
 
 void TraceRecorder::Append(TraceEvent event) {
   ThreadBuffer* buffer = BufferForThisThread();
-  std::lock_guard<std::mutex> lock(buffer->mutex);
+  MutexLock lock(buffer->mutex);
   if (buffer->events.size() >=
       max_events_per_thread_.load(std::memory_order_relaxed)) {
     ++buffer->dropped;
@@ -137,9 +142,9 @@ void TraceRecorder::set_max_events_per_thread(std::size_t cap) {
 
 std::uint64_t TraceRecorder::dropped() const {
   std::uint64_t total = 0;
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    MutexLock buffer_lock(buffer->mutex);
     total += buffer->dropped;
   }
   return total;
@@ -149,14 +154,14 @@ json::Value TraceRecorder::ToJson() const {
   json::Array events;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     buffers = buffers_;
   }
   for (const auto& buffer : buffers) {
     std::vector<TraceEvent> snapshot;
     int tid = 0;
     {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      MutexLock buffer_lock(buffer->mutex);
       snapshot = buffer->events;
       tid = buffer->tid;
     }

@@ -21,11 +21,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "json/json.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace calculon::obs {
 
@@ -61,8 +62,9 @@ class TraceRecorder {
 
   // Clears previous events, re-zeroes the time origin, starts recording.
   // Must not race with threads that are actively recording: call between
-  // sweeps (Stop() is safe to call at any time).
-  void Start();
+  // sweeps (Stop() is safe to call at any time). On the global recorder
+  // this also installs the ThreadPool queue-depth hook.
+  void Start() CALC_EXCLUDES(registry_mutex_);
   void Stop();
   [[nodiscard]] bool enabled() const {
     return enabled_.load(std::memory_order_relaxed);
@@ -86,24 +88,27 @@ class TraceRecorder {
   // Cap on buffered events per thread; excess events are counted in
   // dropped() instead of recorded (bounds memory on huge sweeps).
   void set_max_events_per_thread(std::size_t cap);
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t dropped() const CALC_EXCLUDES(registry_mutex_);
 
   // Snapshot as a trace-event-format JSON document:
   //   {"displayTimeUnit": "ms", "traceEvents": [...]}
   // Includes thread_name metadata events. Safe while recording (events
   // appended concurrently may or may not be included).
-  [[nodiscard]] json::Value ToJson() const;
+  [[nodiscard]] json::Value ToJson() const CALC_EXCLUDES(registry_mutex_);
   void WriteFile(const std::string& path) const;
 
  private:
   struct ThreadBuffer {
-    std::mutex mutex;
-    std::vector<TraceEvent> events;
-    int tid = 0;
-    std::uint64_t dropped = 0;
+    Mutex mutex;
+    std::vector<TraceEvent> events CALC_GUARDED_BY(mutex);
+    // Written once (under the registry lock) before the buffer is published
+    // to other threads, read-only after.
+    int tid = 0;  // lint-ok(unannotated-shared): set before publication
+    std::uint64_t dropped CALC_GUARDED_BY(mutex) = 0;
   };
 
-  [[nodiscard]] ThreadBuffer* BufferForThisThread();
+  [[nodiscard]] ThreadBuffer* BufferForThisThread()
+      CALC_EXCLUDES(registry_mutex_);
   void Append(TraceEvent event);
 
   std::atomic<bool> enabled_{false};
@@ -114,9 +119,12 @@ class TraceRecorder {
                                          // cached thread buffers
   std::atomic<std::int64_t> start_ns_{0};
 
-  mutable std::mutex registry_mutex_;  // guards buffers_ (the list itself)
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  int next_tid_ = 1;
+  // Guards the list of buffers itself; each buffer's contents are behind
+  // its own per-thread mutex.
+  mutable Mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      CALC_GUARDED_BY(registry_mutex_);
+  int next_tid_ CALC_GUARDED_BY(registry_mutex_) = 1;
 };
 
 // RAII span: records one complete event on the global recorder covering the

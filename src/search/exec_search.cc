@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
-#include <mutex>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -185,7 +184,7 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
   SearchResult result;
   ParetoFront pareto;
   RejectionTally rejected{};
-  std::mutex merge_mutex;
+  Mutex merge_mutex;
   RunContext* const ctx = config.ctx;
 
   // Instrument pointers are fetched once per search; the per-evaluation
@@ -324,7 +323,7 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
     };
     sweep_triple();
 
-    std::lock_guard<std::mutex> lock(merge_mutex);
+    MutexLock lock(merge_mutex);
     result.evaluated += local.evaluated;
     result.feasible += local.feasible;
     for (std::size_t i = 0; i < kNumInfeasible; ++i) {

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/perf_model.h"
-#include "search/threadpool.h"
+#include "util/threadpool.h"
 #include "util/run_context.h"
 
 namespace calculon {

@@ -1,9 +1,11 @@
 #include "staticlint/engine.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 
 #include "staticlint/lexer.h"
+#include "util/threadpool.h"
 
 namespace calculon::staticlint {
 
@@ -32,6 +34,20 @@ std::vector<SourceFile> LoadTree(const std::string& repo_root,
     }
   }
   std::sort(rel_paths.begin(), rel_paths.end());
+
+  // Load by sorted index, so the output order (and everything downstream:
+  // rule iteration, lock-order DFS, SARIF) is identical at any job count.
+  if (options.jobs > 1 && rel_paths.size() > 1) {
+    std::vector<SourceFile> files(rel_paths.size());
+    const std::size_t workers = std::min<std::size_t>(
+        static_cast<std::size_t>(options.jobs), rel_paths.size());
+    ThreadPool pool(static_cast<unsigned>(workers));
+    pool.ParallelFor(rel_paths.size(), [&](std::uint64_t i) {
+      const std::string& rel = rel_paths[i];
+      files[i] = LoadSourceFile((fs::path(repo_root) / rel).string(), rel);
+    });
+    return files;
+  }
 
   std::vector<SourceFile> files;
   files.reserve(rel_paths.size());

@@ -15,6 +15,9 @@ struct TreeOptions {
   // default: gtest macro bodies are not representative library code).
   std::vector<std::string> roots = {"src", "examples", "bench"};
   std::vector<std::string> extensions = {".h", ".cc", ".cpp"};
+  // Worker threads for reading + lexing files (1 = fully serial). The
+  // result is identical for any value: files come back path-sorted.
+  int jobs = 1;
 };
 
 // Loads every matching file under repo_root, lexed, with repo-relative

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <functional>
+
+#include "staticlint/graph.h"
 
 namespace calculon::staticlint {
 
@@ -41,43 +42,9 @@ std::string IncludeGraph::LayerOf(const std::string& path) const {
 }
 
 std::vector<std::vector<std::string>> IncludeGraph::FindCycles() const {
-  // Three-color DFS over the header-to-header subgraph (a .cc is
-  // never an include target, so cycles can only run through headers).
-  enum class Color { kWhite, kGray, kBlack };
-  std::map<std::string, Color> color;
-  std::vector<std::vector<std::string>> cycles;
-
-  std::vector<std::string> stack;  // current DFS path
-  std::function<void(const std::string&)> visit =
-      [&](const std::string& node) {
-        color[node] = Color::kGray;
-        stack.push_back(node);
-        auto it = adjacency_.find(node);
-        if (it != adjacency_.end()) {
-          for (const std::string& next : it->second) {
-            Color c = color.count(next) ? color[next] : Color::kWhite;
-            if (c == Color::kGray) {
-              // Back edge: the cycle is the stack suffix from `next`.
-              auto begin =
-                  std::find(stack.begin(), stack.end(), next);
-              std::vector<std::string> cycle(begin, stack.end());
-              cycle.push_back(next);
-              cycles.push_back(std::move(cycle));
-            } else if (c == Color::kWhite) {
-              visit(next);
-            }
-          }
-        }
-        stack.pop_back();
-        color[node] = Color::kBlack;
-      };
-
-  for (const auto& [node, unused] : adjacency_) {
-    (void)unused;
-    Color c = color.count(node) ? color[node] : Color::kWhite;
-    if (c == Color::kWhite) visit(node);
-  }
-  return cycles;
+  // A .cc is never an include target, so cycles can only run through
+  // headers; the generic DFS handles the whole adjacency either way.
+  return FindGraphCycles(adjacency_);
 }
 
 }  // namespace calculon::staticlint

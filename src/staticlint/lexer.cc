@@ -211,11 +211,16 @@ std::vector<Token> Lex(std::string_view text) {
       continue;
     }
 
-    // Character literal. A lone ' after an identifier or digit would be a
-    // digit separator, but separators are consumed inside the number branch,
-    // so any ' seen here starts a char literal.
-    if (ch == '\'') {
-      c.Advance();
+    // Character literal, with optional encoding prefix (u', U', L', u8').
+    // A lone ' after an identifier or digit would be a digit separator, but
+    // separators are consumed inside the number branch, so any ' seen here
+    // starts a char literal.
+    if (ch == '\'' ||
+        ((ch == 'u' || ch == 'U' || ch == 'L') &&
+         (c.Peek(1) == '\'' || (ch == 'u' && c.Peek(1) == '8' &&
+                                c.Peek(2) == '\'')))) {
+      while (c.Peek() != '\'') c.Advance();  // skip the prefix
+      c.Advance();                           // opening quote
       while (!c.AtEnd() && c.Peek() != '\'' && c.Peek() != '\n') {
         if (c.Peek() == '\\') c.Advance();
         c.Advance();
@@ -225,9 +230,29 @@ std::vector<Token> Lex(std::string_view text) {
       continue;
     }
 
-    // Identifier / keyword.
+    // Identifier / keyword. A phase-2 line splice (backslash-newline) can
+    // land mid-identifier; consume it so the halves stay one token (the
+    // token text keeps the raw splice bytes).
     if (IsIdentStart(ch)) {
-      while (IsIdentChar(c.Peek())) c.Advance();
+      while (true) {
+        if (IsIdentChar(c.Peek())) {
+          c.Advance();
+          continue;
+        }
+        if (c.Peek() == '\\') {
+          std::size_t skip = 0;
+          if (c.Peek(1) == '\n') {
+            skip = 2;
+          } else if (c.Peek(1) == '\r' && c.Peek(2) == '\n') {
+            skip = 3;
+          }
+          if (skip > 0 && IsIdentChar(c.Peek(skip))) {
+            c.Advance(skip);
+            continue;
+          }
+        }
+        break;
+      }
       emit(TokKind::kIdent, c.Slice(start), line, col);
       continue;
     }

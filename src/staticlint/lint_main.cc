@@ -1,7 +1,8 @@
 // calculon-lint: the project-aware static analysis CLI.
 //
 //   calculon-lint --root <repo> [--baseline FILE] [--sarif FILE]
-//                 [--rules a,b,...] [--list-rules] [--update-baseline]
+//                 [--rules a,b,...] [--jobs N] [--only p1,p2,...]
+//                 [--list-rules] [--update-baseline]
 //
 // Exit codes: 0 clean, 1 non-baselined findings, 2 usage/config error.
 // See docs/correctness.md §6 for the rule catalog and the baseline format.
@@ -31,6 +32,12 @@ struct CliOptions {
   std::string baseline_path;  // empty: <root>/.calculon-lint-baseline
   std::string sarif_path;
   std::set<std::string> rules;
+  // Report only findings in these repo-relative paths (empty: all). The
+  // whole tree is still loaded and analyzed -- cross-file rules (layering,
+  // guard bindings) need it -- only the report is restricted. This is what
+  // scripts/lint.sh --changed uses for fast pre-push feedback.
+  std::set<std::string> only_paths;
+  int jobs = 1;
   bool list_rules = false;
   bool update_baseline = false;
   bool verbose = false;
@@ -39,8 +46,8 @@ struct CliOptions {
 void PrintUsage() {
   std::cout <<
       "usage: calculon-lint [--root DIR] [--baseline FILE] [--sarif FILE]\n"
-      "                     [--rules a,b,...] [--list-rules]\n"
-      "                     [--update-baseline] [--verbose]\n"
+      "                     [--rules a,b,...] [--jobs N] [--only p1,p2,...]\n"
+      "                     [--list-rules] [--update-baseline] [--verbose]\n"
       "\n"
       "Project-aware static analysis for the calculon repository: layering\n"
       "DAG, Result<T> discipline, Quantity::raw() boundaries, banned\n"
@@ -77,6 +84,22 @@ void PrintUsage() {
       while (std::getline(list, one, ',')) {
         if (!one.empty()) out->rules.insert(one);
       }
+    } else if (arg == "--only") {
+      const char* v = next("--only");
+      if (v == nullptr) return false;
+      std::istringstream list(v);
+      std::string one;
+      while (std::getline(list, one, ',')) {
+        if (!one.empty()) out->only_paths.insert(one);
+      }
+    } else if (arg == "--jobs" || arg == "-j") {
+      const char* v = next("--jobs");
+      if (v == nullptr) return false;
+      out->jobs = std::atoi(v);
+      if (out->jobs < 1) {
+        std::cerr << "calculon-lint: --jobs needs a positive integer\n";
+        return false;
+      }
     } else if (arg == "--list-rules") {
       out->list_rules = true;
     } else if (arg == "--update-baseline") {
@@ -109,7 +132,9 @@ int main(int argc, char** argv) {
 
   try {
     ProjectConfig config = ProjectConfig::Default();
-    std::vector<SourceFile> files = LoadTree(cli.root);
+    TreeOptions tree_options;
+    tree_options.jobs = cli.jobs;
+    std::vector<SourceFile> files = LoadTree(cli.root, tree_options);
     if (files.empty()) {
       std::cerr << "calculon-lint: no sources under " << cli.root << "\n";
       return 2;
@@ -117,6 +142,7 @@ int main(int argc, char** argv) {
 
     LintOptions options;
     options.rule_filter = cli.rules;
+    options.jobs = cli.jobs;
     LintResult result = RunLint(files, config, options);
 
     std::string baseline_path = cli.baseline_path.empty()
@@ -132,6 +158,13 @@ int main(int argc, char** argv) {
 
     Baseline baseline = LoadBaseline(baseline_path);
     BaselineApplication app = ApplyBaseline(baseline, result.findings);
+    if (!cli.only_paths.empty()) {
+      std::vector<Diagnostic> kept;
+      for (Diagnostic& d : app.fresh) {
+        if (cli.only_paths.count(d.path) > 0) kept.push_back(std::move(d));
+      }
+      app.fresh = std::move(kept);
+    }
 
     if (!cli.sarif_path.empty()) {
       calculon::json::WriteFile(cli.sarif_path,

@@ -1,0 +1,590 @@
+// Thread-safety discipline rules (docs/correctness.md §6).
+//
+// Four rules over the declaration model (decl_model.h) plus a
+// flow-insensitive per-statement held-lock set:
+//
+//   guarded-field       access to a CALC_GUARDED_BY field without its lock
+//   requires-held       call breaks a CALC_REQUIRES / CALC_EXCLUDES contract
+//   lock-order          acquisition order forms a cycle (potential deadlock)
+//   unannotated-shared  annotated class has a field with no discipline
+//
+// The held-lock analysis walks each method body once: RAII lock holders
+// (MutexLock, std::lock_guard, ...) and manual Lock()/Unlock() calls add and
+// remove canonical lock expressions, scoped to the surrounding braces. The
+// analysis is deliberately conservative: qualified accesses are only checked
+// when the field name binds unambiguously to a guarded declaration across
+// the whole tree, and calls only when the method name is defined by exactly
+// one class. Ambiguity silences a check; it never invents a finding.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "staticlint/decl_model.h"
+#include "staticlint/graph.h"
+#include "staticlint/match.h"
+#include "staticlint/rules.h"
+
+namespace calculon::staticlint {
+
+namespace {
+
+[[nodiscard]] bool StartsWith(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+}
+
+// Canonical lock-expression spelling: `this->m` and `this.m` mean `m`.
+[[nodiscard]] std::string Normalize(std::string expr) {
+  if (StartsWith(expr, "this->")) return expr.substr(6);
+  if (StartsWith(expr, "this.")) return expr.substr(5);
+  return expr;
+}
+
+// Merged annotations for one method name across the whole tree. A name
+// defined by more than one class is ambiguous and never checked.
+struct MethodAnn {
+  const ClassDecl* cls = nullptr;
+  bool ambiguous = false;
+  std::vector<std::string> requires_held;
+  std::vector<std::string> excludes;
+};
+
+// How a field name binds to a guard across every class in the tree.
+// Qualified accesses (`obj->field`) carry no type information, so they are
+// only checked when every declaration of the name agrees on one guard.
+struct GuardBinding {
+  std::set<std::string> guards;
+  bool has_unguarded = false;
+
+  [[nodiscard]] bool Enforceable() const {
+    return guards.size() == 1 && !has_unguarded;
+  }
+};
+
+// One observed "acquired `to` while holding `from`" event (or a declared
+// CALC_ACQUIRED_BEFORE/AFTER edge), with the site for the diagnostic.
+struct OrderEdge {
+  std::string from;
+  std::string to;
+  const SourceFile* file = nullptr;
+  int line = 0;
+};
+
+struct ThreadModel {
+  std::vector<FileDeclModel> files;
+  std::map<std::string, std::vector<const ClassDecl*>> classes_by_name;
+  std::map<std::string, MethodAnn> methods;
+  std::map<std::string, GuardBinding> fields;
+  // mutex-typed field name -> its unique owning class (nullptr: ambiguous).
+  std::map<std::string, const ClassDecl*> mutex_owner;
+};
+
+[[nodiscard]] ThreadModel BuildThreadModel(
+    const std::vector<SourceFile>& files, const ProjectConfig& config) {
+  ThreadModel tm;
+  DeclModelOptions opts;
+  opts.mutex_types = config.mutex_types;
+  for (const SourceFile& f : files) {
+    if (!config.InLayerRoot(f.path) || config.IsExempt(f.path)) continue;
+    tm.files.push_back(BuildFileDeclModel(f, opts));
+  }
+  // Index after all files are parsed; moving a FileDeclModel does not move
+  // the ClassDecls its vectors own, so the pointers stay valid.
+  for (const FileDeclModel& fm : tm.files) {
+    for (const ClassDecl& cls : fm.classes) {
+      tm.classes_by_name[cls.name].push_back(&cls);
+      for (const FieldDecl& fd : cls.fields) {
+        GuardBinding& b = tm.fields[fd.name];
+        if (fd.guarded_by.empty()) {
+          b.has_unguarded = true;
+        } else {
+          b.guards.insert(Normalize(fd.guarded_by));
+        }
+        if (fd.is_mutex) {
+          auto [it, inserted] = tm.mutex_owner.emplace(fd.name, &cls);
+          if (!inserted && it->second != &cls) it->second = nullptr;
+        }
+      }
+      for (const MethodDecl& m : cls.methods) {
+        MethodAnn& a = tm.methods[m.name];
+        if (a.cls == nullptr) {
+          a.cls = &cls;
+        } else if (a.cls != &cls) {
+          a.ambiguous = true;
+        }
+        a.requires_held.insert(a.requires_held.end(),
+                               m.requires_held.begin(),
+                               m.requires_held.end());
+        a.excludes.insert(a.excludes.end(), m.excludes.begin(),
+                          m.excludes.end());
+      }
+    }
+  }
+  return tm;
+}
+
+// The held-lock set, scoped to the brace structure of the body: entering a
+// block pushes a scope, leaving pops every lock acquired in it (RAII).
+class HeldSet {
+ public:
+  void Push() { scopes_.emplace_back(); }
+  void Pop() {
+    if (!scopes_.empty()) scopes_.pop_back();
+  }
+  void Acquire(std::string name) {
+    if (!scopes_.empty()) scopes_.back().push_back(std::move(name));
+  }
+  // Manual Unlock(): drop the innermost matching acquisition.
+  void Release(const std::string& name) {
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      auto it = std::find(scope->begin(), scope->end(), name);
+      if (it != scope->end()) {
+        scope->erase(it);
+        return;
+      }
+    }
+  }
+  [[nodiscard]] bool Contains(const std::string& name) const {
+    for (const auto& scope : scopes_) {
+      if (std::find(scope.begin(), scope.end(), name) != scope.end()) {
+        return true;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] std::vector<std::string> All() const {
+    std::vector<std::string> out;
+    for (const auto& scope : scopes_) {
+      out.insert(out.end(), scope.begin(), scope.end());
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<std::string>> scopes_;
+};
+
+// What one analysis pass reports. Each rule runs its own pass so the rules
+// stay independently testable and filterable.
+struct AnalysisOptions {
+  bool check_guarded = false;
+  bool check_calls = false;
+  std::vector<OrderEdge>* edges = nullptr;
+};
+
+[[nodiscard]] bool IsAcquireName(const std::string& name) {
+  return name == "Lock" || name == "lock" || name == "TryLock" ||
+         name == "try_lock";
+}
+[[nodiscard]] bool IsReleaseName(const std::string& name) {
+  return name == "Unlock" || name == "unlock";
+}
+
+// Walks one method body maintaining the held-lock set and emitting the
+// checks selected in AnalysisOptions.
+class BodyAnalyzer {
+ public:
+  BodyAnalyzer(const ThreadModel& tm, const ProjectConfig& config,
+               const FileDeclModel& fm, const ClassDecl* cls,
+               const MethodDecl& method, const AnalysisOptions& opts,
+               std::vector<Diagnostic>* out)
+      : tm_(tm),
+        config_(config),
+        fm_(fm),
+        sig_(fm.sig),
+        cls_(cls),
+        method_(method),
+        opts_(opts),
+        out_(out) {}
+
+  void Run() {
+    if (method_.no_analysis || method_.body_begin == kNpos) return;
+    held_.Push();
+    for (const std::string& r : method_.requires_held) {
+      held_.Acquire(Normalize(r));
+    }
+    std::size_t p = method_.body_begin + 1;
+    const std::size_t end = method_.body_end;
+    while (p < end) {
+      const Token& tok = sig_[p];
+      if (tok.kind != TokKind::kIdent) {
+        if (tok.text == "{") held_.Push();
+        if (tok.text == "}") held_.Pop();
+        ++p;
+        continue;
+      }
+      std::size_t after = TryLockDecl(p);
+      if (after != kNpos) {
+        p = after;
+        continue;
+      }
+      if (p > 0 && sig_.Is(p - 1, "::")) {
+        ++p;  // statically qualified name: no instance to reason about
+        continue;
+      }
+      bool member = p > 0 && (sig_.Is(p - 1, ".") || sig_.Is(p - 1, "->"));
+      std::string base;
+      bool base_ok = true;
+      if (member) {
+        base_ok = ResolveBase(p, &base);
+        if (base_ok && base == "this") member = false;  // this->x is bare x
+      }
+      const std::string name(tok.text);
+      if (sig_.Is(p + 1, "(")) {
+        if (member && base_ok && IsAcquireName(name)) {
+          RecordAcquire(base, tok.line);
+        } else if (member && base_ok && IsReleaseName(name)) {
+          held_.Release(Normalize(base));
+        } else if (opts_.check_calls) {
+          CheckCall(name, member, base_ok, base, tok.line);
+        }
+        ++p;
+        continue;
+      }
+      if (opts_.check_guarded) {
+        CheckFieldAccess(name, member, base_ok, base, tok.line);
+      }
+      ++p;
+    }
+  }
+
+ private:
+  // RAII lock-holder declaration: `MutexLock lock(m);`,
+  // `std::lock_guard<std::mutex> l(m);`, `std::scoped_lock l(a, b);`.
+  // Returns the index past the declaration's argument list, or kNpos.
+  [[nodiscard]] std::size_t TryLockDecl(std::size_t p) {
+    if (config_.lock_types.count(std::string(sig_[p].text)) == 0) {
+      return kNpos;
+    }
+    std::size_t q = p + 1;
+    if (sig_.Is(q, "<")) {
+      std::size_t m = FindMatching(sig_, q);
+      if (m == kNpos) return kNpos;
+      q = m + 1;
+    }
+    if (!sig_.IsIdent(q)) return kNpos;  // must be the holder variable
+    std::size_t open = q + 1;
+    if (!sig_.Is(open, "(") && !sig_.Is(open, "{")) return kNpos;
+    std::size_t close = FindMatching(sig_, open);
+    if (close == kNpos) return kNpos;
+    const int line = sig_[p].line;
+    for (const std::string& arg : SplitArgs(sig_, open + 1, close)) {
+      // Tag arguments are lock policies, not mutexes. adopt_lock means the
+      // mutex argument is (already) held, which is what Acquire records.
+      if (arg.find("defer_lock") != std::string::npos ||
+          arg.find("adopt_lock") != std::string::npos ||
+          arg.find("try_to_lock") != std::string::npos) {
+        continue;
+      }
+      RecordAcquire(arg, line);
+    }
+    return close + 1;
+  }
+
+  // sig_[p - 1] is '.' or '->': reconstructs the object chain before it
+  // ("job", "lock.mutex_"). False when the chain starts with a call result
+  // or anything else the analysis cannot name.
+  [[nodiscard]] bool ResolveBase(std::size_t p, std::string* base) const {
+    std::size_t first = p - 1;  // at the separator
+    while (true) {
+      if (first == 0 || !sig_.IsIdent(first - 1)) return false;
+      --first;  // at the chain identifier
+      if (first == 0) break;
+      std::string_view prev = sig_[first - 1].text;
+      if (prev == "." || prev == "->") {
+        --first;  // another separator: keep walking
+        continue;
+      }
+      break;
+    }
+    *base = Normalize(JoinTokens(sig_, first, p - 1));
+    return true;
+  }
+
+  void RecordAcquire(const std::string& raw, int line) {
+    const std::string name = Normalize(raw);
+    if (opts_.edges != nullptr) {
+      const std::string to = OrderNode(name);
+      if (!to.empty()) {
+        for (const std::string& h : held_.All()) {
+          const std::string from = OrderNode(h);
+          if (!from.empty() && from != to) {
+            opts_.edges->push_back({from, to, fm_.file, line});
+          }
+        }
+      }
+    }
+    held_.Acquire(name);
+  }
+
+  // Maps a lock expression to a lock-order graph node ("Class::field").
+  // Bare names resolve against the enclosing class; qualified expressions
+  // against the unique class owning a mutex field of that name. Locks the
+  // analysis cannot attribute (locals, ambiguous names) get no node, so
+  // they never participate in cycles.
+  [[nodiscard]] std::string OrderNode(const std::string& expr) const {
+    std::size_t arrow = expr.rfind("->");
+    std::size_t dot = expr.rfind('.');
+    std::size_t cut = std::string::npos;
+    if (arrow != std::string::npos) cut = arrow + 2;
+    if (dot != std::string::npos && (arrow == std::string::npos ||
+                                     dot > arrow + 1)) {
+      cut = dot + 1;
+    }
+    if (cut == std::string::npos) {
+      if (cls_ != nullptr && cls_->FindField(expr) != nullptr) {
+        return cls_->name + "::" + expr;
+      }
+      return {};
+    }
+    const std::string field = expr.substr(cut);
+    auto it = tm_.mutex_owner.find(field);
+    if (it == tm_.mutex_owner.end() || it->second == nullptr) return {};
+    return it->second->name + "::" + field;
+  }
+
+  void CheckFieldAccess(const std::string& name, bool member, bool base_ok,
+                        const std::string& base, int line) {
+    if (!member) {
+      // Construction and destruction are single-threaded by definition.
+      if (cls_ == nullptr || method_.is_ctor || method_.is_dtor) return;
+      const FieldDecl* f = cls_->FindField(name);
+      if (f == nullptr || f->guarded_by.empty()) return;
+      const std::string guard = Normalize(f->guarded_by);
+      if (held_.Contains(guard)) return;
+      Emit("guarded-field", line,
+           "field '" + name + "' is guarded by '" + guard +
+               "' but the lock is not held");
+      return;
+    }
+    if (!base_ok) return;
+    auto it = tm_.fields.find(name);
+    if (it == tm_.fields.end() || !it->second.Enforceable()) return;
+    const std::string& guard = *it->second.guards.begin();
+    if (held_.Contains(base + "->" + guard) ||
+        held_.Contains(base + "." + guard)) {
+      return;
+    }
+    Emit("guarded-field", line,
+         "field '" + base + "->" + name + "' is guarded by '" + guard +
+             "' but '" + base + "->" + guard + "' is not held");
+  }
+
+  void CheckCall(const std::string& name, bool member, bool base_ok,
+                 const std::string& base, int line) {
+    auto it = tm_.methods.find(name);
+    if (it == tm_.methods.end() || it->second.ambiguous) return;
+    const MethodAnn& ann = it->second;
+    if (ann.requires_held.empty() && ann.excludes.empty()) return;
+    if (member) {
+      if (!base_ok) return;
+      for (const std::string& r : ann.requires_held) {
+        const std::string want = Normalize(r);
+        if (held_.Contains(base + "->" + want) ||
+            held_.Contains(base + "." + want)) {
+          continue;
+        }
+        Emit("requires-held", line,
+             "call to '" + base + "->" + name + "' requires '" + base +
+                 "->" + want + "' to be held (CALC_REQUIRES)");
+      }
+      for (const std::string& e : ann.excludes) {
+        const std::string bad = Normalize(e);
+        if (held_.Contains(base + "->" + bad) ||
+            held_.Contains(base + "." + bad)) {
+          Emit("requires-held", line,
+               "call to '" + base + "->" + name + "' must not hold '" +
+                   base + "->" + bad + "' (CALC_EXCLUDES; would deadlock)");
+        }
+      }
+      return;
+    }
+    // Bare call: only a call to a method of the enclosing class is
+    // attributable without type information.
+    if (cls_ == nullptr || ann.cls != cls_) return;
+    for (const std::string& r : ann.requires_held) {
+      const std::string want = Normalize(r);
+      if (held_.Contains(want)) continue;
+      Emit("requires-held", line,
+           "call to '" + name + "' requires '" + want +
+               "' to be held (CALC_REQUIRES)");
+    }
+    for (const std::string& e : ann.excludes) {
+      const std::string bad = Normalize(e);
+      if (held_.Contains(bad)) {
+        Emit("requires-held", line,
+             "call to '" + name + "' must not hold '" + bad +
+                 "' (CALC_EXCLUDES; would deadlock)");
+      }
+    }
+  }
+
+  void Emit(const char* rule, int line, std::string message) {
+    Diagnostic d;
+    d.rule = rule;
+    d.path = fm_.file->path;
+    d.line = line;
+    d.message = std::move(message);
+    d.excerpt = std::string(LineText(*fm_.file, line));
+    out_->push_back(std::move(d));
+  }
+
+  const ThreadModel& tm_;
+  const ProjectConfig& config_;
+  const FileDeclModel& fm_;
+  const SigTokens& sig_;
+  const ClassDecl* cls_;
+  const MethodDecl& method_;
+  const AnalysisOptions& opts_;
+  std::vector<Diagnostic>* out_;
+  HeldSet held_;
+};
+
+// Out-of-line definitions carry only what the .cc shows; the authoritative
+// annotations live on the in-class declaration. Merge both.
+[[nodiscard]] MethodDecl MergedMethod(const ThreadModel& tm,
+                                      const std::string& class_name,
+                                      const MethodDecl& def) {
+  MethodDecl m = def;
+  auto it = tm.classes_by_name.find(class_name);
+  if (it == tm.classes_by_name.end()) return m;
+  for (const ClassDecl* cls : it->second) {
+    const MethodDecl* decl = cls->FindMethod(def.name);
+    if (decl == nullptr) continue;
+    m.no_analysis = m.no_analysis || decl->no_analysis;
+    m.requires_held.insert(m.requires_held.end(),
+                           decl->requires_held.begin(),
+                           decl->requires_held.end());
+    m.acquires.insert(m.acquires.end(), decl->acquires.begin(),
+                      decl->acquires.end());
+    m.releases.insert(m.releases.end(), decl->releases.begin(),
+                      decl->releases.end());
+    m.excludes.insert(m.excludes.end(), decl->excludes.begin(),
+                      decl->excludes.end());
+  }
+  return m;
+}
+
+void AnalyzeAllBodies(const ThreadModel& tm, const ProjectConfig& config,
+                      const AnalysisOptions& opts,
+                      std::vector<Diagnostic>* out) {
+  for (const FileDeclModel& fm : tm.files) {
+    for (const ClassDecl& cls : fm.classes) {
+      for (const MethodDecl& m : cls.methods) {
+        BodyAnalyzer(tm, config, fm, &cls, m, opts, out).Run();
+      }
+    }
+    for (const OutOfLineDef& def : fm.out_of_line) {
+      const MethodDecl merged = MergedMethod(tm, def.class_name, def.method);
+      const ClassDecl* cls = nullptr;
+      auto it = tm.classes_by_name.find(def.class_name);
+      if (it != tm.classes_by_name.end() && !it->second.empty()) {
+        cls = it->second.front();
+      }
+      BodyAnalyzer(tm, config, fm, cls, merged, opts, out).Run();
+    }
+  }
+}
+
+}  // namespace
+
+void CheckGuardedField(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out) {
+  const ThreadModel tm = BuildThreadModel(files, config);
+  AnalysisOptions opts;
+  opts.check_guarded = true;
+  AnalyzeAllBodies(tm, config, opts, out);
+}
+
+void CheckRequiresHeld(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out) {
+  const ThreadModel tm = BuildThreadModel(files, config);
+  AnalysisOptions opts;
+  opts.check_calls = true;
+  AnalyzeAllBodies(tm, config, opts, out);
+}
+
+void CheckLockOrder(const std::vector<SourceFile>& files,
+                    const ProjectConfig& config,
+                    std::vector<Diagnostic>* out) {
+  const ThreadModel tm = BuildThreadModel(files, config);
+  std::vector<OrderEdge> edges;
+  AnalysisOptions opts;
+  opts.edges = &edges;
+  AnalyzeAllBodies(tm, config, opts, out);
+
+  // Declared ordering: CALC_ACQUIRED_BEFORE(b) on field f is the edge
+  // f -> b (f is taken first); CALC_ACQUIRED_AFTER is the reverse.
+  for (const FileDeclModel& fm : tm.files) {
+    for (const ClassDecl& cls : fm.classes) {
+      for (const FieldDecl& f : cls.fields) {
+        const std::string self = cls.name + "::" + f.name;
+        for (const std::string& b : f.acquired_before) {
+          if (cls.FindField(Normalize(b)) == nullptr) continue;
+          edges.push_back(
+              {self, cls.name + "::" + Normalize(b), fm.file, f.line});
+        }
+        for (const std::string& b : f.acquired_after) {
+          if (cls.FindField(Normalize(b)) == nullptr) continue;
+          edges.push_back(
+              {cls.name + "::" + Normalize(b), self, fm.file, f.line});
+        }
+      }
+    }
+  }
+
+  std::map<std::string, std::vector<std::string>> adjacency;
+  std::map<std::pair<std::string, std::string>, const OrderEdge*> sites;
+  for (const OrderEdge& e : edges) {
+    if (sites.emplace(std::make_pair(e.from, e.to), &e).second) {
+      adjacency[e.from].push_back(e.to);
+    }
+  }
+  for (const std::vector<std::string>& cycle : FindGraphCycles(adjacency)) {
+    const OrderEdge* site = sites.at({cycle[0], cycle[1]});
+    std::string order;
+    for (const std::string& node : cycle) {
+      if (!order.empty()) order += " -> ";
+      order += node;
+    }
+    Diagnostic d;
+    d.rule = "lock-order";
+    d.path = site->file->path;
+    d.line = site->line;
+    d.message = "lock acquisition order forms a cycle: " + order;
+    d.excerpt = std::string(LineText(*site->file, site->line));
+    out->push_back(std::move(d));
+  }
+}
+
+void CheckUnannotatedShared(const std::vector<SourceFile>& files,
+                            const ProjectConfig& config,
+                            std::vector<Diagnostic>* out) {
+  const ThreadModel tm = BuildThreadModel(files, config);
+  for (const FileDeclModel& fm : tm.files) {
+    for (const ClassDecl& cls : fm.classes) {
+      if (!cls.HasMutexField() || !cls.HasAnnotations()) continue;
+      for (const FieldDecl& f : cls.fields) {
+        if (f.is_mutex || f.is_atomic || f.is_const || f.is_static ||
+            f.is_reference || f.is_condvar || !f.guarded_by.empty()) {
+          continue;
+        }
+        Diagnostic d;
+        d.rule = "unannotated-shared";
+        d.path = fm.file->path;
+        d.line = f.line;
+        d.message = "field '" + f.name + "' of annotated class '" +
+                    cls.name +
+                    "' is shared state with no CALC_GUARDED_BY";
+        d.excerpt = std::string(LineText(*fm.file, f.line));
+        out->push_back(std::move(d));
+      }
+    }
+  }
+}
+
+}  // namespace calculon::staticlint

@@ -1,8 +1,11 @@
 #include "staticlint/rules.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <iterator>
 
 #include "staticlint/match.h"
+#include "util/threadpool.h"
 
 namespace calculon::staticlint {
 
@@ -147,6 +150,31 @@ const std::vector<Rule>& Registry() {
         "header uses a std:: symbol without including its header",
         "Headers include what they use; add the missing <...> include."},
        &CheckSelfContainedHeader},
+      {{"guarded-field",
+        "CALC_GUARDED_BY field accessed without its lock held",
+        "Take the guard (MutexLock lock(m)) around the access, annotate "
+        "the enclosing method with CALC_REQUIRES(m), or justify the "
+        "publication discipline with // lint-ok(guarded-field): why."},
+       &CheckGuardedField},
+      {{"requires-held",
+        "call violates a CALC_REQUIRES / CALC_EXCLUDES lock contract",
+        "Hold the required lock at the call site (or release an excluded "
+        "one); suppress a false positive with "
+        "// lint-ok(requires-held): why."},
+       &CheckRequiresHeld},
+      {{"lock-order",
+        "lock acquisition order forms a cycle (potential deadlock)",
+        "Acquire the locks in one global order everywhere and declare it "
+        "with CALC_ACQUIRED_BEFORE / CALC_ACQUIRED_AFTER on the mutex "
+        "fields."},
+       &CheckLockOrder},
+      {{"unannotated-shared",
+        "annotated class mixes a mutex with undisciplined fields",
+        "Every non-const, non-atomic field of a class that owns a mutex "
+        "and uses CALC_* annotations needs CALC_GUARDED_BY(m) or a "
+        "same-line // lint-ok(unannotated-shared): why stating its "
+        "publication discipline."},
+       &CheckUnannotatedShared},
   };
   return kRules;
 }
@@ -160,13 +188,34 @@ std::vector<RuleInfo> RuleCatalog() {
 
 LintResult RunLint(const std::vector<SourceFile>& files,
                    const ProjectConfig& config, const LintOptions& options) {
-  std::vector<Diagnostic> all;
+  std::vector<const Rule*> selected;
   for (const Rule& rule : Registry()) {
     if (!options.rule_filter.empty() &&
         options.rule_filter.find(rule.info.id) == options.rule_filter.end()) {
       continue;
     }
-    rule.fn(files, config, &all);
+    selected.push_back(&rule);
+  }
+
+  // Each rule writes its own bucket; buckets merge in registry order so the
+  // result is independent of scheduling.
+  std::vector<std::vector<Diagnostic>> buckets(selected.size());
+  if (options.jobs > 1 && selected.size() > 1) {
+    const std::size_t workers = std::min<std::size_t>(
+        static_cast<std::size_t>(options.jobs), selected.size());
+    ThreadPool pool(static_cast<unsigned>(workers));
+    pool.ParallelFor(selected.size(), [&](std::uint64_t i) {
+      selected[i]->fn(files, config, &buckets[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      selected[i]->fn(files, config, &buckets[i]);
+    }
+  }
+  std::vector<Diagnostic> all;
+  for (std::vector<Diagnostic>& bucket : buckets) {
+    all.insert(all.end(), std::make_move_iterator(bucket.begin()),
+               std::make_move_iterator(bucket.end()));
   }
 
   // Apply generic same-line `// lint-ok(rule)` suppressions.

@@ -54,6 +54,15 @@ struct ProjectConfig {
       "vprintf",  "vfprintf",   "vsnprintf",        "CALC_CHECK",
       "CALC_DCHECK"};
 
+  // Thread-safety rules: type names recognized as mutexes (the last
+  // identifier of the field's type spelling), and RAII lock-holder types
+  // whose construction acquires its mutex arguments.
+  std::set<std::string> mutex_types = {"Mutex", "mutex", "shared_mutex",
+                                       "recursive_mutex", "timed_mutex"};
+  std::set<std::string> lock_types = {"MutexLock", "lock_guard",
+                                      "unique_lock", "scoped_lock",
+                                      "shared_lock"};
+
   [[nodiscard]] static ProjectConfig Default();
 
   [[nodiscard]] bool InLayerRoot(const std::string& path) const;
@@ -79,6 +88,11 @@ struct Rule {
 struct LintOptions {
   // Run only these rule ids (empty = all).
   std::set<std::string> rule_filter;
+  // Worker threads for rule execution (1 = serial). Rules are pure
+  // functions over the tree, so they parallelize trivially; findings are
+  // merged back in registry order and sorted, so the output is identical
+  // at any job count.
+  int jobs = 1;
 };
 
 struct LintResult {
@@ -125,6 +139,18 @@ void CheckPragmaOnce(const std::vector<SourceFile>& files,
 void CheckSelfContainedHeader(const std::vector<SourceFile>& files,
                               const ProjectConfig& config,
                               std::vector<Diagnostic>* out);
+void CheckGuardedField(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out);
+void CheckRequiresHeld(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out);
+void CheckLockOrder(const std::vector<SourceFile>& files,
+                    const ProjectConfig& config,
+                    std::vector<Diagnostic>* out);
+void CheckUnannotatedShared(const std::vector<SourceFile>& files,
+                            const ProjectConfig& config,
+                            std::vector<Diagnostic>* out);
 
 // Shared by the result/quantity rules and exposed for tests: the names of
 // functions whose declared return type is Result<...> (or a quantity type),

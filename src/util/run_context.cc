@@ -87,7 +87,7 @@ void RunContext::RecordFailure(std::uint64_t item, std::string fingerprint,
   const std::uint64_t count =
       failures_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (samples_.size() < max_samples_) {
       samples_.push_back(FailureRecord{item, std::move(fingerprint),
                                        std::move(reason), worker});
@@ -105,7 +105,7 @@ RunStatus RunContext::Snapshot() const {
   status.items_completed = items_completed();
   status.failures = failures();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     status.failure_samples = samples_;
   }
   // Wall-clock accounting: duration from the monotonic clock (immune to

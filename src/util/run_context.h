@@ -18,9 +18,11 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace calculon {
 
@@ -117,14 +119,15 @@ class RunContext {
   // Captures one isolated hard failure. Trips the failure budget (and
   // cancels the run) when the budget is exhausted.
   void RecordFailure(std::uint64_t item, std::string fingerprint,
-                     std::string reason, unsigned worker = 0);
+                     std::string reason, unsigned worker = 0)
+      CALC_EXCLUDES(mutex_);
   [[nodiscard]] std::uint64_t failures() const {
     return failures_.load(std::memory_order_relaxed);
   }
 
   // Snapshot of the run's failure-summary section; callable mid-run
   // (checkpointing) or after the sweep returns.
-  [[nodiscard]] RunStatus Snapshot() const;
+  [[nodiscard]] RunStatus Snapshot() const CALC_EXCLUDES(mutex_);
 
   // --- Process-wide SIGINT flag ---
   //
@@ -143,16 +146,23 @@ class RunContext {
   std::atomic<std::uint64_t> failures_{0};
 
   std::atomic<bool> has_deadline_{false};
-  std::chrono::steady_clock::time_point deadline_{};
-  std::chrono::steady_clock::time_point start_steady_{};
-  std::chrono::system_clock::time_point start_system_{};
+  // Configuration, set before the sweep starts and read-only while workers
+  // run (the "set before" contract in the section comment above); the
+  // deadline is published by the has_deadline_ release store.
+  std::chrono::steady_clock::time_point
+      deadline_{};  // lint-ok(unannotated-shared): published via has_deadline_
+  std::chrono::steady_clock::time_point
+      start_steady_{};  // lint-ok(unannotated-shared): set in ctor only
+  std::chrono::system_clock::time_point
+      start_system_{};  // lint-ok(unannotated-shared): set in ctor only
 
-  std::uint64_t failure_budget_ = 0;  // 0: unlimited
-  std::size_t max_samples_ = 32;
-  bool watch_signals_ = false;
+  // A failure budget of 0 means unlimited.
+  std::uint64_t failure_budget_ = 0;  // lint-ok(unannotated-shared): config
+  std::size_t max_samples_ = 32;      // lint-ok(unannotated-shared): config
+  bool watch_signals_ = false;        // lint-ok(unannotated-shared): config
 
-  mutable std::mutex mutex_;  // guards samples_
-  std::vector<FailureRecord> samples_;
+  mutable Mutex mutex_;
+  std::vector<FailureRecord> samples_ CALC_GUARDED_BY(mutex_);
 };
 
 }  // namespace calculon

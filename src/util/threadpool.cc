@@ -1,12 +1,8 @@
-#include "search/threadpool.h"
+#include "util/threadpool.h"
 
-#include <atomic>
+#include <algorithm>
 #include <exception>
 #include <memory>
-#include <string>
-
-#include "obs/metrics.h"
-#include "obs/trace.h"
 
 namespace calculon {
 namespace {
@@ -14,6 +10,10 @@ namespace {
 // Participant index of the ParallelFor the current thread is draining
 // (0 = caller, 1..N = pool workers); 0 outside any drain.
 thread_local unsigned tls_worker_id = 0;
+
+// Installed by the obs layer (see ThreadPool::SetQueueDepthHook); null
+// until tracing or metrics are enabled.
+std::atomic<ThreadPool::QueueDepthHook> queue_depth_hook{nullptr};
 
 // Shared state of one ParallelFor call. Owned jointly by the caller and the
 // queued helper tasks (helpers can outlive the call's scope on the queue if
@@ -26,10 +26,10 @@ struct ParallelForJob {
   RunContext* const ctx;  // may be null: plain (fail-fast) mode
   std::atomic<std::uint64_t> next{0};  // next unclaimed index
 
-  std::mutex mutex;                 // guards pending, error
-  std::condition_variable done_cv;  // signaled when pending reaches zero
-  std::uint64_t pending = 0;        // participants still draining
-  std::exception_ptr error;         // first exception thrown by fn
+  Mutex mutex;
+  CondVar done_cv;  // signaled when pending reaches zero
+  std::uint64_t pending CALC_GUARDED_BY(mutex) = 0;  // still draining
+  std::exception_ptr error CALC_GUARDED_BY(mutex);  // first exception from fn
 
   // Claims indices until the range is exhausted or the context asks for a
   // stop. Without a context, an exception claims away the whole remaining
@@ -37,10 +37,10 @@ struct ParallelForJob {
   // wins deterministically per participant. With a context, exceptions are
   // isolated into FailureRecords and draining continues (unless the failure
   // budget trips the context's cancel token).
-  void Drain(const std::function<void(std::uint64_t)>& fn, unsigned worker) {
+  void Drain(const std::function<void(std::uint64_t)>& fn, unsigned worker)
+      CALC_EXCLUDES(mutex) {
     const unsigned prev_worker = tls_worker_id;
     tls_worker_id = worker;
-    CALC_TRACE_SPAN("pool", "drain w" + std::to_string(worker));
     while (true) {
       if (ctx != nullptr && ctx->ShouldStop()) break;
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -64,13 +64,13 @@ struct ParallelForJob {
       }
     }
     tls_worker_id = prev_worker;
-    std::lock_guard<std::mutex> lock(mutex);
-    if (--pending == 0) done_cv.notify_all();
+    MutexLock lock(mutex);
+    if (--pending == 0) done_cv.NotifyAll();
   }
 
  private:
-  void StoreError() {
-    std::lock_guard<std::mutex> lock(mutex);
+  void StoreError() CALC_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     if (!error) error = std::current_exception();
     next.store(count, std::memory_order_relaxed);
   }
@@ -91,22 +91,26 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 unsigned ThreadPool::CurrentWorkerId() { return tls_worker_id; }
+
+void ThreadPool::SetQueueDepthHook(QueueDepthHook hook) {
+  queue_depth_hook.store(hook, std::memory_order_release);
+}
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     std::size_t depth = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -117,16 +121,12 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-// Queue-depth telemetry: a counter track in the trace and a gauge in the
-// metrics registry. Called outside the pool mutex; sampled at push/pop so
-// the track shows the burst of helper tasks per ParallelFor.
+// Queue-depth telemetry, sampled at push/pop so the installed publisher can
+// show the burst of helper tasks per ParallelFor. Called outside the pool
+// mutex; a no-op until the obs layer installs its hook.
 void ThreadPool::PublishQueueDepth(std::size_t depth) {
-  CALC_TRACE_COUNTER("pool.queue_depth", depth);
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  if (metrics.enabled()) {
-    metrics.GetGauge("threadpool.queue_depth")
-        ->Set(static_cast<double>(depth));
-  }
+  QueueDepthHook hook = queue_depth_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(depth);
 }
 
 void ThreadPool::ParallelFor(std::uint64_t count,
@@ -145,12 +145,18 @@ void ThreadPool::ParallelFor(std::uint64_t count, RunContext* ctx,
   // only decrements pending. Spawn at most one helper per claimable item.
   const std::uint64_t helpers =
       std::min<std::uint64_t>(workers_.size(), count);
-  job->pending = helpers + 1;
+  {
+    // Written before the helper tasks are published to the queue, but the
+    // queue push itself is the synchronization point — take the job mutex so
+    // the write is unambiguously ordered (and visible to the analyzers).
+    MutexLock lock(job->mutex);
+    job->pending = helpers + 1;
+  }
   if (helpers > 0) {
     std::function<void(std::uint64_t)> fn_copy = fn;
     std::size_t depth = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       for (std::uint64_t i = 0; i < helpers; ++i) {
         const unsigned worker = static_cast<unsigned>(i) + 1;
         tasks_.push([job, fn_copy, worker] { job->Drain(fn_copy, worker); });
@@ -158,14 +164,18 @@ void ThreadPool::ParallelFor(std::uint64_t count, RunContext* ctx,
       depth = tasks_.size();
     }
     PublishQueueDepth(depth);
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   job->Drain(fn, /*worker=*/0);  // the caller participates
 
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->done_cv.wait(lock, [&] { return job->pending == 0; });
-  if (job->error) std::rethrow_exception(job->error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(job->mutex);
+    while (job->pending != 0) job->done_cv.Wait(lock);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace calculon

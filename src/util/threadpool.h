@@ -1,19 +1,25 @@
 // Minimal thread pool with a dynamic parallel-for, used by the search
 // engines to spread configuration evaluation across cores (the paper:
 // "a standard multi-core desktop computer is able to search the entire
-// configuration space in minutes").
+// configuration space in minutes") and by calculon-lint for parallel
+// per-file analysis.
+//
+// Lives in the util layer (the bottom of the dependency DAG) so every
+// layer may use it; queue-depth telemetry is inverted through a hook the
+// obs layer installs (util may not include obs).
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/run_context.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace calculon {
 
@@ -38,7 +44,8 @@ class ThreadPool {
   // range is abandoned, and in-flight items finish before the call returns.
   // `fn` must be safe to call concurrently from multiple threads.
   void ParallelFor(std::uint64_t count,
-                   const std::function<void(std::uint64_t)>& fn);
+                   const std::function<void(std::uint64_t)>& fn)
+      CALC_EXCLUDES(mutex_);
 
   // Cancellation-aware variant (ctx == nullptr behaves exactly like the
   // plain overload). Participants poll `ctx->ShouldStop()` between items:
@@ -48,22 +55,31 @@ class ThreadPool {
   // propagating, so a faulted run leaves the pool fully reusable; each item
   // that returns normally bumps `ctx`'s completed-item count.
   void ParallelFor(std::uint64_t count, RunContext* ctx,
-                   const std::function<void(std::uint64_t)>& fn);
+                   const std::function<void(std::uint64_t)>& fn)
+      CALC_EXCLUDES(mutex_);
 
   // Participant index of the calling thread inside the ParallelFor it is
   // currently draining: 0 for the caller thread, 1..N for pool workers.
   // Used to attribute FailureRecords to workers.
   [[nodiscard]] static unsigned CurrentWorkerId();
 
+  // Telemetry inversion: util may not depend on the obs layer, so the obs
+  // layer installs the queue-depth publisher here when tracing or metrics
+  // are enabled (obs::InstallThreadPoolTelemetry). The hook must be safe
+  // to call from any pool thread; installation is idempotent.
+  using QueueDepthHook = void (*)(std::size_t depth);
+  static void SetQueueDepthHook(QueueDepthHook hook);
+
  private:
-  void WorkerLoop();
+  void WorkerLoop() CALC_EXCLUDES(mutex_);
   static void PublishQueueDepth(std::size_t depth);
 
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
-  bool stop_ = false;
+  // Filled in the constructor, joined in the destructor, immutable between.
+  std::vector<std::thread> workers_;  // lint-ok(unannotated-shared): ctor/dtor
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ CALC_GUARDED_BY(mutex_);
+  bool stop_ CALC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace calculon

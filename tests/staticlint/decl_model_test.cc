@@ -1,0 +1,178 @@
+// Declaration-model tests: the conservative class/field/method parse that
+// feeds the thread-safety rules (src/staticlint/decl_model.h).
+#include "staticlint/decl_model.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "staticlint/lexer.h"
+
+namespace calculon::staticlint {
+namespace {
+
+TEST(DeclModelTest, ParsesFieldFlagsAndGuards) {
+  SourceFile f = MakeSourceFile(
+      "src/a/x.h",
+      "#pragma once\n"
+      "class Counter {\n"
+      " private:\n"
+      "  mutable Mutex mu_;\n"
+      "  CondVar cv_;\n"
+      "  std::atomic<bool> on_{false};\n"
+      "  const int limit_ = 3;\n"
+      "  static int shared_total;\n"
+      "  std::vector<int>& sink_;\n"
+      "  int count_ CALC_GUARDED_BY(mu_) = 0;\n"
+      "};\n");
+  FileDeclModel m = BuildFileDeclModel(f);
+  ASSERT_EQ(m.classes.size(), 1u);
+  const ClassDecl& cls = m.classes[0];
+  EXPECT_EQ(cls.name, "Counter");
+  ASSERT_EQ(cls.fields.size(), 7u);
+  EXPECT_TRUE(cls.FindField("mu_")->is_mutex);
+  EXPECT_TRUE(cls.FindField("cv_")->is_condvar);
+  EXPECT_TRUE(cls.FindField("on_")->is_atomic);
+  EXPECT_TRUE(cls.FindField("limit_")->is_const);
+  EXPECT_TRUE(cls.FindField("shared_total")->is_static);
+  EXPECT_TRUE(cls.FindField("sink_")->is_reference);
+  EXPECT_EQ(cls.FindField("count_")->guarded_by, "mu_");
+  EXPECT_TRUE(cls.HasMutexField());
+  EXPECT_TRUE(cls.HasAnnotations());
+}
+
+TEST(DeclModelTest, ParsesMethodAnnotationsAndBodies) {
+  SourceFile f = MakeSourceFile(
+      "src/a/x.h",
+      "class Counter {\n"
+      " public:\n"
+      "  void BumpLocked() CALC_REQUIRES(mu_);\n"
+      "  void Flush() CALC_EXCLUDES(mu_) { count_ = 0; }\n"
+      "  void Take() CALC_ACQUIRE(mu_);\n"
+      "  void Drop() CALC_RELEASE(mu_);\n"
+      "  void Raw() CALC_NO_THREAD_SAFETY_ANALYSIS {}\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int count_ CALC_GUARDED_BY(mu_);\n"
+      "};\n");
+  FileDeclModel m = BuildFileDeclModel(f);
+  ASSERT_EQ(m.classes.size(), 1u);
+  const ClassDecl& cls = m.classes[0];
+  ASSERT_EQ(cls.methods.size(), 5u);
+  const MethodDecl* locked = cls.FindMethod("BumpLocked");
+  ASSERT_NE(locked, nullptr);
+  EXPECT_EQ(locked->requires_held, std::vector<std::string>{"mu_"});
+  EXPECT_EQ(locked->body_begin, kNpos);  // declaration only
+  const MethodDecl* flush = cls.FindMethod("Flush");
+  EXPECT_EQ(flush->excludes, std::vector<std::string>{"mu_"});
+  EXPECT_NE(flush->body_begin, kNpos);  // inline body captured
+  EXPECT_EQ(cls.FindMethod("Take")->acquires,
+            std::vector<std::string>{"mu_"});
+  EXPECT_EQ(cls.FindMethod("Drop")->releases,
+            std::vector<std::string>{"mu_"});
+  EXPECT_TRUE(cls.FindMethod("Raw")->no_analysis);
+}
+
+TEST(DeclModelTest, CapabilityClassAndCtorDtor) {
+  SourceFile f = MakeSourceFile(
+      "src/a/x.h",
+      "class CALC_CAPABILITY(\"mutex\") Mutex {\n"
+      " public:\n"
+      "  Mutex() = default;\n"
+      "  ~Mutex() { Check(); }\n"
+      "  void Lock() CALC_ACQUIRE() { raw_.lock(); }\n"
+      " private:\n"
+      "  std::mutex raw_;\n"
+      "};\n");
+  FileDeclModel m = BuildFileDeclModel(f);
+  ASSERT_EQ(m.classes.size(), 1u);
+  const ClassDecl& cls = m.classes[0];
+  EXPECT_TRUE(cls.is_capability);
+  ASSERT_EQ(cls.methods.size(), 3u);
+  EXPECT_TRUE(cls.methods[0].is_ctor);
+  EXPECT_FALSE(cls.methods[0].is_dtor);
+  EXPECT_TRUE(cls.methods[1].is_dtor);
+  EXPECT_FALSE(cls.methods[1].is_ctor);
+  EXPECT_TRUE(cls.FindMethod("Lock")->acquires.empty());
+}
+
+TEST(DeclModelTest, NestedClassIsModeledSeparately) {
+  SourceFile f = MakeSourceFile(
+      "src/a/x.h",
+      "class Outer {\n"
+      "  struct Inner {\n"
+      "    Mutex mutex;\n"
+      "    int events CALC_GUARDED_BY(mutex);\n"
+      "  };\n"
+      "  int own_;\n"
+      "};\n");
+  FileDeclModel m = BuildFileDeclModel(f);
+  ASSERT_EQ(m.classes.size(), 2u);
+  // The nested class is appended first (parsed before Outer closes).
+  EXPECT_EQ(m.classes[0].name, "Inner");
+  EXPECT_EQ(m.classes[0].FindField("events")->guarded_by, "mutex");
+  EXPECT_EQ(m.classes[1].name, "Outer");
+  ASSERT_EQ(m.classes[1].fields.size(), 1u);
+  EXPECT_EQ(m.classes[1].fields[0].name, "own_");
+}
+
+TEST(DeclModelTest, OutOfLineDefinitionsAndCallsAreDistinguished) {
+  SourceFile f = MakeSourceFile(
+      "src/a/x.cc",
+      "int Foo::Get() const { return 1; }\n"
+      "Foo::Foo() : a_(1), b_{2} { Init(); }\n"
+      "Foo::~Foo() { Close(); }\n"
+      "void Use() { int x = Foo::Get(); }\n");
+  FileDeclModel m = BuildFileDeclModel(f);
+  ASSERT_EQ(m.out_of_line.size(), 3u);  // the call in Use() is not a def
+  EXPECT_EQ(m.out_of_line[0].class_name, "Foo");
+  EXPECT_EQ(m.out_of_line[0].method.name, "Get");
+  EXPECT_NE(m.out_of_line[0].method.body_begin, kNpos);
+  EXPECT_TRUE(m.out_of_line[1].method.is_ctor);
+  EXPECT_TRUE(m.out_of_line[2].method.is_dtor);
+}
+
+TEST(DeclModelTest, SkipsForwardDeclsEnumsAndTemplateParams) {
+  SourceFile f = MakeSourceFile(
+      "src/a/x.h",
+      "class Fwd;\n"
+      "enum class Color { kRed, kBlue };\n"
+      "template <class T>\n"
+      "class Box {\n"
+      "  T value_;\n"
+      "};\n");
+  FileDeclModel m = BuildFileDeclModel(f);
+  ASSERT_EQ(m.classes.size(), 1u);  // no phantom class for Fwd, Color, or T
+  EXPECT_EQ(m.classes[0].name, "Box");
+  ASSERT_EQ(m.classes[0].fields.size(), 1u);
+  EXPECT_EQ(m.classes[0].fields[0].name, "value_");
+}
+
+TEST(DeclModelTest, AcquiredBeforeOrdering) {
+  SourceFile f = MakeSourceFile(
+      "src/a/x.h",
+      "class Bank {\n"
+      "  Mutex fine_ CALC_ACQUIRED_AFTER(coarse_);\n"
+      "  Mutex coarse_ CALC_ACQUIRED_BEFORE(fine_);\n"
+      "};\n");
+  FileDeclModel m = BuildFileDeclModel(f);
+  ASSERT_EQ(m.classes.size(), 1u);
+  EXPECT_EQ(m.classes[0].FindField("fine_")->acquired_after,
+            std::vector<std::string>{"coarse_"});
+  EXPECT_EQ(m.classes[0].FindField("coarse_")->acquired_before,
+            std::vector<std::string>{"fine_"});
+}
+
+TEST(DeclModelTest, JoinAndSplitHelpers) {
+  SourceFile f = MakeSourceFile("src/a/x.h", "(job->mutex, std::defer_lock)");
+  SigTokens sig(f);
+  // Tokens: ( job -> mutex , std :: defer_lock )
+  auto args = SplitArgs(sig, 1, sig.size() - 1);
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args[0], "job->mutex");
+  EXPECT_EQ(args[1], "std::defer_lock");
+  EXPECT_EQ(JoinTokens(sig, 1, 4), "job->mutex");
+}
+
+}  // namespace
+}  // namespace calculon::staticlint

@@ -99,6 +99,64 @@ TEST(LexerTest, CharLiterals) {
   EXPECT_EQ(TextsOf(toks, TokKind::kIdent).back(), "w");
 }
 
+TEST(LexerTest, StringEncodingPrefixes) {
+  // The prefix is part of the string token, never a separate identifier.
+  std::string src = "auto a = u8\"x\"; auto b = L\"y\"; auto c = u\"z\";";
+  auto toks = LexOf(src);
+  auto strings = TextsOf(toks, TokKind::kString);
+  EXPECT_EQ(strings, (std::vector<std::string>{"u8\"x\"", "L\"y\"",
+                                               "u\"z\""}));
+  auto idents = TextsOf(toks, TokKind::kIdent);
+  EXPECT_EQ(std::count(idents.begin(), idents.end(), "u8"), 0);
+  EXPECT_EQ(std::count(idents.begin(), idents.end(), "L"), 0);
+}
+
+TEST(LexerTest, CharEncodingPrefixes) {
+  std::string src = "auto a = u8'x'; auto b = L'y'; auto c = U'z'; int w;";
+  auto toks = LexOf(src);
+  auto chars = TextsOf(toks, TokKind::kChar);
+  EXPECT_EQ(chars, (std::vector<std::string>{"u8'x'", "L'y'", "U'z'"}));
+  EXPECT_EQ(TextsOf(toks, TokKind::kIdent).back(), "w");
+}
+
+TEST(LexerTest, LineSpliceInsideIdentifier) {
+  // A phase-2 backslash-newline can land mid-identifier; the halves stay
+  // one token (with the raw splice bytes preserved in the text).
+  std::string src = "int ab\\\ncd = 1; int ef\\\r\ngh = 2;";
+  auto toks = LexOf(src);
+  auto idents = TextsOf(toks, TokKind::kIdent);
+  EXPECT_EQ(idents, (std::vector<std::string>{"int", "ab\\\ncd", "int",
+                                              "ef\\\r\ngh"}));
+}
+
+TEST(LexerTest, BackslashAtIdentifierEndIsNotConsumed) {
+  // A backslash that is not a splice (or a splice followed by punctuation)
+  // terminates the identifier normally.
+  std::string src = "ab\\\n+ cd";
+  auto toks = LexOf(src);
+  auto idents = TextsOf(toks, TokKind::kIdent);
+  EXPECT_EQ(idents, (std::vector<std::string>{"ab", "cd"}));
+}
+
+TEST(LexerTest, LineSpliceInsideString) {
+  std::string src = "auto s = \"ab\\\ncd\"; int tail;";
+  auto toks = LexOf(src);
+  auto strings = TextsOf(toks, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "\"ab\\\ncd\"");
+  EXPECT_EQ(TextsOf(toks, TokKind::kIdent).back(), "tail");
+}
+
+TEST(LexerTest, NestedTemplateCloserIsTwoTokens) {
+  // ">>" must lex as two '>' puncts so nested template argument lists
+  // brace-match correctly (C++11 semantics, not a shift operator).
+  std::string src = "std::map<int, std::vector<int>> m;";
+  auto toks = LexOf(src);
+  auto puncts = TextsOf(toks, TokKind::kPunct);
+  EXPECT_EQ(std::count(puncts.begin(), puncts.end(), ">"), 2);
+  EXPECT_EQ(std::count(puncts.begin(), puncts.end(), ">>"), 0);
+}
+
 TEST(LexerTest, NumbersWithSeparatorsAndExponents) {
   std::string src = "auto n = 1'000'000; auto f = 1.5e-3; auto h = 0xFFu;";
   auto toks = LexOf(src);

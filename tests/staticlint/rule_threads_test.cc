@@ -1,0 +1,377 @@
+// Thread-safety rule tests: each of the four rules gets a seeded violation
+// it must flag and idiomatic locked code it must not, plus a fingerprint
+// stability check (baselines key on content, not line numbers).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "staticlint/diagnostics.h"
+#include "staticlint/lexer.h"
+#include "staticlint/rules.h"
+
+namespace calculon::staticlint {
+namespace {
+
+ProjectConfig TestConfig() {
+  ProjectConfig config;
+  config.include_root = "src";
+  return config;
+}
+
+std::vector<Diagnostic> RunRule(RuleFn fn,
+                                const std::vector<SourceFile>& files) {
+  std::vector<Diagnostic> out;
+  fn(files, TestConfig(), &out);
+  return out;
+}
+
+std::vector<SourceFile> One(const std::string& path,
+                            const std::string& text) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile(path, text));
+  return files;
+}
+
+// ------------------------------------------------------------ guarded-field
+
+TEST(GuardedFieldTest, FlagsUnlockedAccess) {
+  auto files = One("src/a/counter.h",
+                   "class Counter {\n"
+                   " public:\n"
+                   "  void Bump() { ++count_; }\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int count_ CALC_GUARDED_BY(mu_);\n"
+                   "};\n");
+  auto out = RunRule(CheckGuardedField, files);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "guarded-field");
+  EXPECT_EQ(out[0].line, 3);
+  EXPECT_NE(out[0].message.find("count_"), std::string::npos);
+}
+
+TEST(GuardedFieldTest, AcceptsRaiiLockedAccess) {
+  auto files = One("src/a/counter.h",
+                   "class Counter {\n"
+                   " public:\n"
+                   "  void Bump() { MutexLock lock(mu_); ++count_; }\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int count_ CALC_GUARDED_BY(mu_);\n"
+                   "};\n");
+  EXPECT_TRUE(RunRule(CheckGuardedField, files).empty());
+}
+
+TEST(GuardedFieldTest, LockScopeEndsAtClosingBrace) {
+  auto files = One("src/a/counter.h",
+                   "class Counter {\n"
+                   " public:\n"
+                   "  void Bump() {\n"
+                   "    { MutexLock lock(mu_); ++count_; }\n"
+                   "    ++count_;\n"
+                   "  }\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int count_ CALC_GUARDED_BY(mu_);\n"
+                   "};\n");
+  auto out = RunRule(CheckGuardedField, files);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 5);  // only the access after the scope closed
+}
+
+TEST(GuardedFieldTest, RequiresAnnotationSeedsHeldSet) {
+  auto files = One("src/a/counter.h",
+                   "class Counter {\n"
+                   " public:\n"
+                   "  void BumpLocked() CALC_REQUIRES(mu_) { ++count_; }\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int count_ CALC_GUARDED_BY(mu_);\n"
+                   "};\n");
+  EXPECT_TRUE(RunRule(CheckGuardedField, files).empty());
+}
+
+TEST(GuardedFieldTest, ManualLockUnlockTracksHeldSet) {
+  auto files = One("src/a/counter.h",
+                   "class Counter {\n"
+                   " public:\n"
+                   "  void Bump() {\n"
+                   "    mu_.Lock();\n"
+                   "    ++count_;\n"
+                   "    mu_.Unlock();\n"
+                   "    ++count_;\n"
+                   "  }\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int count_ CALC_GUARDED_BY(mu_);\n"
+                   "};\n");
+  auto out = RunRule(CheckGuardedField, files);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 7);  // only the post-Unlock access
+}
+
+TEST(GuardedFieldTest, ChecksQualifiedAccessWhenBindingIsUnambiguous) {
+  auto files = One("src/a/pool.h",
+                   "struct Job {\n"
+                   "  Mutex m;\n"
+                   "  int pending CALC_GUARDED_BY(m);\n"
+                   "};\n"
+                   "class Pool {\n"
+                   " public:\n"
+                   "  void Kick(Job* job) { job->pending = 1; }\n"
+                   "  void KickSafe(Job* job) {\n"
+                   "    MutexLock lock(job->m);\n"
+                   "    job->pending = 1;\n"
+                   "  }\n"
+                   "};\n");
+  auto out = RunRule(CheckGuardedField, files);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 7);
+  EXPECT_NE(out[0].message.find("job->pending"), std::string::npos);
+}
+
+TEST(GuardedFieldTest, CtorAndDtorAreExempt) {
+  auto files = One("src/a/counter.h",
+                   "class Counter {\n"
+                   " public:\n"
+                   "  Counter() { count_ = 0; }\n"
+                   "  ~Counter() { count_ = -1; }\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int count_ CALC_GUARDED_BY(mu_);\n"
+                   "};\n");
+  EXPECT_TRUE(RunRule(CheckGuardedField, files).empty());
+}
+
+// ------------------------------------------------------------ requires-held
+
+TEST(RequiresHeldTest, FlagsUnlockedCallToRequiresMethod) {
+  auto files = One("src/a/counter.h",
+                   "class Counter {\n"
+                   " public:\n"
+                   "  void Bump() { BumpLocked(); }\n"
+                   "  void BumpSafe() { MutexLock l(mu_); BumpLocked(); }\n"
+                   " private:\n"
+                   "  void BumpLocked() CALC_REQUIRES(mu_) { ++count_; }\n"
+                   "  Mutex mu_;\n"
+                   "  int count_ CALC_GUARDED_BY(mu_);\n"
+                   "};\n");
+  auto out = RunRule(CheckRequiresHeld, files);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "requires-held");
+  EXPECT_EQ(out[0].line, 3);
+  EXPECT_NE(out[0].message.find("CALC_REQUIRES"), std::string::npos);
+}
+
+TEST(RequiresHeldTest, FlagsCallToExcludesMethodWithLockHeld) {
+  auto files = One("src/a/registry.h",
+                   "class Registry {\n"
+                   " public:\n"
+                   "  void Flush() CALC_EXCLUDES(mu_) {\n"
+                   "    MutexLock l(mu_);\n"
+                   "    n_ = 0;\n"
+                   "  }\n"
+                   "  void Drain() { MutexLock l(mu_); Flush(); }\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int n_ CALC_GUARDED_BY(mu_);\n"
+                   "};\n");
+  auto out = RunRule(CheckRequiresHeld, files);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 7);
+  EXPECT_NE(out[0].message.find("deadlock"), std::string::npos);
+}
+
+TEST(RequiresHeldTest, ChecksQualifiedCallAgainstQualifiedLock) {
+  auto files = One("src/a/job.h",
+                   "struct Job {\n"
+                   "  void Work() CALC_REQUIRES(m);\n"
+                   "  Mutex m;\n"
+                   "};\n"
+                   "class Driver {\n"
+                   " public:\n"
+                   "  void Go(Job* job) { job->Work(); }\n"
+                   "  void GoSafe(Job* job) {\n"
+                   "    MutexLock l(job->m);\n"
+                   "    job->Work();\n"
+                   "  }\n"
+                   "};\n");
+  auto out = RunRule(CheckRequiresHeld, files);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 7);
+  EXPECT_NE(out[0].message.find("job->m"), std::string::npos);
+}
+
+TEST(RequiresHeldTest, AmbiguousMethodNamesAreNotChecked) {
+  // Two classes define Work(); the rule cannot attribute a qualified call,
+  // so it stays silent instead of guessing.
+  auto files = One("src/a/job.h",
+                   "struct JobA {\n"
+                   "  void Work() CALC_REQUIRES(m);\n"
+                   "  Mutex m;\n"
+                   "};\n"
+                   "struct JobB {\n"
+                   "  void Work();\n"
+                   "};\n"
+                   "class Driver {\n"
+                   " public:\n"
+                   "  void Go(JobB* job) { job->Work(); }\n"
+                   "};\n");
+  EXPECT_TRUE(RunRule(CheckRequiresHeld, files).empty());
+}
+
+// --------------------------------------------------------------- lock-order
+
+TEST(LockOrderTest, FlagsInvertedAcquisitionOrder) {
+  auto files = One("src/a/bank.h",
+                   "class Bank {\n"
+                   " public:\n"
+                   "  void A() { MutexLock l1(m1_); MutexLock l2(m2_); }\n"
+                   "  void B() { MutexLock l2(m2_); MutexLock l1(m1_); }\n"
+                   " private:\n"
+                   "  Mutex m1_;\n"
+                   "  Mutex m2_;\n"
+                   "};\n");
+  auto out = RunRule(CheckLockOrder, files);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "lock-order");
+  EXPECT_NE(out[0].message.find("Bank::m1_"), std::string::npos);
+  EXPECT_NE(out[0].message.find("Bank::m2_"), std::string::npos);
+}
+
+TEST(LockOrderTest, AcceptsConsistentOrder) {
+  auto files = One("src/a/bank.h",
+                   "class Bank {\n"
+                   " public:\n"
+                   "  void A() { MutexLock l1(m1_); MutexLock l2(m2_); }\n"
+                   "  void B() { MutexLock l1(m1_); MutexLock l2(m2_); }\n"
+                   " private:\n"
+                   "  Mutex m1_;\n"
+                   "  Mutex m2_;\n"
+                   "};\n");
+  EXPECT_TRUE(RunRule(CheckLockOrder, files).empty());
+}
+
+TEST(LockOrderTest, DeclaredOrderConflictsWithObservedOrder) {
+  auto files = One("src/a/bank.h",
+                   "class Bank {\n"
+                   " public:\n"
+                   "  void Bad() { MutexLock a(coarse_); MutexLock b(fine_); }\n"
+                   " private:\n"
+                   "  Mutex fine_ CALC_ACQUIRED_BEFORE(coarse_);\n"
+                   "  Mutex coarse_;\n"
+                   "};\n");
+  auto out = RunRule(CheckLockOrder, files);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(LockOrderTest, NestedScopesDoNotFabricateOrder) {
+  // Sequential (non-nested) acquisitions impose no order.
+  auto files = One("src/a/bank.h",
+                   "class Bank {\n"
+                   " public:\n"
+                   "  void A() {\n"
+                   "    { MutexLock l1(m1_); }\n"
+                   "    { MutexLock l2(m2_); }\n"
+                   "  }\n"
+                   "  void B() {\n"
+                   "    { MutexLock l2(m2_); }\n"
+                   "    { MutexLock l1(m1_); }\n"
+                   "  }\n"
+                   " private:\n"
+                   "  Mutex m1_;\n"
+                   "  Mutex m2_;\n"
+                   "};\n");
+  EXPECT_TRUE(RunRule(CheckLockOrder, files).empty());
+}
+
+// ------------------------------------------------------- unannotated-shared
+
+TEST(UnannotatedSharedTest, FlagsUndisciplinedFieldInAnnotatedClass) {
+  auto files = One("src/a/cache.h",
+                   "class Cache {\n"
+                   " public:\n"
+                   "  int Get() { MutexLock l(mu_); return hits_; }\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int hits_ CALC_GUARDED_BY(mu_);\n"
+                   "  int misses_;\n"
+                   "};\n");
+  auto out = RunRule(CheckUnannotatedShared, files);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "unannotated-shared");
+  EXPECT_EQ(out[0].line, 7);
+  EXPECT_NE(out[0].message.find("misses_"), std::string::npos);
+}
+
+TEST(UnannotatedSharedTest, ExemptsConstAtomicStaticReferenceCondvar) {
+  auto files = One("src/a/cache.h",
+                   "class Cache {\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  CondVar cv_;\n"
+                   "  std::atomic<int> total_{0};\n"
+                   "  const int limit_ = 8;\n"
+                   "  static int instances;\n"
+                   "  std::ostream& out_;\n"
+                   "  int hits_ CALC_GUARDED_BY(mu_);\n"
+                   "};\n");
+  EXPECT_TRUE(RunRule(CheckUnannotatedShared, files).empty());
+}
+
+TEST(UnannotatedSharedTest, IgnoresClassesWithoutAnnotations) {
+  // A mutex alone is not the opt-in signal; unannotated legacy classes are
+  // the unannotated-shared *candidates*, not violations.
+  auto files = One("src/a/plain.h",
+                   "class Plain {\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int n_;\n"
+                   "};\n");
+  EXPECT_TRUE(RunRule(CheckUnannotatedShared, files).empty());
+}
+
+// ------------------------------------------- suppressions and fingerprints
+
+TEST(ThreadRulesIntegrationTest, SameLineSuppressionIsHonored) {
+  auto files = One(
+      "src/a/cache.h",
+      "class Cache {\n"
+      " public:\n"
+      "  int Get() { MutexLock l(mu_); return hits_; }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int hits_ CALC_GUARDED_BY(mu_);\n"
+      "  int misses_;  // lint-ok(unannotated-shared): stats, test-only\n"
+      "};\n");
+  LintOptions options;
+  options.rule_filter = {"unannotated-shared"};
+  EXPECT_TRUE(RunLint(files, TestConfig(), options).findings.empty());
+}
+
+TEST(ThreadRulesIntegrationTest, FingerprintIsContentStableAcrossLineMoves) {
+  // The baseline keys findings on rule + path + line *content*; inserting
+  // code above a grandfathered finding must not change its fingerprint.
+  const std::string decl = "  void Bump() { ++count_; }\n";
+  const std::string cls_head = "class Counter {\n public:\n";
+  const std::string cls_tail =
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int count_ CALC_GUARDED_BY(mu_);\n"
+      "};\n";
+  auto before = RunRule(CheckGuardedField,
+                        One("src/a/c.h", cls_head + decl + cls_tail));
+  auto after = RunRule(
+      CheckGuardedField,
+      One("src/a/c.h", cls_head + "  void Other();\n" + decl + cls_tail));
+  ASSERT_EQ(before.size(), 1u);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_NE(before[0].line, after[0].line);
+  EXPECT_EQ(FingerprintHex(before[0]), FingerprintHex(after[0]));
+  EXPECT_EQ(FingerprintHex(before[0]).size(), 16u);
+}
+
+}  // namespace
+}  // namespace calculon::staticlint

@@ -371,9 +371,9 @@ TEST(RunLintTest, LintOkSuppressesOnSameLine) {
   EXPECT_TRUE(r.findings.empty());
 }
 
-TEST(RunLintTest, RegistryHasElevenRulesWithUniqueIds) {
+TEST(RunLintTest, RegistryHasFifteenRulesWithUniqueIds) {
   const auto& rules = Registry();
-  EXPECT_EQ(rules.size(), 11u);
+  EXPECT_EQ(rules.size(), 15u);
   std::set<std::string> ids;
   for (const Rule& r : rules) {
     EXPECT_TRUE(ids.insert(r.info.id).second) << "duplicate " << r.info.id;

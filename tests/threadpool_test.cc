@@ -6,7 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "search/threadpool.h"
+#include "util/threadpool.h"
 
 namespace calculon {
 namespace {
