@@ -29,6 +29,12 @@
 //   --resume             (study) continue from the --checkpoint journal
 //   --procs N            (llm-optimal-execution) size the system to N
 //                        processors before searching
+//   --workers N          run the sweep in N supervised worker processes
+//                        (crash/hang isolation: a dying worker costs a
+//                        retry, not the run; see docs/robustness.md)
+//   --shard-size N       items dispatched to a worker at a time (default 16)
+//   --hang-timeout S     SIGKILL a worker silent for S seconds (default 30)
+//   --worker-logs DIR    capture worker stderr to DIR/worker-<n>.log
 // plus the observability options (see docs/observability.md):
 //   --trace FILE         record a Chrome trace-event / Perfetto timeline
 //   --metrics FILE       export tool metrics (latency histograms,
@@ -51,6 +57,7 @@
 
 #include "core/layer_report.h"
 #include "core/perf_model.h"
+#include "dist/drivers.h"
 #include "hw/presets.h"
 #include "models/presets.h"
 #include "obs/cli_options.h"
@@ -75,8 +82,26 @@ struct ResilienceArgs {
   long long checkpoint_every = 64;
   bool resume = false;
   long long procs = 0;  // llm-optimal-execution: system size override
+  long long workers = 0;  // supervised worker processes (0: in-process)
+  long long shard_size = 16;
+  double hang_timeout_s = 30.0;
+  std::string worker_log_dir;
   obs::ObsCliOptions obs;
   std::vector<std::string> positional;
+
+  // Supervised fan-out configuration for the dist drivers. The faults
+  // spec travels to the workers explicitly (they are fresh forks when it
+  // came from CALCULON_FAULTS before the fork configured the parent).
+  [[nodiscard]] dist::DistOptions Dist() const {
+    dist::DistOptions d;
+    d.workers = static_cast<int>(workers);
+    d.shard_size = static_cast<std::uint64_t>(shard_size);
+    d.hang_timeout_s = hang_timeout_s;
+    d.worker_log_dir = worker_log_dir;
+    const auto& plan = testing::FaultInjector::Global().plan();
+    if (plan.enabled()) d.faults_spec = plan.ToSpec();
+    return d;
+  }
 };
 
 ResilienceArgs ParseResilienceArgs(int argc, char** argv) {
@@ -106,6 +131,19 @@ ResilienceArgs ParseResilienceArgs(int argc, char** argv) {
     } else if (arg == "--procs") {
       args.procs = std::stoll(next());
       if (args.procs <= 0) throw ConfigError("--procs must be > 0");
+    } else if (arg == "--workers") {
+      args.workers = std::stoll(next());
+      if (args.workers < 0) throw ConfigError("--workers must be >= 0");
+    } else if (arg == "--shard-size") {
+      args.shard_size = std::stoll(next());
+      if (args.shard_size <= 0) throw ConfigError("--shard-size must be > 0");
+    } else if (arg == "--hang-timeout") {
+      args.hang_timeout_s = std::stod(next());
+      if (args.hang_timeout_s <= 0.0) {
+        throw ConfigError("--hang-timeout must be > 0");
+      }
+    } else if (arg == "--worker-logs") {
+      args.worker_log_dir = next();
     } else if (args.obs.Consume(arg, next)) {
       // observability flags: --trace / --metrics / --progress
     } else if (arg.rfind("--", 0) == 0) {
@@ -208,7 +246,6 @@ int RunOptimalExecution(int argc, char** argv) {
   RunContext ctx;
   ConfigureContext(args, &ctx);
   args.obs.Activate();
-  ThreadPool pool;
   SearchConfig config;
   config.batch_size = std::atoll(args.positional[2].c_str());
   config.top_k = 1;
@@ -220,8 +257,11 @@ int RunOptimalExecution(int argc, char** argv) {
     popts.label = "exec_search";  // total (triples) is internal: rate-only
     reporter.emplace(&ctx, popts);
   }
-  const SearchResult r = FindOptimalExecution(
-      app, sys, SearchSpace::AllWithOffload(), config, pool);
+  // The supervised driver forks before any ThreadPool exists in this
+  // process (its in-process fallback builds one internally), keeping the
+  // fork sites single-threaded.
+  const SearchResult r = dist::FindOptimalExecutionSupervised(
+      app, sys, SearchSpace::AllWithOffload(), config, args.Dist());
   if (reporter.has_value()) reporter->Stop();
   args.obs.Finish();
   std::printf("searched %llu strategies, %llu feasible\n",
@@ -289,7 +329,7 @@ int RunStudy(int argc, char** argv) {
     popts.label = "study";
     reporter.emplace(&ctx, popts);
   }
-  const StudyRun run = study.RunResilient(options);
+  const StudyRun run = dist::RunStudySupervised(study, options, args.Dist());
   if (reporter.has_value()) reporter->Stop();
   args.obs.Finish();
   const std::string csv = run.Csv();

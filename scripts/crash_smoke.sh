@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Crash-injection smoke test for the supervised multi-process fan-out
+# (docs/robustness.md §8): run a real study under --workers with seeded
+# SIGABRT / SIGSEGV / hang faults and require
+#
+#   1. the run degrades (exit 3) instead of dying,
+#   2. quarantined rows appear for the poison items and nothing else —
+#      every surviving row is byte-identical to the fault-free reference,
+#   3. the same seed reproduces the same output byte-for-byte,
+#   4. worker stderr logs are captured for the post-mortem.
+#
+# usage: scripts/crash_smoke.sh [build-dir]    # default: ./build
+# Worker logs are copied to $CRASH_SMOKE_OUT (if set) for CI artifacts.
+set -u -o pipefail
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/examples/calculon_cli"
+if [[ ! -x "$CLI" ]]; then
+  echo "crash_smoke: $CLI not found (build first)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/calculon_crash_smoke.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# 64 rows across several shards. The seeded plan below injects process
+# faults into a handful of them; deterministic decisions re-fire on every
+# retry, so exactly those rows must quarantine.
+cat > "$WORK/study.json" <<'EOF'
+{
+  "application": "megatron_22b",
+  "system": "a100_80g",
+  "num_procs": 64,
+  "base_execution": {"batch_size": 64, "recompute": "full"},
+  "sweep": {
+    "tensor_par": [1, 2, 4, 8],
+    "pipeline_par": [1, 2, 4, 8],
+    "data_par": "auto",
+    "microbatch": [1, 4]
+  }
+}
+EOF
+FAULTS="seed=42,abort=0.05,segv=0.05,hang=0.02,hang_s=60"
+DIST_FLAGS=(--workers 3 --shard-size 4 --hang-timeout 2)
+
+echo "== fault-free reference (in-process)"
+"$CLI" study "$WORK/study.json" "$WORK/ref.csv" > "$WORK/ref.log" || {
+  echo "crash_smoke: reference run failed" >&2; exit 1; }
+
+echo "== supervised run under injected process faults"
+run_faulted() {
+  local out="$1" log="$2"
+  "$CLI" study "$WORK/study.json" "$out" "${DIST_FLAGS[@]}" \
+      --faults "$FAULTS" --worker-logs "$WORK/worker-logs" > "$log" 2>&1
+  local status=$?
+  if [[ "$status" -ne 3 ]]; then
+    echo "crash_smoke: expected exit 3 (degraded) from the faulted run," \
+         "got $status" >&2
+    cat "$log" >&2
+    return 1
+  fi
+}
+mkdir -p "$WORK/worker-logs"
+run_faulted "$WORK/faulted.csv" "$WORK/faulted.log" || exit 1
+
+QUARANTINED=$(grep -c 'quarantined' "$WORK/faulted.csv")
+if [[ "$QUARANTINED" -lt 1 ]]; then
+  echo "crash_smoke: faulted run quarantined nothing (seed too tame?)" >&2
+  exit 1
+fi
+echo "   $QUARANTINED quarantined row(s)"
+
+if [[ "$(wc -l < "$WORK/faulted.csv")" != "$(wc -l < "$WORK/ref.csv")" ]]; then
+  echo "crash_smoke: faulted CSV lost rows (quarantine must fill, not drop)" >&2
+  exit 1
+fi
+
+echo "== surviving rows are byte-identical to the reference"
+# Line-by-line: each row either matches the reference exactly or is a
+# quarantine row. Any other difference breaks the deterministic merge.
+if ! awk 'NR==FNR { ref[FNR]=$0; next }
+          $0 != ref[FNR] && $0 !~ /quarantined/ {
+            printf "row %d differs and is not quarantined:\n  ref: %s\n  got: %s\n", FNR, ref[FNR], $0
+            bad=1
+          }
+          END { exit bad }' "$WORK/ref.csv" "$WORK/faulted.csv"; then
+  echo "crash_smoke: surviving rows are not bit-identical" >&2
+  exit 1
+fi
+
+echo "== same seed reproduces the same output"
+run_faulted "$WORK/faulted2.csv" "$WORK/faulted2.log" || exit 1
+if ! cmp -s "$WORK/faulted.csv" "$WORK/faulted2.csv"; then
+  echo "crash_smoke: same-seed reruns differ" >&2
+  diff "$WORK/faulted.csv" "$WORK/faulted2.csv" | head -20 >&2
+  exit 1
+fi
+
+if ! ls "$WORK/worker-logs"/worker-*.log >/dev/null 2>&1; then
+  echo "crash_smoke: no worker logs captured" >&2
+  exit 1
+fi
+
+if [[ -n "${CRASH_SMOKE_OUT:-}" ]]; then
+  mkdir -p "$CRASH_SMOKE_OUT"
+  cp "$WORK/worker-logs"/worker-*.log "$WORK/faulted.log" "$CRASH_SMOKE_OUT/"
+fi
+
+echo "crash_smoke: OK ($QUARANTINED poison row(s) quarantined," \
+     "survivors byte-identical, reruns reproducible)"

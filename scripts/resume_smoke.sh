@@ -79,3 +79,53 @@ if ! cmp -s "$WORK/ref.csv" "$WORK/out.csv"; then
 fi
 
 echo "resume_smoke: OK (resumed output is byte-identical to the reference)"
+
+# -----------------------------------------------------------------------
+# Hard-kill variant: SIGKILL the supervised (--workers) run mid-study —
+# no signal handler, no graceful checkpoint flush — then resume from
+# whatever checkpoint prefix survived. The atomic temp+rename write means
+# the checkpoint is never torn, and the resumed CSV must still be
+# byte-identical to the uninterrupted reference.
+
+echo "== supervised run, SIGKILLed after ~150ms"
+rm -f "$WORK/out9.csv"
+"$CLI" study "$WORK/study.json" "$WORK/out9.csv" \
+    --workers 2 --shard-size 4 \
+    --checkpoint "$WORK/ck9.json" --checkpoint-every 1 \
+    --faults "$DELAY" > "$WORK/killed9.log" 2>&1 &
+PID=$!
+sleep 0.15
+kill -KILL "$PID"
+wait "$PID"
+STATUS=$?
+if [[ "$STATUS" -ne 137 ]]; then
+  echo "resume_smoke: expected exit 137 (SIGKILL), got $STATUS" >&2
+  cat "$WORK/killed9.log" >&2
+  exit 1
+fi
+if [[ ! -f "$WORK/ck9.json" ]]; then
+  echo "resume_smoke: SIGKILLed supervised run left no checkpoint" \
+       "(too fast? raise delay_us)" >&2
+  exit 1
+fi
+
+echo "== resumed supervised run"
+"$CLI" study "$WORK/study.json" "$WORK/out9.csv" \
+    --workers 2 --shard-size 4 \
+    --checkpoint "$WORK/ck9.json" --resume > "$WORK/resumed9.log" || {
+  echo "resume_smoke: resumed supervised run failed" >&2
+  cat "$WORK/resumed9.log" >&2
+  exit 1
+}
+if ! grep -Eq '\([1-9][0-9]* resumed\)' "$WORK/resumed9.log"; then
+  echo "resume_smoke: supervised resume restored no rows" >&2
+  cat "$WORK/resumed9.log" >&2
+  exit 1
+fi
+if ! cmp -s "$WORK/ref.csv" "$WORK/out9.csv"; then
+  echo "resume_smoke: supervised resumed CSV differs from the reference" >&2
+  diff "$WORK/ref.csv" "$WORK/out9.csv" | head -20 >&2
+  exit 1
+fi
+
+echo "resume_smoke: OK (SIGKILLed supervised run resumed byte-identical)"

@@ -603,4 +603,36 @@ AuditReport AuditPair(const Application& app, const System& base_sys,
   return report;
 }
 
+json::Value ReportToJson(const AuditReport& report) {
+  json::Value v;
+  v["evaluations"] = static_cast<std::int64_t>(report.evaluations);
+  v["feasible"] = static_cast<std::int64_t>(report.feasible);
+  v["checks"] = static_cast<std::int64_t>(report.checks);
+  v["dropped"] = static_cast<std::int64_t>(report.dropped);
+  json::Array violations;
+  for (const AuditViolation& violation : report.violations) {
+    json::Value vj;
+    vj["invariant"] = violation.invariant;
+    vj["context"] = violation.context;
+    vj["detail"] = violation.detail;
+    violations.push_back(std::move(vj));
+  }
+  v["violations"] = json::Value(std::move(violations));
+  return v;
+}
+
+AuditReport ReportFromJson(const json::Value& v) {
+  AuditReport report;
+  report.evaluations = static_cast<std::uint64_t>(v.at("evaluations").AsInt());
+  report.feasible = static_cast<std::uint64_t>(v.at("feasible").AsInt());
+  report.checks = static_cast<std::uint64_t>(v.at("checks").AsInt());
+  report.dropped = static_cast<std::uint64_t>(v.at("dropped").AsInt());
+  for (const json::Value& vj : v.at("violations").AsArray()) {
+    report.violations.push_back(AuditViolation{vj.at("invariant").AsString(),
+                                               vj.at("context").AsString(),
+                                               vj.at("detail").AsString()});
+  }
+  return report;
+}
+
 }  // namespace calculon::analysis

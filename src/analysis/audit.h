@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hw/system.h"
+#include "json/json.h"
 #include "models/application.h"
 #include "util/run_context.h"
 
@@ -80,5 +81,10 @@ struct AuditOptions {
 // Audits one (application, system) pair over a sampled execution grid.
 [[nodiscard]] AuditReport AuditPair(const Application& app, const System& sys,
                                     const AuditOptions& options = {});
+
+// Lossless AuditReport round-trip: the audit CLI's checkpoint journal
+// format, also the dist wire format for supervised audit workers.
+[[nodiscard]] json::Value ReportToJson(const AuditReport& report);
+[[nodiscard]] AuditReport ReportFromJson(const json::Value& v);
 
 }  // namespace calculon::analysis

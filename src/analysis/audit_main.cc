@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/audit.h"
+#include "dist/drivers.h"
 #include "hw/presets.h"
 #include "json/json.h"
 #include "models/presets.h"
@@ -49,6 +50,11 @@ void PrintUsage() {
       "  --procs n1,n2,...   system sizes to audit at (default ladder)\n"
       "  --max-splits N      (t,p,d) factorizations sampled per size\n"
       "  --threads N         worker threads (default: hardware)\n"
+      "  --workers N         run pairs in N supervised worker processes\n"
+      "                      (crash/hang isolation; see docs/robustness.md)\n"
+      "  --shard-size N      pairs dispatched to a worker at a time\n"
+      "  --hang-timeout S    SIGKILL a worker silent for S seconds\n"
+      "  --worker-logs DIR   capture worker stderr to DIR/worker-<n>.log\n"
       "  --verbose           print a result row per (app, system) pair\n"
       "  --deadline S        stop after S wall-clock seconds (partial audit)\n"
       "  --failure-budget N  stop after N isolated evaluation failures\n"
@@ -104,37 +110,8 @@ std::uint64_t Fnv1a(std::uint64_t h, const std::string& s) {
 
 constexpr const char* kCheckpointFormat = "calculon-audit-checkpoint-v1";
 
-calculon::json::Value ReportToJson(const AuditReport& report) {
-  calculon::json::Value v;
-  v["evaluations"] = static_cast<std::int64_t>(report.evaluations);
-  v["feasible"] = static_cast<std::int64_t>(report.feasible);
-  v["checks"] = static_cast<std::int64_t>(report.checks);
-  v["dropped"] = static_cast<std::int64_t>(report.dropped);
-  calculon::json::Array violations;
-  for (const AuditViolation& violation : report.violations) {
-    calculon::json::Value vj;
-    vj["invariant"] = violation.invariant;
-    vj["context"] = violation.context;
-    vj["detail"] = violation.detail;
-    violations.push_back(std::move(vj));
-  }
-  v["violations"] = calculon::json::Value(std::move(violations));
-  return v;
-}
-
-AuditReport ReportFromJson(const calculon::json::Value& v) {
-  AuditReport report;
-  report.evaluations = static_cast<std::uint64_t>(v.at("evaluations").AsInt());
-  report.feasible = static_cast<std::uint64_t>(v.at("feasible").AsInt());
-  report.checks = static_cast<std::uint64_t>(v.at("checks").AsInt());
-  report.dropped = static_cast<std::uint64_t>(v.at("dropped").AsInt());
-  for (const calculon::json::Value& vj : v.at("violations").AsArray()) {
-    report.violations.push_back(AuditViolation{vj.at("invariant").AsString(),
-                                               vj.at("context").AsString(),
-                                               vj.at("detail").AsString()});
-  }
-  return report;
-}
+using calculon::analysis::ReportFromJson;
+using calculon::analysis::ReportToJson;
 
 // Loads every *.json under dir (if it exists) through `parse`, skipping
 // file stems that are already present (preset and config names overlap).
@@ -163,6 +140,8 @@ int main(int argc, char** argv) try {
   std::string config_dir;
   AuditOptions options;
   unsigned threads = 0;
+  calculon::dist::DistOptions dist;
+  dist.shard_size = 1;  // audit pairs are coarse; retry at pair granularity
   bool verbose = false;
   double deadline_s = 0.0;
   long long failure_budget = 0;
@@ -207,6 +186,34 @@ int main(int argc, char** argv) try {
       options.max_splits = static_cast<int>(parse_int(next()));
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(parse_int(next()));
+    } else if (arg == "--workers") {
+      dist.workers = static_cast<int>(parse_int(next()));
+      if (dist.workers < 0) {
+        std::fprintf(stderr, "calculon-audit: --workers must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--shard-size") {
+      const long long n = parse_int(next());
+      if (n <= 0) {
+        std::fprintf(stderr, "calculon-audit: --shard-size must be > 0\n");
+        return 2;
+      }
+      dist.shard_size = static_cast<std::uint64_t>(n);
+    } else if (arg == "--hang-timeout") {
+      try {
+        std::size_t used = 0;
+        const std::string value = next();
+        dist.hang_timeout_s = std::stod(value, &used);
+        if (used != value.size() || dist.hang_timeout_s <= 0.0) {
+          throw std::invalid_argument(value);
+        }
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "calculon-audit: --hang-timeout expects seconds > 0\n");
+        return 2;
+      }
+    } else if (arg == "--worker-logs") {
+      dist.worker_log_dir = next();
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--deadline") {
@@ -375,12 +382,9 @@ int main(int argc, char** argv) try {
       }
     }
     cp["pairs"] = calculon::json::Value(std::move(journal));
-    const std::string tmp = checkpoint_path + ".tmp";
-    calculon::json::WriteFile(tmp, cp);
-    std::filesystem::rename(tmp, checkpoint_path);
+    calculon::json::WriteFile(checkpoint_path, cp);  // atomic temp + rename
   };
 
-  calculon::ThreadPool pool(threads);
   std::optional<calculon::obs::ProgressReporter> reporter;
   if (obs_options.progress) {
     calculon::obs::ProgressOptions popts;
@@ -389,24 +393,53 @@ int main(int argc, char** argv) try {
     popts.label = "audit";
     reporter.emplace(&ctx, popts);
   }
-  pool.ParallelFor(pairs.size(), &ctx, [&](std::uint64_t i) {
-    if (done[i] != 0) return;
-    Pair& pair = pairs[i];
-    CALC_TRACE_SPAN("audit", pair.app->label + "/" + pair.sys->label);
-    AuditOptions pair_options = options;
-    pair_options.context_label = pair.sys->label;
-    pair_options.ctx = &ctx;
-    pair_options.fault_key_base = i << 32;
-    pair.report = calculon::analysis::AuditPair(pair.app->value,
-                                                pair.sys->value, pair_options);
-    // A pair that observed a stop mid-sweep is partial: keep its report for
-    // this process's summary but leave it out of the journal so a resumed
-    // run re-audits it in full.
-    if (ctx.cancelled()) return;
-    calculon::MutexLock lock(checkpoint_mutex);
-    done[i] = 1;
-    if (!checkpoint_path.empty()) write_checkpoint();
-  });
+  if (dist.active()) {
+    // Supervised multi-process audit: each pair runs in a forked worker,
+    // so a crash or hang inside the model quarantines that pair instead
+    // of killing the audit. No ThreadPool exists before the forks.
+    const auto& plan = faults.plan();
+    if (plan.enabled()) dist.faults_spec = plan.ToSpec();
+    dist.fallback_threads = threads;
+    std::vector<calculon::dist::AuditPairSpec> specs;
+    std::vector<std::size_t> orig;  // specs index -> pairs index
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (done[i] != 0) continue;
+      specs.push_back(calculon::dist::AuditPairSpec{
+          pairs[i].app->value, pairs[i].sys->value, pairs[i].sys->label,
+          static_cast<std::uint64_t>(i) << 32});
+      orig.push_back(i);
+    }
+    (void)calculon::dist::RunAuditSupervised(
+        specs, options, dist, &ctx,
+        [&](std::uint64_t j, const AuditReport& report) {
+          const std::size_t i = orig[j];
+          pairs[i].report = report;
+          if (ctx.cancelled()) return;
+          calculon::MutexLock lock(checkpoint_mutex);
+          done[i] = 1;
+          if (!checkpoint_path.empty()) write_checkpoint();
+        });
+  } else {
+    calculon::ThreadPool pool(threads);
+    pool.ParallelFor(pairs.size(), &ctx, [&](std::uint64_t i) {
+      if (done[i] != 0) return;
+      Pair& pair = pairs[i];
+      CALC_TRACE_SPAN("audit", pair.app->label + "/" + pair.sys->label);
+      AuditOptions pair_options = options;
+      pair_options.context_label = pair.sys->label;
+      pair_options.ctx = &ctx;
+      pair_options.fault_key_base = i << 32;
+      pair.report = calculon::analysis::AuditPair(
+          pair.app->value, pair.sys->value, pair_options);
+      // A pair that observed a stop mid-sweep is partial: keep its report
+      // for this process's summary but leave it out of the journal so a
+      // resumed run re-audits it in full.
+      if (ctx.cancelled()) return;
+      calculon::MutexLock lock(checkpoint_mutex);
+      done[i] = 1;
+      if (!checkpoint_path.empty()) write_checkpoint();
+    });
+  }
   if (reporter.has_value()) reporter->Stop();
 
   calculon::Table table(

@@ -1,0 +1,15 @@
+#include "dist/backoff.h"
+
+#include <algorithm>
+
+namespace calculon::dist {
+
+std::int64_t BackoffDelayMs(int attempt, std::int64_t base_ms,
+                            std::int64_t max_ms) {
+  if (base_ms <= 0) return 0;
+  const int exponent = std::min(std::max(attempt, 1) - 1, 62);
+  if (exponent >= 62 || base_ms > (max_ms >> exponent)) return max_ms;
+  return std::min(base_ms << exponent, max_ms);
+}
+
+}  // namespace calculon::dist

@@ -1,0 +1,21 @@
+// Deterministic exponential backoff for shard reassignment.
+//
+// When a worker dies on a shard, the supervisor does not re-dispatch the
+// suspect item immediately: a crash caused by a transient condition (an
+// OOM kill under memory pressure, a wedged filesystem) deserves breathing
+// room, and a deterministic schedule keeps retry behavior reproducible and
+// pinnable in tests. No jitter on purpose — the supervisor runs a single
+// event loop, so synchronized retries cannot stampede anything.
+#pragma once
+
+#include <cstdint>
+
+namespace calculon::dist {
+
+// Delay before retry number `attempt` (1-based): base_ms * 2^(attempt-1),
+// saturating at max_ms. attempt <= 0 is treated as 1; the shift saturates
+// long before it could overflow.
+[[nodiscard]] std::int64_t BackoffDelayMs(int attempt, std::int64_t base_ms,
+                                          std::int64_t max_ms);
+
+}  // namespace calculon::dist

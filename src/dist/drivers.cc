@@ -1,0 +1,316 @@
+#include "dist/drivers.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/perf_model.h"
+#include "json/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/threadpool.h"
+
+namespace calculon::dist {
+
+namespace {
+
+SupervisorOptions ToSupervisorOptions(const DistOptions& dist,
+                                      RunContext* ctx,
+                                      std::uint64_t first_item) {
+  SupervisorOptions options;
+  options.workers = dist.workers;
+  options.shard_size = dist.shard_size;
+  options.first_item = first_item;
+  options.max_attempts = dist.max_attempts;
+  options.backoff_base_ms = dist.backoff_base_ms;
+  options.backoff_max_ms = dist.backoff_max_ms;
+  options.hang_timeout_s = dist.hang_timeout_s;
+  options.ctx = ctx;
+  options.worker_log_dir = dist.worker_log_dir;
+  options.faults_spec = dist.faults_spec;
+  return options;
+}
+
+FailureRecord FailureFromJson(const json::Value& v) {
+  FailureRecord record;
+  record.item = static_cast<std::uint64_t>(v.GetInt("item", 0));
+  record.fingerprint = v.GetString("fingerprint", "");
+  record.reason = v.GetString("reason", "");
+  record.worker = static_cast<unsigned>(v.GetInt("worker", 0));
+  return record;
+}
+
+// Worker-side hard failures replay onto the parent's context so
+// failure-budget and failure-sample accounting match the in-process run.
+void ReplayFailures(RunContext* ctx, const json::Value& failures) {
+  if (ctx == nullptr) return;
+  for (const json::Value& f : failures.AsArray()) {
+    const FailureRecord record = FailureFromJson(f);
+    ctx->RecordFailure(record.item, record.fingerprint, record.reason,
+                       record.worker);
+  }
+}
+
+}  // namespace
+
+StudyRun RunStudySupervised(const Study& study, const StudyRunOptions& options,
+                            const DistOptions& dist) {
+  if (!dist.active()) return study.RunResilient(options);
+  CALC_TRACE_SPAN("dist", "study");
+
+  const std::vector<Execution> execs = study.Enumerate();
+  StudyRun run;
+  run.total_rows = execs.size();
+  const std::string fingerprint = study.Fingerprint();
+
+  if (options.resume) {
+    if (options.checkpoint_path.empty()) {
+      throw ConfigError("study: resume requires a checkpoint path");
+    }
+    if (std::filesystem::exists(options.checkpoint_path)) {
+      LoadStudyCheckpoint(options.checkpoint_path, fingerprint, &run);
+      if (run.csv_rows.size() > execs.size()) {
+        throw ConfigError("study: checkpoint has more rows than the sweep");
+      }
+    }
+  }
+  run.resumed_rows = run.csv_rows.size();
+
+  RunContext* const ctx = options.ctx;
+  const std::uint64_t every =
+      std::max<std::uint64_t>(1, options.checkpoint_every);
+  std::uint64_t since_checkpoint = 0;
+
+  json::Value spec;
+  spec["job"] = "study";
+  spec["spec"] = study.ToJson();
+  spec["fault_key_base"] = static_cast<std::int64_t>(options.fault_key_base);
+
+  // Results arrive in completion order; commit them in row order so the
+  // checkpoint prefix, the CSV, and the best-row decision sequence are
+  // the ones the sequential loop would have produced.
+  std::map<std::uint64_t, json::Value> arrived;
+  std::map<std::uint64_t, std::string> quarantined;
+  std::uint64_t committed = run.resumed_rows;
+
+  auto commit_ready = [&] {
+    for (;;) {
+      if (const auto it = arrived.find(committed); it != arrived.end()) {
+        const json::Value& r = it->second;
+        const Execution& e = execs[committed];
+        const bool ok = r.GetBool("ok", false);
+        // Mirrors RunResilient: kBadConfig out of a well-formed row is a
+        // model bug or injected fault, charged to the failure budget.
+        if (ctx != nullptr && !ok && r.GetBool("bad_config", false)) {
+          ctx->RecordFailure(committed, StudyRowFingerprint(e),
+                             r.GetString("detail", ""));
+        }
+        if (ok) {
+          // The raw double traveled as %.17g: this comparison sees the
+          // exact value the in-process loop computed.
+          const PerSecond rate(r.at("sample_rate").AsDouble());
+          if (rate > run.best.sample_rate) {
+            run.best.found = true;
+            run.best.row = committed;
+            run.best.exec = e;
+            run.best.sample_rate = rate;
+          }
+        }
+        run.csv_rows.push_back(r.at("csv").AsString());
+        arrived.erase(it);
+      } else if (const auto qt = quarantined.find(committed);
+                 qt != quarantined.end()) {
+        const Execution& e = execs[committed];
+        if (ctx != nullptr) {
+          ctx->RecordFailure(committed, StudyRowFingerprint(e), qt->second);
+        }
+        run.csv_rows.push_back(
+            StudyCsvRow(e, Result<Stats>(Infeasible::kBadConfig, qt->second)));
+        quarantined.erase(qt);
+      } else {
+        break;
+      }
+      if (ctx != nullptr) ctx->RecordCompleted();
+      ++committed;
+      if (!options.checkpoint_path.empty() && ++since_checkpoint >= every) {
+        since_checkpoint = 0;
+        WriteStudyCheckpoint(options.checkpoint_path,
+                             StudyCheckpointToJson(fingerprint, run));
+      }
+    }
+  };
+
+  SupervisorCallbacks callbacks;
+  callbacks.on_item = [&](std::uint64_t item, const json::Value& result) {
+    arrived[item] = result;
+    commit_ready();
+  };
+  callbacks.on_quarantine = [&](const FailureRecord& record) {
+    quarantined[record.item] = record.reason;
+    commit_ready();
+  };
+
+  (void)RunSupervised(spec, execs.size(),
+                      ToSupervisorOptions(dist, ctx, run.resumed_rows),
+                      callbacks);
+  commit_ready();
+
+  if (ctx != nullptr) run.status = ctx->Snapshot();
+  run.status.complete = run.csv_rows.size() == execs.size();
+  if (!options.checkpoint_path.empty()) {
+    WriteStudyCheckpoint(options.checkpoint_path,
+                         StudyCheckpointToJson(fingerprint, run));
+  }
+  return run;
+}
+
+SearchResult FindOptimalExecutionSupervised(const Application& app,
+                                            const System& sys,
+                                            const SearchSpace& space,
+                                            const SearchConfig& config,
+                                            const DistOptions& dist) {
+  // The wire format ships tallies and top-k candidates, not the full-rate
+  // and Pareto collections — those collectors stay in-process.
+  if (!dist.active() || config.keep_all_rates || config.keep_pareto) {
+    ThreadPool pool(dist.fallback_threads);
+    return FindOptimalExecution(app, sys, space, config, pool);
+  }
+  CALC_TRACE_SPAN("dist", "exec_search");
+
+  const std::vector<Triple> triples = SearchTriples(app, sys, space, config);
+  RunContext* const ctx = config.ctx;
+
+  json::Value spec;
+  spec["job"] = "exec_search";
+  spec["application"] = app.ToJson();
+  spec["system"] = sys.ToJson();
+  spec["space"] = space.ToJson();
+  json::Value cfg;
+  cfg["batch_size"] = static_cast<std::int64_t>(config.batch_size);
+  cfg["top_k"] = static_cast<std::int64_t>(config.top_k);
+  spec["config"] = cfg;
+
+  std::map<std::uint64_t, json::Value> arrived;
+  SupervisorCallbacks callbacks;
+  callbacks.on_item = [&](std::uint64_t item, const json::Value& result) {
+    arrived[item] = result;
+  };
+  callbacks.on_quarantine = [&](const FailureRecord& record) {
+    if (ctx != nullptr) {
+      const Triple& tr = triples[record.item];
+      ctx->RecordFailure(
+          record.item << 32,
+          StrFormat("t=%lld p=%lld d=%lld", static_cast<long long>(tr.t),
+                    static_cast<long long>(tr.p),
+                    static_cast<long long>(tr.d)),
+          record.reason, record.worker);
+    }
+  };
+
+  (void)RunSupervised(spec, triples.size(),
+                      ToSupervisorOptions(dist, ctx, 0), callbacks);
+
+  // Merge in triple order (the map iterates sorted), so tie-breaking in
+  // InsertTopK is deterministic — stronger than the in-process parallel
+  // merge, which is completion-ordered.
+  SearchResult result;
+  std::vector<std::uint64_t> rejected;
+  for (const auto& [item, r] : arrived) {
+    result.evaluated += static_cast<std::uint64_t>(r.GetInt("evaluated", 0));
+    result.feasible += static_cast<std::uint64_t>(r.GetInt("feasible", 0));
+    const json::Array& rej = r.at("rejected").AsArray();
+    if (rejected.size() < rej.size()) rejected.resize(rej.size(), 0);
+    for (std::size_t i = 0; i < rej.size(); ++i) {
+      rejected[i] += static_cast<std::uint64_t>(rej[i].AsInt());
+    }
+    ReplayFailures(ctx, r.at("failures"));
+    for (const json::Value& exec_json : r.at("best").AsArray()) {
+      Execution exec = Execution::FromJson(exec_json);
+      // Deterministic re-evaluation recovers the full Stats the worker
+      // saw; shipping only the Execution keeps the wire format small.
+      Result<Stats> stats = CalculatePerformance(app, exec, sys);
+      if (!stats.ok()) continue;  // cannot happen for a shipped candidate
+      InsertTopK(result.best, config.top_k, std::move(exec),
+                 std::move(stats).value());
+    }
+  }
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  if (metrics.enabled()) {
+    metrics.GetCounter("exec_search.evaluated")->Increment(result.evaluated);
+    metrics.GetCounter("exec_search.feasible")->Increment(result.feasible);
+    for (std::size_t i = 1; i < rejected.size(); ++i) {  // skip kNone
+      if (rejected[i] == 0) continue;
+      metrics
+          .GetCounter("exec_search.rejected." +
+                      obs::MetricNameSegment(
+                          ToString(static_cast<Infeasible>(i))))
+          ->Increment(rejected[i]);
+    }
+  }
+  CALC_TRACE_COUNTER("exec_search.evaluated", result.evaluated);
+
+  if (ctx != nullptr) result.status = ctx->Snapshot();
+  return result;
+}
+
+AuditDistResult RunAuditSupervised(
+    const std::vector<AuditPairSpec>& pairs,
+    const analysis::AuditOptions& options, const DistOptions& dist,
+    RunContext* ctx,
+    const std::function<void(std::uint64_t, const analysis::AuditReport&)>&
+        on_pair_done) {
+  CALC_TRACE_SPAN("dist", "audit");
+  AuditDistResult out;
+  out.reports.resize(pairs.size());
+  out.completed.assign(pairs.size(), 0);
+
+  json::Value spec;
+  spec["job"] = "audit";
+  json::Value opts;
+  json::Array proc_counts;
+  proc_counts.reserve(options.proc_counts.size());
+  for (std::int64_t n : options.proc_counts) proc_counts.emplace_back(n);
+  opts["proc_counts"] = json::Value(std::move(proc_counts));
+  opts["max_splits"] = static_cast<std::int64_t>(options.max_splits);
+  opts["rel_tol"] = options.rel_tol;
+  opts["max_violations"] = static_cast<std::int64_t>(options.max_violations);
+  spec["options"] = opts;
+  json::Array pair_specs;
+  pair_specs.reserve(pairs.size());
+  for (const AuditPairSpec& pair : pairs) {
+    json::Value p;
+    p["application"] = pair.app.ToJson();
+    p["system"] = pair.sys.ToJson();
+    p["context_label"] = pair.context_label;
+    p["fault_key_base"] = static_cast<std::int64_t>(pair.fault_key_base);
+    pair_specs.push_back(std::move(p));
+  }
+  spec["pairs"] = json::Value(std::move(pair_specs));
+
+  SupervisorCallbacks callbacks;
+  callbacks.on_item = [&](std::uint64_t item, const json::Value& result) {
+    out.reports[item] = analysis::ReportFromJson(result.at("report"));
+    out.completed[item] = 1;
+    ReplayFailures(ctx, result.at("failures"));
+    if (on_pair_done) on_pair_done(item, out.reports[item]);
+  };
+  callbacks.on_quarantine = [&](const FailureRecord& record) {
+    if (ctx != nullptr) {
+      ctx->RecordFailure(record.item, pairs[record.item].context_label,
+                         record.reason, record.worker);
+    }
+  };
+
+  out.supervisor = RunSupervised(spec, pairs.size(),
+                                 ToSupervisorOptions(dist, ctx, 0), callbacks);
+  return out;
+}
+
+}  // namespace calculon::dist

@@ -1,0 +1,190 @@
+#include "dist/jobs.h"
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/audit.h"
+#include "runner/run_status_json.h"
+#include "runner/study.h"
+#include "search/exec_search.h"
+#include "util/error.h"
+
+namespace calculon::dist {
+
+namespace {
+
+json::Value FailuresToJson(const std::vector<FailureRecord>& failures) {
+  json::Array arr;
+  arr.reserve(failures.size());
+  for (const FailureRecord& f : failures) arr.push_back(ToJson(f));
+  return json::Value(std::move(arr));
+}
+
+// One study row per item. The worker evaluates with the exact
+// EvaluateStudyRow + StudyCsvRow path of Study::RunResilient, so the CSV
+// line and the raw sample-rate double it ships back are bit-identical to
+// what the in-process loop would have produced.
+class StudyJob : public Job {
+ public:
+  explicit StudyJob(const json::Value& spec)
+      : study_(Study::FromJson(spec.at("spec"))),
+        execs_(study_.Enumerate()),
+        fault_key_base_(
+            static_cast<std::uint64_t>(spec.GetInt("fault_key_base", 0))) {}
+
+  [[nodiscard]] std::uint64_t num_items() const override {
+    return execs_.size();
+  }
+
+  [[nodiscard]] std::uint64_t FaultKey(std::uint64_t item) const override {
+    return fault_key_base_ + item;
+  }
+
+  [[nodiscard]] json::Value RunItem(std::uint64_t item) override {
+    const Execution& e = execs_[item];
+    const Result<Stats> r = EvaluateStudyRow(study_, e, FaultKey(item));
+    json::Value out;
+    out["csv"] = StudyCsvRow(e, r);
+    out["ok"] = r.ok();
+    if (r.ok()) {
+      out["sample_rate"] = r.value().sample_rate.raw();
+    } else {
+      out["bad_config"] = r.reason() == Infeasible::kBadConfig;
+      out["detail"] = r.detail();
+    }
+    return out;
+  }
+
+ private:
+  const Study study_;
+  const std::vector<Execution> execs_;
+  const std::uint64_t fault_key_base_;
+};
+
+// One exec-search (t, p, d) triple per item. The worker ships back the
+// triple's tallies, its top-k executions (the parent re-evaluates them for
+// full Stats — deterministic, so re-evaluation is exact), and the
+// isolated hard failures for replay onto the parent's RunContext.
+class ExecSearchJob : public Job {
+ public:
+  explicit ExecSearchJob(const json::Value& spec)
+      : app_(Application::FromJson(spec.at("application"))),
+        sys_(System::FromJson(spec.at("system"))),
+        space_(SearchSpace::FromJson(spec.at("space"))) {
+    const json::Value& config = spec.at("config");
+    config_.batch_size = config.GetInt("batch_size", 0);
+    config_.top_k = static_cast<int>(config.GetInt("top_k", 10));
+    num_triples_ = SearchTriples(app_, sys_, space_, config_).size();
+  }
+
+  [[nodiscard]] std::uint64_t num_items() const override {
+    return num_triples_;
+  }
+
+  [[nodiscard]] std::uint64_t FaultKey(std::uint64_t item) const override {
+    // Evaluation keys inside triple i are (i << 32) + counter with a
+    // 1-based counter, so (i << 32) itself is free for the process-level
+    // decision of the whole triple.
+    return item << 32;
+  }
+
+  [[nodiscard]] json::Value RunItem(std::uint64_t item) override {
+    TripleSweep sweep = SweepTriple(app_, sys_, space_, config_, item);
+    json::Value out;
+    out["evaluated"] = static_cast<std::int64_t>(sweep.evaluated);
+    out["feasible"] = static_cast<std::int64_t>(sweep.feasible);
+    json::Array rejected;
+    rejected.reserve(sweep.rejected.size());
+    for (std::uint64_t n : sweep.rejected) {
+      rejected.emplace_back(static_cast<std::int64_t>(n));
+    }
+    out["rejected"] = json::Value(std::move(rejected));
+    json::Array best;
+    best.reserve(sweep.best.size());
+    for (const SearchEntry& entry : sweep.best) {
+      best.push_back(entry.exec.ToJson());
+    }
+    out["best"] = json::Value(std::move(best));
+    out["failures"] = FailuresToJson(sweep.failures);
+    return out;
+  }
+
+ private:
+  const Application app_;
+  const System sys_;
+  const SearchSpace space_;
+  SearchConfig config_;
+  std::uint64_t num_triples_ = 0;
+};
+
+// One (application, system) audit pair per item. The worker runs the full
+// AuditPair under a private RunContext and ships the report plus the
+// isolated failures.
+class AuditJob : public Job {
+ public:
+  explicit AuditJob(const json::Value& spec) {
+    const json::Value& options = spec.at("options");
+    for (const json::Value& n : options.at("proc_counts").AsArray()) {
+      options_.proc_counts.push_back(n.AsInt());
+    }
+    options_.max_splits = static_cast<int>(options.GetInt("max_splits", 24));
+    options_.rel_tol = options.GetDouble("rel_tol", 1e-9);
+    options_.max_violations =
+        static_cast<int>(options.GetInt("max_violations", 16));
+    for (const json::Value& p : spec.at("pairs").AsArray()) {
+      pairs_.push_back(PairSpec{
+          Application::FromJson(p.at("application")),
+          System::FromJson(p.at("system")),
+          p.at("context_label").AsString(),
+          static_cast<std::uint64_t>(p.at("fault_key_base").AsInt())});
+    }
+  }
+
+  [[nodiscard]] std::uint64_t num_items() const override {
+    return pairs_.size();
+  }
+
+  [[nodiscard]] std::uint64_t FaultKey(std::uint64_t item) const override {
+    return pairs_[item].fault_key_base;
+  }
+
+  [[nodiscard]] json::Value RunItem(std::uint64_t item) override {
+    const PairSpec& pair = pairs_[item];
+    RunContext local_ctx;
+    local_ctx.set_max_failure_samples(std::numeric_limits<std::size_t>::max());
+    analysis::AuditOptions options = options_;
+    options.context_label = pair.context_label;
+    options.ctx = &local_ctx;
+    options.fault_key_base = pair.fault_key_base;
+    const analysis::AuditReport report =
+        analysis::AuditPair(pair.app, pair.sys, options);
+    json::Value out;
+    out["report"] = analysis::ReportToJson(report);
+    out["failures"] = FailuresToJson(local_ctx.Snapshot().failure_samples);
+    return out;
+  }
+
+ private:
+  struct PairSpec {
+    Application app;
+    System sys;
+    std::string context_label;
+    std::uint64_t fault_key_base;
+  };
+  analysis::AuditOptions options_;
+  std::vector<PairSpec> pairs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Job> MakeJob(const json::Value& spec) {
+  const std::string kind = spec.GetString("job", "");
+  if (kind == "study") return std::make_unique<StudyJob>(spec);
+  if (kind == "exec_search") return std::make_unique<ExecSearchJob>(spec);
+  if (kind == "audit") return std::make_unique<AuditJob>(spec);
+  throw ConfigError("dist: unknown job kind '" + kind + "'");
+}
+
+}  // namespace calculon::dist

@@ -1,0 +1,43 @@
+// Sweep jobs: the unit of work a supervised worker pool executes.
+//
+// A Job is a sweep expressed as an indexed list of independent items
+// (study rows, exec-search triples, audit pairs) that is (a) fully
+// described by one JSON spec, and (b) rebuildable from that spec to an
+// identical item list on both sides of a fork. The parent builds the job
+// to learn num_items and interpret results; each worker builds the same
+// job from the same spec and evaluates the items it is assigned. Item
+// results are themselves JSON (doubles as %.17g, lossless), so a
+// supervised sweep merges to bit-identical output.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "json/json.h"
+
+namespace calculon::dist {
+
+class Job {
+ public:
+  virtual ~Job() = default;
+
+  [[nodiscard]] virtual std::uint64_t num_items() const = 0;
+
+  // The deterministic fault-injection key of item `item` — consulted by
+  // the worker (MaybeInjectProcess) immediately before evaluating it, so
+  // a seeded process fault re-fires on every retry of the same item.
+  [[nodiscard]] virtual std::uint64_t FaultKey(std::uint64_t item) const = 0;
+
+  // Evaluates one item. Per-item model failures are isolated inside the
+  // result (never thrown): a throw out of RunItem means the job itself is
+  // broken and takes the worker down.
+  [[nodiscard]] virtual json::Value RunItem(std::uint64_t item) = 0;
+};
+
+// Builds the job described by `spec`, a {"job": "<kind>", ...} object as
+// produced by the drivers in dist/drivers.h. Kinds: "study",
+// "exec_search", "audit". Throws ConfigError on an unknown kind or a
+// malformed spec.
+[[nodiscard]] std::unique_ptr<Job> MakeJob(const json::Value& spec);
+
+}  // namespace calculon::dist

@@ -1,0 +1,99 @@
+// Shard bookkeeping for the supervised worker pool: which items are
+// dispatched, acked, retried, or quarantined.
+//
+// The tracker is pure accounting — no I/O, no clocks, no processes — so
+// the retry/backoff/quarantine semantics are testable without forking
+// anything. The supervisor drives it from its event loop; the class is
+// nonetheless mutex-guarded (and annotated) because progress reporters
+// may sample it from another thread.
+//
+// Failure model: workers stream per-item acks in order within a shard, so
+// when a worker dies the *suspect* is the first un-acked item of its
+// shard — the item it was evaluating. The suspect's attempt count
+// increments; after max_attempts the item is quarantined (a poison
+// candidate: deterministic process faults re-fire on every retry, so
+// retrying forever would never converge) and the remainder of the shard
+// is re-dispatched. Quarantined items count as resolved, which guarantees
+// the sweep always terminates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace calculon::dist {
+
+// A contiguous, half-open range of sweep items: the dispatch unit.
+struct ShardRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] bool empty() const { return begin >= end; }
+};
+
+struct ShardTrackerOptions {
+  std::uint64_t num_items = 0;
+  // Dispatch starts here (checkpoint-resume watermark); items below it
+  // count as already resolved.
+  std::uint64_t first_item = 0;
+  std::uint64_t shard_size = 16;
+  // Attempts per suspect item before it is quarantined (>= 1).
+  int max_attempts = 3;
+  std::int64_t backoff_base_ms = 10;
+  std::int64_t backoff_max_ms = 2000;
+};
+
+class ShardTracker {
+ public:
+  explicit ShardTracker(const ShardTrackerOptions& options);
+
+  // Claims the next never-dispatched shard. Returns false when the whole
+  // range has been handed out (retries are the supervisor's re-dispatch
+  // queue, not the tracker's).
+  [[nodiscard]] bool Claim(ShardRange* out) CALC_EXCLUDES(mutex_);
+
+  // One item's result was received (acked).
+  void OnItemDone(std::uint64_t item) CALC_EXCLUDES(mutex_);
+
+  // Outcome of a worker failure on a shard.
+  struct FailureOutcome {
+    bool quarantined = false;    // the suspect hit max_attempts
+    std::uint64_t suspect = 0;   // first un-acked item of the shard
+    int attempt = 0;             // its attempt count so far
+    std::int64_t backoff_ms = 0; // delay before `retry` (0 on quarantine)
+    ShardRange retry;            // what to re-dispatch (may be empty)
+  };
+
+  // The worker owning `shard` died or hung after acking items
+  // [shard.begin, acked_up_to). Returns the retry decision; quarantined
+  // items are marked resolved here.
+  [[nodiscard]] FailureOutcome OnShardFailure(ShardRange shard,
+                                              std::uint64_t acked_up_to)
+      CALC_EXCLUDES(mutex_);
+
+  // Every item acked or quarantined.
+  [[nodiscard]] bool AllResolved() const CALC_EXCLUDES(mutex_);
+
+  // Items never yet dispatched (the remaining claimable span). Lets the
+  // supervisor size its pool refill without consuming a claim.
+  [[nodiscard]] std::uint64_t unclaimed() const CALC_EXCLUDES(mutex_);
+
+  [[nodiscard]] std::uint64_t resolved() const CALC_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<std::uint64_t> quarantined() const
+      CALC_EXCLUDES(mutex_);
+
+ private:
+  const ShardTrackerOptions options_;
+
+  mutable Mutex mutex_;
+  std::uint64_t next_ CALC_GUARDED_BY(mutex_) = 0;  // dispatch cursor
+  std::uint64_t resolved_ CALC_GUARDED_BY(mutex_) = 0;
+  std::map<std::uint64_t, int> attempts_ CALC_GUARDED_BY(mutex_);
+  std::set<std::uint64_t> quarantined_ CALC_GUARDED_BY(mutex_);
+};
+
+}  // namespace calculon::dist

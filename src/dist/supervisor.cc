@@ -1,0 +1,562 @@
+#include "dist/supervisor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <ctime>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/shard_tracker.h"
+#include "dist/wire.h"
+#include "dist/worker.h"
+#include "json/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CALCULON_DIST_HAVE_FORK 1
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace calculon::dist {
+
+#if defined(CALCULON_DIST_HAVE_FORK)
+
+namespace {
+
+[[nodiscard]] std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// A shard waiting out its backoff before re-dispatch.
+struct PendingRetry {
+  ShardRange shard;
+  std::int64_t ready_at_ms = 0;
+};
+
+struct WorkerSlot {
+  pid_t pid = -1;  // -1: no live process in this slot
+  int cmd_fd = -1;  // parent -> worker (blocking writes; frames are tiny)
+  int res_fd = -1;  // worker -> parent (non-blocking, poll()ed)
+  std::unique_ptr<FrameWriter> writer;
+  std::unique_ptr<FrameReader> reader;
+  bool ready = false;  // worker acked init; shards may be dispatched
+  bool busy = false;   // a shard is in flight
+  ShardRange shard;    // the in-flight shard (valid while busy)
+  std::uint64_t acked = 0;  // next expected item index within the shard
+  std::int64_t last_activity_ms = 0;
+
+  [[nodiscard]] bool alive() const { return pid != -1; }
+};
+
+// Mutable loop state bundled so the helpers below stay free functions.
+struct Pool {
+  const json::Value* init_frame = nullptr;
+  SupervisorOptions options;
+  const SupervisorCallbacks* callbacks = nullptr;
+  ShardTracker* tracker = nullptr;
+  SupervisorReport* report = nullptr;
+
+  std::vector<WorkerSlot> slots;
+  std::deque<PendingRetry> pending;
+  // Workers that died before acking init, with no ready worker in
+  // between: when every fork attempt dies at startup the job spec itself
+  // is broken and retrying forever would fork-bomb the host.
+  int consecutive_startup_failures = 0;
+
+  obs::Gauge* workers_alive = nullptr;
+  obs::Counter* restarts = nullptr;
+  obs::Counter* reassigned = nullptr;
+  obs::Counter* quarantined = nullptr;
+};
+
+[[nodiscard]] int CountAlive(const Pool& pool) {
+  int n = 0;
+  for (const WorkerSlot& slot : pool.slots) n += slot.alive() ? 1 : 0;
+  return n;
+}
+
+void PublishAlive(Pool& pool) {
+  if (pool.workers_alive != nullptr) {
+    pool.workers_alive->Set(static_cast<double>(CountAlive(pool)));
+  }
+}
+
+void CloseSlotFds(WorkerSlot& slot) {
+  slot.writer.reset();
+  slot.reader.reset();
+  if (slot.cmd_fd != -1) ::close(slot.cmd_fd);
+  if (slot.res_fd != -1) ::close(slot.res_fd);
+  slot.cmd_fd = -1;
+  slot.res_fd = -1;
+}
+
+// Human description of a reaped worker for quarantine records and logs.
+[[nodiscard]] std::string DescribeExit(int status) {
+  if (WIFEXITED(status)) {
+    return StrFormat("exited with code %d", WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    const char* name = strsignal(sig);
+    return StrFormat("killed by signal %d (%s)", sig,
+                     name != nullptr ? name : "?");
+  }
+  return "ended with unknown wait status";
+}
+
+[[nodiscard]] std::string ReapWorker(WorkerSlot& slot) {
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(slot.pid, &status, 0);
+  } while (reaped == -1 && errno == EINTR);
+  slot.pid = -1;
+  if (reaped == -1) return "could not be reaped";
+  return DescribeExit(status);
+}
+
+// Forks a worker into `slot`. Returns false when the OS refuses (pipe/fork
+// exhaustion) — the caller decides whether that is fatal.
+[[nodiscard]] bool SpawnWorker(Pool& pool, std::size_t index) {
+  WorkerSlot& slot = pool.slots[index];
+  int cmd[2];  // parent writes commands, worker reads
+  int res[2];  // worker writes results, parent reads
+  if (::pipe(cmd) == -1) return false;
+  if (::pipe(res) == -1) {
+    ::close(cmd[0]);
+    ::close(cmd[1]);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid == -1) {
+    ::close(cmd[0]);
+    ::close(cmd[1]);
+    ::close(res[0]);
+    ::close(res[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child. Drop every parent-side fd we inherited: our own parent ends
+    // and both ends of every sibling's pipes, so a sibling's EOF is
+    // observable the instant that sibling dies.
+    ::close(cmd[1]);
+    ::close(res[0]);
+    for (const WorkerSlot& other : pool.slots) {
+      if (other.cmd_fd != -1) ::close(other.cmd_fd);
+      if (other.res_fd != -1) ::close(other.res_fd);
+    }
+    if (!pool.options.worker_log_dir.empty()) {
+      const std::string path = StrFormat(
+          "%s/worker-%d.log", pool.options.worker_log_dir.c_str(),
+          static_cast<int>(index));
+      const int log_fd =
+          ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log_fd != -1) {
+        ::dup2(log_fd, 2);
+        ::close(log_fd);
+      }
+    }
+    // Workers die by _exit, never by unwinding back into the parent's
+    // call stack (destructors of the supervisor's state must not run
+    // twice).
+    ::_exit(WorkerMain(cmd[0], res[1]));
+  }
+  // Parent.
+  ::close(cmd[0]);
+  ::close(res[1]);
+  const int flags = ::fcntl(res[0], F_GETFL, 0);
+  ::fcntl(res[0], F_SETFL, flags | O_NONBLOCK);
+  slot.pid = pid;
+  slot.cmd_fd = cmd[1];
+  slot.res_fd = res[0];
+  slot.writer = std::make_unique<FrameWriter>(slot.cmd_fd);
+  slot.reader = std::make_unique<FrameReader>(slot.res_fd);
+  slot.ready = false;
+  slot.busy = false;
+  slot.acked = 0;
+  slot.last_activity_ms = NowMs();
+  ++pool.report->forked;
+  PublishAlive(pool);
+  if (!slot.writer->WriteFrame(*pool.init_frame)) {
+    // Died before reading its first frame; the death path below picks the
+    // EOF up on the next poll, so nothing more to do here.
+    return true;
+  }
+  return true;
+}
+
+// `description` explains how the worker ended ("killed by signal 11
+// (Segmentation fault)", "hung ..."), used verbatim in quarantine records.
+void HandleWorkerDeath(Pool& pool, std::size_t index,
+                       const std::string& description) {
+  WorkerSlot& slot = pool.slots[index];
+  CALC_TRACE_INSTANT("dist", "worker_death");
+  if (!slot.ready) {
+    ++pool.consecutive_startup_failures;
+  }
+  if (slot.busy) {
+    const std::uint64_t acked_up_to = slot.shard.begin + slot.acked;
+    const ShardTracker::FailureOutcome outcome =
+        pool.tracker->OnShardFailure(slot.shard, acked_up_to);
+    if (outcome.quarantined) {
+      FailureRecord record;
+      record.item = outcome.suspect;
+      record.reason = StrFormat("quarantined after %d attempts; last: %s",
+                                outcome.attempt, description.c_str());
+      record.worker = static_cast<unsigned>(index);
+      pool.report->quarantined.push_back(record);
+      if (pool.quarantined != nullptr) pool.quarantined->Increment();
+      if (pool.callbacks->on_quarantine) pool.callbacks->on_quarantine(record);
+    }
+    if (!outcome.retry.empty()) {
+      pool.pending.push_back(
+          PendingRetry{outcome.retry, NowMs() + outcome.backoff_ms});
+      ++pool.report->reassigned;
+      if (pool.reassigned != nullptr) pool.reassigned->Increment();
+    }
+    slot.busy = false;
+  }
+  CloseSlotFds(slot);
+  PublishAlive(pool);
+}
+
+}  // namespace
+
+bool ForkAvailable() { return true; }
+
+SupervisorReport RunSupervised(const json::Value& job_spec,
+                               std::uint64_t num_items,
+                               const SupervisorOptions& options,
+                               const SupervisorCallbacks& callbacks) {
+  CALC_CHECK(options.workers >= 1, "need at least one worker");
+  SupervisorReport report;
+  CALC_TRACE_SPAN("dist", "supervisor");
+
+  ShardTrackerOptions tracker_options;
+  tracker_options.num_items = num_items;
+  tracker_options.first_item = options.first_item;
+  tracker_options.shard_size = options.shard_size;
+  tracker_options.max_attempts = options.max_attempts;
+  tracker_options.backoff_base_ms = options.backoff_base_ms;
+  tracker_options.backoff_max_ms = options.backoff_max_ms;
+  ShardTracker tracker(tracker_options);
+
+  json::Value init_frame;
+  init_frame["type"] = "init";
+  init_frame["job"] = job_spec;
+  init_frame["faults"] = options.faults_spec;
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  Pool pool;
+  pool.init_frame = &init_frame;
+  pool.options = options;
+  pool.callbacks = &callbacks;
+  pool.tracker = &tracker;
+  pool.report = &report;
+  if (metrics.enabled()) {
+    pool.workers_alive = metrics.GetGauge("dist.workers_alive");
+    pool.restarts = metrics.GetCounter("dist.restarts");
+    pool.reassigned = metrics.GetCounter("dist.reassigned");
+    pool.quarantined = metrics.GetCounter("dist.quarantined");
+  }
+
+  // A dead worker must surface as EPIPE on our next write, not SIGPIPE.
+  struct sigaction ignore_pipe {};
+  ignore_pipe.sa_handler = SIG_IGN;
+  struct sigaction saved_pipe {};
+  ::sigaction(SIGPIPE, &ignore_pipe, &saved_pipe);
+
+  const std::int64_t hang_timeout_ms =
+      static_cast<std::int64_t>(options.hang_timeout_s * 1000.0);
+  // More workers than shards is waste; never fork what we cannot feed.
+  const std::uint64_t span =
+      num_items > options.first_item ? num_items - options.first_item : 0;
+  const std::uint64_t max_useful =
+      (span + options.shard_size - 1) / options.shard_size;
+  const int worker_count = static_cast<int>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(options.workers),
+                              std::max<std::uint64_t>(max_useful, 1)));
+  pool.slots.resize(static_cast<std::size_t>(worker_count));
+
+  std::string startup_error;
+  bool stopped = false;
+  for (std::size_t i = 0; i < pool.slots.size() && !tracker.AllResolved();
+       ++i) {
+    if (!SpawnWorker(pool, i)) {
+      startup_error = StrFormat("could not fork worker %d: %s",
+                                static_cast<int>(i), std::strerror(errno));
+      break;
+    }
+  }
+
+  while (startup_error.empty() && !tracker.AllResolved()) {
+    if (options.ctx != nullptr && options.ctx->ShouldStop()) {
+      stopped = true;
+      break;
+    }
+    if (pool.consecutive_startup_failures > worker_count * 3) {
+      startup_error = StrFormat(
+          "%d consecutive workers died before becoming ready; "
+          "the job itself appears to crash at startup",
+          pool.consecutive_startup_failures);
+      break;
+    }
+
+    const std::int64_t now = NowMs();
+
+    // Dispatch: due retries first (they block completion), then fresh
+    // shards, to every ready idle worker.
+    for (std::size_t i = 0; i < pool.slots.size(); ++i) {
+      WorkerSlot& slot = pool.slots[i];
+      if (!slot.alive() || !slot.ready || slot.busy) continue;
+      ShardRange shard;
+      bool have = false;
+      for (auto it = pool.pending.begin(); it != pool.pending.end(); ++it) {
+        if (it->ready_at_ms <= now) {
+          shard = it->shard;
+          pool.pending.erase(it);
+          have = true;
+          break;
+        }
+      }
+      if (!have) have = tracker.Claim(&shard);
+      if (!have) break;
+      json::Value frame;
+      frame["type"] = "shard";
+      frame["begin"] = static_cast<std::int64_t>(shard.begin);
+      frame["end"] = static_cast<std::int64_t>(shard.end);
+      slot.busy = true;
+      slot.shard = shard;
+      slot.acked = 0;
+      slot.last_activity_ms = now;
+      if (!slot.writer->WriteFrame(frame)) {
+        // Dead before the dispatch reached it; fold into the normal death
+        // path so the shard is retried and the slot refilled.
+        HandleWorkerDeath(pool, i, ReapWorker(slot));
+      }
+    }
+
+    // Refill empty slots while there are more dispatchable shards than
+    // idle live workers can absorb. If a busy worker dies its shard lands
+    // in `pending`, so "no dispatchable work" can only coexist with "no
+    // live workers" once everything is resolved.
+    {
+      const std::uint64_t dispatchable =
+          pool.pending.size() +
+          (tracker.unclaimed() + options.shard_size - 1) / options.shard_size;
+      std::uint64_t idle = 0;
+      for (const WorkerSlot& slot : pool.slots) {
+        if (slot.alive() && !slot.busy) ++idle;
+      }
+      for (std::size_t i = 0;
+           i < pool.slots.size() && idle < dispatchable; ++i) {
+        WorkerSlot& slot = pool.slots[i];
+        if (slot.alive()) continue;
+        if (!SpawnWorker(pool, i)) {
+          if (CountAlive(pool) == 0) {
+            startup_error =
+                StrFormat("could not fork replacement worker %d: %s",
+                          static_cast<int>(i), std::strerror(errno));
+          }
+          break;
+        }
+        ++report.restarts;
+        if (pool.restarts != nullptr) pool.restarts->Increment();
+        ++idle;
+      }
+      if (!startup_error.empty()) break;
+    }
+
+    // Poll timeout: the earliest of (next retry due, next hang deadline),
+    // capped so stop-signal polling stays responsive.
+    std::int64_t timeout = 100;
+    for (const PendingRetry& p : pool.pending) {
+      timeout = std::min(timeout, std::max<std::int64_t>(p.ready_at_ms - now,
+                                                         0));
+    }
+    for (const WorkerSlot& slot : pool.slots) {
+      if (slot.alive() && slot.busy) {
+        const std::int64_t deadline =
+            slot.last_activity_ms + hang_timeout_ms;
+        timeout = std::min(timeout, std::max<std::int64_t>(deadline - now, 0));
+      }
+    }
+
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> fd_slot;
+    for (std::size_t i = 0; i < pool.slots.size(); ++i) {
+      if (!pool.slots[i].alive()) continue;
+      fds.push_back({pool.slots[i].res_fd, POLLIN, 0});
+      fd_slot.push_back(i);
+    }
+    if (fds.empty() && pool.pending.empty()) {
+      // No live workers and no retry to wait out, yet not AllResolved():
+      // the dispatch/refill invariant was violated. Fail loudly rather
+      // than spin.
+      startup_error = "no live workers and no pending work to wait for";
+      break;
+    }
+    const int n_ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               static_cast<int>(timeout));
+    if (n_ready == -1 && errno != EINTR) {
+      startup_error = StrFormat("poll failed: %s", std::strerror(errno));
+      break;
+    }
+
+    // Drain readable workers.
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t i = fd_slot[k];
+      WorkerSlot& slot = pool.slots[i];
+      if (!slot.alive()) continue;  // died earlier this iteration
+      bool dead = false;
+      for (;;) {
+        const FrameReader::FillStatus status = slot.reader->Fill();
+        json::Value frame;
+        bool corrupt = false;
+        try {
+          while (slot.reader->NextFrame(&frame)) {
+            const std::string type = frame.GetString("type", "");
+            slot.last_activity_ms = NowMs();
+            if (type == "ready") {
+              slot.ready = true;
+              pool.consecutive_startup_failures = 0;
+            } else if (type == "item") {
+              const auto index =
+                  static_cast<std::uint64_t>(frame.at("index").AsInt());
+              if (!slot.busy || index != slot.shard.begin + slot.acked) {
+                corrupt = true;  // out-of-order ack: protocol violation
+                break;
+              }
+              if (pool.callbacks->on_item) {
+                pool.callbacks->on_item(index, frame.at("result"));
+              }
+              tracker.OnItemDone(index);
+              ++slot.acked;
+            } else if (type == "shard_done") {
+              slot.busy = false;
+            } else {
+              corrupt = true;
+              break;
+            }
+          }
+        } catch (const ConfigError&) {
+          corrupt = true;  // malformed frame
+        }
+        if (corrupt) {
+          ::kill(slot.pid, SIGKILL);
+          HandleWorkerDeath(
+              pool, i,
+              StrFormat("sent a corrupt frame (%s)", ReapWorker(slot).c_str()));
+          dead = true;
+          break;
+        }
+        if (status == FrameReader::FillStatus::kWouldBlock) break;
+        if (status == FrameReader::FillStatus::kEof ||
+            status == FrameReader::FillStatus::kError) {
+          const bool truncated = slot.reader->truncated();
+          std::string description = ReapWorker(slot);
+          if (truncated) description += " mid-message";
+          HandleWorkerDeath(pool, i, description);
+          dead = true;
+          break;
+        }
+      }
+      if (dead) continue;
+      // A worker that closed its pipe cleanly while idle (protocol "exit"
+      // path) is handled by the EOF branch above like any other death; an
+      // idle clean death simply refills.
+    }
+
+    // Hang detection: a busy worker silent past the deadline is hung
+    // inside an evaluation (or a seeded kHang fault) — SIGKILL it; the
+    // EOF shows up on the next poll, but reap it here so the retry starts
+    // its backoff immediately.
+    const std::int64_t check = NowMs();
+    for (std::size_t i = 0; i < pool.slots.size(); ++i) {
+      WorkerSlot& slot = pool.slots[i];
+      if (!slot.alive() || !slot.busy) continue;
+      if (check - slot.last_activity_ms <= hang_timeout_ms) continue;
+      ::kill(slot.pid, SIGKILL);
+      ++report.hangs_killed;
+      HandleWorkerDeath(
+          pool, i,
+          StrFormat("hung (no activity for %.1f s; SIGKILLed, %s)",
+                    static_cast<double>(check - slot.last_activity_ms) /
+                        1000.0,
+                    ReapWorker(slot).c_str()));
+    }
+  }
+
+  // Shutdown: polite exit frames first, then force.
+  for (WorkerSlot& slot : pool.slots) {
+    if (!slot.alive()) continue;
+    json::Value exit_frame;
+    exit_frame["type"] = "exit";
+    if (slot.writer != nullptr) (void)slot.writer->WriteFrame(exit_frame);
+  }
+  const std::int64_t grace_deadline = NowMs() + 2000;
+  for (WorkerSlot& slot : pool.slots) {
+    if (!slot.alive()) continue;
+    bool reaped = false;
+    while (NowMs() < grace_deadline) {
+      int status = 0;
+      const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+      if (r == slot.pid || (r == -1 && errno != EINTR)) {
+        reaped = true;
+        break;
+      }
+      struct timespec nap {0, 10 * 1000 * 1000};  // 10 ms
+      ::nanosleep(&nap, nullptr);
+    }
+    if (!reaped) {
+      ::kill(slot.pid, SIGKILL);
+      int status = 0;
+      while (::waitpid(slot.pid, &status, 0) == -1 && errno == EINTR) {
+      }
+    }
+    slot.pid = -1;
+    CloseSlotFds(slot);
+  }
+  PublishAlive(pool);
+  ::sigaction(SIGPIPE, &saved_pipe, nullptr);
+
+  if (!startup_error.empty()) {
+    throw ConfigError("dist supervisor: " + startup_error);
+  }
+  report.complete = tracker.AllResolved() && !stopped;
+  return report;
+}
+
+#else  // !CALCULON_DIST_HAVE_FORK
+
+bool ForkAvailable() { return false; }
+
+SupervisorReport RunSupervised(const json::Value&, std::uint64_t,
+                               const SupervisorOptions&,
+                               const SupervisorCallbacks&) {
+  throw ConfigError(
+      "dist supervisor: fork-based workers are unavailable on this "
+      "platform; run in-process instead");
+}
+
+#endif  // CALCULON_DIST_HAVE_FORK
+
+}  // namespace calculon::dist

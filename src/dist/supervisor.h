@@ -1,0 +1,94 @@
+// Supervised multi-process fan-out: fork-based worker pool with death and
+// hang detection, bounded-retry reassignment with exponential backoff,
+// and poison-candidate quarantine.
+//
+// The supervisor forks N workers (same binary, no exec — see
+// dist/worker.h for the wire protocol), dispatches contiguous item shards
+// over pipes, and runs a single-threaded poll() event loop over the
+// worker result pipes. It detects
+//
+//   * death  — EOF on the result pipe, classified via waitpid (exit code
+//              or terminating signal, e.g. an injected SIGSEGV/SIGABRT),
+//   * hangs  — a busy worker that has streamed nothing for longer than
+//              hang_timeout_s is SIGKILLed (per-item activity is the
+//              heartbeat: workers ack every item as it completes),
+//
+// and reassigns the failed shard after a deterministic exponential
+// backoff. The *suspect* — the first un-acked item of the dead worker's
+// shard — carries the blame; after max_attempts the suspect is
+// quarantined (reported to the driver as a FailureRecord-shaped event,
+// the sweep continues degraded) and the rest of the shard is re-dispatched
+// immediately. Deterministic seeded process faults re-fire on every retry
+// of the same item, so a faulted run quarantines exactly the items whose
+// fault decision is a process kind — which is what makes "the quarantine
+// list equals the injected process faults" a testable property.
+//
+// The supervisor itself is single-threaded; results reach the driver via
+// callbacks on the supervising thread, in arrival order (the drivers in
+// dist/drivers.h reorder into item order to preserve the bit-identical
+// deterministic-merge guarantee).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "util/run_context.h"
+
+namespace calculon::dist {
+
+struct SupervisorOptions {
+  int workers = 2;
+  std::uint64_t shard_size = 16;
+  // Items are dispatched starting here (checkpoint-resume watermark);
+  // items below it count as already resolved.
+  std::uint64_t first_item = 0;
+  // Attempts per suspect item before quarantine (>= 1).
+  int max_attempts = 3;
+  std::int64_t backoff_base_ms = 10;
+  std::int64_t backoff_max_ms = 2000;
+  // A busy worker silent for this long is declared hung and SIGKILLed.
+  double hang_timeout_s = 30.0;
+  // Optional cooperative stop (cancellation / deadline / failure budget),
+  // polled every loop iteration; in-flight shards are abandoned.
+  RunContext* ctx = nullptr;
+  // When non-empty, each worker's stderr goes to
+  // <dir>/worker-<n>.log (appended across restarts).
+  std::string worker_log_dir;
+  // FaultPlan spec shipped to workers verbatim (see FaultPlan::ToSpec).
+  std::string faults_spec;
+};
+
+struct SupervisorReport {
+  std::uint64_t forked = 0;        // processes forked, incl. replacements
+  std::uint64_t restarts = 0;      // replacement workers after death/hang
+  std::uint64_t reassigned = 0;    // shard re-dispatches
+  std::uint64_t hangs_killed = 0;  // workers SIGKILLed by the hang timeout
+  // One record per quarantined poison item; `reason` describes the final
+  // death ("quarantined after K attempts; last: signal 11 (SIGSEGV)").
+  std::vector<FailureRecord> quarantined;
+  bool complete = false;  // every item resolved (acked or quarantined)
+};
+
+struct SupervisorCallbacks {
+  // One item's result, in ARRIVAL order (not item order). Never invoked
+  // twice for the same item.
+  std::function<void(std::uint64_t item, const json::Value& result)> on_item;
+  // A quarantined item: no result will ever arrive for it.
+  std::function<void(const FailureRecord& record)> on_quarantine;
+};
+
+// True when this platform can fork supervised workers (POSIX fork + pipes).
+[[nodiscard]] bool ForkAvailable();
+
+// Runs `job_spec` (dist/jobs.h) for items [options.first_item, num_items)
+// across a supervised worker pool. Blocks until every item is resolved,
+// the RunContext stops the run, or worker startup fails repeatedly
+// (ConfigError — e.g. the job spec itself crashes every worker).
+[[nodiscard]] SupervisorReport RunSupervised(
+    const json::Value& job_spec, std::uint64_t num_items,
+    const SupervisorOptions& options, const SupervisorCallbacks& callbacks);
+
+}  // namespace calculon::dist

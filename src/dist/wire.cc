@@ -1,0 +1,64 @@
+#include "dist/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace calculon::dist {
+
+bool FrameWriter::WriteFrame(const json::Value& value) {
+  std::string line = value.Dump(0);
+  line.push_back('\n');
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE et al.: the peer is gone
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+FrameReader::FillStatus FrameReader::Fill() {
+  char chunk[4096];
+  const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+  if (n > 0) {
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return FillStatus::kData;
+  }
+  if (n == 0) {
+    eof_ = true;
+    return FillStatus::kEof;
+  }
+  if (errno == EINTR) return FillStatus::kWouldBlock;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return FillStatus::kWouldBlock;
+  eof_ = true;  // a hard read error ends the stream like an EOF
+  return FillStatus::kError;
+}
+
+bool FrameReader::NextFrame(json::Value* out) {
+  const std::size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) return false;
+  const std::string line = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  *out = json::Parse(line);
+  return true;
+}
+
+bool FrameReader::ReadFrameBlocking(json::Value* out) {
+  while (true) {
+    if (NextFrame(out)) return true;
+    if (eof_) return false;
+    const FillStatus status = Fill();
+    if (status == FillStatus::kEof || status == FillStatus::kError) {
+      // Drain any final complete frame that arrived with the close.
+      return NextFrame(out);
+    }
+  }
+}
+
+}  // namespace calculon::dist

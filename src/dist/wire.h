@@ -1,0 +1,72 @@
+// NDJSON framing over pipes: the supervisor <-> worker wire format.
+//
+// Every message is one JSON document serialized compactly (Dump(0), which
+// is single-line by construction: the serializer emits no newlines at
+// indent 0 and the JSON grammar escapes newlines inside strings) followed
+// by '\n'. Doubles travel as %.17g, so numeric results round-trip
+// losslessly — the property the bit-identical merge guarantee rests on.
+//
+// Framing failure modes are first-class: a worker that dies mid-write
+// leaves a dangling partial line, which the reader reports as truncation
+// (distinct from a clean EOF at a frame boundary) so the supervisor can
+// tell "finished and closed" from "died mid-message".
+#pragma once
+
+#include <string>
+
+#include "json/json.h"
+
+namespace calculon::dist {
+
+// Writes frames to a file descriptor with blocking writes. Not owning;
+// the caller closes the fd.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  // Serializes and writes one frame. Returns false when the peer is gone
+  // (EPIPE / write error) — the caller treats that as a dead peer, never
+  // as a crash (the supervisor runs with SIGPIPE ignored).
+  [[nodiscard]] bool WriteFrame(const json::Value& value);
+
+ private:
+  int fd_;
+};
+
+// Incremental frame reader. Usable both non-blocking (the supervisor's
+// poll loop calls Fill() when the fd is readable, then drains NextFrame())
+// and blocking (the worker calls ReadFrameBlocking()).
+class FrameReader {
+ public:
+  explicit FrameReader(int fd) : fd_(fd) {}
+
+  enum class FillStatus {
+    kData,        // appended at least one byte
+    kEof,         // peer closed its end
+    kWouldBlock,  // non-blocking fd with nothing available
+    kError,       // read() failed hard
+  };
+
+  // One read() into the internal buffer.
+  FillStatus Fill();
+
+  // Pops the next complete frame, if one is buffered. Throws ConfigError
+  // on a malformed frame (the caller treats that as a corrupt peer).
+  [[nodiscard]] bool NextFrame(json::Value* out);
+
+  // After Fill() returned kEof: the stream ended mid-line, i.e. the
+  // writer died partway through a message.
+  [[nodiscard]] bool truncated() const { return eof_ && !buffer_.empty(); }
+  [[nodiscard]] bool eof() const { return eof_; }
+
+  // Blocking convenience for the worker loop: fills until a frame is
+  // complete. Returns false on EOF (truncated or not).
+  [[nodiscard]] bool ReadFrameBlocking(json::Value* out);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace calculon::dist

@@ -1,0 +1,78 @@
+#include "dist/worker.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "dist/jobs.h"
+#include "dist/wire.h"
+#include "json/json.h"
+#include "testing/fault_injection.h"
+
+namespace calculon::dist {
+
+namespace {
+
+int WorkerLoop(FrameReader& reader, FrameWriter& writer) {
+  std::unique_ptr<Job> job;
+  auto& faults = testing::FaultInjector::Global();
+  json::Value frame;
+  while (reader.ReadFrameBlocking(&frame)) {
+    const std::string type = frame.GetString("type", "");
+    if (type == "init") {
+      faults.Configure(
+          testing::FaultPlan::FromSpec(frame.GetString("faults", "")));
+      job = MakeJob(frame.at("job"));
+      json::Value ready;
+      ready["type"] = "ready";
+      if (!writer.WriteFrame(ready)) return 1;
+    } else if (type == "shard") {
+      if (job == nullptr) return 1;  // shard before init: corrupt parent
+      const auto begin = static_cast<std::uint64_t>(frame.at("begin").AsInt());
+      const auto end = static_cast<std::uint64_t>(frame.at("end").AsInt());
+      for (std::uint64_t i = begin; i < end && i < job->num_items(); ++i) {
+        // The process-level fault decision fires before the evaluation:
+        // an aborted/hung item never acks, so the supervisor's suspect is
+        // exactly this item, on every retry.
+        faults.MaybeInjectProcess(job->FaultKey(i));
+        json::Value item;
+        item["type"] = "item";
+        item["index"] = static_cast<std::int64_t>(i);
+        item["result"] = job->RunItem(i);
+        if (!writer.WriteFrame(item)) return 1;
+      }
+      json::Value done;
+      done["type"] = "shard_done";
+      done["begin"] = static_cast<std::int64_t>(begin);
+      done["end"] = static_cast<std::int64_t>(end);
+      if (!writer.WriteFrame(done)) return 1;
+    } else if (type == "exit") {
+      return 0;
+    } else {
+      return 1;  // unknown frame: corrupt parent
+    }
+  }
+  // Parent closed the command pipe without an exit frame (it died or gave
+  // up on us): quiet, clean exit.
+  return 0;
+}
+
+}  // namespace
+
+int WorkerMain(int in_fd, int out_fd) {
+  FrameReader reader(in_fd);
+  FrameWriter writer(out_fd);
+  try {
+    return WorkerLoop(reader, writer);
+  } catch (const std::exception& ex) {
+    // A throw out of the loop means the job itself is broken (malformed
+    // spec, job-construction bug) — not a per-item failure, those are
+    // isolated inside RunItem. Log and die; the supervisor sees the exit.
+    std::fprintf(stderr, "calculon worker: fatal: %s\n", ex.what());
+    return 1;
+  }
+}
+
+}  // namespace calculon::dist

@@ -1,0 +1,28 @@
+// The child-process side of the supervised worker pool.
+//
+// A worker is the same binary as the supervisor — fork() without exec():
+// the child calls WorkerMain on its two pipe ends and never returns to
+// the caller's code. The protocol (NDJSON frames, see dist/wire.h):
+//
+//   parent -> worker   {"type":"init", "job":{...}, "faults":"seed=..."}
+//   worker -> parent   {"type":"ready"}
+//   parent -> worker   {"type":"shard", "begin":B, "end":E}
+//   worker -> parent   {"type":"item", "index":I, "result":{...}}   (per item)
+//   worker -> parent   {"type":"shard_done", "begin":B, "end":E}
+//   parent -> worker   {"type":"exit"}
+//
+// Items are evaluated and acked strictly in order within a shard, which
+// is what lets the supervisor identify the *suspect* (first un-acked
+// item) when the worker dies. Process-level fault injection happens here:
+// MaybeInjectProcess runs before each item, so a seeded abort/segv/hang
+// deterministically takes this process down at the same item every time.
+#pragma once
+
+namespace calculon::dist {
+
+// Runs the worker protocol loop on the given pipe fds until an exit frame
+// or EOF. Returns the process exit code; the fork site must pass it to
+// _exit() without unwinding into the parent's code.
+[[nodiscard]] int WorkerMain(int in_fd, int out_fd);
+
+}  // namespace calculon::dist

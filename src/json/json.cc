@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fileio.h"
 #include "util/strings.h"
 
 namespace calculon::json {
@@ -473,9 +474,9 @@ Value ParseFile(const std::string& path) {
 }
 
 void WriteFile(const std::string& path, const Value& value, int indent) {
-  std::ofstream out(path);
-  if (!out) throw ConfigError("cannot write file: " + path);
-  out << value.Dump(indent) << '\n';
+  // Atomic (temp + rename): a crash mid-write never leaves a torn
+  // document at `path`, which checkpoint journals rely on.
+  WriteFileAtomic(path, value.Dump(indent) + '\n');
 }
 
 }  // namespace calculon::json

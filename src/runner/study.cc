@@ -83,21 +83,23 @@ std::uint64_t Fnv1a(std::uint64_t h, const std::string& s) {
 
 constexpr const char* kCheckpointFormat = "calculon-study-checkpoint-v1";
 
-// Atomic-enough checkpoint write: a torn write leaves the previous
-// checkpoint intact because the rename is the commit point.
-void WriteCheckpointFile(const std::string& path, const json::Value& value) {
+}  // namespace
+
+// Atomic checkpoint write (unique temp + fsync + rename inside
+// json::WriteFile → WriteFileAtomic): a crash mid-write — even SIGKILL —
+// leaves the previous checkpoint intact because the rename is the commit
+// point.
+void WriteStudyCheckpoint(const std::string& path, const json::Value& value) {
   CALC_TRACE_SPAN("io", "checkpoint_write");
-  const std::string tmp = path + ".tmp";
-  json::WriteFile(tmp, value);
-  std::filesystem::rename(tmp, path);
+  json::WriteFile(path, value);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   if (metrics.enabled()) {
     metrics.GetCounter("study.checkpoint_writes")->Increment();
   }
 }
 
-json::Value CheckpointToJson(const std::string& fingerprint,
-                             const StudyRun& run) {
+json::Value StudyCheckpointToJson(const std::string& fingerprint,
+                                  const StudyRun& run) {
   json::Object obj;
   obj["format"] = kCheckpointFormat;
   obj["fingerprint"] = fingerprint;
@@ -122,8 +124,8 @@ json::Value CheckpointToJson(const std::string& fingerprint,
 
 // Restores csv_rows and best from a checkpoint; throws ConfigError on a
 // format or fingerprint mismatch.
-void LoadCheckpoint(const std::string& path, const std::string& fingerprint,
-                    StudyRun* run) {
+void LoadStudyCheckpoint(const std::string& path,
+                         const std::string& fingerprint, StudyRun* run) {
   const json::Value cp = json::ParseFile(path);
   if (cp.GetString("format", "") != kCheckpointFormat) {
     throw ConfigError("study: " + path + " is not a study checkpoint");
@@ -152,8 +154,7 @@ void LoadCheckpoint(const std::string& path, const std::string& fingerprint,
   }
 }
 
-// Compact configuration coordinates for failure records.
-std::string RowFingerprint(const Execution& e) {
+std::string StudyRowFingerprint(const Execution& e) {
   return StrFormat("t=%lld p=%lld d=%lld mb=%lld batch=%lld il=%lld rc=%s",
                    static_cast<long long>(e.tensor_par),
                    static_cast<long long>(e.pipeline_par),
@@ -163,8 +164,6 @@ std::string RowFingerprint(const Execution& e) {
                    static_cast<long long>(e.pp_interleaving),
                    ToString(e.recompute));
 }
-
-}  // namespace
 
 Study Study::FromJson(const json::Value& spec) {
   Study study;
@@ -216,6 +215,25 @@ Study Study::FromJson(const json::Value& spec) {
     throw ConfigError("study: at most one parallelism axis can be 'auto'");
   }
   return study;
+}
+
+json::Value Study::ToJson() const {
+  json::Object spec;
+  spec["application"] = application.ToJson();
+  spec["system"] = system.ToJson();
+  spec["base_execution"] = base.ToJson();
+  json::Object sweep;
+  for (const auto& [name, values] : axes) {
+    json::Array arr;
+    arr.reserve(values.size());
+    for (const json::Value& v : values) arr.push_back(v);
+    sweep[name] = json::Value(std::move(arr));
+  }
+  if (auto_data_par) sweep["data_par"] = "auto";
+  if (auto_tensor_par) sweep["tensor_par"] = "auto";
+  if (auto_pipeline_par) sweep["pipeline_par"] = "auto";
+  spec["sweep"] = json::Value(std::move(sweep));
+  return json::Value(std::move(spec));
 }
 
 std::vector<Execution> Study::Enumerate() const {
@@ -271,6 +289,19 @@ std::string Study::Fingerprint() const {
   return StrFormat("%016llx", static_cast<unsigned long long>(h));
 }
 
+Result<Stats> EvaluateStudyRow(const Study& study, const Execution& exec,
+                               std::uint64_t fault_key) {
+  auto& faults = testing::FaultInjector::Global();
+  try {
+    if (faults.enabled() && faults.MaybeInject(fault_key)) {
+      return {Infeasible::kBadConfig, "injected fault"};
+    }
+    return CalculatePerformance(study.application, exec, study.system);
+  } catch (const std::exception& ex) {
+    return {Infeasible::kBadConfig, ex.what()};
+  }
+}
+
 StudyRun Study::RunResilient(const StudyRunOptions& options) const {
   CALC_TRACE_SPAN("runner", "study");
   const std::vector<Execution> execs = Enumerate();
@@ -283,7 +314,7 @@ StudyRun Study::RunResilient(const StudyRunOptions& options) const {
       throw ConfigError("study: resume requires a checkpoint path");
     }
     if (std::filesystem::exists(options.checkpoint_path)) {
-      LoadCheckpoint(options.checkpoint_path, fingerprint, &run);
+      LoadStudyCheckpoint(options.checkpoint_path, fingerprint, &run);
       if (run.csv_rows.size() > execs.size()) {
         throw ConfigError("study: checkpoint has more rows than the sweep");
       }
@@ -292,30 +323,20 @@ StudyRun Study::RunResilient(const StudyRunOptions& options) const {
   run.resumed_rows = run.csv_rows.size();
 
   RunContext* const ctx = options.ctx;
-  auto& faults = testing::FaultInjector::Global();
   std::uint64_t since_checkpoint = 0;
   const std::uint64_t every = std::max<std::uint64_t>(1,
                                                       options.checkpoint_every);
   for (std::uint64_t i = run.resumed_rows; i < execs.size(); ++i) {
     if (ctx != nullptr && ctx->ShouldStop()) break;
     const Execution& e = execs[i];
-    Result<Stats> result = [&]() -> Result<Stats> {
-      try {
-        if (faults.enabled() &&
-            faults.MaybeInject(options.fault_key_base + i)) {
-          return {Infeasible::kBadConfig, "injected fault"};
-        }
-        return CalculatePerformance(application, e, system);
-      } catch (const std::exception& ex) {
-        return {Infeasible::kBadConfig, ex.what()};
-      }
-    }();
+    Result<Stats> result = EvaluateStudyRow(*this, e,
+                                            options.fault_key_base + i);
     // kBadConfig out of a well-formed row is a model bug (or an injected
     // fault), not a property of the configuration: count it against the
     // failure budget. Ordinary infeasibility reasons are expected rows.
     if (ctx != nullptr && !result.ok() &&
         result.reason() == Infeasible::kBadConfig) {
-      ctx->RecordFailure(i, RowFingerprint(e), result.detail());
+      ctx->RecordFailure(i, StudyRowFingerprint(e), result.detail());
     }
     if (result.ok() && result.value().sample_rate > run.best.sample_rate) {
       run.best.found = true;
@@ -327,16 +348,16 @@ StudyRun Study::RunResilient(const StudyRunOptions& options) const {
     if (ctx != nullptr) ctx->RecordCompleted();
     if (!options.checkpoint_path.empty() && ++since_checkpoint >= every) {
       since_checkpoint = 0;
-      WriteCheckpointFile(options.checkpoint_path,
-                          CheckpointToJson(fingerprint, run));
+      WriteStudyCheckpoint(options.checkpoint_path,
+                          StudyCheckpointToJson(fingerprint, run));
     }
   }
 
   if (ctx != nullptr) run.status = ctx->Snapshot();
   run.status.complete = run.csv_rows.size() == execs.size();
   if (!options.checkpoint_path.empty()) {
-    WriteCheckpointFile(options.checkpoint_path,
-                        CheckpointToJson(fingerprint, run));
+    WriteStudyCheckpoint(options.checkpoint_path,
+                        StudyCheckpointToJson(fingerprint, run));
   }
   return run;
 }

@@ -97,6 +97,12 @@ struct Study {
 
   [[nodiscard]] static Study FromJson(const json::Value& spec);
 
+  // Canonical spec form (inline application/system/base_execution objects,
+  // "auto" markers preserved). FromJson(ToJson()) reconstructs a study
+  // with the same Fingerprint() — which is how a supervised dist worker
+  // receives the exact study its parent is running.
+  [[nodiscard]] json::Value ToJson() const;
+
   // Evaluates the full cross product (infeasible rows included, with their
   // reasons).
   [[nodiscard]] std::vector<StudyRow> Run() const;
@@ -118,6 +124,28 @@ struct Study {
   // output to an uninterrupted run.
   [[nodiscard]] StudyRun RunResilient(const StudyRunOptions& options = {}) const;
 };
+
+// Evaluates one enumerated row with the fault-isolation discipline of
+// RunResilient: an injected error-fault or any thrown exception becomes an
+// Infeasible::kBadConfig Result instead of propagating. This is the single
+// row evaluator shared by the in-process loop and the dist worker, which
+// is what makes their outputs bit-identical.
+[[nodiscard]] Result<Stats> EvaluateStudyRow(const Study& study,
+                                             const Execution& exec,
+                                             std::uint64_t fault_key);
+
+// Compact configuration coordinates for failure records and quarantine
+// reports ("t=.. p=.. d=.. mb=.. batch=.. il=.. rc=..").
+[[nodiscard]] std::string StudyRowFingerprint(const Execution& exec);
+
+// Study checkpoint persistence, shared by RunResilient and the supervised
+// dist driver so both produce interchangeable checkpoint files (same
+// format marker, same fingerprint guard, same atomic-write discipline).
+void WriteStudyCheckpoint(const std::string& path, const json::Value& value);
+[[nodiscard]] json::Value StudyCheckpointToJson(const std::string& fingerprint,
+                                                const StudyRun& run);
+void LoadStudyCheckpoint(const std::string& path,
+                         const std::string& fingerprint, StudyRun* run);
 
 // CSV with one row per configuration: the swept fields, feasibility, and
 // the headline statistics.

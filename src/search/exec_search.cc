@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -54,6 +55,101 @@ SearchSpace SearchSpace::AllWithOffload() {
 
 namespace {
 
+json::Value BoolsToJson(const std::vector<bool>& bools) {
+  json::Array arr;
+  for (bool b : bools) arr.emplace_back(b);
+  return json::Value(std::move(arr));
+}
+
+std::vector<bool> BoolsFromJson(const json::Value& v) {
+  std::vector<bool> out;
+  for (const json::Value& b : v.AsArray()) out.push_back(b.AsBool());
+  return out;
+}
+
+}  // namespace
+
+json::Value SearchSpace::ToJson() const {
+  json::Object o;
+  json::Array rc;
+  for (Recompute r : recompute) rc.emplace_back(std::string(ToString(r)));
+  o["recompute"] = json::Value(std::move(rc));
+  json::Array tpc;
+  for (const TpCommVariant& v : tp_comm) {
+    json::Object t;
+    t["tp_rs_ag"] = v.tp_rs_ag;
+    t["seq_par"] = v.seq_par;
+    t["ag_redo"] = v.ag_redo;
+    tpc.emplace_back(std::move(t));
+  }
+  o["tp_comm"] = json::Value(std::move(tpc));
+  json::Array ov;
+  for (TpOverlap t : tp_overlap) ov.emplace_back(std::string(ToString(t)));
+  o["tp_overlap"] = json::Value(std::move(ov));
+  o["fused_activation"] = BoolsToJson(fused_activation);
+  o["dp_overlap"] = BoolsToJson(dp_overlap);
+  o["optimizer_sharding"] = BoolsToJson(optimizer_sharding);
+  o["pp_1f1b"] = BoolsToJson(pp_1f1b);
+  o["pp_rs_ag"] = BoolsToJson(pp_rs_ag);
+  o["sweep_interleaving"] = sweep_interleaving;
+  json::Array off;
+  for (const OffloadVariant& v : offload) {
+    json::Object t;
+    t["weights"] = v.weights;
+    t["activations"] = v.activations;
+    t["optimizer"] = v.optimizer;
+    off.emplace_back(std::move(t));
+  }
+  o["offload"] = json::Value(std::move(off));
+  o["min_tensor_par"] = min_tensor_par;
+  o["max_tensor_par"] = max_tensor_par;
+  o["min_pipeline_par"] = min_pipeline_par;
+  o["max_pipeline_par"] = max_pipeline_par;
+  o["min_data_par"] = min_data_par;
+  o["max_data_par"] = max_data_par;
+  o["max_microbatch"] = max_microbatch;
+  return json::Value(std::move(o));
+}
+
+SearchSpace SearchSpace::FromJson(const json::Value& v) {
+  SearchSpace s;
+  s.recompute.clear();
+  for (const json::Value& r : v.at("recompute").AsArray()) {
+    s.recompute.push_back(RecomputeFromString(r.AsString()));
+  }
+  s.tp_comm.clear();
+  for (const json::Value& t : v.at("tp_comm").AsArray()) {
+    s.tp_comm.push_back({t.at("tp_rs_ag").AsBool(), t.at("seq_par").AsBool(),
+                         t.at("ag_redo").AsBool()});
+  }
+  s.tp_overlap.clear();
+  for (const json::Value& t : v.at("tp_overlap").AsArray()) {
+    s.tp_overlap.push_back(TpOverlapFromString(t.AsString()));
+  }
+  s.fused_activation = BoolsFromJson(v.at("fused_activation"));
+  s.dp_overlap = BoolsFromJson(v.at("dp_overlap"));
+  s.optimizer_sharding = BoolsFromJson(v.at("optimizer_sharding"));
+  s.pp_1f1b = BoolsFromJson(v.at("pp_1f1b"));
+  s.pp_rs_ag = BoolsFromJson(v.at("pp_rs_ag"));
+  s.sweep_interleaving = v.at("sweep_interleaving").AsBool();
+  s.offload.clear();
+  for (const json::Value& t : v.at("offload").AsArray()) {
+    s.offload.push_back({t.at("weights").AsBool(),
+                         t.at("activations").AsBool(),
+                         t.at("optimizer").AsBool()});
+  }
+  s.min_tensor_par = v.at("min_tensor_par").AsInt();
+  s.max_tensor_par = v.at("max_tensor_par").AsInt();
+  s.min_pipeline_par = v.at("min_pipeline_par").AsInt();
+  s.max_pipeline_par = v.at("max_pipeline_par").AsInt();
+  s.min_data_par = v.at("min_data_par").AsInt();
+  s.max_data_par = v.at("max_data_par").AsInt();
+  s.max_microbatch = v.at("max_microbatch").AsInt();
+  return s;
+}
+
+namespace {
+
 // One slot per Infeasible enumerator (kNone..kBadConfig).
 constexpr std::size_t kNumInfeasible =
     static_cast<std::size_t>(Infeasible::kBadConfig) + 1;
@@ -84,10 +180,29 @@ void PublishRejections(const char* prefix, const RejectionTally& rejected) {
   }
 }
 
+}  // namespace
+
 bool Better(const Stats& a, const Stats& b) {
   if (a.sample_rate != b.sample_rate) return a.sample_rate > b.sample_rate;
   return a.tier1.Total() < b.tier1.Total();  // deterministic tie-break
 }
+
+void InsertTopK(std::vector<SearchEntry>& best, int top_k, Execution exec,
+                Stats stats) {
+  if (static_cast<int>(best.size()) == top_k &&
+      !Better(stats, best.back().stats)) {
+    return;
+  }
+  SearchEntry entry{std::move(exec), std::move(stats)};
+  auto pos = std::upper_bound(best.begin(), best.end(), entry,
+                              [](const SearchEntry& a, const SearchEntry& b) {
+                                return Better(a.stats, b.stats);
+                              });
+  best.insert(pos, std::move(entry));
+  if (static_cast<int>(best.size()) > top_k) best.pop_back();
+}
+
+namespace {
 
 // Compact configuration coordinates for FailureRecords: enough to replay
 // the exact evaluation that faulted.
@@ -104,21 +219,6 @@ std::string ExecFingerprint(const Execution& e) {
       e.fused_activation ? " fused" : "", e.dp_overlap ? " dp_ovl" : "",
       e.optimizer_sharding ? " shard" : "", e.pp_rs_ag ? " pp_rs_ag" : "",
       e.any_offload() ? " offload" : "");
-}
-
-void InsertTopK(std::vector<SearchEntry>& best, int top_k, Execution exec,
-                Stats stats) {
-  if (static_cast<int>(best.size()) == top_k &&
-      !Better(stats, best.back().stats)) {
-    return;
-  }
-  SearchEntry entry{std::move(exec), std::move(stats)};
-  auto pos = std::upper_bound(best.begin(), best.end(), entry,
-                              [](const SearchEntry& a, const SearchEntry& b) {
-                                return Better(a.stats, b.stats);
-                              });
-  best.insert(pos, std::move(entry));
-  if (static_cast<int>(best.size()) > top_k) best.pop_back();
 }
 
 // Evaluates one candidate with fault isolation: injected faults, exceptions
@@ -154,60 +254,17 @@ void InsertTopK(std::vector<SearchEntry>& best, int top_k, Execution exec,
   }
 }
 
-}  // namespace
-
-SearchResult FindOptimalExecution(const Application& app, const System& sys,
-                                  const SearchSpace& space,
-                                  const SearchConfig& config,
-                                  ThreadPool& pool) {
-  CALC_TRACE_SPAN("search", "exec_search");
-  const std::int64_t n = sys.num_procs();
-  const std::int64_t batch =
-      config.batch_size > 0 ? config.batch_size : n;
-  const bool has_tier2 = sys.proc().mem2.present();
-
-  // Candidate partitionings under the structural constraints.
-  const std::vector<Triple> all_triples = FactorTriples(n);
-  std::vector<Triple> triples;
-  for (const Triple& tr : all_triples) {
-    if (tr.t < space.min_tensor_par || tr.t > space.max_tensor_par) continue;
-    if (tr.p < space.min_pipeline_par || tr.p > space.max_pipeline_par) {
-      continue;
-    }
-    if (tr.d < space.min_data_par || tr.d > space.max_data_par) continue;
-    if (tr.t > app.attn_heads || app.attn_heads % tr.t != 0) continue;
-    if (tr.p > app.num_blocks) continue;
-    if (batch % tr.d != 0) continue;
-    triples.push_back(tr);
-  }
-
-  SearchResult result;
-  ParetoFront pareto;
-  RejectionTally rejected{};
-  Mutex merge_mutex;
-  RunContext* const ctx = config.ctx;
-
-  // Instrument pointers are fetched once per search; the per-evaluation
-  // path is a clock read + histogram observe, and skips even those when
-  // metrics are disabled.
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  obs::Histogram* const latency =
-      metrics.enabled()
-          ? metrics.GetHistogram("exec_search.eval_latency_us",
-                                 obs::DefaultLatencyBoundsUs())
-          : nullptr;
-
-  pool.ParallelFor(triples.size(), ctx, [&](std::uint64_t idx) {
-    const Triple tr = triples[idx];
-    CALC_TRACE_SPAN("search",
-                    StrFormat("triple t=%lld p=%lld d=%lld",
-                              static_cast<long long>(tr.t),
-                              static_cast<long long>(tr.p),
-                              static_cast<long long>(tr.d)));
-    LocalState local;
-
+// Sweeps every candidate of one (t, p, d) triple into `local`. The single
+// evaluation-order-defining loop nest, shared by the in-process ParallelFor
+// and the dist worker (SweepTriple) so both make identical evaluations
+// with identical fault-injection keys.
+void SweepTripleInto(const Application& app, const System& sys,
+                     const SearchSpace& space, const SearchConfig& config,
+                     std::int64_t batch, bool has_tier2, Triple tr,
+                     std::uint64_t idx, RunContext* ctx,
+                     obs::Histogram* latency, LocalState& local) {
     Execution e;
-    e.num_procs = n;
+    e.num_procs = sys.num_procs();
     e.tensor_par = tr.t;
     e.pipeline_par = tr.p;
     e.data_par = tr.d;
@@ -322,6 +379,98 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
     }
     };
     sweep_triple();
+}
+
+}  // namespace
+
+std::vector<Triple> SearchTriples(const Application& app, const System& sys,
+                                  const SearchSpace& space,
+                                  const SearchConfig& config) {
+  const std::int64_t n = sys.num_procs();
+  const std::int64_t batch = config.batch_size > 0 ? config.batch_size : n;
+  std::vector<Triple> triples;
+  for (const Triple& tr : FactorTriples(n)) {
+    if (tr.t < space.min_tensor_par || tr.t > space.max_tensor_par) continue;
+    if (tr.p < space.min_pipeline_par || tr.p > space.max_pipeline_par) {
+      continue;
+    }
+    if (tr.d < space.min_data_par || tr.d > space.max_data_par) continue;
+    if (tr.t > app.attn_heads || app.attn_heads % tr.t != 0) continue;
+    if (tr.p > app.num_blocks) continue;
+    if (batch % tr.d != 0) continue;
+    triples.push_back(tr);
+  }
+  return triples;
+}
+
+TripleSweep SweepTriple(const Application& app, const System& sys,
+                        const SearchSpace& space, const SearchConfig& config,
+                        std::uint64_t index) {
+  const std::vector<Triple> triples = SearchTriples(app, sys, space, config);
+  if (index >= triples.size()) {
+    throw ConfigError("SweepTriple: triple index out of range");
+  }
+  const std::int64_t batch =
+      config.batch_size > 0 ? config.batch_size : sys.num_procs();
+  // A private context captures the triple's hard failures for replay onto
+  // the caller's accounting; uncapped so the replayed count is exact.
+  RunContext local_ctx;
+  local_ctx.set_max_failure_samples(
+      std::numeric_limits<std::size_t>::max());
+  LocalState local;
+  SweepTripleInto(app, sys, space, config, batch,
+                  sys.proc().mem2.present(), triples[index], index,
+                  &local_ctx, /*latency=*/nullptr, local);
+  TripleSweep out;
+  out.best = std::move(local.best);
+  out.evaluated = local.evaluated;
+  out.feasible = local.feasible;
+  out.rejected.assign(local.rejected.begin(), local.rejected.end());
+  out.failures = local_ctx.Snapshot().failure_samples;
+  return out;
+}
+
+SearchResult FindOptimalExecution(const Application& app, const System& sys,
+                                  const SearchSpace& space,
+                                  const SearchConfig& config,
+                                  ThreadPool& pool) {
+  CALC_TRACE_SPAN("search", "exec_search");
+  const std::int64_t n = sys.num_procs();
+  const std::int64_t batch =
+      config.batch_size > 0 ? config.batch_size : n;
+  const bool has_tier2 = sys.proc().mem2.present();
+
+  // Candidate partitionings under the structural constraints.
+  const std::size_t all_triples = FactorTriples(n).size();
+  const std::vector<Triple> triples =
+      SearchTriples(app, sys, space, config);
+
+  SearchResult result;
+  ParetoFront pareto;
+  RejectionTally rejected{};
+  Mutex merge_mutex;
+  RunContext* const ctx = config.ctx;
+
+  // Instrument pointers are fetched once per search; the per-evaluation
+  // path is a clock read + histogram observe, and skips even those when
+  // metrics are disabled.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Histogram* const latency =
+      metrics.enabled()
+          ? metrics.GetHistogram("exec_search.eval_latency_us",
+                                 obs::DefaultLatencyBoundsUs())
+          : nullptr;
+
+  pool.ParallelFor(triples.size(), ctx, [&](std::uint64_t idx) {
+    const Triple tr = triples[idx];
+    CALC_TRACE_SPAN("search",
+                    StrFormat("triple t=%lld p=%lld d=%lld",
+                              static_cast<long long>(tr.t),
+                              static_cast<long long>(tr.p),
+                              static_cast<long long>(tr.d)));
+    LocalState local;
+    SweepTripleInto(app, sys, space, config, batch, has_tier2, tr, idx, ctx,
+                    latency, local);
 
     MutexLock lock(merge_mutex);
     result.evaluated += local.evaluated;
@@ -342,7 +491,7 @@ SearchResult FindOptimalExecution(const Application& app, const System& sys,
     metrics.GetCounter("exec_search.evaluated")->Increment(result.evaluated);
     metrics.GetCounter("exec_search.feasible")->Increment(result.feasible);
     metrics.GetCounter("exec_search.culled_triples")
-        ->Increment(all_triples.size() - triples.size());
+        ->Increment(all_triples - triples.size());
     PublishRejections("exec_search", rejected);
   }
   CALC_TRACE_COUNTER("exec_search.evaluated", result.evaluated);

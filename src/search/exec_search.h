@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/perf_model.h"
+#include "json/json.h"
+#include "util/mathutil.h"
 #include "util/threadpool.h"
 #include "util/run_context.h"
 
@@ -73,12 +75,28 @@ struct SearchSpace {
   [[nodiscard]] static SearchSpace AllOptimizations();
   // The full Table 1 space including offloading.
   [[nodiscard]] static SearchSpace AllWithOffload();
+
+  // Lossless JSON round-trip (FromJson(ToJson()) sweeps the identical
+  // space in the identical order) — how a supervised dist worker receives
+  // the space its parent is searching.
+  [[nodiscard]] json::Value ToJson() const;
+  [[nodiscard]] static SearchSpace FromJson(const json::Value& v);
 };
 
 struct SearchEntry {
   Execution exec;
   Stats stats;
 };
+
+// The search's total order on candidate results: higher sample rate wins,
+// lower tier-1 memory breaks ties deterministically. Exposed so the
+// supervised dist driver merges worker top-k lists with the identical
+// ordering the in-process search uses.
+[[nodiscard]] bool Better(const Stats& a, const Stats& b);
+
+// Sorted bounded insert into a top-k list ordered by Better().
+void InsertTopK(std::vector<SearchEntry>& best, int top_k, Execution exec,
+                Stats stats);
 
 struct SearchResult {
   std::vector<SearchEntry> best;  // sorted by descending sample rate
@@ -117,5 +135,37 @@ struct SearchConfig {
                                                 const SearchSpace& space,
                                                 const SearchConfig& config,
                                                 ThreadPool& pool);
+
+// The candidate (t, p, d) partitionings FindOptimalExecution sweeps, after
+// structural filtering, in the order it sweeps them. The index into this
+// vector is the stable per-triple work-unit id (it seeds the
+// fault-injection key), so a dist worker sweeping triple i reproduces the
+// in-process search's evaluations for triple i exactly.
+[[nodiscard]] std::vector<Triple> SearchTriples(const Application& app,
+                                                const System& sys,
+                                                const SearchSpace& space,
+                                                const SearchConfig& config);
+
+// Outcome of sweeping a single triple: the work unit a dist worker ships
+// back. `rejected` is indexed by Infeasible; `failures` are the isolated
+// hard failures (replayed onto the parent's RunContext so failure-budget
+// accounting is identical to the in-process sweep).
+struct TripleSweep {
+  std::vector<SearchEntry> best;  // the triple's top-k, sorted
+  std::uint64_t evaluated = 0;
+  std::uint64_t feasible = 0;
+  std::vector<std::uint64_t> rejected;
+  std::vector<FailureRecord> failures;
+};
+
+// Sweeps triples[index] of SearchTriples(app, sys, space, config) with the
+// same evaluation order, fault-injection keys, and fault isolation as
+// FindOptimalExecution. `keep_all_rates`/`keep_pareto` are ignored here
+// (the dist driver falls back to in-process for those collectors).
+[[nodiscard]] TripleSweep SweepTriple(const Application& app,
+                                      const System& sys,
+                                      const SearchSpace& space,
+                                      const SearchConfig& config,
+                                      std::uint64_t index);
 
 }  // namespace calculon

@@ -29,6 +29,11 @@ ProjectConfig ProjectConfig::Default() {
        {"util", "json", "obs", "hw", "models", "core", "search", "testing"}},
       {"runner",
        {"util", "json", "obs", "hw", "models", "core", "search", "testing"}},
+      // The supervised fan-out layer sits on top of every sweep engine: it
+      // re-runs their single-item evaluators inside forked workers.
+      {"dist",
+       {"util", "json", "obs", "testing", "hw", "models", "core", "search",
+        "analysis", "runner"}},
   };
   // Quantity::raw() is the typed->untyped escape hatch; these are the
   // blessed serialization/report boundaries (everything else needs a
@@ -45,6 +50,7 @@ ProjectConfig ProjectConfig::Default() {
       "src/analysis/audit.cc",    // invariant re-derivation in raw space
       "src/runner/study.cc",      // CSV/checkpoint serialization
       "src/runner/calibrate.cc",  // calibration report output
+      "src/dist/jobs.cc",         // worker wire-format serialization
   };
   // The hw and core model layers carry all physical quantities as strong
   // types; a raw `double` with a quantity-like name in their headers is a

@@ -1,6 +1,7 @@
 #include "testing/fault_injection.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <thread>
 
@@ -61,14 +62,61 @@ FaultPlan FaultPlan::FromSpec(const std::string& spec) {
       plan.delay_rate = ParseRate(key, value);
     } else if (key == "delay_us") {
       plan.delay_us = std::atoi(value.c_str());
+    } else if (key == "abort") {
+      plan.abort_rate = ParseRate(key, value);
+    } else if (key == "segv") {
+      plan.segv_rate = ParseRate(key, value);
+    } else if (key == "hang") {
+      plan.hang_rate = ParseRate(key, value);
+    } else if (key == "exit0") {
+      plan.exit0_rate = ParseRate(key, value);
+    } else if (key == "hang_s") {
+      plan.hang_s = std::strtod(value.c_str(), nullptr);
     } else {
       throw ConfigError("fault spec: unknown key '" + key + "'");
     }
   }
-  if (plan.throw_rate + plan.error_rate + plan.delay_rate > 1.0) {
+  if (plan.throw_rate + plan.error_rate + plan.delay_rate + plan.abort_rate +
+          plan.segv_rate + plan.hang_rate + plan.exit0_rate >
+      1.0) {
     throw ConfigError("fault spec: rates sum to more than 1");
   }
   return plan;
+}
+
+std::string FaultPlan::ToSpec() const {
+  // %.17g survives the strtod round trip, so FromSpec(ToSpec()) rebuilds a
+  // plan making bit-identical Decide() calls in the worker process.
+  std::string spec =
+      StrFormat("seed=%llu", static_cast<unsigned long long>(seed));
+  if (throw_rate > 0.0) spec += StrFormat(",throw=%.17g", throw_rate);
+  if (error_rate > 0.0) spec += StrFormat(",error=%.17g", error_rate);
+  if (delay_rate > 0.0) {
+    spec += StrFormat(",delay=%.17g,delay_us=%d", delay_rate, delay_us);
+  }
+  if (abort_rate > 0.0) spec += StrFormat(",abort=%.17g", abort_rate);
+  if (segv_rate > 0.0) spec += StrFormat(",segv=%.17g", segv_rate);
+  if (hang_rate > 0.0) {
+    spec += StrFormat(",hang=%.17g,hang_s=%.17g", hang_rate, hang_s);
+  }
+  if (exit0_rate > 0.0) spec += StrFormat(",exit0=%.17g", exit0_rate);
+  return spec;
+}
+
+bool IsProcessFault(FaultAction action) {
+  switch (action) {
+    case FaultAction::kAbort:
+    case FaultAction::kSegv:
+    case FaultAction::kHang:
+    case FaultAction::kExit0:
+      return true;
+    case FaultAction::kNone:
+    case FaultAction::kThrow:
+    case FaultAction::kError:
+    case FaultAction::kDelay:
+      return false;
+  }
+  return false;
 }
 
 FaultPlan FaultPlan::FromEnv(const char* var) {
@@ -92,11 +140,14 @@ void FaultInjector::Configure(const FaultPlan& plan) {
 FaultAction FaultInjector::Decide(std::uint64_t key) const {
   if (!enabled()) return FaultAction::kNone;
   const double u = UnitUniform(Mix(plan_.seed ^ Mix(key)));
-  if (u < plan_.throw_rate) return FaultAction::kThrow;
-  if (u < plan_.throw_rate + plan_.error_rate) return FaultAction::kError;
-  if (u < plan_.throw_rate + plan_.error_rate + plan_.delay_rate) {
-    return FaultAction::kDelay;
-  }
+  double edge = plan_.throw_rate;
+  if (u < edge) return FaultAction::kThrow;
+  if (u < (edge += plan_.error_rate)) return FaultAction::kError;
+  if (u < (edge += plan_.delay_rate)) return FaultAction::kDelay;
+  if (u < (edge += plan_.abort_rate)) return FaultAction::kAbort;
+  if (u < (edge += plan_.segv_rate)) return FaultAction::kSegv;
+  if (u < (edge += plan_.hang_rate)) return FaultAction::kHang;
+  if (u < (edge += plan_.exit0_rate)) return FaultAction::kExit0;
   return FaultAction::kNone;
 }
 
@@ -129,8 +180,34 @@ bool FaultInjector::MaybeInject(std::uint64_t key) {
       CountInjected("delay");
       std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_us));
       return false;
+    case FaultAction::kAbort:
+    case FaultAction::kSegv:
+    case FaultAction::kHang:
+    case FaultAction::kExit0:
+      // Process kinds act only inside a dist worker (MaybeInjectProcess).
+      return false;
   }
   return false;
+}
+
+void FaultInjector::MaybeInjectProcess(std::uint64_t key) {
+  switch (Decide(key)) {
+    case FaultAction::kNone:
+    case FaultAction::kThrow:
+    case FaultAction::kError:
+    case FaultAction::kDelay:
+      return;
+    case FaultAction::kAbort:
+      std::abort();
+    case FaultAction::kSegv:
+      std::raise(SIGSEGV);
+      return;  // unreachable unless SIGSEGV is blocked
+    case FaultAction::kHang:
+      std::this_thread::sleep_for(std::chrono::duration<double>(plan_.hang_s));
+      return;
+    case FaultAction::kExit0:
+      std::_Exit(0);
+  }
 }
 
 }  // namespace calculon::testing

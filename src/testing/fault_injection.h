@@ -9,6 +9,18 @@
 //   * error — an injected hard-error Result (kBadConfig),
 //   * delay — a busy worker (exercises cancellation latency),
 //
+// plus four *process-level* kinds consulted only by the supervised worker
+// processes of src/dist (a plain in-process sweep ignores them, so the
+// same plan describes both the faulted distributed run and its fault-free
+// in-process reference):
+//
+//   * abort — the worker calls abort() (SIGABRT, like a tripped assert),
+//   * segv  — the worker raises SIGSEGV (a wild pointer),
+//   * hang  — the worker stops making progress (exercises the
+//             supervisor's heartbeat / hang timeout),
+//   * exit0 — the worker exits 0 mid-shard without a result (a silently
+//             truncated run),
+//
 // The decision for a logical evaluation key is a pure hash of
 // (seed, key): it does not depend on thread count or interleaving, so a
 // seeded run injects the exact same faults every time — which is what
@@ -42,19 +54,48 @@ struct FaultPlan {
   double error_rate = 0.0;
   double delay_rate = 0.0;
   int delay_us = 100;  // sleep length of one delay fault
+  // Process-level kinds (see the header comment): acted on only inside a
+  // supervised dist worker via MaybeInjectProcess().
+  double abort_rate = 0.0;
+  double segv_rate = 0.0;
+  double hang_rate = 0.0;
+  double exit0_rate = 0.0;
+  double hang_s = 3600.0;  // how long one hang fault stalls the worker
 
   [[nodiscard]] bool enabled() const {
-    return throw_rate > 0.0 || error_rate > 0.0 || delay_rate > 0.0;
+    return throw_rate > 0.0 || error_rate > 0.0 || delay_rate > 0.0 ||
+           process_enabled();
+  }
+  // Any process-level kind has a non-zero rate.
+  [[nodiscard]] bool process_enabled() const {
+    return abort_rate > 0.0 || segv_rate > 0.0 || hang_rate > 0.0 ||
+           exit0_rate > 0.0;
   }
 
-  // Parses "seed=42,throw=0.05,error=0.01,delay=0.001,delay_us=50".
+  // Parses "seed=42,throw=0.05,error=0.01,delay=0.001,delay_us=50"
+  // (process kinds: "abort=0.01,segv=0.01,hang=0.005,exit0=0.01,hang_s=60").
   // Unknown keys raise ConfigError; an empty spec is a disabled plan.
   [[nodiscard]] static FaultPlan FromSpec(const std::string& spec);
   // Reads the spec from an environment variable (disabled plan when unset).
   [[nodiscard]] static FaultPlan FromEnv(const char* var = "CALCULON_FAULTS");
+  // Round-trips through FromSpec: the canonical form shipped to dist
+  // workers so parent and child make identical Decide() calls.
+  [[nodiscard]] std::string ToSpec() const;
 };
 
-enum class FaultAction { kNone, kThrow, kError, kDelay };
+enum class FaultAction {
+  kNone,
+  kThrow,
+  kError,
+  kDelay,
+  kAbort,  // process-level kinds below (dist workers only)
+  kSegv,
+  kHang,
+  kExit0,
+};
+
+// True for the kinds that take down or stall a whole worker process.
+[[nodiscard]] bool IsProcessFault(FaultAction action);
 
 class FaultInjector {
  public:
@@ -81,7 +122,19 @@ class FaultInjector {
   // sleeps on a delay-fault (returns false), and returns true on an
   // error-fault (the caller substitutes an injected hard-error Result).
   // Every throw/error injection increments the exact counters below.
+  // Process-level decisions fall through to kNone here: an in-process
+  // sweep runs them clean, which is what makes it the fault-free
+  // reference for the supervised run.
   bool MaybeInject(std::uint64_t key);
+
+  // Applies a *process-level* decision for `key`. Called only from inside
+  // a supervised dist worker, before the item is evaluated: abort/segv
+  // die by signal, exit0 exits 0 mid-shard, hang sleeps plan.hang_s.
+  // Non-process decisions (and kNone) return without acting.
+  void MaybeInjectProcess(std::uint64_t key);
+
+  // The installed plan (for re-serializing via FaultPlan::ToSpec()).
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
   [[nodiscard]] std::uint64_t injected_throws() const {
     return throws_.load(std::memory_order_relaxed);

@@ -1,0 +1,213 @@
+// End-to-end tests of the supervised multi-process fan-out: fork a real
+// worker pool over a small study, kill workers with seeded process-level
+// faults, and check the survivor rows are bit-identical to the in-process
+// run while the quarantine list equals exactly the injected fault set.
+//
+// These tests fork; they are skipped on platforms without fork support.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/drivers.h"
+#include "dist/supervisor.h"
+#include "runner/study.h"
+#include "testing/fault_injection.h"
+#include "util/run_context.h"
+
+namespace calculon {
+namespace {
+
+json::Value SmallStudySpec() {
+  // 16 rows: small enough to fork through quickly, large enough that the
+  // pool dispatches several shards.
+  return json::Parse(R"({
+    "application": "megatron_22b",
+    "system": "a100_80g",
+    "num_procs": 64,
+    "base_execution": {"batch_size": 64, "recompute": "full"},
+    "sweep": {
+      "tensor_par": [1, 2, 4, 8],
+      "pipeline_par": [1, 2],
+      "data_par": "auto",
+      "microbatch": [1, 4]
+    }
+  })");
+}
+
+dist::DistOptions FastDist(int workers) {
+  dist::DistOptions d;
+  d.workers = workers;
+  d.shard_size = 4;
+  d.max_attempts = 3;
+  d.backoff_base_ms = 1;  // keep retry loops fast in tests
+  d.backoff_max_ms = 8;
+  return d;
+}
+
+// The items of the study whose seeded fault decision is a process-level
+// kind — the exact set the supervised run must quarantine.
+std::set<std::uint64_t> ExpectedProcessFaultItems(
+    const testing::FaultPlan& plan, std::uint64_t num_items) {
+  testing::FaultInjector injector;
+  injector.Configure(plan);
+  std::set<std::uint64_t> items;
+  for (std::uint64_t i = 0; i < num_items; ++i) {
+    if (testing::IsProcessFault(injector.Decide(i))) items.insert(i);
+  }
+  return items;
+}
+
+TEST(DistSupervisor, FaultFreeStudyIsBitIdenticalToInProcess) {
+  if (!dist::ForkAvailable()) GTEST_SKIP() << "no fork on this platform";
+  const Study study = Study::FromJson(SmallStudySpec());
+
+  const StudyRunOptions options;
+  const StudyRun reference = study.RunResilient(options);
+  const StudyRun supervised =
+      dist::RunStudySupervised(study, options, FastDist(3));
+
+  ASSERT_EQ(supervised.csv_rows.size(), reference.csv_rows.size());
+  for (std::size_t i = 0; i < reference.csv_rows.size(); ++i) {
+    EXPECT_EQ(supervised.csv_rows[i], reference.csv_rows[i]) << "row " << i;
+  }
+  EXPECT_EQ(supervised.best.found, reference.best.found);
+  EXPECT_EQ(supervised.best.row, reference.best.row);
+  EXPECT_TRUE(supervised.status.complete);
+  EXPECT_FALSE(supervised.status.degraded());
+}
+
+TEST(DistSupervisor, ProcessFaultsQuarantineExactlyTheInjectedItems) {
+  if (!dist::ForkAvailable()) GTEST_SKIP() << "no fork on this platform";
+  const Study study = Study::FromJson(SmallStudySpec());
+  const std::uint64_t rows = study.Enumerate().size();
+
+  testing::FaultPlan plan;
+  plan.seed = 42;
+  plan.abort_rate = 0.10;
+  plan.segv_rate = 0.10;
+  const std::set<std::uint64_t> expected =
+      ExpectedProcessFaultItems(plan, rows);
+  ASSERT_FALSE(expected.empty()) << "seed injects nothing; pick another";
+  ASSERT_LT(expected.size(), rows) << "seed kills everything";
+
+  const StudyRun reference = study.RunResilient(StudyRunOptions{});
+
+  RunContext ctx;
+  StudyRunOptions options;
+  options.ctx = &ctx;
+  dist::DistOptions d = FastDist(3);
+  d.faults_spec = plan.ToSpec();
+  const StudyRun supervised = dist::RunStudySupervised(study, options, d);
+
+  // Deterministic faults re-fire on every retry, so every injected item
+  // quarantines — and nothing else does.
+  std::set<std::uint64_t> quarantined;
+  ASSERT_EQ(supervised.csv_rows.size(), reference.csv_rows.size());
+  for (std::size_t i = 0; i < reference.csv_rows.size(); ++i) {
+    if (supervised.csv_rows[i] == reference.csv_rows[i]) continue;
+    quarantined.insert(i);
+    EXPECT_NE(supervised.csv_rows[i].find("quarantined"), std::string::npos)
+        << "row " << i << " differs but is not a quarantine row";
+  }
+  EXPECT_EQ(quarantined, expected);
+  // Each quarantined row is one FailureRecord on the context; the run is
+  // degraded but ran to the end of the sweep.
+  EXPECT_EQ(ctx.failures(), expected.size());
+  EXPECT_TRUE(supervised.status.complete);
+  EXPECT_TRUE(supervised.status.degraded());
+}
+
+TEST(DistSupervisor, WorkerExitingZeroMidShardIsADeathNotASuccess) {
+  if (!dist::ForkAvailable()) GTEST_SKIP() << "no fork on this platform";
+  const Study study = Study::FromJson(SmallStudySpec());
+  const std::uint64_t rows = study.Enumerate().size();
+
+  // Every item silently exits 0 before producing a result. The supervisor
+  // must treat that as a worker death (retry, then quarantine) — never as
+  // a completed shard.
+  testing::FaultPlan plan;
+  plan.seed = 7;
+  plan.exit0_rate = 1.0;
+
+  RunContext ctx;
+  StudyRunOptions options;
+  options.ctx = &ctx;
+  dist::DistOptions d = FastDist(2);
+  d.max_attempts = 2;
+  d.faults_spec = plan.ToSpec();
+  const StudyRun run = dist::RunStudySupervised(study, options, d);
+
+  ASSERT_EQ(run.csv_rows.size(), rows);  // quarantine rows fill the CSV
+  EXPECT_EQ(ctx.failures(), rows);
+  const RunStatus status = ctx.Snapshot();
+  ASSERT_FALSE(status.failure_samples.empty());
+  EXPECT_NE(status.failure_samples[0].reason.find("exited with code 0"),
+            std::string::npos)
+      << status.failure_samples[0].reason;
+}
+
+TEST(DistSupervisor, HungWorkerIsKilledByTheActivityTimeout) {
+  if (!dist::ForkAvailable()) GTEST_SKIP() << "no fork on this platform";
+  // One poison item that hangs its worker forever (well past the test).
+  const json::Value spec = json::Parse(R"({
+    "application": "megatron_22b",
+    "system": "a100_80g",
+    "num_procs": 64,
+    "base_execution": {"batch_size": 64, "recompute": "full"},
+    "sweep": {"tensor_par": [8]}
+  })");
+  const Study study = Study::FromJson(spec);
+  ASSERT_EQ(study.Enumerate().size(), 1u);
+
+  testing::FaultPlan plan;
+  plan.seed = 1;
+  plan.hang_rate = 1.0;
+  plan.hang_s = 600.0;
+
+  RunContext ctx;
+  StudyRunOptions options;
+  options.ctx = &ctx;
+  dist::DistOptions d = FastDist(1);
+  d.max_attempts = 2;
+  d.hang_timeout_s = 0.3;
+  d.faults_spec = plan.ToSpec();
+  const StudyRun run = dist::RunStudySupervised(study, options, d);
+
+  ASSERT_EQ(run.csv_rows.size(), 1u);
+  EXPECT_EQ(ctx.failures(), 1u);
+  const RunStatus status = ctx.Snapshot();
+  ASSERT_EQ(status.failure_samples.size(), 1u);
+  EXPECT_NE(status.failure_samples[0].reason.find("hung"), std::string::npos)
+      << status.failure_samples[0].reason;
+}
+
+TEST(DistSupervisor, BrokenJobSpecFailsLoudlyInsteadOfRespawningForever) {
+  if (!dist::ForkAvailable()) GTEST_SKIP() << "no fork on this platform";
+  // A spec MakeJob rejects kills every worker at startup; the supervisor's
+  // consecutive-startup-failure cap must convert that into a ConfigError
+  // instead of forking replacements until the end of time.
+  json::Value bad;
+  bad["job"] = "no-such-job";
+  dist::SupervisorOptions options;
+  options.workers = 2;
+  options.backoff_base_ms = 1;
+  options.backoff_max_ms = 4;
+  EXPECT_THROW(
+      (void)dist::RunSupervised(bad, 8, options, dist::SupervisorCallbacks{}),
+      ConfigError);
+}
+
+TEST(DistSupervisor, ZeroWorkersFallsBackInProcess) {
+  const Study study = Study::FromJson(SmallStudySpec());
+  dist::DistOptions d;  // workers == 0: dist inactive
+  EXPECT_FALSE(d.active());
+  const StudyRun run = dist::RunStudySupervised(study, StudyRunOptions{}, d);
+  EXPECT_EQ(run.csv_rows.size(), study.Enumerate().size());
+  EXPECT_TRUE(run.status.complete);
+}
+
+}  // namespace
+}  // namespace calculon

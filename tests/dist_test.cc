@@ -1,0 +1,230 @@
+// Unit tests for the non-forking pieces of the supervised fan-out layer:
+// NDJSON wire framing, the deterministic backoff schedule, and the shard
+// tracker's retry/quarantine accounting.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/backoff.h"
+#include "dist/shard_tracker.h"
+#include "dist/wire.h"
+#include "util/error.h"
+
+namespace calculon::dist {
+namespace {
+
+// A pipe whose ends close with the fixture.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  void CloseWrite() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(Wire, FramesRoundTripOverAPipe) {
+  Pipe p;
+  FrameWriter writer(p.fds[1]);
+  json::Value msg;
+  msg["type"] = "item";
+  msg["index"] = static_cast<std::int64_t>(7);
+  msg["rate"] = 123.456789012345678;  // must survive as %.17g
+  ASSERT_TRUE(writer.WriteFrame(msg));
+  json::Value msg2;
+  msg2["type"] = "shard_done";
+  ASSERT_TRUE(writer.WriteFrame(msg2));
+  p.CloseWrite();
+
+  FrameReader reader(p.fds[0]);
+  json::Value out;
+  ASSERT_TRUE(reader.ReadFrameBlocking(&out));
+  EXPECT_EQ(out.GetString("type", ""), "item");
+  EXPECT_EQ(out.GetInt("index", -1), 7);
+  EXPECT_EQ(out.at("rate").AsDouble(), 123.456789012345678);  // bit-exact
+  ASSERT_TRUE(reader.ReadFrameBlocking(&out));
+  EXPECT_EQ(out.GetString("type", ""), "shard_done");
+  EXPECT_FALSE(reader.ReadFrameBlocking(&out));  // clean EOF
+  EXPECT_TRUE(reader.eof());
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST(Wire, DanglingPartialLineReportsTruncation) {
+  Pipe p;
+  // A writer that died mid-message: bytes but no terminating newline.
+  const char partial[] = "{\"type\":\"item\",\"ind";
+  ASSERT_EQ(::write(p.fds[1], partial, sizeof(partial) - 1),
+            static_cast<ssize_t>(sizeof(partial) - 1));
+  p.CloseWrite();
+
+  FrameReader reader(p.fds[0]);
+  json::Value out;
+  EXPECT_FALSE(reader.ReadFrameBlocking(&out));
+  EXPECT_TRUE(reader.eof());
+  EXPECT_TRUE(reader.truncated());  // died mid-message, not a clean close
+}
+
+TEST(Wire, MalformedFrameThrows) {
+  Pipe p;
+  const char junk[] = "this is not json\n";
+  ASSERT_EQ(::write(p.fds[1], junk, sizeof(junk) - 1),
+            static_cast<ssize_t>(sizeof(junk) - 1));
+  p.CloseWrite();
+
+  FrameReader reader(p.fds[0]);
+  while (reader.Fill() == FrameReader::FillStatus::kData) {
+  }
+  json::Value out;
+  EXPECT_THROW((void)reader.NextFrame(&out), ConfigError);
+}
+
+TEST(Wire, WriteToClosedPipeReportsDeadPeerNotCrash) {
+  Pipe p;
+  ::close(p.fds[0]);
+  p.fds[0] = -1;
+  // The supervisor runs with SIGPIPE ignored; mirror that here so the
+  // write surfaces as EPIPE instead of killing the test binary.
+  void (*prev)(int) = std::signal(SIGPIPE, SIG_IGN);
+  FrameWriter writer(p.fds[1]);
+  json::Value msg;
+  msg["type"] = "exit";
+  EXPECT_FALSE(writer.WriteFrame(msg));
+  std::signal(SIGPIPE, prev);
+}
+
+TEST(Backoff, ScheduleIsPinnedAndDeterministic) {
+  // base 10ms doubling per attempt, saturating at 2000ms: the schedule the
+  // docs promise. Pinned exactly so a refactor cannot silently change it.
+  EXPECT_EQ(BackoffDelayMs(1, 10, 2000), 10);
+  EXPECT_EQ(BackoffDelayMs(2, 10, 2000), 20);
+  EXPECT_EQ(BackoffDelayMs(3, 10, 2000), 40);
+  EXPECT_EQ(BackoffDelayMs(4, 10, 2000), 80);
+  EXPECT_EQ(BackoffDelayMs(8, 10, 2000), 1280);
+  EXPECT_EQ(BackoffDelayMs(9, 10, 2000), 2000);   // saturated
+  EXPECT_EQ(BackoffDelayMs(100, 10, 2000), 2000); // no overflow
+}
+
+TEST(Backoff, NonPositiveAttemptIsTreatedAsFirst) {
+  EXPECT_EQ(BackoffDelayMs(0, 10, 2000), 10);
+  EXPECT_EQ(BackoffDelayMs(-5, 10, 2000), 10);
+}
+
+TEST(ShardTracker, ClaimsContiguousShardsThenRunsDry) {
+  ShardTrackerOptions options;
+  options.num_items = 10;
+  options.shard_size = 4;
+  ShardTracker tracker(options);
+
+  ShardRange s;
+  ASSERT_TRUE(tracker.Claim(&s));
+  EXPECT_EQ(s.begin, 0u);
+  EXPECT_EQ(s.end, 4u);
+  ASSERT_TRUE(tracker.Claim(&s));
+  EXPECT_EQ(s.begin, 4u);
+  EXPECT_EQ(s.end, 8u);
+  ASSERT_TRUE(tracker.Claim(&s));
+  EXPECT_EQ(s.begin, 8u);
+  EXPECT_EQ(s.end, 10u);  // final shard is short
+  EXPECT_FALSE(tracker.Claim(&s));
+  EXPECT_EQ(tracker.unclaimed(), 0u);
+}
+
+TEST(ShardTracker, FirstItemIsTheResumeWatermark) {
+  ShardTrackerOptions options;
+  options.num_items = 10;
+  options.first_item = 6;
+  options.shard_size = 4;
+  ShardTracker tracker(options);
+
+  EXPECT_EQ(tracker.resolved(), 6u);  // below the watermark: already done
+  EXPECT_EQ(tracker.unclaimed(), 4u);
+  ShardRange s;
+  ASSERT_TRUE(tracker.Claim(&s));
+  EXPECT_EQ(s.begin, 6u);
+  EXPECT_EQ(s.end, 10u);
+  EXPECT_FALSE(tracker.Claim(&s));
+  for (std::uint64_t i = 6; i < 10; ++i) tracker.OnItemDone(i);
+  EXPECT_TRUE(tracker.AllResolved());
+}
+
+TEST(ShardTracker, SuspectIsFirstUnackedItemAndBackoffGrows) {
+  ShardTrackerOptions options;
+  options.num_items = 8;
+  options.shard_size = 8;
+  options.max_attempts = 3;
+  options.backoff_base_ms = 10;
+  options.backoff_max_ms = 2000;
+  ShardTracker tracker(options);
+
+  ShardRange s;
+  ASSERT_TRUE(tracker.Claim(&s));
+  // Worker acked items 0 and 1, then died on item 2.
+  tracker.OnItemDone(0);
+  tracker.OnItemDone(1);
+  auto first = tracker.OnShardFailure(s, 2);
+  EXPECT_FALSE(first.quarantined);
+  EXPECT_EQ(first.suspect, 2u);
+  EXPECT_EQ(first.attempt, 1);
+  EXPECT_EQ(first.backoff_ms, 10);
+  EXPECT_EQ(first.retry.begin, 2u);  // suspect retried, acked prefix not
+  EXPECT_EQ(first.retry.end, 8u);
+
+  // The retry dies on the same item: backoff doubles.
+  auto second = tracker.OnShardFailure(first.retry, 2);
+  EXPECT_FALSE(second.quarantined);
+  EXPECT_EQ(second.attempt, 2);
+  EXPECT_EQ(second.backoff_ms, 20);
+}
+
+TEST(ShardTracker, QuarantinesAfterMaxAttemptsAndStillTerminates) {
+  ShardTrackerOptions options;
+  options.num_items = 4;
+  options.shard_size = 4;
+  options.max_attempts = 3;
+  ShardTracker tracker(options);
+
+  ShardRange s;
+  ASSERT_TRUE(tracker.Claim(&s));
+  // The poison item is item 0: three straight deaths with nothing acked.
+  (void)tracker.OnShardFailure(s, 0);
+  (void)tracker.OnShardFailure(s, 0);
+  auto last = tracker.OnShardFailure(s, 0);
+  EXPECT_TRUE(last.quarantined);
+  EXPECT_EQ(last.suspect, 0u);
+  EXPECT_EQ(last.attempt, 3);
+  EXPECT_EQ(last.backoff_ms, 0);     // poison gone: no reason to wait
+  EXPECT_EQ(last.retry.begin, 1u);   // remainder re-dispatches immediately
+  EXPECT_EQ(last.retry.end, 4u);
+
+  EXPECT_EQ(tracker.quarantined(), (std::vector<std::uint64_t>{0}));
+  for (std::uint64_t i = 1; i < 4; ++i) tracker.OnItemDone(i);
+  EXPECT_TRUE(tracker.AllResolved());  // quarantine counts as resolved
+}
+
+TEST(ShardTracker, DeathBetweenShardsBlamesNobody) {
+  ShardTrackerOptions options;
+  options.num_items = 4;
+  options.shard_size = 4;
+  ShardTracker tracker(options);
+
+  ShardRange s;
+  ASSERT_TRUE(tracker.Claim(&s));
+  for (std::uint64_t i = 0; i < 4; ++i) tracker.OnItemDone(i);
+  // Every item acked before the death: nothing to retry.
+  auto outcome = tracker.OnShardFailure(s, 4);
+  EXPECT_FALSE(outcome.quarantined);
+  EXPECT_TRUE(outcome.retry.empty());
+  EXPECT_TRUE(tracker.AllResolved());
+}
+
+}  // namespace
+}  // namespace calculon::dist

@@ -187,5 +187,52 @@ TEST(RunContext, SigintFlagPromotesToCancellationOnlyWhenWatching) {
   std::signal(SIGTERM, SIG_DFL);
 }
 
+TEST(RunContext, SigtermPromotesToCancellationLikeSigint) {
+  // A supervised sweep killed by the scheduler (SIGTERM) must take the
+  // same graceful-checkpoint path as a Ctrl-C.
+  RunContext::ClearSigintFlag();
+  RunContext::InstallSigintHandler();
+  ASSERT_FALSE(RunContext::SigintSeen());
+  std::raise(SIGTERM);
+  EXPECT_TRUE(RunContext::SigintSeen());
+
+  RunContext watching;
+  watching.WatchSignals(true);
+  EXPECT_TRUE(watching.ShouldStop());
+  EXPECT_EQ(watching.stop_reason(), StopReason::kCancelled);
+
+  RunContext::ClearSigintFlag();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}
+
+TEST(RunContext, StopReasonPriorityIsFirstObservedInBothOrders) {
+  // Pin the tie-break: whichever stop condition is OBSERVED first owns
+  // stop_reason, in both interleavings. Drivers report this string in
+  // status JSON, so flipping it would change user-visible output.
+  {
+    RunContext ctx;
+    ctx.SetDeadline(0.0);
+    EXPECT_TRUE(ctx.ShouldStop());  // deadline observed first
+    ctx.Cancel(StopReason::kCancelled);
+    EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadline);
+  }
+  {
+    RunContext ctx;
+    ctx.Cancel(StopReason::kCancelled);  // cancel lands first
+    ctx.SetDeadline(0.0);
+    (void)ctx.ShouldStop();
+    EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled);
+  }
+  {
+    RunContext ctx;
+    ctx.set_failure_budget(1);
+    ctx.RecordFailure(0, "cfg", "boom");  // budget trips first
+    EXPECT_TRUE(ctx.ShouldStop());
+    ctx.Cancel(StopReason::kCancelled);
+    EXPECT_EQ(ctx.stop_reason(), StopReason::kFailureBudget);
+  }
+}
+
 }  // namespace
 }  // namespace calculon
