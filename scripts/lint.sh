@@ -49,9 +49,17 @@ done
 if [[ $CHANGED -eq 1 ]]; then
   BASE_REF=${LINT_BASE_REF:-origin/main}
   if ! git rev-parse --verify -q "$BASE_REF" >/dev/null; then
-    echo "lint: base ref $BASE_REF not found, falling back to HEAD"
-    BASE_REF=HEAD
+    # Fresh clone without the remote ref, or detached-HEAD CI: diffing
+    # against HEAD would see (almost) nothing and silently skip real
+    # findings. Degrade to the full-tree lint instead and say so.
+    echo "lint: warning: base ref $BASE_REF not found" \
+         "(fresh clone or detached HEAD?); running the full lint instead" >&2
+    echo "lint: set LINT_BASE_REF to a resolvable ref to restore" \
+         "--changed mode" >&2
+    CHANGED=0
   fi
+fi
+if [[ $CHANGED -eq 1 ]]; then
   # Committed, staged, and unstaged changes vs the base; deleted files drop
   # out via the existence filter.
   mapfile -t CHANGED_FILES < <(

@@ -348,7 +348,8 @@ void AuditBundle(const Application& app, const System& sys,
                              Recompute::kFull};
   std::optional<Stats> by_mode[3];
   Execution exec_of[3];
-  for (int i = 0; i < 3; ++i) {
+  // The outer sweep polls RunContext between bundles; this trio is bounded.
+  for (int i = 0; i < 3; ++i) {  // lint-ok(cancellation-poll): bounded trio
     Execution e = base;
     e.recompute = modes[i];
     exec_of[i] = e;

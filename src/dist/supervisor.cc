@@ -143,6 +143,16 @@ void CloseSlotFds(WorkerSlot& slot) {
     ::close(cmd[1]);
     return false;
   }
+  // Anything that formats or allocates happens before the fork: between
+  // fork() and _exit() the child may only use async-signal-safe calls
+  // (another of the parent's threads could hold the heap or stdio lock at
+  // the instant of the fork, and the child would deadlock on it).
+  std::string log_path;
+  if (!pool.options.worker_log_dir.empty()) {
+    log_path =
+        StrFormat("%s/worker-%d.log", pool.options.worker_log_dir.c_str(),
+                  static_cast<int>(index));
+  }
   const pid_t pid = ::fork();
   if (pid == -1) {
     ::close(cmd[0]);
@@ -161,12 +171,9 @@ void CloseSlotFds(WorkerSlot& slot) {
       if (other.cmd_fd != -1) ::close(other.cmd_fd);
       if (other.res_fd != -1) ::close(other.res_fd);
     }
-    if (!pool.options.worker_log_dir.empty()) {
-      const std::string path = StrFormat(
-          "%s/worker-%d.log", pool.options.worker_log_dir.c_str(),
-          static_cast<int>(index));
+    if (!log_path.empty()) {
       const int log_fd =
-          ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+          ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
       if (log_fd != -1) {
         ::dup2(log_fd, 2);
         ::close(log_fd);

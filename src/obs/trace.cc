@@ -69,9 +69,12 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
   if (tls_cache.owner == this && tls_cache.epoch == epoch) {
     return static_cast<ThreadBuffer*>(tls_cache.buffer);
   }
-  auto buffer = std::make_shared<ThreadBuffer>();
+  auto buffer =
+      std::make_shared<ThreadBuffer>();  // lint-ok(hot-path-alloc): once
+                                         // per thread per epoch (TLS miss)
   {
-    MutexLock lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);  // lint-ok(hot-path-alloc): TLS miss
+                                      // only, amortized to zero
     buffer->tid = next_tid_++;
     buffers_.push_back(buffer);
   }
@@ -81,7 +84,8 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
 
 void TraceRecorder::Append(TraceEvent event) {
   ThreadBuffer* buffer = BufferForThisThread();
-  MutexLock lock(buffer->mutex);
+  MutexLock lock(buffer->mutex);  // lint-ok(hot-path-alloc): uncontended
+                                  // per-thread lock; only when tracing is on
   if (buffer->events.size() >=
       max_events_per_thread_.load(std::memory_order_relaxed)) {
     ++buffer->dropped;

@@ -19,10 +19,14 @@ System ApplyMatrixScale(const System& sys, double scale) {
 }
 
 double CalibrationError(const System& sys,
-                        const std::vector<Measurement>& ms) {
+                        const std::vector<Measurement>& ms,
+                        RunContext* ctx) {
   if (ms.empty()) throw ConfigError("calibration needs >= 1 measurement");
   double sum = 0.0;
+  double counted = 0.0;
   for (const Measurement& m : ms) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;
+    counted += 1.0;
     if (m.measured_time <= Seconds(0.0)) {
       throw ConfigError("measured time must be > 0");
     }
@@ -35,13 +39,13 @@ double CalibrationError(const System& sys,
     const double rel = r.value().batch_time / m.measured_time - 1.0;
     sum += rel * rel;
   }
-  return sum / static_cast<double>(ms.size());
+  return counted > 0.0 ? sum / counted : 0.0;
 }
 
 CalibrationResult CalibrateMatrixScale(const System& sys,
                                        const std::vector<Measurement>& ms,
                                        double lo, double hi,
-                                       double tolerance) {
+                                       double tolerance, RunContext* ctx) {
   if (!(lo > 0.0) || !(hi > lo)) throw ConfigError("bad calibration range");
   // Golden-section search: CalibrationError is unimodal in the scale for
   // compute-dominated workloads (time decreases monotonically with scale,
@@ -52,11 +56,13 @@ CalibrationResult CalibrateMatrixScale(const System& sys,
   double c = b - phi * (b - a);
   double d = a + phi * (b - a);
   auto eval = [&](double scale) {
-    return CalibrationError(ApplyMatrixScale(sys, scale), ms);
+    return CalibrationError(ApplyMatrixScale(sys, scale), ms, ctx);
   };
   double fc = eval(c);
   double fd = eval(d);
   while (b - a > tolerance) {
+    // A stopped run keeps the best bracket found so far.
+    if (ctx != nullptr && ctx->ShouldStop()) break;
     if (fc < fd) {
       b = d;
       d = c;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/perf_model.h"
+#include "util/run_context.h"
 
 namespace calculon {
 
@@ -23,9 +24,12 @@ struct Measurement {
 [[nodiscard]] System ApplyMatrixScale(const System& sys, double scale);
 
 // Mean squared relative error of the model on `measurements` (infeasible
-// predictions count as a large penalty).
+// predictions count as a large penalty). When `ctx` is given it is polled
+// between measurements; a stopped run returns the error over the
+// measurements evaluated so far (the caller is abandoning the result).
 [[nodiscard]] double CalibrationError(const System& sys,
-                                      const std::vector<Measurement>& ms);
+                                      const std::vector<Measurement>& ms,
+                                      RunContext* ctx = nullptr);
 
 // Golden-section search for the best matrix scale in [lo, hi].
 struct CalibrationResult {
@@ -34,6 +38,6 @@ struct CalibrationResult {
 };
 [[nodiscard]] CalibrationResult CalibrateMatrixScale(
     const System& sys, const std::vector<Measurement>& ms, double lo = 0.25,
-    double hi = 4.0, double tolerance = 1e-4);
+    double hi = 4.0, double tolerance = 1e-4, RunContext* ctx = nullptr);
 
 }  // namespace calculon

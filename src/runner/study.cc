@@ -267,9 +267,10 @@ std::vector<Execution> Study::Enumerate() const {
   return execs;
 }
 
-std::vector<StudyRow> Study::Run() const {
+std::vector<StudyRow> Study::Run(RunContext* ctx) const {
   std::vector<StudyRow> rows;
   for (const Execution& e : Enumerate()) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;
     rows.emplace_back(e, CalculatePerformance(application, e, system));
   }
   return rows;

@@ -104,8 +104,10 @@ struct Study {
   [[nodiscard]] json::Value ToJson() const;
 
   // Evaluates the full cross product (infeasible rows included, with their
-  // reasons).
-  [[nodiscard]] std::vector<StudyRow> Run() const;
+  // reasons). With a RunContext, polls it between rows and returns the
+  // rows completed so far when the run is stopped; RunResilient() is the
+  // fault-isolated/checkpointed variant.
+  [[nodiscard]] std::vector<StudyRow> Run(RunContext* ctx = nullptr) const;
 
   // The cross product in deterministic enumeration order (the order Run()
   // evaluates); the unit of checkpoint/resume accounting.

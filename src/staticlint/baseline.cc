@@ -87,7 +87,8 @@ BaselineApplication ApplyBaseline(const Baseline& baseline,
   return app;
 }
 
-std::string RenderBaseline(const std::vector<Diagnostic>& findings) {
+std::string RenderBaseline(const std::vector<Diagnostic>& findings,
+                           const std::vector<RuleInfo>& rules) {
   std::string out;
   out += "# calculon-lint baseline: grandfathered findings, one per line.\n";
   out += "# <rule> <path> <fingerprint>  # justification (required)\n";
@@ -95,7 +96,14 @@ std::string RenderBaseline(const std::vector<Diagnostic>& findings) {
   for (const Diagnostic& d : findings) {
     std::string fp = FingerprintHex(d);
     if (!seen.insert(fp).second) continue;
-    out += d.rule + " " + d.path + " " + fp + "  # TODO: justify or fix\n";
+    out += d.rule + " " + d.path + " " + fp + "  # TODO: justify or fix";
+    for (const RuleInfo& r : rules) {
+      if (r.id == d.rule && !r.summary.empty()) {
+        out += " (" + r.summary + ")";
+        break;
+      }
+    }
+    out += "\n";
   }
   return out;
 }

@@ -50,8 +50,11 @@ struct BaselineApplication {
 [[nodiscard]] BaselineApplication ApplyBaseline(
     const Baseline& baseline, const std::vector<Diagnostic>& findings);
 
-// Renders findings in baseline-file syntax (for --update-baseline).
+// Renders findings in baseline-file syntax (for --update-baseline). When
+// `rules` (the rule catalog) is given, each entry's placeholder comment
+// carries the rule's one-line summary so suppressions are self-explanatory.
 [[nodiscard]] std::string RenderBaseline(
-    const std::vector<Diagnostic>& findings);
+    const std::vector<Diagnostic>& findings,
+    const std::vector<RuleInfo>& rules = {});
 
 }  // namespace calculon::staticlint

@@ -24,7 +24,46 @@ namespace {
   return std::string(s.substr(b, e - b + 1));
 }
 
+// GitHub workflow-command values terminate on ',' / '::' and on newlines;
+// percent-escape per the documented convention.
+[[nodiscard]] std::string GithubEscape(std::string_view s, bool property) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '%':
+        out += "%25";
+        break;
+      case '\r':
+        out += "%0D";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      case ',':
+        out += property ? "%2C" : ",";
+        break;
+      case ':':
+        out += property ? "%3A" : ":";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+const char* ToString(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
 
 std::uint64_t Fingerprint(const Diagnostic& d) {
   std::uint64_t h = 14695981039346656037ULL;
@@ -58,6 +97,18 @@ std::string FormatHuman(const Diagnostic& d) {
   return out;
 }
 
+std::string FormatGitHub(const Diagnostic& d) {
+  std::string out = d.severity == Severity::kNote ? "::notice" : "::error";
+  out += " file=" + GithubEscape(d.path, true);
+  if (d.line > 0) {
+    out += ",line=" + std::to_string(d.line);
+    if (d.col > 0) out += ",col=" + std::to_string(d.col);
+  }
+  out += ",title=" + GithubEscape("calculon-lint/" + d.rule, true);
+  out += "::" + GithubEscape(d.message, false);
+  return out;
+}
+
 json::Value ToSarif(const std::vector<RuleInfo>& rules,
                     const std::vector<Diagnostic>& findings) {
   json::Array rule_table;
@@ -77,7 +128,7 @@ json::Value ToSarif(const std::vector<RuleInfo>& rules,
   for (const Diagnostic& d : findings) {
     json::Object result;
     result["ruleId"] = d.rule;
-    result["level"] = "error";
+    result["level"] = d.severity == Severity::kNote ? "note" : "error";
     json::Object message;
     message["text"] = d.message;
     result["message"] = json::Value(message);

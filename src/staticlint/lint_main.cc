@@ -2,10 +2,14 @@
 //
 //   calculon-lint --root <repo> [--baseline FILE] [--sarif FILE]
 //                 [--rules a,b,...] [--jobs N] [--only p1,p2,...]
-//                 [--list-rules] [--update-baseline]
+//                 [--format human|github] [--timing FILE]
+//                 [--timing-baseline FILE] [--list-rules]
+//                 [--update-baseline]
 //
-// Exit codes: 0 clean, 1 non-baselined findings, 2 usage/config error.
+// Exit codes: 0 clean, 1 non-baselined error findings (notes never fail),
+// 2 usage/config error.
 // See docs/correctness.md §6 for the rule catalog and the baseline format.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -37,6 +41,9 @@ struct CliOptions {
   // guard bindings) need it -- only the report is restricted. This is what
   // scripts/lint.sh --changed uses for fast pre-push feedback.
   std::set<std::string> only_paths;
+  std::string format = "human";  // or "github" (workflow annotations)
+  std::string timing_path;       // write per-rule wall-time JSON here
+  std::string timing_baseline;   // gate total time against this JSON
   int jobs = 1;
   bool list_rules = false;
   bool update_baseline = false;
@@ -47,6 +54,8 @@ void PrintUsage() {
   std::cout <<
       "usage: calculon-lint [--root DIR] [--baseline FILE] [--sarif FILE]\n"
       "                     [--rules a,b,...] [--jobs N] [--only p1,p2,...]\n"
+      "                     [--format human|github] [--timing FILE]\n"
+      "                     [--timing-baseline FILE]\n"
       "                     [--list-rules] [--update-baseline] [--verbose]\n"
       "\n"
       "Project-aware static analysis for the calculon repository: layering\n"
@@ -92,6 +101,22 @@ void PrintUsage() {
       while (std::getline(list, one, ',')) {
         if (!one.empty()) out->only_paths.insert(one);
       }
+    } else if (arg == "--format") {
+      const char* v = next("--format");
+      if (v == nullptr) return false;
+      out->format = v;
+      if (out->format != "human" && out->format != "github") {
+        std::cerr << "calculon-lint: --format must be human or github\n";
+        return false;
+      }
+    } else if (arg == "--timing") {
+      const char* v = next("--timing");
+      if (v == nullptr) return false;
+      out->timing_path = v;
+    } else if (arg == "--timing-baseline") {
+      const char* v = next("--timing-baseline");
+      if (v == nullptr) return false;
+      out->timing_baseline = v;
     } else if (arg == "--jobs" || arg == "-j") {
       const char* v = next("--jobs");
       if (v == nullptr) return false;
@@ -149,9 +174,15 @@ int main(int argc, char** argv) {
                                     ? cli.root + "/.calculon-lint-baseline"
                                     : cli.baseline_path;
     if (cli.update_baseline) {
+      // Notes are advisory and never fail a run, so they never need a
+      // baseline entry.
+      std::vector<Diagnostic> errors;
+      for (const Diagnostic& d : result.findings) {
+        if (d.severity == Severity::kError) errors.push_back(d);
+      }
       std::ofstream out(baseline_path, std::ios::binary);
-      out << RenderBaseline(result.findings);
-      std::cout << "calculon-lint: wrote " << result.findings.size()
+      out << RenderBaseline(errors, RuleCatalog());
+      std::cout << "calculon-lint: wrote " << errors.size()
                 << " entries to " << baseline_path << "\n";
       return 0;
     }
@@ -171,9 +202,16 @@ int main(int argc, char** argv) {
                                 ToSarif(RuleCatalog(), app.fresh), 2);
     }
 
+    std::size_t error_count = 0;
     for (const Diagnostic& d : app.fresh) {
-      std::cout << FormatHuman(d) << "\n";
+      if (d.severity == Severity::kError) ++error_count;
+      if (cli.format == "github") {
+        std::cout << FormatGitHub(d) << "\n";
+      } else {
+        std::cout << FormatHuman(d) << "\n";
+      }
     }
+    const std::size_t note_count = app.fresh.size() - error_count;
     if (cli.verbose) {
       for (const Diagnostic& d : app.suppressed) {
         std::cout << "suppressed (baseline): " << FormatHuman(d) << "\n";
@@ -184,8 +222,47 @@ int main(int argc, char** argv) {
                 << e.rule << " " << e.path << " — prune it\n";
     }
 
+    if (!cli.timing_path.empty()) {
+      calculon::json::Object doc;
+      doc["files"] = static_cast<double>(files.size());
+      doc["jobs"] = static_cast<double>(cli.jobs);
+      doc["total_seconds"] = result.total_seconds;
+      calculon::json::Array rules;
+      for (const RuleTiming& t : result.timings) {
+        calculon::json::Object one;
+        one["rule"] = t.rule;
+        one["seconds"] = t.seconds;
+        rules.push_back(calculon::json::Value(one));
+      }
+      doc["rules"] = calculon::json::Value(rules);
+      calculon::json::WriteFile(cli.timing_path,
+                                calculon::json::Value(doc), 2);
+    }
+
+    // Latency gate: the run fails when the rule pass takes more than 2x
+    // the recorded baseline (with an absolute floor so CI machine jitter
+    // on a fast pass cannot trip it).
+    bool timing_failed = false;
+    if (!cli.timing_baseline.empty()) {
+      const calculon::json::Value base =
+          calculon::json::ParseFile(cli.timing_baseline);
+      const double base_total = base.GetDouble("total_seconds", 0.0);
+      const double floor_seconds = base.GetDouble("floor_seconds", 0.0);
+      const double budget = std::max(2.0 * base_total, floor_seconds);
+      if (budget > 0.0 && result.total_seconds > budget) {
+        timing_failed = true;
+        std::cout << "calculon-lint: TIMING GATE FAILED: rule pass took "
+                  << result.total_seconds << "s, budget " << budget
+                  << "s (2x baseline " << base_total << "s, floor "
+                  << floor_seconds << "s); update "
+                  << cli.timing_baseline
+                  << " only if the slowdown is intentional\n";
+      }
+    }
+
     std::cout << "calculon-lint: " << files.size() << " files, "
-              << app.fresh.size() << " finding(s)";
+              << error_count << " finding(s)";
+    if (note_count > 0) std::cout << ", " << note_count << " note(s)";
     if (!app.suppressed.empty()) {
       std::cout << ", " << app.suppressed.size() << " baselined";
     }
@@ -194,7 +271,7 @@ int main(int argc, char** argv) {
                 << (app.stale.size() == 1 ? "y" : "ies");
     }
     std::cout << "\n";
-    return app.fresh.empty() ? 0 : 1;
+    return (error_count == 0 && !timing_failed) ? 0 : 1;
   } catch (const calculon::ConfigError& e) {
     std::cerr << "calculon-lint: " << e.what() << "\n";
     return 2;

@@ -1,0 +1,361 @@
+// The four interprocedural rules built on the whole-repo symbol graph
+// (symbol_graph.h): fork-safety, cancellation-poll, hot-path-alloc, and
+// dead-function. All four share one memoized graph build per tree.
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "staticlint/match.h"
+#include "staticlint/rules.h"
+#include "staticlint/symbol_graph.h"
+
+namespace calculon::staticlint {
+
+namespace {
+
+[[nodiscard]] bool HasPrefix(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+}
+
+[[nodiscard]] SymbolGraphOptions GraphOptions(const ProjectConfig& config) {
+  SymbolGraphOptions o;
+  o.alloc_calls = config.alloc_calls;
+  o.blocking_io_calls = config.blocking_io_calls;
+  o.lock_types = config.lock_types;
+  o.lock_methods = {"lock", "Lock", "lock_shared", "try_lock", "TryLock"};
+  return o;
+}
+
+[[nodiscard]] Diagnostic MakeDiag(const std::string& rule,
+                                  const SourceFile& file, int line,
+                                  std::string message) {
+  Diagnostic d;
+  d.rule = rule;
+  d.path = file.path;
+  d.line = line;
+  d.message = std::move(message);
+  d.excerpt = std::string(LineText(file, line));
+  return d;
+}
+
+// ----------------------------------------------------------- fork-safety
+
+// Classifies an already-analyzed region (the fork child block, or the body
+// of a function reachable from it) and reports what is unsafe about it.
+struct UnsafeOp {
+  int line = 0;
+  std::string what;
+};
+
+void CollectUnsafeOps(const SymbolGraph::RegionInfo& info,
+                      const ProjectConfig& config,
+                      std::vector<UnsafeOp>* out) {
+  for (const SymEvent& e : info.events) {
+    out->push_back(
+        {e.line, std::string(ToString(e.kind)) + " (" + e.what + ")"});
+  }
+  for (const CallSite& c : info.calls) {
+    if (config.fork_unsafe_calls.count(c.name) > 0) {
+      out->push_back({c.line, "call to non-async-signal-safe " + c.name +
+                                  "()"});
+    }
+  }
+}
+
+}  // namespace
+
+// From each `::fork()` site, the child-side region (the `pid == 0` block)
+// must stay async-signal-safe until it enters the worker loop: no lock
+// acquisition (the parent's threads may hold the mutex forever in the
+// child), no heap allocation (the allocator lock has the same problem),
+// and nothing on the deny-list. Resolved calls are traversed transitively,
+// stopping at the configured worker-entry names; unresolved calls are only
+// checked against the deny-list.
+void CheckForkSafety(const std::vector<SourceFile>& files,
+                     const ProjectConfig& config,
+                     std::vector<Diagnostic>* out) {
+  auto graph = GetSymbolGraph(files, GraphOptions(config));
+
+  for (const SourceFile& file : files) {
+    if (!config.InLayerRoot(file.path) || config.IsExempt(file.path)) {
+      continue;
+    }
+    SigTokens sig(file);
+    for (std::size_t i = 0; i + 1 < sig.size(); ++i) {
+      if (!sig.Is(i, "fork") || !sig.Is(i + 1, "(")) continue;
+      if (i > 0 && !sig.Is(i - 1, "::")) continue;  // only the syscall
+      const int fork_line = sig[i].line;
+
+      // The child side is the next `if (...)` whose condition compares the
+      // fork result against 0 (`pid == 0` / `0 == pid`).
+      std::size_t child_begin = kNpos;
+      std::size_t child_end = kNpos;
+      for (std::size_t j = i + 1; j < sig.size() && j < i + 400; ++j) {
+        if (!sig.Is(j, "if") || !sig.Is(j + 1, "(")) continue;
+        std::size_t close = FindMatching(sig, j + 1);
+        if (close == kNpos) break;
+        // `pid == 0` / `0 == pid`; the lexer keeps '=' '=' separate.
+        bool compares_zero = false;
+        for (std::size_t k = j + 2; k + 1 < close; ++k) {
+          if (sig.Is(k, "=") && sig.Is(k + 1, "=") &&
+              (sig.Is(k + 2, "0") || (k > j + 2 && sig.Is(k - 1, "0")))) {
+            compares_zero = true;
+            break;
+          }
+        }
+        if (!compares_zero) continue;
+        if (!sig.Is(close + 1, "{")) break;
+        child_begin = close + 1;
+        child_end = FindMatching(sig, child_begin);
+        break;
+      }
+      if (child_begin == kNpos || child_end == kNpos) continue;
+
+      // Resolve the enclosing method so bare calls in the child block see
+      // the right class.
+      std::string enclosing_class;
+      int fn_id = graph->EnclosingFunction(
+          static_cast<int>(&file - files.data()), i);
+      if (fn_id >= 0) enclosing_class = graph->function(fn_id).class_name;
+
+      SymbolGraph::RegionInfo child =
+          graph->AnalyzeRegion(sig, child_begin, child_end, enclosing_class);
+
+      // Direct violations in the child block itself.
+      std::vector<UnsafeOp> ops;
+      CollectUnsafeOps(child, config, &ops);
+      for (const UnsafeOp& op : ops) {
+        out->push_back(MakeDiag(
+            "fork-safety", file, op.line,
+            "fork() child (forked on line " + std::to_string(fork_line) +
+                ") performs " + op.what +
+                " before entering the worker loop"));
+      }
+
+      // Transitive violations through resolved calls, stopping at the
+      // worker-loop entry.
+      std::vector<int> roots;
+      for (const CallSite& c : child.calls) {
+        if (config.fork_child_entry.count(c.name) > 0) continue;
+        roots.insert(roots.end(), c.targets.begin(), c.targets.end());
+      }
+      if (roots.empty()) continue;
+      Reachability reach = graph->Reach(roots, config.fork_child_entry);
+      for (std::size_t id = 0; id < graph->functions().size(); ++id) {
+        if (!reach.reachable[id]) continue;
+        const FunctionSym& fn = graph->function(static_cast<int>(id));
+        std::vector<UnsafeOp> fn_ops;
+        SymbolGraph::RegionInfo info;
+        info.calls = fn.calls;
+        info.events = fn.events;
+        CollectUnsafeOps(info, config, &fn_ops);
+        if (fn_ops.empty()) continue;
+        const std::string path =
+            graph->RenderPath(reach.PathTo(static_cast<int>(id)));
+        for (const UnsafeOp& op : fn_ops) {
+          out->push_back(MakeDiag(
+              "fork-safety", file, fork_line,
+              "fork() child transitively performs " + op.what + " via " +
+                  path + " (" + fn.Display() + " line " +
+                  std::to_string(op.line) + ")"));
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ cancellation-poll
+
+// Outermost loops in the sweep layers whose body (transitively) calls the
+// performance model must also (transitively) reach a RunContext poll, so a
+// Ctrl-C or deadline can interrupt the sweep between candidates.
+void CheckCancellationPoll(const std::vector<SourceFile>& files,
+                           const ProjectConfig& config,
+                           std::vector<Diagnostic>* out) {
+  auto graph = GetSymbolGraph(files, GraphOptions(config));
+  const std::vector<bool> reaches_eval =
+      graph->ReachesCallNamed(config.eval_functions);
+  const std::vector<bool> reaches_poll =
+      graph->ReachesCallNamed(config.cancel_poll_calls);
+
+  auto region_has = [&](const SymbolGraph::RegionInfo& info,
+                        const std::set<std::string>& names,
+                        const std::vector<bool>& closure) {
+    for (const CallSite& c : info.calls) {
+      if (names.count(c.name) > 0) return true;
+      for (int t : c.targets) {
+        if (closure[static_cast<std::size_t>(t)]) return true;
+      }
+    }
+    return false;
+  };
+
+  for (const SourceFile& file : files) {
+    bool in_scope = false;
+    for (const std::string& prefix : config.cancel_scope_prefixes) {
+      if (HasPrefix(file.path, prefix)) in_scope = true;
+    }
+    if (!in_scope || config.IsExempt(file.path)) continue;
+
+    SigTokens sig(file);
+    const int file_index = static_cast<int>(&file - files.data());
+    // Outermost loops only: a poll anywhere inside the outer loop body
+    // keeps every nesting level interruptible between candidates.
+    std::size_t i = 0;
+    while (i < sig.size()) {
+      std::size_t body_begin = kNpos;
+      if ((sig.Is(i, "for") || sig.Is(i, "while")) && sig.Is(i + 1, "(")) {
+        std::size_t close = FindMatching(sig, i + 1);
+        if (close != kNpos && sig.Is(close + 1, "{")) {
+          body_begin = close + 1;
+        }
+      } else if (sig.Is(i, "do") && sig.Is(i + 1, "{")) {
+        body_begin = i + 1;
+      }
+      if (body_begin == kNpos) {
+        ++i;
+        continue;
+      }
+      std::size_t body_end = FindMatching(sig, body_begin);
+      if (body_end == kNpos) {
+        ++i;
+        continue;
+      }
+      const int loop_line = sig[i].line;
+      std::string enclosing_class;
+      int fn_id = graph->EnclosingFunction(file_index, i);
+      if (fn_id >= 0) enclosing_class = graph->function(fn_id).class_name;
+
+      SymbolGraph::RegionInfo body =
+          graph->AnalyzeRegion(sig, body_begin, body_end, enclosing_class);
+      const bool evals =
+          region_has(body, config.eval_functions, reaches_eval);
+      const bool polls =
+          region_has(body, config.cancel_poll_calls, reaches_poll);
+      if (evals && !polls) {
+        out->push_back(MakeDiag(
+            "cancellation-poll", file, loop_line,
+            "loop evaluates the performance model but never polls "
+            "RunContext (ShouldStop/deadline); long sweeps become "
+            "uninterruptible"));
+      }
+      i = body_end + 1;  // inner loops are covered by the outer check
+    }
+  }
+}
+
+// --------------------------------------------------------- hot-path-alloc
+
+// Functions reachable from the per-candidate sweep roots may not allocate
+// or perform blocking I/O: the inner loop runs once per (t, p, d, mbs)
+// candidate, i.e. millions of times per study.
+void CheckHotPathAlloc(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out) {
+  auto graph = GetSymbolGraph(files, GraphOptions(config));
+
+  std::vector<int> roots;
+  for (const std::string& name : config.hot_path_roots) {
+    const std::vector<int> ids = graph->Lookup(name);
+    roots.insert(roots.end(), ids.begin(), ids.end());
+  }
+  if (roots.empty()) return;
+  Reachability reach = graph->Reach(roots);
+
+  for (std::size_t id = 0; id < graph->functions().size(); ++id) {
+    if (!reach.reachable[id]) continue;
+    const FunctionSym& fn = graph->function(static_cast<int>(id));
+    if (fn.file < 0 ||
+        static_cast<std::size_t>(fn.file) >= files.size()) {
+      continue;
+    }
+    const SourceFile& file = files[static_cast<std::size_t>(fn.file)];
+    if (!config.InLayerRoot(file.path) || config.IsExempt(file.path)) {
+      continue;
+    }
+    for (const SymEvent& e : fn.events) {
+      std::string via;
+      const std::vector<int> path = reach.PathTo(static_cast<int>(id));
+      if (path.size() > 1) via = " (reached via " + graph->RenderPath(path) +
+                                 ")";
+      out->push_back(MakeDiag(
+          "hot-path-alloc", file, e.line,
+          fn.Display() + " is on the per-candidate sweep path but performs " +
+              std::string(ToString(e.kind)) + " (" + e.what + ")" + via));
+    }
+  }
+}
+
+// ---------------------------------------------------------- dead-function
+
+// Free functions in library code that no entry point reaches and no other
+// file mentions. Advisory only (SARIF note): token-level liveness cannot
+// see address-taken or macro-generated uses with certainty, so this never
+// fails a build.
+void CheckDeadFunction(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out) {
+  auto graph = GetSymbolGraph(files, GraphOptions(config));
+
+  // Roots: main()s and CLI/example/bench functions, plus every method —
+  // virtual dispatch and object lifetimes are beyond a token-level graph,
+  // so methods are presumed live and only free functions are judged.
+  std::vector<int> roots;
+  for (std::size_t id = 0; id < graph->functions().size(); ++id) {
+    const FunctionSym& fn = graph->function(static_cast<int>(id));
+    const std::string& path =
+        files[static_cast<std::size_t>(fn.file)].path;
+    const bool entry_tree = !config.InLayerRoot(path) || config.IsCli(path);
+    if (fn.is_method || fn.name == "main" || entry_tree) {
+      roots.push_back(static_cast<int>(id));
+    }
+  }
+  Reachability reach = graph->Reach(roots);
+
+  for (std::size_t id = 0; id < graph->functions().size(); ++id) {
+    if (reach.reachable[id]) continue;
+    const FunctionSym& fn = graph->function(static_cast<int>(id));
+    if (fn.is_method || !fn.has_body || fn.name == "main") continue;
+    const SourceFile& file = files[static_cast<std::size_t>(fn.file)];
+    if (!config.InLayerRoot(file.path) || config.IsCli(file.path) ||
+        config.IsExempt(file.path)) {
+      continue;
+    }
+    // Call-graph unreachability is necessary but not sufficient: the name
+    // may still appear as a function pointer, template argument, or in a
+    // file the call resolver could not connect. Count identifier
+    // occurrences outside this symbol's own declaration/definition lines;
+    // any hit means "referenced somewhere", so stay silent.
+    bool referenced = false;
+    for (const SourceFile& other : files) {
+      for (const Token& tok : other.tokens) {
+        if (tok.kind != TokKind::kIdent || tok.text != fn.name) continue;
+        if (&other == &file) {
+          bool own = false;
+          for (int fid : graph->Lookup(fn.name)) {
+            const FunctionSym& sibling = graph->function(fid);
+            if (sibling.file != fn.file) continue;
+            const int last = sibling.has_body ? sibling.body_end_line
+                                              : sibling.line;
+            if (tok.line >= sibling.line && tok.line <= last) own = true;
+          }
+          if (own) continue;
+        }
+        referenced = true;
+        break;
+      }
+      if (referenced) break;
+    }
+    if (referenced) continue;
+    Diagnostic d = MakeDiag(
+        "dead-function", file, fn.line,
+        "free function " + fn.name +
+            "() is unreachable from every CLI/example/bench entry point "
+            "and unreferenced elsewhere in the tree");
+    d.severity = Severity::kNote;
+    out->push_back(std::move(d));
+  }
+}
+
+}  // namespace calculon::staticlint

@@ -1,6 +1,7 @@
 #include "staticlint/rules.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <iterator>
 
@@ -181,6 +182,32 @@ const std::vector<Rule>& Registry() {
         "same-line // lint-ok(unannotated-shared): why stating its "
         "publication discipline."},
        &CheckUnannotatedShared},
+      {{"fork-safety",
+        "fork() child region reaches a non-async-signal-safe operation",
+        "Between fork() and the worker-loop entry only async-signal-safe "
+        "calls are allowed: hoist formatting/allocation before the fork, "
+        "or move the work past the worker entry point."},
+       &CheckForkSafety},
+      {{"cancellation-poll",
+        "evaluation loop never polls RunContext for cancellation",
+        "Loops that call the performance model must check "
+        "RunContext::ShouldStop() (or a deadline) each iteration so "
+        "sweeps stay interruptible; suppress a false positive with "
+        "// lint-ok(cancellation-poll): why."},
+       &CheckCancellationPoll},
+      {{"hot-path-alloc",
+        "per-candidate sweep path allocates or blocks on I/O",
+        "The exec-search inner loop runs millions of times; keep "
+        "allocation and file I/O out of functions reachable from it, or "
+        "annotate a measured-and-accepted site with "
+        "// lint-ok(hot-path-alloc): why."},
+       &CheckHotPathAlloc},
+      {{"dead-function",
+        "exported free function unreachable from any entry point",
+        "Informational (SARIF note): the function is not referenced from "
+        "CLI/example/bench roots or anywhere else in the tree; delete it "
+        "or wire it up."},
+       &CheckDeadFunction},
   };
   return kRules;
 }
@@ -204,19 +231,27 @@ LintResult RunLint(const std::vector<SourceFile>& files,
   }
 
   // Each rule writes its own bucket; buckets merge in registry order so the
-  // result is independent of scheduling.
+  // result is independent of scheduling. Per-rule wall time feeds the CI
+  // latency gate (--timing); under --jobs it is each rule's own clock, so
+  // the per-rule numbers stay meaningful even when the total is smaller.
+  const auto run_start = std::chrono::steady_clock::now();
   std::vector<std::vector<Diagnostic>> buckets(selected.size());
+  std::vector<double> rule_seconds(selected.size(), 0.0);
+  auto run_one = [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    selected[i]->fn(files, config, &buckets[i]);
+    rule_seconds[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  };
   if (options.jobs > 1 && selected.size() > 1) {
     const std::size_t workers = std::min<std::size_t>(
         static_cast<std::size_t>(options.jobs), selected.size());
     ThreadPool pool(static_cast<unsigned>(workers));
-    pool.ParallelFor(selected.size(), [&](std::uint64_t i) {
-      selected[i]->fn(files, config, &buckets[i]);
-    });
+    pool.ParallelFor(selected.size(),
+                     [&](std::uint64_t i) { run_one(i); });
   } else {
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-      selected[i]->fn(files, config, &buckets[i]);
-    }
+    for (std::size_t i = 0; i < selected.size(); ++i) run_one(i);
   }
   std::vector<Diagnostic> all;
   for (std::vector<Diagnostic>& bucket : buckets) {
@@ -230,6 +265,13 @@ LintResult RunLint(const std::vector<SourceFile>& files,
     suppressions[f.path] = SuppressionsByLine(f);
   }
   LintResult result;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    result.timings.push_back({selected[i]->info.id, rule_seconds[i]});
+  }
+  result.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
   for (Diagnostic& d : all) {
     auto file_it = suppressions.find(d.path);
     if (file_it != suppressions.end()) {

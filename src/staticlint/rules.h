@@ -63,6 +63,39 @@ struct ProjectConfig {
                                       "unique_lock", "scoped_lock",
                                       "shared_lock"};
 
+  // --- Call-graph rules (rule_callgraph.cc) ---
+
+  // fork-safety: names that are not async-signal-safe and must not appear
+  // (directly or through resolved calls) on the child side of ::fork()
+  // before the worker-loop entry.
+  std::set<std::string> fork_unsafe_calls = {
+      "StrFormat", "printf", "fprintf", "puts",   "fputs",
+      "exit",      "fopen",  "malloc",  "free",   "strsignal"};
+  // Call names that end the child-side analysis region: the worker loop
+  // establishes its own arena/discipline, so traversal stops there.
+  std::set<std::string> fork_child_entry = {"WorkerMain"};
+
+  // cancellation-poll: loops in these layers that transitively reach an
+  // evaluation function must also reach a poll call.
+  std::vector<std::string> cancel_scope_prefixes = {
+      "src/search/", "src/runner/", "src/analysis/"};
+  std::set<std::string> eval_functions = {"CalculatePerformance"};
+  std::set<std::string> cancel_poll_calls = {"ShouldStop", "Cancelled",
+                                             "cancelled", "CheckDeadline"};
+
+  // hot-path-alloc: functions reachable from these roots may not allocate
+  // or block on I/O.
+  std::set<std::string> hot_path_roots = {"SweepTripleInto"};
+  // Callees counted as heap allocation / blocking I/O by the body scanner
+  // (`new` is detected directly).
+  std::set<std::string> alloc_calls = {"malloc",      "calloc",
+                                       "realloc",     "strdup",
+                                       "make_unique", "make_shared"};
+  std::set<std::string> blocking_io_calls = {
+      "fopen",    "fread",   "fwrite", "fgets",  "fscanf",    "getline",
+      "system",   "popen",   "sleep",  "usleep", "nanosleep", "ifstream",
+      "ofstream", "fstream", "sleep_for"};
+
   [[nodiscard]] static ProjectConfig Default();
 
   [[nodiscard]] bool InLayerRoot(const std::string& path) const;
@@ -95,8 +128,16 @@ struct LintOptions {
   int jobs = 1;
 };
 
+// Wall time of one rule's run, for the CI latency gate (--timing).
+struct RuleTiming {
+  std::string rule;
+  double seconds = 0.0;
+};
+
 struct LintResult {
   std::vector<Diagnostic> findings;  // sorted by path, line, rule
+  std::vector<RuleTiming> timings;   // registry order; one entry per rule run
+  double total_seconds = 0.0;        // wall time of the whole rule pass
 };
 
 // Runs every (selected) rule over the tree and applies inline
@@ -151,6 +192,18 @@ void CheckLockOrder(const std::vector<SourceFile>& files,
 void CheckUnannotatedShared(const std::vector<SourceFile>& files,
                             const ProjectConfig& config,
                             std::vector<Diagnostic>* out);
+void CheckForkSafety(const std::vector<SourceFile>& files,
+                     const ProjectConfig& config,
+                     std::vector<Diagnostic>* out);
+void CheckCancellationPoll(const std::vector<SourceFile>& files,
+                           const ProjectConfig& config,
+                           std::vector<Diagnostic>* out);
+void CheckHotPathAlloc(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out);
+void CheckDeadFunction(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out);
 
 // Shared by the result/quantity rules and exposed for tests: the names of
 // functions whose declared return type is Result<...> (or a quantity type),

@@ -1,0 +1,529 @@
+#include "staticlint/symbol_graph.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <utility>
+
+#include "staticlint/decl_model.h"
+
+namespace calculon::staticlint {
+
+namespace {
+
+// Identifiers that look like calls (`name (`) but never are.
+[[nodiscard]] bool IsNonCallKeyword(std::string_view t) {
+  static const std::set<std::string_view> kKeywords = {
+      "if",          "for",         "while",       "switch",
+      "return",      "sizeof",      "alignof",     "alignas",
+      "decltype",    "catch",       "new",         "delete",
+      "throw",       "do",          "else",        "case",
+      "goto",        "static_cast", "dynamic_cast", "reinterpret_cast",
+      "const_cast",  "static_assert", "noexcept",  "typeid",
+      "co_await",    "co_return",   "co_yield",    "operator",
+      "defined"};
+  return kKeywords.count(t) > 0;
+}
+
+// Identifiers the namespace-scope scanner must never index as functions.
+[[nodiscard]] bool IsNonDeclKeyword(std::string_view t) {
+  return IsNonCallKeyword(t) || t == "using" || t == "typedef" ||
+         t == "template" || t == "typename" || t == "public" ||
+         t == "private" || t == "protected" || t == "friend";
+}
+
+[[nodiscard]] std::uint64_t Fnv1a(std::uint64_t h, std::string_view s) {
+  for (char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] std::uint64_t FnvMix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* ToString(SymEventKind kind) {
+  switch (kind) {
+    case SymEventKind::kHeapAlloc:
+      return "heap allocation";
+    case SymEventKind::kLockAcquire:
+      return "lock acquisition";
+    case SymEventKind::kBlockingIo:
+      return "blocking I/O";
+  }
+  return "?";
+}
+
+SymbolGraph SymbolGraph::Build(const std::vector<SourceFile>& files,
+                               const SymbolGraphOptions& options) {
+  SymbolGraph g;
+  g.options_ = options;
+
+  // One SigTokens per file, alive only for the duration of the build: the
+  // finished graph carries no views into the tree.
+  std::vector<SigTokens> sigs;
+  sigs.reserve(files.size());
+  for (const SourceFile& f : files) sigs.emplace_back(f);
+
+  // Pass 1: methods through the declaration model (which also yields the
+  // class-name set the type resolver needs), then namespace-scope free
+  // functions through the token scanner.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    g.IndexMethods(files[i], static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    g.IndexFreeFunctions(sigs[i], static_cast<int>(i));
+  }
+  for (std::size_t id = 0; id < g.functions_.size(); ++id) {
+    g.by_name_[g.functions_[id].name].push_back(static_cast<int>(id));
+  }
+
+  // Pass 2: scan every body for call sites and events, resolved against
+  // the completed index.
+  for (FunctionSym& fn : g.functions_) {
+    if (!fn.has_body) continue;
+    const SigTokens& sig = sigs[static_cast<std::size_t>(fn.file)];
+    if (fn.body_begin >= sig.size() || fn.body_end >= sig.size()) continue;
+    g.ScanRegion(sig, fn.body_begin, fn.body_end, fn.class_name, &fn.calls,
+                 &fn.events);
+  }
+  return g;
+}
+
+void SymbolGraph::IndexMethods(const SourceFile& file, int file_index) {
+  FileDeclModel model = BuildFileDeclModel(file);
+  auto add = [&](const std::string& class_name, const MethodDecl& m) {
+    FunctionSym sym;
+    sym.name = m.name;
+    sym.class_name = class_name;
+    sym.file = file_index;
+    sym.line = m.line;
+    sym.is_method = true;
+    if (m.body_begin != kNpos && m.body_end != kNpos &&
+        m.body_end < model.sig.size()) {
+      sym.has_body = true;
+      sym.body_begin = m.body_begin;
+      sym.body_end = m.body_end;
+      sym.body_end_line = model.sig[m.body_end].line;
+    }
+    functions_.push_back(std::move(sym));
+  };
+  for (const ClassDecl& cls : model.classes) {
+    class_names_.insert(cls.name);
+    for (const MethodDecl& m : cls.methods) add(cls.name, m);
+  }
+  for (const OutOfLineDef& def : model.out_of_line) {
+    add(def.class_name, def.method);
+  }
+}
+
+// Namespace-scope scan: descends into namespaces, jumps over class/struct/
+// enum bodies (the declaration model owns those) and over every function
+// body it records, so what remains is exactly the namespace-scope
+// declarations. Ambiguous constructs are skipped, never guessed at.
+void SymbolGraph::IndexFreeFunctions(const SigTokens& sig, int file_index) {
+  const std::size_t n = sig.size();
+  std::size_t i = 0;
+  while (i < n) {
+    std::string_view t = sig[i].text;
+    if (t == "namespace") {
+      // `namespace a::b {` / `namespace {`: descend. Alias / using: skip.
+      std::size_t j = i + 1;
+      while (j < n && (sig.IsIdent(j) || sig.Is(j, "::"))) ++j;
+      if (sig.Is(j, "{")) {
+        i = j + 1;  // descend
+      } else {
+        while (j < n && !sig.Is(j, ";")) ++j;
+        i = j + 1;
+      }
+      continue;
+    }
+    if (t == "class" || t == "struct" || t == "union" || t == "enum") {
+      // Skip to the body (jump it) or the ';' of a forward declaration.
+      std::size_t j = i + 1;
+      while (j < n && !sig.Is(j, "{") && !sig.Is(j, ";")) {
+        if (sig.Is(j, "(") || sig.Is(j, "<") || sig.Is(j, "[")) {
+          std::size_t m = FindMatching(sig, j);
+          if (m == kNpos) break;
+          j = m + 1;
+        } else {
+          ++j;
+        }
+      }
+      if (sig.Is(j, "{")) {
+        std::size_t m = FindMatching(sig, j);
+        i = m == kNpos ? j + 1 : m + 1;
+      } else {
+        i = j + 1;
+      }
+      continue;
+    }
+    if (!sig.IsIdent(i) || IsNonDeclKeyword(t)) {
+      ++i;
+      continue;
+    }
+    // Qualified names (`Class::Method`, `std::vector<...>`) belong to the
+    // declaration model or are type spellings; skip the pieces.
+    if (sig.Is(i + 1, "::") || (i > 0 && sig.Is(i - 1, "::"))) {
+      ++i;
+      continue;
+    }
+    if (!sig.Is(i + 1, "(")) {
+      ++i;
+      continue;
+    }
+    // `name (`: candidate declaration/definition. Exclude expression
+    // contexts (namespace-scope initializers, macro arguments).
+    if (i > 0) {
+      std::string_view prev = sig[i - 1].text;
+      if (prev == "=" || prev == "(" || prev == "," || prev == ":" ||
+          prev == "." || prev == "->" || prev == "return") {
+        ++i;
+        continue;
+      }
+    }
+    std::size_t close = FindMatching(sig, i + 1);
+    if (close == kNpos) {
+      ++i;
+      continue;
+    }
+    // Classify what follows the parameter list: '{' = definition, ';' (or
+    // `= default/delete`) = declaration, anything surprising = not a
+    // function at all.
+    std::size_t k = close + 1;
+    bool is_def = false;
+    bool is_decl = false;
+    for (int guard = 0; k < n && guard < 40; ++guard) {
+      if (sig.Is(k, "{")) {
+        is_def = true;
+        break;
+      }
+      if (sig.Is(k, ";")) {
+        is_decl = true;
+        break;
+      }
+      if (sig.Is(k, "=")) {
+        is_decl = sig.Is(k + 1, "default") || sig.Is(k + 1, "delete");
+        break;
+      }
+      std::string_view kt = sig[k].text;
+      if (kt == "const" || kt == "noexcept" || kt == "override" ||
+          kt == "final" || kt == "->" || kt == "::" || kt == "*" ||
+          kt == "&" || kt == "&&" || sig.IsIdent(k)) {
+        if (kt == "noexcept" && sig.Is(k + 1, "(")) {
+          std::size_t m = FindMatching(sig, k + 1);
+          if (m == kNpos) break;
+          k = m + 1;
+        } else {
+          ++k;
+        }
+        continue;
+      }
+      if (sig.Is(k, "<") || sig.Is(k, "[") || sig.Is(k, "(")) {
+        std::size_t m = FindMatching(sig, k);
+        if (m == kNpos) break;
+        k = m + 1;
+        continue;
+      }
+      break;
+    }
+    if (!is_def && !is_decl) {
+      ++i;
+      continue;
+    }
+    FunctionSym sym;
+    sym.name = std::string(t);
+    sym.file = file_index;
+    sym.line = sig[i].line;
+    if (is_def) {
+      std::size_t body_end = FindMatching(sig, k);
+      if (body_end != kNpos) {
+        sym.has_body = true;
+        sym.body_begin = k;
+        sym.body_end = body_end;
+        sym.body_end_line = sig[body_end].line;
+        functions_.push_back(std::move(sym));
+        i = body_end + 1;  // jump the body (lambdas inside stay invisible)
+        continue;
+      }
+    }
+    functions_.push_back(std::move(sym));
+    i = close + 1;
+  }
+}
+
+void SymbolGraph::ScanRegion(const SigTokens& sig, std::size_t begin,
+                             std::size_t end,
+                             const std::string& enclosing_class,
+                             std::vector<CallSite>* calls,
+                             std::vector<SymEvent>* events) const {
+  if (begin >= sig.size() || end > sig.size() || begin >= end) return;
+
+  // Local/parameter types: `Type [<...>] [*&const]* name`, where Type is a
+  // known class. Unresolvable receivers stay unknown (-> external calls).
+  std::map<std::string, std::string> var_types;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!sig.IsIdent(i)) continue;
+    if (class_names_.count(std::string(sig[i].text)) == 0) continue;
+    std::size_t j = i + 1;
+    if (sig.Is(j, "<")) {
+      std::size_t m = FindMatching(sig, j);
+      if (m == kNpos) continue;
+      j = m + 1;
+    }
+    while (sig.Is(j, "&") || sig.Is(j, "*") || sig.Is(j, "const")) ++j;
+    if (!sig.IsIdent(j) || j >= end) continue;
+    if (sig.Is(j + 1, "=") || sig.Is(j + 1, ";") || sig.Is(j + 1, "(") ||
+        sig.Is(j + 1, ")") || sig.Is(j + 1, ",") || sig.Is(j + 1, "{") ||
+        sig.Is(j + 1, ":")) {
+      var_types[std::string(sig[j].text)] = std::string(sig[i].text);
+    }
+  }
+
+  auto free_functions_named = [&](const std::string& name) {
+    std::vector<int> ids;
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) return ids;
+    for (int id : it->second) {
+      if (functions_[static_cast<std::size_t>(id)].class_name.empty()) {
+        ids.push_back(id);
+      }
+    }
+    return ids;
+  };
+  auto methods_of = [&](const std::string& cls, const std::string& name) {
+    std::vector<int> ids;
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) return ids;
+    for (int id : it->second) {
+      if (functions_[static_cast<std::size_t>(id)].class_name == cls) {
+        ids.push_back(id);
+      }
+    }
+    return ids;
+  };
+
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    const Token& tok = sig[i];
+    if (tok.kind != TokKind::kIdent) continue;
+    std::string_view t = tok.text;
+
+    if (t == "new" && !(i > 0 && sig.Is(i - 1, "operator"))) {
+      events->push_back({SymEventKind::kHeapAlloc, tok.line, "new"});
+      continue;
+    }
+    if (IsNonCallKeyword(t)) continue;
+    // `new T(...)` / `(int)(x)`-style constructions: T is a type spelling,
+    // not a call (the `new` itself was already recorded above).
+    if (i > 0 && sig.Is(i - 1, "new")) continue;
+    const std::string name(t);
+
+    // RAII lock-holder construction: `MutexLock lock(mu)` / `{mu}`.
+    if (options_.lock_types.count(name) > 0 && sig.IsIdent(i + 1) &&
+        (sig.Is(i + 2, "(") || sig.Is(i + 2, "{"))) {
+      events->push_back({SymEventKind::kLockAcquire, tok.line, name});
+      continue;
+    }
+    // Blocking-stream construction: `std::ifstream in(path)`.
+    if (options_.blocking_io_calls.count(name) > 0 && sig.IsIdent(i + 1)) {
+      events->push_back({SymEventKind::kBlockingIo, tok.line, name});
+      continue;
+    }
+
+    // Call shapes: `name (` and `name <...> (`.
+    bool is_call = sig.Is(i + 1, "(");
+    if (!is_call && sig.Is(i + 1, "<")) {
+      std::size_t m = FindMatching(sig, i + 1);
+      is_call = m != kNpos && sig.Is(m + 1, "(");
+    }
+    if (!is_call) continue;
+
+    CallSite c;
+    c.name = name;
+    c.line = tok.line;
+    bool method_call = false;
+    bool global_qualified = false;
+    bool ns_qualified = false;
+    if (i >= 1 && sig.Is(i - 1, "::")) {
+      if (i >= 2 && sig.IsIdent(i - 2)) {
+        c.qualifier = std::string(sig[i - 2].text);
+        ns_qualified = true;
+      } else {
+        global_qualified = true;  // `::fork(...)`
+      }
+    } else if (i >= 2 && (sig.Is(i - 1, ".") || sig.Is(i - 1, "->"))) {
+      method_call = true;
+      if (sig.IsIdent(i - 2)) {
+        auto it = var_types.find(std::string(sig[i - 2].text));
+        if (it != var_types.end()) c.qualifier = it->second;
+      }
+    }
+
+    // Events keyed on the callee name.
+    if (options_.alloc_calls.count(name) > 0) {
+      events->push_back({SymEventKind::kHeapAlloc, tok.line, name});
+    } else if (options_.blocking_io_calls.count(name) > 0) {
+      events->push_back({SymEventKind::kBlockingIo, tok.line, name});
+    } else if (method_call && options_.lock_methods.count(name) > 0) {
+      events->push_back({SymEventKind::kLockAcquire, tok.line, name});
+    }
+
+    // Resolution (overload collapse: every candidate becomes a target).
+    if (method_call) {
+      if (!c.qualifier.empty()) c.targets = methods_of(c.qualifier, name);
+    } else if (ns_qualified) {
+      if (class_names_.count(c.qualifier) > 0) {
+        c.targets = methods_of(c.qualifier, name);  // Class::StaticFn
+      } else if (c.qualifier != "std") {
+        c.targets = free_functions_named(name);  // namespace qualifier
+      }
+    } else if (global_qualified) {
+      c.targets = free_functions_named(name);  // `::close` -> none -> ext
+    } else {
+      if (!enclosing_class.empty()) {
+        c.targets = methods_of(enclosing_class, name);
+      }
+      if (c.targets.empty()) c.targets = free_functions_named(name);
+    }
+    c.external = c.targets.empty();
+    calls->push_back(std::move(c));
+  }
+}
+
+std::vector<int> SymbolGraph::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? std::vector<int>() : it->second;
+}
+
+Reachability SymbolGraph::Reach(
+    const std::vector<int>& roots,
+    const std::set<std::string>& stop_names) const {
+  std::vector<std::vector<int>> adj(functions_.size());
+  for (std::size_t id = 0; id < functions_.size(); ++id) {
+    for (const CallSite& c : functions_[id].calls) {
+      if (stop_names.count(c.name) > 0) continue;
+      adj[id].insert(adj[id].end(), c.targets.begin(), c.targets.end());
+    }
+  }
+  return ReachableFrom(adj, roots);
+}
+
+std::vector<bool> SymbolGraph::ReachesCallNamed(
+    const std::set<std::string>& names) const {
+  std::vector<std::vector<int>> reverse(functions_.size());
+  std::vector<int> roots;
+  for (std::size_t id = 0; id < functions_.size(); ++id) {
+    bool direct = false;
+    for (const CallSite& c : functions_[id].calls) {
+      if (names.count(c.name) > 0) direct = true;
+      for (int t : c.targets) {
+        reverse[static_cast<std::size_t>(t)].push_back(
+            static_cast<int>(id));
+      }
+    }
+    if (direct) roots.push_back(static_cast<int>(id));
+  }
+  return ReachableFrom(reverse, roots).reachable;
+}
+
+SymbolGraph::RegionInfo SymbolGraph::AnalyzeRegion(
+    const SigTokens& sig, std::size_t begin, std::size_t end,
+    const std::string& enclosing_class) const {
+  RegionInfo info;
+  ScanRegion(sig, begin, end, enclosing_class, &info.calls, &info.events);
+  return info;
+}
+
+std::string SymbolGraph::RenderPath(const std::vector<int>& path) const {
+  std::string out;
+  for (int id : path) {
+    if (!out.empty()) out += " -> ";
+    out += functions_[static_cast<std::size_t>(id)].Display();
+  }
+  return out;
+}
+
+int SymbolGraph::EnclosingFunction(int file_index,
+                                   std::size_t sig_index) const {
+  int best = -1;
+  std::size_t best_span = static_cast<std::size_t>(-1);
+  for (std::size_t id = 0; id < functions_.size(); ++id) {
+    const FunctionSym& fn = functions_[id];
+    if (fn.file != file_index || !fn.has_body) continue;
+    if (sig_index < fn.body_begin || sig_index > fn.body_end) continue;
+    const std::size_t span = fn.body_end - fn.body_begin;
+    if (span < best_span) {
+      best_span = span;
+      best = static_cast<int>(id);
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------- cache
+
+namespace {
+
+// Content hash of the tree + options. The graph is self-contained, so a
+// hit is valid even if the vector that built the cached entry is gone.
+[[nodiscard]] std::uint64_t GraphKey(const std::vector<SourceFile>& files,
+                                     const SymbolGraphOptions& options) {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = FnvMix(h, files.size());
+  for (const SourceFile& f : files) {
+    h = Fnv1a(h, f.path);
+    h = FnvMix(h, f.text.size());
+    // Sample the content: full hashing of every byte would double the cost
+    // of a lint run for no practical gain.
+    if (!f.text.empty()) {
+      h = Fnv1a(h, std::string_view(f.text).substr(0, 64));
+      h = Fnv1a(h,
+                std::string_view(f.text).substr(f.text.size() / 2,
+                                                std::min<std::size_t>(
+                                                    64, f.text.size() -
+                                                            f.text.size() /
+                                                                2)));
+    }
+  }
+  for (const auto& s : options.alloc_calls) h = Fnv1a(h, s);
+  for (const auto& s : options.blocking_io_calls) h = Fnv1a(h, s);
+  for (const auto& s : options.lock_types) h = Fnv1a(h, s);
+  for (const auto& s : options.lock_methods) h = Fnv1a(h, s);
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<const SymbolGraph> GetSymbolGraph(
+    const std::vector<SourceFile>& files,
+    const SymbolGraphOptions& options) {
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const SymbolGraph> graph;
+  };
+  static std::mutex mu;
+  static std::vector<Entry> cache;
+
+  const std::uint64_t key = GraphKey(files, options);
+  std::lock_guard<std::mutex> lock(mu);
+  for (const Entry& e : cache) {
+    if (e.key == key) return e.graph;
+  }
+  // Built under the lock on purpose: the four call-graph rules race here at
+  // the start of a --jobs run, and one build shared four ways is the point.
+  auto graph =
+      std::make_shared<const SymbolGraph>(SymbolGraph::Build(files, options));
+  if (cache.size() >= 8) cache.erase(cache.begin());
+  cache.push_back({key, graph});
+  return graph;
+}
+
+}  // namespace calculon::staticlint

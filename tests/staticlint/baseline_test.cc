@@ -85,6 +85,23 @@ TEST(BaselineTest, RenderRoundTrips) {
   EXPECT_TRUE(parsed.Matches(d));
 }
 
+TEST(BaselineTest, RenderIncludesRuleSummary) {
+  Diagnostic d = MakeDiag("raw-boundary", "src/a/x.cc", 3, "b.raw();");
+  RuleInfo info;
+  info.id = "raw-boundary";
+  info.summary = "Quantity::raw() outside a serialization boundary";
+  std::string rendered = RenderBaseline({d}, {info});
+  // The placeholder comment carries the rule's one-line description so a
+  // suppressed entry explains itself.
+  EXPECT_NE(rendered.find("# TODO: justify or fix (" + info.summary + ")"),
+            std::string::npos)
+      << rendered;
+  // Still parseable baseline syntax.
+  Baseline parsed = ParseBaseline(rendered);
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  EXPECT_TRUE(parsed.Matches(d));
+}
+
 TEST(BaselineTest, MissingFileIsEmpty) {
   Baseline b = LoadBaseline("/nonexistent/path/.calculon-lint-baseline");
   EXPECT_TRUE(b.entries.empty());

@@ -219,6 +219,59 @@ TEST(LexerTest, ParseInclude) {
   EXPECT_FALSE(not_include.valid);
 }
 
+// --- Edge cases the call-graph resolver (symbol_graph.cc) leans on: a
+// number lexed as two tokens or a raw string lexed as punctuation would
+// desynchronize its token-pattern matching.
+
+TEST(LexerTest, DigitSeparatorsStayOneNumberToken) {
+  std::string src = "std::int64_t n = 1'000'000; double d = 0x1.8p3;";
+  auto toks = LexOf(src);
+  auto numbers = TextsOf(toks, TokKind::kNumber);
+  ASSERT_GE(numbers.size(), 1u);
+  EXPECT_EQ(numbers[0], "1'000'000");
+  // No stray char literals from the separators.
+  EXPECT_TRUE(TextsOf(toks, TokKind::kChar).empty());
+}
+
+TEST(LexerTest, HexFloatsStayOneNumberToken) {
+  // 0x1.8p3 == 12.0; the 'p' exponent must not split the literal, and the
+  // '.8' must not become a member access.
+  std::string src = "double d = 0x1.8p3; float f = 0X2.fP-2f;";
+  auto toks = LexOf(src);
+  auto numbers = TextsOf(toks, TokKind::kNumber);
+  ASSERT_EQ(numbers.size(), 2u);
+  EXPECT_EQ(numbers[0], "0x1.8p3");
+  // The sign after the exponent belongs to the literal.
+  EXPECT_EQ(numbers[1], "0X2.fP-2f");
+}
+
+TEST(LexerTest, RawStringDelimiterContainingParens) {
+  // The )xy( inside must not terminate the literal; only )delim" does.
+  std::string src =
+      "const char* s = R\"delim(call Fn(1) and )xy( stay inside)delim\";\n"
+      "int after = 1;\n";
+  auto toks = LexOf(src);
+  auto strings = TextsOf(toks, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_NE(strings[0].find("Fn(1)"), std::string::npos);
+  // `Fn` inside the raw string is NOT an identifier token — greps die here.
+  auto idents = TextsOf(toks, TokKind::kIdent);
+  EXPECT_EQ(std::count(idents.begin(), idents.end(), "Fn"), 0);
+  EXPECT_EQ(std::count(idents.begin(), idents.end(), "after"), 1);
+}
+
+TEST(LexerTest, OperatorCallTokens) {
+  // `operator()` lexes as the ident `operator` plus two punct parens, so
+  // the symbol scanner can recognize (and skip) call-operator overloads.
+  std::string src =
+      "struct F { int operator()(int v) const { return v; } };";
+  auto toks = LexOf(src);
+  auto idents = TextsOf(toks, TokKind::kIdent);
+  EXPECT_EQ(std::count(idents.begin(), idents.end(), "operator"), 1);
+  auto puncts = TextsOf(toks, TokKind::kPunct);
+  EXPECT_GE(std::count(puncts.begin(), puncts.end(), "("), 2);
+}
+
 TEST(LexerTest, MakeSourceFileKeepsPathAndTokens) {
   SourceFile f = MakeSourceFile("src/util/x.h", "int a;\n");
   EXPECT_EQ(f.path, "src/util/x.h");

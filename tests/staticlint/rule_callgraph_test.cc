@@ -1,0 +1,288 @@
+// Interprocedural rule tests (rule_callgraph.cc): each rule gets a seeded
+// fixture violation it must flag (with a content-stable SARIF fingerprint)
+// and a disciplined twin it must not flag.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "staticlint/lexer.h"
+#include "staticlint/rules.h"
+
+namespace calculon::staticlint {
+namespace {
+
+std::vector<Diagnostic> RunRule(RuleFn fn,
+                                const std::vector<SourceFile>& files,
+                                const ProjectConfig& config) {
+  std::vector<Diagnostic> out;
+  fn(files, config, &out);
+  return out;
+}
+
+std::vector<SourceFile> One(const std::string& path,
+                            const std::string& text) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile(path, text));
+  return files;
+}
+
+// ---------------------------------------------------------- fork-safety
+
+constexpr const char kForkChildFormats[] =
+    "int WorkerMain(int in, int out);\n"
+    "bool Spawn() {\n"
+    "  const pid_t pid = ::fork();\n"
+    "  if (pid == -1) return false;\n"
+    "  if (pid == 0) {\n"
+    "    const std::string path = StrFormat(\"w-%d.log\", 1);\n"
+    "    ::_exit(WorkerMain(0, 1));\n"
+    "  }\n"
+    "  return true;\n"
+    "}\n";
+
+TEST(ForkSafetyTest, FlagsFormattingInChildRegion) {
+  auto files = One("src/dist/spawn.cc", kForkChildFormats);
+  auto out = RunRule(CheckForkSafety, files, ProjectConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "fork-safety");
+  EXPECT_EQ(out[0].line, 6);
+  EXPECT_EQ(out[0].severity, Severity::kError);
+  EXPECT_NE(out[0].message.find("StrFormat"), std::string::npos);
+}
+
+TEST(ForkSafetyTest, FingerprintIsContentStable) {
+  auto files = One("src/dist/spawn.cc", kForkChildFormats);
+  auto out = RunRule(CheckForkSafety, files, ProjectConfig());
+  ASSERT_EQ(out.size(), 1u);
+  const std::string fp = FingerprintHex(out[0]);
+
+  // Unrelated lines above shift every line number; the fingerprint holds.
+  auto shifted = One("src/dist/spawn.cc",
+                     "// comment\n// comment\n\n" +
+                         std::string(kForkChildFormats));
+  auto out2 = RunRule(CheckForkSafety, shifted, ProjectConfig());
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_NE(out2[0].line, out[0].line);
+  EXPECT_EQ(FingerprintHex(out2[0]), fp);
+}
+
+TEST(ForkSafetyTest, FlagsTransitiveViolationThroughResolvedCall) {
+  auto files = One("src/dist/spawn.cc",
+                   "void Prepare() { auto* p = new int(1); }\n"
+                   "bool Spawn() {\n"
+                   "  const pid_t pid = ::fork();\n"
+                   "  if (pid == 0) {\n"
+                   "    Prepare();\n"
+                   "    ::_exit(0);\n"
+                   "  }\n"
+                   "  return true;\n"
+                   "}\n");
+  auto out = RunRule(CheckForkSafety, files, ProjectConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("Prepare"), std::string::npos);
+  EXPECT_NE(out[0].message.find("heap allocation"), std::string::npos);
+}
+
+TEST(ForkSafetyTest, AcceptsAsyncSignalSafeChild) {
+  // close/dup2/_exit and the WorkerMain boundary: the supervisor pattern.
+  auto files = One("src/dist/spawn.cc",
+                   "int WorkerMain(int in, int out) { return 0; }\n"
+                   "bool Spawn() {\n"
+                   "  const pid_t pid = ::fork();\n"
+                   "  if (pid == 0) {\n"
+                   "    ::close(3);\n"
+                   "    ::dup2(4, 2);\n"
+                   "    ::_exit(WorkerMain(0, 1));\n"
+                   "  }\n"
+                   "  return true;\n"
+                   "}\n");
+  EXPECT_TRUE(RunRule(CheckForkSafety, files, ProjectConfig()).empty());
+}
+
+TEST(ForkSafetyTest, WorkerEntryIsATraversalBoundary) {
+  // WorkerMain itself allocates (it is allowed to — it sets up the worker
+  // arena); the child block calling it must stay clean.
+  auto files = One("src/dist/spawn.cc",
+                   "int WorkerMain(int in, int out) {\n"
+                   "  auto* arena = new char[1024];\n"
+                   "  return arena[0];\n"
+                   "}\n"
+                   "bool Spawn() {\n"
+                   "  const pid_t pid = ::fork();\n"
+                   "  if (pid == 0) { ::_exit(WorkerMain(0, 1)); }\n"
+                   "  return true;\n"
+                   "}\n");
+  EXPECT_TRUE(RunRule(CheckForkSafety, files, ProjectConfig()).empty());
+}
+
+// ----------------------------------------------------- cancellation-poll
+
+TEST(CancellationPollTest, FlagsEvalLoopWithoutPoll) {
+  auto files = One("src/search/sweep.cc",
+                   "void Sweep(const Items& items) {\n"
+                   "  for (const Item& it : items) {\n"
+                   "    CalculatePerformance(it.app, it.exec, it.sys);\n"
+                   "  }\n"
+                   "}\n");
+  auto out = RunRule(CheckCancellationPoll, files, ProjectConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "cancellation-poll");
+  EXPECT_EQ(out[0].line, 2);
+}
+
+TEST(CancellationPollTest, AcceptsLoopThatPolls) {
+  auto files = One("src/search/sweep.cc",
+                   "void Sweep(const Items& items, RunContext* ctx) {\n"
+                   "  for (const Item& it : items) {\n"
+                   "    if (ctx != nullptr && ctx->ShouldStop()) break;\n"
+                   "    CalculatePerformance(it.app, it.exec, it.sys);\n"
+                   "  }\n"
+                   "}\n");
+  EXPECT_TRUE(
+      RunRule(CheckCancellationPoll, files, ProjectConfig()).empty());
+}
+
+TEST(CancellationPollTest, SeesEvalThroughACallChain) {
+  auto files = One("src/runner/drive.cc",
+                   "void EvalOne(const Item& it) {\n"
+                   "  CalculatePerformance(it.app, it.exec, it.sys);\n"
+                   "}\n"
+                   "void Drive(const Items& items) {\n"
+                   "  while (items.More()) {\n"
+                   "    EvalOne(items.Next());\n"
+                   "  }\n"
+                   "}\n");
+  auto out = RunRule(CheckCancellationPoll, files, ProjectConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 5);
+}
+
+TEST(CancellationPollTest, IgnoresLoopsOutsideTheSweepLayers) {
+  auto files = One("src/core/model.cc",
+                   "void Inner(const Items& items) {\n"
+                   "  for (const Item& it : items) {\n"
+                   "    CalculatePerformance(it.app, it.exec, it.sys);\n"
+                   "  }\n"
+                   "}\n");
+  EXPECT_TRUE(
+      RunRule(CheckCancellationPoll, files, ProjectConfig()).empty());
+}
+
+// ------------------------------------------------------- hot-path-alloc
+
+TEST(HotPathAllocTest, FlagsAllocationReachableFromSweepRoot) {
+  auto files = One("src/search/exec.cc",
+                   "void Evaluate(const Item& it) {\n"
+                   "  auto scratch = std::make_unique<double[]>(64);\n"
+                   "}\n"
+                   "void SweepTripleInto(const Items& items) {\n"
+                   "  Evaluate(items.First());\n"
+                   "}\n");
+  auto out = RunRule(CheckHotPathAlloc, files, ProjectConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "hot-path-alloc");
+  EXPECT_EQ(out[0].line, 2);
+  EXPECT_NE(out[0].message.find("Evaluate"), std::string::npos);
+  EXPECT_NE(out[0].message.find("SweepTripleInto"), std::string::npos);
+}
+
+TEST(HotPathAllocTest, AcceptsAllocationOffTheHotPath) {
+  auto files = One("src/search/exec.cc",
+                   "void Report() { auto* buf = new char[256]; }\n"
+                   "void SweepTripleInto(const Items& items) {\n"
+                   "  double best = items.First().score;\n"
+                   "}\n");
+  EXPECT_TRUE(RunRule(CheckHotPathAlloc, files, ProjectConfig()).empty());
+}
+
+TEST(HotPathAllocTest, FlagsBlockingIoOnTheHotPath) {
+  auto files = One("src/search/exec.cc",
+                   "void SweepTripleInto(const Items& items) {\n"
+                   "  std::ofstream log(\"sweep.log\");\n"
+                   "}\n");
+  auto out = RunRule(CheckHotPathAlloc, files, ProjectConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].message.find("blocking I/O"), std::string::npos);
+}
+
+// -------------------------------------------------------- dead-function
+
+TEST(DeadFunctionTest, FlagsUnreachableFreeFunctionAsNote) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/lib.cc",
+                                 "void Orphan() { int x = 1; }\n"
+                                 "void Used() { int y = 2; }\n"));
+  files.push_back(MakeSourceFile("examples/demo_main.cc",
+                                 "int main() { Used(); return 0; }\n"));
+  auto out = RunRule(CheckDeadFunction, files, ProjectConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "dead-function");
+  EXPECT_EQ(out[0].severity, Severity::kNote);
+  EXPECT_NE(out[0].message.find("Orphan"), std::string::npos);
+}
+
+TEST(DeadFunctionTest, AnyTokenOccurrenceCountsAsLive) {
+  // Address-taken / registered-by-name uses are invisible to the call
+  // resolver; a bare identifier occurrence anywhere keeps the function.
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/lib.cc",
+                                 "void Handler() { int x = 1; }\n"));
+  files.push_back(MakeSourceFile("src/a/registry.cc",
+                                 "void Register() { table[0] = &Handler; }\n"));
+  auto out = RunRule(CheckDeadFunction, files, ProjectConfig());
+  for (const Diagnostic& d : out) {
+    EXPECT_EQ(d.message.find("Handler"), std::string::npos) << d.message;
+  }
+}
+
+TEST(DeadFunctionTest, MethodsAndCliFilesAreExempt) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/lib.h",
+                                 "class C {\n"
+                                 " public:\n"
+                                 "  void NeverCalled() {}\n"
+                                 "};\n"));
+  files.push_back(MakeSourceFile("src/a/tool_main.cc",
+                                 "static void LocalHelper() {}\n"
+                                 "int main() { LocalHelper(); return 0; }\n"));
+  EXPECT_TRUE(RunRule(CheckDeadFunction, files, ProjectConfig()).empty());
+}
+
+// ----------------------------------------------------- engine integration
+
+TEST(CallGraphEngineTest, RulesRunUnderTheParallelEngine) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/search/sweep.cc",
+                                 "#pragma once\n"
+                                 "void Sweep(const Items& items) {\n"
+                                 "  for (const Item& it : items) {\n"
+                                 "    CalculatePerformance(it.a, it.e, it.s);\n"
+                                 "  }\n"
+                                 "}\n"));
+  LintOptions options;
+  options.rule_filter = {"cancellation-poll"};
+  options.jobs = 4;
+  LintResult result = RunLint(files, ProjectConfig(), options);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].rule, "cancellation-poll");
+  // Per-rule timing is recorded for the latency gate.
+  ASSERT_EQ(result.timings.size(), 1u);
+  EXPECT_EQ(result.timings[0].rule, "cancellation-poll");
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(CallGraphEngineTest, LintOkSuppressesHotPathFinding) {
+  auto files = One("src/search/exec.cc",
+                   "void SweepTripleInto(const Items& items) {\n"
+                   "  auto* buf = new char[64];  "
+                   "// lint-ok(hot-path-alloc): measured, amortized\n"
+                   "}\n");
+  LintOptions options;
+  options.rule_filter = {"hot-path-alloc"};
+  LintResult result = RunLint(files, ProjectConfig(), options);
+  EXPECT_TRUE(result.findings.empty());
+}
+
+}  // namespace
+}  // namespace calculon::staticlint

@@ -1,0 +1,268 @@
+// Symbol table + call graph (symbol_graph.h): indexing of free functions
+// and methods, token-wise call resolution (qualified names, method calls
+// through known receiver types, overload collapse, external widening),
+// event classification, and the reachability queries the interprocedural
+// rules are built on.
+#include "staticlint/symbol_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "staticlint/lexer.h"
+#include "staticlint/match.h"
+
+namespace calculon::staticlint {
+namespace {
+
+std::vector<SourceFile> One(const std::string& path,
+                            const std::string& text) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile(path, text));
+  return files;
+}
+
+[[nodiscard]] const FunctionSym* Find(const SymbolGraph& g,
+                                      const std::string& display) {
+  for (const FunctionSym& f : g.functions()) {
+    if (f.Display() == display) return &f;
+  }
+  return nullptr;
+}
+
+[[nodiscard]] const CallSite* FindCall(const FunctionSym& fn,
+                                       const std::string& name) {
+  for (const CallSite& c : fn.calls) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(SymbolGraphTest, IndexesFreeFunctionsAndMethods) {
+  auto files = One("src/a/x.cc",
+                   "namespace calculon {\n"
+                   "int Helper(int v) { return v + 1; }\n"
+                   "class Widget {\n"
+                   " public:\n"
+                   "  void Render() { Draw(); }\n"
+                   "  void Draw();\n"
+                   "};\n"
+                   "void Widget::Draw() { Helper(2); }\n"
+                   "}  // namespace calculon\n");
+  SymbolGraph g = SymbolGraph::Build(files);
+
+  const FunctionSym* helper = Find(g, "Helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_TRUE(helper->has_body);
+  EXPECT_FALSE(helper->is_method);
+  EXPECT_EQ(helper->line, 2);
+
+  const FunctionSym* render = Find(g, "Widget::Render");
+  ASSERT_NE(render, nullptr);
+  EXPECT_TRUE(render->is_method);
+
+  // Bare call inside a method resolves against the enclosing class first.
+  const CallSite* draw = FindCall(*render, "Draw");
+  ASSERT_NE(draw, nullptr);
+  ASSERT_FALSE(draw->external);
+  EXPECT_EQ(g.function(draw->targets[0]).Display(), "Widget::Draw");
+}
+
+TEST(SymbolGraphTest, ResolvesAcrossFilesAndThroughReceiverTypes) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/a/lib.h",
+                                 "class Engine {\n"
+                                 " public:\n"
+                                 "  void Step() {}\n"
+                                 "};\n"
+                                 "void Tick();\n"));
+  files.push_back(MakeSourceFile("src/a/use.cc",
+                                 "void Drive() {\n"
+                                 "  Engine e;\n"
+                                 "  e.Step();\n"
+                                 "  Tick();\n"
+                                 "  mystery->Run();\n"
+                                 "}\n"));
+  SymbolGraph g = SymbolGraph::Build(files);
+  const FunctionSym* drive = Find(g, "Drive");
+  ASSERT_NE(drive, nullptr);
+
+  // Method call through a local whose declared type is a known class.
+  const CallSite* step = FindCall(*drive, "Step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_FALSE(step->external);
+  EXPECT_EQ(step->qualifier, "Engine");
+
+  // Free-function call resolves to the header declaration in another file.
+  const CallSite* tick = FindCall(*drive, "Tick");
+  ASSERT_NE(tick, nullptr);
+  EXPECT_FALSE(tick->external);
+
+  // Unknown receiver: widened to external, never guessed.
+  const CallSite* run = FindCall(*drive, "Run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_TRUE(run->external);
+}
+
+TEST(SymbolGraphTest, OverloadSetCollapses) {
+  auto files = One("src/a/x.cc",
+                   "void Emit(int v) {}\n"
+                   "void Emit(double v) {}\n"
+                   "void Caller() { Emit(1); }\n");
+  SymbolGraph g = SymbolGraph::Build(files);
+  const FunctionSym* caller = Find(g, "Caller");
+  ASSERT_NE(caller, nullptr);
+  const CallSite* emit = FindCall(*caller, "Emit");
+  ASSERT_NE(emit, nullptr);
+  EXPECT_EQ(emit->targets.size(), 2u);  // both overloads become targets
+}
+
+TEST(SymbolGraphTest, RecordsEvents) {
+  auto files = One("src/a/x.cc",
+                   "void Hot() {\n"
+                   "  auto* p = new int(3);\n"
+                   "  auto q = std::make_unique<int>(4);\n"
+                   "  MutexLock lock(mu);\n"
+                   "  std::ifstream in(\"f.txt\");\n"
+                   "}\n");
+  SymbolGraph g = SymbolGraph::Build(files);
+  const FunctionSym* hot = Find(g, "Hot");
+  ASSERT_NE(hot, nullptr);
+  int allocs = 0;
+  int locks = 0;
+  int io = 0;
+  for (const SymEvent& e : hot->events) {
+    if (e.kind == SymEventKind::kHeapAlloc) ++allocs;
+    if (e.kind == SymEventKind::kLockAcquire) ++locks;
+    if (e.kind == SymEventKind::kBlockingIo) ++io;
+  }
+  EXPECT_EQ(allocs, 2);  // new + make_unique
+  EXPECT_EQ(locks, 1);
+  EXPECT_EQ(io, 1);
+}
+
+TEST(SymbolGraphTest, ReachabilityFollowsCallChains) {
+  auto files = One("src/a/x.cc",
+                   "void Leaf() { auto* p = new int(1); }\n"
+                   "void Mid() { Leaf(); }\n"
+                   "void Root() { Mid(); }\n"
+                   "void Unrelated() {}\n");
+  SymbolGraph g = SymbolGraph::Build(files);
+  std::vector<int> roots = g.Lookup("Root");
+  ASSERT_EQ(roots.size(), 1u);
+  Reachability r = g.Reach(roots);
+
+  const FunctionSym* leaf = Find(g, "Leaf");
+  const FunctionSym* unrelated = Find(g, "Unrelated");
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_NE(unrelated, nullptr);
+  const int leaf_id = static_cast<int>(leaf - g.functions().data());
+  const int unrelated_id =
+      static_cast<int>(unrelated - g.functions().data());
+  EXPECT_TRUE(r.reachable[static_cast<std::size_t>(leaf_id)]);
+  EXPECT_FALSE(r.reachable[static_cast<std::size_t>(unrelated_id)]);
+
+  // The witness path renders Root -> Mid -> Leaf.
+  EXPECT_EQ(g.RenderPath(r.PathTo(leaf_id)), "Root -> Mid -> Leaf");
+
+  // stop_names cuts traversal at the named call.
+  Reachability stopped = g.Reach(roots, {"Mid"});
+  EXPECT_FALSE(stopped.reachable[static_cast<std::size_t>(leaf_id)]);
+}
+
+TEST(SymbolGraphTest, ReachesCallNamedIsTransitive) {
+  auto files = One("src/a/x.cc",
+                   "void Eval() { CalculatePerformance(a, e, s); }\n"
+                   "void Outer() { Eval(); }\n"
+                   "void Bystander() {}\n");
+  SymbolGraph g = SymbolGraph::Build(files);
+  std::vector<bool> reaches =
+      g.ReachesCallNamed({"CalculatePerformance"});
+  const FunctionSym* outer = Find(g, "Outer");
+  const FunctionSym* bystander = Find(g, "Bystander");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(bystander, nullptr);
+  EXPECT_TRUE(
+      reaches[static_cast<std::size_t>(outer - g.functions().data())]);
+  EXPECT_FALSE(reaches[static_cast<std::size_t>(
+      bystander - g.functions().data())]);
+}
+
+TEST(SymbolGraphTest, AnalyzeRegionSeesCallsAndEvents) {
+  auto files = One("src/a/x.cc",
+                   "void Target() {}\n"
+                   "void Host() {\n"
+                   "  if (x == 0) {\n"
+                   "    Target();\n"
+                   "    auto* p = new int(1);\n"
+                   "  }\n"
+                   "}\n");
+  SymbolGraph g = SymbolGraph::Build(files);
+  SigTokens sig(files[0]);
+  // Locate the if-block braces.
+  std::size_t open = kNpos;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (sig.Is(i, ")") && sig.Is(i + 1, "{") && sig[i + 1].line == 3) {
+      open = i + 1;
+      break;
+    }
+  }
+  ASSERT_NE(open, kNpos);
+  std::size_t close = FindMatching(sig, open);
+  ASSERT_NE(close, kNpos);
+
+  SymbolGraph::RegionInfo info = g.AnalyzeRegion(sig, open, close);
+  ASSERT_EQ(info.calls.size(), 1u);
+  EXPECT_EQ(info.calls[0].name, "Target");
+  EXPECT_FALSE(info.calls[0].external);
+  ASSERT_EQ(info.events.size(), 1u);
+  EXPECT_EQ(info.events[0].kind, SymEventKind::kHeapAlloc);
+}
+
+TEST(SymbolGraphTest, EnclosingFunctionFindsTheBodyOwner) {
+  auto files = One("src/a/x.cc",
+                   "void A() { int x = 1; }\n"
+                   "void B() { int y = 2; }\n");
+  SymbolGraph g = SymbolGraph::Build(files);
+  SigTokens sig(files[0]);
+  std::size_t y_idx = kNpos;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (sig.Is(i, "y")) y_idx = i;
+  }
+  ASSERT_NE(y_idx, kNpos);
+  const int id = g.EnclosingFunction(0, y_idx);
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(g.function(id).name, "B");
+}
+
+TEST(SymbolGraphTest, MemoizedGraphIsSharedForIdenticalTrees) {
+  auto files = One("src/a/x.cc", "void F() {}\n");
+  SymbolGraphOptions options;
+  auto g1 = GetSymbolGraph(files, options);
+  auto g2 = GetSymbolGraph(files, options);
+  EXPECT_EQ(g1.get(), g2.get());
+
+  // A different tree gets its own graph.
+  auto other = One("src/a/y.cc", "void G() {}\n");
+  auto g3 = GetSymbolGraph(other, options);
+  EXPECT_NE(g1.get(), g3.get());
+}
+
+TEST(SymbolGraphTest, SkipsExpressionContextsAtNamespaceScope) {
+  // Initializers and member-init lists must not be indexed as functions.
+  auto files = One("src/a/x.cc",
+                   "static const int kX = Compute();\n"
+                   "struct S {\n"
+                   "  S() : a_(1), b_(2) {}\n"
+                   "  int a_; int b_;\n"
+                   "};\n"
+                   "void Real() {}\n");
+  SymbolGraph g = SymbolGraph::Build(files);
+  EXPECT_EQ(Find(g, "Compute"), nullptr);
+  EXPECT_EQ(Find(g, "a_"), nullptr);
+  EXPECT_NE(Find(g, "Real"), nullptr);
+}
+
+}  // namespace
+}  // namespace calculon::staticlint
