@@ -117,6 +117,8 @@ fi
 #
 # In --changed mode the whole tree is still loaded (cross-file rules need
 # it) but only findings in the changed files are reported, via --only.
+# --expand-includers widens that set along reverse include edges, so
+# editing a header also re-checks every file that includes it.
 LINT_BIN="$BUILD_DIR/src/calculon-lint"
 if [[ ! -x "$LINT_BIN" ]]; then
   echo "lint: building calculon-lint"
@@ -126,8 +128,8 @@ fi
 LINT_ARGS=(--root . --jobs "$JOBS")
 if [[ $CHANGED -eq 1 ]]; then
   ONLY=$(printf '%s,' "${PATHS[@]}")
-  LINT_ARGS+=(--only "${ONLY%,}")
-  echo "lint: calculon-lint over changed files"
+  LINT_ARGS+=(--only "${ONLY%,}" --expand-includers)
+  echo "lint: calculon-lint over changed files (+ includers)"
 else
   echo "lint: calculon-lint over src, examples and bench"
 fi

@@ -1,0 +1,630 @@
+#include "staticlint/cfg.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string_view>
+
+#include "staticlint/symbol_graph.h"
+
+namespace calculon::staticlint {
+
+const char* ToString(CfgEdgeKind kind) {
+  switch (kind) {
+    case CfgEdgeKind::kNext:
+      return "next";
+    case CfgEdgeKind::kTrue:
+      return "true";
+    case CfgEdgeKind::kFalse:
+      return "false";
+    case CfgEdgeKind::kBack:
+      return "loop-back";
+    case CfgEdgeKind::kCase:
+      return "case";
+    case CfgEdgeKind::kFallthrough:
+      return "fallthrough";
+  }
+  return "?";
+}
+
+namespace {
+constexpr int kEntry = 0;
+constexpr int kExit = 1;
+}  // namespace
+
+// Recursive-descent statement walk. Every statement lands in exactly one
+// block; control keywords split blocks and add labeled edges. Any shape the
+// walk cannot model sets ok_ = false and the whole Cfg is discarded.
+class CfgBuilder {
+ public:
+  CfgBuilder(const SigTokens& sig, Cfg* cfg) : sig_(sig), cfg_(cfg) {}
+
+  [[nodiscard]] bool Run(std::size_t body_begin, std::size_t body_end) {
+    // goto makes the block structure non-syntactic; a label without a goto
+    // is inert, so only the jump itself needs to invalidate the graph.
+    for (std::size_t i = body_begin; i <= body_end; ++i) {
+      if (sig_.Is(i, "goto")) return false;
+    }
+    const int first = NewBlock();
+    Edge(kEntry, first, CfgEdgeKind::kNext, sig_[body_begin].line);
+    const int last = ParseSeq(body_begin + 1, body_end, first);
+    if (!ok_) return false;
+    Edge(last, kExit, CfgEdgeKind::kNext, sig_[body_end].line);
+    return true;
+  }
+
+ private:
+  struct BreakCtx {
+    int break_target = -1;
+    int continue_target = -1;
+  };
+
+  const SigTokens& sig_;
+  Cfg* cfg_;
+  bool ok_ = true;
+  std::vector<BreakCtx> ctx_;
+
+  int NewBlock() {
+    cfg_->blocks_.emplace_back();
+    return static_cast<int>(cfg_->blocks_.size()) - 1;
+  }
+
+  void Edge(int from, int to, CfgEdgeKind kind, int line,
+            std::size_t cond_begin = kNpos, std::size_t cond_end = kNpos) {
+    cfg_->blocks_[static_cast<std::size_t>(from)].succ.push_back(
+        {to, kind, line, cond_begin, cond_end});
+  }
+
+  void AddStmt(int block, std::size_t begin, std::size_t end) {
+    if (begin >= end) return;
+    cfg_->blocks_[static_cast<std::size_t>(block)].stmts.push_back(
+        {begin, end, sig_[begin].line});
+  }
+
+  // First occurrence of `text` in [begin, end) outside (), [], {}. Angle
+  // brackets are not bracket-matched here: inside a condition a '<' is
+  // almost always a comparison.
+  [[nodiscard]] std::size_t TopLevelFind(std::size_t begin, std::size_t end,
+                                         std::string_view text) const {
+    for (std::size_t i = begin; i < end;) {
+      if (sig_.Is(i, "(") || sig_.Is(i, "[") || sig_.Is(i, "{")) {
+        std::size_t m = FindMatching(sig_, i);
+        if (m == kNpos || m >= end) return kNpos;
+        i = m + 1;
+        continue;
+      }
+      if (sig_[i].text == text) return i;
+      ++i;
+    }
+    return kNpos;
+  }
+
+  // First top-level `cc` pair ("&&" / "||"): the lexer keeps them as two
+  // adjacent single-character tokens, so adjacency (same line, touching
+  // columns) distinguishes `a && b` from `a & b & c`.
+  [[nodiscard]] std::size_t TopLevelPair(std::size_t begin, std::size_t end,
+                                         std::string_view c) const {
+    for (std::size_t i = begin; i + 1 < end;) {
+      if (sig_.Is(i, "(") || sig_.Is(i, "[") || sig_.Is(i, "{")) {
+        std::size_t m = FindMatching(sig_, i);
+        if (m == kNpos || m >= end) return kNpos;
+        i = m + 1;
+        continue;
+      }
+      if (sig_[i].text == c && sig_[i + 1].text == c &&
+          sig_[i].line == sig_[i + 1].line &&
+          sig_[i + 1].col == sig_[i].col + 1) {
+        return i;
+      }
+      ++i;
+    }
+    return kNpos;
+  }
+
+  // Decomposes a condition [begin, end) into short-circuit atoms: each atom
+  // becomes a statement of its evaluation block (so side effects inside
+  // conditions stay ordered) plus kTrue/kFalse edges carrying the atom's
+  // token range for the guard parsers.
+  void BuildCond(int from, std::size_t begin, std::size_t end, int t, int f,
+                 int line) {
+    while (end - begin >= 2 && sig_.Is(begin, "(")) {
+      std::size_t m = FindMatching(sig_, begin);
+      if (m == end - 1) {
+        ++begin;
+        --end;
+      } else {
+        break;
+      }
+    }
+    if (begin >= end) {  // empty condition: unconditionally true
+      Edge(from, t, CfgEdgeKind::kTrue, line);
+      return;
+    }
+    // A top-level ?: mixes value and control flow; treat the whole
+    // condition as one opaque atom rather than mis-splitting it.
+    if (TopLevelFind(begin, end, "?") == kNpos) {
+      std::size_t k = TopLevelPair(begin, end, "|");
+      if (k != kNpos) {  // a || b: a false -> try b
+        const int rhs = NewBlock();
+        BuildCond(from, begin, k, t, rhs, line);
+        BuildCond(rhs, k + 2, end, t, f, line);
+        return;
+      }
+      k = TopLevelPair(begin, end, "&");
+      if (k != kNpos) {  // a && b: a true -> try b
+        const int rhs = NewBlock();
+        BuildCond(from, begin, k, rhs, f, line);
+        BuildCond(rhs, k + 2, end, t, f, line);
+        return;
+      }
+    }
+    AddStmt(from, begin, end);
+    const int atom_line = sig_[begin].line;
+    Edge(from, t, CfgEdgeKind::kTrue, atom_line, begin, end);
+    Edge(from, f, CfgEdgeKind::kFalse, atom_line, begin, end);
+  }
+
+  int ParseSeq(std::size_t i, std::size_t end, int cur) {
+    while (ok_ && i < end) cur = ParseStmt(&i, end, cur);
+    return cur;
+  }
+
+  // Parses one statement starting at *ip (advancing it) into block `cur`;
+  // returns the open block after the statement.
+  int ParseStmt(std::size_t* ip, std::size_t end, int cur) {
+    std::size_t i = *ip;
+    if (!ok_ || i >= end) {
+      *ip = end;
+      return cur;
+    }
+    const int line = sig_[i].line;
+    const std::string_view t = sig_[i].text;
+
+    if (t == ";") {
+      *ip = i + 1;
+      return cur;
+    }
+    if (t == "{") {
+      std::size_t m = FindMatching(sig_, i);
+      if (m == kNpos || m > end) return Fail(ip, end);
+      cur = ParseSeq(i + 1, m, cur);
+      *ip = m + 1;
+      return cur;
+    }
+    if (t == "if") return ParseIf(ip, end, cur);
+    if (t == "while") return ParseWhile(ip, end, cur);
+    if (t == "do") return ParseDo(ip, end, cur);
+    if (t == "for") return ParseFor(ip, end, cur);
+    if (t == "switch") return ParseSwitch(ip, end, cur);
+    if (t == "try") return ParseTry(ip, end, cur);
+    if (t == "break" || t == "continue") {
+      if (ctx_.empty()) return Fail(ip, end);
+      const int target = t == "break" ? ctx_.back().break_target
+                                      : ctx_.back().continue_target;
+      if (target < 0) return Fail(ip, end);
+      Edge(cur, target, CfgEdgeKind::kNext, line);
+      if (!sig_.Is(i + 1, ";")) return Fail(ip, end);
+      *ip = i + 2;
+      return NewBlock();  // whatever follows is unreachable: orphan block
+    }
+    if (t == "return" || t == "throw" || t == "co_return") {
+      std::size_t semi = TopLevelFind(i + 1, end, ";");
+      if (semi == kNpos) semi = end;
+      AddStmt(cur, i, semi);
+      Edge(cur, kExit, CfgEdgeKind::kNext, line);
+      *ip = semi == end ? end : semi + 1;
+      return NewBlock();
+    }
+    if (t == "else" || t == "case" || t == "default" || t == "catch") {
+      // Reaching one of these at statement level means the enclosing
+      // construct was not where we thought: give up on the function.
+      return Fail(ip, end);
+    }
+
+    // Plain expression/declaration statement: everything to the top-level
+    // ';' (bracket contents — including lambda bodies and local class
+    // bodies — stay inside the statement).
+    std::size_t semi = TopLevelFind(i, end, ";");
+    if (semi == kNpos) {
+      // Macro-style statement without a trailing ';' at the end of a block.
+      AddStmt(cur, i, end);
+      *ip = end;
+      return cur;
+    }
+    AddStmt(cur, i, semi);
+    *ip = semi + 1;
+    return cur;
+  }
+
+  int Fail(std::size_t* ip, std::size_t end) {
+    ok_ = false;
+    *ip = end;
+    return kExit;
+  }
+
+  int ParseIf(std::size_t* ip, std::size_t end, int cur) {
+    std::size_t i = *ip;
+    const int line = sig_[i].line;
+    std::size_t j = i + 1;
+    if (sig_.Is(j, "constexpr")) ++j;
+    if (!sig_.Is(j, "(")) return Fail(ip, end);
+    std::size_t m = FindMatching(sig_, j);
+    if (m == kNpos || m > end) return Fail(ip, end);
+
+    // `if (init; cond)`: the init statement runs unconditionally first.
+    std::size_t cb = j + 1;
+    std::size_t init_semi = TopLevelFind(cb, m, ";");
+    if (init_semi != kNpos) {
+      AddStmt(cur, cb, init_semi);
+      cb = init_semi + 1;
+    }
+
+    const int then_block = NewBlock();
+    const int else_block = NewBlock();
+    const int after = NewBlock();
+    BuildCond(cur, cb, m, then_block, else_block, line);
+
+    std::size_t k = m + 1;
+    const int then_end = ParseStmt(&k, end, then_block);
+    Edge(then_end, after, CfgEdgeKind::kNext, line);
+    if (k < end && sig_.Is(k, "else")) {
+      ++k;
+      const int else_end = ParseStmt(&k, end, else_block);
+      Edge(else_end, after, CfgEdgeKind::kNext, line);
+    } else {
+      Edge(else_block, after, CfgEdgeKind::kNext, line);
+    }
+    *ip = k;
+    return after;
+  }
+
+  int ParseWhile(std::size_t* ip, std::size_t end, int cur) {
+    std::size_t i = *ip;
+    const int line = sig_[i].line;
+    if (!sig_.Is(i + 1, "(")) return Fail(ip, end);
+    std::size_t m = FindMatching(sig_, i + 1);
+    if (m == kNpos || m > end) return Fail(ip, end);
+
+    const int header = NewBlock();
+    Edge(cur, header, CfgEdgeKind::kNext, line);
+    const int body = NewBlock();
+    const int after = NewBlock();
+    BuildCond(header, i + 2, m, body, after, line);
+
+    ctx_.push_back({after, header});
+    std::size_t k = m + 1;
+    const std::size_t body_tok_begin = k;
+    const int body_end = ParseStmt(&k, end, body);
+    ctx_.pop_back();
+    Edge(body_end, header, CfgEdgeKind::kBack, line);
+    cfg_->loops_.push_back({header, line, body_tok_begin, k});
+    *ip = k;
+    return after;
+  }
+
+  int ParseDo(std::size_t* ip, std::size_t end, int cur) {
+    std::size_t i = *ip;
+    const int line = sig_[i].line;
+    const int body = NewBlock();
+    Edge(cur, body, CfgEdgeKind::kNext, line);
+    const int cond_block = NewBlock();
+    const int after = NewBlock();
+
+    ctx_.push_back({after, cond_block});
+    std::size_t k = i + 1;
+    const std::size_t body_tok_begin = k;
+    const int body_end = ParseStmt(&k, end, body);
+    ctx_.pop_back();
+    const std::size_t body_tok_end = k;
+    Edge(body_end, cond_block, CfgEdgeKind::kNext, line);
+
+    if (!sig_.Is(k, "while") || !sig_.Is(k + 1, "(")) return Fail(ip, end);
+    std::size_t m = FindMatching(sig_, k + 1);
+    if (m == kNpos || m > end) return Fail(ip, end);
+    // The true edge out of the exit test is the back edge to the body.
+    BuildCond(cond_block, k + 2, m, body, after, sig_[k].line);
+    cfg_->loops_.push_back({cond_block, line, body_tok_begin, body_tok_end});
+    *ip = sig_.Is(m + 1, ";") ? m + 2 : m + 1;
+    return after;
+  }
+
+  int ParseFor(std::size_t* ip, std::size_t end, int cur) {
+    std::size_t i = *ip;
+    const int line = sig_[i].line;
+    if (!sig_.Is(i + 1, "(")) return Fail(ip, end);
+    std::size_t m = FindMatching(sig_, i + 1);
+    if (m == kNpos || m > end) return Fail(ip, end);
+    const std::size_t pb = i + 2;  // first token inside the parens
+
+    const std::size_t s1 = TopLevelFind(pb, m, ";");
+    if (s1 == kNpos) {
+      // Range-for: the whole header (decl + ':' + range expr) is one
+      // statement of the header block; the iteration test is opaque.
+      if (TopLevelFind(pb, m, ":") == kNpos) return Fail(ip, end);
+      const int header = NewBlock();
+      Edge(cur, header, CfgEdgeKind::kNext, line);
+      AddStmt(header, pb, m);
+      const int body = NewBlock();
+      const int after = NewBlock();
+      Edge(header, body, CfgEdgeKind::kTrue, line);
+      Edge(header, after, CfgEdgeKind::kFalse, line);
+
+      ctx_.push_back({after, header});
+      std::size_t k = m + 1;
+      const std::size_t body_tok_begin = k;
+      const int body_end = ParseStmt(&k, end, body);
+      ctx_.pop_back();
+      Edge(body_end, header, CfgEdgeKind::kBack, line);
+      cfg_->loops_.push_back({header, line, body_tok_begin, k});
+      *ip = k;
+      return after;
+    }
+
+    const std::size_t s2 = TopLevelFind(s1 + 1, m, ";");
+    if (s2 == kNpos) return Fail(ip, end);
+    AddStmt(cur, pb, s1);  // init clause runs once, before the loop
+
+    const int header = NewBlock();
+    Edge(cur, header, CfgEdgeKind::kNext, line);
+    const int body = NewBlock();
+    const int after = NewBlock();
+    const int inc = NewBlock();
+    if (s1 + 1 == s2) {
+      Edge(header, body, CfgEdgeKind::kTrue, line);  // for (;;): no exit test
+    } else {
+      BuildCond(header, s1 + 1, s2, body, after, line);
+    }
+    AddStmt(inc, s2 + 1, m);
+    Edge(inc, header, CfgEdgeKind::kBack, line);
+
+    ctx_.push_back({after, inc});
+    std::size_t k = m + 1;
+    const std::size_t body_tok_begin = k;
+    const int body_end = ParseStmt(&k, end, body);
+    ctx_.pop_back();
+    Edge(body_end, inc, CfgEdgeKind::kNext, line);
+    cfg_->loops_.push_back({header, line, body_tok_begin, k});
+    *ip = k;
+    return after;
+  }
+
+  int ParseSwitch(std::size_t* ip, std::size_t end, int cur) {
+    std::size_t i = *ip;
+    const int line = sig_[i].line;
+    if (!sig_.Is(i + 1, "(")) return Fail(ip, end);
+    std::size_t m = FindMatching(sig_, i + 1);
+    if (m == kNpos || m > end) return Fail(ip, end);
+    AddStmt(cur, i + 2, m);  // the switched-on expression is evaluated here
+    const int head = cur;
+    const int after = NewBlock();
+    if (!sig_.Is(m + 1, "{")) return Fail(ip, end);
+    const std::size_t mb = FindMatching(sig_, m + 1);
+    if (mb == kNpos || mb > end) return Fail(ip, end);
+
+    // break leaves the switch; continue still belongs to an enclosing loop.
+    ctx_.push_back(
+        {after, ctx_.empty() ? -1 : ctx_.back().continue_target});
+    std::size_t k = m + 2;
+    int open = -1;  // current label's body block; -1 before the first label
+    bool saw_default = false;
+    while (ok_ && k < mb) {
+      if (sig_.Is(k, "case") || sig_.Is(k, "default")) {
+        const bool is_default = sig_.Is(k, "default");
+        const std::size_t colon = TopLevelFind(k + 1, mb, ":");
+        if (colon == kNpos) {
+          Fail(&k, mb);
+          break;
+        }
+        const int next_block = NewBlock();
+        Edge(head, next_block, CfgEdgeKind::kCase, sig_[k].line,
+             is_default ? kNpos : k + 1, is_default ? kNpos : colon);
+        if (open != -1) {
+          Edge(open, next_block, CfgEdgeKind::kFallthrough, sig_[k].line);
+        }
+        if (is_default) saw_default = true;
+        open = next_block;
+        k = colon + 1;
+        continue;
+      }
+      if (open == -1) open = NewBlock();  // statements before any label
+      open = ParseStmt(&k, mb, open);
+    }
+    ctx_.pop_back();
+    if (!ok_) return Fail(ip, end);
+    if (open != -1) Edge(open, after, CfgEdgeKind::kNext, line);
+    if (!saw_default) Edge(head, after, CfgEdgeKind::kNext, line);
+    *ip = mb + 1;
+    return after;
+  }
+
+  int ParseTry(std::size_t* ip, std::size_t end, int cur) {
+    std::size_t i = *ip;
+    const int line = sig_[i].line;
+    if (!sig_.Is(i + 1, "{")) return Fail(ip, end);
+    const std::size_t mb = FindMatching(sig_, i + 1);
+    if (mb == kNpos || mb > end) return Fail(ip, end);
+
+    const int try_block = NewBlock();
+    Edge(cur, try_block, CfgEdgeKind::kNext, line);
+    const int try_end = ParseSeq(i + 2, mb, try_block);
+    const int after = NewBlock();
+    Edge(try_end, after, CfgEdgeKind::kNext, line);
+
+    // An exception can fire anywhere in the try; entering each handler from
+    // both the pre-try block and the try's end approximates that join.
+    std::size_t k = mb + 1;
+    while (ok_ && sig_.Is(k, "catch")) {
+      if (!sig_.Is(k + 1, "(")) return Fail(ip, end);
+      std::size_t pm = FindMatching(sig_, k + 1);
+      if (pm == kNpos || !sig_.Is(pm + 1, "{")) return Fail(ip, end);
+      const std::size_t cb_end = FindMatching(sig_, pm + 1);
+      if (cb_end == kNpos || cb_end > end) return Fail(ip, end);
+      const int handler = NewBlock();
+      Edge(cur, handler, CfgEdgeKind::kNext, sig_[k].line);
+      Edge(try_end, handler, CfgEdgeKind::kNext, sig_[k].line);
+      const int handler_end = ParseSeq(pm + 2, cb_end, handler);
+      Edge(handler_end, after, CfgEdgeKind::kNext, sig_[k].line);
+      k = cb_end + 1;
+    }
+    *ip = k;
+    return after;
+  }
+};
+
+Cfg Cfg::Build(const SigTokens& sig, std::size_t body_begin,
+               std::size_t body_end) {
+  Cfg cfg;
+  if (body_begin == kNpos || body_end == kNpos || body_end >= sig.size() ||
+      body_begin >= body_end || !sig.Is(body_begin, "{")) {
+    return cfg;
+  }
+  cfg.blocks_.resize(2);  // entry, exit
+  CfgBuilder builder(sig, &cfg);
+  cfg.valid_ = builder.Run(body_begin, body_end);
+  if (!cfg.valid_) {
+    cfg.blocks_.clear();
+    cfg.loops_.clear();
+  }
+  return cfg;
+}
+
+int Cfg::BlockContaining(std::size_t tok) const {
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    for (const CfgStmt& st : blocks_[b].stmts) {
+      if (tok >= st.begin && tok < st.end) return static_cast<int>(b);
+    }
+  }
+  return -1;
+}
+
+int Cfg::BlockOnLine(const SigTokens& sig, int line) const {
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    for (const CfgStmt& st : blocks_[b].stmts) {
+      if (st.begin >= sig.size() || st.end > sig.size() ||
+          st.begin >= st.end) {
+        continue;
+      }
+      if (sig[st.begin].line <= line && line <= sig[st.end - 1].line) {
+        return static_cast<int>(b);
+      }
+    }
+  }
+  return -1;
+}
+
+std::string Cfg::WitnessPath(int from, int to) const {
+  const int n = static_cast<int>(blocks_.size());
+  if (from < 0 || to < 0 || from >= n || to >= n || from == to) return "";
+  std::vector<int> parent(blocks_.size(), -1);
+  std::vector<const CfgEdge*> via(blocks_.size(), nullptr);
+  std::deque<int> queue = {from};
+  parent[static_cast<std::size_t>(from)] = from;
+  while (!queue.empty()) {
+    const int b = queue.front();
+    queue.pop_front();
+    if (b == to) break;
+    for (const CfgEdge& e : blocks_[static_cast<std::size_t>(b)].succ) {
+      if (parent[static_cast<std::size_t>(e.to)] != -1) continue;
+      parent[static_cast<std::size_t>(e.to)] = b;
+      via[static_cast<std::size_t>(e.to)] = &e;
+      queue.push_back(e.to);
+    }
+  }
+  if (parent[static_cast<std::size_t>(to)] == -1) return "";
+  std::vector<const CfgEdge*> edges;
+  for (int b = to; b != from; b = parent[static_cast<std::size_t>(b)]) {
+    edges.push_back(via[static_cast<std::size_t>(b)]);
+  }
+  std::string out;
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+    const CfgEdge* e = *it;
+    if (e == nullptr || e->kind == CfgEdgeKind::kNext) continue;
+    if (!out.empty()) out += " -> ";
+    out += "line " + std::to_string(e->line) + ":" + ToString(e->kind);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- cache
+
+namespace {
+
+[[nodiscard]] std::uint64_t Fnv1a(std::uint64_t h, std::string_view s) {
+  for (char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] std::uint64_t FnvMix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Same sampled content hash as GetSymbolGraph: the index is self-contained
+// (no views into the tree), so a hit stays valid after the building vector
+// is gone.
+[[nodiscard]] std::uint64_t TreeKey(const std::vector<SourceFile>& files) {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = FnvMix(h, files.size());
+  for (const SourceFile& f : files) {
+    h = Fnv1a(h, f.path);
+    h = FnvMix(h, f.text.size());
+    if (!f.text.empty()) {
+      h = Fnv1a(h, std::string_view(f.text).substr(0, 64));
+      h = Fnv1a(h, std::string_view(f.text).substr(
+                       f.text.size() / 2,
+                       std::min<std::size_t>(
+                           64, f.text.size() - f.text.size() / 2)));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::shared_ptr<const CfgIndex> GetCfgIndex(
+    const std::vector<SourceFile>& files) {
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const CfgIndex> index;
+  };
+  static std::mutex mu;
+  static std::vector<Entry> cache;
+
+  const std::uint64_t key = TreeKey(files);
+  std::lock_guard<std::mutex> lock(mu);
+  for (const Entry& e : cache) {
+    if (e.key == key) return e.index;
+  }
+  // Built under the lock on purpose (like GetSymbolGraph): the dataflow
+  // rules race here at the start of a --jobs run and should share one
+  // build. Body ranges do not depend on SymbolGraphOptions, so the default
+  // options reuse whatever graph the interprocedural rules already built.
+  auto graph = GetSymbolGraph(files, SymbolGraphOptions{});
+  auto index = std::make_shared<CfgIndex>();
+  std::vector<SigTokens> sigs;
+  sigs.reserve(files.size());
+  for (const SourceFile& f : files) sigs.emplace_back(f);
+  for (const FunctionSym& fn : graph->functions()) {
+    if (!fn.has_body || fn.file < 0 ||
+        static_cast<std::size_t>(fn.file) >= sigs.size()) {
+      continue;
+    }
+    const SigTokens& sig = sigs[static_cast<std::size_t>(fn.file)];
+    if (fn.body_begin >= sig.size() || fn.body_end >= sig.size()) continue;
+    index->by_body_.emplace(std::make_pair(fn.file, fn.body_begin),
+                            Cfg::Build(sig, fn.body_begin, fn.body_end));
+  }
+  if (cache.size() >= 8) cache.erase(cache.begin());
+  std::shared_ptr<const CfgIndex> frozen = std::move(index);
+  cache.push_back({key, frozen});
+  return frozen;
+}
+
+}  // namespace calculon::staticlint

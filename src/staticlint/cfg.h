@@ -1,0 +1,139 @@
+// Intraprocedural control-flow graphs for the dataflow lint rules
+// (rule_dataflow.cc, docs/correctness.md §6).
+//
+// A Cfg is built over a function body's SigTokens range (as recorded by the
+// symbol graph / decl model): straight-line statements grouped into basic
+// blocks, with labeled edges for if/else, while/for/range-for/do-while,
+// switch (including fallthrough), break/continue, early return/throw, and
+// short-circuit `&&`/`||` chains (each condition atom becomes its own block,
+// so side effects inside conditions are ordered and guard facts attach to
+// the edge that tested them).
+//
+// Like the declaration model, this is not a C++ parser. Constructs the
+// builder cannot model faithfully — goto, labels, unbalanced brackets —
+// mark the whole graph invalid, and the dataflow rules skip the function:
+// ambiguity silences, never invents. Lambda bodies stay inside the single
+// statement that contains them; rules skip their tokens via LambdaSkipper
+// (dataflow.h), so a lambda's deferred control flow is conservatively
+// ignored.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "staticlint/match.h"
+#include "staticlint/token.h"
+
+namespace calculon::staticlint {
+
+// Edge labels. kNext edges carry no decision and are omitted from witness
+// paths; everything else records why execution went this way.
+enum class CfgEdgeKind {
+  kNext,         // unconditional successor
+  kTrue,         // condition atom evaluated true
+  kFalse,        // condition atom evaluated false
+  kBack,         // loop back edge
+  kCase,         // switch head -> case/default label
+  kFallthrough,  // case body falls into the next label
+};
+
+[[nodiscard]] const char* ToString(CfgEdgeKind kind);
+
+// One statement: a half-open SigTokens index range [begin, end) in the
+// file the Cfg was built from, plus the 1-based line of its first token.
+struct CfgStmt {
+  std::size_t begin = kNpos;
+  std::size_t end = kNpos;
+  int line = 0;
+};
+
+struct CfgEdge {
+  int to = -1;
+  CfgEdgeKind kind = CfgEdgeKind::kNext;
+  int line = 0;  // line of the decision (condition / keyword)
+  // For kTrue/kFalse: the condition atom's token range (the guard the
+  // dataflow rules parse); kNpos when the edge tests nothing concrete
+  // (range-for, `for (;;)`, implicit switch default).
+  std::size_t cond_begin = kNpos;
+  std::size_t cond_end = kNpos;
+};
+
+struct CfgBlock {
+  std::vector<CfgStmt> stmts;
+  std::vector<CfgEdge> succ;
+};
+
+// One syntactic loop (while/for/range-for/do-while): the block holding its
+// condition (entry for while/for, exit test for do-while) and the body's
+// token range, used by the hot-loop-alloc rule.
+struct CfgLoop {
+  int header = -1;
+  int line = 0;  // line of the loop keyword
+  std::size_t body_begin = kNpos;  // first body token (after '{' if braced)
+  std::size_t body_end = kNpos;    // one past the last body token
+};
+
+class Cfg {
+ public:
+  // Builds the graph for the body range [body_begin, body_end] where
+  // body_begin indexes the '{' and body_end its matching '}'. An
+  // unmodelable body yields valid() == false.
+  [[nodiscard]] static Cfg Build(const SigTokens& sig,
+                                 std::size_t body_begin,
+                                 std::size_t body_end);
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] int entry() const { return 0; }
+  [[nodiscard]] int exit_block() const { return 1; }
+  [[nodiscard]] const std::vector<CfgBlock>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] const std::vector<CfgLoop>& loops() const { return loops_; }
+
+  // The block owning the statement that spans token index `tok`; -1 when
+  // no recorded statement covers it (block/keyword punctuation).
+  [[nodiscard]] int BlockContaining(std::size_t tok) const;
+
+  // The first block with a statement whose token range covers 1-based
+  // `line`; -1 when none does.
+  [[nodiscard]] int BlockOnLine(const SigTokens& sig, int line) const;
+
+  // Human-readable witness of one path from block `from` to block `to`:
+  // the branch decisions taken, e.g. "line 12:true -> line 15:fallthrough".
+  // Empty when no path exists or the path takes no decisions.
+  [[nodiscard]] std::string WitnessPath(int from, int to) const;
+
+ private:
+  friend class CfgBuilder;
+  bool valid_ = false;
+  std::vector<CfgBlock> blocks_;
+  std::vector<CfgLoop> loops_;
+};
+
+// Per-tree CFG index shared by the dataflow rules: one Cfg per function
+// body the symbol graph knows, keyed by (file index, body '{' SigTokens
+// index). Built once and memoized by tree content, like GetSymbolGraph, so
+// the four rules racing under --jobs pay a single construction.
+class CfgIndex {
+ public:
+  [[nodiscard]] const Cfg* Find(int file_index,
+                                std::size_t body_begin) const {
+    auto it = by_body_.find({file_index, body_begin});
+    return it == by_body_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t size() const { return by_body_.size(); }
+
+ private:
+  friend std::shared_ptr<const CfgIndex> GetCfgIndex(
+      const std::vector<SourceFile>& files);
+  std::map<std::pair<int, std::size_t>, Cfg> by_body_;
+};
+
+[[nodiscard]] std::shared_ptr<const CfgIndex> GetCfgIndex(
+    const std::vector<SourceFile>& files);
+
+}  // namespace calculon::staticlint

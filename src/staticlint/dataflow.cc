@@ -1,0 +1,180 @@
+#include "staticlint/dataflow.h"
+
+#include <algorithm>
+#include <string_view>
+
+namespace calculon::staticlint {
+
+bool IsLambdaIntro(const SigTokens& sig, std::size_t i) {
+  if (!sig.Is(i, "[")) return false;
+  if (sig.Is(i + 1, "[")) return false;  // [[attribute]]
+  if (i == 0) return true;
+  const Token& prev = sig[i - 1];
+  // After an identifier, ')' or ']' a '[' is a subscript or declarator.
+  if (prev.kind == TokKind::kIdent) {
+    // ...except after keywords that end an expression context.
+    return prev.text == "return" || prev.text == "case" ||
+           prev.text == "co_return" || prev.text == "co_yield";
+  }
+  if (prev.kind == TokKind::kNumber || prev.kind == TokKind::kString) {
+    return false;
+  }
+  return !(prev.text == ")" || prev.text == "]");
+}
+
+std::pair<std::size_t, std::size_t> LambdaBodyRange(const SigTokens& sig,
+                                                    std::size_t i) {
+  const std::pair<std::size_t, std::size_t> none = {kNpos, kNpos};
+  const std::size_t cap_close = FindMatching(sig, i);
+  if (cap_close == kNpos) return none;
+  std::size_t j = cap_close + 1;
+  if (sig.Is(j, "(")) {  // parameter list
+    const std::size_t m = FindMatching(sig, j);
+    if (m == kNpos) return none;
+    j = m + 1;
+  }
+  // Specifiers / trailing return type between the parameter list and the
+  // body: mutable, constexpr, noexcept[(...)], -> Type<...>.
+  for (int guard = 0; guard < 24; ++guard) {
+    if (sig.Is(j, "{")) {
+      const std::size_t body_end = FindMatching(sig, j);
+      return body_end == kNpos ? none : std::make_pair(j, body_end);
+    }
+    if (sig.IsIdent(j) || sig.Is(j, "->") || sig.Is(j, "::") ||
+        sig.Is(j, "*") || sig.Is(j, "&")) {
+      ++j;
+      continue;
+    }
+    if (sig.Is(j, "(") || sig.Is(j, "<")) {
+      const std::size_t m = FindMatching(sig, j);
+      if (m == kNpos) return none;
+      j = m + 1;
+      continue;
+    }
+    break;  // ';', ',', ')', '=' ...: not a lambda with a body here
+  }
+  return none;
+}
+
+LambdaSkipper::LambdaSkipper(const SigTokens& sig, std::size_t begin,
+                             std::size_t end) {
+  const std::size_t n = std::min(end, sig.size());
+  for (std::size_t i = begin; i < n; ++i) {
+    if (!IsLambdaIntro(sig, i)) continue;
+    const auto range = LambdaBodyRange(sig, i);
+    if (range.first == kNpos) continue;
+    // The parameter list declares fresh names, so it is as invisible as
+    // the body; only the capture list executes at creation time.
+    const std::size_t cap_close = FindMatching(sig, i);
+    if (cap_close != kNpos && sig.Is(cap_close + 1, "(")) {
+      const std::size_t params_close = FindMatching(sig, cap_close + 1);
+      if (params_close != kNpos && params_close < range.first) {
+        bodies_.emplace_back(cap_close + 1, params_close);
+      }
+    }
+    bodies_.push_back(range);
+  }
+}
+
+std::size_t LambdaSkipper::Skip(std::size_t i) const {
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& body : bodies_) {
+      if (body.first > i) break;  // sorted by begin
+      if (i >= body.first && i <= body.second) {
+        i = body.second + 1;
+        moved = true;
+      }
+    }
+  }
+  return i;
+}
+
+CondAtom ParseCondAtom(const SigTokens& sig, std::size_t begin,
+                       std::size_t end) {
+  CondAtom atom;
+  if (begin == kNpos || end == kNpos || begin >= end || end > sig.size()) {
+    return atom;
+  }
+  // Strip grouping parens and leading negations, tracking polarity.
+  bool stripped = true;
+  while (stripped && begin < end) {
+    stripped = false;
+    while (end - begin >= 2 && sig.Is(begin, "(") &&
+           FindMatching(sig, begin) == end - 1) {
+      ++begin;
+      --end;
+      stripped = true;
+    }
+    // `!x` but not `!=` (the lexer keeps '!' and '=' separate).
+    if (begin < end && sig.Is(begin, "!") && !sig.Is(begin + 1, "=")) {
+      ++begin;
+      atom.negated = !atom.negated;
+      stripped = true;
+    }
+  }
+  if (begin >= end) return atom;
+
+  // Declaration- or assignment-as-condition: `Type x = init` / `x = init`
+  // tests x's operator bool; the initializer itself is handled by the
+  // statement transfer (the atom doubles as a block statement).
+  for (std::size_t k = begin + 1; k < end; ++k) {
+    if (sig.Is(k, "(") || sig.Is(k, "[") || sig.Is(k, "{")) {
+      const std::size_t m = FindMatching(sig, k);
+      if (m == kNpos || m >= end) break;
+      k = m;
+      continue;
+    }
+    if (!sig.Is(k, "=")) continue;
+    if (sig.Is(k + 1, "=")) return atom;  // `==`: an opaque comparison
+    if (k > begin) {
+      const std::string_view before = sig[k - 1].text;
+      if (before == "!" || before == "<" || before == ">" ||
+          before == "=" || before == "+" || before == "-" ||
+          before == "*" || before == "/" || before == "%" ||
+          before == "&" || before == "|" || before == "^") {
+        return atom;  // compound assignment or comparison
+      }
+    }
+    // The declared/assigned name is the identifier right before '='; all
+    // tokens before it must be type spelling (idents, <...>, modifiers).
+    if (!sig.IsIdent(k - 1)) return atom;
+    for (std::size_t j = begin; j + 1 < k; ++j) {
+      if (sig.IsIdent(j) || sig.Is(j, "::") || sig.Is(j, "*") ||
+          sig.Is(j, "&")) {
+        continue;
+      }
+      if (sig.Is(j, "<")) {
+        const std::size_t m = FindMatching(sig, j);
+        if (m == kNpos || m + 1 >= k) return atom;
+        j = m;
+        continue;
+      }
+      return atom;
+    }
+    atom.valid = true;
+    atom.var = std::string(sig[k - 1].text);
+    return atom;
+  }
+
+  // Bare operator-bool test: `x`.
+  if (end - begin == 1 && sig.IsIdent(begin)) {
+    atom.valid = true;
+    atom.var = std::string(sig[begin].text);
+    return atom;
+  }
+  // Argument-free method test: `x.ok()` / `x->has_value()`.
+  if (end - begin == 5 && sig.IsIdent(begin) &&
+      (sig.Is(begin + 1, ".") || sig.Is(begin + 1, "->")) &&
+      sig.IsIdent(begin + 2) && sig.Is(begin + 3, "(") &&
+      sig.Is(begin + 4, ")")) {
+    atom.valid = true;
+    atom.var = std::string(sig[begin].text);
+    atom.method = std::string(sig[begin + 2].text);
+    return atom;
+  }
+  return atom;
+}
+
+}  // namespace calculon::staticlint

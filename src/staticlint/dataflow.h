@@ -1,0 +1,135 @@
+// Generic forward dataflow solving over a Cfg (cfg.h), plus the shared
+// token utilities the dataflow rules (rule_dataflow.cc) need: lambda-body
+// skipping and guard-condition parsing.
+//
+// The solver is a classic worklist fixpoint over a pluggable
+// join-semilattice. Iteration is bounded; a run that fails to converge
+// within the budget reports converged == false and the calling rule stays
+// silent for that function — the engine's contract is that ambiguity
+// silences, never invents (docs/correctness.md §6).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "staticlint/cfg.h"
+#include "staticlint/match.h"
+
+namespace calculon::staticlint {
+
+// True when the '[' at `i` introduces a lambda (as opposed to a subscript,
+// an array declarator, or an [[attribute]]).
+[[nodiscard]] bool IsLambdaIntro(const SigTokens& sig, std::size_t i);
+
+// For a lambda intro at `i`: the SigTokens indices of the body's '{' and
+// its matching '}'. {kNpos, kNpos} when `i` is not a lambda with a body.
+[[nodiscard]] std::pair<std::size_t, std::size_t> LambdaBodyRange(
+    const SigTokens& sig, std::size_t i);
+
+// Precomputed lambda-body ranges in [begin, end): the rules scan statement
+// tokens with `for (i = s.Skip(b); i < e; i = s.Skip(i + 1))` so a
+// lambda's deferred body and parameter list are conservatively invisible
+// while its capture list (which executes at creation) stays visible.
+class LambdaSkipper {
+ public:
+  LambdaSkipper(const SigTokens& sig, std::size_t begin, std::size_t end);
+
+  // Smallest index >= i that lies outside every lambda body.
+  [[nodiscard]] std::size_t Skip(std::size_t i) const;
+
+ private:
+  // Inclusive ['{', '}'] index ranges, sorted by begin.
+  std::vector<std::pair<std::size_t, std::size_t>> bodies_;
+};
+
+// A parsed guard atom from a kTrue/kFalse edge's condition range. The
+// recognized shapes are deliberately small:
+//   x            ->  {var: "x", method: ""}
+//   !x           ->  negated
+//   x.ok()       ->  {var: "x", method: "ok"}   (also `->`)
+//   !x.has_value()
+//   Type x = f() ->  declaration-as-condition: operator-bool test of x
+//   x = f()      ->  assignment-as-condition: same test
+// Anything else (comparisons, arithmetic, calls with arguments) yields
+// valid == false and the rules treat the edge as opaque.
+struct CondAtom {
+  bool valid = false;
+  bool negated = false;
+  std::string var;
+  std::string method;  // empty = bare operator-bool test
+};
+
+[[nodiscard]] CondAtom ParseCondAtom(const SigTokens& sig,
+                                     std::size_t begin, std::size_t end);
+
+// Solved entry states: in[b] is the join over all incoming edges of block
+// b, valid only where reached[b]. A false `converged` means the iteration
+// budget ran out (untrusted states — callers must stay silent).
+template <typename Analysis>
+struct ForwardResult {
+  std::vector<typename Analysis::State> in;
+  std::vector<char> reached;
+  bool converged = true;
+};
+
+// Forward worklist solve. Analysis supplies:
+//   using State = ...;                 // copyable lattice value
+//   State Boundary();                  // state at function entry
+//   void TransferStmt(State*, const CfgStmt&);
+//   void TransferEdge(State*, const CfgEdge&);
+//   State Join(const State&, const State&);
+//   bool Equal(const State&, const State&);
+template <typename Analysis>
+[[nodiscard]] ForwardResult<Analysis> SolveForward(const Cfg& cfg,
+                                                   Analysis& analysis) {
+  const std::vector<CfgBlock>& blocks = cfg.blocks();
+  ForwardResult<Analysis> result;
+  result.in.resize(blocks.size());
+  result.reached.assign(blocks.size(), 0);
+  if (!cfg.valid() || blocks.empty()) {
+    result.converged = false;
+    return result;
+  }
+  const std::size_t entry = static_cast<std::size_t>(cfg.entry());
+  result.in[entry] = analysis.Boundary();
+  result.reached[entry] = 1;
+  std::vector<int> worklist = {cfg.entry()};
+  // Budget: each block is revisited at most a small constant number of
+  // times for the short lattices the rules use; a deeper lattice that
+  // exceeds it is declared non-converged rather than trusted.
+  std::size_t budget = 8 * blocks.size() + 64;
+  while (!worklist.empty()) {
+    if (budget-- == 0) {
+      result.converged = false;
+      break;
+    }
+    const std::size_t b = static_cast<std::size_t>(worklist.back());
+    worklist.pop_back();
+    typename Analysis::State state = result.in[b];
+    for (const CfgStmt& stmt : blocks[b].stmts) {
+      analysis.TransferStmt(&state, stmt);
+    }
+    for (const CfgEdge& edge : blocks[b].succ) {
+      typename Analysis::State out = state;
+      analysis.TransferEdge(&out, edge);
+      const std::size_t to = static_cast<std::size_t>(edge.to);
+      if (result.reached[to] == 0) {
+        result.in[to] = std::move(out);
+        result.reached[to] = 1;
+        worklist.push_back(edge.to);
+      } else {
+        typename Analysis::State joined =
+            analysis.Join(result.in[to], out);
+        if (!analysis.Equal(joined, result.in[to])) {
+          result.in[to] = std::move(joined);
+          worklist.push_back(edge.to);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace calculon::staticlint

@@ -2,8 +2,8 @@
 //
 //   calculon-lint --root <repo> [--baseline FILE] [--sarif FILE]
 //                 [--rules a,b,...] [--jobs N] [--only p1,p2,...]
-//                 [--format human|github] [--timing FILE]
-//                 [--timing-baseline FILE] [--list-rules]
+//                 [--expand-includers] [--format human|github]
+//                 [--timing FILE] [--timing-baseline FILE] [--list-rules]
 //                 [--update-baseline]
 //
 // Exit codes: 0 clean, 1 non-baselined error findings (notes never fail),
@@ -24,6 +24,7 @@
 #include "staticlint/baseline.h"
 #include "staticlint/diagnostics.h"
 #include "staticlint/engine.h"
+#include "staticlint/include_graph.h"
 #include "staticlint/rules.h"
 #include "util/error.h"
 
@@ -41,6 +42,9 @@ struct CliOptions {
   // guard bindings) need it -- only the report is restricted. This is what
   // scripts/lint.sh --changed uses for fast pre-push feedback.
   std::set<std::string> only_paths;
+  // With --only: also report findings in every transitive includer of the
+  // listed files, so editing a header re-checks the .cc files it can break.
+  bool expand_includers = false;
   std::string format = "human";  // or "github" (workflow annotations)
   std::string timing_path;       // write per-rule wall-time JSON here
   std::string timing_baseline;   // gate total time against this JSON
@@ -54,8 +58,8 @@ void PrintUsage() {
   std::cout <<
       "usage: calculon-lint [--root DIR] [--baseline FILE] [--sarif FILE]\n"
       "                     [--rules a,b,...] [--jobs N] [--only p1,p2,...]\n"
-      "                     [--format human|github] [--timing FILE]\n"
-      "                     [--timing-baseline FILE]\n"
+      "                     [--expand-includers] [--format human|github]\n"
+      "                     [--timing FILE] [--timing-baseline FILE]\n"
       "                     [--list-rules] [--update-baseline] [--verbose]\n"
       "\n"
       "Project-aware static analysis for the calculon repository: layering\n"
@@ -101,6 +105,8 @@ void PrintUsage() {
       while (std::getline(list, one, ',')) {
         if (!one.empty()) out->only_paths.insert(one);
       }
+    } else if (arg == "--expand-includers") {
+      out->expand_includers = true;
     } else if (arg == "--format") {
       const char* v = next("--format");
       if (v == nullptr) return false;
@@ -189,6 +195,11 @@ int main(int argc, char** argv) {
 
     Baseline baseline = LoadBaseline(baseline_path);
     BaselineApplication app = ApplyBaseline(baseline, result.findings);
+    if (!cli.only_paths.empty() && cli.expand_includers) {
+      const IncludeGraph graph =
+          IncludeGraph::Build(files, config.include_root);
+      cli.only_paths = graph.ExpandWithIncluders(cli.only_paths);
+    }
     if (!cli.only_paths.empty()) {
       std::vector<Diagnostic> kept;
       for (Diagnostic& d : app.fresh) {

@@ -1,0 +1,1327 @@
+// The four dataflow rules (docs/correctness.md §6): raw-taint,
+// unchecked-result, use-after-move, and hot-loop-alloc. All four share the
+// memoized symbol graph (body ranges), the memoized CFG index, and the
+// forward worklist solver from dataflow.h.
+//
+// Contract: ambiguity silences, never invents. A function whose body the
+// CFG builder cannot model, a solve that fails to converge, a variable
+// whose type or dimension cannot be pinned — all go silent instead of
+// guessing. Every reported finding carries a witness path: the branch
+// decisions (cfg.h edge labels) that lead from the fact's origin to the
+// offending use.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "staticlint/cfg.h"
+#include "staticlint/dataflow.h"
+#include "staticlint/graph.h"
+#include "staticlint/match.h"
+#include "staticlint/rules.h"
+#include "staticlint/symbol_graph.h"
+
+namespace calculon::staticlint {
+
+namespace {
+
+[[nodiscard]] std::string Trimmed(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+[[nodiscard]] Diagnostic MakeDiag(const SourceFile& file, int line,
+                                  const char* rule, std::string message,
+                                  Severity severity = Severity::kError) {
+  Diagnostic d;
+  d.rule = rule;
+  d.path = file.path;
+  d.line = line;
+  d.col = 1;
+  d.message = std::move(message);
+  d.excerpt = Trimmed(LineText(file, line));
+  d.severity = severity;
+  return d;
+}
+
+[[nodiscard]] SymbolGraphOptions GraphOptions(const ProjectConfig& config) {
+  SymbolGraphOptions o;
+  o.alloc_calls = config.alloc_calls;
+  o.blocking_io_calls = config.blocking_io_calls;
+  o.lock_types = config.lock_types;
+  return o;
+}
+
+// Identifiers that open statements rather than declarations.
+[[nodiscard]] bool IsStmtKeyword(std::string_view t) {
+  static const std::set<std::string_view> kKeywords = {
+      "return",   "if",        "else",     "while",   "for",
+      "do",       "switch",    "case",     "default", "break",
+      "continue", "goto",      "throw",    "try",     "catch",
+      "new",      "delete",    "sizeof",   "co_return", "co_yield",
+      "co_await", "using",     "typedef",  "template", "typename",
+      "struct",   "class",     "enum",     "union",    "operator",
+      "public",   "private",   "protected", "static_assert", "namespace",
+      "this",     "nullptr",   "true",     "false"};
+  return kKeywords.count(t) > 0;
+}
+
+// The parameter-list token range of the function whose body '{' sits at
+// `body_begin`: walks back over trailing specifiers to the ')' and then to
+// its '('. {kNpos, kNpos} when the shape is not recognized.
+[[nodiscard]] std::pair<std::size_t, std::size_t> ParamRange(
+    const SigTokens& sig, std::size_t body_begin) {
+  const std::pair<std::size_t, std::size_t> none = {kNpos, kNpos};
+  if (body_begin == kNpos || body_begin == 0) return none;
+  std::size_t j = body_begin - 1;
+  for (int guard = 0; guard < 12 && j > 0; ++guard) {
+    const std::string_view t = sig[j].text;
+    if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+        t == "mutable" || t == "&" || t == "try" || t == ":") {
+      // `: member(init)` ctor lists make the walk-back ambiguous; give up.
+      if (t == ":") return none;
+      --j;
+      continue;
+    }
+    break;
+  }
+  if (!sig.Is(j, ")")) return none;
+  int depth = 1;
+  std::size_t k = j;
+  while (k > 0 && depth > 0) {
+    --k;
+    if (sig.Is(k, ")")) ++depth;
+    if (sig.Is(k, "(")) --depth;
+  }
+  if (depth != 0) return none;
+  return {k + 1, j};  // tokens strictly inside the parens
+}
+
+// Whether the function with body at `body_begin` declares a plain `double`
+// return. Unknown shapes return false (silence).
+[[nodiscard]] bool ReturnsDouble(const SigTokens& sig,
+                                 std::size_t body_begin) {
+  if (body_begin == kNpos || body_begin < 2) return false;
+  // Trailing return type: `... -> double {`.
+  if (sig.Is(body_begin - 1, "double") && sig.Is(body_begin - 2, "->")) {
+    return true;
+  }
+  const auto params = ParamRange(sig, body_begin);
+  if (params.first == kNpos || params.first < 2) return false;
+  std::size_t name = params.first - 2;  // ident before '('
+  if (!sig.IsIdent(name) || name == 0) return false;
+  std::size_t type = name - 1;
+  if (sig.Is(type, "::") && type >= 2) type -= 2;  // Class::Method
+  return sig.Is(type, "double");
+}
+
+// Classifies the tokens of an initializer / assignment right-hand side for
+// the unchecked-result rule.
+enum class RhsKind { kResultCall, kTrackedVar, kNullopt, kValue };
+
+// The variable a statement writes as a whole: `x = rhs`, or a declaration
+// `[const|static]* Type[::Part]*[<...>] [&const]* name [= ( { ;]`. Plain
+// declarations (no initializer) count too — they re-create the object, so
+// they kill moved/tainted state. Pointer declarations yield no target.
+struct StmtTarget {
+  std::string name;
+  std::size_t tok = kNpos;
+  std::size_t rhs_begin = kNpos;  // kNpos = no initializer tokens
+  std::size_t rhs_end = kNpos;
+};
+
+[[nodiscard]] StmtTarget FindStmtTarget(const SigTokens& sig,
+                                        const LambdaSkipper& skipper,
+                                        const CfgStmt& st) {
+  StmtTarget t;
+  std::size_t i = skipper.Skip(st.begin);
+  // A range-for header statement spans `( decl : range )`: the declared
+  // loop variable is rebound every iteration, so it is a target too.
+  if (sig.Is(i, "(")) ++i;
+  if (i >= st.end || !sig.IsIdent(i)) return t;
+  if (!IsStmtKeyword(sig[i].text) && sig.Is(i + 1, "=") &&
+      !sig.Is(i + 2, "=")) {
+    t.name = std::string(sig[i].text);
+    t.tok = i;
+    t.rhs_begin = i + 2;
+    t.rhs_end = st.end;
+    return t;
+  }
+  std::size_t j = i;
+  while (j < st.end && (sig.Is(j, "const") || sig.Is(j, "static") ||
+                        sig.Is(j, "typename"))) {
+    ++j;
+  }
+  if (j >= st.end || !sig.IsIdent(j) || IsStmtKeyword(sig[j].text)) {
+    return t;
+  }
+  ++j;  // past the first type identifier
+  while (sig.Is(j, "::") && sig.IsIdent(j + 1)) j += 2;
+  if (sig.Is(j, "<")) {
+    const std::size_t m = FindMatching(sig, j);
+    if (m == kNpos || m >= st.end) return t;
+    j = m + 1;
+  }
+  bool pointer = false;
+  while (sig.Is(j, "&") || sig.Is(j, "*") || sig.Is(j, "const")) {
+    if (sig.Is(j, "*")) pointer = true;
+    ++j;
+  }
+  if (pointer || j <= i || j >= st.end || !sig.IsIdent(j) ||
+      IsStmtKeyword(sig[j].text)) {
+    return t;
+  }
+  if (sig.Is(j + 1, "=") && !sig.Is(j + 2, "=")) {
+    t.name = std::string(sig[j].text);
+    t.tok = j;
+    t.rhs_begin = j + 2;
+    t.rhs_end = st.end;
+    return t;
+  }
+  if (sig.Is(j + 1, "(") || sig.Is(j + 1, "{")) {
+    const std::size_t close = FindMatching(sig, j + 1);
+    if (close == kNpos || close > st.end) return t;
+    t.name = std::string(sig[j].text);
+    t.tok = j;
+    t.rhs_begin = j + 2;
+    t.rhs_end = close;
+    return t;
+  }
+  if (sig.Is(j + 1, ";") || sig.Is(j + 1, ":") || j + 1 >= st.end) {
+    t.name = std::string(sig[j].text);
+    t.tok = j;
+    return t;
+  }
+  return t;
+}
+
+// ------------------------------------------------------------------
+// raw-taint
+// ------------------------------------------------------------------
+
+struct TaintFact {
+  std::string dim;  // joined dimension; "?" = mixed/unknown
+  int line = 0;     // earliest taint origin
+  int block = -1;
+
+  bool operator==(const TaintFact& o) const {
+    return dim == o.dim && line == o.line && block == o.block;
+  }
+};
+
+struct RawTaintAnalysis {
+  using State = std::map<std::string, TaintFact>;
+
+  const SourceFile& file;
+  const SigTokens& sig;
+  const Cfg& cfg;
+  const ProjectConfig& config;
+  const LambdaSkipper& skipper;
+  const std::map<std::string, std::string>& var_dim;  // quantity locals
+  const std::map<std::size_t, int>& block_of_stmt;
+  const std::map<int, std::set<std::string>>& suppressions;
+  bool fn_returns_double = false;
+  bool report = false;
+  std::vector<Diagnostic>* out = nullptr;
+  std::set<std::string> reported;  // "line:var" dedupe
+
+  State Boundary() { return {}; }
+  State Join(const State& a, const State& b) {
+    State j = a;
+    for (const auto& [var, fact] : b) {
+      auto it = j.find(var);
+      if (it == j.end()) {
+        j[var] = fact;
+      } else {
+        TaintFact& f = it->second;
+        if (f.dim != fact.dim) f.dim = "?";
+        if (fact.line < f.line || (fact.line == f.line &&
+                                   fact.block < f.block)) {
+          f.line = fact.line;
+          f.block = fact.block;
+        }
+      }
+    }
+    return j;
+  }
+  bool Equal(const State& a, const State& b) { return a == b; }
+  void TransferEdge(State*, const CfgEdge&) {}
+
+  [[nodiscard]] bool Suppressed(int line, int stmt_line) const {
+    for (int l : {line, stmt_line}) {
+      auto it = suppressions.find(l);
+      if (it != suppressions.end() &&
+          (it->second.count("unit-ok") > 0 ||
+           it->second.count("raw-taint") > 0)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Report(const std::string& var, const TaintFact& fact, int line,
+              int use_tok_block, std::string what) {
+    const std::string key = std::to_string(line) + ":" + var + ":" + what;
+    if (!reported.insert(key).second) return;
+    std::string msg = "raw() value in `" + var + "` (tainted at line " +
+                      std::to_string(fact.line) + ") " + std::move(what);
+    const std::string path = cfg.WitnessPath(fact.block, use_tok_block);
+    if (!path.empty()) msg += " [path: " + path + "]";
+    out->push_back(MakeDiag(file, line, "raw-taint", std::move(msg)));
+  }
+
+  // Taint contribution of [begin, end): "" = clean, else joined dimension.
+  [[nodiscard]] std::string RhsTaint(const State& s, std::size_t begin,
+                                     std::size_t end, int* origin_line,
+                                     int* origin_block) const {
+    std::string dim;
+    bool any = false;
+    auto add = [&](const std::string& d, int line, int block) {
+      if (!any) {
+        dim = d;
+        *origin_line = line;
+        *origin_block = block;
+        any = true;
+      } else {
+        if (dim != d) dim = "?";
+        if (line < *origin_line) {
+          *origin_line = line;
+          *origin_block = block;
+        }
+      }
+    };
+    for (std::size_t k = skipper.Skip(begin); k < end;
+         k = skipper.Skip(k + 1)) {
+      if (!sig.IsIdent(k)) continue;
+      if (sig[k].text == "raw" && k >= 2 &&
+          (sig.Is(k - 1, ".") || sig.Is(k - 1, "->")) &&
+          sig.Is(k + 1, "(")) {
+        std::string d = "?";
+        if (sig.IsIdent(k - 2)) {
+          auto it = var_dim.find(std::string(sig[k - 2].text));
+          if (it != var_dim.end()) d = it->second;
+        }
+        const int block = BlockOf(k);
+        add(d, sig[k].line, block);
+        continue;
+      }
+      if (sig.Is(k + 1, ".") || sig.Is(k + 1, "->") || sig.Is(k - 1, ".") ||
+          sig.Is(k - 1, "->") || sig.Is(k - 1, "::")) {
+        continue;  // member accesses are not reads of a tainted local
+      }
+      auto it = s.find(std::string(sig[k].text));
+      if (it != s.end()) {
+        add(it->second.dim, it->second.line, it->second.block);
+      }
+    }
+    return any ? dim : std::string();
+  }
+
+  [[nodiscard]] int BlockOf(std::size_t tok) const {
+    // Statement begins key the map; fall back to a scan for mid-statement
+    // tokens (condition atoms are their own statements, so begins cover
+    // nearly everything).
+    auto it = block_of_stmt.upper_bound(tok);
+    if (it != block_of_stmt.begin()) {
+      --it;
+      return it->second;
+    }
+    return cfg.BlockContaining(tok);
+  }
+
+  void TransferStmt(State* s, const CfgStmt& st) {
+    // 1. Assignment / declaration target and its right-hand side.
+    const StmtTarget target_info = FindStmtTarget(sig, skipper, st);
+    const std::string& target = target_info.name;
+
+    // 2. Sinks (report mode): cross-dimension factory args and tainted
+    // escapes through a double return.
+    if (report) {
+      ScanSinks(*s, st);
+    }
+
+    // 3. State update.
+    if (!target.empty()) {
+      // A quantity-typed variable is a typed sink, not a taint carrier:
+      // getting a raw double into it requires a factory, which the sink
+      // check above already vets.
+      if (var_dim.count(target) > 0) {
+        s->erase(target);
+        return;
+      }
+      int origin_line = 0;
+      int origin_block = -1;
+      const std::string dim =
+          target_info.rhs_begin == kNpos
+              ? std::string()
+              : RhsTaint(*s, target_info.rhs_begin, target_info.rhs_end,
+                         &origin_line, &origin_block);
+      if (dim.empty()) {
+        s->erase(target);
+      } else {
+        auto it = s->find(target);
+        if (it == s->end()) {
+          (*s)[target] = {dim, origin_line, origin_block};
+        } else {
+          it->second.dim = dim;  // overwrite: assignment kills the old value
+          it->second.line = origin_line;
+          it->second.block = origin_block;
+        }
+      }
+    }
+  }
+
+  void ScanSinks(const State& s, const CfgStmt& st) {
+    const int stmt_line = st.line;
+    // return-escape: a tainted local leaving through a raw double return.
+    if (sig.Is(st.begin, "return") && fn_returns_double &&
+        !config.IsRawBoundary(file.path)) {
+      for (std::size_t k = skipper.Skip(st.begin + 1); k < st.end;
+           k = skipper.Skip(k + 1)) {
+        if (!sig.IsIdent(k)) continue;
+        if (sig.Is(k + 1, ".") || sig.Is(k + 1, "->") ||
+            sig.Is(k - 1, ".") || sig.Is(k - 1, "->") ||
+            sig.Is(k - 1, "::")) {
+          continue;
+        }
+        auto it = s.find(std::string(sig[k].text));
+        if (it == s.end()) continue;
+        if (Suppressed(sig[k].line, stmt_line)) continue;
+        Report(it->first, it->second, sig[k].line, BlockOf(k),
+               "escapes through the function's double return outside a "
+               "raw boundary");
+      }
+    }
+    // Cross-dimension factory sinks: F(<tainted of other dim>) and
+    // F(x.raw()) with x of another dimension.
+    for (std::size_t k = skipper.Skip(st.begin); k < st.end;
+         k = skipper.Skip(k + 1)) {
+      if (!sig.IsIdent(k)) continue;
+      auto fit = config.quantity_factories.find(std::string(sig[k].text));
+      if (fit == config.quantity_factories.end()) continue;
+      if (k > 0 && (sig.Is(k - 1, ".") || sig.Is(k - 1, "->"))) continue;
+      std::size_t open = kNpos;
+      if (sig.Is(k + 1, "(")) {
+        open = k + 1;
+      } else if (sig.IsIdent(k + 1) && sig.Is(k + 2, "(")) {
+        open = k + 2;  // `Bytes b(expr)` constructor declaration
+      }
+      if (open == kNpos) continue;
+      const std::size_t close = FindMatching(sig, open);
+      if (close == kNpos || close > st.end) continue;
+      const std::string& want = fit->second;
+      for (std::size_t a = skipper.Skip(open + 1); a < close;
+           a = skipper.Skip(a + 1)) {
+        if (!sig.IsIdent(a)) continue;
+        // Direct `x.raw()` of a known other dimension.
+        if (sig[a].text == "raw" && a >= 2 &&
+            (sig.Is(a - 1, ".") || sig.Is(a - 1, "->")) &&
+            sig.Is(a + 1, "(") && sig.IsIdent(a - 2)) {
+          auto vt = var_dim.find(std::string(sig[a - 2].text));
+          if (vt != var_dim.end() && vt->second != want) {
+            if (Suppressed(sig[a].line, stmt_line)) continue;
+            TaintFact here{vt->second, sig[a].line, BlockOf(a)};
+            Report(std::string(sig[a - 2].text), here, sig[a].line,
+                   BlockOf(a),
+                   "of dimension " + vt->second + " converts into " +
+                       fit->first + " (dimension " + want + ")");
+          }
+          continue;
+        }
+        if (sig.Is(a + 1, ".") || sig.Is(a + 1, "->") ||
+            sig.Is(a - 1, ".") || sig.Is(a - 1, "->") ||
+            sig.Is(a - 1, "::")) {
+          continue;
+        }
+        auto it = s.find(std::string(sig[a].text));
+        if (it == s.end()) continue;
+        if (it->second.dim.empty() || it->second.dim == "?" ||
+            it->second.dim == want) {
+          continue;  // same dimension or unpinnable: silence
+        }
+        if (Suppressed(sig[a].line, stmt_line)) continue;
+        Report(it->first, it->second, sig[a].line, BlockOf(a),
+               "of dimension " + it->second.dim + " flows into " +
+                   fit->first + " (dimension " + want + ")");
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------------------
+// unchecked-result
+// ------------------------------------------------------------------
+
+constexpr unsigned kUnchecked = 1;
+constexpr unsigned kOk = 2;
+constexpr unsigned kErr = 4;
+
+enum class ResultKind { kResult, kOptional };
+
+struct ResultFact {
+  unsigned bits = 0;
+  ResultKind kind = ResultKind::kResult;
+  int line = 0;  // declaration line
+  int block = -1;
+
+  bool operator==(const ResultFact& o) const {
+    return bits == o.bits && kind == o.kind && line == o.line &&
+           block == o.block;
+  }
+};
+
+struct UncheckedResultAnalysis {
+  using State = std::map<std::string, ResultFact>;
+
+  const SourceFile& file;
+  const SigTokens& sig;
+  const Cfg& cfg;
+  const ProjectConfig& config;
+  const LambdaSkipper& skipper;
+  const std::set<std::string>& result_returning;
+  const std::map<std::size_t, int>& block_of_stmt;
+  const std::map<int, std::set<std::string>>& suppressions;
+  bool report = false;
+  std::vector<Diagnostic>* out = nullptr;
+  std::set<std::string> reported;
+
+  State Boundary() { return {}; }
+  State Join(const State& a, const State& b) {
+    State j = a;
+    for (const auto& [var, fact] : b) {
+      auto it = j.find(var);
+      if (it == j.end()) {
+        j[var] = fact;
+      } else {
+        it->second.bits |= fact.bits;
+        if (fact.line < it->second.line) {
+          it->second.line = fact.line;
+          it->second.block = fact.block;
+        }
+      }
+    }
+    return j;
+  }
+  bool Equal(const State& a, const State& b) { return a == b; }
+
+  void TransferEdge(State* s, const CfgEdge& e) {
+    if (e.kind != CfgEdgeKind::kTrue && e.kind != CfgEdgeKind::kFalse) {
+      return;
+    }
+    const CondAtom atom = ParseCondAtom(sig, e.cond_begin, e.cond_end);
+    if (!atom.valid) return;
+    auto it = s->find(atom.var);
+    if (it == s->end()) return;
+    if (!atom.method.empty() &&
+        config.result_check_methods.count(atom.method) == 0) {
+      return;
+    }
+    const bool taken_true = (e.kind == CfgEdgeKind::kTrue) != atom.negated;
+    it->second.bits = taken_true ? kOk : kErr;
+  }
+
+  [[nodiscard]] int BlockOf(std::size_t tok) const {
+    auto it = block_of_stmt.upper_bound(tok);
+    if (it != block_of_stmt.begin()) {
+      --it;
+      return it->second;
+    }
+    return cfg.BlockContaining(tok);
+  }
+
+  [[nodiscard]] bool Suppressed(int line, int stmt_line) const {
+    for (int l : {line, stmt_line}) {
+      auto it = suppressions.find(l);
+      if (it != suppressions.end() &&
+          it->second.count("unchecked-result") > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Classifies an initializer / assignment RHS.
+  [[nodiscard]] RhsKind ClassifyRhs(const State& s, std::size_t begin,
+                                    std::size_t end,
+                                    std::string* copied_from) const {
+    std::size_t count = 0;
+    std::size_t only = kNpos;
+    for (std::size_t k = skipper.Skip(begin); k < end;
+         k = skipper.Skip(k + 1)) {
+      if (sig.Is(k, "nullopt")) return RhsKind::kNullopt;
+      if (sig.IsIdent(k) && sig.Is(k + 1, "(") &&
+          result_returning.count(std::string(sig[k].text)) > 0 &&
+          !(k > 0 && (sig.Is(k - 1, ".") || sig.Is(k - 1, "->")))) {
+        return RhsKind::kResultCall;
+      }
+      if (sig.IsIdent(k)) {
+        ++count;
+        only = k;
+      }
+    }
+    if (count == 1 && only != kNpos) {
+      const std::string name(sig[only].text);
+      if (s.count(name) > 0) {
+        *copied_from = name;
+        return RhsKind::kTrackedVar;
+      }
+    }
+    return RhsKind::kValue;
+  }
+
+  void ApplyRhs(State* s, const std::string& var, ResultKind kind,
+                std::size_t begin, std::size_t end, int line, int block) {
+    std::string copied;
+    ResultFact fact;
+    fact.kind = kind;
+    fact.line = line;
+    fact.block = block;
+    switch (ClassifyRhs(*s, begin, end, &copied)) {
+      case RhsKind::kResultCall:
+        fact.bits = kUnchecked;
+        break;
+      case RhsKind::kTrackedVar: {
+        const ResultFact& src = (*s)[copied];
+        fact.bits = src.bits;
+        fact.kind = src.kind;
+        break;
+      }
+      case RhsKind::kNullopt:
+        fact.bits = kErr;
+        break;
+      case RhsKind::kValue:
+        fact.bits = kOk;  // constructed from a plain value: holds one
+        break;
+    }
+    auto it = s->find(var);
+    if (it != s->end()) {
+      it->second.bits = fact.bits;  // keep the original declaration site
+    } else {
+      (*s)[var] = fact;
+    }
+  }
+
+  void Report(const std::string& var, const ResultFact& fact, int line,
+              int use_block, const std::string& how) {
+    const std::string key = std::to_string(line) + ":" + var;
+    if (!reported.insert(key).second) return;
+    std::string state_desc;
+    if ((fact.bits & kErr) != 0 && (fact.bits & kUnchecked) == 0) {
+      state_desc = "is known error/empty on this path";
+    } else {
+      state_desc = "may be unchecked on this path";
+    }
+    std::string msg = "`" + var + "` " + state_desc + ": " + how +
+                      " without a dominating ok()/has_value() check "
+                      "(declared line " +
+                      std::to_string(fact.line) + ")";
+    const std::string path = cfg.WitnessPath(fact.block, use_block);
+    if (!path.empty()) msg += " [path: " + path + "]";
+    out->push_back(MakeDiag(file, line, "unchecked-result", std::move(msg)));
+  }
+
+  void TransferStmt(State* s, const CfgStmt& st) {
+    for (std::size_t k = skipper.Skip(st.begin); k < st.end;
+         k = skipper.Skip(k + 1)) {
+      if (!sig.IsIdent(k)) continue;
+      const std::string name(sig[k].text);
+
+      // Declarations: Result<...> r / std::optional<...> o / auto r = f().
+      if ((name == "Result" || name == "optional") && sig.Is(k + 1, "<") &&
+          !(k > 0 && (sig.Is(k - 1, ".") || sig.Is(k - 1, "->")))) {
+        const std::size_t m = FindMatching(sig, k + 1);
+        if (m == kNpos || m >= st.end) continue;
+        std::size_t j = m + 1;
+        bool pointer = false;
+        while (sig.Is(j, "&") || sig.Is(j, "const") || sig.Is(j, "*")) {
+          if (sig.Is(j, "*")) pointer = true;
+          ++j;
+        }
+        if (pointer || !sig.IsIdent(j) || j >= st.end) continue;
+        const ResultKind kind =
+            name == "optional" ? ResultKind::kOptional : ResultKind::kResult;
+        const std::string var(sig[j].text);
+        const int block = BlockOf(st.begin);
+        if (sig.Is(j + 1, "=")) {
+          ApplyRhs(s, var, kind, j + 2, st.end, sig[j].line, block);
+          (*s)[var].line = sig[j].line;
+          (*s)[var].block = block;
+        } else if (sig.Is(j + 1, "(") || sig.Is(j + 1, "{")) {
+          const std::size_t close = FindMatching(sig, j + 1);
+          if (close == kNpos || close > st.end) continue;
+          ApplyRhs(s, var, kind, j + 2, close, sig[j].line, block);
+          (*s)[var].line = sig[j].line;
+          (*s)[var].block = block;
+        } else if (sig.Is(j + 1, ";") || j + 1 >= st.end) {
+          ResultFact fact;
+          fact.kind = kind;
+          // A default-constructed optional is empty; a default Result
+          // holds a default T (the variant's first alternative).
+          fact.bits = kind == ResultKind::kOptional ? kErr : kOk;
+          fact.line = sig[j].line;
+          fact.block = block;
+          (*s)[var] = fact;
+        }
+        k = j;  // continue scanning the initializer for uses of others
+        continue;
+      }
+      if (name == "auto" &&
+          !(k > 0 && (sig.Is(k - 1, ".") || sig.Is(k - 1, "->")))) {
+        std::size_t j = k + 1;
+        bool pointer = false;
+        while (sig.Is(j, "&") || sig.Is(j, "const") || sig.Is(j, "*")) {
+          if (sig.Is(j, "*")) pointer = true;
+          ++j;
+        }
+        if (pointer || !sig.IsIdent(j) || !sig.Is(j + 1, "=")) continue;
+        std::string copied;
+        const RhsKind rhs = ClassifyRhs(*s, j + 2, st.end, &copied);
+        if (rhs == RhsKind::kResultCall) {
+          (*s)[std::string(sig[j].text)] = {kUnchecked, ResultKind::kResult,
+                                            sig[j].line, BlockOf(st.begin)};
+        } else if (rhs == RhsKind::kTrackedVar) {
+          ResultFact fact = (*s)[copied];
+          fact.line = sig[j].line;
+          fact.block = BlockOf(st.begin);
+          (*s)[std::string(sig[j].text)] = fact;
+        }
+        k = j + 1;
+        continue;
+      }
+
+      // CALC_CHECK(r.ok()) and friends: success dominates what follows.
+      if (config.check_macros.count(name) > 0 && sig.Is(k + 1, "(")) {
+        const std::size_t close = FindMatching(sig, k + 1);
+        if (close == kNpos || close > st.end) continue;
+        for (std::size_t a = k + 2; a < close; ++a) {
+          if (!sig.IsIdent(a)) continue;
+          auto it = s->find(std::string(sig[a].text));
+          if (it == s->end()) continue;
+          if (a > 0 && sig.Is(a - 1, "!")) continue;
+          const bool bare = close == k + 3;  // CALC_CHECK(r)
+          const bool checked =
+              (sig.Is(a + 1, ".") || sig.Is(a + 1, "->")) &&
+              sig.IsIdent(a + 2) &&
+              config.result_check_methods.count(
+                  std::string(sig[a + 2].text)) > 0 &&
+              sig.Is(a + 3, "(");
+          if (bare || checked) it->second.bits = kOk;
+        }
+        continue;
+      }
+
+      // Uses of tracked variables.
+      auto it = s->find(name);
+      if (it == s->end()) continue;
+      if (k > 0 && (sig.Is(k - 1, ".") || sig.Is(k - 1, "->") ||
+                    sig.Is(k - 1, "::"))) {
+        continue;  // member of something else that shares the name
+      }
+      ResultFact& fact = it->second;
+
+      // Reassignment: r = <rhs>.
+      if (sig.Is(k + 1, "=") && !sig.Is(k + 2, "=") &&
+          !(k > 0 && (sig.Is(k - 1, "=") || sig.Is(k - 1, "!") ||
+                      sig.Is(k - 1, "<") || sig.Is(k - 1, ">")))) {
+        ApplyRhs(s, name, fact.kind, k + 2, st.end, fact.line, fact.block);
+        continue;
+      }
+      // Address taken: unknown mutation, silence from here on.
+      if (k > 0 && sig.Is(k - 1, "&") &&
+          !(k >= 2 && (sig.IsIdent(k - 2) || sig.Is(k - 2, ")") ||
+                       sig.Is(k - 2, "]")))) {
+        fact.bits = kOk;
+        continue;
+      }
+      // Unary deref of an optional: *o.
+      if (fact.kind == ResultKind::kOptional && k > 0 && sig.Is(k - 1, "*") &&
+          !(k >= 2 && (sig.IsIdent(k - 2) || sig.Is(k - 2, ")") ||
+                       sig.Is(k - 2, "]") ||
+                       sig[k - 2].kind == TokKind::kNumber))) {
+        if (report && (fact.bits & (kUnchecked | kErr)) != 0 &&
+            !Suppressed(sig[k].line, st.line)) {
+          Report(name, fact, sig[k].line, BlockOf(k), "`*" + name + "`");
+        }
+        fact.bits = kOk;
+        continue;
+      }
+      if (sig.Is(k + 1, ".") || sig.Is(k + 1, "->")) {
+        if (!sig.IsIdent(k + 2)) continue;
+        const std::string method(sig[k + 2].text);
+        // A check sighting in any expression context (a ternary guard,
+        // a stored bool) makes later use untrackable: ambiguity silences.
+        // Guard *edges* re-split the state right after this statement.
+        if (config.result_check_methods.count(method) > 0 &&
+            sig.Is(k + 3, "(")) {
+          fact.bits = kOk;
+          continue;
+        }
+        if (config.result_unwrap_methods.count(method) > 0 &&
+            sig.Is(k + 3, "(")) {
+          if (report && (fact.bits & (kUnchecked | kErr)) != 0 &&
+              !Suppressed(sig[k].line, st.line)) {
+            Report(name, fact, sig[k].line, BlockOf(k),
+                   "`" + name + "." + method + "()`");
+          }
+          // value() on an error throws; code after a successful unwrap
+          // can only see the ok state.
+          fact.bits = kOk;
+          continue;
+        }
+        if (fact.kind == ResultKind::kOptional && sig.Is(k + 1, "->") &&
+            config.result_check_methods.count(method) == 0 &&
+            config.result_safe_methods.count(method) == 0) {
+          if (report && (fact.bits & (kUnchecked | kErr)) != 0 &&
+              !Suppressed(sig[k].line, st.line)) {
+            Report(name, fact, sig[k].line, BlockOf(k),
+                   "`" + name + "->" + method + "`");
+          }
+          fact.bits = kOk;
+          continue;
+        }
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------------------
+// use-after-move
+// ------------------------------------------------------------------
+
+struct MoveFact {
+  int line = 0;  // line of the std::move
+  int block = -1;
+
+  bool operator==(const MoveFact& o) const {
+    return line == o.line && block == o.block;
+  }
+};
+
+struct UseAfterMoveAnalysis {
+  using State = std::map<std::string, MoveFact>;
+
+  const SourceFile& file;
+  const SigTokens& sig;
+  const Cfg& cfg;
+  const ProjectConfig& config;
+  const LambdaSkipper& skipper;
+  const std::set<std::string>& locals;
+  const std::map<std::size_t, int>& block_of_stmt;
+  const std::map<int, std::set<std::string>>& suppressions;
+  bool report = false;
+  std::vector<Diagnostic>* out = nullptr;
+  std::set<std::string> reported;
+
+  State Boundary() { return {}; }
+  State Join(const State& a, const State& b) {
+    State j = a;  // may-moved: union
+    for (const auto& [var, fact] : b) {
+      auto it = j.find(var);
+      if (it == j.end()) {
+        j[var] = fact;
+      } else if (fact.line < it->second.line) {
+        it->second = fact;
+      }
+    }
+    return j;
+  }
+  bool Equal(const State& a, const State& b) { return a == b; }
+  void TransferEdge(State*, const CfgEdge&) {}
+
+  [[nodiscard]] int BlockOf(std::size_t tok) const {
+    auto it = block_of_stmt.upper_bound(tok);
+    if (it != block_of_stmt.begin()) {
+      --it;
+      return it->second;
+    }
+    return cfg.BlockContaining(tok);
+  }
+
+  [[nodiscard]] bool Suppressed(int line, int stmt_line) const {
+    for (int l : {line, stmt_line}) {
+      auto it = suppressions.find(l);
+      if (it != suppressions.end() &&
+          it->second.count("use-after-move") > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void TransferStmt(State* s, const CfgStmt& st) {
+    // Pass A: collect writes/moves/reinits so reads can be judged.
+    std::set<std::size_t> move_arg_toks;
+    std::vector<std::pair<std::string, int>> moves;  // var, line
+    std::set<std::string> moved_here;
+    std::set<std::string> reinit;
+
+    const StmtTarget target_info = FindStmtTarget(sig, skipper, st);
+    const std::string& target = target_info.name;
+    const std::size_t target_tok = target_info.tok;
+    for (std::size_t k = skipper.Skip(st.begin); k < st.end;
+         k = skipper.Skip(k + 1)) {
+      if (!sig.IsIdent(k)) continue;
+      if (sig[k].text == "move" && sig.Is(k + 1, "(") &&
+          sig.IsIdent(k + 2) && sig.Is(k + 3, ")")) {
+        const std::string var(sig[k + 2].text);
+        if (locals.count(var) > 0) {
+          moves.emplace_back(var, sig[k + 2].line);
+          moved_here.insert(var);
+          move_arg_toks.insert(k + 2);
+        }
+        continue;
+      }
+      if (locals.count(std::string(sig[k].text)) > 0 &&
+          (sig.Is(k + 1, ".") || sig.Is(k + 1, "->")) &&
+          sig.IsIdent(k + 2) &&
+          config.reinit_methods.count(std::string(sig[k + 2].text)) > 0 &&
+          sig.Is(k + 3, "(")) {
+        reinit.insert(std::string(sig[k].text));
+      }
+      if (k > 0 && sig.Is(k - 1, "&") &&
+          !(k >= 2 && (sig.IsIdent(k - 2) || sig.Is(k - 2, ")") ||
+                       sig.Is(k - 2, "]"))) &&
+          locals.count(std::string(sig[k].text)) > 0) {
+        reinit.insert(std::string(sig[k].text));  // out-param style
+      }
+    }
+
+    // Pass B: flag reads of maybe-moved locals.
+    if (report) {
+      for (std::size_t k = skipper.Skip(st.begin); k < st.end;
+           k = skipper.Skip(k + 1)) {
+        if (!sig.IsIdent(k)) continue;
+        const std::string var(sig[k].text);
+        auto it = s->find(var);
+        if (it == s->end()) continue;
+        if (move_arg_toks.count(k) > 0) continue;
+        if (k == target_tok) continue;
+        if (moved_here.count(var) > 0) continue;  // same-stmt order: silence
+        if (reinit.count(var) > 0) continue;
+        if (k > 0 && (sig.Is(k - 1, ".") || sig.Is(k - 1, "->") ||
+                      sig.Is(k - 1, "::") || sig.Is(k - 1, "&"))) {
+          continue;
+        }
+        if (sig.Is(k + 1, "=") && !sig.Is(k + 2, "=")) continue;  // write
+        if (Suppressed(sig[k].line, st.line)) continue;
+        const std::string key = std::to_string(sig[k].line) + ":" + var;
+        if (!reported.insert(key).second) continue;
+        std::string msg = "`" + var + "` is read after std::move at line " +
+                          std::to_string(it->second.line) +
+                          " without a reassignment on this path";
+        const std::string path =
+            cfg.WitnessPath(it->second.block, BlockOf(k));
+        if (!path.empty()) msg += " [path: " + path + "]";
+        out->push_back(
+            MakeDiag(file, sig[k].line, "use-after-move", std::move(msg)));
+      }
+    }
+
+    // Pass C: apply effects.
+    for (const auto& [var, line] : moves) {
+      if (var == target) continue;  // x = std::move(x): net write
+      auto it = s->find(var);
+      if (it == s->end() || line < it->second.line) {
+        (*s)[var] = {line, BlockOf(st.begin)};
+      }
+    }
+    if (!target.empty() && moved_here.count(target) == 0) s->erase(target);
+    for (const std::string& var : reinit) s->erase(var);
+  }
+};
+
+// ------------------------------------------------------------------
+// shared per-function driver
+// ------------------------------------------------------------------
+
+struct FnContext {
+  const SourceFile* file = nullptr;
+  int file_index = -1;
+  const SigTokens* sig = nullptr;
+  const FunctionSym* fn = nullptr;
+  const Cfg* cfg = nullptr;
+};
+
+template <typename Callback>
+void ForEachFunction(const std::vector<SourceFile>& files,
+                     const ProjectConfig& config,
+                     const std::shared_ptr<const SymbolGraph>& graph,
+                     Callback&& callback) {
+  auto cfgs = GetCfgIndex(files);
+  std::vector<SigTokens> sigs;
+  sigs.reserve(files.size());
+  for (const SourceFile& f : files) sigs.emplace_back(f);
+  for (const FunctionSym& fn : graph->functions()) {
+    if (!fn.has_body || fn.file < 0 ||
+        static_cast<std::size_t>(fn.file) >= files.size()) {
+      continue;
+    }
+    const SourceFile& f = files[static_cast<std::size_t>(fn.file)];
+    if (config.IsExempt(f.path)) continue;
+    const Cfg* cfg = cfgs->Find(fn.file, fn.body_begin);
+    if (cfg == nullptr || !cfg->valid()) continue;
+    FnContext ctx;
+    ctx.file = &f;
+    ctx.file_index = fn.file;
+    ctx.sig = &sigs[static_cast<std::size_t>(fn.file)];
+    ctx.fn = &fn;
+    ctx.cfg = cfg;
+    callback(ctx);
+  }
+}
+
+[[nodiscard]] std::map<std::size_t, int> BlockOfStmtMap(const Cfg& cfg) {
+  std::map<std::size_t, int> m;
+  const auto& blocks = cfg.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (const CfgStmt& st : blocks[b].stmts) {
+      m[st.begin] = static_cast<int>(b);
+    }
+  }
+  return m;
+}
+
+template <typename Analysis>
+void SolveAndReport(const Cfg& cfg, Analysis& analysis) {
+  auto solved = SolveForward(cfg, analysis);
+  if (!solved.converged) return;  // untrusted states: silence
+  analysis.report = true;
+  const auto& blocks = cfg.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (solved.reached[b] == 0) continue;  // dead code never executes
+    typename Analysis::State state = solved.in[b];
+    for (const CfgStmt& st : blocks[b].stmts) {
+      analysis.TransferStmt(&state, st);
+    }
+  }
+  analysis.report = false;
+}
+
+// Quantity-typed locals/params and factory-initialized autos of one
+// function: name -> dimension.
+[[nodiscard]] std::map<std::string, std::string> QuantityLocals(
+    const SigTokens& sig, const ProjectConfig& config,
+    std::size_t body_begin, std::size_t body_end) {
+  std::map<std::string, std::string> dims;
+  auto scan = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!sig.IsIdent(i)) continue;
+      const std::string t(sig[i].text);
+      if (config.quantity_types.count(t) > 0) {
+        std::size_t j = i + 1;
+        while (sig.Is(j, "&") || sig.Is(j, "const")) ++j;
+        if (j < end && sig.IsIdent(j) &&
+            (sig.Is(j + 1, "=") || sig.Is(j + 1, ";") ||
+             sig.Is(j + 1, "(") || sig.Is(j + 1, "{") ||
+             sig.Is(j + 1, ",") || sig.Is(j + 1, ")") ||
+             sig.Is(j + 1, ":"))) {
+          dims[std::string(sig[j].text)] = t;
+        }
+        continue;
+      }
+      // auto b = GiB(4): the factory pins the dimension.
+      if (t == "auto") {
+        std::size_t j = i + 1;
+        while (sig.Is(j, "&") || sig.Is(j, "const")) ++j;
+        if (j + 2 < end && sig.IsIdent(j) && sig.Is(j + 1, "=") &&
+            sig.IsIdent(j + 2) && sig.Is(j + 3, "(")) {
+          auto it =
+              config.quantity_factories.find(std::string(sig[j + 2].text));
+          if (it != config.quantity_factories.end()) {
+            dims[std::string(sig[j].text)] = it->second;
+          }
+        }
+      }
+    }
+  };
+  const auto params = ParamRange(sig, body_begin);
+  if (params.first != kNpos) scan(params.first, params.second);
+  scan(body_begin + 1, body_end);
+  return dims;
+}
+
+// Local variables (including parameters) of one function, for the
+// use-after-move rule. Pointer declarations are excluded: a moved-from
+// pointer target is an aliasing question this analysis does not model.
+[[nodiscard]] std::set<std::string> LocalVars(const SigTokens& sig,
+                                              std::size_t body_begin,
+                                              std::size_t body_end) {
+  std::set<std::string> locals;
+  auto scan = [&](std::size_t begin, std::size_t end, bool params) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!sig.IsIdent(i) || IsStmtKeyword(sig[i].text)) continue;
+      if (i > 0 && (sig.Is(i - 1, ".") || sig.Is(i - 1, "->"))) continue;
+      std::size_t j = i + 1;
+      if (sig.Is(j, "<")) {
+        const std::size_t m = FindMatching(sig, j);
+        if (m == kNpos || m >= end) continue;
+        j = m + 1;
+      }
+      bool pointer = false;
+      while (sig.Is(j, "&") || sig.Is(j, "const") || sig.Is(j, "*")) {
+        if (sig.Is(j, "*")) pointer = true;
+        ++j;
+      }
+      if (pointer || j >= end || !sig.IsIdent(j) ||
+          IsStmtKeyword(sig[j].text)) {
+        continue;
+      }
+      const std::string_view after =
+          j + 1 < sig.size() ? sig[j + 1].text : std::string_view();
+      const bool decl_shape =
+          after == "=" || after == ";" || after == "{" || after == ":" ||
+          (params && (after == "," || after == ")")) ||
+          (!params && after == "(");
+      if (decl_shape) locals.insert(std::string(sig[j].text));
+    }
+  };
+  const auto params = ParamRange(sig, body_begin);
+  if (params.first != kNpos) scan(params.first, params.second + 1, true);
+  scan(body_begin + 1, body_end, false);
+  return locals;
+}
+
+}  // namespace
+
+void CheckRawTaint(const std::vector<SourceFile>& files,
+                   const ProjectConfig& config,
+                   std::vector<Diagnostic>* out) {
+  auto graph = GetSymbolGraph(files, SymbolGraphOptions{});
+  std::map<std::string, std::map<int, std::set<std::string>>> supp;
+  ForEachFunction(files, config, graph, [&](const FnContext& ctx) {
+    for (const std::string& prefix : config.taint_exempt_prefixes) {
+      if (ctx.file->path.compare(0, prefix.size(), prefix) == 0) return;
+    }
+    auto sit = supp.find(ctx.file->path);
+    if (sit == supp.end()) {
+      sit = supp.emplace(ctx.file->path, SuppressionsByLine(*ctx.file))
+                .first;
+    }
+    const LambdaSkipper skipper(*ctx.sig, ctx.fn->body_begin,
+                                ctx.fn->body_end + 1);
+    const auto var_dim = QuantityLocals(*ctx.sig, config,
+                                        ctx.fn->body_begin,
+                                        ctx.fn->body_end);
+    const auto block_map = BlockOfStmtMap(*ctx.cfg);
+    RawTaintAnalysis analysis{
+        *ctx.file,  *ctx.sig,
+        *ctx.cfg,   config,
+        skipper,    var_dim,
+        block_map,  sit->second,
+        ReturnsDouble(*ctx.sig, ctx.fn->body_begin),
+        false,      out,
+        {}};
+    SolveAndReport(*ctx.cfg, analysis);
+  });
+}
+
+void CheckUncheckedResult(const std::vector<SourceFile>& files,
+                          const ProjectConfig& config,
+                          std::vector<Diagnostic>* out) {
+  auto graph = GetSymbolGraph(files, SymbolGraphOptions{});
+  const DeclIndex decls = BuildDeclIndex(files, config);
+  std::map<std::string, std::map<int, std::set<std::string>>> supp;
+  ForEachFunction(files, config, graph, [&](const FnContext& ctx) {
+    auto sit = supp.find(ctx.file->path);
+    if (sit == supp.end()) {
+      sit = supp.emplace(ctx.file->path, SuppressionsByLine(*ctx.file))
+                .first;
+    }
+    const LambdaSkipper skipper(*ctx.sig, ctx.fn->body_begin,
+                                ctx.fn->body_end + 1);
+    const auto block_map = BlockOfStmtMap(*ctx.cfg);
+    UncheckedResultAnalysis analysis{*ctx.file, *ctx.sig,
+                                     *ctx.cfg,  config,
+                                     skipper,   decls.result_returning,
+                                     block_map, sit->second,
+                                     false,     out,
+                                     {}};
+    SolveAndReport(*ctx.cfg, analysis);
+  });
+}
+
+void CheckUseAfterMove(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out) {
+  auto graph = GetSymbolGraph(files, SymbolGraphOptions{});
+  std::map<std::string, std::map<int, std::set<std::string>>> supp;
+  ForEachFunction(files, config, graph, [&](const FnContext& ctx) {
+    auto sit = supp.find(ctx.file->path);
+    if (sit == supp.end()) {
+      sit = supp.emplace(ctx.file->path, SuppressionsByLine(*ctx.file))
+                .first;
+    }
+    const LambdaSkipper skipper(*ctx.sig, ctx.fn->body_begin,
+                                ctx.fn->body_end + 1);
+    const auto locals =
+        LocalVars(*ctx.sig, ctx.fn->body_begin, ctx.fn->body_end);
+    const auto block_map = BlockOfStmtMap(*ctx.cfg);
+    UseAfterMoveAnalysis analysis{*ctx.file, *ctx.sig,    *ctx.cfg,
+                                  config,    skipper,     locals,
+                                  block_map, sit->second, false,
+                                  out,       {}};
+    SolveAndReport(*ctx.cfg, analysis);
+  });
+}
+
+void CheckHotLoopAlloc(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out) {
+  auto graph = GetSymbolGraph(files, GraphOptions(config));
+  auto cfgs = GetCfgIndex(files);
+  const std::vector<bool> reaches_eval =
+      graph->ReachesCallNamed(config.eval_functions);
+
+  // Reverse reachability from alloc/lock-bearing functions: rev.reachable
+  // marks every function whose call closure hits one, with parent[] giving
+  // the witness chain.
+  const auto& fns = graph->functions();
+  std::vector<std::vector<int>> reverse(fns.size());
+  std::vector<int> roots;
+  for (std::size_t id = 0; id < fns.size(); ++id) {
+    for (const CallSite& c : fns[id].calls) {
+      for (int t : c.targets) {
+        reverse[static_cast<std::size_t>(t)].push_back(
+            static_cast<int>(id));
+      }
+    }
+    for (const SymEvent& e : fns[id].events) {
+      if (e.kind == SymEventKind::kHeapAlloc ||
+          e.kind == SymEventKind::kLockAcquire) {
+        roots.push_back(static_cast<int>(id));
+        break;
+      }
+    }
+  }
+  const Reachability rev = ReachableFrom(reverse, roots);
+
+  std::vector<SigTokens> sigs;
+  sigs.reserve(files.size());
+  for (const SourceFile& f : files) sigs.emplace_back(f);
+
+  struct Offender {
+    int line = 0;
+    std::string desc;
+    std::size_t loop_span = 0;
+    std::size_t loop_index = 0;
+  };
+
+  for (const FunctionSym& fn : fns) {
+    if (!fn.has_body || fn.file < 0 ||
+        static_cast<std::size_t>(fn.file) >= files.size()) {
+      continue;
+    }
+    const SourceFile& file = files[static_cast<std::size_t>(fn.file)];
+    if (config.IsExempt(file.path)) continue;
+    const Cfg* cfg = cfgs->Find(fn.file, fn.body_begin);
+    if (cfg == nullptr || !cfg->valid() || cfg->loops().empty()) continue;
+    const SigTokens& sig = sigs[static_cast<std::size_t>(fn.file)];
+
+    // Innermost attribution: for each offending line keep the loop with
+    // the smallest body, so a nested hot loop reports once.
+    std::map<int, Offender> best;
+    std::vector<std::string> hot_via(cfg->loops().size());
+    for (std::size_t li = 0; li < cfg->loops().size(); ++li) {
+      const CfgLoop& loop = cfg->loops()[li];
+      if (loop.body_begin == kNpos || loop.body_end == kNpos ||
+          loop.body_begin >= loop.body_end) {
+        continue;
+      }
+      const std::size_t region_begin = sig.Is(loop.body_begin, "{")
+                                           ? loop.body_begin
+                                           : loop.body_begin - 1;
+      const SymbolGraph::RegionInfo info = graph->AnalyzeRegion(
+          sig, region_begin, loop.body_end, fn.class_name);
+
+      std::string eval_name;
+      for (const CallSite& c : info.calls) {
+        if (config.eval_functions.count(c.name) > 0) {
+          eval_name = c.name;
+          break;
+        }
+        for (int t : c.targets) {
+          if (reaches_eval[static_cast<std::size_t>(t)]) {
+            eval_name = c.name + " -> " +
+                        fns[static_cast<std::size_t>(t)].Display();
+            break;
+          }
+        }
+        if (!eval_name.empty()) break;
+      }
+      if (eval_name.empty()) continue;  // not an evaluation loop
+      hot_via[li] = eval_name;
+      const std::size_t span = loop.body_end - loop.body_begin;
+
+      auto offer = [&](int line, std::string desc) {
+        auto it = best.find(line);
+        if (it == best.end() || span < it->second.loop_span) {
+          best[line] = {line, std::move(desc), span, li};
+        }
+      };
+      for (const SymEvent& e : info.events) {
+        if (e.kind != SymEventKind::kHeapAlloc &&
+            e.kind != SymEventKind::kLockAcquire) {
+          continue;
+        }
+        offer(e.line, std::string(ToString(e.kind)) + " (" + e.what + ")");
+      }
+      for (const CallSite& c : info.calls) {
+        if (config.eval_functions.count(c.name) > 0) continue;
+        // A call that reaches the evaluator IS the hot path — whatever it
+        // allocates internally is the model's own cost, not something the
+        // caller can hoist. Only flag work *beside* the evaluation call.
+        bool is_eval_path = false;
+        for (int t : c.targets) {
+          if (reaches_eval[static_cast<std::size_t>(t)]) {
+            is_eval_path = true;
+            break;
+          }
+        }
+        if (is_eval_path) continue;
+        for (int t : c.targets) {
+          if (!rev.reachable[static_cast<std::size_t>(t)]) continue;
+          std::vector<int> chain = rev.PathTo(t);  // event fn ... -> t
+          std::reverse(chain.begin(), chain.end());
+          std::string desc = "a call chain that allocates or locks (" +
+                             graph->RenderPath(chain) + ")";
+          offer(c.line, std::move(desc));
+          break;
+        }
+      }
+    }
+
+    // One note per loop: its lowest offending line.
+    std::map<std::size_t, const Offender*> per_loop;
+    for (const auto& [line, off] : best) {
+      auto it = per_loop.find(off.loop_index);
+      if (it == per_loop.end() || line < it->second->line) {
+        per_loop[off.loop_index] = &off;
+      }
+    }
+    for (const auto& [li, off] : per_loop) {
+      const CfgLoop& loop = cfg->loops()[li];
+      std::string msg = "loop at line " + std::to_string(loop.line) +
+                        " evaluates the model (via " + hot_via[li] +
+                        ") and performs " + off->desc + " at line " +
+                        std::to_string(off->line) +
+                        "; hoist it out of the evaluation loop";
+      const int off_block = cfg->BlockOnLine(sig, off->line);
+      if (off_block >= 0) {
+        const std::string path = cfg->WitnessPath(loop.header, off_block);
+        if (!path.empty()) msg += " [path: " + path + "]";
+      }
+      out->push_back(MakeDiag(file, off->line, "hot-loop-alloc",
+                              std::move(msg), Severity::kNote));
+    }
+  }
+}
+
+}  // namespace calculon::staticlint

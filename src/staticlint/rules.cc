@@ -208,6 +208,34 @@ const std::vector<Rule>& Registry() {
         "CLI/example/bench roots or anywhere else in the tree; delete it "
         "or wire it up."},
        &CheckDeadFunction},
+      {{"raw-taint",
+        "Quantity::raw() value flows into a different-dimension factory "
+        "or escapes through a double return",
+        "Keep the value typed (the quantity operators cover the "
+        "dimensional algebra) or annotate an intentional raw-space "
+        "conversion with // unit-ok: why on the sink statement."},
+       &CheckRawTaint},
+      {{"unchecked-result",
+        "path reaches .value() on a Result<T>/optional without a "
+        "dominating ok()/has_value() check",
+        "Guard the unwrap with if (r.ok()) / CALC_CHECK(r.ok()), use "
+        "value_or(), or suppress a reviewed site with "
+        "// lint-ok(unchecked-result): why."},
+       &CheckUncheckedResult},
+      {{"use-after-move",
+        "local is read again after std::move on some path without a "
+        "reassignment",
+        "Reassign the variable before reuse (moved-from objects are "
+        "valid but unspecified), or suppress an intentional "
+        "reuse-after-reset with // lint-ok(use-after-move): why."},
+       &CheckUseAfterMove},
+      {{"hot-loop-alloc",
+        "loop that evaluates the performance model allocates or locks "
+        "per iteration",
+        "Informational (SARIF note): hoist the allocation/lock out of "
+        "the evaluation loop or reuse a buffer (ROADMAP item 2 targets "
+        ">=10x evals/sec; per-iteration mallocs are the usual ceiling)."},
+       &CheckHotLoopAlloc},
   };
   return kRules;
 }

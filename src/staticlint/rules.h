@@ -96,6 +96,56 @@ struct ProjectConfig {
       "system",   "popen",   "sleep",  "usleep", "nanosleep", "ifstream",
       "ofstream", "fstream", "sleep_for"};
 
+  // --- Dataflow rules (rule_dataflow.cc) ---
+
+  // Quantity factory/constructor name -> the dimension it produces; the
+  // raw-taint rule flags a raw() value of one dimension flowing into a
+  // factory of another (mirrors the helpers in src/util/quantity.h).
+  std::map<std::string, std::string> quantity_factories = {
+      {"Bytes", "Bytes"},
+      {"KiB", "Bytes"},
+      {"MiB", "Bytes"},
+      {"GiB", "Bytes"},
+      {"TiB", "Bytes"},
+      {"MB", "Bytes"},
+      {"GB", "Bytes"},
+      {"TB", "Bytes"},
+      {"Seconds", "Seconds"},
+      {"Milliseconds", "Seconds"},
+      {"Microseconds", "Seconds"},
+      {"Nanoseconds", "Seconds"},
+      {"Flops", "Flops"},
+      {"GFlop", "Flops"},
+      {"TFlop", "Flops"},
+      {"BytesPerSecond", "BytesPerSecond"},
+      {"MBps", "BytesPerSecond"},
+      {"GBps", "BytesPerSecond"},
+      {"TBps", "BytesPerSecond"},
+      {"FlopsPerSecond", "FlopsPerSecond"},
+      {"GFLOPS", "FlopsPerSecond"},
+      {"TFLOPS", "FlopsPerSecond"},
+      {"PerSecond", "PerSecond"},
+  };
+  // Files where cross-dimension raw arithmetic is the point: the quantity
+  // algebra itself and the unit formatter.
+  std::vector<std::string> taint_exempt_prefixes = {"src/util/quantity.h",
+                                                    "src/util/units."};
+
+  // unchecked-result: how a Result<T>/std::optional is checked, unwrapped,
+  // and which accessors never throw.
+  std::set<std::string> result_check_methods = {"ok", "has_value"};
+  std::set<std::string> result_unwrap_methods = {"value"};
+  std::set<std::string> result_safe_methods = {"value_or", "reason",
+                                               "detail", "error"};
+  // Assertion macros whose success dominates the rest of the function.
+  std::set<std::string> check_macros = {"CALC_CHECK", "CALC_DCHECK",
+                                        "assert", "ASSERT_TRUE",
+                                        "EXPECT_TRUE"};
+
+  // use-after-move: method calls that re-establish a moved-from object.
+  std::set<std::string> reinit_methods = {"clear", "reset", "assign",
+                                          "emplace", "resize"};
+
   [[nodiscard]] static ProjectConfig Default();
 
   [[nodiscard]] bool InLayerRoot(const std::string& path) const;
@@ -202,6 +252,18 @@ void CheckHotPathAlloc(const std::vector<SourceFile>& files,
                        const ProjectConfig& config,
                        std::vector<Diagnostic>* out);
 void CheckDeadFunction(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out);
+void CheckRawTaint(const std::vector<SourceFile>& files,
+                   const ProjectConfig& config,
+                   std::vector<Diagnostic>* out);
+void CheckUncheckedResult(const std::vector<SourceFile>& files,
+                          const ProjectConfig& config,
+                          std::vector<Diagnostic>* out);
+void CheckUseAfterMove(const std::vector<SourceFile>& files,
+                       const ProjectConfig& config,
+                       std::vector<Diagnostic>* out);
+void CheckHotLoopAlloc(const std::vector<SourceFile>& files,
                        const ProjectConfig& config,
                        std::vector<Diagnostic>* out);
 

@@ -1,0 +1,415 @@
+// Edge-case pinning for the intraprocedural CFG builder (cfg.h): branch
+// shapes, loops (including do-while back edges), switch fallthrough,
+// short-circuit condition splitting, early exits, and the conservative
+// bail-outs (goto, lambdas folded into one statement).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "staticlint/cfg.h"
+#include "staticlint/lexer.h"
+#include "staticlint/match.h"
+
+namespace calculon::staticlint {
+namespace {
+
+// Lexes a full function definition and builds the CFG of its first body.
+class Built {
+ public:
+  explicit Built(const std::string& text)
+      : file_(MakeSourceFile("src/core/t.cc", text)), sig_(file_) {
+    for (std::size_t i = 0; i < sig_.size(); ++i) {
+      if (sig_.Is(i, "{")) {
+        body_begin_ = i;
+        break;
+      }
+    }
+    body_end_ = FindMatching(sig_, body_begin_);
+    cfg_ = Cfg::Build(sig_, body_begin_, body_end_);
+  }
+
+  [[nodiscard]] const Cfg& cfg() const { return cfg_; }
+  [[nodiscard]] const SigTokens& sig() const { return sig_; }
+
+  // The block whose statement list contains a statement starting with
+  // `first_token`, or -1.
+  [[nodiscard]] int BlockWithStmt(const std::string& first_token) const {
+    const auto& blocks = cfg_.blocks();
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      for (const CfgStmt& st : blocks[b].stmts) {
+        if (sig_.Is(st.begin, first_token)) return static_cast<int>(b);
+      }
+    }
+    return -1;
+  }
+
+  [[nodiscard]] int CountEdges(CfgEdgeKind kind) const {
+    int n = 0;
+    for (const CfgBlock& b : cfg_.blocks()) {
+      for (const CfgEdge& e : b.succ) {
+        if (e.kind == kind) ++n;
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool HasEdge(int from, int to, CfgEdgeKind kind) const {
+    for (const CfgEdge& e :
+         cfg_.blocks()[static_cast<std::size_t>(from)].succ) {
+      if (e.to == to && e.kind == kind) return true;
+    }
+    return false;
+  }
+
+ private:
+  SourceFile file_;
+  SigTokens sig_;
+  std::size_t body_begin_ = kNpos;
+  std::size_t body_end_ = kNpos;
+  Cfg cfg_;
+};
+
+TEST(CfgTest, StraightLineBodyIsOneBlockBetweenEntryAndExit) {
+  Built b(
+      "void F() {\n"
+      "  a();\n"
+      "  b();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  const int block = b.BlockWithStmt("a");
+  ASSERT_GE(block, 0);
+  EXPECT_EQ(block, b.BlockWithStmt("b"));
+  EXPECT_EQ(b.cfg().blocks()[static_cast<std::size_t>(block)].stmts.size(),
+            2u);
+  EXPECT_TRUE(b.HasEdge(b.cfg().entry(), block, CfgEdgeKind::kNext));
+  EXPECT_TRUE(b.HasEdge(block, b.cfg().exit_block(), CfgEdgeKind::kNext));
+}
+
+TEST(CfgTest, IfElseFormsDiamondWithLabeledEdges) {
+  Built b(
+      "void F(bool c) {\n"
+      "  if (c) {\n"
+      "    a();\n"
+      "  } else {\n"
+      "    b();\n"
+      "  }\n"
+      "  d();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  const int cond = b.BlockWithStmt("c");  // the condition atom statement
+  const int then_block = b.BlockWithStmt("a");
+  const int else_block = b.BlockWithStmt("b");
+  const int after = b.BlockWithStmt("d");
+  ASSERT_GE(cond, 0);
+  ASSERT_GE(then_block, 0);
+  ASSERT_GE(else_block, 0);
+  EXPECT_TRUE(b.HasEdge(cond, then_block, CfgEdgeKind::kTrue));
+  EXPECT_TRUE(b.HasEdge(cond, else_block, CfgEdgeKind::kFalse));
+  EXPECT_TRUE(b.HasEdge(then_block, after, CfgEdgeKind::kNext));
+  EXPECT_TRUE(b.HasEdge(else_block, after, CfgEdgeKind::kNext));
+}
+
+TEST(CfgTest, ShortCircuitAndSplitsAtomsAcrossBlocks) {
+  Built b(
+      "void F() {\n"
+      "  if (a() && b()) {\n"
+      "    c();\n"
+      "  }\n"
+      "  d();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  const int lhs = b.BlockWithStmt("a");
+  const int rhs = b.BlockWithStmt("b");
+  ASSERT_GE(lhs, 0);
+  ASSERT_GE(rhs, 0);
+  // b() evaluates only when a() was true: the atoms live in different
+  // blocks (side-effect ordering), joined by a kTrue edge.
+  EXPECT_NE(lhs, rhs);
+  EXPECT_TRUE(b.HasEdge(lhs, rhs, CfgEdgeKind::kTrue));
+  // Each atom can short-circuit to the false target.
+  EXPECT_EQ(b.CountEdges(CfgEdgeKind::kFalse), 2);
+}
+
+TEST(CfgTest, ShortCircuitOrSkipsRhsWhenLhsTrue) {
+  Built b(
+      "void F() {\n"
+      "  if (a() || b()) {\n"
+      "    c();\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  const int lhs = b.BlockWithStmt("a");
+  const int rhs = b.BlockWithStmt("b");
+  const int then_block = b.BlockWithStmt("c");
+  ASSERT_GE(lhs, 0);
+  ASSERT_GE(rhs, 0);
+  EXPECT_NE(lhs, rhs);
+  // a() false falls through to try b(); a() true jumps straight to c().
+  EXPECT_TRUE(b.HasEdge(lhs, rhs, CfgEdgeKind::kFalse));
+  EXPECT_TRUE(b.HasEdge(lhs, then_block, CfgEdgeKind::kTrue));
+}
+
+TEST(CfgTest, PlainAmpersandIsNotShortCircuit) {
+  Built b(
+      "void F(int x, int y) {\n"
+      "  if (x & y) {\n"
+      "    c();\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  // One opaque atom: exactly one true and one false edge, no split.
+  EXPECT_EQ(b.CountEdges(CfgEdgeKind::kTrue), 1);
+  EXPECT_EQ(b.CountEdges(CfgEdgeKind::kFalse), 1);
+}
+
+TEST(CfgTest, DoWhileRecordsLoopWithBackEdgeThroughExitTest) {
+  Built b(
+      "void F() {\n"
+      "  do {\n"
+      "    a();\n"
+      "  } while (more());\n"
+      "  d();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  ASSERT_EQ(b.cfg().loops().size(), 1u);
+  const CfgLoop& loop = b.cfg().loops()[0];
+  EXPECT_EQ(loop.line, 2);
+  const int body = b.BlockWithStmt("a");
+  const int cond = b.BlockWithStmt("more");
+  ASSERT_GE(body, 0);
+  ASSERT_GE(cond, 0);
+  // The body runs before the first test; the test's true edge loops back.
+  EXPECT_EQ(loop.header, cond);
+  EXPECT_TRUE(b.HasEdge(body, cond, CfgEdgeKind::kNext));
+  EXPECT_TRUE(b.HasEdge(cond, body, CfgEdgeKind::kTrue));
+}
+
+TEST(CfgTest, WhileLoopHasBackEdge) {
+  Built b(
+      "void F() {\n"
+      "  while (more()) {\n"
+      "    a();\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  EXPECT_EQ(b.cfg().loops().size(), 1u);
+  EXPECT_EQ(b.CountEdges(CfgEdgeKind::kBack), 1);
+}
+
+TEST(CfgTest, EarlyReturnInLoopEdgesToExit) {
+  Built b(
+      "void F() {\n"
+      "  while (more()) {\n"
+      "    if (bad()) {\n"
+      "      return;\n"
+      "    }\n"
+      "    a();\n"
+      "  }\n"
+      "  d();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  const int ret = b.BlockWithStmt("return");
+  ASSERT_GE(ret, 0);
+  EXPECT_TRUE(b.HasEdge(ret, b.cfg().exit_block(), CfgEdgeKind::kNext));
+  EXPECT_EQ(b.cfg().loops().size(), 1u);
+  EXPECT_EQ(b.CountEdges(CfgEdgeKind::kBack), 1);
+}
+
+TEST(CfgTest, BreakAndContinueResolveToLoopTargets) {
+  Built b(
+      "void F(int n) {\n"
+      "  for (int i = 0; i < n; i = i + 1) {\n"
+      "    if (skip()) {\n"
+      "      continue;\n"
+      "    }\n"
+      "    if (stop()) {\n"
+      "      break;\n"
+      "    }\n"
+      "    a();\n"
+      "  }\n"
+      "  d();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  EXPECT_EQ(b.cfg().loops().size(), 1u);
+}
+
+TEST(CfgTest, BreakOutsideLoopInvalidatesGraph) {
+  Built b(
+      "void F() {\n"
+      "  break;\n"
+      "}\n");
+  EXPECT_FALSE(b.cfg().valid());
+}
+
+TEST(CfgTest, NestedSwitchWithFallthrough) {
+  Built b(
+      "void F(int x, int y) {\n"
+      "  switch (x) {\n"
+      "    case 1:\n"
+      "      a();\n"
+      "    case 2: {\n"
+      "      switch (y) {\n"
+      "        case 3:\n"
+      "          inner();\n"
+      "          break;\n"
+      "        default:\n"
+      "          other();\n"
+      "      }\n"
+      "      break;\n"
+      "    }\n"
+      "    default:\n"
+      "      d();\n"
+      "  }\n"
+      "  after();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  // case 1 (open at `case 2`) falls through into case 2's block.
+  const int case1 = b.BlockWithStmt("a");
+  ASSERT_GE(case1, 0);
+  bool fell_through = false;
+  for (const CfgEdge& e :
+       b.cfg().blocks()[static_cast<std::size_t>(case1)].succ) {
+    fell_through =
+        fell_through || e.kind == CfgEdgeKind::kFallthrough;
+  }
+  EXPECT_TRUE(fell_through);
+  // Outer: case 1, case 2, default. Inner: case 3, default.
+  EXPECT_EQ(b.CountEdges(CfgEdgeKind::kCase), 5);
+}
+
+TEST(CfgTest, SwitchCaseEdgesCarryCondRangeButDefaultDoesNot) {
+  Built b(
+      "void F(int x) {\n"
+      "  switch (x) {\n"
+      "    case 1:\n"
+      "      a();\n"
+      "      break;\n"
+      "    default:\n"
+      "      d();\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  int with_cond = 0;
+  int without_cond = 0;
+  for (const CfgBlock& block : b.cfg().blocks()) {
+    for (const CfgEdge& e : block.succ) {
+      if (e.kind != CfgEdgeKind::kCase) continue;
+      if (e.cond_begin != kNpos) {
+        ++with_cond;
+      } else {
+        ++without_cond;
+      }
+    }
+  }
+  EXPECT_EQ(with_cond, 1);     // case 1 carries its label expression
+  EXPECT_EQ(without_cond, 1);  // default has none
+}
+
+TEST(CfgTest, GotoInvalidatesGraph) {
+  Built b(
+      "void F() {\n"
+      "  a();\n"
+      "  goto done;\n"
+      "done:\n"
+      "  b();\n"
+      "}\n");
+  EXPECT_FALSE(b.cfg().valid());
+}
+
+TEST(CfgTest, LambdaBodyFoldsIntoOneStatement) {
+  Built b(
+      "void F() {\n"
+      "  auto f = [&](int v) {\n"
+      "    if (v) {\n"
+      "      g();\n"
+      "    }\n"
+      "    return v;\n"
+      "  };\n"
+      "  h();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  // The lambda's internal control flow is conservatively opaque: entry,
+  // exit, and a single statement block holding both statements.
+  EXPECT_EQ(b.cfg().blocks().size(), 3u);
+  const int block = b.BlockWithStmt("auto");
+  ASSERT_GE(block, 0);
+  EXPECT_EQ(b.cfg().blocks()[static_cast<std::size_t>(block)].stmts.size(),
+            2u);
+}
+
+TEST(CfgTest, RangeForIsALoop) {
+  Built b(
+      "void F(const std::vector<int>& xs) {\n"
+      "  for (int x : xs) {\n"
+      "    use(x);\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  EXPECT_EQ(b.cfg().loops().size(), 1u);
+  EXPECT_EQ(b.CountEdges(CfgEdgeKind::kBack), 1);
+}
+
+TEST(CfgTest, WitnessPathRendersBranchDecisions) {
+  Built b(
+      "void F(bool c) {\n"
+      "  if (c) {\n"
+      "    a();\n"
+      "  } else {\n"
+      "    b();\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  const int cond = b.BlockWithStmt("c");
+  const std::string to_then =
+      b.cfg().WitnessPath(cond, b.BlockWithStmt("a"));
+  const std::string to_else =
+      b.cfg().WitnessPath(cond, b.BlockWithStmt("b"));
+  EXPECT_NE(to_then.find("line 2:true"), std::string::npos) << to_then;
+  EXPECT_NE(to_else.find("line 2:false"), std::string::npos) << to_else;
+}
+
+TEST(CfgTest, BlockOnLineLocatesStatements) {
+  Built b(
+      "void F(bool c) {\n"
+      "  if (c) {\n"
+      "    a();\n"
+      "  }\n"
+      "  d();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg().valid());
+  EXPECT_EQ(b.cfg().BlockOnLine(b.sig(), 3), b.BlockWithStmt("a"));
+  EXPECT_EQ(b.cfg().BlockOnLine(b.sig(), 5), b.BlockWithStmt("d"));
+  EXPECT_EQ(b.cfg().BlockOnLine(b.sig(), 99), -1);
+}
+
+TEST(CfgIndexTest, SharedIndexFindsEveryFunctionBody) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile("src/core/two.cc",
+                                 "void A() {\n"
+                                 "  a();\n"
+                                 "}\n"
+                                 "void B(bool c) {\n"
+                                 "  if (c) {\n"
+                                 "    b();\n"
+                                 "  }\n"
+                                 "}\n"));
+  auto index = GetCfgIndex(files);
+  ASSERT_NE(index, nullptr);
+  SigTokens sig(files[0]);
+  int found = 0;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (!sig.Is(i, "{")) continue;
+    const Cfg* cfg = index->Find(0, i);
+    if (cfg != nullptr && cfg->valid()) ++found;
+    // Nested braces (if-body) are not function bodies; only the two
+    // top-level bodies may resolve.
+  }
+  EXPECT_EQ(found, 2);
+  EXPECT_EQ(index->Find(0, 9999), nullptr);
+  EXPECT_EQ(index->Find(7, 0), nullptr);
+}
+
+}  // namespace
+}  // namespace calculon::staticlint

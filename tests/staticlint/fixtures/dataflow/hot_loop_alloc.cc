@@ -1,0 +1,38 @@
+// Seeded hot-loop-alloc fixture for rule_dataflow_test. Never compiled;
+// loaded with a src/-relative path. CalculatePerformance matches the
+// configured evaluation entry points, so the first loop is hot.
+namespace calculon {
+
+double CalculatePerformance(int step);
+
+double SweepWithAllocation(int steps) {
+  double total = 0.0;
+  for (int i = 0; i < steps; i = i + 1) {
+    double* scratch = new double[16];  // VIOLATION: alloc in the eval loop
+    total = total + CalculatePerformance(i);
+    delete[] scratch;
+  }
+  return total;
+}
+
+double HoistedTwin(int steps) {
+  double* scratch = new double[16];  // outside the loop: clean
+  double total = 0.0;
+  for (int i = 0; i < steps; i = i + 1) {
+    total = total + CalculatePerformance(i) + scratch[0];
+  }
+  delete[] scratch;
+  return total;
+}
+
+double ColdLoop(int steps) {
+  double total = 0.0;
+  for (int i = 0; i < steps; i = i + 1) {
+    double* scratch = new double[16];  // no eval call: not a hot loop
+    total = total + scratch[0];
+    delete[] scratch;
+  }
+  return total;
+}
+
+}  // namespace calculon

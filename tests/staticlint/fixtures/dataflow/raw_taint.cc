@@ -1,0 +1,32 @@
+// Seeded raw-taint fixture for rule_dataflow_test. Never compiled or
+// linted as part of the tree (tests/ is outside the lint roots); the test
+// loads it with a src/-relative path and expects exactly the violations
+// marked below, plus one suppressed site that must stay silent.
+namespace calculon {
+
+double LeakThroughReturn(Bytes capacity, bool fallback) {
+  double width = capacity.raw();
+  double result = 0.0;
+  if (fallback) {
+    result = width * 2.0;
+  }
+  return result;  // VIOLATION: tainted value escapes the double return
+}
+
+void CrossDimensionFactory(Seconds window) {
+  double ticks = window.raw();
+  Bytes budget = Bytes(ticks);  // VIOLATION: Seconds raw() into Bytes
+  Consume(budget);
+}
+
+double SuppressedEscape(Bytes capacity) {
+  double width = capacity.raw();
+  return width;  // unit-ok: fixture exercises the suppression path
+}
+
+double CleanTwin(Bytes capacity) {
+  Bytes doubled = capacity + capacity;
+  return doubled.GiB();  // formatted accessor, not a raw escape
+}
+
+}  // namespace calculon

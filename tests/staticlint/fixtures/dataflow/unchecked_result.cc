@@ -1,0 +1,32 @@
+// Seeded unchecked-result fixture for rule_dataflow_test. Never compiled;
+// loaded with a src/-relative path. The declaration of Compute() feeds the
+// decl index so its call sites classify as Result-returning.
+namespace calculon {
+
+Result<double> Compute(int x);
+
+double UseWithoutCheck(int x) {
+  Result<double> r = Compute(x);
+  return r.value();  // VIOLATION: no dominating ok() check
+}
+
+double CheckedTwin(int x) {
+  Result<double> r = Compute(x);
+  if (r.ok()) {
+    return r.value();  // clean: dominated by the guard above
+  }
+  return 0.0;
+}
+
+double KnownEmptyOptional() {
+  std::optional<double> cache;
+  double v = *cache;  // VIOLATION: default-constructed optional is empty
+  return v;
+}
+
+double SuppressedUnwrap(int x) {
+  Result<double> r = Compute(x);
+  return r.value();  // lint-ok(unchecked-result): fixture suppression
+}
+
+}  // namespace calculon

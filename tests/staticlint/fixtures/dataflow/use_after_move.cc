@@ -1,0 +1,35 @@
+// Seeded use-after-move fixture for rule_dataflow_test. Never compiled;
+// loaded with a src/-relative path.
+namespace calculon {
+
+void Sink(std::string value);
+
+int ReadAfterMove() {
+  std::string name = "calculon";
+  Sink(std::move(name));
+  return name.size();  // VIOLATION: read after the move above
+}
+
+int MovedThenBranch(bool flag) {
+  std::string text = "calculon";
+  Sink(std::move(text));
+  if (flag) {
+    return text.size();  // VIOLATION: witness path takes the true edge
+  }
+  return 0;
+}
+
+int ReassignedTwin() {
+  std::string text = "calculon";
+  Sink(std::move(text));
+  text = "fresh";
+  return text.size();  // clean: reassignment revives the local
+}
+
+int SuppressedReuse() {
+  std::string text = "calculon";
+  Sink(std::move(text));
+  return text.size();  // lint-ok(use-after-move): fixture suppression
+}
+
+}  // namespace calculon

@@ -1,0 +1,276 @@
+// Dataflow rule tests (rule_dataflow.cc): every rule is exercised against
+// its checked-in seeded-violation fixture (fixtures/dataflow/), with
+// suppression sites that must stay silent, witness paths on each finding,
+// content-stable SARIF fingerprints, and byte-identical output under
+// --jobs parallelism.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "staticlint/baseline.h"
+#include "staticlint/lexer.h"
+#include "staticlint/rules.h"
+
+namespace calculon::staticlint {
+namespace {
+
+std::vector<Diagnostic> RunRule(RuleFn fn,
+                                const std::vector<SourceFile>& files,
+                                const ProjectConfig& config) {
+  std::vector<Diagnostic> out;
+  fn(files, config, &out);
+  return out;
+}
+
+std::vector<SourceFile> One(const std::string& path,
+                            const std::string& text) {
+  std::vector<SourceFile> files;
+  files.push_back(MakeSourceFile(path, text));
+  return files;
+}
+
+// Reads a checked-in fixture and lexes it under a src/-relative path so
+// the rules treat it as library code.
+[[nodiscard]] std::string FixtureText(const std::string& name) {
+  const std::string fs_path =
+      std::string(CALCULON_DATAFLOW_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(fs_path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << fs_path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+[[nodiscard]] std::vector<SourceFile> Fixture(const std::string& name) {
+  return One("src/core/" + name, FixtureText(name));
+}
+
+[[nodiscard]] const Diagnostic* AtLine(const std::vector<Diagnostic>& out,
+                                       int line) {
+  for (const Diagnostic& d : out) {
+    if (d.line == line) return &d;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------ raw-taint
+
+TEST(RawTaintTest, FlagsSeededFixtureViolationsAndHonorsSuppression) {
+  auto files = Fixture("raw_taint.cc");
+  auto out = RunRule(CheckRawTaint, files, ProjectConfig());
+  // Two seeded violations; the unit-ok site and the clean twin are silent.
+  ASSERT_EQ(out.size(), 2u);
+
+  const Diagnostic* escape = AtLine(out, 13);
+  ASSERT_NE(escape, nullptr);
+  EXPECT_EQ(escape->rule, "raw-taint");
+  EXPECT_EQ(escape->severity, Severity::kError);
+  EXPECT_NE(escape->message.find("escapes"), std::string::npos)
+      << escape->message;
+  EXPECT_NE(escape->message.find("tainted at line 8"), std::string::npos)
+      << escape->message;
+  // Every dataflow finding carries a witness path when the fact crosses a
+  // branch decision.
+  EXPECT_NE(escape->message.find("[path: "), std::string::npos)
+      << escape->message;
+
+  const Diagnostic* factory = AtLine(out, 18);
+  ASSERT_NE(factory, nullptr);
+  EXPECT_NE(factory->message.find("dimension Seconds"), std::string::npos)
+      << factory->message;
+  EXPECT_NE(factory->message.find("Bytes"), std::string::npos)
+      << factory->message;
+}
+
+TEST(RawTaintTest, OverwriteKillsTaint) {
+  auto files = One("src/core/k.cc",
+                   "double F(Bytes b) {\n"
+                   "  double w = b.raw();\n"
+                   "  w = 1.0;\n"
+                   "  return w;\n"
+                   "}\n");
+  EXPECT_TRUE(RunRule(CheckRawTaint, files, ProjectConfig()).empty());
+}
+
+TEST(RawTaintTest, FingerprintIsContentStable) {
+  const std::string text = FixtureText("raw_taint.cc");
+  auto out = RunRule(CheckRawTaint, One("src/core/raw_taint.cc", text),
+                     ProjectConfig());
+  ASSERT_EQ(out.size(), 2u);
+  const std::string fp = FingerprintHex(out[0]);
+
+  auto out2 = RunRule(
+      CheckRawTaint,
+      One("src/core/raw_taint.cc", "// pad\n// pad\n\n" + text),
+      ProjectConfig());
+  ASSERT_EQ(out2.size(), 2u);
+  EXPECT_NE(out2[0].line, out[0].line);
+  EXPECT_EQ(FingerprintHex(out2[0]), fp);
+}
+
+// ------------------------------------------------------ unchecked-result
+
+TEST(UncheckedResultTest, FlagsSeededFixtureViolationsAndHonorsSuppression) {
+  auto files = Fixture("unchecked_result.cc");
+  auto out = RunRule(CheckUncheckedResult, files, ProjectConfig());
+  // The unguarded unwrap and the empty-optional deref; the guarded twin
+  // and the lint-ok site are silent.
+  ASSERT_EQ(out.size(), 2u);
+
+  const Diagnostic* unwrap = AtLine(out, 10);
+  ASSERT_NE(unwrap, nullptr);
+  EXPECT_EQ(unwrap->rule, "unchecked-result");
+  EXPECT_EQ(unwrap->severity, Severity::kError);
+  EXPECT_NE(unwrap->message.find("may be unchecked"), std::string::npos)
+      << unwrap->message;
+  EXPECT_NE(unwrap->message.find("r.value()"), std::string::npos)
+      << unwrap->message;
+
+  const Diagnostic* deref = AtLine(out, 23);
+  ASSERT_NE(deref, nullptr);
+  EXPECT_NE(deref->message.find("known error/empty"), std::string::npos)
+      << deref->message;
+}
+
+TEST(UncheckedResultTest, ElseBranchIsKnownErrorWithFalseWitness) {
+  auto files = One("src/core/e.cc",
+                   "Result<double> Compute(int x);\n"
+                   "double F(int x) {\n"
+                   "  Result<double> r = Compute(x);\n"
+                   "  if (r.ok()) {\n"
+                   "    return r.value();\n"
+                   "  }\n"
+                   "  return r.value();\n"
+                   "}\n");
+  auto out = RunRule(CheckUncheckedResult, files, ProjectConfig());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 7);
+  EXPECT_NE(out[0].message.find("known error/empty"), std::string::npos)
+      << out[0].message;
+  // The witness path shows the failed guard.
+  EXPECT_NE(out[0].message.find("false"), std::string::npos)
+      << out[0].message;
+}
+
+TEST(UncheckedResultTest, FingerprintIsContentStable) {
+  const std::string text = FixtureText("unchecked_result.cc");
+  auto out = RunRule(CheckUncheckedResult,
+                     One("src/core/unchecked_result.cc", text),
+                     ProjectConfig());
+  ASSERT_EQ(out.size(), 2u);
+  const std::string fp = FingerprintHex(out[0]);
+
+  auto out2 = RunRule(
+      CheckUncheckedResult,
+      One("src/core/unchecked_result.cc", "// pad\n// pad\n\n" + text),
+      ProjectConfig());
+  ASSERT_EQ(out2.size(), 2u);
+  EXPECT_NE(out2[0].line, out[0].line);
+  EXPECT_EQ(FingerprintHex(out2[0]), fp);
+}
+
+// ------------------------------------------------------- use-after-move
+
+TEST(UseAfterMoveTest, FlagsSeededFixtureViolationsAndHonorsSuppression) {
+  auto files = Fixture("use_after_move.cc");
+  auto out = RunRule(CheckUseAfterMove, files, ProjectConfig());
+  // Straight-line reuse and branch-guarded reuse; the reassigned twin and
+  // the lint-ok site are silent.
+  ASSERT_EQ(out.size(), 2u);
+
+  const Diagnostic* straight = AtLine(out, 10);
+  ASSERT_NE(straight, nullptr);
+  EXPECT_EQ(straight->rule, "use-after-move");
+  EXPECT_EQ(straight->severity, Severity::kError);
+  EXPECT_NE(straight->message.find("read after std::move at line 9"),
+            std::string::npos)
+      << straight->message;
+
+  const Diagnostic* branched = AtLine(out, 17);
+  ASSERT_NE(branched, nullptr);
+  // The use sits behind an if: the witness records the true edge taken.
+  EXPECT_NE(branched->message.find("true"), std::string::npos)
+      << branched->message;
+}
+
+TEST(UseAfterMoveTest, FingerprintIsContentStable) {
+  const std::string text = FixtureText("use_after_move.cc");
+  auto out = RunRule(CheckUseAfterMove,
+                     One("src/core/use_after_move.cc", text),
+                     ProjectConfig());
+  ASSERT_EQ(out.size(), 2u);
+  const std::string fp = FingerprintHex(out[0]);
+
+  auto out2 = RunRule(
+      CheckUseAfterMove,
+      One("src/core/use_after_move.cc", "// pad\n// pad\n\n" + text),
+      ProjectConfig());
+  ASSERT_EQ(out2.size(), 2u);
+  EXPECT_NE(out2[0].line, out[0].line);
+  EXPECT_EQ(FingerprintHex(out2[0]), fp);
+}
+
+// ------------------------------------------------------- hot-loop-alloc
+
+TEST(HotLoopAllocTest, NotesAllocationBesideEvalCallOnly) {
+  auto files = Fixture("hot_loop_alloc.cc");
+  auto out = RunRule(CheckHotLoopAlloc, files, ProjectConfig());
+  // One note in the hot loop; the hoisted twin and the cold loop are
+  // silent.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "hot-loop-alloc");
+  EXPECT_EQ(out[0].severity, Severity::kNote);
+  EXPECT_EQ(out[0].line, 11);
+  EXPECT_NE(out[0].message.find("CalculatePerformance"), std::string::npos)
+      << out[0].message;
+  EXPECT_NE(out[0].message.find("heap allocation"), std::string::npos)
+      << out[0].message;
+}
+
+TEST(HotLoopAllocTest, FingerprintIsContentStable) {
+  const std::string text = FixtureText("hot_loop_alloc.cc");
+  auto out = RunRule(CheckHotLoopAlloc,
+                     One("src/core/hot_loop_alloc.cc", text),
+                     ProjectConfig());
+  ASSERT_EQ(out.size(), 1u);
+  const std::string fp = FingerprintHex(out[0]);
+
+  auto out2 = RunRule(
+      CheckHotLoopAlloc,
+      One("src/core/hot_loop_alloc.cc", "// pad\n// pad\n\n" + text),
+      ProjectConfig());
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_NE(out2[0].line, out[0].line);
+  EXPECT_EQ(FingerprintHex(out2[0]), fp);
+}
+
+// ------------------------------------------------- parallel determinism
+
+TEST(DataflowRulesTest, JobsFourMatchesSerialExactly) {
+  std::vector<SourceFile> files;
+  for (const char* name : {"raw_taint.cc", "unchecked_result.cc",
+                           "use_after_move.cc", "hot_loop_alloc.cc"}) {
+    files.push_back(
+        MakeSourceFile("src/core/" + std::string(name), FixtureText(name)));
+  }
+  LintOptions options;
+  options.rule_filter = {"raw-taint", "unchecked-result", "use-after-move",
+                         "hot-loop-alloc"};
+  options.jobs = 1;
+  LintResult serial = RunLint(files, ProjectConfig(), options);
+  options.jobs = 4;
+  LintResult parallel = RunLint(files, ProjectConfig(), options);
+
+  ASSERT_EQ(serial.findings.size(), parallel.findings.size());
+  ASSERT_FALSE(serial.findings.empty());
+  for (std::size_t i = 0; i < serial.findings.size(); ++i) {
+    EXPECT_EQ(FormatHuman(serial.findings[i]),
+              FormatHuman(parallel.findings[i]));
+  }
+}
+
+}  // namespace
+}  // namespace calculon::staticlint

@@ -381,9 +381,9 @@ TEST(RunLintTest, LintOkSuppressesOnSameLine) {
   }
 }
 
-TEST(RunLintTest, RegistryHasNineteenRulesWithUniqueIds) {
+TEST(RunLintTest, RegistryHasTwentyThreeRulesWithUniqueIds) {
   const auto& rules = Registry();
-  EXPECT_EQ(rules.size(), 19u);
+  EXPECT_EQ(rules.size(), 23u);
   std::set<std::string> ids;
   for (const Rule& r : rules) {
     EXPECT_TRUE(ids.insert(r.info.id).second) << "duplicate " << r.info.id;
