@@ -180,6 +180,10 @@ void PrintRunStatus(const RunStatus& status) {
     std::fprintf(stderr, "FAILURE item=%llu worker=%u %s: %s\n",
                  static_cast<unsigned long long>(record.item), record.worker,
                  record.fingerprint.c_str(), record.reason.c_str());
+    if (!record.flight_path.empty()) {
+      std::fprintf(stderr, "  flight recorder post-mortem: %s\n",
+                   record.flight_path.c_str());
+    }
   }
 }
 

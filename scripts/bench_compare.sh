@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Compare fresh BENCH_<name>.json snapshots (bench/bench_util.h,
+# WriteMetricsSnapshot) against the committed baselines in
+# bench/baselines/.
+#
+# Two kinds of checks:
+#   * deterministic counters (evaluations, feasible, culled, per-reason
+#     rejections) must match the baseline EXACTLY — they are functions of
+#     the workload, not the machine, so any drift means the sweep itself
+#     changed. Regenerate the baselines (run the bench, copy the snapshot)
+#     when that change is intentional.
+#   * throughput (evals_per_sec) may regress by at most TOLERANCE_PCT
+#     (default 25) relative to the baseline. Latency percentiles are
+#     machine-dependent and reported for information only.
+#
+# usage: scripts/bench_compare.sh [--tolerance PCT] <fresh-dir> [name ...]
+#   fresh-dir   directory containing freshly generated BENCH_<name>.json
+#   name        bench names to compare (default: every baseline present)
+# env: TOLERANCE_PCT overrides the throughput band.
+set -u -o pipefail
+
+TOLERANCE="${TOLERANCE_PCT:-25}"
+if [[ "${1:-}" == "--tolerance" ]]; then
+  TOLERANCE="$2"
+  shift 2
+fi
+if [[ $# -lt 1 ]]; then
+  echo "usage: scripts/bench_compare.sh [--tolerance PCT] <fresh-dir> [name ...]" >&2
+  exit 2
+fi
+FRESH_DIR="$1"
+shift
+
+BASE_DIR="$(cd "$(dirname "$0")/.." && pwd)/bench/baselines"
+if [[ ! -d "$BASE_DIR" ]]; then
+  echo "bench_compare: no baselines at $BASE_DIR" >&2
+  exit 2
+fi
+
+NAMES=("$@")
+if [[ ${#NAMES[@]} -eq 0 ]]; then
+  for f in "$BASE_DIR"/BENCH_*.json; do
+    name="$(basename "$f")"
+    name="${name#BENCH_}"
+    NAMES+=("${name%.json}")
+  done
+fi
+
+status=0
+for name in "${NAMES[@]}"; do
+  baseline="$BASE_DIR/BENCH_$name.json"
+  fresh="$FRESH_DIR/BENCH_$name.json"
+  if [[ ! -f "$baseline" ]]; then
+    echo "bench_compare: $name: no baseline ($baseline)" >&2
+    status=1
+    continue
+  fi
+  if [[ ! -f "$fresh" ]]; then
+    echo "bench_compare: $name: no fresh snapshot ($fresh)" >&2
+    status=1
+    continue
+  fi
+  python3 - "$baseline" "$fresh" "$TOLERANCE" <<'EOF' || status=1
+import json, sys
+
+baseline = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+tolerance = float(sys.argv[3])
+name = baseline["bench"]
+failed = False
+
+# Deterministic counters: exact match required.
+base_counters = baseline["metrics"]["counters"]
+fresh_counters = fresh["metrics"]["counters"]
+for key in sorted(set(base_counters) | set(fresh_counters)):
+    a, b = base_counters.get(key), fresh_counters.get(key)
+    if a != b:
+        print(f"{name}: counter {key} drifted: baseline {a} -> fresh {b}")
+        failed = True
+
+# Throughput band: fail only on a regression beyond the tolerance.
+base_rate = baseline["evals_per_sec"]
+fresh_rate = fresh["evals_per_sec"]
+if base_rate > 0:
+    delta_pct = 100.0 * (fresh_rate - base_rate) / base_rate
+    verdict = "within band"
+    if delta_pct < -tolerance:
+        verdict = f"REGRESSION beyond {tolerance:.0f}% band"
+        failed = True
+    print(f"{name}: evals/sec {base_rate:.0f} -> {fresh_rate:.0f} "
+          f"({delta_pct:+.1f}%, {verdict})")
+
+# Latency percentiles: informational (machine-dependent).
+bl, fl = baseline["eval_latency_us"], fresh["eval_latency_us"]
+print(f"{name}: eval latency p50 {bl['p50_us']:.2f} -> {fl['p50_us']:.2f}us, "
+      f"p99 {bl['p99_us']:.2f} -> {fl['p99_us']:.2f}us  [informational]")
+
+sys.exit(1 if failed else 0)
+EOF
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "bench_compare: FAILED" >&2
+else
+  echo "bench_compare: OK"
+fi
+exit $status

@@ -5,6 +5,12 @@
 # a populated evaluation-latency histogram, and rejection counters (see
 # docs/observability.md).
 #
+# A second phase repeats the search with --workers 2: the merged trace
+# must carry at least three distinct pid lanes (supervisor + 2 workers)
+# with process_name metadata and worker-side model/search spans, and the
+# aggregated metrics must count exactly as many evaluations as the
+# in-process run.
+#
 # usage: scripts/traced_smoke.sh [build-dir]    # default: ./build
 set -u -o pipefail
 
@@ -73,10 +79,64 @@ if ! grep -q "\[exec_search\]" "$WORK/progress.log"; then
   exit 1
 fi
 
+WTRACE="$WORK/trace_workers.json"
+WMETRICS="$WORK/metrics_workers.json"
+
+echo "== traced supervised exec search (--workers 2)"
+"$CLI" llm-optimal-execution gpt3_175b h100_80g 4096 --procs 64 \
+    --workers 2 --trace "$WTRACE" --metrics "$WMETRICS" \
+    > "$WORK/search_workers.log" 2>&1 || {
+  echo "traced_smoke: supervised search failed" >&2
+  cat "$WORK/search_workers.log" >&2
+  exit 1
+}
+
+echo "== validating $WTRACE (merged per-process lanes)"
+python3 - "$WTRACE" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+pids = {e["pid"] for e in events}
+assert len(pids) >= 3, f"expected supervisor + 2 worker lanes, pids={pids}"
+named = {e["pid"]: e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+assert named.get(1) == "supervisor", f"no supervisor lane name: {named}"
+workers = {p: n for p, n in named.items() if p != 1}
+assert len(workers) >= 2, f"expected 2 named worker lanes: {named}"
+assert all(n.startswith("worker-") for n in workers.values()), named
+worker_cats = {e.get("cat") for e in events
+               if e.get("ph") != "M" and e["pid"] != 1}
+assert "search" in worker_cats, f"no worker search spans, cats={worker_cats}"
+assert "model" in worker_cats, f"no worker model spans, cats={worker_cats}"
+sup_cats = {e.get("cat") for e in events
+            if e.get("ph") != "M" and e["pid"] == 1}
+assert "dist" in sup_cats, f"no supervisor dist spans, cats={sup_cats}"
+print(f"merged trace OK: {len(events)} events across lanes {sorted(pids)}")
+EOF
+[[ $? -eq 0 ]] || { echo "traced_smoke: merged trace validation failed" >&2; exit 1; }
+
+echo "== validating $WMETRICS (worker parity with in-process)"
+python3 - "$METRICS" "$WMETRICS" <<'EOF'
+import json, sys
+inproc = json.load(open(sys.argv[1]))
+dist = json.load(open(sys.argv[2]))
+a = inproc["counters"]["exec_search.evaluated"]
+b = dist["counters"]["exec_search.evaluated"]
+assert a == b, f"evaluated diverged: in-process {a} vs supervised {b}"
+lat = dist["histograms"]["exec_search.eval_latency_us"]
+assert lat["count"] == b, f"latency samples {lat['count']} != evaluated {b}"
+tagged = sum(v for k, v in dist["counters"].items()
+             if k.startswith("dist.worker.")
+             and k.endswith(".exec_search.evaluated"))
+assert tagged == b, f"per-worker tags sum {tagged} != aggregate {b}"
+print(f"supervised metrics OK: {b} evaluations, per-worker tags agree")
+EOF
+[[ $? -eq 0 ]] || { echo "traced_smoke: supervised metrics validation failed" >&2; exit 1; }
+
 # Leave the artifacts where CI can pick them up.
 if [[ -n "${TRACED_SMOKE_OUT:-}" ]]; then
   mkdir -p "$TRACED_SMOKE_OUT"
-  cp "$TRACE" "$METRICS" "$TRACED_SMOKE_OUT/"
+  cp "$TRACE" "$METRICS" "$WTRACE" "$WMETRICS" "$TRACED_SMOKE_OUT/"
 fi
 
 echo "traced_smoke: OK"

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/mathutil.h"
 #include "util/strings.h"
 #include "util/threadpool.h"
 
@@ -33,6 +34,7 @@ SupervisorOptions ToSupervisorOptions(const DistOptions& dist,
   options.hang_timeout_s = dist.hang_timeout_s;
   options.ctx = ctx;
   options.worker_log_dir = dist.worker_log_dir;
+  options.flight_capacity = dist.flight_capacity;
   options.faults_spec = dist.faults_spec;
   return options;
 }
@@ -96,7 +98,7 @@ StudyRun RunStudySupervised(const Study& study, const StudyRunOptions& options,
   // checkpoint prefix, the CSV, and the best-row decision sequence are
   // the ones the sequential loop would have produced.
   std::map<std::uint64_t, json::Value> arrived;
-  std::map<std::uint64_t, std::string> quarantined;
+  std::map<std::uint64_t, FailureRecord> quarantined;
   std::uint64_t committed = run.resumed_rows;
 
   auto commit_ready = [&] {
@@ -127,11 +129,16 @@ StudyRun RunStudySupervised(const Study& study, const StudyRunOptions& options,
       } else if (const auto qt = quarantined.find(committed);
                  qt != quarantined.end()) {
         const Execution& e = execs[committed];
+        run.csv_rows.push_back(StudyCsvRow(
+            e, Result<Stats>(Infeasible::kBadConfig, qt->second.reason)));
         if (ctx != nullptr) {
-          ctx->RecordFailure(committed, StudyRowFingerprint(e), qt->second);
+          // Keep the supervisor's evidence (worker, flight post-mortem),
+          // scoped with this row's coordinates.
+          FailureRecord record = std::move(qt->second);
+          record.item = committed;
+          record.fingerprint = StudyRowFingerprint(e);
+          ctx->RecordFailure(std::move(record));
         }
-        run.csv_rows.push_back(
-            StudyCsvRow(e, Result<Stats>(Infeasible::kBadConfig, qt->second)));
         quarantined.erase(qt);
       } else {
         break;
@@ -152,7 +159,7 @@ StudyRun RunStudySupervised(const Study& study, const StudyRunOptions& options,
     commit_ready();
   };
   callbacks.on_quarantine = [&](const FailureRecord& record) {
-    quarantined[record.item] = record.reason;
+    quarantined[record.item] = record;
     commit_ready();
   };
 
@@ -204,12 +211,13 @@ SearchResult FindOptimalExecutionSupervised(const Application& app,
   callbacks.on_quarantine = [&](const FailureRecord& record) {
     if (ctx != nullptr) {
       const Triple& tr = triples[record.item];
-      ctx->RecordFailure(
-          record.item << 32,
+      FailureRecord scoped = record;
+      scoped.item = record.item << 32;
+      scoped.fingerprint =
           StrFormat("t=%lld p=%lld d=%lld", static_cast<long long>(tr.t),
                     static_cast<long long>(tr.p),
-                    static_cast<long long>(tr.d)),
-          record.reason, record.worker);
+                    static_cast<long long>(tr.d));
+      ctx->RecordFailure(std::move(scoped));
     }
   };
 
@@ -241,18 +249,16 @@ SearchResult FindOptimalExecutionSupervised(const Application& app,
     }
   }
 
+  // Evaluation metrics (evaluated/feasible/rejections/eval_latency) now
+  // come from the workers themselves: each instruments its sweep and the
+  // supervisor ingested the merged snapshots above. Only the culling of
+  // structurally invalid triples happens parent-side (SearchTriples runs
+  // here, never in a worker), so that counter is recorded here to match
+  // the in-process run.
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   if (metrics.enabled()) {
-    metrics.GetCounter("exec_search.evaluated")->Increment(result.evaluated);
-    metrics.GetCounter("exec_search.feasible")->Increment(result.feasible);
-    for (std::size_t i = 1; i < rejected.size(); ++i) {  // skip kNone
-      if (rejected[i] == 0) continue;
-      metrics
-          .GetCounter("exec_search.rejected." +
-                      obs::MetricNameSegment(
-                          ToString(static_cast<Infeasible>(i))))
-          ->Increment(rejected[i]);
-    }
+    metrics.GetCounter("exec_search.culled_triples")
+        ->Increment(FactorTriples(sys.num_procs()).size() - triples.size());
   }
   CALC_TRACE_COUNTER("exec_search.evaluated", result.evaluated);
 
@@ -303,8 +309,9 @@ AuditDistResult RunAuditSupervised(
   };
   callbacks.on_quarantine = [&](const FailureRecord& record) {
     if (ctx != nullptr) {
-      ctx->RecordFailure(record.item, pairs[record.item].context_label,
-                         record.reason, record.worker);
+      FailureRecord scoped = record;
+      scoped.fingerprint = pairs[record.item].context_label;
+      ctx->RecordFailure(std::move(scoped));
     }
   };
 

@@ -43,6 +43,8 @@ struct DistOptions {
   unsigned fallback_threads = 0;
   // Worker stderr capture directory (see SupervisorOptions).
   std::string worker_log_dir;
+  // Per-worker crash flight recorder capacity (see SupervisorOptions).
+  int flight_capacity = 64;
   // FaultPlan spec forwarded to workers; the supervised engines inject
   // inside the worker, never in the parent.
   std::string faults_spec;

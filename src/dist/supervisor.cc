@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <exception>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <utility>
@@ -18,6 +20,7 @@
 #include "dist/worker.h"
 #include "json/json.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/error.h"
@@ -49,6 +52,11 @@ struct PendingRetry {
   std::int64_t ready_at_ms = 0;
 };
 
+// Bound on the supervisor-side flight mirror per worker: the worker's own
+// ring already bounds what it ships per flush, this additionally caps the
+// accumulated history the supervisor keeps.
+constexpr std::size_t kFlightMirrorCap = 256;
+
 struct WorkerSlot {
   pid_t pid = -1;  // -1: no live process in this slot
   int cmd_fd = -1;  // parent -> worker (blocking writes; frames are tiny)
@@ -60,6 +68,22 @@ struct WorkerSlot {
   ShardRange shard;    // the in-flight shard (valid while busy)
   std::uint64_t acked = 0;  // next expected item index within the shard
   std::int64_t last_activity_ms = 0;
+
+  // The current incarnation's pid, surviving the reap (ReapWorker resets
+  // `pid`); stamps this worker's trace lane and post-mortem files.
+  pid_t last_pid = -1;
+  // Trace timestamp of the last shard dispatch (supervisor timeline), for
+  // the handoff span recorded when shard_done arrives. 0 = not tracing.
+  double dispatch_ts_us = 0.0;
+  // Flight-recorder mirror: the worker's recent activity markers, shipped
+  // ahead of each item evaluation; dumped on quarantine (bounded, oldest
+  // evicted first).
+  std::deque<json::Value> flight;
+  std::uint64_t flight_dropped = 0;
+  // Last cumulative metrics snapshot from this incarnation; folded into
+  // the per-slot total when the incarnation ends.
+  obs::MetricsSnapshot live_metrics;
+  bool has_live_metrics = false;
 
   [[nodiscard]] bool alive() const { return pid != -1; }
 };
@@ -83,6 +107,12 @@ struct Pool {
   obs::Counter* restarts = nullptr;
   obs::Counter* reassigned = nullptr;
   obs::Counter* quarantined = nullptr;
+
+  // Per-slot telemetry folded across worker incarnations; ingested into
+  // the global registry (tagged and aggregated) at the end of the run.
+  std::vector<obs::MetricsSnapshot> finalized_metrics;
+  // Sequence number for post-mortem file names (a run may dump several).
+  int flight_dump_seq = 0;
 };
 
 [[nodiscard]] int CountAlive(const Pool& pool) {
@@ -129,6 +159,98 @@ void CloseSlotFds(WorkerSlot& slot) {
   slot.pid = -1;
   if (reaped == -1) return "could not be reaped";
   return DescribeExit(status);
+}
+
+// Folds the incarnation's last cumulative snapshot into the per-slot
+// total. Called when an incarnation ends (death or clean shutdown);
+// snapshots are cumulative per incarnation, so only the final one counts.
+void FinalizeSlotMetrics(Pool& pool, std::size_t index) {
+  WorkerSlot& slot = pool.slots[index];
+  if (!slot.has_live_metrics) return;
+  pool.finalized_metrics[index].Merge(slot.live_metrics);
+  slot.live_metrics = obs::MetricsSnapshot();
+  slot.has_live_metrics = false;
+}
+
+// Dumps the slot's flight mirror to a post-mortem JSON file (see
+// docs/observability.md for the format) in worker_log_dir, or the system
+// temp directory when no log dir is configured. Returns the path, or ""
+// when there was no evidence or the write failed — post-mortems are
+// best-effort; a dump failure must never take down the supervisor.
+[[nodiscard]] std::string DumpFlightPostMortem(
+    Pool& pool, std::size_t index, const std::string& description) {
+  WorkerSlot& slot = pool.slots[index];
+  if (slot.flight.empty() && slot.flight_dropped == 0) return "";
+  std::string dir = pool.options.worker_log_dir;
+  try {
+    if (dir.empty()) {
+      dir = std::filesystem::temp_directory_path().string();
+    } else {
+      std::filesystem::create_directories(dir);
+    }
+    const std::string path =
+        StrFormat("%s/flight-%03d-worker%d.json", dir.c_str(),
+                  pool.flight_dump_seq++, static_cast<int>(index));
+    json::Value doc;
+    doc["worker_slot"] = static_cast<std::int64_t>(index);
+    doc["pid"] = static_cast<std::int64_t>(slot.last_pid);
+    doc["description"] = description;
+    if (slot.busy) {
+      json::Value shard;
+      shard["begin"] = static_cast<std::int64_t>(slot.shard.begin);
+      shard["end"] = static_cast<std::int64_t>(slot.shard.end);
+      doc["shard"] = shard;
+      doc["acked"] = static_cast<std::int64_t>(slot.acked);
+    }
+    doc["mirror_dropped"] = static_cast<std::int64_t>(slot.flight_dropped);
+    json::Array events(slot.flight.begin(), slot.flight.end());
+    doc["events"] = json::Value(std::move(events));
+    json::WriteFile(path, doc);
+    return path;
+  } catch (const std::exception&) {
+    return "";
+  }
+}
+
+// Telemetry frames interleaved with the result stream. Purely
+// observational: they never touch the shard tracker or the driver
+// callbacks, which is what keeps supervised outputs bit-identical with
+// telemetry on. Returns false for frame types it does not know.
+[[nodiscard]] bool HandleTelemetryFrame(Pool& pool, std::size_t index,
+                                        const std::string& type,
+                                        const json::Value& frame) {
+  WorkerSlot& slot = pool.slots[index];
+  if (type == "metrics_snapshot") {
+    // Cumulative per incarnation: replace, don't merge.
+    slot.live_metrics = obs::MetricsSnapshot::FromJson(frame.at("metrics"));
+    slot.has_live_metrics = true;
+    return true;
+  }
+  if (type == "trace_chunk") {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    if (recorder.enabled()) {
+      recorder.AddExternalEvents(
+          static_cast<int>(slot.last_pid),
+          StrFormat("worker-%d", static_cast<int>(slot.last_pid)),
+          frame.at("events").AsArray());
+      recorder.AddExternalDropped(
+          static_cast<std::uint64_t>(frame.GetInt("dropped", 0)));
+    }
+    return true;
+  }
+  if (type == "flight") {
+    for (const json::Value& event : frame.at("events").AsArray()) {
+      if (slot.flight.size() >= kFlightMirrorCap) {
+        slot.flight.pop_front();
+        ++slot.flight_dropped;
+      }
+      slot.flight.push_back(event);
+    }
+    slot.flight_dropped +=
+        static_cast<std::uint64_t>(frame.GetInt("dropped", 0));
+    return true;
+  }
+  return false;
 }
 
 // Forks a worker into `slot`. Returns false when the OS refuses (pipe/fork
@@ -198,6 +320,14 @@ void CloseSlotFds(WorkerSlot& slot) {
   slot.busy = false;
   slot.acked = 0;
   slot.last_activity_ms = NowMs();
+  // Fresh incarnation: new trace lane, empty flight mirror (the previous
+  // incarnation's evidence was dumped by its death handler).
+  slot.last_pid = pid;
+  slot.dispatch_ts_us = 0.0;
+  slot.flight.clear();
+  slot.flight_dropped = 0;
+  slot.live_metrics = obs::MetricsSnapshot();
+  slot.has_live_metrics = false;
   ++pool.report->forked;
   PublishAlive(pool);
   if (!slot.writer->WriteFrame(*pool.init_frame)) {
@@ -214,6 +344,7 @@ void HandleWorkerDeath(Pool& pool, std::size_t index,
                        const std::string& description) {
   WorkerSlot& slot = pool.slots[index];
   CALC_TRACE_INSTANT("dist", "worker_death");
+  FinalizeSlotMetrics(pool, index);
   if (!slot.ready) {
     ++pool.consecutive_startup_failures;
   }
@@ -227,9 +358,16 @@ void HandleWorkerDeath(Pool& pool, std::size_t index,
       record.reason = StrFormat("quarantined after %d attempts; last: %s",
                                 outcome.attempt, description.c_str());
       record.worker = static_cast<unsigned>(index);
+      // Attach the flight-recorder evidence of what the worker was doing
+      // when it died; the ring itself was shipped ahead of each item.
+      record.flight_path = DumpFlightPostMortem(pool, index, description);
       pool.report->quarantined.push_back(record);
       if (pool.quarantined != nullptr) pool.quarantined->Increment();
       if (pool.callbacks->on_quarantine) pool.callbacks->on_quarantine(record);
+    } else if (!pool.options.worker_log_dir.empty()) {
+      // Not (yet) a quarantine, but the operator asked for worker logs:
+      // keep a post-mortem for every busy death alongside them.
+      (void)DumpFlightPostMortem(pool, index, description);
     }
     if (!outcome.retry.empty()) {
       pool.pending.push_back(
@@ -264,12 +402,23 @@ SupervisorReport RunSupervised(const json::Value& job_spec,
   tracker_options.backoff_max_ms = options.backoff_max_ms;
   ShardTracker tracker(tracker_options);
 
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+
   json::Value init_frame;
   init_frame["type"] = "init";
   init_frame["job"] = job_spec;
   init_frame["faults"] = options.faults_spec;
-
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  // Telemetry the workers should produce, mirroring this process's own
+  // obs state. trace_start_ns aligns worker timestamps to the supervisor
+  // timeline (the steady clock is shared across fork()).
+  json::Value telemetry;
+  telemetry["metrics"] = metrics.enabled();
+  telemetry["trace"] = recorder.enabled();
+  telemetry["trace_start_ns"] = recorder.start_ns();
+  telemetry["flight_capacity"] =
+      static_cast<std::int64_t>(std::max(options.flight_capacity, 0));
+  init_frame["telemetry"] = telemetry;
   Pool pool;
   pool.init_frame = &init_frame;
   pool.options = options;
@@ -300,6 +449,7 @@ SupervisorReport RunSupervised(const json::Value& job_spec,
       std::min<std::uint64_t>(static_cast<std::uint64_t>(options.workers),
                               std::max<std::uint64_t>(max_useful, 1)));
   pool.slots.resize(static_cast<std::size_t>(worker_count));
+  pool.finalized_metrics.resize(pool.slots.size());
 
   std::string startup_error;
   bool stopped = false;
@@ -352,6 +502,7 @@ SupervisorReport RunSupervised(const json::Value& job_spec,
       slot.shard = shard;
       slot.acked = 0;
       slot.last_activity_ms = now;
+      slot.dispatch_ts_us = recorder.enabled() ? recorder.NowMicros() : 0.0;
       if (!slot.writer->WriteFrame(frame)) {
         // Dead before the dispatch reached it; fold into the normal death
         // path so the shard is retried and the slot refilled.
@@ -459,6 +610,21 @@ SupervisorReport RunSupervised(const json::Value& job_spec,
               ++slot.acked;
             } else if (type == "shard_done") {
               slot.busy = false;
+              // Handoff span on the supervisor timeline: dispatch to
+              // completion of this shard, labelled with the worker's lane.
+              if (recorder.enabled() && slot.dispatch_ts_us > 0.0) {
+                recorder.RecordComplete(
+                    "dist",
+                    StrFormat("shard [%llu,%llu) -> worker-%d",
+                              static_cast<unsigned long long>(slot.shard.begin),
+                              static_cast<unsigned long long>(slot.shard.end),
+                              static_cast<int>(slot.last_pid)),
+                    slot.dispatch_ts_us,
+                    recorder.NowMicros() - slot.dispatch_ts_us);
+                slot.dispatch_ts_us = 0.0;
+              }
+            } else if (HandleTelemetryFrame(pool, i, type, frame)) {
+              // Observational only; nothing else to do.
             } else {
               corrupt = true;
               break;
@@ -510,6 +676,12 @@ SupervisorReport RunSupervised(const json::Value& job_spec,
                         1000.0,
                     ReapWorker(slot).c_str()));
     }
+
+    // Aggregate ack progress (resolved() already counts the resume
+    // watermark) for the ProgressReporter's rate/ETA fold.
+    obs::WorkerProgress::Global().Publish(
+        tracker.resolved() - options.first_item,
+        num_items > options.first_item ? num_items - options.first_item : 0);
   }
 
   // Shutdown: polite exit frames first, then force.
@@ -518,6 +690,64 @@ SupervisorReport RunSupervised(const json::Value& job_spec,
     json::Value exit_frame;
     exit_frame["type"] = "exit";
     if (slot.writer != nullptr) (void)slot.writer->WriteFrame(exit_frame);
+  }
+  // Drain the result pipes to EOF (bounded by the grace deadline) before
+  // reaping: the last shard's telemetry and the exit-time snapshots are
+  // written AFTER the final item ack that ended the main loop, so skipping
+  // this phase would lose them in the pipe.
+  const std::int64_t drain_deadline = NowMs() + 2000;
+  for (;;) {
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> fd_slot;
+    for (std::size_t i = 0; i < pool.slots.size(); ++i) {
+      if (pool.slots[i].alive() && pool.slots[i].res_fd != -1) {
+        fds.push_back({pool.slots[i].res_fd, POLLIN, 0});
+        fd_slot.push_back(i);
+      }
+    }
+    if (fds.empty()) break;
+    const std::int64_t left = drain_deadline - NowMs();
+    if (left <= 0) break;
+    const int n_ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               static_cast<int>(std::min<std::int64_t>(left, 100)));
+    if (n_ready == -1 && errno != EINTR) break;
+    if (n_ready <= 0) continue;
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t i = fd_slot[k];
+      WorkerSlot& slot = pool.slots[i];
+      bool closed = false;
+      for (;;) {
+        const FrameReader::FillStatus status = slot.reader->Fill();
+        json::Value frame;
+        try {
+          while (slot.reader->NextFrame(&frame)) {
+            // Only telemetry matters now; stray result frames from an
+            // abandoned shard are discarded (their items stay unresolved).
+            (void)HandleTelemetryFrame(pool, i,
+                                       frame.GetString("type", ""), frame);
+          }
+        } catch (const ConfigError&) {
+          closed = true;  // corrupt tail during shutdown: stop reading
+          break;
+        }
+        if (status == FrameReader::FillStatus::kWouldBlock) break;
+        if (status == FrameReader::FillStatus::kEof ||
+            status == FrameReader::FillStatus::kError) {
+          closed = true;
+          break;
+        }
+      }
+      if (closed) {
+        // EOF after the exit frame: the worker is gone (or going); reap it
+        // here so the force loop below skips it.
+        FinalizeSlotMetrics(pool, i);
+        (void)ReapWorker(slot);
+        CloseSlotFds(slot);
+        PublishAlive(pool);
+      }
+    }
   }
   const std::int64_t grace_deadline = NowMs() + 2000;
   for (WorkerSlot& slot : pool.slots) {
@@ -544,6 +774,24 @@ SupervisorReport RunSupervised(const json::Value& job_spec,
   }
   PublishAlive(pool);
   ::sigaction(SIGPIPE, &saved_pipe, nullptr);
+
+  // Ingest the workers' telemetry into the global registry: once per slot
+  // under a dist.worker.N. tag, and once merged into the shared names so
+  // e.g. exec_search.eval_latency aggregates across every worker exactly
+  // as the in-process run would have populated it.
+  if (metrics.enabled()) {
+    obs::MetricsSnapshot aggregate;
+    for (std::size_t i = 0; i < pool.slots.size(); ++i) {
+      FinalizeSlotMetrics(pool, i);
+      const obs::MetricsSnapshot& per_slot = pool.finalized_metrics[i];
+      if (per_slot.empty()) continue;
+      metrics.Ingest(per_slot,
+                     StrFormat("dist.worker.%d.", static_cast<int>(i)));
+      aggregate.Merge(per_slot);
+    }
+    if (!aggregate.empty()) metrics.Ingest(aggregate, "");
+  }
+  obs::WorkerProgress::Global().Reset();
 
   if (!startup_error.empty()) {
     throw ConfigError("dist supervisor: " + startup_error);

@@ -55,8 +55,14 @@ struct SupervisorOptions {
   // polled every loop iteration; in-flight shards are abandoned.
   RunContext* ctx = nullptr;
   // When non-empty, each worker's stderr goes to
-  // <dir>/worker-<n>.log (appended across restarts).
+  // <dir>/worker-<n>.log (appended across restarts), and flight-recorder
+  // post-mortems are dumped there for every busy worker death.
   std::string worker_log_dir;
+  // Capacity of each worker's crash flight recorder — the bounded ring of
+  // recent spans/instants kept even when tracing is off, mirrored by the
+  // supervisor and dumped to a post-mortem file when the worker is
+  // quarantined (see docs/observability.md). 0 disables.
+  int flight_capacity = 64;
   // FaultPlan spec shipped to workers verbatim (see FaultPlan::ToSpec).
   std::string faults_spec;
 };

@@ -4,12 +4,24 @@
 // the child calls WorkerMain on its two pipe ends and never returns to
 // the caller's code. The protocol (NDJSON frames, see dist/wire.h):
 //
-//   parent -> worker   {"type":"init", "job":{...}, "faults":"seed=..."}
+//   parent -> worker   {"type":"init", "job":{...}, "faults":"seed=...",
+//                       "telemetry":{...}}
 //   worker -> parent   {"type":"ready"}
 //   parent -> worker   {"type":"shard", "begin":B, "end":E}
 //   worker -> parent   {"type":"item", "index":I, "result":{...}}   (per item)
 //   worker -> parent   {"type":"shard_done", "begin":B, "end":E}
 //   parent -> worker   {"type":"exit"}
+//
+// Interleaved with the result stream, a worker may send purely
+// observational telemetry frames (enabled via the init frame's
+// "telemetry" object, see docs/observability.md):
+//
+//   {"type":"metrics_snapshot", "metrics":{...}}   cumulative registry
+//   {"type":"trace_chunk", "events":[...], "dropped":D}
+//   {"type":"flight", "events":[...], "dropped":D}  crash flight recorder
+//
+// The supervisor never feeds these into its reorder buffers, so outputs
+// stay bit-identical with telemetry on.
 //
 // Items are evaluated and acked strictly in order within a shard, which
 // is what lets the supervisor identify the *suspect* (first un-acked

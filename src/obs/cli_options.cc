@@ -1,6 +1,8 @@
 #include "obs/cli_options.h"
 
 #include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -56,8 +58,23 @@ void ObsCliOptions::Activate() const {
 
 void ObsCliOptions::Finish() const {
   if (!trace_path.empty()) {
-    TraceRecorder::Global().Stop();
-    TraceRecorder::Global().WriteFile(trace_path);
+    TraceRecorder& recorder = TraceRecorder::Global();
+    recorder.Stop();
+    // Surface per-thread event-cap truncation loudly: a silently truncated
+    // trace reads as a complete one.
+    const std::uint64_t dropped = recorder.dropped();
+    if (dropped > 0) {
+      std::fprintf(stderr,
+                   "warning: trace truncated: %llu event(s) dropped at the "
+                   "per-thread cap; the timeline in %s is incomplete\n",
+                   static_cast<unsigned long long>(dropped),
+                   trace_path.c_str());
+      MetricsRegistry& metrics = MetricsRegistry::Global();
+      if (metrics.enabled()) {
+        metrics.GetCounter("obs.dropped_events")->Increment(dropped);
+      }
+    }
+    recorder.WriteFile(trace_path);
   }
   if (!metrics_path.empty()) {
     json::WriteFile(metrics_path, MetricsRegistry::Global().ToJson());

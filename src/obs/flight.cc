@@ -1,0 +1,103 @@
+#include "obs/flight.h"
+
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace calculon::obs {
+
+namespace {
+
+[[nodiscard]] json::Value EntryToJson(const char* label, std::uint64_t seq,
+                                      std::uint64_t item, double ts_us,
+                                      double dur_us) {
+  json::Value v;
+  v["label"] = std::string(label);
+  v["seq"] = static_cast<std::int64_t>(seq);
+  v["ts_us"] = ts_us;
+  if (item != FlightRecorder::kNoItem) {
+    v["item"] = static_cast<std::int64_t>(item);
+  }
+  if (dur_us >= 0.0) v["dur_us"] = dur_us;
+  return v;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder global;
+  return global;
+}
+
+void FlightRecorder::Enable(std::size_t capacity) {
+  MutexLock lock(mutex_);
+  ring_.assign(capacity, Entry{});
+  head_ = 0;
+  size_ = 0;
+  next_seq_ = 1;
+  drained_seq_ = 0;
+  enabled_.store(capacity > 0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Record(const char* label, std::uint64_t item,
+                            double ts_us, double dur_us) {
+  MutexLock lock(mutex_);
+  if (ring_.empty()) return;
+  Entry& entry = ring_[head_];
+  std::strncpy(entry.label, label, kLabelCapacity - 1);
+  entry.label[kLabelCapacity - 1] = '\0';
+  entry.seq = next_seq_++;
+  entry.item = item;
+  entry.ts_us = ts_us;
+  entry.dur_us = dur_us;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+void FlightRecorder::RecordInstant(const char* label, std::uint64_t item) {
+  if (!enabled()) return;
+  Record(label, item, MonotonicMicros(), -1.0);
+}
+
+void FlightRecorder::RecordSpan(const char* label, std::uint64_t item,
+                                double ts_us, double dur_us) {
+  if (!enabled()) return;
+  Record(label, item, ts_us, dur_us < 0.0 ? 0.0 : dur_us);
+}
+
+FlightRecorder::Drained FlightRecorder::DrainNew() {
+  Drained drained;
+  MutexLock lock(mutex_);
+  if (size_ == 0) return drained;
+  // Oldest live entry; entries older than that were overwritten. Any
+  // overwritten entry newer than the drain watermark was lost undrained.
+  const std::size_t oldest = (head_ + ring_.size() - size_) % ring_.size();
+  const std::uint64_t oldest_seq = ring_[oldest].seq;
+  if (oldest_seq > drained_seq_ + 1) {
+    drained.dropped = oldest_seq - drained_seq_ - 1;
+  }
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Entry& entry = ring_[(oldest + i) % ring_.size()];
+    if (entry.seq <= drained_seq_) continue;
+    drained.events.push_back(EntryToJson(entry.label, entry.seq, entry.item,
+                                         entry.ts_us, entry.dur_us));
+  }
+  drained_seq_ = next_seq_ - 1;
+  return drained;
+}
+
+json::Value FlightRecorder::ToJson() const {
+  json::Array events;
+  MutexLock lock(mutex_);
+  if (size_ > 0) {
+    const std::size_t oldest = (head_ + ring_.size() - size_) % ring_.size();
+    for (std::size_t i = 0; i < size_; ++i) {
+      const Entry& entry = ring_[(oldest + i) % ring_.size()];
+      events.push_back(EntryToJson(entry.label, entry.seq, entry.item,
+                                   entry.ts_us, entry.dur_us));
+    }
+  }
+  return json::Value(std::move(events));
+}
+
+}  // namespace calculon::obs

@@ -1,0 +1,97 @@
+// Observability layer, part 4: the crash flight recorder.
+//
+// A bounded ring of recent spans/instants that is kept even when full
+// tracing (--trace) is off. Supervised workers (dist/worker.h) record what
+// they are about to do — shard receipt, per-item begin/done — and ship
+// undrained entries to the supervisor before each item evaluation, so when
+// a worker dies mid-item (crash, hang-kill, fault injection) the
+// supervisor holds evidence of its last actions and dumps it to a
+// post-mortem file referenced from the FailureRecord
+// (docs/robustness.md §8, docs/observability.md).
+//
+// Design constraints mirror the trace recorder's: one relaxed atomic load
+// when disabled, and a pre-allocated fixed-capacity ring with fixed-size
+// labels so the record path never allocates (hot-path-alloc clean).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "json/json.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace calculon::obs {
+
+// Process-wide ring of recent activity markers. All methods are
+// thread-safe; recording is a no-op until Enable().
+class FlightRecorder {
+ public:
+  // Labels longer than this are truncated on record (fixed storage keeps
+  // the record path allocation-free).
+  static constexpr std::size_t kLabelCapacity = 48;
+  // `item` sentinel for entries not tied to a work item.
+  static constexpr std::uint64_t kNoItem = ~0ull;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  [[nodiscard]] static FlightRecorder& Global();
+
+  // Pre-allocates a ring of `capacity` entries, clears any previous
+  // contents, and starts recording. capacity == 0 disables.
+  void Enable(std::size_t capacity) CALC_EXCLUDES(mutex_);
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Point marker at the current monotonic time. `label` is copied
+  // (truncated to kLabelCapacity - 1 characters).
+  void RecordInstant(const char* label, std::uint64_t item = kNoItem)
+      CALC_EXCLUDES(mutex_);
+  // Completed span with caller-provided timing (MonotonicMicros units).
+  void RecordSpan(const char* label, std::uint64_t item, double ts_us,
+                  double dur_us) CALC_EXCLUDES(mutex_);
+
+  struct Drained {
+    json::Array events;
+    // Entries overwritten before they could be drained.
+    std::uint64_t dropped = 0;
+  };
+
+  // Returns every entry recorded since the previous DrainNew() (oldest
+  // first) and advances the drain watermark. Entries the ring overwrote
+  // before they were drained are counted in `dropped`.
+  [[nodiscard]] Drained DrainNew() CALC_EXCLUDES(mutex_);
+
+  // Every entry currently in the ring, oldest first, without moving the
+  // drain watermark. Event shape: {"label", "seq", "ts_us"} plus "item"
+  // (when tied to one) and "dur_us" (spans only).
+  [[nodiscard]] json::Value ToJson() const CALC_EXCLUDES(mutex_);
+
+ private:
+  struct Entry {
+    char label[kLabelCapacity] = {};
+    std::uint64_t seq = 0;
+    std::uint64_t item = kNoItem;
+    double ts_us = 0.0;
+    double dur_us = -1.0;  // < 0 marks an instant
+  };
+
+  void Record(const char* label, std::uint64_t item, double ts_us,
+              double dur_us) CALC_EXCLUDES(mutex_);
+
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mutex_;
+  std::vector<Entry> ring_ CALC_GUARDED_BY(mutex_);  // fixed capacity
+  std::size_t head_ CALC_GUARDED_BY(mutex_) = 0;     // next write slot
+  std::size_t size_ CALC_GUARDED_BY(mutex_) = 0;     // live entries
+  std::uint64_t next_seq_ CALC_GUARDED_BY(mutex_) = 1;
+  std::uint64_t drained_seq_ CALC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace calculon::obs

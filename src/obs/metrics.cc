@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <new>
 #include <utility>
 
 #include "obs/trace.h"
@@ -11,6 +12,33 @@
 
 namespace calculon::obs {
 namespace {
+
+// Shared quantile estimator over explicit buckets (Histogram reads its
+// atomics into this shape; HistogramSnapshot stores it directly): linear
+// interpolation inside the bucket holding the target rank, the first
+// bucket interpolating from 0 and the overflow bucket reporting the last
+// bound.
+[[nodiscard]] double BucketQuantile(const std::vector<double>& bounds,
+                                    const std::vector<std::uint64_t>& buckets,
+                                    std::uint64_t count, double q) {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i == bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double fraction = (target - cumulative) / in_bucket;
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
 
 // The installed ThreadPool hook: a counter track in the trace and a gauge
 // in the metrics registry. Both sinks check their own enabled state, so
@@ -68,29 +96,138 @@ void Histogram::Observe(double value) {
 }
 
 double Histogram::Quantile(double q) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(n);
-  double cumulative = 0.0;
-  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
-    const double in_bucket = static_cast<double>(bucket_count(i));
-    if (in_bucket == 0.0) continue;
-    if (cumulative + in_bucket >= target) {
-      if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
-      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
-      const double upper = bounds_[i];
-      const double fraction = (target - cumulative) / in_bucket;
-      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
-    }
-    cumulative += in_bucket;
+  std::vector<std::uint64_t> buckets(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets[i] = bucket_count(i);
+  return BucketQuantile(bounds_, buckets, count(), q);
+}
+
+void Histogram::MergeFrom(const HistogramSnapshot& snapshot) {
+  if (snapshot.empty()) return;
+  if (snapshot.bounds != bounds_) {
+    throw ConfigError(
+        "Histogram::MergeFrom: bucket layouts differ; refusing to merge "
+        "(identical bounds are required for bucket-wise addition)");
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  for (std::size_t i = 0; i < snapshot.bucket_counts.size(); ++i) {
+    buckets_[i].fetch_add(snapshot.bucket_counts[i],
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(snapshot.count, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + snapshot.sum,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 std::vector<double> DefaultLatencyBoundsUs() {
   // 0.25us .. ~4.2s in 24 doublings.
   return Histogram::ExponentialBounds(0.25, 2.0, 24);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  if (bounds != other.bounds) {
+    throw ConfigError(
+        "HistogramSnapshot::Merge: bucket layouts differ; refusing to merge "
+        "(identical bounds are required for bucket-wise addition)");
+  }
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    bucket_counts[i] += other.bucket_counts[i];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  return BucketQuantile(bounds, bucket_counts, count, q);
+}
+
+json::Value HistogramSnapshot::ToJson() const {
+  json::Value h;
+  h["count"] = static_cast<std::int64_t>(count);
+  h["sum"] = sum;
+  json::Array bounds_json;
+  for (double bound : bounds) bounds_json.emplace_back(bound);
+  json::Array bucket_counts_json;
+  for (std::uint64_t n : bucket_counts) {
+    bucket_counts_json.emplace_back(static_cast<std::int64_t>(n));
+  }
+  h["bounds"] = json::Value(std::move(bounds_json));
+  h["bucket_counts"] = json::Value(std::move(bucket_counts_json));
+  h["p50"] = Quantile(0.50);
+  h["p95"] = Quantile(0.95);
+  h["p99"] = Quantile(0.99);
+  return h;
+}
+
+HistogramSnapshot HistogramSnapshot::FromJson(const json::Value& v) {
+  if (!v.is_object()) {
+    throw ConfigError("HistogramSnapshot::FromJson: expected an object");
+  }
+  HistogramSnapshot snapshot;
+  snapshot.count = static_cast<std::uint64_t>(v.at("count").AsInt());
+  snapshot.sum = v.at("sum").AsDouble();
+  for (const json::Value& bound : v.at("bounds").AsArray()) {
+    snapshot.bounds.push_back(bound.AsDouble());
+  }
+  for (const json::Value& n : v.at("bucket_counts").AsArray()) {
+    snapshot.bucket_counts.push_back(static_cast<std::uint64_t>(n.AsInt()));
+  }
+  if (snapshot.bucket_counts.size() != snapshot.bounds.size() + 1) {
+    throw ConfigError(
+        "HistogramSnapshot::FromJson: bucket_counts must have bounds + 1 "
+        "entries (the last is the overflow bucket)");
+  }
+  return snapshot;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, snapshot] : other.histograms) {
+    histograms[name].Merge(snapshot);
+  }
+}
+
+json::Value MetricsSnapshot::ToJson() const {
+  json::Value doc;
+  // Sections are explicit empty objects (not null) when unpopulated, so
+  // consumers can iterate unconditionally.
+  json::Value counters_json{json::Object{}};
+  for (const auto& [name, value] : counters) {
+    counters_json[name] = static_cast<std::int64_t>(value);
+  }
+  doc["counters"] = counters_json;
+  json::Value gauges_json{json::Object{}};
+  for (const auto& [name, value] : gauges) gauges_json[name] = value;
+  doc["gauges"] = gauges_json;
+  json::Value histograms_json{json::Object{}};
+  for (const auto& [name, snapshot] : histograms) {
+    histograms_json[name] = snapshot.ToJson();
+  }
+  doc["histograms"] = histograms_json;
+  return doc;
+}
+
+MetricsSnapshot MetricsSnapshot::FromJson(const json::Value& v) {
+  if (!v.is_object()) {
+    throw ConfigError("MetricsSnapshot::FromJson: expected an object");
+  }
+  MetricsSnapshot snapshot;
+  for (const auto& [name, value] : v.at("counters").AsObject()) {
+    snapshot.counters[name] = static_cast<std::uint64_t>(value.AsInt());
+  }
+  for (const auto& [name, value] : v.at("gauges").AsObject()) {
+    snapshot.gauges[name] = value.AsDouble();
+  }
+  for (const auto& [name, value] : v.at("histograms").AsObject()) {
+    snapshot.histograms[name] = HistogramSnapshot::FromJson(value);
+  }
+  return snapshot;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -125,44 +262,55 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
-json::Value MetricsRegistry::ToJson() const {
+json::Value MetricsRegistry::ToJson() const { return Snapshot().ToJson(); }
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
   MutexLock lock(mutex_);
-  json::Value doc;
-  // Sections are explicit empty objects (not null) when unpopulated, so
-  // consumers can iterate unconditionally.
-  json::Value counters{json::Object{}};
+  MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
-    counters[name] = static_cast<std::int64_t>(counter->value());
+    snapshot.counters[name] = counter->value();
   }
-  doc["counters"] = counters;
-  json::Value gauges{json::Object{}};
   for (const auto& [name, gauge] : gauges_) {
-    gauges[name] = gauge->value();
+    snapshot.gauges[name] = gauge->value();
   }
-  doc["gauges"] = gauges;
-  json::Value histograms{json::Object{}};
   for (const auto& [name, histogram] : histograms_) {
-    json::Value h;
-    h["count"] = static_cast<std::int64_t>(histogram->count());
-    h["sum"] = histogram->sum();
-    json::Array bounds;
-    json::Array bucket_counts;
-    for (std::size_t i = 0; i < histogram->bounds().size(); ++i) {
-      bounds.emplace_back(histogram->bounds()[i]);
-      bucket_counts.emplace_back(
-          static_cast<std::int64_t>(histogram->bucket_count(i)));
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.bounds = histogram->bounds();
+    h.bucket_counts.reserve(h.bounds.size() + 1);
+    for (std::size_t i = 0; i <= h.bounds.size(); ++i) {
+      h.bucket_counts.push_back(histogram->bucket_count(i));
     }
-    bucket_counts.emplace_back(static_cast<std::int64_t>(
-        histogram->bucket_count(histogram->bounds().size())));
-    h["bounds"] = json::Value(std::move(bounds));
-    h["bucket_counts"] = json::Value(std::move(bucket_counts));
-    h["p50"] = histogram->Quantile(0.50);
-    h["p95"] = histogram->Quantile(0.95);
-    h["p99"] = histogram->Quantile(0.99);
-    histograms[name] = std::move(h);
+    snapshot.histograms[name] = std::move(h);
   }
-  doc["histograms"] = histograms;
-  return doc;
+  return snapshot;
+}
+
+void MetricsRegistry::Ingest(const MetricsSnapshot& snapshot,
+                             const std::string& prefix) {
+  for (const auto& [name, value] : snapshot.counters) {
+    GetCounter(prefix + name)->Increment(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    GetGauge(prefix + name)->Set(value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    GetHistogram(prefix + name, h.bounds)->MergeFrom(h);
+  }
+}
+
+void MetricsRegistry::ReinitAfterFork() {
+  enabled_.store(false, std::memory_order_relaxed);
+  // The child inherits mutex_ in whatever state some parent thread held it
+  // at fork(); re-create it in place before first use. The instrument maps
+  // themselves were only ever touched under that mutex by the forking
+  // thread, so clearing them afterwards is safe.
+  new (&mutex_) Mutex();  // lint-ok(naked-new): placement-new, no ownership
+  MutexLock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
 }
 
 std::string MetricsRegistry::ToTable() const {

@@ -54,6 +54,8 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+struct HistogramSnapshot;
+
 // Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
 // one implicit overflow bucket catches everything above the last bound.
 // Observe() is wait-free apart from a CAS loop on the running sum.
@@ -85,6 +87,11 @@ class Histogram {
   // the overflow bucket reports the last bound. 0 when empty.
   [[nodiscard]] double Quantile(double q) const;
 
+  // Adds a snapshot's buckets into this histogram. The snapshot's bucket
+  // layout must be identical to this histogram's (ConfigError otherwise);
+  // an empty snapshot is a no-op.
+  void MergeFrom(const HistogramSnapshot& snapshot);
+
  private:
   std::vector<double> bounds_;
   // unique_ptr array rather than vector<atomic> (atomics are not movable).
@@ -97,6 +104,65 @@ class Histogram {
 // microseconds covering sub-microsecond model calls up to multi-second
 // stalls (0.25us .. ~4.2s, x2 per bucket).
 [[nodiscard]] std::vector<double> DefaultLatencyBoundsUs();
+
+// --- Mergeable snapshots ---
+//
+// Point-in-time copies of instruments, detached from the lock-free
+// atomics, that can cross a process boundary: supervised workers ship
+// them over the NDJSON wire (dist/worker.h, frame kind metrics_snapshot)
+// and the supervisor merges them back into its registry. Merge semantics:
+// counters add, gauges are last-write-wins, histograms add bucket-wise and
+// REQUIRE identical bucket layouts (a mismatch is a loud ConfigError,
+// never silent skew).
+
+// One histogram's state. `bucket_counts` has bounds.size() + 1 entries
+// (the last is the overflow bucket).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+
+  // No observations and no bucket layout (the merge identity element).
+  [[nodiscard]] bool empty() const { return count == 0 && bounds.empty(); }
+
+  // Adds `other` into this snapshot. Merging an empty snapshot (either
+  // direction) is the identity; otherwise the bucket layouts must be
+  // identical or Merge throws ConfigError. Merging is associative and
+  // commutative on the bucket counts, so quantiles are stable under merge
+  // order.
+  void Merge(const HistogramSnapshot& other);
+
+  // Same estimator as Histogram::Quantile, over the snapshot's buckets.
+  [[nodiscard]] double Quantile(double q) const;
+
+  // {"count", "sum", "bounds", "bucket_counts", "p50", "p95", "p99"} —
+  // the registry-export shape. FromJson ignores the derived quantiles and
+  // validates the bucket layout (ConfigError on malformed input).
+  [[nodiscard]] json::Value ToJson() const;
+  [[nodiscard]] static HistogramSnapshot FromJson(const json::Value& v);
+};
+
+// A full registry snapshot: every instrument by name.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  // Counters add, gauges take `other`'s value, histograms Merge() (with
+  // the bucket-layout check).
+  void Merge(const MetricsSnapshot& other);
+
+  // The same document shape as MetricsRegistry::ToJson(); keys sorted, so
+  // serialization is deterministic. FromJson throws ConfigError on
+  // malformed input.
+  [[nodiscard]] json::Value ToJson() const;
+  [[nodiscard]] static MetricsSnapshot FromJson(const json::Value& v);
+};
 
 // Named-instrument registry. Instruments live as long as the registry, so
 // callers cache the returned pointers across a sweep.
@@ -133,9 +199,31 @@ class MetricsRegistry {
   [[nodiscard]] json::Value ToJson() const CALC_EXCLUDES(mutex_);
   [[nodiscard]] std::string ToTable() const CALC_EXCLUDES(mutex_);
 
+  // Copies every instrument into a detached, mergeable snapshot. Instrument
+  // reads are individually atomic but the snapshot as a whole is not (a
+  // concurrent Observe may land between two fields); cumulative snapshots
+  // from a quiescent point (a worker between shards) are exact.
+  [[nodiscard]] MetricsSnapshot Snapshot() const CALC_EXCLUDES(mutex_);
+
+  // Folds a snapshot into this registry's live instruments, each name
+  // prefixed with `prefix` ("dist.worker.3." tags a worker's instruments;
+  // "" aggregates into the shared names). Counters increment, gauges set,
+  // histograms merge bucket-wise — a bucket-layout mismatch with an
+  // existing histogram is a ConfigError.
+  void Ingest(const MetricsSnapshot& snapshot, const std::string& prefix)
+      CALC_EXCLUDES(mutex_);
+
   // Drops every instrument (cached pointers become invalid) — for tests
   // and for zeroing between bench harness phases.
   void Reset() CALC_EXCLUDES(mutex_);
+
+  // Reinitializes the registry inside a freshly forked, single-threaded
+  // child process (dist/worker.h): the child inherits the parent's mutex
+  // in whatever state some other parent thread held it at the instant of
+  // fork(), so it is re-created in place before first use and every
+  // inherited instrument is dropped. Only callable where no other thread
+  // can touch the registry — i.e. immediately after fork().
+  void ReinitAfterFork();
 
  private:
   std::atomic<bool> enabled_{false};

@@ -29,6 +29,58 @@ std::atomic<std::uint64_t> g_next_epoch{1};
       .count();
 }
 
+// Renders one event in trace-event-format, without a "pid" field — local
+// export (ToJson) stamps pid 1, cross-process export (DrainChunk) leaves
+// the stamping to the ingesting recorder.
+[[nodiscard]] json::Value RenderEvent(const TraceEvent& event, int tid) {
+  json::Value v;
+  v["name"] = event.name;
+  v["cat"] = std::string(event.category);
+  v["ph"] = std::string(1, static_cast<char>(event.phase));
+  v["tid"] = tid;
+  v["ts"] = event.ts_us;
+  switch (event.phase) {
+    case TraceEvent::Phase::kComplete:
+      v["dur"] = event.dur_us;
+      break;
+    case TraceEvent::Phase::kInstant:
+      v["s"] = "t";  // thread-scoped marker
+      break;
+    case TraceEvent::Phase::kCounter: {
+      json::Value args;
+      args["value"] = event.value;
+      v["args"] = args;
+      break;
+    }
+  }
+  return v;
+}
+
+// Thread-name metadata so Perfetto labels the track (again without "pid").
+[[nodiscard]] json::Value RenderThreadNameMeta(int tid) {
+  json::Value meta;
+  meta["name"] = "thread_name";
+  meta["ph"] = "M";
+  meta["tid"] = tid;
+  json::Value meta_args;
+  meta_args["name"] = "thread-" + std::to_string(tid);
+  meta["args"] = meta_args;
+  return meta;
+}
+
+// Process-name metadata labelling one pid's lane.
+[[nodiscard]] json::Value RenderProcessNameMeta(int pid,
+                                                const std::string& name) {
+  json::Value meta;
+  meta["name"] = "process_name";
+  meta["ph"] = "M";
+  meta["pid"] = pid;
+  json::Value meta_args;
+  meta_args["name"] = name;
+  meta["args"] = meta_args;
+  return meta;
+}
+
 }  // namespace
 
 double MonotonicMicros() {
@@ -47,6 +99,8 @@ void TraceRecorder::Start() {
   MutexLock lock(registry_mutex_);
   buffers_.clear();
   next_tid_ = 1;
+  external_lanes_.clear();
+  external_dropped_.store(0, std::memory_order_relaxed);
   epoch_.store(g_next_epoch.fetch_add(1, std::memory_order_relaxed),
                std::memory_order_release);
   detail_counter_.store(0, std::memory_order_relaxed);
@@ -145,7 +199,7 @@ void TraceRecorder::set_max_events_per_thread(std::size_t cap) {
 }
 
 std::uint64_t TraceRecorder::dropped() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = external_dropped_.load(std::memory_order_relaxed);
   MutexLock lock(registry_mutex_);
   for (const auto& buffer : buffers_) {
     MutexLock buffer_lock(buffer->mutex);
@@ -154,12 +208,81 @@ std::uint64_t TraceRecorder::dropped() const {
   return total;
 }
 
-json::Value TraceRecorder::ToJson() const {
-  json::Array events;
+TraceRecorder::Chunk TraceRecorder::DrainChunk() {
+  Chunk chunk;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     MutexLock lock(registry_mutex_);
     buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::vector<TraceEvent> drained;
+    int tid = 0;
+    std::uint64_t dropped = 0;
+    {
+      MutexLock buffer_lock(buffer->mutex);
+      drained = std::move(buffer->events);
+      buffer->events.clear();
+      tid = buffer->tid;
+      dropped = buffer->dropped;
+      buffer->dropped = 0;
+    }
+    chunk.dropped += dropped;
+    if (drained.empty() && dropped == 0) continue;
+    chunk.events.push_back(RenderThreadNameMeta(tid));
+    for (const TraceEvent& event : drained) {
+      chunk.events.push_back(RenderEvent(event, tid));
+    }
+  }
+  return chunk;
+}
+
+void TraceRecorder::AddExternalEvents(int pid,
+                                      const std::string& process_name,
+                                      const json::Array& events) {
+  MutexLock lock(registry_mutex_);
+  ExternalLane& lane = external_lanes_[pid];
+  lane.process_name = process_name;
+  for (const json::Value& event : events) {
+    json::Value stamped = event;
+    stamped["pid"] = pid;
+    lane.events.push_back(std::move(stamped));
+  }
+}
+
+void TraceRecorder::ReinitAfterFork() {
+  enabled_.store(false, std::memory_order_relaxed);
+  // Inherited per-thread buffers may hold mutexes some parent thread had
+  // locked at fork(); destroying a locked mutex is UB, so the buffers are
+  // abandoned (deliberately leaked — a fork-per-shard worker leaks a few
+  // buffers once, not per item).
+  using BufferList = std::vector<std::shared_ptr<ThreadBuffer>>;
+  auto* abandoned = new BufferList();  // lint-ok(naked-new): leak on purpose
+  new (&registry_mutex_) Mutex();  // lint-ok(naked-new): placement-new
+  MutexLock lock(registry_mutex_);
+  abandoned->swap(buffers_);
+  next_tid_ = 1;
+  external_lanes_.clear();
+  external_dropped_.store(0, std::memory_order_relaxed);
+  // Invalidate every TLS buffer cache pointing at the abandoned buffers.
+  epoch_.store(g_next_epoch.fetch_add(1, std::memory_order_relaxed),
+               std::memory_order_release);
+}
+
+json::Value TraceRecorder::ToJson() const {
+  json::Array events;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::map<int, ExternalLane> external;
+  {
+    MutexLock lock(registry_mutex_);
+    buffers = buffers_;
+    external = external_lanes_;
+  }
+  // Local events keep the recorder's fixed pid 1; real pids appear only on
+  // external lanes. When external lanes exist, label pid 1's lane too so
+  // the merged timeline reads supervisor vs worker-<pid>.
+  if (!external.empty()) {
+    events.push_back(RenderProcessNameMeta(1, "supervisor"));
   }
   for (const auto& buffer : buffers) {
     std::vector<TraceEvent> snapshot;
@@ -169,39 +292,19 @@ json::Value TraceRecorder::ToJson() const {
       snapshot = buffer->events;
       tid = buffer->tid;
     }
-    // Thread-name metadata so Perfetto labels the track.
-    json::Value meta;
-    meta["name"] = "thread_name";
-    meta["ph"] = "M";
+    json::Value meta = RenderThreadNameMeta(tid);
     meta["pid"] = 1;
-    meta["tid"] = tid;
-    json::Value meta_args;
-    meta_args["name"] = "thread-" + std::to_string(tid);
-    meta["args"] = meta_args;
     events.push_back(std::move(meta));
     for (const TraceEvent& event : snapshot) {
-      json::Value v;
-      v["name"] = event.name;
-      v["cat"] = std::string(event.category);
-      v["ph"] = std::string(1, static_cast<char>(event.phase));
+      json::Value v = RenderEvent(event, tid);
       v["pid"] = 1;
-      v["tid"] = tid;
-      v["ts"] = event.ts_us;
-      switch (event.phase) {
-        case TraceEvent::Phase::kComplete:
-          v["dur"] = event.dur_us;
-          break;
-        case TraceEvent::Phase::kInstant:
-          v["s"] = "t";  // thread-scoped marker
-          break;
-        case TraceEvent::Phase::kCounter: {
-          json::Value args;
-          args["value"] = event.value;
-          v["args"] = args;
-          break;
-        }
-      }
       events.push_back(std::move(v));
+    }
+  }
+  for (const auto& [pid, lane] : external) {
+    events.push_back(RenderProcessNameMeta(pid, lane.process_name));
+    for (const json::Value& event : lane.events) {
+      events.push_back(event);
     }
   }
   json::Value doc;

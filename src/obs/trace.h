@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,10 +93,61 @@ class TraceRecorder {
 
   // Snapshot as a trace-event-format JSON document:
   //   {"displayTimeUnit": "ms", "traceEvents": [...]}
-  // Includes thread_name metadata events. Safe while recording (events
+  // Includes thread_name metadata events; when external lanes are present
+  // (AddExternalEvents) it also emits process_name metadata so Perfetto
+  // shows one labelled lane per process. Safe while recording (events
   // appended concurrently may or may not be included).
   [[nodiscard]] json::Value ToJson() const CALC_EXCLUDES(registry_mutex_);
   void WriteFile(const std::string& path) const;
+
+  // --- Cross-process merge support (src/dist) ---
+
+  // Re-bases the time origin onto another process's recorder start (the
+  // steady clock is shared across fork(), so a supervised worker calls
+  // Start() then AlignStart(parent_start_ns) and its timestamps land on
+  // the supervisor's timeline). Call before recording any events.
+  void AlignStart(std::int64_t start_ns) {
+    start_ns_.store(start_ns, std::memory_order_release);
+  }
+  [[nodiscard]] std::int64_t start_ns() const {
+    return start_ns_.load(std::memory_order_acquire);
+  }
+
+  // A drained batch of rendered trace events, ready to ship over the wire
+  // as a trace_chunk frame. Events carry no "pid" field — the ingesting
+  // recorder stamps the sender's real pid via AddExternalEvents().
+  struct Chunk {
+    json::Array events;
+    std::uint64_t dropped = 0;
+  };
+
+  // Moves every buffered event (plus per-thread thread_name metadata) out
+  // of the per-thread buffers into rendered JSON form and zeroes the
+  // per-buffer dropped tallies — the counts travel with the chunk exactly
+  // once. Call from quiescent points (a worker between items/shards).
+  [[nodiscard]] Chunk DrainChunk() CALC_EXCLUDES(registry_mutex_);
+
+  // Registers rendered events from another process (a worker's DrainChunk
+  // shipped over the wire) under a dedicated per-process lane: every event
+  // is stamped with `pid`, and ToJson() emits process_name metadata naming
+  // the lane. Repeated calls for the same pid append.
+  void AddExternalEvents(int pid, const std::string& process_name,
+                         const json::Array& events)
+      CALC_EXCLUDES(registry_mutex_);
+
+  // Folds a foreign recorder's dropped-event count (a chunk's `dropped`)
+  // into this recorder's dropped() total.
+  void AddExternalDropped(std::uint64_t n) {
+    external_dropped_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Reinitializes the recorder inside a freshly forked, single-threaded
+  // child (dist/worker.h). The child inherits the registry and per-thread
+  // buffer mutexes in whatever state other parent threads held them at
+  // fork(), so the registry mutex is re-created in place and the inherited
+  // buffers are abandoned (deliberately leaked — destroying a possibly
+  // locked mutex is UB). Bumps the epoch so stale TLS buffer caches miss.
+  void ReinitAfterFork();
 
  private:
   struct ThreadBuffer {
@@ -119,12 +171,22 @@ class TraceRecorder {
                                          // cached thread buffers
   std::atomic<std::int64_t> start_ns_{0};
 
+  // One foreign process's lane: rendered events (already pid-stamped) plus
+  // the Perfetto process label.
+  struct ExternalLane {
+    std::string process_name;
+    json::Array events;
+  };
+
   // Guards the list of buffers itself; each buffer's contents are behind
   // its own per-thread mutex.
   mutable Mutex registry_mutex_;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_
       CALC_GUARDED_BY(registry_mutex_);
   int next_tid_ CALC_GUARDED_BY(registry_mutex_) = 1;
+  std::map<int, ExternalLane> external_lanes_
+      CALC_GUARDED_BY(registry_mutex_);
+  std::atomic<std::uint64_t> external_dropped_{0};
 };
 
 // RAII span: records one complete event on the global recorder covering the

@@ -12,6 +12,9 @@ json::Value ToJson(const FailureRecord& record) {
   v["fingerprint"] = record.fingerprint;
   v["reason"] = record.reason;
   v["worker"] = static_cast<std::int64_t>(record.worker);
+  // Emitted only when captured, so records without post-mortem evidence
+  // keep their established shape.
+  if (!record.flight_path.empty()) v["flight_path"] = record.flight_path;
   return v;
 }
 

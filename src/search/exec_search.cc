@@ -418,9 +418,29 @@ TripleSweep SweepTriple(const Application& app, const System& sys,
   local_ctx.set_max_failure_samples(
       std::numeric_limits<std::size_t>::max());
   LocalState local;
+  // Same instrumentation as the in-process sweep: inside a supervised
+  // worker these land in the worker's own registry/trace and travel to the
+  // supervisor as metrics_snapshot / trace_chunk frames, so the aggregated
+  // counts match the in-process run exactly.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Histogram* const latency =
+      metrics.enabled()
+          ? metrics.GetHistogram("exec_search.eval_latency_us",
+                                 obs::DefaultLatencyBoundsUs())
+          : nullptr;
+  const Triple tr = triples[index];
+  CALC_TRACE_SPAN("search", StrFormat("triple t=%lld p=%lld d=%lld",
+                                      static_cast<long long>(tr.t),
+                                      static_cast<long long>(tr.p),
+                                      static_cast<long long>(tr.d)));
   SweepTripleInto(app, sys, space, config, batch,
-                  sys.proc().mem2.present(), triples[index], index,
-                  &local_ctx, /*latency=*/nullptr, local);
+                  sys.proc().mem2.present(), tr, index,
+                  &local_ctx, latency, local);
+  if (metrics.enabled()) {
+    metrics.GetCounter("exec_search.evaluated")->Increment(local.evaluated);
+    metrics.GetCounter("exec_search.feasible")->Increment(local.feasible);
+    PublishRejections("exec_search", local.rejected);
+  }
   TripleSweep out;
   out.best = std::move(local.best);
   out.evaluated = local.evaluated;

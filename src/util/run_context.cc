@@ -84,13 +84,17 @@ bool RunContext::ShouldStop() {
 
 void RunContext::RecordFailure(std::uint64_t item, std::string fingerprint,
                                std::string reason, unsigned worker) {
+  RecordFailure(FailureRecord{item, std::move(fingerprint), std::move(reason),
+                              worker, /*flight_path=*/{}});
+}
+
+void RunContext::RecordFailure(FailureRecord record) {
   const std::uint64_t count =
       failures_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
     MutexLock lock(mutex_);
     if (samples_.size() < max_samples_) {
-      samples_.push_back(FailureRecord{item, std::move(fingerprint),
-                                       std::move(reason), worker});
+      samples_.push_back(std::move(record));
     }
   }
   if (failure_budget_ > 0 && count >= failure_budget_) {

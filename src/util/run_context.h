@@ -46,6 +46,9 @@ struct FailureRecord {
   std::string fingerprint;   // configuration coordinates, when known
   std::string reason;        // exception what() / Result detail
   unsigned worker = 0;       // claiming pool participant (0 = caller)
+  // Flight-recorder post-mortem file for a quarantined supervised worker
+  // (see docs/observability.md); empty when none was captured.
+  std::string flight_path;
 };
 
 // The failure-summary section attached to sweep results. `complete` means
@@ -121,6 +124,9 @@ class RunContext {
   void RecordFailure(std::uint64_t item, std::string fingerprint,
                      std::string reason, unsigned worker = 0)
       CALC_EXCLUDES(mutex_);
+  // Full-record variant, preserving extra evidence (flight_path) captured
+  // by the dist supervisor.
+  void RecordFailure(FailureRecord record) CALC_EXCLUDES(mutex_);
   [[nodiscard]] std::uint64_t failures() const {
     return failures_.load(std::memory_order_relaxed);
   }

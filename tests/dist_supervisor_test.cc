@@ -7,13 +7,20 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "dist/drivers.h"
 #include "dist/supervisor.h"
+#include "hw/presets.h"
+#include "models/presets.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runner/run_status_json.h"
 #include "runner/study.h"
+#include "search/exec_search.h"
 #include "testing/fault_injection.h"
 #include "util/run_context.h"
 
@@ -198,6 +205,153 @@ TEST(DistSupervisor, BrokenJobSpecFailsLoudlyInsteadOfRespawningForever) {
   EXPECT_THROW(
       (void)dist::RunSupervised(bad, 8, options, dist::SupervisorCallbacks{}),
       ConfigError);
+}
+
+TEST(DistSupervisor, SupervisedEvalMetricsMatchInProcessExactly) {
+  if (!dist::ForkAvailable()) GTEST_SKIP() << "no fork on this platform";
+  // Workers instrument their own sweeps and the supervisor merges the
+  // shipped snapshots; the aggregated counts must equal the in-process
+  // engine's to the last evaluation.
+  const Application app = presets::Megatron22B();
+  presets::SystemOptions so;
+  so.num_procs = 64;
+  const System sys = presets::A100(so);
+  SearchConfig config;
+  config.batch_size = 64;
+  config.top_k = 4;
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.Reset();
+  metrics.Enable();
+  {
+    ThreadPool pool(2);
+    (void)FindOptimalExecution(app, sys, SearchSpace::MegatronBaseline(),
+                               config, pool);
+  }
+  const obs::MetricsSnapshot in_process = metrics.Snapshot();
+  ASSERT_GT(in_process.counters.at("exec_search.evaluated"), 0u);
+
+  metrics.Reset();
+  const SearchResult supervised = dist::FindOptimalExecutionSupervised(
+      app, sys, SearchSpace::MegatronBaseline(), config, FastDist(3));
+  const obs::MetricsSnapshot merged = metrics.Snapshot();
+  metrics.Reset();
+  metrics.Disable();
+
+  // Counter and latency-histogram sample counts line up exactly with both
+  // the in-process run and the wire-merged SearchResult tallies.
+  EXPECT_EQ(merged.counters.at("exec_search.evaluated"),
+            in_process.counters.at("exec_search.evaluated"));
+  EXPECT_EQ(merged.counters.at("exec_search.evaluated"), supervised.evaluated);
+  EXPECT_EQ(merged.counters.at("exec_search.feasible"),
+            in_process.counters.at("exec_search.feasible"));
+  EXPECT_EQ(merged.counters.at("exec_search.culled_triples"),
+            in_process.counters.at("exec_search.culled_triples"));
+  EXPECT_EQ(merged.histograms.at("exec_search.eval_latency_us").count,
+            in_process.histograms.at("exec_search.eval_latency_us").count);
+  EXPECT_EQ(merged.histograms.at("exec_search.eval_latency_us").count,
+            supervised.evaluated);
+  // The per-worker tagged copies exist alongside the aggregate and sum to
+  // the same total.
+  std::uint64_t tagged = 0;
+  for (const auto& [name, value] : merged.counters) {
+    if (name.rfind("dist.worker.", 0) == 0 &&
+        name.find(".exec_search.evaluated") != std::string::npos) {
+      tagged += value;
+    }
+  }
+  EXPECT_EQ(tagged, supervised.evaluated);
+}
+
+TEST(DistSupervisor, TelemetryOnKeepsStudyOutputBitIdentical) {
+  if (!dist::ForkAvailable()) GTEST_SKIP() << "no fork on this platform";
+  const Study study = Study::FromJson(SmallStudySpec());
+  const StudyRunOptions options;
+  const StudyRun reference = study.RunResilient(options);
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  metrics.Reset();
+  metrics.Enable();
+  recorder.Start();
+  const StudyRun supervised =
+      dist::RunStudySupervised(study, options, FastDist(3));
+  recorder.Stop();
+  const json::Value trace = recorder.ToJson();
+  metrics.Reset();
+  metrics.Disable();
+
+  // Telemetry rides observational side channels, never the reorder
+  // buffers: rows and best-candidate selection stay bit-identical.
+  ASSERT_EQ(supervised.csv_rows.size(), reference.csv_rows.size());
+  for (std::size_t i = 0; i < reference.csv_rows.size(); ++i) {
+    EXPECT_EQ(supervised.csv_rows[i], reference.csv_rows[i]) << "row " << i;
+  }
+  EXPECT_EQ(supervised.best.row, reference.best.row);
+
+  // The merged timeline carries the supervisor lane (pid 1) plus at least
+  // one real worker lane with its process_name metadata.
+  std::set<int> pids;
+  std::set<int> named_worker_pids;
+  for (const json::Value& e : trace.at("traceEvents").AsArray()) {
+    const int pid = static_cast<int>(e.at("pid").AsInt());
+    pids.insert(pid);
+    if (e.at("ph").AsString() == "M" &&
+        e.at("name").AsString() == "process_name" && pid != 1) {
+      named_worker_pids.insert(pid);
+    }
+  }
+  EXPECT_TRUE(pids.count(1) > 0);
+  EXPECT_GE(pids.size(), 2u);
+  EXPECT_FALSE(named_worker_pids.empty());
+}
+
+TEST(DistSupervisor, QuarantineAttachesAFlightRecorderPostMortem) {
+  if (!dist::ForkAvailable()) GTEST_SKIP() << "no fork on this platform";
+  const Study study = Study::FromJson(SmallStudySpec());
+  const std::uint64_t rows = study.Enumerate().size();
+
+  testing::FaultPlan plan;
+  plan.seed = 42;
+  plan.segv_rate = 0.10;
+  ASSERT_FALSE(ExpectedProcessFaultItems(plan, rows).empty());
+
+  const std::string log_dir = ::testing::TempDir() + "calculon_flight_pm";
+  std::filesystem::create_directories(log_dir);
+
+  RunContext ctx;
+  StudyRunOptions options;
+  options.ctx = &ctx;
+  dist::DistOptions d = FastDist(2);
+  d.faults_spec = plan.ToSpec();
+  d.worker_log_dir = log_dir;
+  d.flight_capacity = 32;
+  (void)dist::RunStudySupervised(study, options, d);
+
+  const RunStatus status = ctx.Snapshot();
+  ASSERT_FALSE(status.failure_samples.empty());
+  for (const FailureRecord& record : status.failure_samples) {
+    ASSERT_FALSE(record.flight_path.empty()) << record.reason;
+    ASSERT_TRUE(std::filesystem::exists(record.flight_path))
+        << record.flight_path;
+    const json::Value doc = json::ParseFile(record.flight_path);
+    EXPECT_GE(doc.at("pid").AsInt(), 1);
+    EXPECT_FALSE(doc.at("description").AsString().empty());
+    // The worker flushed its ring before evaluating the poison item, so
+    // the mirror holds its last actions — at minimum that item's begin
+    // marker.
+    const json::Array& events = doc.at("events").AsArray();
+    ASSERT_FALSE(events.empty());
+    bool saw_item_begin = false;
+    for (const json::Value& e : events) {
+      if (e.at("label").AsString() == "item_begin") saw_item_begin = true;
+    }
+    EXPECT_TRUE(saw_item_begin);
+    // The failure surfaces in the run-status JSON too.
+    const json::Value as_json = ToJson(record);
+    EXPECT_EQ(as_json.at("flight_path").AsString(), record.flight_path);
+  }
+  std::filesystem::remove_all(log_dir);
 }
 
 TEST(DistSupervisor, ZeroWorkersFallsBackInProcess) {
